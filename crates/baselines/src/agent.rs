@@ -1,0 +1,131 @@
+//! The worker agent: a minimal per-machine daemon for baseline schedulers.
+
+use std::collections::BTreeMap;
+
+use vce_net::{Addr, Endpoint, Envelope, Host};
+
+use crate::msg::BaselineMsg;
+use crate::workload::JobId;
+
+const TOKEN_REPORT: u64 = 1;
+/// Load-report period, µs.
+pub const REPORT_PERIOD_US: u64 = 500_000;
+
+/// Per-machine agent: runs, suspends, resumes and recalls jobs on the
+/// scheduler's orders, and reports machine load periodically.
+pub struct AgentEndpoint {
+    me: Addr,
+    scheduler: Addr,
+    running: BTreeMap<JobId, u64>,
+    suspended: BTreeMap<JobId, f64>,
+    next_pid: u64,
+    pid_jobs: BTreeMap<u64, JobId>,
+}
+
+impl AgentEndpoint {
+    /// Agent on `me`, reporting to `scheduler`.
+    pub fn new(me: Addr, scheduler: Addr) -> Self {
+        Self {
+            me,
+            scheduler,
+            running: BTreeMap::new(),
+            suspended: BTreeMap::new(),
+            next_pid: 1,
+            pid_jobs: BTreeMap::new(),
+        }
+    }
+
+    fn send(&self, host: &mut dyn Host, msg: &BaselineMsg) {
+        let bytes = vce_codec::to_bytes(msg);
+        host.send(self.me, self.scheduler, bytes.into());
+    }
+
+    fn start(&mut self, job: JobId, mops: f64, host: &mut dyn Host) {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.running.insert(job, pid);
+        self.pid_jobs.insert(pid, job);
+        host.start_work(pid, mops);
+    }
+
+    fn stop(&mut self, job: JobId, host: &mut dyn Host) -> Option<f64> {
+        let pid = self.running.remove(&job)?;
+        let remaining = host.work_remaining(pid).unwrap_or(0.0);
+        host.cancel_work(pid);
+        self.pid_jobs.remove(&pid);
+        Some(remaining)
+    }
+
+    fn report(&self, host: &mut dyn Host) {
+        let m = host.machine();
+        let load = host.load();
+        let background = (load - self.running.len() as f64).max(0.0);
+        let msg = BaselineMsg::LoadReport {
+            node: m.node,
+            load,
+            background,
+            speed_mops: m.speed_mops,
+        };
+        self.send(host, &msg);
+    }
+}
+
+impl Endpoint for AgentEndpoint {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        host.set_timer(REPORT_PERIOD_US, TOKEN_REPORT);
+        self.report(host);
+    }
+
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        let Ok(msg) = vce_codec::from_bytes::<BaselineMsg>(&env.payload) else {
+            return;
+        };
+        match msg {
+            BaselineMsg::Run { job, mops } if !self.running.contains_key(&job) => {
+                self.start(job, mops, host);
+            }
+            BaselineMsg::Suspend { job } => {
+                if let Some(rem) = self.stop(job, host) {
+                    self.suspended.insert(job, rem);
+                }
+            }
+            BaselineMsg::Resume { job } => {
+                if let Some(rem) = self.suspended.remove(&job) {
+                    self.start(job, rem, host);
+                }
+            }
+            BaselineMsg::Recall { job, keep_progress } => {
+                let rem = self.stop(job, host).or_else(|| self.suspended.remove(&job));
+                if let Some(rem) = rem {
+                    self.send(
+                        host,
+                        &BaselineMsg::Recalled {
+                            job,
+                            remaining_mops: if keep_progress { rem } else { f64::NAN },
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        if token == TOKEN_REPORT {
+            host.set_timer(REPORT_PERIOD_US, TOKEN_REPORT);
+            self.report(host);
+        }
+    }
+
+    fn on_work_done(&mut self, pid: u64, host: &mut dyn Host) {
+        if let Some(job) = self.pid_jobs.remove(&pid) {
+            self.running.remove(&job);
+            let node = host.machine().node;
+            self.send(host, &BaselineMsg::Done { job, node });
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

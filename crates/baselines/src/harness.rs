@@ -1,0 +1,222 @@
+//! One-call harness: run a workload under a baseline policy on a simulated
+//! fleet and report.
+
+use vce_net::{Addr, MachineInfo, NodeId, PortId};
+use vce_sim::{LoadTrace, Sim, SimConfig};
+
+use crate::agent::AgentEndpoint;
+use crate::policy::Policy;
+use crate::sched::{SchedCounters, SchedulerEndpoint};
+use crate::workload::Workload;
+
+/// The scheduler's endpoint port (distinct from agent daemons).
+pub const SCHED_PORT: PortId = PortId::EXECUTOR;
+
+/// What a baseline run produced.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// All jobs finished within the horizon?
+    pub completed: bool,
+    /// Last completion time, µs.
+    pub makespan_us: Option<u64>,
+    /// Mean job turnaround (submit→done), µs.
+    pub mean_turnaround_us: Option<f64>,
+    /// Scheduler action counters.
+    pub counters: SchedCounters,
+    /// Mean machine utilization over the run.
+    pub mean_utilization: f64,
+}
+
+/// Run `workload` under `policy` on `machines` (with optional background
+/// load traces, aligned by index) until done or `horizon_us`.
+pub fn run_baseline(
+    seed: u64,
+    machines: &[(MachineInfo, LoadTrace)],
+    workload: &Workload,
+    policy: Box<dyn Policy>,
+    horizon_us: u64,
+) -> BaselineReport {
+    let name = policy.name();
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        trace_enabled: false,
+        ..SimConfig::default()
+    });
+    // The scheduler lives on the first machine.
+    let sched_node = machines.first().expect("at least one machine").0.node;
+    let sched_addr = Addr::new(sched_node, SCHED_PORT);
+    for (info, load) in machines {
+        sim.add_node_with_load(info.clone(), load.clone());
+        sim.add_endpoint(
+            Addr::daemon(info.node),
+            Box::new(AgentEndpoint::new(Addr::daemon(info.node), sched_addr)),
+        );
+    }
+    sim.add_endpoint(
+        sched_addr,
+        Box::new(SchedulerEndpoint::new(sched_addr, workload, policy)),
+    );
+    // Step until done or horizon.
+    loop {
+        let done = sim
+            .with_endpoint_mut::<SchedulerEndpoint, _>(sched_addr, |s| s.is_done())
+            .unwrap_or(true);
+        if done || sim.now_us() >= horizon_us {
+            break;
+        }
+        let next = (sim.now_us() + 250_000).min(horizon_us);
+        sim.run_until(next);
+    }
+    let (completed, makespan_us, completions, counters) = sim
+        .with_endpoint_mut::<SchedulerEndpoint, _>(sched_addr, |s| {
+            (s.is_done(), s.makespan_us(), s.completions(), s.counters)
+        })
+        .expect("scheduler present");
+    let mean_turnaround_us = if completions.is_empty() {
+        None
+    } else {
+        let submit: std::collections::BTreeMap<_, _> = workload
+            .jobs()
+            .iter()
+            .map(|j| (j.id, j.submit_at_us))
+            .collect();
+        let sum: u64 = completions
+            .iter()
+            .map(|(id, &done)| done.saturating_sub(submit.get(id).copied().unwrap_or(0)))
+            .sum();
+        Some(sum as f64 / completions.len() as f64)
+    };
+    let metrics = sim.all_metrics();
+    let mean_utilization = vce_sim::metrics::FleetMetrics::summarize(&metrics).mean_utilization;
+    BaselineReport {
+        policy: name,
+        completed,
+        makespan_us,
+        mean_turnaround_us,
+        counters,
+        mean_utilization,
+    }
+}
+
+/// Convenience: `n` identical always-idle workstations.
+pub fn idle_fleet(n: u32, speed_mops: f64) -> Vec<(MachineInfo, LoadTrace)> {
+    (0..n)
+        .map(|i| {
+            (
+                MachineInfo::workstation(NodeId(i), speed_mops),
+                LoadTrace::idle(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{condor, random, roundrobin, spawn, stealth, vcelike};
+    use crate::workload::{JobId, Workload};
+
+    const HORIZON: u64 = 3_600_000_000; // one simulated hour
+
+    fn bag() -> Workload {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        Workload::bag(&mut rng, 12, 1_000.0, 3_000.0)
+    }
+
+    #[test]
+    fn every_policy_completes_an_idle_fleet_bag() {
+        let fleet = idle_fleet(4, 100.0);
+        let w = bag();
+        let policies: Vec<Box<dyn crate::policy::Policy>> = vec![
+            Box::new(random::Random::new(1)),
+            Box::new(roundrobin::RoundRobin::new()),
+            Box::new(condor::Condor::new()),
+            Box::new(stealth::Stealth::new()),
+            Box::new(spawn::Spawn::new(1)),
+            Box::new(vcelike::VceLike::new()),
+        ];
+        for p in policies {
+            let name = p.name();
+            let r = run_baseline(9, &fleet, &w, p, HORIZON);
+            assert!(r.completed, "{name} did not finish");
+            assert!(r.makespan_us.unwrap() > 0);
+            assert!(r.counters.placements >= 12, "{name}");
+            assert!(r.mean_utilization > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn chain_respects_dependencies() {
+        let fleet = idle_fleet(3, 100.0);
+        let w = Workload::chain(5, 1_000.0);
+        let r = run_baseline(9, &fleet, &w, Box::new(condor::Condor::new()), HORIZON);
+        assert!(r.completed);
+        // A 5×10s chain takes at least 50 simulated seconds.
+        assert!(r.makespan_us.unwrap() >= 50_000_000);
+    }
+
+    #[test]
+    fn stealth_suspends_under_owner_activity_and_still_finishes() {
+        // One machine with a busy owner mid-run, one spare... no: stealth
+        // never migrates, so give it only the one machine and assert the
+        // suspension stall shows up in the makespan.
+        let busy = vec![(
+            MachineInfo::workstation(NodeId(0), 100.0),
+            // Owner busy from t=5s to t=25s.
+            LoadTrace::from_steps(vec![(5_000_000, 2.0), (25_000_000, 0.0)]),
+        )];
+        let w = Workload::chain(1, 2_000.0); // 20 s of work
+        let r = run_baseline(9, &busy, &w, Box::new(stealth::Stealth::new()), HORIZON);
+        assert!(r.completed);
+        assert!(r.counters.suspensions >= 1);
+        assert!(r.counters.resumes >= 1);
+        // 20s of work + ~20s suspension stall.
+        assert!(
+            r.makespan_us.unwrap() >= 38_000_000,
+            "makespan {:?}",
+            r.makespan_us
+        );
+    }
+
+    #[test]
+    fn vcelike_migrates_instead_of_stalling() {
+        let fleet = vec![
+            (
+                MachineInfo::workstation(NodeId(0), 100.0),
+                LoadTrace::from_steps(vec![(5_000_000, 2.0)]),
+            ),
+            (
+                MachineInfo::workstation(NodeId(1), 100.0),
+                LoadTrace::idle(),
+            ),
+        ];
+        let w = Workload::new(vec![crate::workload::Job {
+            id: JobId(0),
+            mops: 2_000.0,
+            submit_at_us: 0,
+            deps: vec![],
+        }]);
+        let r = run_baseline(9, &fleet, &w, Box::new(vcelike::VceLike::new()), HORIZON);
+        assert!(r.completed);
+        assert!(r.counters.recalls >= 1, "migration happened");
+        // Migration loses almost nothing: ~20 s of work plus small slack.
+        assert!(
+            r.makespan_us.unwrap() < 30_000_000,
+            "makespan {:?}",
+            r.makespan_us
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fleet = idle_fleet(3, 100.0);
+        let w = bag();
+        let a = run_baseline(3, &fleet, &w, Box::new(spawn::Spawn::new(3)), HORIZON);
+        let b = run_baseline(3, &fleet, &w, Box::new(spawn::Spawn::new(3)), HORIZON);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.counters, b.counters);
+    }
+}

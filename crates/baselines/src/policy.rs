@@ -1,0 +1,558 @@
+//! The [`Policy`] trait and the cited baseline implementations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vce_net::NodeId;
+
+use crate::workload::JobId;
+
+/// A machine as the central scheduler sees it (latest load report plus
+/// local bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineView {
+    /// The machine.
+    pub node: NodeId,
+    /// Reported load (plus jobs placed since the report).
+    pub load: f64,
+    /// Owner activity component.
+    pub background: f64,
+    /// Nominal speed, Mops/s.
+    pub speed_mops: f64,
+    /// Jobs running there.
+    pub running: Vec<JobId>,
+    /// Jobs suspended there.
+    pub suspended: Vec<JobId>,
+}
+
+/// A dispatchable job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyJob {
+    /// The job.
+    pub id: JobId,
+    /// Remaining work, Mops.
+    pub mops: f64,
+    /// When it became ready, µs.
+    pub ready_since_us: u64,
+}
+
+/// Scheduler state offered to a policy each decision round.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// Current time, µs.
+    pub now_us: u64,
+    /// Machines, sorted by node id.
+    pub machines: &'a [MachineView],
+    /// Ready jobs, oldest-ready first.
+    pub ready: &'a [ReadyJob],
+}
+
+/// What a policy may order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Start a ready job on a machine.
+    Place {
+        /// The job.
+        job: JobId,
+        /// The machine.
+        node: NodeId,
+    },
+    /// Suspend a running job in place (Stealth).
+    Suspend {
+        /// The job.
+        job: JobId,
+    },
+    /// Resume a suspended job.
+    Resume {
+        /// The job.
+        job: JobId,
+    },
+    /// Pull a job off its machine; it re-enters the ready queue with
+    /// remaining (or, with `keep_progress: false`, full) work.
+    Recall {
+        /// The job.
+        job: JobId,
+        /// Keep partial progress (ideal checkpoint) or restart.
+        keep_progress: bool,
+    },
+}
+
+/// A baseline scheduling policy.
+pub trait Policy: Send {
+    /// Display name (experiment tables).
+    fn name(&self) -> &'static str;
+    /// Decide actions for this round.
+    fn react(&mut self, view: &SchedView<'_>) -> Vec<Action>;
+}
+
+/// Machines with no activity at all (the idle-workstation harvesting
+/// condition the 1990s systems used).
+fn idle_machines<'a>(view: &'a SchedView<'_>) -> Vec<&'a MachineView> {
+    view.machines
+        .iter()
+        .filter(|m| m.load < 0.5 && m.running.is_empty() && m.suspended.is_empty())
+        .collect()
+}
+
+/// Pair ready jobs with idle machines one-to-one, in the given machine
+/// order.
+fn place_one_each(view: &SchedView<'_>, machines: &[&MachineView]) -> Vec<Action> {
+    view.ready
+        .iter()
+        .zip(machines)
+        .map(|(j, m)| Action::Place {
+            job: j.id,
+            node: m.node,
+        })
+        .collect()
+}
+
+pub mod random {
+    //! Uniformly random placement; oblivious to load and owners.
+
+    use super::*;
+
+    /// The random scheduler.
+    pub struct Random {
+        rng: SmallRng,
+    }
+
+    impl Random {
+        /// Seeded constructor.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                rng: SmallRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl Policy for Random {
+        fn name(&self) -> &'static str {
+            "random"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            if view.machines.is_empty() {
+                return vec![];
+            }
+            view.ready
+                .iter()
+                .map(|j| Action::Place {
+                    job: j.id,
+                    node: view.machines[self.rng.gen_range(0..view.machines.len())].node,
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod roundrobin {
+    //! Cyclic placement; oblivious to load and owners.
+
+    use super::*;
+
+    /// The round-robin scheduler.
+    #[derive(Default)]
+    pub struct RoundRobin {
+        next: usize,
+    }
+
+    impl RoundRobin {
+        /// Constructor.
+        pub fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    impl Policy for RoundRobin {
+        fn name(&self) -> &'static str {
+            "round-robin"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            if view.machines.is_empty() {
+                return vec![];
+            }
+            view.ready
+                .iter()
+                .map(|j| {
+                    let node = view.machines[self.next % view.machines.len()].node;
+                    self.next += 1;
+                    Action::Place { job: j.id, node }
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod condor {
+    //! Condor-style (Litzkow): harvest idle workstations; when the owner
+    //! returns, checkpoint-migrate the batch job elsewhere (we model ideal
+    //! checkpoints: exact remaining work travels). Homogeneous migration
+    //! only — which our one-class baseline fleets satisfy by construction.
+
+    use super::*;
+
+    /// The Condor-like scheduler.
+    #[derive(Default)]
+    pub struct Condor;
+
+    impl Condor {
+        /// Constructor.
+        pub fn new() -> Self {
+            Self
+        }
+    }
+
+    impl Policy for Condor {
+        fn name(&self) -> &'static str {
+            "condor-like"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            let mut actions = Vec::new();
+            // Vacate machines the owner reclaimed.
+            for m in view.machines {
+                if m.background >= 1.0 {
+                    for &job in &m.running {
+                        actions.push(Action::Recall {
+                            job,
+                            keep_progress: true,
+                        });
+                    }
+                }
+            }
+            let idle = idle_machines(view);
+            actions.extend(place_one_each(view, &idle));
+            actions
+        }
+    }
+}
+
+pub mod stealth {
+    //! Stealth-style (Krueger): *suspend* remote work when the owner
+    //! returns and resume when the machine idles again — "reduces the
+    //! frequency of process migrations" at the cost of the §4.4 ripple
+    //! effect on dependent tasks.
+
+    use super::*;
+
+    /// The Stealth-like scheduler.
+    #[derive(Default)]
+    pub struct Stealth;
+
+    impl Stealth {
+        /// Constructor.
+        pub fn new() -> Self {
+            Self
+        }
+    }
+
+    impl Policy for Stealth {
+        fn name(&self) -> &'static str {
+            "stealth-like"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            let mut actions = Vec::new();
+            for m in view.machines {
+                if m.background >= 1.0 {
+                    for &job in &m.running {
+                        actions.push(Action::Suspend { job });
+                    }
+                } else {
+                    for &job in &m.suspended {
+                        actions.push(Action::Resume { job });
+                    }
+                }
+            }
+            let idle = idle_machines(view);
+            actions.extend(place_one_each(view, &idle));
+            actions
+        }
+    }
+}
+
+pub mod spawn {
+    //! Spawn-style (Waldspurger): a computational economy. Waiting jobs
+    //! accumulate funding proportional to their wait; each round, idle
+    //! machines go to lottery winners weighted by funding. Owner
+    //! reclamation kills the resident job outright (its sponsored slice is
+    //! gone) and requeues it from scratch. This compresses Spawn's
+    //! time-sliced second-price auctions into per-round lotteries —
+    //! documented simplification.
+
+    use super::*;
+
+    /// The Spawn-like scheduler.
+    pub struct Spawn {
+        rng: SmallRng,
+    }
+
+    impl Spawn {
+        /// Seeded constructor.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                rng: SmallRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl Policy for Spawn {
+        fn name(&self) -> &'static str {
+            "spawn-like"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            let mut actions = Vec::new();
+            for m in view.machines {
+                if m.background >= 1.0 {
+                    for &job in &m.running {
+                        actions.push(Action::Recall {
+                            job,
+                            keep_progress: false,
+                        });
+                    }
+                }
+            }
+            let idle = idle_machines(view);
+            let mut pool: Vec<ReadyJob> = view.ready.to_vec();
+            for m in idle {
+                if pool.is_empty() {
+                    break;
+                }
+                // Funding = waiting time + 1 tick so fresh jobs have a
+                // nonzero ticket.
+                let total: f64 = pool
+                    .iter()
+                    .map(|j| (view.now_us - j.ready_since_us) as f64 + 1.0)
+                    .sum();
+                let mut draw = self.rng.gen_range(0.0..total);
+                let mut winner = 0;
+                for (i, j) in pool.iter().enumerate() {
+                    let w = (view.now_us - j.ready_since_us) as f64 + 1.0;
+                    if draw < w {
+                        winner = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                let job = pool.remove(winner);
+                actions.push(Action::Place {
+                    job: job.id,
+                    node: m.node,
+                });
+            }
+            actions
+        }
+    }
+}
+
+pub mod vcelike {
+    //! The VCE's §4.4 stance expressed in this harness's vocabulary:
+    //! checkpoint-migrate away from reclaimed machines so dependent work
+    //! is never stalled behind a suspension. (The full-protocol VCE runs
+    //! in its own harness; this variant isolates the *policy* difference
+    //! from the protocol difference.)
+
+    use super::*;
+
+    /// The migrating policy.
+    #[derive(Default)]
+    pub struct VceLike;
+
+    impl VceLike {
+        /// Constructor.
+        pub fn new() -> Self {
+            Self
+        }
+    }
+
+    impl Policy for VceLike {
+        fn name(&self) -> &'static str {
+            "vce-like"
+        }
+        fn react(&mut self, view: &SchedView<'_>) -> Vec<Action> {
+            let mut actions = Vec::new();
+            let idle_count = idle_machines(view).len();
+            let mut budget = idle_count;
+            for m in view.machines {
+                if m.background >= 1.0 {
+                    for &job in &m.running {
+                        // Only migrate when somewhere idle exists — else
+                        // stay put and share (migration to nowhere is the
+                        // §4.3 waiting discipline).
+                        if budget > 0 {
+                            actions.push(Action::Recall {
+                                job,
+                                keep_progress: true,
+                            });
+                            budget -= 1;
+                        }
+                    }
+                }
+            }
+            let idle = idle_machines(view);
+            actions.extend(place_one_each(view, &idle));
+            actions
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: u32, load: f64, background: f64, running: Vec<JobId>) -> MachineView {
+        MachineView {
+            node: NodeId(n),
+            load,
+            background,
+            speed_mops: 100.0,
+            running,
+            suspended: vec![],
+        }
+    }
+
+    fn ready(id: u32) -> ReadyJob {
+        ReadyJob {
+            id: JobId(id),
+            mops: 100.0,
+            ready_since_us: 0,
+        }
+    }
+
+    #[test]
+    fn condor_recalls_from_reclaimed_machines() {
+        let machines = vec![
+            machine(0, 2.0, 1.5, vec![JobId(9)]),
+            machine(1, 0.0, 0.0, vec![]),
+        ];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[ready(1)],
+        };
+        let actions = condor::Condor::new().react(&view);
+        assert!(actions.contains(&Action::Recall {
+            job: JobId(9),
+            keep_progress: true
+        }));
+        assert!(actions.contains(&Action::Place {
+            job: JobId(1),
+            node: NodeId(1)
+        }));
+    }
+
+    #[test]
+    fn stealth_suspends_and_resumes() {
+        let mut machines = vec![machine(0, 2.0, 1.5, vec![JobId(9)])];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[],
+        };
+        let actions = stealth::Stealth::new().react(&view);
+        assert_eq!(actions, vec![Action::Suspend { job: JobId(9) }]);
+        machines[0] = MachineView {
+            background: 0.0,
+            load: 0.0,
+            running: vec![],
+            suspended: vec![JobId(9)],
+            ..machines[0].clone()
+        };
+        let view = SchedView {
+            now_us: 1,
+            machines: &machines,
+            ready: &[],
+        };
+        let actions = stealth::Stealth::new().react(&view);
+        assert_eq!(actions, vec![Action::Resume { job: JobId(9) }]);
+    }
+
+    #[test]
+    fn spawn_kills_progress_on_reclaim() {
+        let machines = vec![machine(0, 2.0, 1.5, vec![JobId(9)])];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[],
+        };
+        let actions = spawn::Spawn::new(1).react(&view);
+        assert_eq!(
+            actions,
+            vec![Action::Recall {
+                job: JobId(9),
+                keep_progress: false
+            }]
+        );
+    }
+
+    #[test]
+    fn spawn_lottery_places_on_idle_machines() {
+        let machines = vec![machine(0, 0.0, 0.0, vec![]), machine(1, 0.0, 0.0, vec![])];
+        let view = SchedView {
+            now_us: 100,
+            machines: &machines,
+            ready: &[ready(1), ready(2), ready(3)],
+        };
+        let actions = spawn::Spawn::new(2).react(&view);
+        let places = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Place { .. }))
+            .count();
+        assert_eq!(places, 2, "one job per idle machine");
+    }
+
+    #[test]
+    fn vcelike_migrates_only_when_idle_target_exists() {
+        // No idle machine: stay put.
+        let machines = vec![machine(0, 2.0, 1.5, vec![JobId(9)])];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[],
+        };
+        assert!(vcelike::VceLike::new().react(&view).is_empty());
+        // Idle machine exists: recall for migration.
+        let machines = vec![
+            machine(0, 2.0, 1.5, vec![JobId(9)]),
+            machine(1, 0.0, 0.0, vec![]),
+        ];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[],
+        };
+        let actions = vcelike::VceLike::new().react(&view);
+        assert!(actions.contains(&Action::Recall {
+            job: JobId(9),
+            keep_progress: true
+        }));
+    }
+
+    #[test]
+    fn oblivious_policies_place_everything() {
+        let machines = vec![machine(0, 5.0, 5.0, vec![]), machine(1, 0.0, 0.0, vec![])];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[ready(1), ready(2)],
+        };
+        assert_eq!(roundrobin::RoundRobin::new().react(&view).len(), 2);
+        assert_eq!(random::Random::new(7).react(&view).len(), 2);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let machines = vec![machine(0, 0.0, 0.0, vec![]), machine(1, 0.0, 0.0, vec![])];
+        let view = SchedView {
+            now_us: 0,
+            machines: &machines,
+            ready: &[ready(1), ready(2), ready(3)],
+        };
+        let actions = roundrobin::RoundRobin::new().react(&view);
+        let nodes: Vec<NodeId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Place { node, .. } => *node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(0)]);
+    }
+}

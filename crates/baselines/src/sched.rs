@@ -1,0 +1,342 @@
+//! The central scheduler endpoint driving a [`Policy`].
+
+use std::collections::BTreeMap;
+
+use vce_net::{Addr, Endpoint, Envelope, Host, NodeId};
+
+use crate::msg::BaselineMsg;
+use crate::policy::{Action, MachineView, Policy, ReadyJob, SchedView};
+use crate::workload::{Job, JobId, Workload};
+
+const TOKEN_DECIDE: u64 = 1;
+const TOKEN_SUBMIT_BASE: u64 = 1 << 20;
+/// Decision-round period, µs.
+pub const DECIDE_PERIOD_US: u64 = 250_000;
+
+#[derive(Debug, Clone, PartialEq)]
+enum JobState {
+    /// Submitted but dependencies unfinished.
+    Waiting,
+    /// Dispatchable.
+    Ready { since_us: u64 },
+    /// Running on a machine.
+    Running(NodeId),
+    /// Suspended in place.
+    Suspended(NodeId),
+    /// Recall sent, response pending.
+    Recalling(NodeId),
+    /// Finished.
+    Done { at_us: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct JobEntry {
+    job: Job,
+    /// Remaining work (updated by keep-progress recalls).
+    remaining_mops: f64,
+    state: JobState,
+}
+
+/// Counters for experiment tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Placements ordered.
+    pub placements: u64,
+    /// Suspensions ordered.
+    pub suspensions: u64,
+    /// Resumes ordered.
+    pub resumes: u64,
+    /// Recalls (migrations / reclamation kills) ordered.
+    pub recalls: u64,
+}
+
+/// The central scheduler.
+pub struct SchedulerEndpoint {
+    me: Addr,
+    policy: Box<dyn Policy>,
+    jobs: BTreeMap<JobId, JobEntry>,
+    machines: BTreeMap<NodeId, MachineView>,
+    /// Experiment counters.
+    pub counters: SchedCounters,
+}
+
+impl SchedulerEndpoint {
+    /// Build a scheduler at `me` for a workload under a policy. Machines
+    /// announce themselves via load reports.
+    pub fn new(me: Addr, workload: &Workload, policy: Box<dyn Policy>) -> Self {
+        let jobs = workload
+            .jobs()
+            .iter()
+            .map(|j| {
+                (
+                    j.id,
+                    JobEntry {
+                        job: j.clone(),
+                        remaining_mops: j.mops,
+                        state: JobState::Waiting,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            me,
+            policy,
+            jobs,
+            machines: BTreeMap::new(),
+            counters: SchedCounters::default(),
+        }
+    }
+
+    /// All jobs done?
+    pub fn is_done(&self) -> bool {
+        self.jobs
+            .values()
+            .all(|j| matches!(j.state, JobState::Done { .. }))
+    }
+
+    /// Completion time of the last job, µs.
+    pub fn makespan_us(&self) -> Option<u64> {
+        self.jobs
+            .values()
+            .map(|j| match j.state {
+                JobState::Done { at_us } => Some(at_us),
+                _ => None,
+            })
+            .collect::<Option<Vec<u64>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// Per-job completion times.
+    pub fn completions(&self) -> BTreeMap<JobId, u64> {
+        self.jobs
+            .iter()
+            .filter_map(|(&id, j)| match j.state {
+                JobState::Done { at_us } => Some((id, at_us)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn send(&self, host: &mut dyn Host, node: NodeId, msg: &BaselineMsg) {
+        let bytes = vce_codec::to_bytes(msg);
+        host.send(self.me, Addr::daemon(node), bytes.into());
+    }
+
+    /// Promote Waiting→Ready as dependencies finish.
+    fn refresh_ready(&mut self, now: u64) {
+        let done: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.state, JobState::Done { .. }))
+            .map(|(&id, _)| id)
+            .collect();
+        for j in self.jobs.values_mut() {
+            if j.state == JobState::Waiting
+                && j.job.submit_at_us <= now
+                && j.job.deps.iter().all(|d| done.contains(d))
+            {
+                j.state = JobState::Ready { since_us: now };
+            }
+        }
+    }
+
+    fn decide(&mut self, host: &mut dyn Host) {
+        let now = host.now_us();
+        self.refresh_ready(now);
+        // Build the view.
+        let machines: Vec<MachineView> = self.machines.values().cloned().collect();
+        let mut ready: Vec<ReadyJob> = self
+            .jobs
+            .values()
+            .filter_map(|j| match j.state {
+                JobState::Ready { since_us } => Some(ReadyJob {
+                    id: j.job.id,
+                    mops: j.remaining_mops,
+                    ready_since_us: since_us,
+                }),
+                _ => None,
+            })
+            .collect();
+        ready.sort_by_key(|r| (r.ready_since_us, r.id));
+        let view = SchedView {
+            now_us: now,
+            machines: &machines,
+            ready: &ready,
+        };
+        let actions = self.policy.react(&view);
+        for action in actions {
+            self.apply(action, host);
+        }
+    }
+
+    fn apply(&mut self, action: Action, host: &mut dyn Host) {
+        match action {
+            Action::Place { job, node } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if !matches!(entry.state, JobState::Ready { .. }) {
+                    return; // stale decision
+                }
+                entry.state = JobState::Running(node);
+                let mops = entry.remaining_mops;
+                self.counters.placements += 1;
+                // Local bookkeeping so this round doesn't double-book.
+                if let Some(m) = self.machines.get_mut(&node) {
+                    m.load += 1.0;
+                    m.running.push(job);
+                }
+                self.send(host, node, &BaselineMsg::Run { job, mops });
+            }
+            Action::Suspend { job } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                let JobState::Running(node) = entry.state else {
+                    return;
+                };
+                entry.state = JobState::Suspended(node);
+                self.counters.suspensions += 1;
+                if let Some(m) = self.machines.get_mut(&node) {
+                    m.running.retain(|&j| j != job);
+                    m.suspended.push(job);
+                }
+                self.send(host, node, &BaselineMsg::Suspend { job });
+            }
+            Action::Resume { job } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                let JobState::Suspended(node) = entry.state else {
+                    return;
+                };
+                entry.state = JobState::Running(node);
+                self.counters.resumes += 1;
+                if let Some(m) = self.machines.get_mut(&node) {
+                    m.suspended.retain(|&j| j != job);
+                    m.running.push(job);
+                }
+                self.send(host, node, &BaselineMsg::Resume { job });
+            }
+            Action::Recall { job, keep_progress } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                let node = match entry.state {
+                    JobState::Running(n) | JobState::Suspended(n) => n,
+                    _ => return,
+                };
+                entry.state = JobState::Recalling(node);
+                self.counters.recalls += 1;
+                if let Some(m) = self.machines.get_mut(&node) {
+                    m.running.retain(|&j| j != job);
+                    m.suspended.retain(|&j| j != job);
+                }
+                self.send(host, node, &BaselineMsg::Recall { job, keep_progress });
+            }
+        }
+    }
+}
+
+impl Endpoint for SchedulerEndpoint {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        host.set_timer(DECIDE_PERIOD_US, TOKEN_DECIDE);
+        // Future submissions arrive by timer.
+        let max_submit = self
+            .jobs
+            .values()
+            .map(|j| j.job.submit_at_us)
+            .max()
+            .unwrap_or(0);
+        if max_submit > 0 {
+            host.set_timer(max_submit + 1, TOKEN_SUBMIT_BASE);
+        }
+    }
+
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        let Ok(msg) = vce_codec::from_bytes::<BaselineMsg>(&env.payload) else {
+            return;
+        };
+        match msg {
+            BaselineMsg::LoadReport {
+                node,
+                load,
+                background,
+                speed_mops,
+            } => {
+                let running: Vec<JobId> = self
+                    .jobs
+                    .values()
+                    .filter_map(|j| match j.state {
+                        JobState::Running(n) if n == node => Some(j.job.id),
+                        _ => None,
+                    })
+                    .collect();
+                let suspended: Vec<JobId> = self
+                    .jobs
+                    .values()
+                    .filter_map(|j| match j.state {
+                        JobState::Suspended(n) if n == node => Some(j.job.id),
+                        _ => None,
+                    })
+                    .collect();
+                self.machines.insert(
+                    node,
+                    MachineView {
+                        node,
+                        load,
+                        background,
+                        speed_mops,
+                        running,
+                        suspended,
+                    },
+                );
+            }
+            BaselineMsg::Done { job, node: _ } => {
+                if let Some(entry) = self.jobs.get_mut(&job) {
+                    if !matches!(entry.state, JobState::Done { .. }) {
+                        entry.state = JobState::Done {
+                            at_us: host.now_us(),
+                        };
+                        entry.remaining_mops = 0.0;
+                    }
+                }
+                // Newly unblocked dependents may dispatch immediately.
+                self.decide(host);
+            }
+            BaselineMsg::Recalled {
+                job,
+                remaining_mops,
+            } => {
+                if let Some(entry) = self.jobs.get_mut(&job) {
+                    if matches!(entry.state, JobState::Recalling(_)) {
+                        if remaining_mops.is_finite() {
+                            entry.remaining_mops = remaining_mops;
+                        } else {
+                            entry.remaining_mops = entry.job.mops; // restart
+                        }
+                        entry.state = JobState::Ready {
+                            since_us: host.now_us(),
+                        };
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        if token == TOKEN_DECIDE {
+            if !self.is_done() {
+                host.set_timer(DECIDE_PERIOD_US, TOKEN_DECIDE);
+            }
+            self.decide(host);
+        } else if token >= TOKEN_SUBMIT_BASE {
+            self.decide(host);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,178 @@
+//! Workloads for scheduler comparisons: bags of tasks and dependency
+//! chains, with submission times.
+
+use rand::Rng;
+
+/// Job identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+/// One schedulable job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Identity.
+    pub id: JobId,
+    /// Compute, Mops.
+    pub mops: f64,
+    /// Submission time, µs.
+    pub submit_at_us: u64,
+    /// Jobs that must finish first (the ripple-effect structure).
+    pub deps: Vec<JobId>,
+}
+
+/// A set of jobs.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    jobs: Vec<Job>,
+}
+
+impl Workload {
+    /// Wrap explicit jobs.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        Self { jobs }
+    }
+
+    /// The jobs.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Count.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total work, Mops.
+    pub fn total_mops(&self) -> f64 {
+        self.jobs.iter().map(|j| j.mops).sum()
+    }
+
+    /// A bag of `n` independent jobs with uniformly random sizes in
+    /// `[min_mops, max_mops]`, all submitted at t=0 — the Monte-Carlo-style
+    /// workload the load-balancing literature validated on (§4.4).
+    pub fn bag<R: Rng + ?Sized>(rng: &mut R, n: u32, min_mops: f64, max_mops: f64) -> Self {
+        let jobs = (0..n)
+            .map(|i| Job {
+                id: JobId(i),
+                mops: rng.gen_range(min_mops..=max_mops),
+                submit_at_us: 0,
+                deps: vec![],
+            })
+            .collect();
+        Self { jobs }
+    }
+
+    /// A dependency chain of `n` equal jobs — the worst case for the
+    /// ripple effect (§4.4): every suspension stalls everything after it.
+    pub fn chain(n: u32, mops: f64) -> Self {
+        let jobs = (0..n)
+            .map(|i| Job {
+                id: JobId(i),
+                mops,
+                submit_at_us: 0,
+                deps: if i == 0 { vec![] } else { vec![JobId(i - 1)] },
+            })
+            .collect();
+        Self { jobs }
+    }
+
+    /// `width` parallel chains of `depth` jobs each.
+    pub fn chains(width: u32, depth: u32, mops: f64) -> Self {
+        let mut jobs = Vec::new();
+        for w in 0..width {
+            for d in 0..depth {
+                let id = JobId(w * depth + d);
+                jobs.push(Job {
+                    id,
+                    mops,
+                    submit_at_us: 0,
+                    deps: if d == 0 {
+                        vec![]
+                    } else {
+                        vec![JobId(w * depth + d - 1)]
+                    },
+                });
+            }
+        }
+        Self { jobs }
+    }
+
+    /// Poisson-ish arrivals: `n` independent jobs with exponential
+    /// inter-arrival times (mean `mean_interarrival_us`).
+    pub fn stream<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: u32,
+        mops: f64,
+        mean_interarrival_us: f64,
+    ) -> Self {
+        let mut t = 0u64;
+        let jobs = (0..n)
+            .map(|i| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += (-mean_interarrival_us * u.ln()).max(1.0) as u64;
+                Job {
+                    id: JobId(i),
+                    mops,
+                    submit_at_us: t,
+                    deps: vec![],
+                }
+            })
+            .collect();
+        Self { jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bag_is_independent_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = Workload::bag(&mut rng, 10, 100.0, 200.0);
+        assert_eq!(w.len(), 10);
+        assert!(w.jobs().iter().all(|j| j.deps.is_empty()));
+        assert!(w.jobs().iter().all(|j| (100.0..=200.0).contains(&j.mops)));
+        assert!(w.total_mops() >= 1000.0);
+    }
+
+    #[test]
+    fn chain_links_consecutive_jobs() {
+        let w = Workload::chain(4, 50.0);
+        assert_eq!(w.jobs()[0].deps, vec![]);
+        assert_eq!(w.jobs()[3].deps, vec![JobId(2)]);
+    }
+
+    #[test]
+    fn chains_are_independent_of_each_other() {
+        let w = Workload::chains(2, 3, 10.0);
+        assert_eq!(w.len(), 6);
+        // Second chain's first job has no deps.
+        assert!(w.jobs()[3].deps.is_empty());
+        assert_eq!(w.jobs()[4].deps, vec![JobId(3)]);
+    }
+
+    #[test]
+    fn stream_has_increasing_submit_times() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = Workload::stream(&mut rng, 20, 10.0, 1_000_000.0);
+        for pair in w.jobs().windows(2) {
+            assert!(pair[0].submit_at_us <= pair[1].submit_at_us);
+        }
+        assert!(w.jobs()[0].submit_at_us > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::bag(&mut SmallRng::seed_from_u64(3), 5, 1.0, 2.0);
+        let b = Workload::bag(&mut SmallRng::seed_from_u64(3), 5, 1.0, 2.0);
+        assert_eq!(a.jobs(), b.jobs());
+    }
+}

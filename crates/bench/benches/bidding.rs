@@ -1,0 +1,24 @@
+//! F3: full bidding rounds — request → disclose → bids → sort → allocate →
+//! load → run → done, as one simulated allocation per iteration, across
+//! group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vce_bench::bidding_round;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bidding");
+    g.sample_size(10);
+    for &n in &[4u32, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("allocation_round", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                bidding_round(seed, n)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! C1: marshaling microbenchmarks — the XDR-style codec on the message
+//! shapes the runtime actually sends.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vce_codec::{from_bytes, to_bytes, Value};
+use vce_exm::msg::{encode_msg, ExmMsg, LoadProgram};
+use vce_exm::{AppId, InstanceKey};
+use vce_net::{Addr, NodeId};
+
+fn load_program() -> ExmMsg {
+    ExmMsg::Load(LoadProgram {
+        key: InstanceKey {
+            app: AppId(1),
+            task: 2,
+            instance: 0,
+        },
+        unit: "/apps/snow/predictor.vce".into(),
+        work_mops: 20_000.0,
+        mem_mb: 128,
+        checkpoints: true,
+        checkpoint_interval_us: 5_000_000,
+        restartable: true,
+        core_dumpable: true,
+        redundant: false,
+        input_files: vec!["/data/terrain.grid".into()],
+        reply_to: Addr::executor(NodeId(0)),
+    })
+}
+
+fn dynamic_value() -> Value {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("load".into(), Value::F64(0.75));
+    m.insert("node".into(), Value::U64(42));
+    m.insert(
+        "tasks".into(),
+        Value::List(vec![Value::Str("collector".into()), Value::U64(2)]),
+    );
+    Value::Record(vec![Value::Bool(true), Value::Map(m)])
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = load_program();
+    let bytes = encode_msg(&msg);
+    c.bench_function("codec/encode_load_program", |b| {
+        b.iter(|| encode_msg(black_box(&msg)))
+    });
+    c.bench_function("codec/decode_load_program", |b| {
+        b.iter(|| from_bytes::<ExmMsg>(black_box(&bytes)).unwrap())
+    });
+
+    let v = dynamic_value();
+    let vbytes = v.to_bytes();
+    c.bench_function("codec/encode_dynamic_value", |b| {
+        b.iter(|| black_box(&v).to_bytes())
+    });
+    c.bench_function("codec/decode_dynamic_value", |b| {
+        b.iter(|| Value::from_bytes(black_box(&vbytes)).unwrap())
+    });
+
+    let vec: Vec<u64> = (0..256).collect();
+    let vecbytes = to_bytes(&vec);
+    c.bench_function("codec/encode_vec256_u64", |b| {
+        b.iter(|| to_bytes(black_box(&vec)))
+    });
+    c.bench_function("codec/decode_vec256_u64", |b| {
+        b.iter(|| from_bytes::<Vec<u64>>(black_box(&vecbytes)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! M1: end-to-end migration scenarios per §4.4 technique — one whole
+//! simulated run per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vce_bench::forced_migration;
+use vce_exm::migrate::MigrationTechnique;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    for technique in [
+        MigrationTechnique::Redundant,
+        MigrationTechnique::Checkpoint,
+        MigrationTechnique::CoreDump,
+        MigrationTechnique::Restart,
+        MigrationTechnique::Recompile,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("scenario", format!("{technique:?}")),
+            &technique,
+            |b, &technique| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    forced_migration(seed, technique, 6_000.0)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! C1: MPI-subset collectives on the threaded transport — latency scaling
+//! with rank count (binomial trees ⇒ O(log n) rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vce_channels::mpi::run_ranks;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi");
+    g.sample_size(10);
+    for &n in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("allreduce_sum", n), &n, |b, &n| {
+            b.iter(|| {
+                let results = run_ranks(n, |comm| comm.allreduce(comm.rank() as u64, |a, b| a + b));
+                assert!(results.iter().all(|&r| r == (n * (n - 1) / 2) as u64));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast", n), &n, |b, &n| {
+            b.iter(|| {
+                let results =
+                    run_ranks(n, |comm| comm.bcast(0, (comm.rank() == 0).then_some(42u64)));
+                assert!(results.iter().all(|&r| r == 42));
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", n), &n, |b, &n| {
+            b.iter(|| {
+                run_ranks(n, |comm| comm.barrier());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

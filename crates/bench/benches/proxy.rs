@@ -1,0 +1,45 @@
+//! F2: proxy invocation overhead (Fig. 2) — marshaled method call vs a
+//! direct function call, and the marshaling halves separately.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vce_channels::{ClientProxy, InterfaceDef, ParamType, ServerProxy};
+use vce_codec::Value;
+
+fn iface() -> InterfaceDef {
+    InterfaceDef::new("Predictor").method(
+        "predict",
+        vec![ParamType::F64, ParamType::Str],
+        ParamType::F64,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let client = ClientProxy::new(iface());
+    let mut server = ServerProxy::new(
+        iface(),
+        Box::new(|_m: &str, args: &[Value]| Ok(Value::F64(args[0].as_f64().unwrap() * 2.0))),
+    );
+    let args = [Value::F64(21.0), Value::Str("snowfall".into())];
+
+    c.bench_function("proxy/direct_closure_call", |b| {
+        let f = |x: f64, _s: &str| x * 2.0;
+        b.iter(|| black_box(f(black_box(21.0), black_box("snowfall"))))
+    });
+    c.bench_function("proxy/marshal_call", |b| {
+        b.iter(|| client.marshal_call("predict", black_box(&args)).unwrap())
+    });
+    let req = client.marshal_call("predict", &args).unwrap();
+    c.bench_function("proxy/server_dispatch", |b| {
+        b.iter(|| server.dispatch(black_box(&req)))
+    });
+    c.bench_function("proxy/full_round_trip", |b| {
+        b.iter(|| {
+            client
+                .call("predict", black_box(&args), |req| server.dispatch(&req))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

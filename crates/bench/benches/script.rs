@@ -1,0 +1,41 @@
+//! C1: application-description language costs — the paper's script and a
+//! larger conditional script, parse and evaluate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vce_net::MachineClass;
+use vce_script::{evaluate, parse, pretty, EvalEnv, WEATHER_SCRIPT};
+
+fn big_script() -> String {
+    let mut s = String::new();
+    for i in 0..50 {
+        s.push_str(&format!(
+            "ASYNC {} \"/apps/sweep/worker{}.vce\"\n",
+            1 + i % 5,
+            i
+        ));
+    }
+    s.push_str("IF IDLE(WORKSTATION) >= 10\nWORKSTATION 10 \"/apps/extra.vce\"\nELSE\nLOCAL \"/apps/fallback.vce\"\nEND\n");
+    s.push_str("LOCAL \"/apps/collect.vce\"\n");
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("script/parse_weather", |b| {
+        b.iter(|| parse(black_box(WEATHER_SCRIPT)).unwrap())
+    });
+    let big = big_script();
+    c.bench_function("script/parse_52_lines", |b| {
+        b.iter(|| parse(black_box(&big)).unwrap())
+    });
+    let ast = parse(&big).unwrap();
+    let env = EvalEnv::new().with_class(MachineClass::Workstation, 12, 20);
+    c.bench_function("script/evaluate_52_lines", |b| {
+        b.iter(|| evaluate(black_box(&ast), black_box(&env)))
+    });
+    c.bench_function("script/pretty_52_lines", |b| {
+        b.iter(|| pretty(black_box(&ast)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

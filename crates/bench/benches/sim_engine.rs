@@ -1,0 +1,96 @@
+//! C1: discrete-event engine throughput — message ping-pong and
+//! processor-sharing churn, events per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vce_net::{send_msg, Addr, Endpoint, Envelope, Host, MachineInfo, NodeId};
+use vce_sim::{Sim, SimConfig, Topology};
+
+struct Bouncer {
+    me: Addr,
+    hops_left: u64,
+}
+
+impl Endpoint for Bouncer {
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        if self.hops_left > 0 {
+            self.hops_left -= 1;
+            send_msg(host, self.me, env.src, &0u8);
+        }
+    }
+}
+
+struct Churner {
+    jobs: u64,
+    next: u64,
+}
+
+impl Endpoint for Churner {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        for _ in 0..8 {
+            host.start_work(self.next, 1.0);
+            self.next += 1;
+        }
+    }
+    fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {}
+    fn on_work_done(&mut self, _pid: u64, host: &mut dyn Host) {
+        if self.next < self.jobs {
+            host.start_work(self.next, 1.0);
+            self.next += 1;
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(20);
+    for &hops in &[1_000u64, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("ping_pong_hops", hops),
+            &hops,
+            |b, &hops| {
+                b.iter(|| {
+                    let mut sim = Sim::new(SimConfig {
+                        trace_enabled: false,
+                        topology: Topology::default(),
+                        seed: 0,
+                    });
+                    for n in [0u32, 1] {
+                        sim.add_node(MachineInfo::workstation(NodeId(n), 100.0));
+                        sim.add_endpoint(
+                            Addr::daemon(NodeId(n)),
+                            Box::new(Bouncer {
+                                me: Addr::daemon(NodeId(n)),
+                                hops_left: hops / 2,
+                            }),
+                        );
+                    }
+                    sim.inject(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &0u8);
+                    sim.run_until_idle();
+                    assert!(sim.events_processed() >= hops);
+                })
+            },
+        );
+    }
+    g.bench_function("processor_sharing_churn_1000_jobs", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig {
+                trace_enabled: false,
+                topology: Topology::default(),
+                seed: 0,
+            });
+            sim.add_node(MachineInfo::workstation(NodeId(0), 1_000.0));
+            sim.add_endpoint(
+                Addr::daemon(NodeId(0)),
+                Box::new(Churner {
+                    jobs: 1_000,
+                    next: 0,
+                }),
+            );
+            sim.run_until_idle();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

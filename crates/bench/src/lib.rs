@@ -1,0 +1,227 @@
+#![warn(missing_docs)]
+//! Shared experiment scenarios, so the `exp_*` binaries and the Criterion
+//! benches drive identical code.
+
+use vce::prelude::*;
+use vce_exm::migrate::MigrationTechnique;
+use vce_exm::msg::ExmMsg;
+use vce_net::Addr;
+
+/// Default horizon for experiment runs (10 simulated minutes).
+pub const HORIZON_US: u64 = 600_000_000;
+
+/// Build a settled all-workstation VCE.
+pub fn workstation_vce(seed: u64, n: u32, speed: f64, cfg: ExmConfig) -> Vce {
+    let mut b = VceBuilder::new(seed);
+    for i in 0..n {
+        b.machine(MachineInfo::workstation(NodeId(i), speed));
+    }
+    b.exm_config(cfg);
+    b.trace_enabled(false);
+    let mut vce = b.build();
+    vce.settle();
+    vce
+}
+
+/// A coding-complete single task.
+pub fn simple_task(name: &str, mops: f64) -> TaskSpec {
+    TaskSpec::new(name)
+        .with_class(ProblemClass::Asynchronous)
+        .with_language(Language::C)
+        .with_work(mops)
+}
+
+/// One-task application.
+pub fn single_task_app(db: &MachineDb, spec: TaskSpec) -> Application {
+    let mut g = TaskGraph::new("single");
+    g.add_task(spec);
+    Application::from_graph(g, db).expect("hostable")
+}
+
+/// F3 scenario: one allocation round on `n` workstations; returns the
+/// request→allocation latency in µs.
+pub fn bidding_round(seed: u64, n: u32) -> u64 {
+    bidding_round_detailed(seed, n, 0).0
+}
+
+/// F3 scenario with LAN jitter: returns `(latency_us, protocol_messages)`
+/// for one allocation round — messages counted from request send to
+/// allocation receipt (excluding group heartbeats would require deep
+/// attribution; the delta includes them, which is honest: they are the
+/// protocol's standing cost).
+pub fn bidding_round_detailed(seed: u64, n: u32, jitter_us: u64) -> (u64, u64) {
+    let mut cfg = ExmConfig::default();
+    cfg.migration_enabled = false;
+    let mut vce = workstation_vce(seed, n, 100.0, cfg);
+    if jitter_us > 0 {
+        vce.sim_mut().with_fault_plan(|p| {
+            p.default_link = vce_net::LinkFault {
+                jitter_us,
+                ..Default::default()
+            };
+        });
+    }
+    let sent_before = vce.sim().stats().sent();
+    let app = single_task_app(vce.db(), simple_task("probe", 100.0));
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, HORIZON_US);
+    assert!(
+        report.completed,
+        "bidding round failed: {:?}",
+        report.failed
+    );
+    let req = vce_exm::ReqId {
+        app: handle.app,
+        seq: 0,
+    };
+    let latency = report
+        .timeline
+        .allocation_latency(req)
+        .expect("allocation observed");
+    // Messages during the whole run, normalized per allocation round.
+    let msgs = vce.sim().stats().sent() - sent_before;
+    (latency, msgs)
+}
+
+/// Outcome of one forced-technique migration (M1).
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// The technique.
+    pub technique: MigrationTechnique,
+    /// Total app completion time, µs.
+    pub makespan_us: u64,
+    /// State volume moved, KiB.
+    pub state_kib: u64,
+    /// Work re-executed, Mops.
+    pub lost_mops: f64,
+    /// Number of migration records.
+    pub migrations: usize,
+}
+
+/// M1 scenario: run one `work_mops` task on a 3-workstation fleet, force a
+/// migration with `technique` at `migrate_at_us`, report the cost.
+///
+/// `Redundant` is exercised through its natural path (redundancy = 2 and
+/// an owner-eviction) rather than a forced order.
+pub fn forced_migration(
+    seed: u64,
+    technique: MigrationTechnique,
+    work_mops: f64,
+) -> MigrationOutcome {
+    let mut cfg = ExmConfig::default();
+    cfg.migration_enabled = false; // we drive the migration ourselves
+    if technique == MigrationTechnique::Redundant {
+        cfg.redundancy = 2;
+    }
+    let mut b = VceBuilder::new(seed);
+    for i in 0..4 {
+        b.machine(MachineInfo::workstation(NodeId(i), 100.0).with_mem_mb(64));
+    }
+    b.exm_config(cfg);
+    b.trace_enabled(false);
+    let mut vce = b.build();
+    vce.settle();
+    let spec = simple_task("migrant", work_mops).with_migration(MigrationTraits {
+        checkpoints: technique == MigrationTechnique::Checkpoint
+            || technique == MigrationTechnique::Recompile,
+        checkpoint_interval_s: 5,
+        restartable: true,
+        core_dumpable: technique == MigrationTechnique::CoreDump,
+    });
+    let app = single_task_app(vce.db(), spec);
+    let handle = vce.submit(app, NodeId(0));
+    // Let it run for a while, then force the move.
+    let migrate_at = vce.sim().now_us() + 20_000_000;
+    vce.sim_mut().run_until(migrate_at);
+    let (key, host) = vce
+        .placements(&handle)
+        .into_iter()
+        .next()
+        .expect("task placed");
+    if technique == MigrationTechnique::Redundant {
+        // Owner returns: the daemon evicts its redundant incarnation.
+        vce.set_background(host, 2.0);
+    } else {
+        // Order the migration directly (the leader would do this on its
+        // rebalance sweep; forcing it makes the comparison exact).
+        let target = NodeId(if host == NodeId(3) { 2 } else { 3 });
+        let leader = Addr::leader(NodeId(0));
+        vce.sim_mut().inject(
+            leader,
+            Addr::daemon(host),
+            &ExmMsg::MigrateOut {
+                key,
+                to: target,
+                technique,
+            },
+        );
+    }
+    let report = vce.run_until_done(&handle, 4 * HORIZON_US);
+    assert!(
+        report.completed,
+        "{technique:?} migration run failed: {:?}",
+        report.failed
+    );
+    let (state_kib, lost_mops) = report
+        .migrations
+        .first()
+        .map(|m| (m.state_kib, m.lost_mops))
+        .unwrap_or((0, 0.0));
+    MigrationOutcome {
+        technique,
+        makespan_us: report.makespan_us.expect("done"),
+        state_kib,
+        lost_mops,
+        migrations: report.migrations.len(),
+    }
+}
+
+/// U1 scenario: a divisible job of `work_mops` across `n` idle machines;
+/// returns the makespan.
+pub fn freepar_run(seed: u64, n: u32, work_mops: f64) -> u64 {
+    let mut cfg = ExmConfig::default();
+    cfg.migration_enabled = false;
+    let mut vce = workstation_vce(seed, n.max(2), 100.0, cfg);
+    let app = single_task_app(
+        vce.db(),
+        simple_task("sweep", work_mops)
+            .with_instances(n.max(1))
+            .divisible(),
+    );
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 40 * HORIZON_US);
+    assert!(report.completed, "{:?}", report.failed);
+    report.makespan_us.expect("done")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bidding_round_reports_latency() {
+        let lat = bidding_round(1, 4);
+        // One collect round: ≥ bid timeout is not required (all bids
+        // arrive), but at least a couple of network hops.
+        assert!(lat > 2_000, "latency {lat}");
+        assert!(lat < 5_000_000, "latency {lat}");
+    }
+
+    #[test]
+    fn forced_checkpoint_migration_outcome() {
+        let o = forced_migration(2, MigrationTechnique::Checkpoint, 8_000.0);
+        assert_eq!(o.migrations, 1);
+        assert!(o.state_kib > 0);
+        assert!(o.lost_mops >= 0.0);
+    }
+
+    #[test]
+    fn freepar_speedup_exists() {
+        let t1 = freepar_run(3, 1, 20_000.0);
+        let t8 = freepar_run(3, 8, 20_000.0);
+        assert!(
+            t8 < t1 / 3,
+            "8 machines should be much faster: t1={t1} t8={t8}"
+        );
+    }
+}

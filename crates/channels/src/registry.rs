@@ -1,0 +1,496 @@
+//! Channel/port bookkeeping and routing — the runtime manager's view.
+//!
+//! The registry answers one question for the dispatcher: *given a message
+//! sent on channel C by port P, which ports must receive it, in what
+//! order of interposition?* Everything else — creation, attachment,
+//! splitting, redirection after migration — is mutation of that answer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vce_net::Addr;
+
+/// A logical transport medium connecting many ports (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u64);
+
+/// A task's connection point to a channel. Distinct from
+/// [`vce_net::PortId`]: this is the *application-level* port object the
+/// runtime creates, places and destroys; its current location is an
+/// [`Addr`] that redirection updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u64);
+
+/// How a port participates in a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// May send into the channel.
+    Sender,
+    /// Receives from the channel.
+    Receiver,
+    /// Both directions.
+    Both,
+}
+
+impl Role {
+    fn sends(self) -> bool {
+        matches!(self, Role::Sender | Role::Both)
+    }
+    fn receives(self) -> bool {
+        matches!(self, Role::Receiver | Role::Both)
+    }
+}
+
+/// Registry errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Unknown channel id.
+    NoSuchChannel(ChannelId),
+    /// Unknown port id.
+    NoSuchPort(PortId),
+    /// The port is not attached to that channel.
+    NotAttached(PortId, ChannelId),
+    /// The port is attached but its role forbids the operation.
+    RoleForbids(PortId),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NoSuchChannel(c) => write!(f, "no such channel {c:?}"),
+            ChannelError::NoSuchPort(p) => write!(f, "no such port {p:?}"),
+            ChannelError::NotAttached(p, c) => write!(f, "port {p:?} not attached to {c:?}"),
+            ChannelError::RoleForbids(p) => write!(f, "port {p:?} role forbids this"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    /// Attached ports and their roles, in attachment order.
+    ports: Vec<(PortId, Role)>,
+    /// Interposed filter ports (splitting, §4.2): messages route through
+    /// these, in order, before reaching receivers.
+    interposers: Vec<PortId>,
+}
+
+#[derive(Debug, Clone)]
+struct PortState {
+    location: Addr,
+    /// Channels this port is attached to (for cleanup on destroy).
+    channels: Vec<ChannelId>,
+}
+
+/// One hop of a routed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The destination port.
+    pub port: PortId,
+    /// Its current location.
+    pub location: Addr,
+    /// True when this hop is an interposer rather than a final receiver.
+    pub interposed: bool,
+}
+
+/// Channel and port bookkeeping.
+///
+/// ```
+/// use vce_channels::registry::{ChannelRegistry, Role};
+/// use vce_net::{Addr, NodeId, PortId};
+///
+/// let mut reg = ChannelRegistry::new();
+/// let ch = reg.create_channel();
+/// let tx = reg.create_port(Addr::new(NodeId(1), PortId(1000)));
+/// let rx = reg.create_port(Addr::new(NodeId(2), PortId(1000)));
+/// reg.attach(tx, ch, Role::Sender).unwrap();
+/// reg.attach(rx, ch, Role::Receiver).unwrap();
+///
+/// // Routing resolves the receiver's *current* machine...
+/// assert_eq!(reg.route(ch, tx).unwrap()[0].location.node, NodeId(2));
+/// // ...so migrating the task is one port move (§4.2 redirection).
+/// reg.move_port(rx, Addr::new(NodeId(9), PortId(1000))).unwrap();
+/// assert_eq!(reg.route(ch, tx).unwrap()[0].location.node, NodeId(9));
+/// ```
+#[derive(Debug, Default)]
+pub struct ChannelRegistry {
+    channels: BTreeMap<ChannelId, ChannelState>,
+    ports: BTreeMap<PortId, PortState>,
+    next_channel: u64,
+    next_port: u64,
+}
+
+impl ChannelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a channel.
+    pub fn create_channel(&mut self) -> ChannelId {
+        let id = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        self.channels.insert(id, ChannelState::default());
+        id
+    }
+
+    /// Create a port at `location` ("the runtime system will be responsible
+    /// for the creation, placement, and destruction of ports").
+    pub fn create_port(&mut self, location: Addr) -> PortId {
+        let id = PortId(self.next_port);
+        self.next_port += 1;
+        self.ports.insert(
+            id,
+            PortState {
+                location,
+                channels: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Attach a port to a channel with a role.
+    pub fn attach(
+        &mut self,
+        port: PortId,
+        channel: ChannelId,
+        role: Role,
+    ) -> Result<(), ChannelError> {
+        if !self.ports.contains_key(&port) {
+            return Err(ChannelError::NoSuchPort(port));
+        }
+        let ch = self
+            .channels
+            .get_mut(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        if ch.interposers.contains(&port) {
+            // A filter cannot simultaneously be an endpoint of the channel
+            // it filters (it would route to itself).
+            return Err(ChannelError::RoleForbids(port));
+        }
+        if let Some(entry) = ch.ports.iter_mut().find(|(p, _)| *p == port) {
+            entry.1 = role;
+        } else {
+            ch.ports.push((port, role));
+            self.ports
+                .get_mut(&port)
+                .expect("checked above")
+                .channels
+                .push(channel);
+        }
+        Ok(())
+    }
+
+    /// Detach a port from a channel — as an endpoint, an interposer, or
+    /// both. Errors (without side effects) if the port participates in
+    /// neither capacity.
+    pub fn detach(&mut self, port: PortId, channel: ChannelId) -> Result<(), ChannelError> {
+        let ch = self
+            .channels
+            .get_mut(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        let was_endpoint = ch.ports.iter().any(|(p, _)| *p == port);
+        let was_interposer = ch.interposers.contains(&port);
+        if !was_endpoint && !was_interposer {
+            return Err(ChannelError::NotAttached(port, channel));
+        }
+        ch.ports.retain(|(p, _)| *p != port);
+        ch.interposers.retain(|p| *p != port);
+        if was_endpoint {
+            if let Some(ps) = self.ports.get_mut(&port) {
+                ps.channels.retain(|c| *c != channel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Destroy a port, detaching it everywhere.
+    pub fn destroy_port(&mut self, port: PortId) -> Result<(), ChannelError> {
+        let ps = self
+            .ports
+            .remove(&port)
+            .ok_or(ChannelError::NoSuchPort(port))?;
+        for c in ps.channels {
+            if let Some(ch) = self.channels.get_mut(&c) {
+                ch.ports.retain(|(p, _)| *p != port);
+                ch.interposers.retain(|p| *p != port);
+            }
+        }
+        Ok(())
+    }
+
+    /// A port's current location.
+    pub fn location(&self, port: PortId) -> Result<Addr, ChannelError> {
+        self.ports
+            .get(&port)
+            .map(|p| p.location)
+            .ok_or(ChannelError::NoSuchPort(port))
+    }
+
+    /// Redirect: move a port to a new location (process migration moved the
+    /// task; its connections follow, §4.2 "monitor, redirect, and move
+    /// connections").
+    pub fn move_port(&mut self, port: PortId, new_location: Addr) -> Result<(), ChannelError> {
+        self.ports
+            .get_mut(&port)
+            .map(|p| p.location = new_location)
+            .ok_or(ChannelError::NoSuchPort(port))
+    }
+
+    /// Split the channel: interpose `filter` (already a port) between
+    /// senders and receivers — the §4.2 hook for authentication or data
+    /// conversion stages. Multiple interposers stack in insertion order.
+    pub fn split(&mut self, channel: ChannelId, filter: PortId) -> Result<(), ChannelError> {
+        if !self.ports.contains_key(&filter) {
+            return Err(ChannelError::NoSuchPort(filter));
+        }
+        let ch = self
+            .channels
+            .get_mut(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        if ch.ports.iter().any(|(p, _)| *p == filter) || ch.interposers.contains(&filter) {
+            // An endpoint cannot interpose on its own channel, and a filter
+            // interposes at most once.
+            return Err(ChannelError::RoleForbids(filter));
+        }
+        ch.interposers.push(filter);
+        Ok(())
+    }
+
+    /// Remove an interposer (heal the split).
+    pub fn unsplit(&mut self, channel: ChannelId, filter: PortId) -> Result<(), ChannelError> {
+        let ch = self
+            .channels
+            .get_mut(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        let before = ch.interposers.len();
+        ch.interposers.retain(|p| *p != filter);
+        if ch.interposers.len() == before {
+            return Err(ChannelError::NotAttached(filter, channel));
+        }
+        Ok(())
+    }
+
+    /// Route a send: destinations for a message from `from` on `channel`.
+    ///
+    /// With interposers present, the route is the first interposer only
+    /// (it forwards onward with [`ChannelRegistry::route_from_interposer`]).
+    /// Receivers never include the sender itself.
+    pub fn route(&self, channel: ChannelId, from: PortId) -> Result<Vec<Hop>, ChannelError> {
+        let ch = self
+            .channels
+            .get(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        let role = ch
+            .ports
+            .iter()
+            .find(|(p, _)| *p == from)
+            .map(|(_, r)| *r)
+            .ok_or(ChannelError::NotAttached(from, channel))?;
+        if !role.sends() {
+            return Err(ChannelError::RoleForbids(from));
+        }
+        if let Some(&first) = ch.interposers.first() {
+            return Ok(vec![Hop {
+                port: first,
+                location: self.location(first)?,
+                interposed: true,
+            }]);
+        }
+        self.receiver_hops(ch, from)
+    }
+
+    /// Route onward from interposer stage `index` (0-based): to the next
+    /// interposer, or to the receivers after the last one.
+    pub fn route_from_interposer(
+        &self,
+        channel: ChannelId,
+        stage: usize,
+        original_sender: PortId,
+    ) -> Result<Vec<Hop>, ChannelError> {
+        let ch = self
+            .channels
+            .get(&channel)
+            .ok_or(ChannelError::NoSuchChannel(channel))?;
+        if let Some(&next) = ch.interposers.get(stage + 1) {
+            return Ok(vec![Hop {
+                port: next,
+                location: self.location(next)?,
+                interposed: true,
+            }]);
+        }
+        self.receiver_hops(ch, original_sender)
+    }
+
+    fn receiver_hops(&self, ch: &ChannelState, from: PortId) -> Result<Vec<Hop>, ChannelError> {
+        ch.ports
+            .iter()
+            .filter(|(p, r)| *p != from && r.receives())
+            .map(|&(p, _)| {
+                Ok(Hop {
+                    port: p,
+                    location: self.location(p)?,
+                    interposed: false,
+                })
+            })
+            .collect()
+    }
+
+    /// Ports attached to a channel (diagnostics).
+    pub fn members(&self, channel: ChannelId) -> Result<Vec<(PortId, Role)>, ChannelError> {
+        self.channels
+            .get(&channel)
+            .map(|c| c.ports.clone())
+            .ok_or(ChannelError::NoSuchChannel(channel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::NodeId;
+
+    fn loc(n: u32) -> Addr {
+        Addr::new(NodeId(n), vce_net::PortId(1000))
+    }
+
+    fn basic() -> (ChannelRegistry, ChannelId, PortId, PortId, PortId) {
+        let mut r = ChannelRegistry::new();
+        let c = r.create_channel();
+        let s = r.create_port(loc(0));
+        let r1 = r.create_port(loc(1));
+        let r2 = r.create_port(loc(2));
+        r.attach(s, c, Role::Sender).unwrap();
+        r.attach(r1, c, Role::Receiver).unwrap();
+        r.attach(r2, c, Role::Receiver).unwrap();
+        (r, c, s, r1, r2)
+    }
+
+    #[test]
+    fn route_reaches_all_receivers_not_sender() {
+        let (r, c, s, r1, r2) = basic();
+        let hops = r.route(c, s).unwrap();
+        let ports: Vec<PortId> = hops.iter().map(|h| h.port).collect();
+        assert_eq!(ports, vec![r1, r2]);
+        assert!(hops.iter().all(|h| !h.interposed));
+    }
+
+    #[test]
+    fn group_vs_individual_transparency() {
+        // One receiver or many: the sender's call is identical (§4.2).
+        let mut r = ChannelRegistry::new();
+        let c = r.create_channel();
+        let s = r.create_port(loc(0));
+        let only = r.create_port(loc(1));
+        r.attach(s, c, Role::Sender).unwrap();
+        r.attach(only, c, Role::Receiver).unwrap();
+        assert_eq!(r.route(c, s).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn receiver_cannot_send() {
+        let (r, c, _s, r1, _r2) = basic();
+        assert_eq!(r.route(c, r1), Err(ChannelError::RoleForbids(r1)));
+    }
+
+    #[test]
+    fn both_role_sends_and_receives() {
+        let mut r = ChannelRegistry::new();
+        let c = r.create_channel();
+        let a = r.create_port(loc(0));
+        let b = r.create_port(loc(1));
+        r.attach(a, c, Role::Both).unwrap();
+        r.attach(b, c, Role::Both).unwrap();
+        assert_eq!(r.route(c, a).unwrap()[0].port, b);
+        assert_eq!(r.route(c, b).unwrap()[0].port, a);
+    }
+
+    #[test]
+    fn move_port_redirects_routing() {
+        let (mut r, c, s, r1, _) = basic();
+        r.move_port(r1, loc(9)).unwrap();
+        let hops = r.route(c, s).unwrap();
+        assert_eq!(hops[0].location, loc(9));
+    }
+
+    #[test]
+    fn split_interposes_filter() {
+        let (mut r, c, s, _r1, _r2) = basic();
+        let auth = r.create_port(loc(7));
+        r.split(c, auth).unwrap();
+        // Sender now routes to the filter only.
+        let hops = r.route(c, s).unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].port, auth);
+        assert!(hops[0].interposed);
+        // The filter forwards to the receivers.
+        let onward = r.route_from_interposer(c, 0, s).unwrap();
+        assert_eq!(onward.len(), 2);
+        assert!(onward.iter().all(|h| !h.interposed));
+    }
+
+    #[test]
+    fn stacked_interposers_chain() {
+        let (mut r, c, s, _r1, _r2) = basic();
+        let auth = r.create_port(loc(7));
+        let conv = r.create_port(loc(8));
+        r.split(c, auth).unwrap();
+        r.split(c, conv).unwrap();
+        assert_eq!(r.route(c, s).unwrap()[0].port, auth);
+        let second = r.route_from_interposer(c, 0, s).unwrap();
+        assert_eq!(second[0].port, conv);
+        assert!(second[0].interposed);
+        let last = r.route_from_interposer(c, 1, s).unwrap();
+        assert_eq!(last.len(), 2);
+    }
+
+    #[test]
+    fn unsplit_heals() {
+        let (mut r, c, s, _r1, _r2) = basic();
+        let auth = r.create_port(loc(7));
+        r.split(c, auth).unwrap();
+        r.unsplit(c, auth).unwrap();
+        assert_eq!(r.route(c, s).unwrap().len(), 2);
+        assert_eq!(r.unsplit(c, auth), Err(ChannelError::NotAttached(auth, c)));
+    }
+
+    #[test]
+    fn detach_and_destroy() {
+        let (mut r, c, s, r1, r2) = basic();
+        r.detach(r1, c).unwrap();
+        assert_eq!(r.route(c, s).unwrap().len(), 1);
+        r.destroy_port(r2).unwrap();
+        assert!(r.route(c, s).unwrap().is_empty());
+        assert_eq!(r.location(r2), Err(ChannelError::NoSuchPort(r2)));
+    }
+
+    #[test]
+    fn errors_for_unknown_ids() {
+        let mut r = ChannelRegistry::new();
+        let c = r.create_channel();
+        let p = r.create_port(loc(0));
+        assert_eq!(
+            r.attach(PortId(99), c, Role::Sender),
+            Err(ChannelError::NoSuchPort(PortId(99)))
+        );
+        assert_eq!(
+            r.attach(p, ChannelId(99), Role::Sender),
+            Err(ChannelError::NoSuchChannel(ChannelId(99)))
+        );
+        assert_eq!(r.route(c, p), Err(ChannelError::NotAttached(p, c)));
+    }
+
+    #[test]
+    fn reattach_updates_role() {
+        let mut r = ChannelRegistry::new();
+        let c = r.create_channel();
+        let p = r.create_port(loc(0));
+        let q = r.create_port(loc(1));
+        r.attach(p, c, Role::Receiver).unwrap();
+        r.attach(q, c, Role::Sender).unwrap();
+        r.attach(p, c, Role::Both).unwrap();
+        assert_eq!(r.members(c).unwrap().len(), 2);
+        assert!(r.route(c, p).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the channel registry: routing invariants under
+//! arbitrary sequences of attach/detach/move/split operations.
+
+use proptest::prelude::*;
+use vce_channels::registry::{ChannelRegistry, Role};
+use vce_net::{Addr, NodeId, PortId as NetPort};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Attach(usize, Role),
+    Detach(usize),
+    Move(usize, u32),
+    Split(usize),
+    Unsplit(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0usize..8,
+            prop_oneof![Just(Role::Sender), Just(Role::Receiver), Just(Role::Both)]
+        )
+            .prop_map(|(p, r)| Op::Attach(p, r)),
+        (0usize..8).prop_map(Op::Detach),
+        (0usize..8, 0u32..16).prop_map(|(p, n)| Op::Move(p, n)),
+        (0usize..8).prop_map(Op::Split),
+        (0usize..8).prop_map(Op::Unsplit),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn routing_invariants_hold_under_arbitrary_operations(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        let mut reg = ChannelRegistry::new();
+        let ch = reg.create_channel();
+        let ports: Vec<_> = (0..8)
+            .map(|i| reg.create_port(Addr::new(NodeId(i), NetPort(1000))))
+            .collect();
+        let mut splits: Vec<usize> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Attach(p, role) => {
+                    let _ = reg.attach(ports[p], ch, role);
+                }
+                Op::Detach(p) => {
+                    let _ = reg.detach(ports[p], ch);
+                    splits.retain(|&s| s != p);
+                }
+                Op::Move(p, node) => {
+                    let _ = reg.move_port(ports[p], Addr::new(NodeId(node), NetPort(1000)));
+                }
+                Op::Split(p) => {
+                    if reg.split(ch, ports[p]).is_ok() {
+                        splits.push(p);
+                    }
+                }
+                Op::Unsplit(p) => {
+                    if reg.unsplit(ch, ports[p]).is_ok() {
+                        // Remove one occurrence.
+                        if let Some(i) = splits.iter().position(|&s| s == p) {
+                            splits.remove(i);
+                        }
+                    }
+                }
+            }
+            // Invariants after every operation, for every attached sender.
+            let members = reg.members(ch).unwrap();
+            for &(port, role) in &members {
+                let route = reg.route(ch, port);
+                match role {
+                    Role::Receiver => prop_assert!(route.is_err(), "receiver must not send"),
+                    Role::Sender | Role::Both => {
+                        let hops = route.unwrap();
+                        // 1. The sender never routes to itself.
+                        prop_assert!(hops.iter().all(|h| h.port != port));
+                        // 2. With interposers, exactly one interposed hop.
+                        if !splits.is_empty() {
+                            prop_assert_eq!(hops.len(), 1);
+                            prop_assert!(hops[0].interposed);
+                        } else {
+                            // 3. Without, hops = receivers other than self.
+                            let expect = members
+                                .iter()
+                                .filter(|(p, r)| {
+                                    *p != port && matches!(r, Role::Receiver | Role::Both)
+                                })
+                                .count();
+                            prop_assert_eq!(hops.len(), expect);
+                            prop_assert!(hops.iter().all(|h| !h.interposed));
+                        }
+                        // 4. Every hop's location matches the port's record.
+                        for h in &hops {
+                            prop_assert_eq!(reg.location(h.port).unwrap(), h.location);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interposer_chain_terminates_at_receivers(
+        n_interposers in 0usize..5,
+        n_receivers in 1usize..5,
+    ) {
+        let mut reg = ChannelRegistry::new();
+        let ch = reg.create_channel();
+        let sender = reg.create_port(Addr::new(NodeId(0), NetPort(1000)));
+        reg.attach(sender, ch, Role::Sender).unwrap();
+        for i in 0..n_receivers {
+            let p = reg.create_port(Addr::new(NodeId(10 + i as u32), NetPort(1000)));
+            reg.attach(p, ch, Role::Receiver).unwrap();
+        }
+        for i in 0..n_interposers {
+            let f = reg.create_port(Addr::new(NodeId(100 + i as u32), NetPort(1000)));
+            reg.split(ch, f).unwrap();
+        }
+        // Walk the full chain: sender → interposers… → receivers.
+        let mut stage = 0usize;
+        let mut hops = reg.route(ch, sender).unwrap();
+        let mut interposed_hops = 0;
+        while hops.len() == 1 && hops[0].interposed {
+            interposed_hops += 1;
+            prop_assert!(interposed_hops <= n_interposers, "interposer loop");
+            hops = reg.route_from_interposer(ch, stage, sender).unwrap();
+            stage += 1;
+        }
+        prop_assert_eq!(interposed_hops, n_interposers);
+        prop_assert_eq!(hops.len(), n_receivers);
+        prop_assert!(hops.iter().all(|h| !h.interposed));
+    }
+}

@@ -1,0 +1,329 @@
+//! The static [`Codec`] trait — the stub-generated marshaling path.
+//!
+//! Compile-time-known message types (everything in `vce-net`, `vce-isis`,
+//! `vce-exm`) implement `Codec` by field-wise composition, the way a 1994 IDL
+//! compiler would have emitted XDR stubs. The encoding here is *untagged*:
+//! both sides know the schema, so no `WireType` bytes are spent. The tagged,
+//! self-describing path lives in [`crate::value`].
+
+use std::collections::BTreeMap;
+
+use crate::decode::Decoder;
+use crate::encode::Encoder;
+use crate::error::Result;
+
+/// A type that can marshal itself to and from architecture-independent bytes.
+///
+/// Implementations must satisfy the round-trip law
+/// `decode(encode(x)) == x`, which the property tests in
+/// `tests/proptest_roundtrip.rs` verify for every implementation here.
+pub trait Codec: Sized {
+    /// Append this value to the encoder.
+    fn encode(&self, enc: &mut Encoder);
+    /// Read a value of this type from the decoder.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self>;
+}
+
+impl Codec for () {
+    fn encode(&self, _enc: &mut Encoder) {}
+    fn decode(_dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(())
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_bool()
+    }
+}
+
+macro_rules! impl_codec_uint {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_u64(u64::from(*self));
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+                let v = dec.get_u64()?;
+                <$t>::try_from(v).map_err(|_| crate::error::CodecError::InvalidDiscriminant {
+                    value: v,
+                    type_name: stringify!($t),
+                })
+            }
+        }
+    )*};
+}
+impl_codec_uint!(u8, u16, u32);
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self as u64);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let v = dec.get_u64()?;
+        usize::try_from(v).map_err(|_| crate::error::CodecError::InvalidDiscriminant {
+            value: v,
+            type_name: "usize",
+        })
+    }
+}
+
+macro_rules! impl_codec_sint {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_i64(i64::from(*self));
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+                let v = dec.get_i64()?;
+                <$t>::try_from(v).map_err(|_| crate::error::CodecError::InvalidDiscriminant {
+                    value: v as u64,
+                    type_name: stringify!($t),
+                })
+            }
+        }
+    )*};
+}
+impl_codec_sint!(i8, i16, i32);
+
+impl Codec for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_i64()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_f64()
+    }
+}
+
+impl Codec for f32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(f64::from(*self));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(dec.get_f64()? as f32)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(dec.get_str()?.to_owned())
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_bool(false),
+            Some(v) => {
+                enc.put_bool(true);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        if dec.get_bool()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        debug_assert!(self.len() <= u32::MAX as usize);
+        enc.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        // Each element is at least one byte on the wire for all our types.
+        let n = dec.get_count(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        for (k, v) in self {
+            k.encode(enc);
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let n = dec.get_count(2)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(dec)?;
+            let v = V::decode(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_codec_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Codec),+> Codec for ($($name,)+) {
+            fn encode(&self, enc: &mut Encoder) {
+                $(self.$idx.encode(enc);)+
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+                Ok(($($name::decode(dec)?,)+))
+            }
+        }
+    )+};
+}
+impl_codec_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Implement [`Codec`] for a fieldless enum with explicit `u64`
+/// discriminants. Used by the protocol crates for message kinds, machine
+/// classes, problem classes, etc.
+#[macro_export]
+macro_rules! impl_codec_for_enum {
+    ($ty:ty { $($variant:path => $disc:literal),+ $(,)? }) => {
+        impl $crate::Codec for $ty {
+            fn encode(&self, enc: &mut $crate::Encoder) {
+                let d: u64 = match self {
+                    $($variant => $disc,)+
+                };
+                enc.put_u64(d);
+            }
+            fn decode(dec: &mut $crate::Decoder<'_>) -> $crate::Result<Self> {
+                let d = dec.get_u64()?;
+                match d {
+                    $($disc => Ok($variant),)+
+                    other => Err($crate::CodecError::InvalidDiscriminant {
+                        value: other,
+                        type_name: stringify!($ty),
+                    }),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum Color {
+        Red,
+        Green,
+        Blue,
+    }
+    impl_codec_for_enum!(Color {
+        Color::Red => 0,
+        Color::Green => 1,
+        Color::Blue => 2,
+    });
+
+    #[test]
+    fn enum_macro_round_trip() {
+        for c in [Color::Red, Color::Green, Color::Blue] {
+            let bytes = to_bytes(&c);
+            assert_eq!(from_bytes::<Color>(&bytes).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn enum_macro_bad_discriminant() {
+        let bytes = to_bytes(&99u64);
+        assert!(from_bytes::<Color>(&bytes).is_err());
+    }
+
+    #[test]
+    fn option_round_trip() {
+        for v in [None, Some(5u32)] {
+            assert_eq!(from_bytes::<Option<u32>>(&to_bytes(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u64>>(&to_bytes(&m)).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u8, -2i32, "x".to_string(), true, 2.5f64);
+        let back: (u8, i32, String, bool, f64) = from_bytes(&to_bytes(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn narrow_uint_range_checked() {
+        let bytes = to_bytes(&300u64);
+        assert!(from_bytes::<u8>(&bytes).is_err());
+        let bytes = to_bytes(&255u64);
+        assert_eq!(from_bytes::<u8>(&bytes).unwrap(), 255);
+    }
+
+    #[test]
+    fn narrow_sint_range_checked() {
+        let bytes = to_bytes(&(i64::from(i32::MIN) - 1));
+        assert!(from_bytes::<i32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn vec_of_strings() {
+        let v = vec!["collector".to_string(), "predictor".to_string()];
+        assert_eq!(from_bytes::<Vec<String>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn f32_widens_via_f64() {
+        let x = 3.25f32;
+        let back: f32 = from_bytes(&to_bytes(&x)).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn unit_is_zero_bytes() {
+        assert!(to_bytes(&()).is_empty());
+    }
+}

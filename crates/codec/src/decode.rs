@@ -1,0 +1,258 @@
+//! The decoder: reads big-endian fields from a byte slice with bounds and
+//! sanity checking.
+
+use crate::error::{CodecError, Result};
+use crate::wire::WireType;
+
+/// Maximum length prefix the decoder will accept, guarding against a
+/// corrupted message causing a multi-gigabyte allocation on a daemon.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// Maximum nesting depth for dynamic [`Value`](crate::Value) decoding.
+pub const MAX_DEPTH: usize = 64;
+
+/// Cursor over a received wire buffer.
+///
+/// Every read is bounds-checked; malformed input yields a [`CodecError`]
+/// rather than a panic, because in the VCE a message may arrive from any
+/// machine on the network and daemons must survive garbage.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if the whole buffer has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset (useful in error reports).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    // ---- raw primitive readers (untagged) ----
+
+    /// Read one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Read a big-endian i64.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_be_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Read a big-endian IEEE-754 binary64.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_be_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Read a boolean byte, rejecting anything but 0/1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::InvalidBool(other)),
+        }
+    }
+
+    /// Read a u32 length prefix (validated against [`MAX_LEN`] and the
+    /// remaining buffer) followed by that many raw bytes.
+    pub fn get_len_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as u64;
+        if len > MAX_LEN {
+            return Err(CodecError::LengthOverflow {
+                declared: len,
+                limit: MAX_LEN,
+            });
+        }
+        self.take(len as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        let bytes = self.get_len_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Read a wire-type tag byte.
+    pub fn get_tag(&mut self) -> Result<WireType> {
+        WireType::from_byte(self.get_u8()?)
+    }
+
+    /// Read a tag and require it to be `expected`.
+    pub fn expect_tag(&mut self, expected: WireType) -> Result<()> {
+        let found = self.get_tag()?;
+        if found != expected {
+            return Err(CodecError::TypeMismatch { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Read a length prefix intended as an element count, validating it
+    /// against what could physically fit in the remaining buffer assuming at
+    /// least `min_elem_size` bytes per element. This stops a forged count
+    /// from pre-allocating unbounded memory.
+    pub fn get_count(&mut self, min_elem_size: usize) -> Result<usize> {
+        let count = self.get_u32()? as u64;
+        let fit = (self.remaining() / min_elem_size.max(1)) as u64;
+        if count > fit {
+            return Err(CodecError::LengthOverflow {
+                declared: count,
+                limit: fit,
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Enter one level of nesting, failing past [`MAX_DEPTH`].
+    pub fn push_depth(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(CodecError::DepthExceeded { limit: MAX_DEPTH });
+        }
+        Ok(())
+    }
+
+    /// Leave one level of nesting.
+    pub fn pop_depth(&mut self) {
+        debug_assert!(self.depth > 0);
+        self.depth -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+
+    #[test]
+    fn eof_reported_with_context() {
+        let mut d = Decoder::new(&[1, 2]);
+        let err = d.get_u32().unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        let mut d = Decoder::new(&[7]);
+        assert_eq!(d.get_bool(), Err(CodecError::InvalidBool(7)));
+    }
+
+    #[test]
+    fn forged_count_rejected() {
+        // Claims 1_000_000 elements but only 4 bytes remain.
+        let mut e = Encoder::new();
+        e.put_u32(1_000_000);
+        e.put_u32(0);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(
+            d.get_count(8),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn str_round_trip_and_position() {
+        let mut e = Encoder::new();
+        e.put_str("hello");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str().unwrap(), "hello");
+        assert_eq!(d.position(), bytes.len());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_len_bytes(&[0xff, 0xfe]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str(), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn depth_guard() {
+        let mut d = Decoder::new(&[]);
+        for _ in 0..MAX_DEPTH {
+            d.push_depth().unwrap();
+        }
+        assert!(matches!(
+            d.push_depth(),
+            Err(CodecError::DepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_tag_mismatch() {
+        let mut e = Encoder::new();
+        e.put_tag(WireType::Str);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(
+            d.expect_tag(WireType::U64),
+            Err(CodecError::TypeMismatch {
+                expected: WireType::U64,
+                found: WireType::Str
+            })
+        );
+    }
+}

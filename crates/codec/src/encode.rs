@@ -1,0 +1,151 @@
+//! The encoder: appends big-endian, length-exact fields to a growable buffer.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::wire::WireType;
+
+/// Append-only encoder producing network-order bytes.
+///
+/// All multi-byte integers are written **big-endian** regardless of host
+/// architecture — this is the "architecture independent form" of the paper's
+/// §4.2. Encoding never fails; the buffer grows as needed.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Create an encoder with pre-reserved capacity (hot paths in the
+    /// runtime manager encode many small messages; reserving avoids
+    /// re-allocation per the perf-book guidance).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Consume the encoder, returning a frozen zero-copy buffer.
+    pub fn finish_bytes(self) -> bytes::Bytes {
+        self.buf.freeze()
+    }
+
+    // ---- raw primitive writers (untagged) ----
+
+    /// Write a single raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Write a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Write a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Write a big-endian i64 (two's complement).
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+
+    /// Write a big-endian IEEE-754 binary64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+
+    /// Write a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Write a u32 length prefix followed by the raw bytes.
+    pub fn put_len_bytes(&mut self, bytes: &[u8]) {
+        debug_assert!(
+            bytes.len() <= u32::MAX as usize,
+            "buffer too large for wire"
+        );
+        self.buf.put_u32(bytes.len() as u32);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Write a u32 length prefix followed by UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len_bytes(s.as_bytes());
+    }
+
+    /// Write a wire-type tag byte.
+    pub fn put_tag(&mut self, t: WireType) {
+        self.buf.put_u8(t.as_byte());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_big_endian() {
+        let mut e = Encoder::new();
+        e.put_u32(0x0102_0304);
+        assert_eq!(e.finish(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn i64_two_complement() {
+        let mut e = Encoder::new();
+        e.put_i64(-1);
+        assert_eq!(e.finish(), vec![0xff; 8]);
+    }
+
+    #[test]
+    fn str_is_length_prefixed() {
+        let mut e = Encoder::new();
+        e.put_str("ab");
+        assert_eq!(e.finish(), vec![0, 0, 0, 2, b'a', b'b']);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let e = Encoder::with_capacity(64);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn f64_bits_round() {
+        let mut e = Encoder::new();
+        e.put_f64(1.5);
+        let bytes = e.finish();
+        assert_eq!(bytes, 1.5f64.to_be_bytes().to_vec());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: decode(encode(x)) == x for every Codec impl and for
+//! arbitrary dynamic Values, plus "malformed input never panics".
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use vce_codec::{from_bytes, to_bytes, Value};
+
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        // Use finite doubles; NaN breaks PartialEq-based round-trip checks.
+        prop::num::f64::NORMAL.prop_map(Value::F64),
+        ".*".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_value(depth - 1);
+        prop_oneof![
+            leaf,
+            prop::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::List),
+            prop::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Record),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(Value::Map),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) {
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_round_trip(v in any::<i64>()) {
+        prop_assert_eq!(from_bytes::<i64>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_round_trip(v in prop::num::f64::ANY) {
+        let back = from_bytes::<f64>(&to_bytes(&v)).unwrap();
+        // Bit-exact round trip, including NaN payloads and -0.0.
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn string_round_trip(s in ".*") {
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn vec_u32_round_trip(v in prop::collection::vec(any::<u32>(), 0..128)) {
+        prop_assert_eq!(from_bytes::<Vec<u32>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn map_round_trip(m in prop::collection::btree_map("[a-z]{1,6}", any::<i64>(), 0..32)) {
+        prop_assert_eq!(from_bytes::<BTreeMap<String, i64>>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn option_round_trip(v in prop::option::of(any::<u16>())) {
+        prop_assert_eq!(from_bytes::<Option<u16>>(&to_bytes(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_round_trip(a in any::<u8>(), b in any::<i32>(), c in ".{0,16}") {
+        let t = (a, b, c);
+        let back: (u8, i32, String) = from_bytes(&to_bytes(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn value_round_trip(v in arb_value(3)) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Value::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding attacker-controlled garbage must fail gracefully.
+        let _ = Value::from_bytes(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<(u64, String, bool)>(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(v in arb_value(2), cut_frac in 0.0f64..1.0) {
+        let bytes = v.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = Value::from_bytes(&bytes[..cut.min(bytes.len())]);
+    }
+}

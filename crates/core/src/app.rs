@@ -1,0 +1,184 @@
+//! The Fig. 1 development pipeline: specification → design → coding →
+//! compilation.
+
+use std::fmt;
+
+use vce_script::{evaluate, parse, EvalEnv, ScriptError};
+use vce_sdm::coding::CommPlan;
+use vce_sdm::{graph_from_script, run_design_stage, CompilationManager, CompileReport, MachineDb};
+use vce_taskgraph::{validate, TaskGraph, ValidationError};
+
+/// Why the pipeline rejected an application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The description script failed to parse.
+    Script(ScriptError),
+    /// The task graph is structurally invalid.
+    Graph(ValidationError),
+    /// Some tasks cannot run anywhere in this fleet.
+    Unhostable(Vec<u32>),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Script(e) => write!(f, "{e}"),
+            PipelineError::Graph(e) => write!(f, "{e}"),
+            PipelineError::Unhostable(tasks) => {
+                write!(f, "fleet cannot host tasks {tasks:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ScriptError> for PipelineError {
+    fn from(e: ScriptError) -> Self {
+        PipelineError::Script(e)
+    }
+}
+impl From<ValidationError> for PipelineError {
+    fn from(e: ValidationError) -> Self {
+        PipelineError::Graph(e)
+    }
+}
+
+/// A fully prepared application: annotated graph, communication plan, and
+/// binaries for every feasible (unit, class) pair.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// The coding-complete task graph.
+    pub graph: TaskGraph,
+    /// Channels/transfers the runtime provisions.
+    pub comm_plan: CommPlan,
+    /// What the compilation manager produced per task.
+    pub compile_reports: Vec<CompileReport>,
+}
+
+impl Application {
+    /// Run the full SDM pipeline on a problem-specification graph.
+    pub fn from_graph(mut graph: TaskGraph, db: &MachineDb) -> Result<Self, PipelineError> {
+        // Design stage (fills missing problem classes).
+        run_design_stage(&mut graph);
+        // Coding level (languages, work fallbacks, comm plan).
+        let comm_plan = vce_sdm::coding::run_coding_level(&mut graph, 1_000.0);
+        validate(&graph)?;
+        // Compilation manager: binaries for all feasible classes (§4.1).
+        let mut mgr = CompilationManager::new();
+        let (compile_reports, unhostable) = mgr.prepare_all(&graph, db);
+        if !unhostable.is_empty() {
+            return Err(PipelineError::Unhostable(
+                unhostable.into_iter().map(|t| t.0).collect(),
+            ));
+        }
+        Ok(Self {
+            graph,
+            comm_plan,
+            compile_reports,
+        })
+    }
+
+    /// Parse and evaluate a §5 application-description script, then run
+    /// the pipeline. The evaluation environment is derived from the fleet
+    /// (all machines idle — conditionals that test IDLE see the database
+    /// counts; a live snapshot can be passed via [`Self::from_script_env`]).
+    pub fn from_script(name: &str, src: &str, db: &MachineDb) -> Result<Self, PipelineError> {
+        let mut env = EvalEnv::new();
+        for class in vce_net::MachineClass::ALL {
+            let n = db.count(class) as u64;
+            env = env.with_class(class, n, n);
+        }
+        Self::from_script_env(name, src, db, &env)
+    }
+
+    /// Script pipeline with an explicit evaluation environment.
+    pub fn from_script_env(
+        name: &str,
+        src: &str,
+        db: &MachineDb,
+        env: &EvalEnv,
+    ) -> Result<Self, PipelineError> {
+        let script = parse(src)?;
+        let eval = evaluate(&script, env);
+        let graph = graph_from_script(name, &eval);
+        Self::from_graph(graph, db)
+    }
+
+    /// Total work in the application, Mops.
+    pub fn total_mops(&self) -> f64 {
+        vce_taskgraph::algo::total_work(&self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::{MachineClass, MachineInfo, NodeId};
+    use vce_taskgraph::TaskSpec;
+
+    fn db() -> MachineDb {
+        MachineDb::new()
+            .with(MachineInfo::workstation(NodeId(0), 100.0))
+            .with(MachineInfo::workstation(NodeId(1), 100.0))
+            .with(
+                MachineInfo::workstation(NodeId(2), 2000.0)
+                    .with_class(MachineClass::Simd)
+                    .with_mem_mb(512),
+            )
+            .with(
+                MachineInfo::workstation(NodeId(3), 800.0)
+                    .with_class(MachineClass::Mimd)
+                    .with_mem_mb(256),
+            )
+    }
+
+    #[test]
+    fn weather_script_pipeline_end_to_end() {
+        let app = Application::from_script("weather", vce_script::WEATHER_SCRIPT, &db()).unwrap();
+        assert_eq!(app.graph.len(), 4);
+        assert!(validate(&app.graph).is_ok());
+        assert!(!app.compile_reports.is_empty());
+        assert!(app.total_mops() > 0.0);
+    }
+
+    #[test]
+    fn bare_graph_is_fully_annotated_by_the_pipeline() {
+        let mut g = TaskGraph::new("bare");
+        let a = g.add_task(TaskSpec::new("a"));
+        let b = g.add_task(TaskSpec::new("b").with_instances(8));
+        g.depends(b, a, 16);
+        let app = Application::from_graph(g, &db()).unwrap();
+        assert!(app.graph.tasks().iter().all(|t| t.coding_complete()));
+        assert_eq!(app.comm_plan.transfers().count(), 1);
+    }
+
+    #[test]
+    fn bad_script_reports_parse_error() {
+        let e = Application::from_script("bad", "FROB 1 \"x\"\n", &db()).unwrap_err();
+        assert!(matches!(e, PipelineError::Script(_)));
+        assert!(e.to_string().contains("script error"));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let e = Application::from_graph(TaskGraph::new("empty"), &db()).unwrap_err();
+        assert!(matches!(e, PipelineError::Graph(_)));
+    }
+
+    #[test]
+    fn unhostable_task_reported() {
+        // Synchronous+HPF needs SIMD/Vector/MIMD; a workstation-only fleet
+        // cannot host it.
+        let small = MachineDb::new().with(MachineInfo::workstation(NodeId(0), 100.0));
+        let mut g = TaskGraph::new("g");
+        g.add_task(
+            TaskSpec::new("lockstep")
+                .with_class(vce_taskgraph::ProblemClass::Synchronous)
+                .with_language(vce_taskgraph::Language::HpFortran)
+                .with_work(10.0),
+        );
+        let e = Application::from_graph(g, &small).unwrap_err();
+        assert_eq!(e, PipelineError::Unhostable(vec![0]));
+    }
+}

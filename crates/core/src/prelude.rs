@@ -1,0 +1,14 @@
+//! Convenience re-exports for VCE users.
+
+pub use crate::app::{Application, PipelineError};
+pub use crate::cluster::{AppHandle, SubmitOptions, Vce, VceBuilder};
+pub use crate::report::RunReport;
+pub use crate::weather::{campus_fleet, weather_app, weather_graph, WeatherCosts};
+
+pub use vce_exm::{AppId, ExmConfig, InstanceKey, PlacementPolicy};
+pub use vce_net::{MachineClass, MachineInfo, NodeId};
+pub use vce_sdm::MachineDb;
+pub use vce_sim::LoadTrace;
+pub use vce_taskgraph::{
+    ArcKind, Language, MigrationTraits, ProblemClass, TaskGraph, TaskId, TaskSpec,
+};

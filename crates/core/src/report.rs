@@ -1,0 +1,81 @@
+//! Run reports: what an experiment learns from one application run.
+
+use std::collections::BTreeMap;
+
+use vce_exm::events::MigrationRecord;
+use vce_exm::{AppEvent, InstanceKey, Timeline};
+use vce_net::NodeId;
+use vce_sim::metrics::FleetMetrics;
+use vce_sim::NodeMetrics;
+
+/// Everything measured about one application run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Did the application finish (all tasks complete)?
+    pub completed: bool,
+    /// Failure reason, if the executor gave up.
+    pub failed: Option<String>,
+    /// Submission → AppDone, µs.
+    pub makespan_us: Option<u64>,
+    /// The executor's event timeline.
+    pub timeline: Timeline,
+    /// Final instance placements.
+    pub placements: BTreeMap<InstanceKey, NodeId>,
+    /// Per-node metrics at report time.
+    pub nodes: Vec<NodeMetrics>,
+    /// Migrations performed (collected from every daemon).
+    pub migrations: Vec<MigrationRecord>,
+    /// Redundant-incarnation evictions (owner reclaimed machines).
+    pub evictions: u64,
+}
+
+impl RunReport {
+    /// Fleet-wide aggregates.
+    pub fn fleet(&self) -> FleetMetrics {
+        FleetMetrics::summarize(&self.nodes)
+    }
+
+    /// Makespan in seconds (NaN when unfinished).
+    pub fn makespan_s(&self) -> f64 {
+        self.makespan_us
+            .map(|us| us as f64 / 1e6)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Number of allocation round-trips the executor performed.
+    pub fn allocations(&self) -> usize {
+        self.timeline
+            .count(|e| matches!(e, AppEvent::Allocated { .. }))
+    }
+
+    /// Distinct machines that hosted at least one instance.
+    pub fn machines_used(&self) -> usize {
+        let mut nodes: Vec<NodeId> = self.placements.values().copied().collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = RunReport {
+            completed: false,
+            failed: None,
+            makespan_us: None,
+            timeline: Timeline::default(),
+            placements: BTreeMap::new(),
+            nodes: vec![],
+            migrations: vec![],
+            evictions: 0,
+        };
+        assert!(r.makespan_s().is_nan());
+        assert_eq!(r.allocations(), 0);
+        assert_eq!(r.machines_used(), 0);
+        assert_eq!(r.fleet(), FleetMetrics::default());
+    }
+}

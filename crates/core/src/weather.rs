@@ -1,0 +1,149 @@
+//! The paper's worked example: the §5 weather-forecasting application.
+//!
+//! Two asynchronous data collectors, a user-data collector on a
+//! workstation, a synchronous predictor (the heavy lockstep computation)
+//! and a local display. The script constant reproduces the paper's input
+//! verbatim (see [`vce_script::WEATHER_SCRIPT`]); this module also builds
+//! the same application as an explicitly annotated task graph with
+//! realistic work estimates, for experiments that need cost control.
+
+use vce_sdm::MachineDb;
+use vce_taskgraph::{Language, MigrationTraits, ProblemClass, TaskGraph, TaskSpec};
+
+use crate::app::{Application, PipelineError};
+
+/// Work estimates, Mops.
+pub struct WeatherCosts {
+    /// Per collector instance.
+    pub collector_mops: f64,
+    /// User-data collector.
+    pub usercollect_mops: f64,
+    /// The predictor (dominant).
+    pub predictor_mops: f64,
+    /// The local display task.
+    pub display_mops: f64,
+}
+
+impl Default for WeatherCosts {
+    fn default() -> Self {
+        Self {
+            collector_mops: 2_000.0,
+            usercollect_mops: 500.0,
+            predictor_mops: 20_000.0,
+            display_mops: 200.0,
+        }
+    }
+}
+
+/// Build the weather application as an annotated task graph.
+pub fn weather_graph(costs: &WeatherCosts) -> TaskGraph {
+    let mut g = TaskGraph::new("weather");
+    let collector = g.add_task(
+        TaskSpec::new("/apps/snow/collector.vce")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(costs.collector_mops)
+            .with_instances(2)
+            .with_migration(MigrationTraits {
+                checkpoints: true,
+                checkpoint_interval_s: 5,
+                restartable: true,
+                core_dumpable: true,
+            }),
+    );
+    let usercollect = g.add_task(
+        TaskSpec::new("/apps/snow/usercollect.vce")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(costs.usercollect_mops),
+    );
+    let predictor = g.add_task(
+        TaskSpec::new("/apps/snow/predictor.vce")
+            .with_class(ProblemClass::Synchronous)
+            .with_language(Language::HpFortran)
+            .with_work(costs.predictor_mops)
+            .with_mem(128)
+            .with_input_file("/data/terrain.grid"),
+    );
+    let display = g.add_task(
+        TaskSpec::new("/apps/snow/display.vce")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(costs.display_mops)
+            .local(),
+    );
+    // Collectors feed the predictor; everything feeds the display.
+    g.depends(predictor, collector, 256);
+    g.depends(predictor, usercollect, 64);
+    g.depends(display, predictor, 128);
+    g.depends(display, collector, 16);
+    g.depends(display, usercollect, 16);
+    g
+}
+
+/// The annotated weather application, through the full pipeline.
+pub fn weather_app(db: &MachineDb, costs: &WeatherCosts) -> Result<Application, PipelineError> {
+    Application::from_graph(weather_graph(costs), db)
+}
+
+/// A fleet resembling the campus the paper envisioned: `n_ws` workstations
+/// of mixed speeds, one SIMD machine, one MIMD machine.
+pub fn campus_fleet(n_ws: u32) -> MachineDb {
+    use vce_net::{MachineClass, MachineInfo, NodeId};
+    let mut db = MachineDb::new();
+    for i in 0..n_ws {
+        // Speeds alternate 50/80/120 Mops: a heterogeneous LAN.
+        let speed = [50.0, 80.0, 120.0][(i % 3) as usize];
+        db.register(MachineInfo::workstation(NodeId(i), speed));
+    }
+    db.register(
+        MachineInfo::workstation(NodeId(n_ws), 4_000.0)
+            .with_class(MachineClass::Simd)
+            .with_mem_mb(1024),
+    );
+    db.register(
+        MachineInfo::workstation(NodeId(n_ws + 1), 1_500.0)
+            .with_class(MachineClass::Mimd)
+            .with_mem_mb(512),
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_taskgraph::{algo, validate};
+
+    #[test]
+    fn weather_graph_is_valid_and_ordered() {
+        let g = weather_graph(&WeatherCosts::default());
+        assert!(validate(&g).is_ok());
+        let order = algo::topo_sort(&g).unwrap();
+        let display = g.find("/apps/snow/display.vce").unwrap();
+        assert_eq!(*order.last().unwrap(), display);
+        let (cp, path) = algo::critical_path(&g).unwrap();
+        assert!(cp >= 20_000.0, "predictor dominates: {cp}");
+        assert!(path.contains(&g.find("/apps/snow/predictor.vce").unwrap()));
+    }
+
+    #[test]
+    fn weather_app_compiles_on_campus_fleet() {
+        let db = campus_fleet(6);
+        let app = weather_app(&db, &WeatherCosts::default()).unwrap();
+        // Predictor must have a SIMD binary (its best platform).
+        let predictor_report = app
+            .compile_reports
+            .iter()
+            .find(|r| r.task == app.graph.find("/apps/snow/predictor.vce").unwrap())
+            .unwrap();
+        assert_eq!(predictor_report.targets[0], vce_net::MachineClass::Simd);
+    }
+
+    #[test]
+    fn campus_fleet_shape() {
+        let db = campus_fleet(9);
+        assert_eq!(db.count(vce_net::MachineClass::Workstation), 9);
+        assert_eq!(db.count(vce_net::MachineClass::Simd), 1);
+        assert_eq!(db.count(vce_net::MachineClass::Mimd), 1);
+    }
+}

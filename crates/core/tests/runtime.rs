@@ -1,0 +1,495 @@
+//! Runtime behaviour tests: the full daemon/leader/executor stack on the
+//! deterministic simulator.
+
+use vce::prelude::*;
+use vce_exm::migrate::MigrationTechnique;
+use vce_exm::AppEvent;
+
+fn ws(n: u32, speed: f64) -> MachineInfo {
+    MachineInfo::workstation(NodeId(n), speed)
+}
+
+/// A one-task application.
+fn single_task_app(db: &MachineDb, spec: TaskSpec) -> Application {
+    let mut g = TaskGraph::new("single");
+    g.add_task(spec);
+    Application::from_graph(g, db).unwrap()
+}
+
+fn simple_task(name: &str, mops: f64) -> TaskSpec {
+    TaskSpec::new(name)
+        .with_class(ProblemClass::Asynchronous)
+        .with_language(Language::C)
+        .with_work(mops)
+}
+
+#[test]
+fn weather_app_places_tasks_by_class() {
+    let db = campus_fleet(6);
+    let mut b = VceBuilder::new(7);
+    for m in db.machines() {
+        b.machine(m.clone());
+    }
+    let mut vce = b.build();
+    vce.settle();
+    let app = weather_app(vce.db(), &WeatherCosts::default()).unwrap();
+    let graph = app.graph.clone();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "failed: {:?}", report.failed);
+
+    let predictor = graph.find("/apps/snow/predictor.vce").unwrap();
+    let display = graph.find("/apps/snow/display.vce").unwrap();
+    let placements = report.placements.clone();
+    // Predictor ran on the SIMD machine (node 6 in campus_fleet(6)).
+    let p_node = placements
+        .iter()
+        .find(|(k, _)| k.task == predictor.0)
+        .map(|(_, &n)| n)
+        .expect("predictor placed");
+    assert_eq!(p_node, NodeId(6), "predictor belongs on the SIMD machine");
+    // Display ran locally on the submitting workstation.
+    let d_node = placements
+        .iter()
+        .find(|(k, _)| k.task == display.0)
+        .map(|(_, &n)| n)
+        .expect("display placed");
+    assert_eq!(d_node, NodeId(0));
+    // Both collector instances ran on workstations.
+    let collector = graph.find("/apps/snow/collector.vce").unwrap();
+    let c_nodes: Vec<NodeId> = placements
+        .iter()
+        .filter(|(k, _)| k.task == collector.0)
+        .map(|(_, &n)| n)
+        .collect();
+    assert_eq!(c_nodes.len(), 2);
+    for n in c_nodes {
+        assert!(n.0 < 6, "collector on a workstation, got {n}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut b = VceBuilder::new(seed);
+        for m in campus_fleet(5).machines() {
+            b.machine(m.clone());
+        }
+        let mut vce = b.build();
+        vce.settle();
+        let app = weather_app(vce.db(), &WeatherCosts::default()).unwrap();
+        let handle = vce.submit(app, NodeId(0));
+        let report = vce.run_until_done(&handle, 600_000_000);
+        (report.makespan_us, vce.sim().events_processed())
+    };
+    assert_eq!(run(3), run(3));
+    assert_eq!(run(4), run(4));
+}
+
+#[test]
+fn utilization_first_reserves_the_restricted_machine() {
+    // Fleet: one big-memory fast machine (the paper's "machine A") and one
+    // small slow one. Two parallel tasks: one needs the big machine, one
+    // runs anywhere.
+    let build = |policy: PlacementPolicy| {
+        let mut b = VceBuilder::new(11);
+        b.machine(ws(0, 100.0)); // user workstation (executor host)
+        b.machine(ws(1, 50.0).with_mem_mb(64)); // small
+        b.machine(ws(2, 200.0).with_mem_mb(512)); // machine A
+        let mut cfg = ExmConfig::default();
+        cfg.policy = policy;
+        cfg.migration_enabled = false;
+        b.exm_config(cfg);
+        b.build()
+    };
+    // The flexible task dispatches FIRST (lower task id): the greedy
+    // policy grabs machine A with it; utilization-first sees the pending
+    // restricted request and yields A.
+    let app_for = |db: &MachineDb| {
+        let mut g = TaskGraph::new("two");
+        g.add_task(simple_task("flexible", 2_000.0).with_mem(16));
+        g.add_task(simple_task("restricted", 4_000.0).with_mem(256));
+        Application::from_graph(g, db).unwrap()
+    };
+
+    let mut util = build(PlacementPolicy::UtilizationFirst);
+    util.settle();
+    let app = app_for(util.db());
+    let h = util.submit(app, NodeId(0));
+    let r_util = util.run_until_done(&h, 600_000_000);
+    assert!(r_util.completed, "{:?}", r_util.failed);
+    let restricted_node = r_util
+        .placements
+        .iter()
+        .find(|(k, _)| k.task == 1)
+        .map(|(_, &n)| n)
+        .unwrap();
+    let flexible_node = r_util
+        .placements
+        .iter()
+        .find(|(k, _)| k.task == 0)
+        .map(|(_, &n)| n)
+        .unwrap();
+    assert_eq!(restricted_node, NodeId(2), "restricted task gets machine A");
+    assert_ne!(flexible_node, NodeId(2), "flexible task avoids machine A");
+
+    // Best-platform greedily sends the flexible task wherever is fastest;
+    // makespan is at best equal, typically worse, never better.
+    let mut best = build(PlacementPolicy::BestPlatform);
+    best.settle();
+    let app = app_for(best.db());
+    let h2 = best.submit(app, NodeId(0));
+    let r_best = best.run_until_done(&h2, 600_000_000);
+    assert!(r_best.completed);
+    assert!(
+        r_util.makespan_us.unwrap() <= r_best.makespan_us.unwrap(),
+        "utilization-first {}µs vs best-platform {}µs",
+        r_util.makespan_us.unwrap(),
+        r_best.makespan_us.unwrap()
+    );
+}
+
+#[test]
+fn leader_failover_does_not_lose_the_application() {
+    let mut b = VceBuilder::new(21);
+    for i in 0..5 {
+        b.machine(ws(i, 100.0));
+    }
+    let mut vce = b.build();
+    vce.settle();
+    let leader = vce.leader_of(MachineClass::Workstation).expect("leader");
+    // Submit from a machine that will survive the leader's death.
+    let survivor = NodeId(if leader == NodeId(4) { 3 } else { 4 });
+    let app2 = single_task_app(vce.db(), simple_task("longjob2", 20_000.0));
+    let handle2 = vce.submit(app2, survivor);
+    // Let the first allocations happen, then kill the leader.
+    vce.sim_mut().run_for(2_000_000);
+    vce.kill_node(leader);
+    let report = vce.run_until_done(&handle2, 600_000_000);
+    assert!(
+        report.completed,
+        "app survives leader death: {:?}",
+        report.failed
+    );
+    // A new leader took over.
+    let new_leader = vce.leader_of(MachineClass::Workstation).expect("successor");
+    assert_ne!(new_leader, leader);
+}
+
+#[test]
+fn checkpoint_migration_moves_work_off_a_reclaimed_machine() {
+    let mut b = VceBuilder::new(31);
+    b.machine(ws(0, 100.0)); // user workstation
+    b.machine(ws(1, 100.0)); // initial host
+    b.machine(ws(2, 100.0)); // idle target
+    let mut cfg = ExmConfig::default();
+    cfg.policy = PlacementPolicy::BestPlatform;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    // A long checkpointing task.
+    let spec = simple_task("sim", 30_000.0) // 300 s at 100 Mops
+        .with_migration(MigrationTraits {
+            checkpoints: true,
+            checkpoint_interval_s: 5,
+            restartable: true,
+            core_dumpable: true,
+        });
+    let app = single_task_app(vce.db(), spec);
+    let handle = vce.submit(app, NodeId(0));
+    vce.sim_mut().run_for(10_000_000);
+    // Find where it landed and let the owner come back there.
+    let host = vce
+        .placements(&handle)
+        .values()
+        .next()
+        .copied()
+        .expect("placed");
+    vce.set_background(host, 2.0);
+    let report = vce.run_until_done(&handle, 1_200_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    assert!(
+        !report.migrations.is_empty(),
+        "expected at least one migration"
+    );
+    let mig = &report.migrations[0];
+    assert_eq!(mig.technique, MigrationTechnique::Checkpoint);
+    assert_eq!(mig.from, host);
+    // The executor learned about the move.
+    assert!(report
+        .timeline
+        .events()
+        .iter()
+        .any(|(_, e)| matches!(e, AppEvent::InstanceMoved { .. })));
+    // And the task finished somewhere else.
+    let final_node = report.placements.values().next().copied().unwrap();
+    assert_ne!(final_node, host);
+}
+
+#[test]
+fn redundant_execution_survives_owner_reclaim_without_rerequest() {
+    let mut b = VceBuilder::new(41);
+    b.machine(ws(0, 100.0));
+    for i in 1..4 {
+        b.machine(ws(i, 100.0));
+    }
+    let mut cfg = ExmConfig::default();
+    cfg.redundancy = 2;
+    cfg.migration_enabled = false;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    let app = single_task_app(vce.db(), simple_task("redundant", 10_000.0));
+    let handle = vce.submit(app, NodeId(0));
+    vce.sim_mut().run_for(8_000_000);
+    // Owner reclaims the primary's machine.
+    let primary = vce
+        .placements(&handle)
+        .values()
+        .next()
+        .copied()
+        .expect("placed");
+    vce.set_background(primary, 2.0);
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    assert!(report.evictions >= 1, "redundant incarnation evicted");
+    // No re-request was needed: only the original allocation happened.
+    assert_eq!(report.allocations(), 1);
+}
+
+#[test]
+fn eviction_without_redundancy_triggers_rerequest() {
+    let mut b = VceBuilder::new(43);
+    b.machine(ws(0, 100.0));
+    b.machine(ws(1, 100.0));
+    b.machine(ws(2, 100.0));
+    let mut cfg = ExmConfig::default();
+    cfg.redundancy = 1;
+    cfg.migration_enabled = false; // force the eviction path off
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    // Not redundant, not migratable by the leader (migration off) — kill
+    // the host machine outright instead: daemon death means no TaskDone;
+    // this tests the crash path is at least survivable via horizon.
+    let app = single_task_app(vce.db(), simple_task("fragile", 5_000.0));
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+}
+
+#[test]
+fn queueing_with_aging_eventually_runs_everything() {
+    // Two usable machines, six parallel tasks: four must queue.
+    let mut b = VceBuilder::new(53);
+    b.machine(ws(0, 100.0));
+    b.machine(ws(1, 100.0));
+    b.machine(ws(2, 100.0));
+    let mut vce = b.build();
+    vce.settle();
+    let mut g = TaskGraph::new("many");
+    for i in 0..6 {
+        g.add_task(simple_task(&format!("job{i}"), 3_000.0));
+    }
+    let app = Application::from_graph(g, vce.db()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 1_200_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    assert_eq!(
+        report
+            .timeline
+            .count(|e| matches!(e, AppEvent::TaskComplete { .. })),
+        6
+    );
+}
+
+#[test]
+fn divisible_work_uses_all_idle_machines() {
+    // Free parallelism (§4.5): a divisible job asks for up to 8 instances;
+    // the group hands over every idle machine.
+    let mut b = VceBuilder::new(61);
+    for i in 0..9 {
+        b.machine(ws(i, 100.0));
+    }
+    let mut vce = b.build();
+    vce.settle();
+    let app = single_task_app(
+        vce.db(),
+        simple_task("sweep", 80_000.0).with_instances(8).divisible(),
+    );
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 1_200_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    assert!(
+        report.machines_used() >= 6,
+        "expected wide spread, used {}",
+        report.machines_used()
+    );
+}
+
+#[test]
+fn terminate_reaches_daemons() {
+    let mut b = VceBuilder::new(71);
+    b.machine(ws(0, 100.0));
+    b.machine(ws(1, 100.0));
+    let mut vce = b.build();
+    vce.settle();
+    let app = single_task_app(vce.db(), simple_task("t", 1_000.0));
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed);
+    // After completion no daemon holds residents.
+    for n in [NodeId(0), NodeId(1)] {
+        let resident = vce.with_daemon(n, |d| d.resident().len()).unwrap();
+        assert_eq!(resident, 0, "daemon {n} still hosts tasks");
+    }
+}
+
+#[test]
+fn anticipatory_compilation_cuts_dispatch_latency() {
+    let run = |anticipate: bool| {
+        let mut b = VceBuilder::new(81);
+        b.machine(ws(0, 100.0));
+        b.machine(ws(1, 100.0));
+        b.machine(ws(2, 100.0));
+        let mut cfg = ExmConfig::default();
+        cfg.migration_enabled = false;
+        b.exm_config(cfg);
+        let mut vce = b.build();
+        vce.settle();
+        // Two stages; the second has an input file and an uncompiled
+        // binary unless anticipation pre-stages them.
+        let mut g = TaskGraph::new("two-stage");
+        let first = g.add_task(simple_task("first", 8_000.0));
+        let second = g.add_task(simple_task("second", 2_000.0).with_input_file("/data/grid.dat"));
+        g.depends(second, first, 1);
+        let app = Application::from_graph(g, vce.db()).unwrap();
+        let handle = vce.submit_with(
+            app,
+            NodeId(0),
+            SubmitOptions {
+                stage_binaries: false, // daemons must compile at dispatch
+                anticipate,
+            },
+        );
+        let report = vce.run_until_done(&handle, 1_200_000_000);
+        assert!(report.completed, "{:?}", report.failed);
+        report.makespan_us.unwrap()
+    };
+    let cold = run(false);
+    let warm = run(true);
+    assert!(
+        warm < cold,
+        "anticipation must cut the makespan: warm {warm} vs cold {cold}"
+    );
+}
+
+#[test]
+fn dominance_hint_dispatches_the_long_job_first() {
+    // One usable machine besides the user's; two independent tasks. The
+    // short one has a lower id but the long one carries the §3.1.1
+    // dominance hint, so it must claim the machine first.
+    let mut b = VceBuilder::new(97);
+    // The user's workstation does not host remote work, so exactly one
+    // machine is contended.
+    b.machine(ws(0, 100.0).with_allows_remote(false));
+    b.machine(ws(1, 100.0)); // the one worker
+    let mut cfg = ExmConfig::default();
+    cfg.migration_enabled = false;
+    cfg.overload_threshold = 1.0;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    let mut g = TaskGraph::new("hinted");
+    let short = g.add_task(simple_task("short", 1_000.0));
+    let long = g.add_task(
+        simple_task("long", 10_000.0).with_hints(vce_taskgraph::TaskHints {
+            expected_dominance: 5,
+            priority_boost: 0,
+        }),
+    );
+    let app = Application::from_graph(g, vce.db()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    let loaded_long = report
+        .timeline
+        .first_time(|e| matches!(e, AppEvent::Loaded { key, .. } if key.task == long.0))
+        .unwrap();
+    let loaded_short = report
+        .timeline
+        .first_time(|e| matches!(e, AppEvent::Loaded { key, .. } if key.task == short.0))
+        .unwrap();
+    assert!(
+        loaded_long < loaded_short,
+        "hinted long job must start first: long {loaded_long} vs short {loaded_short}"
+    );
+}
+
+#[test]
+fn alloc_error_matches_the_1994_prototype_semantics() {
+    // §5: "If there are insufficient resources within a group a message to
+    // that effect is returned" — with queueing disabled (the prototype's
+    // behaviour), an oversized request fails the application immediately.
+    let mut b = VceBuilder::new(99);
+    b.machine(ws(0, 100.0));
+    b.machine(ws(1, 100.0));
+    let mut cfg = ExmConfig::default();
+    cfg.queue_insufficient = false; // 1994 prototype semantics
+    cfg.migration_enabled = false;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    // Five instances demanded, at most two machines exist.
+    let app = single_task_app(vce.db(), simple_task("greedy", 1_000.0).with_instances(5));
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 120_000_000);
+    assert!(!report.completed);
+    assert!(
+        report
+            .failed
+            .as_deref()
+            .is_some_and(|r| r.contains("insufficient")),
+        "expected the §5 failure indication, got {:?}",
+        report.failed
+    );
+    assert_eq!(
+        report
+            .timeline
+            .count(|e| matches!(e, AppEvent::AllocFailed { .. })),
+        1
+    );
+}
+
+#[test]
+fn queued_requests_do_not_spuriously_exhaust_retries() {
+    // The group is alive but can never serve (its only willing machine is
+    // partitioned with the executor and refuses remote work): the leader
+    // keeps acking RequestQueued, so the executor waits in the queue
+    // instead of declaring the group dead.
+    let mut b = VceBuilder::new(114);
+    b.machine(ws(0, 100.0).with_allows_remote(false));
+    b.machine(ws(1, 100.0));
+    b.machine(ws(2, 100.0));
+    let mut cfg = ExmConfig::default();
+    cfg.request_retry_us = 500_000; // many retry windows within the horizon
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    // Executor + node 0's daemon in their own island; after failover node 0
+    // coordinates a singleton group that can only queue.
+    vce.sim_mut().with_fault_plan(|p| {
+        p.set_partition(NodeId(0), 7);
+    });
+    // Let node 0 detect the partition and become its own coordinator.
+    vce.sim_mut().run_for(5_000_000);
+    let app = single_task_app(vce.db(), simple_task("stranded", 1_000.0));
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 60_000_000);
+    assert!(!report.completed, "nothing can serve the request");
+    assert!(
+        report.failed.is_none(),
+        "queue acks must prevent spurious exhaustion, got {:?}",
+        report.failed
+    );
+}

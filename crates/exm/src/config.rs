@@ -1,0 +1,98 @@
+//! Runtime configuration knobs shared by daemons and executors.
+
+use crate::policy::PlacementPolicy;
+
+/// Execution-module configuration.
+#[derive(Debug, Clone)]
+pub struct ExmConfig {
+    /// Leader placement policy (§4.3).
+    pub policy: PlacementPolicy,
+    /// Bid-collection deadline, µs (the leader allocates with whatever
+    /// arrived when it expires).
+    pub bid_timeout_us: u64,
+    /// Executor's resource-request retry timeout, µs (covers leader
+    /// failover windows).
+    pub request_retry_us: u64,
+    /// Queue requests the group cannot satisfy now instead of returning
+    /// AllocError (`false` reproduces the §5 prototype's behaviour).
+    pub queue_insufficient: bool,
+    /// Priority-aging quantum, µs (§4.3 starvation prevention).
+    pub aging_quantum_us: u64,
+    /// Leader's rebalance period, µs (load-balancing sweep, §4.4).
+    pub rebalance_period_us: u64,
+    /// Background load at/above which a machine counts as reclaimed by its
+    /// owner (eviction/migration trigger).
+    pub owner_busy_threshold: f64,
+    /// Load at/below which a machine is a migration target.
+    pub idle_threshold: f64,
+    /// Load at/above which a daemon declines to bid ("not already
+    /// excessively loaded", §5). Lower it to 1.0 for strict
+    /// one-job-per-machine scheduling.
+    pub overload_threshold: f64,
+    /// Enable leader-driven migration (§4.4).
+    pub migration_enabled: bool,
+    /// Minimum time between migrations of the same instance, µs —
+    /// hysteresis against thrashing when owners churn everywhere.
+    pub migration_cooldown_us: u64,
+    /// Redundant incarnations dispatched per instance (1 = none extra;
+    /// §4.4 migration-through-redundant-execution).
+    pub redundancy: u32,
+    /// State-transfer modelling: µs charged per KiB of migrated state.
+    pub transfer_us_per_kib: u64,
+    /// Compile cost charged when a daemon must compile a missing binary at
+    /// dispatch time, as compiler-work Mops (§4.5 anticipatory
+    /// compilation removes this from the critical path).
+    pub dispatch_compile_mops: f64,
+    /// Fetch cost per input file not already replicated, KiB.
+    pub input_file_kib: u64,
+    /// Placement breaks load ties toward machines advertising the unit's
+    /// staged binary (the §4.5 payoff path). Ablation knob — see
+    /// `exp_ablation`.
+    pub prefer_staged_binaries: bool,
+    /// Leader inflates the bids of just-allocated machines for ~1 s so a
+    /// burst of requests doesn't pile onto one machine between state
+    /// disclosures. Ablation knob.
+    pub soft_reservations: bool,
+    /// Executor watchdog probe period, µs (host-crash detection latency is
+    /// roughly `probe_period_us × (miss limit + 1)`).
+    pub probe_period_us: u64,
+}
+
+impl Default for ExmConfig {
+    fn default() -> Self {
+        Self {
+            policy: PlacementPolicy::UtilizationFirst,
+            bid_timeout_us: 800_000,
+            request_retry_us: 3_000_000,
+            queue_insufficient: true,
+            aging_quantum_us: 2_000_000,
+            rebalance_period_us: 2_000_000,
+            owner_busy_threshold: 1.0,
+            idle_threshold: 0.5,
+            overload_threshold: 3.0,
+            migration_enabled: true,
+            migration_cooldown_us: 30_000_000,
+            redundancy: 1,
+            transfer_us_per_kib: 800, // 1994 LAN: ~1.25 MB/s effective
+            dispatch_compile_mops: 200.0,
+            input_file_kib: 1024,
+            prefer_staged_binaries: true,
+            soft_reservations: true,
+            probe_period_us: 2_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let c = ExmConfig::default();
+        assert!(c.bid_timeout_us < c.request_retry_us);
+        assert!(c.idle_threshold < c.owner_busy_threshold);
+        assert!(c.redundancy >= 1);
+        assert_eq!(c.policy, PlacementPolicy::UtilizationFirst);
+    }
+}

@@ -1,0 +1,998 @@
+//! The scheduling/dispatching daemon (§5) — one per machine.
+//!
+//! A daemon is simultaneously:
+//!
+//! * a **group member**: daemons of one machine class form an Isis process
+//!   group; membership, failure detection and leader succession come from
+//!   `vce-isis`;
+//! * a **bidder**: on the leader's state-disclosure broadcast it replies
+//!   with a [`DaemonStatus`] bid ("each bid includes the current load of
+//!   the bidding machine");
+//! * a **host**: it loads programs (compiling missing binaries and
+//!   fetching missing input files first — the costs anticipatory
+//!   processing removes), runs them on the machine's CPU, checkpoints
+//!   cooperative tasks, and reports completions;
+//! * an **owner's agent**: when local (background) activity returns it
+//!   evicts redundant incarnations (§4.4 migration-through-redundancy);
+//! * and, when its group member is the coordinator, the **group leader**:
+//!   fielding resource requests, collecting bids, sorting by load,
+//!   allocating or queueing with priority aging, and driving §4.4
+//!   migrations on its rebalance sweep.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vce_isis::{is_isis_token, BcastId, GroupConfig, GroupMember, Upcall};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
+
+use crate::config::ExmConfig;
+use crate::events::MigrationRecord;
+use crate::migrate::{carried_remaining, choose_technique, state_kib, MigrationTechnique};
+use crate::msg::{encode_msg, ExmMsg, InstanceKey, LoadProgram, MigrationState, ReqId};
+use crate::policy::{select_with, Needs};
+use crate::queue::{QueuedRequest, RequestQueue};
+use crate::status::{DaemonStatus, ResidentTask};
+
+// Timer tokens (all < ISIS_TOKEN_BASE).
+const TOKEN_TICK: u64 = 1;
+const TOKEN_CHECKPOINT_BASE: u64 = 1 << 20;
+const TOKEN_FETCH_BASE: u64 = 2 << 20;
+const TOKEN_TRANSFER_BASE: u64 = 3 << 20;
+/// Daemon housekeeping period, µs (eviction checks; leader rebalance runs
+/// on its own configured period).
+const TICK_US: u64 = 500_000;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunState {
+    /// Compiling the missing binary (pid of the compile work item).
+    Compiling(u64),
+    /// Fetching input files (timer pending).
+    Fetching,
+    /// Waiting out the migration state transfer.
+    Transferring,
+    /// Executing (pid of the task work item).
+    Running(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    lp: LoadProgram,
+    state: RunState,
+    /// Remaining work when last checkpointed (== total until the first
+    /// checkpoint fires).
+    checkpointed_remaining: f64,
+    /// Work the *current incarnation* must execute (differs from
+    /// `lp.work_mops` after a migration carried partial state in).
+    work_to_run: f64,
+}
+
+enum CollectKind {
+    Allocate(ReqId),
+    Rebalance,
+}
+
+/// Leader-role state (meaningful only while this daemon coordinates).
+struct LeaderState {
+    served: BTreeMap<ReqId, Vec<NodeId>>,
+    pending: BTreeMap<ReqId, (Needs, Addr, i32)>,
+    queue: RequestQueue,
+    collects: HashMap<BcastId, CollectKind>,
+    /// Soft reservations: nodes allocated recently, with expiry µs — their
+    /// bids are inflated until the loads show up for real.
+    recent_alloc: BTreeMap<NodeId, u64>,
+    last_rebalance_us: u64,
+    /// Instances ordered to migrate and not yet confirmed gone (avoid
+    /// re-ordering every sweep).
+    migrating: BTreeSet<InstanceKey>,
+    /// Last migration order per instance (thrash hysteresis).
+    last_migrated_us: BTreeMap<InstanceKey, u64>,
+}
+
+impl LeaderState {
+    fn new(aging_quantum_us: u64) -> Self {
+        Self {
+            served: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            queue: RequestQueue::new(aging_quantum_us),
+            collects: HashMap::new(),
+            recent_alloc: BTreeMap::new(),
+            last_rebalance_us: 0,
+            migrating: BTreeSet::new(),
+            last_migrated_us: BTreeMap::new(),
+        }
+    }
+}
+
+/// The per-machine scheduling/dispatching daemon.
+pub struct DaemonEndpoint {
+    me: Addr,
+    class: MachineClass,
+    cfg: ExmConfig,
+    gm: GroupMember,
+    tasks: BTreeMap<InstanceKey, Resident>,
+    pid_of: BTreeMap<u64, InstanceKey>,
+    next_pid: u64,
+    /// Work items that are compiles, mapping pid → unit being compiled.
+    compiles: BTreeMap<u64, String>,
+    /// Binaries present for this machine's class.
+    binaries: BTreeSet<String>,
+    /// Input files present locally.
+    files: BTreeSet<String>,
+    leader: LeaderState,
+    /// Experiment accounting.
+    pub migrations: Vec<MigrationRecord>,
+    /// Redundant incarnations evicted for the owner.
+    pub evictions: u64,
+    /// Tasks completed on this machine.
+    pub completed: u64,
+}
+
+impl DaemonEndpoint {
+    /// Build a daemon for `node` of `class`, given the daemon addresses of
+    /// every machine in the same class (the group's candidate list).
+    pub fn new(node: NodeId, class: MachineClass, peers: Vec<Addr>, cfg: ExmConfig) -> Self {
+        let me = Addr::daemon(node);
+        let gm = GroupMember::with_wrapper(me, GroupConfig::new(peers), |m| {
+            encode_msg(&ExmMsg::Isis(m.clone()))
+        });
+        let aging = cfg.aging_quantum_us;
+        Self {
+            me,
+            class,
+            cfg,
+            gm,
+            tasks: BTreeMap::new(),
+            pid_of: BTreeMap::new(),
+            next_pid: 1,
+            compiles: BTreeMap::new(),
+            binaries: BTreeSet::new(),
+            files: BTreeSet::new(),
+            leader: LeaderState::new(aging),
+            migrations: Vec::new(),
+            evictions: 0,
+            completed: 0,
+        }
+    }
+
+    /// This daemon's group view (diagnostics).
+    pub fn view(&self) -> &vce_isis::View {
+        self.gm.view()
+    }
+
+    /// Is this daemon currently the group leader?
+    pub fn is_leader(&self) -> bool {
+        self.gm.is_coordinator()
+    }
+
+    /// Resident instance keys (diagnostics).
+    pub fn resident(&self) -> Vec<InstanceKey> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Mark a binary as locally available (pre-staging / test setup).
+    pub fn stage_binary(&mut self, unit: impl Into<String>) {
+        self.binaries.insert(unit.into());
+    }
+
+    /// Mark an input file as locally available.
+    pub fn stage_file(&mut self, file: impl Into<String>) {
+        self.files.insert(file.into());
+    }
+
+    fn send(&self, host: &mut dyn Host, dst: Addr, msg: &ExmMsg) {
+        host.send(self.me, dst, encode_msg(msg));
+    }
+
+    fn alloc_pid(&mut self, key: InstanceKey) -> u64 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.pid_of.insert(pid, key);
+        pid
+    }
+
+    /// VCE work items currently charged to the CPU by this daemon.
+    /// Dispatch compiles already appear in `compiles`, so tasks only count
+    /// while actually running.
+    fn active_work_items(&self) -> usize {
+        self.compiles.len()
+            + self
+                .tasks
+                .values()
+                .filter(|r| matches!(r.state, RunState::Running(_)))
+                .count()
+    }
+
+    /// The owner's share of the machine load.
+    fn background(&self, host: &dyn Host) -> f64 {
+        (host.load() - self.active_work_items() as f64).max(0.0)
+    }
+
+    fn status(&self, host: &dyn Host) -> DaemonStatus {
+        let m = host.machine();
+        let load = host.load();
+        let background = self.background(host);
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|(&key, r)| {
+                let remaining = match r.state {
+                    RunState::Running(pid) => host.work_remaining(pid).unwrap_or(0.0),
+                    _ => r.work_to_run,
+                };
+                ResidentTask {
+                    key,
+                    unit: r.lp.unit.clone(),
+                    remaining_mops: remaining,
+                    checkpoints: r.lp.checkpoints,
+                    restartable: r.lp.restartable,
+                    core_dumpable: r.lp.core_dumpable,
+                    redundant: r.lp.redundant,
+                    mem_mb: r.lp.mem_mb,
+                }
+            })
+            .collect();
+        DaemonStatus {
+            node: m.node,
+            class: self.class,
+            load,
+            background,
+            speed_mops: m.speed_mops,
+            mem_mb: m.mem_mb,
+            willing: m.allows_remote
+                && load
+                    < self
+                        .cfg
+                        .overload_threshold
+                        .min(crate::policy::OVERLOAD_THRESHOLD),
+            tasks,
+            binaries: self.binaries.iter().cloned().collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program lifecycle
+    // ------------------------------------------------------------------
+
+    fn handle_load(&mut self, lp: LoadProgram, host: &mut dyn Host) {
+        let key = lp.key;
+        if self.tasks.contains_key(&key) {
+            return; // duplicate Load (executor retry)
+        }
+        let work = lp.work_mops;
+        let resident = Resident {
+            checkpointed_remaining: work,
+            work_to_run: work,
+            lp,
+            state: RunState::Fetching, // placeholder, fixed below
+        };
+        self.tasks.insert(key, resident);
+        self.advance_prep(key, host);
+    }
+
+    /// Drive the prep pipeline: compile → fetch → run.
+    fn advance_prep(&mut self, key: InstanceKey, host: &mut dyn Host) {
+        let Some(r) = self.tasks.get(&key) else {
+            return;
+        };
+        let unit = r.lp.unit.clone();
+        // 1. Missing binary? Compile it (consumes CPU).
+        if !self.binaries.contains(&unit) {
+            let pid = self.alloc_pid(key);
+            self.compiles.insert(pid, unit.clone());
+            if let Some(r) = self.tasks.get_mut(&key) {
+                r.state = RunState::Compiling(pid);
+            }
+            let mops = self.cfg.dispatch_compile_mops;
+            host.log(format!("daemon: compiling {unit} at dispatch"));
+            host.start_work(pid, mops);
+            return;
+        }
+        // 2. Missing input files? Fetch them (network delay).
+        let missing: Vec<String> = self
+            .tasks
+            .get(&key)
+            .expect("resident")
+            .lp
+            .input_files
+            .iter()
+            .filter(|f| !self.files.contains(*f))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            let delay =
+                missing.len() as u64 * self.cfg.input_file_kib * self.cfg.transfer_us_per_kib;
+            for f in missing {
+                self.files.insert(f);
+            }
+            let pid = self.alloc_pid(key);
+            if let Some(r) = self.tasks.get_mut(&key) {
+                r.state = RunState::Fetching;
+            }
+            host.log(format!("daemon: fetching inputs for {unit}"));
+            host.set_timer(delay.max(1), TOKEN_FETCH_BASE + pid);
+            return;
+        }
+        // 3. Run.
+        self.start_running(key, host);
+    }
+
+    fn start_running(&mut self, key: InstanceKey, host: &mut dyn Host) {
+        let pid = self.alloc_pid(key);
+        let Some(r) = self.tasks.get_mut(&key) else {
+            return;
+        };
+        r.state = RunState::Running(pid);
+        let work = r.work_to_run;
+        let checkpoints = r.lp.checkpoints;
+        let interval = r.lp.checkpoint_interval_us;
+        host.start_work(pid, work);
+        if checkpoints {
+            host.set_timer(interval.max(1), TOKEN_CHECKPOINT_BASE + pid);
+        }
+    }
+
+    fn finish_task(&mut self, key: InstanceKey, host: &mut dyn Host) {
+        if let Some(r) = self.tasks.remove(&key) {
+            self.completed += 1;
+            let node = host.machine().node;
+            self.send(host, r.lp.reply_to, &ExmMsg::TaskDone { key, node });
+        }
+    }
+
+    fn kill_task(&mut self, key: InstanceKey, host: &mut dyn Host) -> Option<Resident> {
+        let r = self.tasks.remove(&key)?;
+        match r.state {
+            RunState::Running(pid) | RunState::Compiling(pid) => {
+                host.cancel_work(pid);
+                self.compiles.remove(&pid);
+            }
+            _ => {}
+        }
+        Some(r)
+    }
+
+    /// Owner returned: evict redundant incarnations (§4.4's cheapest
+    /// migration — a live copy elsewhere keeps going).
+    fn evict_redundant(&mut self, host: &mut dyn Host) {
+        if self.background(host) < self.cfg.owner_busy_threshold {
+            return;
+        }
+        let victims: Vec<InstanceKey> = self
+            .tasks
+            .iter()
+            .filter(|(_, r)| r.lp.redundant && matches!(r.state, RunState::Running(_)))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in victims {
+            if let Some(r) = self.kill_task(key, host) {
+                self.evictions += 1;
+                let node = host.machine().node;
+                host.log(format!("daemon: evicted redundant {key:?} for owner"));
+                self.send(host, r.lp.reply_to, &ExmMsg::TaskEvicted { key, node });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration (§4.4)
+    // ------------------------------------------------------------------
+
+    fn handle_migrate_out(
+        &mut self,
+        key: InstanceKey,
+        to: NodeId,
+        technique: MigrationTechnique,
+        host: &mut dyn Host,
+    ) {
+        let Some(r) = self.tasks.get(&key) else {
+            return; // already finished or moved
+        };
+        let remaining = match r.state {
+            RunState::Running(pid) => host.work_remaining(pid).unwrap_or(r.work_to_run),
+            _ => r.work_to_run,
+        };
+        let total = r.lp.work_mops;
+        let checkpointed = r.checkpointed_remaining;
+        let r = self.kill_task(key, host).expect("present");
+        if technique == MigrationTechnique::Redundant {
+            // Kill only; a surviving copy completes elsewhere.
+            self.evictions += 1;
+            let node = host.machine().node;
+            self.send(host, r.lp.reply_to, &ExmMsg::TaskEvicted { key, node });
+            return;
+        }
+        let carried = carried_remaining(technique, remaining, checkpointed, total);
+        let kib = state_kib(technique, r.lp.mem_mb);
+        let from = host.machine().node;
+        self.migrations.push(MigrationRecord {
+            key,
+            technique,
+            from,
+            to,
+            out_at_us: host.now_us(),
+            state_kib: kib,
+            lost_mops: (carried - remaining).max(0.0),
+        });
+        host.log(format!(
+            "daemon: migrating {key:?} to {to} via {technique:?} ({kib} KiB)"
+        ));
+        let state = MigrationState {
+            key,
+            unit: r.lp.unit.clone(),
+            remaining_mops: carried,
+            state_kib: kib,
+            technique,
+            mem_mb: r.lp.mem_mb,
+            checkpoints: r.lp.checkpoints,
+            checkpoint_interval_us: r.lp.checkpoint_interval_us,
+            reply_to: r.lp.reply_to,
+        };
+        self.send(host, Addr::daemon(to), &ExmMsg::MigrateIn(state));
+        self.send(host, r.lp.reply_to, &ExmMsg::TaskMoved { key, to });
+    }
+
+    fn handle_migrate_in(&mut self, st: MigrationState, host: &mut dyn Host) {
+        let key = st.key;
+        if self.tasks.contains_key(&key) {
+            return;
+        }
+        // Recompilation: the task crossed architectures, so whatever binary
+        // this machine holds is for the wrong source state — it must build
+        // a fresh one (advance_prep charges it when the unit is absent).
+        // Other techniques arrive ready to run.
+        if st.technique == MigrationTechnique::Recompile {
+            self.binaries.remove(&st.unit);
+        } else {
+            self.binaries.insert(st.unit.clone());
+        }
+        let lp = LoadProgram {
+            key,
+            unit: st.unit,
+            work_mops: st.remaining_mops,
+            mem_mb: st.mem_mb,
+            checkpoints: st.checkpoints,
+            checkpoint_interval_us: st.checkpoint_interval_us,
+            restartable: true,
+            core_dumpable: st.technique == MigrationTechnique::CoreDump,
+            redundant: false,
+            input_files: vec![],
+            reply_to: st.reply_to,
+        };
+        let resident = Resident {
+            checkpointed_remaining: st.remaining_mops,
+            work_to_run: st.remaining_mops,
+            lp,
+            state: RunState::Transferring,
+        };
+        self.tasks.insert(key, resident);
+        // Charge the state-transfer time, then run the prep pipeline.
+        let pid = self.alloc_pid(key);
+        let delay = (st.state_kib * self.cfg.transfer_us_per_kib).max(1);
+        host.set_timer(delay, TOKEN_TRANSFER_BASE + pid);
+    }
+
+    // ------------------------------------------------------------------
+    // Leader role
+    // ------------------------------------------------------------------
+
+    fn handle_resource_request(
+        &mut self,
+        req: ReqId,
+        class: MachineClass,
+        needs: Needs,
+        priority_boost: i32,
+        reply_to: Addr,
+        host: &mut dyn Host,
+    ) {
+        if class != self.class || !self.gm.is_coordinator() {
+            return; // not for my group / not the leader
+        }
+        if let Some(nodes) = self.leader.served.get(&req) {
+            // Executor retry after a lost reply.
+            let nodes = nodes.clone();
+            self.send(host, reply_to, &ExmMsg::Allocation { req, nodes });
+            return;
+        }
+        if self.leader.queue.iter().any(|q| q.req == req) {
+            // Still queued: re-acknowledge so the executor keeps waiting.
+            self.send(host, reply_to, &ExmMsg::RequestQueued { req });
+            return;
+        }
+        if self.leader.pending.contains_key(&req) {
+            return; // collect in flight
+        }
+        self.leader
+            .pending
+            .insert(req, (needs, reply_to, priority_boost));
+        self.start_collect(CollectKind::Allocate(req), host);
+    }
+
+    fn start_collect(&mut self, kind: CollectKind, host: &mut dyn Host) {
+        let req = match kind {
+            CollectKind::Allocate(r) => r,
+            CollectKind::Rebalance => ReqId {
+                app: crate::msg::AppId(u64::MAX),
+                seq: 0,
+            },
+        };
+        let payload = encode_msg(&ExmMsg::DiscloseState { req });
+        if let Some(id) = self
+            .gm
+            .bcast_collect(payload, None, self.cfg.bid_timeout_us, host)
+        {
+            self.leader.collects.insert(id, kind);
+        }
+    }
+
+    /// Machines that *restricted* requests depend on: a queued or pending
+    /// request (other than the one being served) whose eligible machines
+    /// are no more numerous than it needs reserves all of them — the §4.3
+    /// example's "machine A".
+    fn reservations(&self, bids: &[DaemonStatus], except: ReqId) -> Vec<NodeId> {
+        let mut reserved = Vec::new();
+        let mut consider = |needs: &Needs| {
+            let eligible: Vec<NodeId> = bids
+                .iter()
+                .filter(|b| crate::policy::eligible(b, needs, self.cfg.overload_threshold))
+                .map(|b| b.node)
+                .collect();
+            if !eligible.is_empty() && eligible.len() <= needs.count_min as usize {
+                reserved.extend(eligible);
+            }
+        };
+        for q in self.leader.queue.iter() {
+            if q.req != except {
+                consider(&q.needs);
+            }
+        }
+        for (req, (needs, _, _)) in &self.leader.pending {
+            if *req != except {
+                consider(needs);
+            }
+        }
+        reserved.sort();
+        reserved.dedup();
+        reserved
+    }
+
+    fn effective_bids(&self, replies: &[(Addr, bytes::Bytes)], now: u64) -> Vec<DaemonStatus> {
+        replies
+            .iter()
+            .filter_map(|(_, bytes)| vce_codec::from_bytes::<DaemonStatus>(bytes).ok())
+            .map(|mut b| {
+                // Soft-reserve recently allocated machines.
+                if self.cfg.soft_reservations
+                    && self
+                        .leader
+                        .recent_alloc
+                        .get(&b.node)
+                        .is_some_and(|&until| until > now)
+                {
+                    b.load += 1.0;
+                }
+                b
+            })
+            .collect()
+    }
+
+    fn try_allocate(
+        &mut self,
+        req: ReqId,
+        needs: Needs,
+        reply_to: Addr,
+        priority_boost: i32,
+        bids: &[DaemonStatus],
+        host: &mut dyn Host,
+    ) -> bool {
+        let reserved = self.reservations(bids, req);
+        let nodes = select_with(
+            self.cfg.policy,
+            bids,
+            &needs,
+            &reserved,
+            self.cfg.overload_threshold,
+            self.cfg.prefer_staged_binaries,
+        );
+        if nodes.is_empty() {
+            if self.cfg.queue_insufficient {
+                self.leader.queue.push(QueuedRequest {
+                    req,
+                    class: self.class,
+                    needs,
+                    priority_boost,
+                    enqueued_at_us: host.now_us(),
+                    reply_to,
+                });
+                host.log(format!("leader: queued {req:?} (insufficient resources)"));
+                // Tell the executor we have it (stops retry exhaustion).
+                self.send(host, reply_to, &ExmMsg::RequestQueued { req });
+            } else {
+                self.send(
+                    host,
+                    reply_to,
+                    &ExmMsg::AllocError {
+                        req,
+                        reason: "insufficient resources in group".into(),
+                    },
+                );
+            }
+            return false;
+        }
+        let until = host.now_us() + 1_000_000;
+        for &n in &nodes {
+            self.leader.recent_alloc.insert(n, until);
+        }
+        self.leader.served.insert(req, nodes.clone());
+        host.log(format!("leader: allocated {req:?} -> {nodes:?}"));
+        self.send(host, reply_to, &ExmMsg::Allocation { req, nodes });
+        true
+    }
+
+    fn handle_collect_done(
+        &mut self,
+        id: BcastId,
+        replies: Vec<(Addr, bytes::Bytes)>,
+        host: &mut dyn Host,
+    ) {
+        let Some(kind) = self.leader.collects.remove(&id) else {
+            return;
+        };
+        if !self.gm.is_coordinator() {
+            return; // deposed mid-collect
+        }
+        let now = host.now_us();
+        let bids = self.effective_bids(&replies, now);
+        match kind {
+            CollectKind::Allocate(req) => {
+                let Some((needs, reply_to, boost)) = self.leader.pending.remove(&req) else {
+                    return;
+                };
+                self.try_allocate(req, needs, reply_to, boost, &bids, host);
+            }
+            CollectKind::Rebalance => {
+                self.serve_queue(&bids, host);
+                if self.cfg.migration_enabled {
+                    self.plan_migrations(&bids, host);
+                }
+            }
+        }
+    }
+
+    fn serve_queue(&mut self, bids: &[DaemonStatus], host: &mut dyn Host) {
+        let now = host.now_us();
+        let mut bids = bids.to_vec();
+        for q in self.leader.queue.service_order(now) {
+            let reserved: Vec<NodeId> = Vec::new(); // aged head of queue takes what it needs
+            let nodes = select_with(
+                self.cfg.policy,
+                &bids,
+                &q.needs,
+                &reserved,
+                self.cfg.overload_threshold,
+                self.cfg.prefer_staged_binaries,
+            );
+            if nodes.is_empty() {
+                continue;
+            }
+            self.leader.queue.remove(q.req);
+            // Reflect the allocation in the remaining bids.
+            for b in bids.iter_mut() {
+                if nodes.contains(&b.node) {
+                    b.load += 1.0;
+                }
+            }
+            let until = now + 1_000_000;
+            for &n in &nodes {
+                self.leader.recent_alloc.insert(n, until);
+            }
+            self.leader.served.insert(q.req, nodes.clone());
+            host.log(format!("leader: dequeued {:?} -> {nodes:?}", q.req));
+            self.send(host, q.reply_to, &ExmMsg::Allocation { req: q.req, nodes });
+        }
+    }
+
+    /// §4.4 sweep: move work off owner-reclaimed machines onto idle ones.
+    fn plan_migrations(&mut self, bids: &[DaemonStatus], host: &mut dyn Host) {
+        let me = host.machine().node;
+        let mut targets: Vec<&DaemonStatus> = bids
+            .iter()
+            .filter(|b| b.willing && b.load <= self.cfg.idle_threshold)
+            .collect();
+        targets.sort_by(|a, b| {
+            a.load
+                .partial_cmp(&b.load)
+                .expect("finite")
+                .then(a.node.cmp(&b.node))
+        });
+        let mut target_iter = targets.into_iter();
+        let now = host.now_us();
+        for src in bids {
+            if src.background < self.cfg.owner_busy_threshold || src.tasks.is_empty() {
+                continue;
+            }
+            // One migration per loaded machine per sweep.
+            let candidate = src.tasks.iter().find_map(|t| {
+                if self.leader.migrating.contains(&t.key) || t.redundant {
+                    // Redundant incarnations are the source daemon's own
+                    // (cheaper) problem.
+                    return None;
+                }
+                // Hysteresis: a freshly migrated instance stays put for the
+                // cooldown even if the new owner returns — repeated rollback
+                // costs more than sharing.
+                if self
+                    .leader
+                    .last_migrated_us
+                    .get(&t.key)
+                    .is_some_and(|&at| now.saturating_sub(at) < self.cfg.migration_cooldown_us)
+                {
+                    return None;
+                }
+                choose_technique(t, true).map(|tech| (t.key, tech))
+            });
+            let Some((key, technique)) = candidate else {
+                continue;
+            };
+            let Some(target) = target_iter.next() else {
+                break; // no idle machines left
+            };
+            if target.node == src.node {
+                continue;
+            }
+            self.leader.migrating.insert(key);
+            self.leader.last_migrated_us.insert(key, now);
+            host.log(format!(
+                "leader: ordering migration of {key:?} {} -> {} ({technique:?})",
+                src.node, target.node
+            ));
+            let _ = me;
+            self.send(
+                host,
+                Addr::daemon(src.node),
+                &ExmMsg::MigrateOut {
+                    key,
+                    to: target.node,
+                    technique,
+                },
+            );
+        }
+        // Forget confirmations we can observe: anything no longer resident
+        // anywhere will re-appear in future disclosures if still running.
+        let still_resident: BTreeSet<InstanceKey> = bids
+            .iter()
+            .flat_map(|b| b.tasks.iter().map(|t| t.key))
+            .collect();
+        self.leader.migrating.retain(|k| still_resident.contains(k));
+    }
+
+    // ------------------------------------------------------------------
+    // Upcall plumbing
+    // ------------------------------------------------------------------
+
+    fn process_upcalls(&mut self, ups: Vec<Upcall>, host: &mut dyn Host) {
+        for up in ups {
+            match up {
+                Upcall::Deliver { id, payload, .. } => {
+                    if let Ok(ExmMsg::DiscloseState { .. }) =
+                        vce_codec::from_bytes::<ExmMsg>(&payload)
+                    {
+                        // Bid: reply with our status (§5's "sends its load
+                        // description to the group leader").
+                        let status = self.status(host);
+                        let bytes = vce_codec::to_bytes(&status);
+                        self.gm.reply(id, bytes.into(), host);
+                    }
+                }
+                Upcall::CollectDone(result) => {
+                    self.handle_collect_done(result.id, result.replies, host);
+                }
+                Upcall::BecameCoordinator(view) => {
+                    host.log(format!("daemon: {} is now group leader of {view}", self.me));
+                    // Fresh leader state: outstanding executor retries will
+                    // repopulate requests.
+                    self.leader = LeaderState::new(self.cfg.aging_quantum_us);
+                }
+                Upcall::ViewInstalled(_) | Upcall::Evicted => {}
+            }
+        }
+    }
+}
+
+impl Endpoint for DaemonEndpoint {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        self.gm.start(host);
+        host.set_timer(TICK_US, TOKEN_TICK);
+    }
+
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        let Ok(msg) = vce_codec::from_bytes::<ExmMsg>(&env.payload) else {
+            host.log("daemon: undecodable message dropped".into());
+            return;
+        };
+        match msg {
+            ExmMsg::Isis(m) => {
+                let ups = self.gm.handle(env.src, m, host);
+                self.process_upcalls(ups, host);
+            }
+            ExmMsg::ResourceRequest {
+                req,
+                class,
+                count_min,
+                count_max,
+                mem_mb,
+                unit,
+                priority_boost,
+                reply_to,
+            } => {
+                self.handle_resource_request(
+                    req,
+                    class,
+                    Needs {
+                        mem_mb,
+                        count_min,
+                        count_max,
+                        unit,
+                    },
+                    priority_boost,
+                    reply_to,
+                    host,
+                );
+            }
+            ExmMsg::Load(lp) => self.handle_load(lp, host),
+            ExmMsg::KillTask { key } => {
+                self.kill_task(key, host);
+            }
+            ExmMsg::MigrateOut { key, to, technique } => {
+                self.handle_migrate_out(key, to, technique, host);
+            }
+            ExmMsg::MigrateIn(state) => self.handle_migrate_in(state, host),
+            ExmMsg::Terminate { app } => {
+                let keys: Vec<InstanceKey> = self
+                    .tasks
+                    .keys()
+                    .copied()
+                    .filter(|k| k.app == app)
+                    .collect();
+                for key in keys {
+                    self.kill_task(key, host);
+                }
+            }
+            ExmMsg::AnticipateCompile { unit, compile_mops } => {
+                // §4.5: anticipatory work uses *idle* cycles only — a busy
+                // machine ignores the suggestion.
+                if host.load() >= 1.0 {
+                    return;
+                }
+                if !self.binaries.contains(&unit) && !self.compiles.values().any(|u| *u == unit) {
+                    let pid = self.next_pid;
+                    self.next_pid += 1;
+                    self.compiles.insert(pid, unit);
+                    host.start_work(pid, compile_mops);
+                }
+            }
+            ExmMsg::AnticipateFile { file, kib } => {
+                if !self.files.contains(&file) {
+                    // The replica transfer happens off the critical path;
+                    // model arrival after the transfer time.
+                    self.files.insert(file);
+                    let _ = kib; // charged to the (idle) network, not the CPU
+                }
+            }
+            ExmMsg::ProbeTask { key, reply_to } => {
+                let running = self.tasks.contains_key(&key);
+                let node = host.machine().node;
+                self.send(
+                    host,
+                    reply_to,
+                    &ExmMsg::TaskStatusReply { key, running, node },
+                );
+            }
+            // Messages only other roles receive.
+            ExmMsg::Allocation { .. }
+            | ExmMsg::RequestQueued { .. }
+            | ExmMsg::TaskStatusReply { .. }
+            | ExmMsg::AllocError { .. }
+            | ExmMsg::DiscloseState { .. }
+            | ExmMsg::TaskDone { .. }
+            | ExmMsg::TaskEvicted { .. }
+            | ExmMsg::TaskMoved { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        if is_isis_token(token) {
+            let ups = self.gm.on_timer(token, host);
+            self.process_upcalls(ups, host);
+            return;
+        }
+        match token {
+            TOKEN_TICK => {
+                host.set_timer(TICK_US, TOKEN_TICK);
+                self.evict_redundant(host);
+                if self.gm.is_coordinator() {
+                    let now = host.now_us();
+                    let due = now.saturating_sub(self.leader.last_rebalance_us)
+                        >= self.cfg.rebalance_period_us;
+                    let needed = !self.leader.queue.is_empty()
+                        || (self.cfg.migration_enabled && self.gm.view().len() > 1);
+                    if due && needed {
+                        self.leader.last_rebalance_us = now;
+                        self.start_collect(CollectKind::Rebalance, host);
+                    }
+                    // Expire soft reservations.
+                    self.leader.recent_alloc.retain(|_, &mut until| until > now);
+                }
+            }
+            t if t >= TOKEN_TRANSFER_BASE => {
+                let pid = t - TOKEN_TRANSFER_BASE;
+                if let Some(&key) = self.pid_of.get(&pid) {
+                    if self
+                        .tasks
+                        .get(&key)
+                        .is_some_and(|r| r.state == RunState::Transferring)
+                    {
+                        self.advance_prep(key, host);
+                    }
+                }
+            }
+            t if t >= TOKEN_FETCH_BASE => {
+                let pid = t - TOKEN_FETCH_BASE;
+                if let Some(&key) = self.pid_of.get(&pid) {
+                    if self
+                        .tasks
+                        .get(&key)
+                        .is_some_and(|r| r.state == RunState::Fetching)
+                    {
+                        self.start_running(key, host);
+                    }
+                }
+            }
+            t if t >= TOKEN_CHECKPOINT_BASE => {
+                let pid = t - TOKEN_CHECKPOINT_BASE;
+                if let Some(&key) = self.pid_of.get(&pid) {
+                    if let Some(r) = self.tasks.get_mut(&key) {
+                        if r.state == RunState::Running(pid) {
+                            if let Some(rem) = host.work_remaining(pid) {
+                                r.checkpointed_remaining = rem;
+                                host.set_timer(
+                                    r.lp.checkpoint_interval_us.max(1),
+                                    TOKEN_CHECKPOINT_BASE + pid,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_work_done(&mut self, pid: u64, host: &mut dyn Host) {
+        if let Some(unit) = self.compiles.remove(&pid) {
+            self.binaries.insert(unit);
+            // A dispatch-blocked task may be waiting on this compile.
+            if let Some(&key) = self.pid_of.get(&pid) {
+                if self
+                    .tasks
+                    .get(&key)
+                    .is_some_and(|r| r.state == RunState::Compiling(pid))
+                {
+                    self.advance_prep(key, host);
+                }
+            }
+            return;
+        }
+        if let Some(&key) = self.pid_of.get(&pid) {
+            if self
+                .tasks
+                .get(&key)
+                .is_some_and(|r| r.state == RunState::Running(pid))
+            {
+                self.finish_task(key, host);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

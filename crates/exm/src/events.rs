@@ -1,0 +1,167 @@
+//! Application timeline events — what experiments read from the executor.
+
+use vce_net::NodeId;
+
+use crate::migrate::MigrationTechnique;
+use crate::msg::{InstanceKey, ReqId};
+
+/// One time-stamped application event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppEvent {
+    /// A resource request was (re)sent to a group.
+    RequestSent {
+        /// The request.
+        req: ReqId,
+    },
+    /// An allocation arrived.
+    Allocated {
+        /// The request.
+        req: ReqId,
+        /// Machines granted.
+        nodes: Vec<NodeId>,
+    },
+    /// The group refused the request.
+    AllocFailed {
+        /// The request.
+        req: ReqId,
+        /// Leader's reason.
+        reason: String,
+    },
+    /// A program was sent to a machine.
+    Loaded {
+        /// The instance.
+        key: InstanceKey,
+        /// The machine.
+        node: NodeId,
+    },
+    /// An instance finished.
+    InstanceDone {
+        /// The instance.
+        key: InstanceKey,
+        /// Where it finished.
+        node: NodeId,
+    },
+    /// An instance was evicted and is being recovered.
+    InstanceEvicted {
+        /// The instance.
+        key: InstanceKey,
+        /// The machine that evicted it.
+        node: NodeId,
+    },
+    /// An instance changed machines.
+    InstanceMoved {
+        /// The instance.
+        key: InstanceKey,
+        /// New machine.
+        to: NodeId,
+    },
+    /// A whole task (all instances) completed.
+    TaskComplete {
+        /// Task id in the graph.
+        task: u32,
+    },
+    /// The application finished; termination was broadcast.
+    AppDone,
+}
+
+/// A recorded timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<(u64, AppEvent)>,
+}
+
+impl Timeline {
+    /// Record an event at `now_us`.
+    pub fn push(&mut self, now_us: u64, event: AppEvent) {
+        self.events.push((now_us, event));
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[(u64, AppEvent)] {
+        &self.events
+    }
+
+    /// Time of the first event matching the predicate.
+    pub fn first_time(&self, pred: impl Fn(&AppEvent) -> bool) -> Option<u64> {
+        self.events.iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
+    }
+
+    /// Time of [`AppEvent::AppDone`] (the application makespan).
+    pub fn done_at(&self) -> Option<u64> {
+        self.first_time(|e| matches!(e, AppEvent::AppDone))
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&AppEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Request→allocation latency for one request, µs.
+    pub fn allocation_latency(&self, req: ReqId) -> Option<u64> {
+        let sent =
+            self.first_time(|e| matches!(e, AppEvent::RequestSent { req: r } if *r == req))?;
+        let alloc =
+            self.first_time(|e| matches!(e, AppEvent::Allocated { req: r, .. } if *r == req))?;
+        Some(alloc.saturating_sub(sent))
+    }
+}
+
+/// A migration observed by the daemon side, for experiment accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// What moved.
+    pub key: InstanceKey,
+    /// Technique used.
+    pub technique: MigrationTechnique,
+    /// Source machine.
+    pub from: NodeId,
+    /// Destination machine.
+    pub to: NodeId,
+    /// When the source killed the job, µs.
+    pub out_at_us: u64,
+    /// State volume moved, KiB.
+    pub state_kib: u64,
+    /// Work re-executed due to rollback, Mops.
+    pub lost_mops: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AppId;
+
+    #[test]
+    fn timeline_queries() {
+        let req = ReqId {
+            app: AppId(1),
+            seq: 0,
+        };
+        let mut t = Timeline::default();
+        t.push(10, AppEvent::RequestSent { req });
+        t.push(
+            250,
+            AppEvent::Allocated {
+                req,
+                nodes: vec![NodeId(1)],
+            },
+        );
+        t.push(900, AppEvent::AppDone);
+        assert_eq!(t.allocation_latency(req), Some(240));
+        assert_eq!(t.done_at(), Some(900));
+        assert_eq!(t.count(|e| matches!(e, AppEvent::Allocated { .. })), 1);
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn missing_events_yield_none() {
+        let t = Timeline::default();
+        assert_eq!(t.done_at(), None);
+        assert_eq!(
+            t.allocation_latency(ReqId {
+                app: AppId(1),
+                seq: 9
+            }),
+            None
+        );
+    }
+}

@@ -1,0 +1,758 @@
+//! The execution program (§5's `execute()` pseudocode) — one per
+//! application, running on the submitting user's workstation.
+//!
+//! It walks the (coding-complete) task graph: for every dispatchable task
+//! it sends a resource request to the appropriate class group, loads the
+//! program on the allocated machines, tracks instance completions (and
+//! evictions, and moves), charges dataflow transfer time before dependents
+//! dispatch, runs `LOCAL` tasks on the user's own workstation, and
+//! broadcasts termination when everything is done.
+//!
+//! One deliberate generalization over the 1994 pseudocode: the prototype
+//! allocated *everything* up front and then started execution; we dispatch
+//! tasks as their dataflow predecessors finish (the paper's own §4
+//! describes exactly this dynamic behaviour as the goal). Retries make the
+//! executor robust to leader failover: requests are idempotent and
+//! re-sent until answered.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use vce_channels::registry::{ChannelId, ChannelRegistry, PortId as ChanPortId, Role};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
+use vce_sdm::MachineDb;
+use vce_taskgraph::{algo, TaskGraph, TaskId};
+
+use crate::config::ExmConfig;
+use crate::events::{AppEvent, Timeline};
+use crate::msg::{encode_msg, AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
+
+const TOKEN_RETRY_BASE: u64 = 1 << 20;
+const TOKEN_DISPATCH_BASE: u64 = 2 << 20;
+const TOKEN_PROBE: u64 = 3 << 20;
+const LOCAL_PID_BASE: u64 = 1 << 16;
+/// Unanswered probes before an instance is declared lost.
+const PROBE_MISS_LIMIT: u32 = 3;
+
+#[derive(Debug)]
+struct PendingReq {
+    task: TaskId,
+    /// Instance slots this request will fill.
+    slots: Vec<u32>,
+    class: MachineClass,
+    allocated: bool,
+    retries: u32,
+}
+
+#[derive(Debug, Default)]
+struct TaskRun {
+    /// Number of instances this task runs with (fixed at first allocation
+    /// for divisible tasks).
+    instances_total: u32,
+    /// Work per instance, Mops.
+    per_instance_mops: f64,
+    done_instances: BTreeSet<u32>,
+    /// Live copies per instance (redundant execution).
+    copies: BTreeMap<u32, BTreeSet<NodeId>>,
+}
+
+/// The executor endpoint.
+pub struct ExecutorEndpoint {
+    me: Addr,
+    app: AppId,
+    graph: TaskGraph,
+    db: MachineDb,
+    cfg: ExmConfig,
+    /// §4.5 anticipatory processing on/off.
+    anticipate: bool,
+    task_state: BTreeMap<TaskId, TaskRun>,
+    completed: HashSet<TaskId>,
+    dispatched: HashSet<TaskId>,
+    next_req_seq: u32,
+    requests: BTreeMap<ReqId, PendingReq>,
+    local_pids: BTreeMap<u64, TaskId>,
+    next_local_pid: u64,
+    /// Where each instance currently runs (primary copy).
+    pub placements: BTreeMap<InstanceKey, NodeId>,
+    /// Recorded run history for experiments.
+    pub timeline: Timeline,
+    /// Set when the application cannot proceed (allocation refused).
+    pub failed: Option<String>,
+    /// Watchdog: unanswered probes per outstanding instance.
+    probe_misses: BTreeMap<InstanceKey, u32>,
+    /// §4.2 channel bookkeeping: one channel per stream arc, one port per
+    /// connected instance, redirected as instances move.
+    pub channels: ChannelRegistry,
+    /// Channel per stream arc `(from task, to task)`.
+    stream_channels: Vec<(TaskId, TaskId, ChannelId)>,
+    /// The port each instance connects through.
+    port_of: BTreeMap<InstanceKey, ChanPortId>,
+    done: bool,
+}
+
+impl ExecutorEndpoint {
+    /// Build an executor for `app` at endpoint `me` (conventionally
+    /// `Addr::executor(user_node)`; concurrent applications from one
+    /// workstation use distinct ports). The graph must be coding-complete
+    /// (`vce_taskgraph::validate`).
+    pub fn new(app: AppId, me: Addr, graph: TaskGraph, db: MachineDb, cfg: ExmConfig) -> Self {
+        debug_assert!(vce_taskgraph::validate(&graph).is_ok());
+        // Provision one channel per stream arc up front; ports attach as
+        // instances are placed ("the runtime system will be responsible for
+        // the creation, placement, and destruction of ports", §4.2).
+        let mut channels = ChannelRegistry::new();
+        let stream_channels: Vec<(TaskId, TaskId, ChannelId)> = graph
+            .arcs()
+            .iter()
+            .filter(|a| a.kind == vce_taskgraph::ArcKind::Stream)
+            .map(|a| (a.from, a.to, channels.create_channel()))
+            .collect();
+        Self {
+            me,
+            app,
+            graph,
+            db,
+            cfg,
+            anticipate: false,
+            task_state: BTreeMap::new(),
+            completed: HashSet::new(),
+            dispatched: HashSet::new(),
+            next_req_seq: 0,
+            requests: BTreeMap::new(),
+            local_pids: BTreeMap::new(),
+            next_local_pid: LOCAL_PID_BASE,
+            placements: BTreeMap::new(),
+            timeline: Timeline::default(),
+            failed: None,
+            probe_misses: BTreeMap::new(),
+            channels,
+            stream_channels,
+            port_of: BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// Connect a placed instance's port to every stream channel its task
+    /// participates in, at its current machine.
+    fn wire_ports(&mut self, key: InstanceKey, node: NodeId) {
+        let task = TaskId(key.task);
+        let involved: Vec<(ChannelId, Role)> = self
+            .stream_channels
+            .iter()
+            .filter_map(|&(from, to, ch)| {
+                if from == task {
+                    Some((ch, Role::Sender))
+                } else if to == task {
+                    Some((ch, Role::Receiver))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if involved.is_empty() {
+            return;
+        }
+        let port = *self
+            .port_of
+            .entry(key)
+            .or_insert_with(|| self.channels.create_port(Addr::daemon(node)));
+        let _ = self.channels.move_port(port, Addr::daemon(node));
+        for (ch, role) in involved {
+            let _ = self.channels.attach(port, ch, role);
+        }
+    }
+
+    /// Redirect an instance's port after a move (§4.2: "monitor, redirect,
+    /// and move connections between tasks").
+    fn redirect_port(&mut self, key: InstanceKey, to: NodeId) {
+        if let Some(&port) = self.port_of.get(&key) {
+            let _ = self.channels.move_port(port, Addr::daemon(to));
+        }
+    }
+
+    /// Destroy an instance's port when it finishes.
+    fn retire_port(&mut self, key: InstanceKey) {
+        if let Some(port) = self.port_of.remove(&key) {
+            let _ = self.channels.destroy_port(port);
+        }
+    }
+
+    /// Enable §4.5 anticipatory processing (pre-compilation and input-file
+    /// replication for dataflow-blocked tasks).
+    pub fn with_anticipation(mut self, on: bool) -> Self {
+        self.anticipate = on;
+        self
+    }
+
+    /// Application finished (successfully or not)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Makespan, µs, once done.
+    pub fn makespan_us(&self) -> Option<u64> {
+        self.timeline.done_at()
+    }
+
+    fn send(&self, host: &mut dyn Host, dst: Addr, msg: &ExmMsg) {
+        host.send(self.me, dst, encode_msg(msg));
+    }
+
+    fn class_daemons(&self, class: MachineClass) -> Vec<Addr> {
+        self.db
+            .by_class(class)
+            .map(|m| Addr::daemon(m.node))
+            .collect()
+    }
+
+    fn spec(&self, task: TaskId) -> &vce_taskgraph::TaskSpec {
+        self.graph.get(task).expect("valid task id")
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch_ready(&mut self, host: &mut dyn Host) {
+        let running: HashSet<TaskId> = self.dispatched.iter().copied().collect();
+        let mut ready = algo::ready_set(&self.graph, &self.completed, &running);
+        // §3.1.1's hint: "dispatching of the longer job can be given higher
+        // priority so opportunities for parallel execution will be
+        // maximized" — request resources for dominant tasks first.
+        ready.sort_by_key(|&t| {
+            let spec = self.graph.get(t).expect("valid id");
+            (std::cmp::Reverse(spec.hints.expected_dominance), t)
+        });
+        for task in ready {
+            // Charge the dataflow transfer time from finished predecessors
+            // before the dependent may start.
+            let delay: u64 = self
+                .graph
+                .arcs()
+                .iter()
+                .filter(|a| a.kind == vce_taskgraph::ArcKind::DataFlow && a.to == task)
+                .map(|a| a.data_kib * self.cfg.transfer_us_per_kib)
+                .max()
+                .unwrap_or(0);
+            self.dispatched.insert(task);
+            if delay > 0 {
+                host.set_timer(delay, TOKEN_DISPATCH_BASE + u64::from(task.0));
+            } else {
+                self.dispatch_task(task, host);
+            }
+        }
+    }
+
+    fn dispatch_task(&mut self, task: TaskId, host: &mut dyn Host) {
+        let spec = self.spec(task).clone();
+        if spec.local_only {
+            // Run on the user's workstation (§5 LOCAL).
+            let run = self.task_state.entry(task).or_default();
+            run.instances_total = spec.instances;
+            run.per_instance_mops = spec.work_mops;
+            for i in 0..spec.instances {
+                let pid = self.next_local_pid;
+                self.next_local_pid += 1;
+                self.local_pids.insert(pid, task);
+                host.start_work(pid, spec.work_mops);
+                let key = InstanceKey {
+                    app: self.app,
+                    task: task.0,
+                    instance: i,
+                };
+                let node = host.machine().node;
+                self.placements.insert(key, node);
+                self.timeline
+                    .push(host.now_us(), AppEvent::Loaded { key, node });
+            }
+            return;
+        }
+        let classes = self.db.feasible_classes(&spec);
+        let Some(&class) = classes.first() else {
+            self.fail(host, format!("no feasible machines for task {task:?}"));
+            return;
+        };
+        let (count_min, count_max) = if spec.divisible {
+            (1, spec.instances)
+        } else {
+            (
+                spec.instances_min.min(spec.instances),
+                spec.instances * self.cfg.redundancy.max(1),
+            )
+        };
+        let slots: Vec<u32> = (0..spec.instances).collect();
+        self.send_request(task, class, slots, count_min, count_max, host);
+    }
+
+    fn send_request(
+        &mut self,
+        task: TaskId,
+        class: MachineClass,
+        slots: Vec<u32>,
+        count_min: u32,
+        count_max: u32,
+        host: &mut dyn Host,
+    ) {
+        let spec = self.spec(task).clone();
+        let req = ReqId {
+            app: self.app,
+            seq: self.next_req_seq,
+        };
+        self.next_req_seq += 1;
+        self.requests.insert(
+            req,
+            PendingReq {
+                task,
+                slots,
+                class,
+                allocated: false,
+                retries: 0,
+            },
+        );
+        let msg = ExmMsg::ResourceRequest {
+            req,
+            class,
+            count_min,
+            count_max,
+            mem_mb: spec.mem_mb,
+            unit: spec.name.clone(),
+            priority_boost: spec.hints.priority_boost,
+            reply_to: self.me,
+        };
+        for d in self.class_daemons(class) {
+            self.send(host, d, &msg);
+        }
+        self.timeline
+            .push(host.now_us(), AppEvent::RequestSent { req });
+        host.set_timer(
+            self.cfg.request_retry_us,
+            TOKEN_RETRY_BASE + u64::from(req.seq),
+        );
+    }
+
+    fn handle_allocation(&mut self, req: ReqId, nodes: Vec<NodeId>, host: &mut dyn Host) {
+        let Some(pending) = self.requests.get_mut(&req) else {
+            return;
+        };
+        if pending.allocated || nodes.is_empty() {
+            return; // duplicate (leader retry / failover re-allocation)
+        }
+        pending.allocated = true;
+        let task = pending.task;
+        let slots = pending.slots.clone();
+        self.timeline.push(
+            host.now_us(),
+            AppEvent::Allocated {
+                req,
+                nodes: nodes.clone(),
+            },
+        );
+        let spec = self.spec(task).clone();
+        let run = self.task_state.entry(task).or_default();
+        // Instance plan: divisible tasks split work across what we got;
+        // others replicate, with surplus machines as redundant copies.
+        let (assignments, per_instance): (Vec<(u32, NodeId, bool)>, f64) = if spec.divisible {
+            let n = nodes.len().min(slots.len()).max(1);
+            run.instances_total = n as u32;
+            let per = spec.work_mops / n as f64;
+            (
+                nodes
+                    .iter()
+                    .take(n)
+                    .enumerate()
+                    .map(|(i, &node)| (i as u32, node, false))
+                    .collect(),
+                per,
+            )
+        } else {
+            // Ranged requests (`SYNC 5,10`) accept fewer primaries than the
+            // maximum: instances_total becomes what the group granted (at
+            // least instances_min — the leader enforced count_min).
+            let primaries = slots.len().min(nodes.len()).max(1);
+            run.instances_total = run.instances_total.max(primaries as u32);
+            let redundant = nodes.len() > primaries;
+            let mut v = Vec::new();
+            for (i, &slot) in slots.iter().take(primaries).enumerate() {
+                if let Some(&node) = nodes.get(i) {
+                    v.push((slot, node, redundant));
+                }
+            }
+            // Surplus machines host redundant copies, round-robin.
+            for (j, &node) in nodes.iter().enumerate().skip(primaries) {
+                let slot = slots[(j - primaries) % primaries];
+                v.push((slot, node, true));
+            }
+            (v, spec.work_mops)
+        };
+        run.per_instance_mops = per_instance;
+        for (slot, node, redundant) in assignments {
+            let key = InstanceKey {
+                app: self.app,
+                task: task.0,
+                instance: slot,
+            };
+            let run = self.task_state.entry(task).or_default();
+            run.copies.entry(slot).or_default().insert(node);
+            self.placements.entry(key).or_insert(node);
+            self.wire_ports(key, node);
+            let lp = LoadProgram {
+                key,
+                unit: spec.name.clone(),
+                work_mops: per_instance,
+                mem_mb: spec.mem_mb,
+                checkpoints: spec.migration.checkpoints,
+                checkpoint_interval_us: u64::from(spec.migration.checkpoint_interval_s) * 1_000_000,
+                restartable: spec.migration.restartable,
+                core_dumpable: spec.migration.core_dumpable,
+                redundant,
+                input_files: spec.input_files.clone(),
+                reply_to: self.me,
+            };
+            self.send(host, Addr::daemon(node), &ExmMsg::Load(lp));
+            self.timeline
+                .push(host.now_us(), AppEvent::Loaded { key, node });
+        }
+    }
+
+    fn instance_done(&mut self, key: InstanceKey, node: NodeId, host: &mut dyn Host) {
+        let task = TaskId(key.task);
+        let Some(run) = self.task_state.get_mut(&task) else {
+            return;
+        };
+        if !run.done_instances.insert(key.instance) {
+            return; // duplicate completion (redundant copy raced the kill)
+        }
+        // Kill surviving redundant copies of this instance.
+        let others: Vec<NodeId> = run
+            .copies
+            .remove(&key.instance)
+            .map(|set| set.into_iter().filter(|&n| n != node).collect())
+            .unwrap_or_default();
+        self.placements.insert(key, node);
+        self.retire_port(key);
+        self.timeline
+            .push(host.now_us(), AppEvent::InstanceDone { key, node });
+        for other in others {
+            self.send(host, Addr::daemon(other), &ExmMsg::KillTask { key });
+        }
+        let run = self.task_state.get(&task).expect("present");
+        if run.done_instances.len() as u32 >= run.instances_total {
+            self.completed.insert(task);
+            self.timeline
+                .push(host.now_us(), AppEvent::TaskComplete { task: task.0 });
+            if self.completed.len() == self.graph.len() {
+                self.finish(host);
+            } else {
+                if self.anticipate {
+                    self.send_anticipations(host);
+                }
+                self.dispatch_ready(host);
+            }
+        }
+    }
+
+    fn instance_evicted(&mut self, key: InstanceKey, node: NodeId, host: &mut dyn Host) {
+        let task = TaskId(key.task);
+        self.timeline
+            .push(host.now_us(), AppEvent::InstanceEvicted { key, node });
+        let Some(run) = self.task_state.get_mut(&task) else {
+            return;
+        };
+        if run.done_instances.contains(&key.instance) {
+            return;
+        }
+        let copies = run.copies.entry(key.instance).or_default();
+        copies.remove(&node);
+        if let Some(&next) = copies.iter().next() {
+            // A redundant copy survives: it becomes the primary the
+            // watchdog follows.
+            self.placements.insert(key, next);
+            return;
+        }
+        if copies.is_empty() {
+            // Last incarnation gone: re-request one machine for this slot.
+            let spec = self.spec(task).clone();
+            let classes = self.db.feasible_classes(&spec);
+            if let Some(&class) = classes.first() {
+                self.send_request(task, class, vec![key.instance], 1, 1, host);
+            }
+        }
+    }
+
+    fn finish(&mut self, host: &mut dyn Host) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.timeline.push(host.now_us(), AppEvent::AppDone);
+        // "When an application terminates, the execution program notifies
+        // all machines working on the application to terminate." (§5)
+        let app = self.app;
+        let daemons: Vec<Addr> = self
+            .db
+            .machines()
+            .iter()
+            .map(|m| Addr::daemon(m.node))
+            .collect();
+        for d in daemons {
+            self.send(host, d, &ExmMsg::Terminate { app });
+        }
+    }
+
+    fn fail(&mut self, host: &mut dyn Host, reason: String) {
+        host.log(format!("executor: application failed: {reason}"));
+        self.failed = Some(reason);
+        self.finish(host);
+    }
+
+    /// §4.5: ask idle machines to pre-compile blocked tasks' programs and
+    /// pre-stage their input files.
+    fn send_anticipations(&mut self, host: &mut dyn Host) {
+        let blocked: Vec<TaskId> = self
+            .graph
+            .ids()
+            .filter(|t| !self.completed.contains(t) && !self.dispatched.contains(t))
+            .filter(|&t| {
+                self.graph
+                    .predecessors(t)
+                    .any(|p| !self.completed.contains(&p))
+            })
+            .collect();
+        for task in blocked {
+            let spec = self.spec(task).clone();
+            for class in self.db.feasible_classes(&spec) {
+                // Fund a couple of *candidate* machines per class, not the
+                // whole group: anticipation must not steal cycles from the
+                // machines about to run the current frontier. Prefer the
+                // high end of the class (placement ties break low), and
+                // avoid our own workstation.
+                let mut targets = self.class_daemons(class);
+                targets.retain(|d| d.node != self.me.node);
+                targets.reverse();
+                targets.truncate(2);
+                if targets.is_empty() {
+                    targets = self.class_daemons(class);
+                    targets.truncate(1);
+                }
+                for d in targets {
+                    self.send(
+                        host,
+                        d,
+                        &ExmMsg::AnticipateCompile {
+                            unit: spec.name.clone(),
+                            compile_mops: self.cfg.dispatch_compile_mops,
+                        },
+                    );
+                    for f in &spec.input_files {
+                        self.send(
+                            host,
+                            d,
+                            &ExmMsg::AnticipateFile {
+                                file: f.clone(),
+                                kib: self.cfg.input_file_kib,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Watchdog helper block.
+impl ExecutorEndpoint {
+    fn instance_outstanding(&self, key: &InstanceKey) -> bool {
+        let task = TaskId(key.task);
+        if self.completed.contains(&task) {
+            return false;
+        }
+        !self
+            .task_state
+            .get(&task)
+            .is_some_and(|r| r.done_instances.contains(&key.instance))
+    }
+
+    fn run_probes(&mut self, host: &mut dyn Host) {
+        let my_node = self.me.node;
+        let targets: Vec<(InstanceKey, NodeId)> = self
+            .placements
+            .iter()
+            .filter(|(k, &n)| n != my_node && self.instance_outstanding(k))
+            .map(|(&k, &n)| (k, n))
+            .collect();
+        for (key, node) in targets {
+            let misses = self.probe_misses.entry(key).or_insert(0);
+            *misses += 1;
+            if *misses > PROBE_MISS_LIMIT {
+                // Host presumed dead: recover the instance.
+                self.probe_misses.remove(&key);
+                host.log(format!("executor: instance {key:?} lost on {node}"));
+                self.instance_evicted(key, node, host);
+            } else {
+                self.send(
+                    host,
+                    Addr::daemon(node),
+                    &ExmMsg::ProbeTask {
+                        key,
+                        reply_to: self.me,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Endpoint for ExecutorEndpoint {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        if self.anticipate {
+            self.send_anticipations(host);
+        }
+        self.dispatch_ready(host);
+        host.set_timer(self.cfg.probe_period_us, TOKEN_PROBE);
+    }
+
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        let Ok(msg) = vce_codec::from_bytes::<ExmMsg>(&env.payload) else {
+            return;
+        };
+        match msg {
+            ExmMsg::Allocation { req, nodes } => self.handle_allocation(req, nodes, host),
+            ExmMsg::AllocError { req, reason } => {
+                self.timeline.push(
+                    host.now_us(),
+                    AppEvent::AllocFailed {
+                        req,
+                        reason: reason.clone(),
+                    },
+                );
+                if self.requests.get(&req).is_some_and(|p| !p.allocated) {
+                    self.fail(host, reason);
+                }
+            }
+            ExmMsg::TaskDone { key, node } => self.instance_done(key, node, host),
+            ExmMsg::TaskEvicted { key, node } => self.instance_evicted(key, node, host),
+            ExmMsg::TaskMoved { key, to } => {
+                self.placements.insert(key, to);
+                self.redirect_port(key, to);
+                self.probe_misses.remove(&key);
+                self.timeline
+                    .push(host.now_us(), AppEvent::InstanceMoved { key, to });
+            }
+            ExmMsg::RequestQueued { req } => {
+                // The group has the request; a queue wait is not a failure.
+                if let Some(p) = self.requests.get_mut(&req) {
+                    if !p.allocated {
+                        p.retries = 0;
+                    }
+                }
+            }
+            ExmMsg::TaskStatusReply { key, running, node } => {
+                if running {
+                    self.probe_misses.remove(&key);
+                } else if self.instance_outstanding(&key) {
+                    // The daemon is alive but no longer hosts it (e.g. a
+                    // Load lost to a crash window): recover now.
+                    self.probe_misses.remove(&key);
+                    self.instance_evicted(key, node, host);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        if self.done {
+            return;
+        }
+        if token == TOKEN_PROBE {
+            self.run_probes(host);
+            host.set_timer(self.cfg.probe_period_us, TOKEN_PROBE);
+        } else if token >= TOKEN_DISPATCH_BASE {
+            let task = TaskId((token - TOKEN_DISPATCH_BASE) as u32);
+            self.dispatch_task(task, host);
+        } else if token >= TOKEN_RETRY_BASE {
+            let seq = (token - TOKEN_RETRY_BASE) as u32;
+            let req = ReqId { app: self.app, seq };
+            let state = self.requests.get(&req).map(|p| (p.allocated, p.retries));
+            match state {
+                None | Some((true, _)) => return,
+                Some((false, retries)) if retries >= 10 => {
+                    // A request unanswered through ten retry windows means
+                    // the group is unreachable (every daemon dead or
+                    // partitioned away): surface it instead of hanging.
+                    self.fail(
+                        host,
+                        format!("request {req:?} unanswered after {retries} retries"),
+                    );
+                    return;
+                }
+                Some((false, _)) => {}
+            }
+            {
+                let (class, min, max) = {
+                    let p = self.requests.get_mut(&req).expect("checked");
+                    p.retries += 1;
+                    let spec = self.graph.get(p.task).expect("valid").clone();
+                    let slots = p.slots.len() as u32;
+                    let (min, max) = if spec.divisible {
+                        (1, slots)
+                    } else {
+                        (
+                            spec.instances_min.min(slots),
+                            slots * self.cfg.redundancy.max(1),
+                        )
+                    };
+                    (p.class, min, max)
+                };
+                let spec_mem;
+                let boost;
+                let unit;
+                {
+                    let p = self.requests.get(&req).expect("checked");
+                    let spec = self.graph.get(p.task).expect("valid");
+                    spec_mem = spec.mem_mb;
+                    boost = spec.hints.priority_boost;
+                    unit = spec.name.clone();
+                }
+                let msg = ExmMsg::ResourceRequest {
+                    req,
+                    class,
+                    count_min: min,
+                    count_max: max,
+                    mem_mb: spec_mem,
+                    unit,
+                    priority_boost: boost,
+                    reply_to: self.me,
+                };
+                for d in self.class_daemons(class) {
+                    self.send(host, d, &msg);
+                }
+                self.timeline
+                    .push(host.now_us(), AppEvent::RequestSent { req });
+                host.set_timer(self.cfg.request_retry_us, token);
+            }
+        }
+    }
+
+    fn on_work_done(&mut self, pid: u64, host: &mut dyn Host) {
+        if let Some(&task) = self.local_pids.get(&pid) {
+            // Determine which instance finished: local instances complete
+            // in pid order; use the count of done instances as the slot.
+            let node = host.machine().node;
+            let instance = self
+                .task_state
+                .get(&task)
+                .map(|r| r.done_instances.len() as u32)
+                .unwrap_or(0);
+            let key = InstanceKey {
+                app: self.app,
+                task: task.0,
+                instance,
+            };
+            self.instance_done(key, node, host);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,254 @@
+//! The four process-migration techniques of §4.4 and the policy that
+//! picks one.
+//!
+//! > "The execution layer should have several of these techniques in its
+//! > repertoire. Which of these will be used for any particular migration
+//! > will depend on the state of the system and the characteristics of the
+//! > task(s) involved."
+
+use vce_codec::impl_codec_for_enum;
+
+use crate::status::ResidentTask;
+
+/// §4.4's migration techniques, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationTechnique {
+    /// "Process migration through redundant execution": kill the loaded
+    /// incarnation; an already-running copy elsewhere continues. Lowest
+    /// overhead — nothing moves.
+    Redundant,
+    /// "Process migration through checkpointing": kill and re-instantiate
+    /// from the last checkpoint. Loses progress since the checkpoint; pays
+    /// a compact state transfer; requires task cooperation.
+    Checkpoint,
+    /// "Process migration the old-fashioned way": dump the address space,
+    /// copy it, resume exactly. No lost progress but a large transfer and
+    /// **requires homogeneity** (same machine class).
+    CoreDump,
+    /// "Process migration through recompilation": restart on a different
+    /// architecture from the last portable checkpoint (or from scratch),
+    /// compiling the target binary if it is not cached. "Very expensive
+    /// but may be very robust."
+    Recompile,
+    /// Not a paper technique, but the degenerate fallback it implies:
+    /// kill and restart an idempotent task from scratch.
+    Restart,
+}
+
+impl_codec_for_enum!(MigrationTechnique {
+    MigrationTechnique::Redundant => 0,
+    MigrationTechnique::Checkpoint => 1,
+    MigrationTechnique::CoreDump => 2,
+    MigrationTechnique::Recompile => 3,
+    MigrationTechnique::Restart => 4,
+});
+
+/// State-transfer size model, KiB. Checkpoints are compact (a fraction of
+/// the address space); core dumps move everything; redundant migration
+/// moves nothing; restart/recompile move nothing (the binary is cached or
+/// rebuilt at the target).
+pub fn state_kib(technique: MigrationTechnique, mem_mb: u32) -> u64 {
+    let mem_kib = u64::from(mem_mb) * 1024;
+    match technique {
+        MigrationTechnique::Redundant => 0,
+        MigrationTechnique::Checkpoint => mem_kib / 8,
+        MigrationTechnique::CoreDump => mem_kib,
+        MigrationTechnique::Recompile => mem_kib / 8, // portable checkpoint
+        MigrationTechnique::Restart => 0,
+    }
+}
+
+/// Pick the technique for migrating `task` to a machine of the same or a
+/// different class, per §4.4's decision inputs. `None` ⇒ unmigratable.
+///
+/// Preference order minimizes overhead: redundant (free) > checkpoint
+/// (small transfer, bounded progress loss) > core dump (large transfer,
+/// no loss, same class only) > restart (lose everything) > recompile
+/// (cross-class, expensive).
+pub fn choose_technique(task: &ResidentTask, same_class: bool) -> Option<MigrationTechnique> {
+    if task.redundant {
+        return Some(MigrationTechnique::Redundant);
+    }
+    if task.checkpoints && same_class {
+        return Some(MigrationTechnique::Checkpoint);
+    }
+    if same_class && task.core_dumpable {
+        return Some(MigrationTechnique::CoreDump);
+    }
+    if !same_class {
+        // Crossing architectures requires recompilation; the task must at
+        // least checkpoint portably or be restartable.
+        if task.checkpoints || task.restartable {
+            return Some(MigrationTechnique::Recompile);
+        }
+        return None;
+    }
+    if task.restartable {
+        return Some(MigrationTechnique::Restart);
+    }
+    None
+}
+
+/// How much work survives the move: the Mops the *target* must run, given
+/// total work, remaining work, and the technique's progress semantics.
+/// `checkpointed_mops` is the remaining work as of the last checkpoint.
+pub fn carried_remaining(
+    technique: MigrationTechnique,
+    remaining_mops: f64,
+    checkpointed_remaining_mops: f64,
+    total_mops: f64,
+) -> f64 {
+    match technique {
+        // Exact state travels.
+        MigrationTechnique::CoreDump => remaining_mops,
+        // Roll back to the checkpoint.
+        MigrationTechnique::Checkpoint | MigrationTechnique::Recompile => {
+            checkpointed_remaining_mops
+        }
+        // A surviving copy keeps its own progress; the killed one carries
+        // nothing (the caller doesn't restart it).
+        MigrationTechnique::Redundant => 0.0,
+        // From scratch.
+        MigrationTechnique::Restart => total_mops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{AppId, InstanceKey};
+
+    fn task(
+        checkpoints: bool,
+        restartable: bool,
+        core_dumpable: bool,
+        redundant: bool,
+    ) -> ResidentTask {
+        ResidentTask {
+            key: InstanceKey {
+                app: AppId(1),
+                task: 0,
+                instance: 0,
+            },
+            unit: "u".into(),
+            remaining_mops: 100.0,
+            checkpoints,
+            restartable,
+            core_dumpable,
+            redundant,
+            mem_mb: 64,
+        }
+    }
+
+    #[test]
+    fn redundancy_always_wins() {
+        let t = task(true, true, true, true);
+        assert_eq!(
+            choose_technique(&t, true),
+            Some(MigrationTechnique::Redundant)
+        );
+        assert_eq!(
+            choose_technique(&t, false),
+            Some(MigrationTechnique::Redundant)
+        );
+    }
+
+    #[test]
+    fn checkpoint_preferred_within_class() {
+        let t = task(true, true, true, false);
+        assert_eq!(
+            choose_technique(&t, true),
+            Some(MigrationTechnique::Checkpoint)
+        );
+    }
+
+    #[test]
+    fn core_dump_requires_homogeneity() {
+        let t = task(false, false, true, false);
+        assert_eq!(
+            choose_technique(&t, true),
+            Some(MigrationTechnique::CoreDump)
+        );
+        assert_eq!(choose_technique(&t, false), None, "no portable state");
+    }
+
+    #[test]
+    fn cross_class_needs_recompilation() {
+        let t = task(true, false, true, false);
+        assert_eq!(
+            choose_technique(&t, false),
+            Some(MigrationTechnique::Recompile)
+        );
+        let t = task(false, true, false, false);
+        assert_eq!(
+            choose_technique(&t, false),
+            Some(MigrationTechnique::Recompile)
+        );
+    }
+
+    #[test]
+    fn restart_is_last_resort_within_class() {
+        let t = task(false, true, false, false);
+        assert_eq!(
+            choose_technique(&t, true),
+            Some(MigrationTechnique::Restart)
+        );
+    }
+
+    #[test]
+    fn stubborn_task_is_unmigratable() {
+        let t = task(false, false, false, false);
+        assert_eq!(choose_technique(&t, true), None);
+        assert_eq!(choose_technique(&t, false), None);
+    }
+
+    #[test]
+    fn transfer_sizes_ordered_as_the_paper_argues() {
+        let mem = 64;
+        assert_eq!(state_kib(MigrationTechnique::Redundant, mem), 0);
+        assert!(
+            state_kib(MigrationTechnique::Checkpoint, mem)
+                < state_kib(MigrationTechnique::CoreDump, mem)
+        );
+        assert_eq!(state_kib(MigrationTechnique::CoreDump, mem), 64 * 1024);
+        assert_eq!(state_kib(MigrationTechnique::Restart, mem), 0);
+    }
+
+    #[test]
+    fn carried_work_semantics() {
+        // total 100, remaining 40, last checkpoint at remaining 55.
+        assert_eq!(
+            carried_remaining(MigrationTechnique::CoreDump, 40.0, 55.0, 100.0),
+            40.0
+        );
+        assert_eq!(
+            carried_remaining(MigrationTechnique::Checkpoint, 40.0, 55.0, 100.0),
+            55.0
+        );
+        assert_eq!(
+            carried_remaining(MigrationTechnique::Restart, 40.0, 55.0, 100.0),
+            100.0
+        );
+        assert_eq!(
+            carried_remaining(MigrationTechnique::Redundant, 40.0, 55.0, 100.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn technique_codec_round_trip() {
+        for t in [
+            MigrationTechnique::Redundant,
+            MigrationTechnique::Checkpoint,
+            MigrationTechnique::CoreDump,
+            MigrationTechnique::Recompile,
+            MigrationTechnique::Restart,
+        ] {
+            let bytes = vce_codec::to_bytes(&t);
+            assert_eq!(
+                vce_codec::from_bytes::<MigrationTechnique>(&bytes).unwrap(),
+                t
+            );
+        }
+    }
+}

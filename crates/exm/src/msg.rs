@@ -1,0 +1,658 @@
+//! The execution-module wire protocol.
+
+use bytes::Bytes;
+use vce_codec::{Codec, CodecError, Decoder, Encoder, Result};
+use vce_isis::IsisMsg;
+use vce_net::{Addr, MachineClass, NodeId};
+
+use crate::migrate::MigrationTechnique;
+use crate::status::DaemonStatus;
+
+/// Identifies one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u64);
+
+/// Identifies one resource request within an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId {
+    /// The application.
+    pub app: AppId,
+    /// Request counter within the app.
+    pub seq: u32,
+}
+
+/// Identifies one running task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceKey {
+    /// The application.
+    pub app: AppId,
+    /// Task id within the app's graph.
+    pub task: u32,
+    /// Instance number within the task.
+    pub instance: u32,
+}
+
+impl Codec for AppId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AppId(dec.get_u64()?))
+    }
+}
+
+impl Codec for ReqId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.app.encode(enc);
+        enc.put_u32(self.seq);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(ReqId {
+            app: AppId::decode(dec)?,
+            seq: dec.get_u32()?,
+        })
+    }
+}
+
+impl Codec for InstanceKey {
+    fn encode(&self, enc: &mut Encoder) {
+        self.app.encode(enc);
+        enc.put_u32(self.task);
+        enc.put_u32(self.instance);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(InstanceKey {
+            app: AppId::decode(dec)?,
+            task: dec.get_u32()?,
+            instance: dec.get_u32()?,
+        })
+    }
+}
+
+/// The program-loading order: everything a daemon needs to run one task
+/// instance (§5: "the execution program then sends a path specification of
+/// the program to be executed to each daemon on the list" — plus the
+/// runtime metadata our richer runtime carries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProgram {
+    /// Which instance this is.
+    pub key: InstanceKey,
+    /// Program path / unit name (binary cache key).
+    pub unit: String,
+    /// Compute per instance, Mops.
+    pub work_mops: f64,
+    /// Memory requirement, MB (sizes address-space migration).
+    pub mem_mb: u32,
+    /// Task checkpoints cooperatively.
+    pub checkpoints: bool,
+    /// Checkpoint interval, µs.
+    pub checkpoint_interval_us: u64,
+    /// Task may be killed/restarted from scratch.
+    pub restartable: bool,
+    /// Address space may be dumped and resumed (same class).
+    pub core_dumpable: bool,
+    /// Other redundant incarnations exist; the daemon may evict this one
+    /// when the owner returns (§4.4 migration-through-redundant-execution).
+    pub redundant: bool,
+    /// Input files the program reads (must be present or fetched).
+    pub input_files: Vec<String>,
+    /// Where completion reports go.
+    pub reply_to: Addr,
+}
+
+impl Codec for LoadProgram {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        self.unit.encode(enc);
+        enc.put_f64(self.work_mops);
+        enc.put_u32(self.mem_mb);
+        enc.put_bool(self.checkpoints);
+        enc.put_u64(self.checkpoint_interval_us);
+        enc.put_bool(self.restartable);
+        enc.put_bool(self.core_dumpable);
+        enc.put_bool(self.redundant);
+        self.input_files.encode(enc);
+        self.reply_to.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(LoadProgram {
+            key: InstanceKey::decode(dec)?,
+            unit: String::decode(dec)?,
+            work_mops: dec.get_f64()?,
+            mem_mb: dec.get_u32()?,
+            checkpoints: dec.get_bool()?,
+            checkpoint_interval_us: dec.get_u64()?,
+            restartable: dec.get_bool()?,
+            core_dumpable: dec.get_bool()?,
+            redundant: dec.get_bool()?,
+            input_files: Vec::<String>::decode(dec)?,
+            reply_to: Addr::decode(dec)?,
+        })
+    }
+}
+
+/// Migration state in flight between daemons (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationState {
+    /// The instance being moved.
+    pub key: InstanceKey,
+    /// Program unit.
+    pub unit: String,
+    /// Work still to execute at the target, Mops.
+    pub remaining_mops: f64,
+    /// Bytes of state that travelled, KiB (target charges transfer time).
+    pub state_kib: u64,
+    /// Technique used (target may need to recompile).
+    pub technique: MigrationTechnique,
+    /// Memory requirement, MB.
+    pub mem_mb: u32,
+    /// Checkpointing metadata carried over.
+    pub checkpoints: bool,
+    /// Checkpoint interval, µs.
+    pub checkpoint_interval_us: u64,
+    /// Where completion reports go.
+    pub reply_to: Addr,
+}
+
+impl Codec for MigrationState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        self.unit.encode(enc);
+        enc.put_f64(self.remaining_mops);
+        enc.put_u64(self.state_kib);
+        self.technique.encode(enc);
+        enc.put_u32(self.mem_mb);
+        enc.put_bool(self.checkpoints);
+        enc.put_u64(self.checkpoint_interval_us);
+        self.reply_to.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(MigrationState {
+            key: InstanceKey::decode(dec)?,
+            unit: String::decode(dec)?,
+            remaining_mops: dec.get_f64()?,
+            state_kib: dec.get_u64()?,
+            technique: MigrationTechnique::decode(dec)?,
+            mem_mb: dec.get_u32()?,
+            checkpoints: dec.get_bool()?,
+            checkpoint_interval_us: dec.get_u64()?,
+            reply_to: Addr::decode(dec)?,
+        })
+    }
+}
+
+/// Every message the execution module exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExmMsg {
+    /// Group-communication traffic (membership, bids) rides inside the
+    /// daemon protocol.
+    Isis(IsisMsg),
+    /// Executor → class group: request machines (Fig. 3). Sent to every
+    /// daemon of the class; only the current leader fields it.
+    ResourceRequest {
+        /// Request identity (idempotent across retries).
+        req: ReqId,
+        /// Class whose group should serve this.
+        class: MachineClass,
+        /// Minimum machines needed.
+        count_min: u32,
+        /// Machines that can be used.
+        count_max: u32,
+        /// Per-instance memory requirement, MB.
+        mem_mb: u32,
+        /// Program unit to be run (placement prefers machines with its
+        /// binary staged).
+        unit: String,
+        /// User/administrator priority boost (§4.3 authorized users).
+        priority_boost: i32,
+        /// Reply address (the executor).
+        reply_to: Addr,
+    },
+    /// Leader → executor: machines allocated, in preference order.
+    Allocation {
+        /// The request answered.
+        req: ReqId,
+        /// Allocated machines.
+        nodes: Vec<NodeId>,
+    },
+    /// Leader → executor: cannot serve (§5: "If there are insufficient
+    /// resources within a group a message to that effect is returned").
+    AllocError {
+        /// The request refused.
+        req: ReqId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The state-disclosure request the leader broadcasts inside the group
+    /// (payload of the isis collect; kept for completeness of the enum).
+    DiscloseState {
+        /// Correlation id.
+        req: ReqId,
+    },
+    /// Executor → daemon: load and start a program.
+    Load(LoadProgram),
+    /// Daemon → executor: instance finished.
+    TaskDone {
+        /// Which instance.
+        key: InstanceKey,
+        /// Where it ran.
+        node: NodeId,
+    },
+    /// Daemon → executor: instance was evicted (redundant incarnation
+    /// killed by owner activity, or machine shutdown).
+    TaskEvicted {
+        /// Which instance.
+        key: InstanceKey,
+        /// Where it was running.
+        node: NodeId,
+    },
+    /// Executor/daemon → daemon: kill an incarnation (redundancy cleanup).
+    KillTask {
+        /// Which instance.
+        key: InstanceKey,
+    },
+    /// Leader → daemon: migrate a task away.
+    MigrateOut {
+        /// Which instance.
+        key: InstanceKey,
+        /// Destination machine.
+        to: NodeId,
+        /// Technique to use.
+        technique: MigrationTechnique,
+    },
+    /// Source daemon → target daemon: the travelling process image.
+    MigrateIn(MigrationState),
+    /// Daemon → executor: a task changed machines (channel redirection).
+    TaskMoved {
+        /// Which instance.
+        key: InstanceKey,
+        /// New host.
+        to: NodeId,
+    },
+    /// Executor → everyone involved: the application is over.
+    Terminate {
+        /// The application.
+        app: AppId,
+    },
+    /// Executor → daemon: anticipatory compilation (§4.5) — compile `unit`
+    /// for this daemon's class now, using idle cycles.
+    AnticipateCompile {
+        /// Program unit.
+        unit: String,
+        /// Compile cost, Mops of compiler work.
+        compile_mops: f64,
+    },
+    /// Executor → daemon: anticipatory file replication (§4.5).
+    AnticipateFile {
+        /// File path.
+        file: String,
+        /// Size, KiB (drives fetch time when *not* anticipated).
+        kib: u64,
+    },
+    /// Executor → daemon: is this instance still alive there? (The
+    /// executor's watchdog against host crashes — the fault-tolerance §3.1.2
+    /// promises "while the application is running".)
+    ProbeTask {
+        /// Which instance.
+        key: InstanceKey,
+        /// Where to reply.
+        reply_to: Addr,
+    },
+    /// Leader → executor: the request cannot be served right now and has
+    /// been queued with priority aging (§4.3). Resets the executor's
+    /// retry budget so a long queue wait is not mistaken for a dead group.
+    RequestQueued {
+        /// The queued request.
+        req: ReqId,
+    },
+    /// Daemon → executor: probe answer.
+    TaskStatusReply {
+        /// Which instance.
+        key: InstanceKey,
+        /// True if the instance is resident here.
+        running: bool,
+        /// The answering machine.
+        node: NodeId,
+    },
+}
+
+const T_ISIS: u8 = 0;
+const T_RESOURCE_REQUEST: u8 = 1;
+const T_ALLOCATION: u8 = 2;
+const T_ALLOC_ERROR: u8 = 3;
+const T_DISCLOSE: u8 = 4;
+const T_LOAD: u8 = 5;
+const T_TASK_DONE: u8 = 6;
+const T_TASK_EVICTED: u8 = 7;
+const T_KILL: u8 = 8;
+const T_MIGRATE_OUT: u8 = 9;
+const T_MIGRATE_IN: u8 = 10;
+const T_TASK_MOVED: u8 = 11;
+const T_TERMINATE: u8 = 12;
+const T_ANT_COMPILE: u8 = 13;
+const T_ANT_FILE: u8 = 14;
+const T_PROBE: u8 = 15;
+const T_STATUS_REPLY: u8 = 16;
+const T_REQUEST_QUEUED: u8 = 17;
+
+impl Codec for ExmMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ExmMsg::Isis(m) => {
+                enc.put_u8(T_ISIS);
+                m.encode(enc);
+            }
+            ExmMsg::ResourceRequest {
+                req,
+                class,
+                count_min,
+                count_max,
+                mem_mb,
+                unit,
+                priority_boost,
+                reply_to,
+            } => {
+                enc.put_u8(T_RESOURCE_REQUEST);
+                req.encode(enc);
+                class.encode(enc);
+                enc.put_u32(*count_min);
+                enc.put_u32(*count_max);
+                enc.put_u32(*mem_mb);
+                unit.encode(enc);
+                priority_boost.encode(enc);
+                reply_to.encode(enc);
+            }
+            ExmMsg::Allocation { req, nodes } => {
+                enc.put_u8(T_ALLOCATION);
+                req.encode(enc);
+                nodes.encode(enc);
+            }
+            ExmMsg::AllocError { req, reason } => {
+                enc.put_u8(T_ALLOC_ERROR);
+                req.encode(enc);
+                reason.encode(enc);
+            }
+            ExmMsg::DiscloseState { req } => {
+                enc.put_u8(T_DISCLOSE);
+                req.encode(enc);
+            }
+            ExmMsg::Load(lp) => {
+                enc.put_u8(T_LOAD);
+                lp.encode(enc);
+            }
+            ExmMsg::TaskDone { key, node } => {
+                enc.put_u8(T_TASK_DONE);
+                key.encode(enc);
+                node.encode(enc);
+            }
+            ExmMsg::TaskEvicted { key, node } => {
+                enc.put_u8(T_TASK_EVICTED);
+                key.encode(enc);
+                node.encode(enc);
+            }
+            ExmMsg::KillTask { key } => {
+                enc.put_u8(T_KILL);
+                key.encode(enc);
+            }
+            ExmMsg::MigrateOut { key, to, technique } => {
+                enc.put_u8(T_MIGRATE_OUT);
+                key.encode(enc);
+                to.encode(enc);
+                technique.encode(enc);
+            }
+            ExmMsg::MigrateIn(state) => {
+                enc.put_u8(T_MIGRATE_IN);
+                state.encode(enc);
+            }
+            ExmMsg::TaskMoved { key, to } => {
+                enc.put_u8(T_TASK_MOVED);
+                key.encode(enc);
+                to.encode(enc);
+            }
+            ExmMsg::Terminate { app } => {
+                enc.put_u8(T_TERMINATE);
+                app.encode(enc);
+            }
+            ExmMsg::AnticipateCompile { unit, compile_mops } => {
+                enc.put_u8(T_ANT_COMPILE);
+                unit.encode(enc);
+                enc.put_f64(*compile_mops);
+            }
+            ExmMsg::AnticipateFile { file, kib } => {
+                enc.put_u8(T_ANT_FILE);
+                file.encode(enc);
+                enc.put_u64(*kib);
+            }
+            ExmMsg::RequestQueued { req } => {
+                enc.put_u8(T_REQUEST_QUEUED);
+                req.encode(enc);
+            }
+            ExmMsg::ProbeTask { key, reply_to } => {
+                enc.put_u8(T_PROBE);
+                key.encode(enc);
+                reply_to.encode(enc);
+            }
+            ExmMsg::TaskStatusReply { key, running, node } => {
+                enc.put_u8(T_STATUS_REPLY);
+                key.encode(enc);
+                enc.put_bool(*running);
+                node.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.get_u8()? {
+            T_ISIS => ExmMsg::Isis(IsisMsg::decode(dec)?),
+            T_RESOURCE_REQUEST => ExmMsg::ResourceRequest {
+                req: ReqId::decode(dec)?,
+                class: MachineClass::decode(dec)?,
+                count_min: dec.get_u32()?,
+                count_max: dec.get_u32()?,
+                mem_mb: dec.get_u32()?,
+                unit: String::decode(dec)?,
+                priority_boost: i32::decode(dec)?,
+                reply_to: Addr::decode(dec)?,
+            },
+            T_ALLOCATION => ExmMsg::Allocation {
+                req: ReqId::decode(dec)?,
+                nodes: Vec::<NodeId>::decode(dec)?,
+            },
+            T_ALLOC_ERROR => ExmMsg::AllocError {
+                req: ReqId::decode(dec)?,
+                reason: String::decode(dec)?,
+            },
+            T_DISCLOSE => ExmMsg::DiscloseState {
+                req: ReqId::decode(dec)?,
+            },
+            T_LOAD => ExmMsg::Load(LoadProgram::decode(dec)?),
+            T_TASK_DONE => ExmMsg::TaskDone {
+                key: InstanceKey::decode(dec)?,
+                node: NodeId::decode(dec)?,
+            },
+            T_TASK_EVICTED => ExmMsg::TaskEvicted {
+                key: InstanceKey::decode(dec)?,
+                node: NodeId::decode(dec)?,
+            },
+            T_KILL => ExmMsg::KillTask {
+                key: InstanceKey::decode(dec)?,
+            },
+            T_MIGRATE_OUT => ExmMsg::MigrateOut {
+                key: InstanceKey::decode(dec)?,
+                to: NodeId::decode(dec)?,
+                technique: MigrationTechnique::decode(dec)?,
+            },
+            T_MIGRATE_IN => ExmMsg::MigrateIn(MigrationState::decode(dec)?),
+            T_TASK_MOVED => ExmMsg::TaskMoved {
+                key: InstanceKey::decode(dec)?,
+                to: NodeId::decode(dec)?,
+            },
+            T_TERMINATE => ExmMsg::Terminate {
+                app: AppId::decode(dec)?,
+            },
+            T_ANT_COMPILE => ExmMsg::AnticipateCompile {
+                unit: String::decode(dec)?,
+                compile_mops: dec.get_f64()?,
+            },
+            T_ANT_FILE => ExmMsg::AnticipateFile {
+                file: String::decode(dec)?,
+                kib: dec.get_u64()?,
+            },
+            T_REQUEST_QUEUED => ExmMsg::RequestQueued {
+                req: ReqId::decode(dec)?,
+            },
+            T_PROBE => ExmMsg::ProbeTask {
+                key: InstanceKey::decode(dec)?,
+                reply_to: Addr::decode(dec)?,
+            },
+            T_STATUS_REPLY => ExmMsg::TaskStatusReply {
+                key: InstanceKey::decode(dec)?,
+                running: dec.get_bool()?,
+                node: NodeId::decode(dec)?,
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    value: u64::from(other),
+                    type_name: "ExmMsg",
+                })
+            }
+        })
+    }
+}
+
+/// Encode an [`ExmMsg`] to bytes (the daemon-protocol wrapper the isis
+/// layer uses).
+pub fn encode_msg(msg: &ExmMsg) -> Bytes {
+    let mut enc = Encoder::with_capacity(96);
+    msg.encode(&mut enc);
+    enc.finish_bytes()
+}
+
+/// Status payloads ride in bids; re-exported decode helper.
+pub fn decode_status(bytes: &[u8]) -> Result<DaemonStatus> {
+    vce_codec::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> InstanceKey {
+        InstanceKey {
+            app: AppId(3),
+            task: 1,
+            instance: 2,
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let msgs = vec![
+            ExmMsg::ResourceRequest {
+                req: ReqId {
+                    app: AppId(1),
+                    seq: 2,
+                },
+                class: MachineClass::Simd,
+                count_min: 1,
+                count_max: 4,
+                mem_mb: 64,
+                unit: "predictor".into(),
+                priority_boost: -2,
+                reply_to: Addr::executor(NodeId(9)),
+            },
+            ExmMsg::Allocation {
+                req: ReqId {
+                    app: AppId(1),
+                    seq: 2,
+                },
+                nodes: vec![NodeId(1), NodeId(2)],
+            },
+            ExmMsg::AllocError {
+                req: ReqId {
+                    app: AppId(1),
+                    seq: 3,
+                },
+                reason: "insufficient resources".into(),
+            },
+            ExmMsg::DiscloseState {
+                req: ReqId {
+                    app: AppId(1),
+                    seq: 2,
+                },
+            },
+            ExmMsg::Load(LoadProgram {
+                key: key(),
+                unit: "/apps/snow/predictor.vce".into(),
+                work_mops: 500.0,
+                mem_mb: 32,
+                checkpoints: true,
+                checkpoint_interval_us: 1_000_000,
+                restartable: true,
+                core_dumpable: false,
+                redundant: true,
+                input_files: vec!["/data/obs.dat".into()],
+                reply_to: Addr::executor(NodeId(0)),
+            }),
+            ExmMsg::TaskDone {
+                key: key(),
+                node: NodeId(4),
+            },
+            ExmMsg::TaskEvicted {
+                key: key(),
+                node: NodeId(4),
+            },
+            ExmMsg::KillTask { key: key() },
+            ExmMsg::MigrateOut {
+                key: key(),
+                to: NodeId(5),
+                technique: MigrationTechnique::Checkpoint,
+            },
+            ExmMsg::MigrateIn(MigrationState {
+                key: key(),
+                unit: "u".into(),
+                remaining_mops: 123.5,
+                state_kib: 4096,
+                technique: MigrationTechnique::CoreDump,
+                mem_mb: 16,
+                checkpoints: false,
+                checkpoint_interval_us: 0,
+                reply_to: Addr::executor(NodeId(0)),
+            }),
+            ExmMsg::TaskMoved {
+                key: key(),
+                to: NodeId(5),
+            },
+            ExmMsg::Terminate { app: AppId(3) },
+            ExmMsg::AnticipateCompile {
+                unit: "u".into(),
+                compile_mops: 50.0,
+            },
+            ExmMsg::AnticipateFile {
+                file: "/data/grid.dat".into(),
+                kib: 2048,
+            },
+        ];
+        for m in msgs {
+            let bytes = encode_msg(&m);
+            let back: ExmMsg = vce_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn isis_wrapping_round_trips() {
+        let m = ExmMsg::Isis(IsisMsg::Heartbeat {
+            incarnation: 1,
+            view_id: 2,
+            joining: false,
+        });
+        let bytes = encode_msg(&m);
+        assert_eq!(vce_codec::from_bytes::<ExmMsg>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_discriminant_rejected() {
+        assert!(vce_codec::from_bytes::<ExmMsg>(&[200]).is_err());
+    }
+}

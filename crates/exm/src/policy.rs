@@ -1,0 +1,313 @@
+//! Task-placement policies (§4.3).
+//!
+//! The leader must balance two "sometimes conflicting" goals: maximize
+//! hardware utilization vs. run each task on its best platform. The
+//! paper's worked example: a task that can *only* run on machine A should
+//! get A even when a flexible task would run fastest there — the flexible
+//! task waits.
+
+use vce_net::NodeId;
+
+use crate::status::DaemonStatus;
+
+/// Leader placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// §4.3's preferred discipline: prefer schedules that maximize overall
+    /// resource utilization — flexible requests take the *least* capable
+    /// adequate machine and avoid machines that queued restricted requests
+    /// need.
+    #[default]
+    UtilizationFirst,
+    /// Greedy per-job optimum: every request takes the least-loaded,
+    /// fastest machines it can (the comparison baseline in experiment P1).
+    BestPlatform,
+}
+
+/// A request's requirements as the policy sees them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Needs {
+    /// Per-instance memory requirement, MB.
+    pub mem_mb: u32,
+    /// Minimum machines.
+    pub count_min: u32,
+    /// Maximum useful machines.
+    pub count_max: u32,
+    /// Program unit to run: machines whose bid advertises a staged binary
+    /// for it are preferred (the payoff of §4.5 anticipatory compilation).
+    pub unit: String,
+}
+
+/// Default load above which a machine refuses new remote work ("not
+/// already excessively loaded", §5). Override via
+/// [`crate::ExmConfig::overload_threshold`].
+pub const OVERLOAD_THRESHOLD: f64 = 3.0;
+
+/// Is this machine eligible for this request at all? `overload` is the
+/// configured excessive-load bar.
+pub fn eligible(bid: &DaemonStatus, needs: &Needs, overload: f64) -> bool {
+    bid.willing && bid.mem_mb >= needs.mem_mb && bid.load < overload
+}
+
+/// Select machines for a request from the collected bids.
+///
+/// `reserved` are machines a queued, less-flexible request needs —
+/// utilization-first avoids them when alternatives exist. Returns at most
+/// `count_max` nodes, best first, or an empty vector when fewer than
+/// `count_min` eligible machines exist.
+pub fn select(
+    policy: PlacementPolicy,
+    bids: &[DaemonStatus],
+    needs: &Needs,
+    reserved: &[NodeId],
+    overload: f64,
+) -> Vec<NodeId> {
+    select_with(policy, bids, needs, reserved, overload, true)
+}
+
+/// [`select`] with the staged-binary preference made explicit (ablation
+/// knob; production callers pass `true`).
+pub fn select_with(
+    policy: PlacementPolicy,
+    bids: &[DaemonStatus],
+    needs: &Needs,
+    reserved: &[NodeId],
+    overload: f64,
+    prefer_staged_binaries: bool,
+) -> Vec<NodeId> {
+    let mut eligible_bids: Vec<&DaemonStatus> = bids
+        .iter()
+        .filter(|b| eligible(b, needs, overload))
+        .collect();
+    if policy == PlacementPolicy::UtilizationFirst {
+        // Avoid machines that restricted requests depend on, whenever
+        // enough unreserved machines remain — the §4.3 example: the
+        // flexible task yields machine A to the task that can only run
+        // there, and waits if nothing else is free.
+        let unreserved: Vec<&DaemonStatus> = eligible_bids
+            .iter()
+            .copied()
+            .filter(|b| !reserved.contains(&b.node))
+            .collect();
+        if unreserved.len() >= needs.count_min as usize {
+            eligible_bids = unreserved;
+        }
+    }
+    // The paper's sortBidsByLoad with tiebreaks: least loaded first; among
+    // equals prefer a machine that already holds the unit's binary (no
+    // dispatch-time compile — §4.5), then the fastest.
+    eligible_bids.sort_by(|a, b| {
+        let a_has = prefer_staged_binaries && a.binaries.contains(&needs.unit);
+        let b_has = prefer_staged_binaries && b.binaries.contains(&needs.unit);
+        a.load
+            .partial_cmp(&b.load)
+            .expect("finite loads")
+            .then(b_has.cmp(&a_has))
+            .then(b.speed_mops.partial_cmp(&a.speed_mops).expect("finite"))
+            .then(a.node.cmp(&b.node))
+    });
+    if eligible_bids.len() < needs.count_min as usize {
+        return Vec::new();
+    }
+    eligible_bids
+        .into_iter()
+        .take(needs.count_max as usize)
+        .map(|b| b.node)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::MachineClass;
+
+    fn bid(node: u32, load: f64, speed: f64, mem: u32) -> DaemonStatus {
+        DaemonStatus {
+            node: NodeId(node),
+            class: MachineClass::Workstation,
+            load,
+            background: load,
+            speed_mops: speed,
+            mem_mb: mem,
+            willing: true,
+            tasks: vec![],
+            binaries: vec![],
+        }
+    }
+
+    fn needs(mem: u32, min: u32, max: u32) -> Needs {
+        Needs {
+            mem_mb: mem,
+            count_min: min,
+            count_max: max,
+            unit: "u".into(),
+        }
+    }
+
+    #[test]
+    fn staged_binary_breaks_load_ties() {
+        let mut with_bin = bid(1, 0.0, 100.0, 64);
+        with_bin.binaries = vec!["u".into()];
+        let bids = vec![bid(0, 0.0, 200.0, 64), with_bin];
+        // Node 0 is faster, but node 1 holds the binary: equal loads go to
+        // the binary holder.
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 1, 1),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(1)]);
+        // A loaded binary-holder loses to an idle machine without one.
+        let mut loaded = bids[1].clone();
+        loaded.load = 1.0;
+        let bids = vec![bid(0, 0.0, 200.0, 64), loaded];
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 1, 1),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn best_platform_takes_the_fastest_idle_machine() {
+        let bids = vec![bid(0, 0.0, 50.0, 64), bid(1, 0.0, 200.0, 64)];
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 1, 1),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn utilization_first_matches_best_platform_without_reservations() {
+        let bids = vec![bid(0, 0.0, 50.0, 64), bid(1, 0.0, 200.0, 64)];
+        let got = select(
+            PlacementPolicy::UtilizationFirst,
+            &bids,
+            &needs(16, 1, 1),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(1)], "no reservations ⇒ same greedy sort");
+    }
+
+    #[test]
+    fn paper_example_reservation() {
+        // Machine A (node 1) is the only machine a restricted task can use
+        // (say, big memory). A flexible request must avoid it if possible,
+        // and wait if not.
+        let bids = vec![bid(0, 0.0, 50.0, 64), bid(1, 0.0, 200.0, 512)];
+        let reserved = [NodeId(1)];
+        let got = select(
+            PlacementPolicy::UtilizationFirst,
+            &bids,
+            &needs(16, 1, 1),
+            &reserved,
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(0)]);
+        // With node 0 unavailable (overloaded), the flexible request WAITS
+        // rather than taking the reserved machine... unless waiting is the
+        // only option and nothing else satisfies count_min — then the
+        // caller keeps it queued by receiving the reserved machine last.
+        let bids = vec![bid(0, 5.0, 50.0, 64), bid(1, 0.0, 200.0, 512)];
+        let got = select(
+            PlacementPolicy::UtilizationFirst,
+            &bids,
+            &needs(16, 1, 1),
+            &reserved,
+            OVERLOAD_THRESHOLD,
+        );
+        // Overloaded node 0 is ineligible; only the reserved machine
+        // remains and unreserved coverage < count_min, so it IS returned —
+        // the queueing decision (wait vs take) belongs to the leader, which
+        // checks reservations against queued restricted requests first.
+        assert_eq!(got, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn overloaded_and_unwilling_machines_excluded() {
+        let mut unwilling = bid(2, 0.0, 100.0, 64);
+        unwilling.willing = false;
+        let bids = vec![bid(0, 3.5, 100.0, 64), unwilling, bid(1, 0.2, 100.0, 64)];
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 1, 3),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn memory_requirement_filters() {
+        let bids = vec![bid(0, 0.0, 100.0, 32), bid(1, 1.0, 100.0, 256)];
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(128, 1, 2),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn insufficient_eligible_machines_returns_empty() {
+        let bids = vec![bid(0, 0.0, 100.0, 64)];
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 2, 4),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn count_max_caps_allocation() {
+        let bids: Vec<DaemonStatus> = (0..10).map(|i| bid(i, 0.0, 100.0, 64)).collect();
+        let got = select(
+            PlacementPolicy::BestPlatform,
+            &bids,
+            &needs(16, 1, 3),
+            &[],
+            OVERLOAD_THRESHOLD,
+        );
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn load_dominates_speed_in_both_policies() {
+        let bids = vec![bid(0, 2.0, 500.0, 64), bid(1, 0.0, 50.0, 64)];
+        for policy in [
+            PlacementPolicy::BestPlatform,
+            PlacementPolicy::UtilizationFirst,
+        ] {
+            let got = select(policy, &bids, &needs(16, 1, 1), &[], OVERLOAD_THRESHOLD);
+            assert_eq!(got, vec![NodeId(1)], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break_on_node_id() {
+        let bids = vec![bid(5, 0.0, 100.0, 64), bid(2, 0.0, 100.0, 64)];
+        for policy in [
+            PlacementPolicy::BestPlatform,
+            PlacementPolicy::UtilizationFirst,
+        ] {
+            let got = select(policy, &bids, &needs(16, 1, 1), &[], OVERLOAD_THRESHOLD);
+            assert_eq!(got, vec![NodeId(2)], "{policy:?}");
+        }
+    }
+}

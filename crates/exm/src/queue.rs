@@ -1,0 +1,177 @@
+//! The leader's request queue with priority aging (§4.3).
+//!
+//! "As a task waits to be dispatched its priority will be increased to
+//! insure it will eventually be dispatched even if that results in a
+//! globally suboptimal schedule. Authorized users will be able to modify
+//! the priorities of particular applications."
+
+use vce_net::{Addr, MachineClass};
+
+use crate::msg::ReqId;
+use crate::policy::Needs;
+
+/// A queued resource request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// Request identity.
+    pub req: ReqId,
+    /// Target class (the group it queued in).
+    pub class: MachineClass,
+    /// Requirements.
+    pub needs: Needs,
+    /// Authorized-user boost.
+    pub priority_boost: i32,
+    /// When it was first queued, µs.
+    pub enqueued_at_us: u64,
+    /// Who gets the allocation.
+    pub reply_to: Addr,
+}
+
+/// Priority = boost + age in aging quanta. Older ⇒ higher.
+pub fn priority(req: &QueuedRequest, now_us: u64, aging_quantum_us: u64) -> i64 {
+    let age = now_us.saturating_sub(req.enqueued_at_us);
+    i64::from(req.priority_boost) + (age / aging_quantum_us.max(1)) as i64
+}
+
+/// The aging queue.
+#[derive(Debug, Default)]
+pub struct RequestQueue {
+    items: Vec<QueuedRequest>,
+    /// Aging quantum, µs (one priority step per quantum waited).
+    pub aging_quantum_us: u64,
+}
+
+impl RequestQueue {
+    /// Queue with a given aging quantum.
+    pub fn new(aging_quantum_us: u64) -> Self {
+        Self {
+            items: Vec::new(),
+            aging_quantum_us,
+        }
+    }
+
+    /// Add a request (idempotent by req id).
+    pub fn push(&mut self, req: QueuedRequest) {
+        if !self.items.iter().any(|q| q.req == req.req) {
+            self.items.push(req);
+        }
+    }
+
+    /// Remove a request by id.
+    pub fn remove(&mut self, req: ReqId) -> Option<QueuedRequest> {
+        let idx = self.items.iter().position(|q| q.req == req)?;
+        Some(self.items.remove(idx))
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate in *service order*: highest current priority first, FIFO
+    /// within equal priority (stable by enqueue time, then req id).
+    pub fn service_order(&self, now_us: u64) -> Vec<QueuedRequest> {
+        let mut v = self.items.clone();
+        let quantum = self.aging_quantum_us;
+        v.sort_by(|a, b| {
+            priority(b, now_us, quantum)
+                .cmp(&priority(a, now_us, quantum))
+                .then(a.enqueued_at_us.cmp(&b.enqueued_at_us))
+                .then(a.req.cmp(&b.req))
+        });
+        v
+    }
+
+    /// Requests (other than `except`) so restricted that only the given
+    /// predicate-machines satisfy them — used to compute reservations.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedRequest> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AppId;
+    use vce_net::NodeId;
+
+    fn q(seq: u32, boost: i32, at: u64) -> QueuedRequest {
+        QueuedRequest {
+            req: ReqId { app: AppId(1), seq },
+            class: MachineClass::Workstation,
+            needs: Needs {
+                mem_mb: 16,
+                count_min: 1,
+                count_max: 1,
+                unit: "u".into(),
+            },
+            priority_boost: boost,
+            enqueued_at_us: at,
+            reply_to: Addr::executor(NodeId(0)),
+        }
+    }
+
+    #[test]
+    fn boost_orders_fresh_requests() {
+        let mut rq = RequestQueue::new(1_000_000);
+        rq.push(q(0, 0, 0));
+        rq.push(q(1, 5, 0));
+        let order = rq.service_order(0);
+        assert_eq!(order[0].req.seq, 1);
+        assert_eq!(order[1].req.seq, 0);
+    }
+
+    #[test]
+    fn aging_overtakes_boost() {
+        let mut rq = RequestQueue::new(1_000_000);
+        rq.push(q(0, 0, 0)); // old, unboosted
+        rq.push(q(1, 5, 9_000_000)); // new, boosted
+                                     // At t=10s: req0 priority = 10, req1 priority = 5 + 1 = 6.
+        let order = rq.service_order(10_000_000);
+        assert_eq!(order[0].req.seq, 0, "starvation prevented by aging");
+    }
+
+    #[test]
+    fn fifo_within_equal_priority() {
+        let mut rq = RequestQueue::new(1_000_000);
+        rq.push(q(2, 0, 500));
+        rq.push(q(1, 0, 100));
+        let order = rq.service_order(600);
+        assert_eq!(order[0].req.seq, 1);
+    }
+
+    #[test]
+    fn push_is_idempotent_and_remove_works() {
+        let mut rq = RequestQueue::new(1);
+        rq.push(q(0, 0, 0));
+        rq.push(q(0, 0, 0));
+        assert_eq!(rq.len(), 1);
+        assert!(rq
+            .remove(ReqId {
+                app: AppId(1),
+                seq: 0
+            })
+            .is_some());
+        assert!(rq
+            .remove(ReqId {
+                app: AppId(1),
+                seq: 0
+            })
+            .is_none());
+        assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn priority_math() {
+        let r = q(0, 3, 1_000);
+        assert_eq!(priority(&r, 1_000, 1_000), 3);
+        assert_eq!(priority(&r, 3_000, 1_000), 5);
+        // Before enqueue time: age clamps to zero.
+        assert_eq!(priority(&r, 0, 1_000), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! The bid payload: what a daemon discloses about its machine.
+//!
+//! §5: "Each machine, based on current load and availability, sends a
+//! 'bid' back to the group leader ... Each bid includes the current load
+//! of the bidding machine." Ours also lists the resident VCE tasks so the
+//! leader can make §4.4 migration decisions from the same disclosures.
+
+use vce_codec::{Codec, Decoder, Encoder, Result};
+use vce_net::{MachineClass, NodeId};
+
+use crate::msg::InstanceKey;
+
+/// One resident task as disclosed in a bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentTask {
+    /// Instance identity.
+    pub key: InstanceKey,
+    /// Program unit.
+    pub unit: String,
+    /// Remaining work, Mops.
+    pub remaining_mops: f64,
+    /// Migration cooperation flags.
+    pub checkpoints: bool,
+    /// May be restarted from scratch.
+    pub restartable: bool,
+    /// Address space dumpable.
+    pub core_dumpable: bool,
+    /// Redundant incarnations exist elsewhere.
+    pub redundant: bool,
+    /// Memory footprint, MB.
+    pub mem_mb: u32,
+}
+
+impl Codec for ResidentTask {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        self.unit.encode(enc);
+        enc.put_f64(self.remaining_mops);
+        enc.put_bool(self.checkpoints);
+        enc.put_bool(self.restartable);
+        enc.put_bool(self.core_dumpable);
+        enc.put_bool(self.redundant);
+        enc.put_u32(self.mem_mb);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(ResidentTask {
+            key: InstanceKey::decode(dec)?,
+            unit: String::decode(dec)?,
+            remaining_mops: dec.get_f64()?,
+            checkpoints: dec.get_bool()?,
+            restartable: dec.get_bool()?,
+            core_dumpable: dec.get_bool()?,
+            redundant: dec.get_bool()?,
+            mem_mb: dec.get_u32()?,
+        })
+    }
+}
+
+/// A machine's disclosed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonStatus {
+    /// The machine.
+    pub node: NodeId,
+    /// Its class.
+    pub class: MachineClass,
+    /// Instantaneous load (VCE jobs + owner activity).
+    pub load: f64,
+    /// Owner (background) component of the load — drives eviction and
+    /// migration decisions.
+    pub background: f64,
+    /// Nominal speed, Mops/s.
+    pub speed_mops: f64,
+    /// Physical memory, MB.
+    pub mem_mb: u32,
+    /// Willing to host remote work right now (authorized and not
+    /// excessively loaded — §5's bid condition).
+    pub willing: bool,
+    /// Resident VCE tasks.
+    pub tasks: Vec<ResidentTask>,
+    /// Program units with locally staged binaries (anticipatory
+    /// compilation's placement signal, §4.5).
+    pub binaries: Vec<String>,
+}
+
+impl Codec for DaemonStatus {
+    fn encode(&self, enc: &mut Encoder) {
+        self.node.encode(enc);
+        self.class.encode(enc);
+        enc.put_f64(self.load);
+        enc.put_f64(self.background);
+        enc.put_f64(self.speed_mops);
+        enc.put_u32(self.mem_mb);
+        enc.put_bool(self.willing);
+        self.tasks.encode(enc);
+        self.binaries.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(DaemonStatus {
+            node: NodeId::decode(dec)?,
+            class: MachineClass::decode(dec)?,
+            load: dec.get_f64()?,
+            background: dec.get_f64()?,
+            speed_mops: dec.get_f64()?,
+            mem_mb: dec.get_u32()?,
+            willing: dec.get_bool()?,
+            tasks: Vec::<ResidentTask>::decode(dec)?,
+            binaries: Vec::<String>::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AppId;
+
+    #[test]
+    fn status_round_trips() {
+        let s = DaemonStatus {
+            node: NodeId(3),
+            class: MachineClass::Mimd,
+            load: 2.5,
+            background: 1.5,
+            speed_mops: 800.0,
+            mem_mb: 256,
+            willing: true,
+            tasks: vec![ResidentTask {
+                key: InstanceKey {
+                    app: AppId(1),
+                    task: 0,
+                    instance: 1,
+                },
+                unit: "collector".into(),
+                remaining_mops: 42.0,
+                checkpoints: true,
+                restartable: true,
+                core_dumpable: false,
+                redundant: false,
+                mem_mb: 32,
+            }],
+            binaries: vec!["collector".into()],
+        };
+        let bytes = vce_codec::to_bytes(&s);
+        assert_eq!(vce_codec::from_bytes::<DaemonStatus>(&bytes).unwrap(), s);
+    }
+}

@@ -1,0 +1,267 @@
+//! Daemon behaviour under a microscope: single daemons (or tiny groups)
+//! on the simulator, driven by injected protocol messages — no executor,
+//! so each mechanism is observed in isolation.
+
+use vce_exm::msg::{encode_msg, ExmMsg, LoadProgram};
+use vce_exm::{AppId, DaemonEndpoint, ExmConfig, InstanceKey};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, MachineInfo, NodeId};
+use vce_sim::{LoadTrace, Sim, SimConfig};
+
+/// A probe endpoint that records every ExmMsg sent to it.
+#[derive(Default)]
+struct Sink {
+    got: Vec<(u64, ExmMsg)>,
+}
+
+impl Endpoint for Sink {
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        if let Ok(msg) = vce_codec::from_bytes::<ExmMsg>(&env.payload) {
+            self.got.push((host.now_us(), msg));
+        }
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+const SINK: Addr = Addr {
+    node: NodeId(0),
+    port: vce_net::PortId(500),
+};
+
+fn one_daemon_sim(background: f64) -> Sim {
+    let mut sim = Sim::new(SimConfig::default());
+    sim.add_node_with_load(
+        MachineInfo::workstation(NodeId(0), 100.0),
+        if background > 0.0 {
+            LoadTrace::constant(background)
+        } else {
+            LoadTrace::idle()
+        },
+    );
+    let daemon = DaemonEndpoint::new(
+        NodeId(0),
+        MachineClass::Workstation,
+        vec![Addr::daemon(NodeId(0))],
+        ExmConfig::default(),
+    );
+    sim.add_endpoint(Addr::daemon(NodeId(0)), Box::new(daemon));
+    sim.add_endpoint(SINK, Box::new(Sink::default()));
+    sim.run_until(2_000_000); // singleton group bootstrap
+    sim
+}
+
+fn key(task: u32) -> InstanceKey {
+    InstanceKey {
+        app: AppId(1),
+        task,
+        instance: 0,
+    }
+}
+
+fn load(task: u32, mops: f64, files: Vec<String>) -> LoadProgram {
+    LoadProgram {
+        key: key(task),
+        unit: format!("unit{task}"),
+        work_mops: mops,
+        mem_mb: 16,
+        checkpoints: false,
+        checkpoint_interval_us: 0,
+        restartable: true,
+        core_dumpable: true,
+        redundant: false,
+        input_files: files,
+        reply_to: SINK,
+    }
+}
+
+fn send_to_daemon(sim: &mut Sim, msg: &ExmMsg) {
+    let bytes = encode_msg(msg);
+    sim.inject_at(sim.now_us(), SINK, Addr::daemon(NodeId(0)), bytes);
+}
+
+fn done_times(sim: &mut Sim) -> Vec<(u64, InstanceKey)> {
+    sim.with_endpoint_mut::<Sink, _>(SINK, |s| {
+        s.got
+            .iter()
+            .filter_map(|(t, m)| match m {
+                ExmMsg::TaskDone { key, .. } => Some((*t, *key)),
+                _ => None,
+            })
+            .collect()
+    })
+    .unwrap()
+}
+
+#[test]
+fn staged_binary_runs_at_pure_compute_cost() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    let t0 = sim.now_us();
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 1_000.0, vec![])));
+    sim.run_for(30_000_000);
+    let done = done_times(&mut sim);
+    assert_eq!(done.len(), 1);
+    // 1000 Mops at 100 Mops/s = 10 s, plus sub-ms delivery.
+    let elapsed = done[0].0 - t0;
+    assert!((10_000_000..10_100_000).contains(&elapsed), "{elapsed}");
+}
+
+#[test]
+fn dispatch_compile_and_fetch_are_charged_sequentially() {
+    let mut sim = one_daemon_sim(0.0);
+    let t0 = sim.now_us();
+    // No staged binary, one 1-MiB input file: compile (200 Mops = 2 s) +
+    // fetch (1024 KiB × 800 µs = 0.82 s) + run (10 s).
+    send_to_daemon(
+        &mut sim,
+        &ExmMsg::Load(load(1, 1_000.0, vec!["/data/in.dat".into()])),
+    );
+    sim.run_for(30_000_000);
+    let done = done_times(&mut sim);
+    assert_eq!(done.len(), 1);
+    let elapsed = done[0].0 - t0;
+    assert!(
+        (12_800_000..12_950_000).contains(&elapsed),
+        "expected ~12.82 s, got {elapsed}"
+    );
+}
+
+#[test]
+fn second_load_of_same_unit_skips_the_compile() {
+    let mut sim = one_daemon_sim(0.0);
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 1_000.0, vec![])));
+    sim.run_for(15_000_000);
+    let t1 = sim.now_us();
+    // Same unit, different instance key.
+    let mut lp = load(2, 1_000.0, vec![]);
+    lp.unit = "unit1".into();
+    send_to_daemon(&mut sim, &ExmMsg::Load(lp));
+    sim.run_for(15_000_000);
+    let done = done_times(&mut sim);
+    assert_eq!(done.len(), 2);
+    let second_elapsed = done[1].0 - t1;
+    assert!(
+        (10_000_000..10_100_000).contains(&second_elapsed),
+        "binary cached, expected ~10 s, got {second_elapsed}"
+    );
+}
+
+#[test]
+fn kill_task_cancels_work_without_a_report() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 10_000.0, vec![])));
+    sim.run_until(sim.now_us() + 2_000_000);
+    send_to_daemon(&mut sim, &ExmMsg::KillTask { key: key(1) });
+    sim.run_for(5_000_000);
+    assert!(done_times(&mut sim).is_empty());
+    let resident = sim
+        .with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| d.resident().len())
+        .unwrap();
+    assert_eq!(resident, 0);
+    assert_eq!(sim.node_load(NodeId(0)), 0.0, "CPU freed");
+}
+
+#[test]
+fn terminate_clears_only_the_named_app() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1");
+        d.stage_binary("unit2");
+    });
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 50_000.0, vec![])));
+    let mut other = load(2, 50_000.0, vec![]);
+    other.key.app = AppId(9);
+    send_to_daemon(&mut sim, &ExmMsg::Load(other));
+    sim.run_until(sim.now_us() + 1_000_000);
+    send_to_daemon(&mut sim, &ExmMsg::Terminate { app: AppId(1) });
+    sim.run_until(sim.now_us() + 1_000_000);
+    let resident = sim
+        .with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| d.resident())
+        .unwrap();
+    assert_eq!(resident.len(), 1);
+    assert_eq!(resident[0].app, AppId(9));
+}
+
+#[test]
+fn probes_answer_running_and_unknown_correctly() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 10_000.0, vec![])));
+    sim.run_until(sim.now_us() + 1_000_000);
+    send_to_daemon(
+        &mut sim,
+        &ExmMsg::ProbeTask {
+            key: key(1),
+            reply_to: SINK,
+        },
+    );
+    send_to_daemon(
+        &mut sim,
+        &ExmMsg::ProbeTask {
+            key: key(42),
+            reply_to: SINK,
+        },
+    );
+    sim.run_until(sim.now_us() + 1_000_000);
+    let replies: Vec<(u32, bool)> = sim
+        .with_endpoint_mut::<Sink, _>(SINK, |s| {
+            s.got
+                .iter()
+                .filter_map(|(_, m)| match m {
+                    ExmMsg::TaskStatusReply { key, running, .. } => Some((key.task, *running)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap();
+    assert_eq!(replies, vec![(1, true), (42, false)]);
+}
+
+#[test]
+fn redundant_incarnation_evicted_when_owner_returns() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    let mut lp = load(1, 50_000.0, vec![]);
+    lp.redundant = true;
+    send_to_daemon(&mut sim, &ExmMsg::Load(lp));
+    sim.run_until(sim.now_us() + 2_000_000);
+    sim.set_background(NodeId(0), 2.0);
+    sim.run_until(sim.now_us() + 2_000_000);
+    let evicted = sim
+        .with_endpoint_mut::<Sink, _>(SINK, |s| {
+            s.got
+                .iter()
+                .any(|(_, m)| matches!(m, ExmMsg::TaskEvicted { key, .. } if key.task == 1))
+        })
+        .unwrap();
+    assert!(evicted, "owner activity must evict the redundant copy");
+    let evictions = sim
+        .with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| d.evictions)
+        .unwrap();
+    assert_eq!(evictions, 1);
+}
+
+#[test]
+fn non_redundant_tasks_survive_owner_activity() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 1_000.0, vec![])));
+    sim.run_until(sim.now_us() + 2_000_000);
+    sim.set_background(NodeId(0), 2.0);
+    sim.run_for(60_000_000);
+    // Slowed (shares with 2 background jobs) but completed, not evicted.
+    let done = done_times(&mut sim);
+    assert_eq!(done.len(), 1);
+}

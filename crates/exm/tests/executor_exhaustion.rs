@@ -1,0 +1,109 @@
+//! Retry exhaustion: an executor whose group never answers at all (every
+//! daemon dead) reports failure instead of hanging forever.
+
+use vce_exm::{AppId, DaemonEndpoint, ExecutorEndpoint, ExmConfig};
+use vce_net::{Addr, MachineClass, MachineInfo, NodeId};
+use vce_sdm::MachineDb;
+use vce_sim::{Sim, SimConfig};
+use vce_taskgraph::{Language, ProblemClass, TaskGraph, TaskSpec};
+
+#[test]
+fn silence_from_the_whole_group_fails_the_application() {
+    let mut sim = Sim::new(SimConfig::default());
+    let mut db = MachineDb::new();
+    // The user's machine hosts only the executor (no daemon).
+    sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+    db.register(MachineInfo::workstation(NodeId(0), 100.0).with_allows_remote(false));
+    // Two daemon machines that will be dead before the app submits.
+    let peers = vec![Addr::daemon(NodeId(1)), Addr::daemon(NodeId(2))];
+    let mut cfg = ExmConfig::default();
+    cfg.request_retry_us = 400_000;
+    for i in [1u32, 2] {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        db.register(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(i)),
+            Box::new(DaemonEndpoint::new(
+                NodeId(i),
+                MachineClass::Workstation,
+                peers.clone(),
+                cfg.clone(),
+            )),
+        );
+    }
+    sim.run_until(2_500_000);
+    sim.kill_node(NodeId(1));
+    sim.kill_node(NodeId(2));
+
+    let mut g = TaskGraph::new("doomed");
+    g.add_task(
+        TaskSpec::new("job")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(1_000.0),
+    );
+    let exec = Addr::executor(NodeId(0));
+    sim.add_endpoint(
+        exec,
+        Box::new(ExecutorEndpoint::new(AppId(1), exec, g, db, cfg)),
+    );
+    sim.run_until(60_000_000);
+    let (done, failed) = sim
+        .with_endpoint_mut::<ExecutorEndpoint, _>(exec, |e| (e.is_done(), e.failed.clone()))
+        .unwrap();
+    assert!(done, "executor must give up, not hang");
+    assert!(
+        failed.as_deref().is_some_and(|r| r.contains("unanswered")),
+        "expected retry exhaustion, got {failed:?}"
+    );
+}
+
+#[test]
+fn queued_request_acks_reset_the_retry_budget() {
+    // One daemon whose machine refuses remote work: every request queues
+    // forever, but the leader's RequestQueued acks (one per retry) keep
+    // the executor from declaring the group dead.
+    let mut sim = Sim::new(SimConfig::default());
+    let mut db = MachineDb::new();
+    sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+    db.register(MachineInfo::workstation(NodeId(0), 100.0).with_allows_remote(false));
+    sim.add_node(MachineInfo::workstation(NodeId(1), 100.0).with_allows_remote(false));
+    db.register(MachineInfo::workstation(NodeId(1), 100.0).with_allows_remote(false));
+    let peers = vec![Addr::daemon(NodeId(1))];
+    let mut cfg = ExmConfig::default();
+    cfg.request_retry_us = 400_000; // dozens of retry windows below
+    sim.add_endpoint(
+        Addr::daemon(NodeId(1)),
+        Box::new(DaemonEndpoint::new(
+            NodeId(1),
+            MachineClass::Workstation,
+            peers,
+            cfg.clone(),
+        )),
+    );
+    sim.run_until(2_500_000);
+
+    let mut g = TaskGraph::new("parked");
+    g.add_task(
+        TaskSpec::new("job")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(1_000.0),
+    );
+    let exec = Addr::executor(NodeId(0));
+    sim.add_endpoint(
+        exec,
+        Box::new(ExecutorEndpoint::new(AppId(1), exec, g, db, cfg)),
+    );
+    // 60 s = ~150 retry windows; without the ack-reset this would have
+    // failed after 10.
+    sim.run_until(60_000_000);
+    let (done, failed) = sim
+        .with_endpoint_mut::<ExecutorEndpoint, _>(exec, |e| (e.is_done(), e.failed.clone()))
+        .unwrap();
+    assert!(!done, "the request stays queued (nothing can serve it)");
+    assert!(
+        failed.is_none(),
+        "queue acks must prevent spurious exhaustion, got {failed:?}"
+    );
+}

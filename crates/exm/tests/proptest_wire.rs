@@ -1,0 +1,129 @@
+//! Wire-robustness: the runtime's message decoder must survive arbitrary
+//! bytes (a daemon receives traffic from any machine on the network) and
+//! round-trip everything it encodes.
+
+use proptest::prelude::*;
+use vce_exm::msg::{encode_msg, ExmMsg, LoadProgram};
+use vce_exm::status::{DaemonStatus, ResidentTask};
+use vce_exm::{AppId, InstanceKey, ReqId};
+use vce_net::{Addr, MachineClass, NodeId, PortId};
+
+fn arb_key() -> impl Strategy<Value = InstanceKey> {
+    (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(a, t, i)| InstanceKey {
+        app: AppId(a),
+        task: t,
+        instance: i,
+    })
+}
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (any::<u32>(), any::<u32>()).prop_map(|(n, p)| Addr::new(NodeId(n), PortId(p)))
+}
+
+fn arb_load() -> impl Strategy<Value = LoadProgram> {
+    (
+        arb_key(),
+        "[ -~]{0,40}",
+        0.0f64..1e9,
+        any::<u32>(),
+        any::<bool>(),
+        any::<u64>(),
+        prop::collection::vec("[ -~]{0,20}", 0..4),
+        arb_addr(),
+    )
+        .prop_map(
+            |(key, unit, work, mem, flag, interval, files, reply)| LoadProgram {
+                key,
+                unit,
+                work_mops: work,
+                mem_mb: mem,
+                checkpoints: flag,
+                checkpoint_interval_us: interval,
+                restartable: !flag,
+                core_dumpable: flag,
+                redundant: flag,
+                input_files: files,
+                reply_to: reply,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = vce_codec::from_bytes::<ExmMsg>(&bytes);
+        let _ = vce_codec::from_bytes::<DaemonStatus>(&bytes);
+    }
+
+    #[test]
+    fn truncated_real_messages_never_panic(lp in arb_load(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_msg(&ExmMsg::Load(lp));
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = vce_codec::from_bytes::<ExmMsg>(&bytes[..cut.min(bytes.len())]);
+    }
+
+    #[test]
+    fn load_program_round_trips(lp in arb_load()) {
+        let msg = ExmMsg::Load(lp);
+        let bytes = encode_msg(&msg);
+        prop_assert_eq!(vce_codec::from_bytes::<ExmMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn resource_request_round_trips(
+        app in any::<u64>(),
+        seq in any::<u32>(),
+        min in 1u32..100,
+        extra in 0u32..100,
+        mem in any::<u32>(),
+        unit in "[ -~]{0,40}",
+        boost in any::<i32>(),
+    ) {
+        let msg = ExmMsg::ResourceRequest {
+            req: ReqId { app: AppId(app), seq },
+            class: MachineClass::Mimd,
+            count_min: min,
+            count_max: min + extra,
+            mem_mb: mem,
+            unit,
+            priority_boost: boost,
+            reply_to: Addr::executor(NodeId(0)),
+        };
+        let bytes = encode_msg(&msg);
+        prop_assert_eq!(vce_codec::from_bytes::<ExmMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn daemon_status_round_trips(
+        node in any::<u32>(),
+        load in 0.0f64..100.0,
+        tasks in prop::collection::vec((arb_key(), 0.0f64..1e6), 0..5),
+        binaries in prop::collection::vec("[ -~]{0,16}", 0..5),
+    ) {
+        let status = DaemonStatus {
+            node: NodeId(node),
+            class: MachineClass::Workstation,
+            load,
+            background: load / 2.0,
+            speed_mops: 100.0,
+            mem_mb: 64,
+            willing: true,
+            tasks: tasks
+                .into_iter()
+                .map(|(key, rem)| ResidentTask {
+                    key,
+                    unit: "u".into(),
+                    remaining_mops: rem,
+                    checkpoints: true,
+                    restartable: true,
+                    core_dumpable: false,
+                    redundant: false,
+                    mem_mb: 32,
+                })
+                .collect(),
+            binaries,
+        };
+        let bytes = vce_codec::to_bytes(&status);
+        prop_assert_eq!(vce_codec::from_bytes::<DaemonStatus>(&bytes).unwrap(), status);
+    }
+}

@@ -1,0 +1,595 @@
+//! The group member protocol object: membership, failure detection,
+//! coordinator succession, broadcast and reply collection.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use vce_codec::{Codec, Encoder};
+use vce_net::{Addr, Host};
+
+use crate::collect::{CollectResult, Collector};
+use crate::msg::{BcastId, CastOrder, IsisMsg};
+use crate::ordering::{CastData, OrderingState};
+use crate::view::{Member, View};
+use crate::ISIS_TOKEN_BASE;
+
+/// Timer token for the periodic protocol tick.
+const TOKEN_TICK: u64 = ISIS_TOKEN_BASE;
+/// First token used for collection deadlines.
+const TOKEN_COLLECT_BASE: u64 = ISIS_TOKEN_BASE + 1;
+
+/// Group protocol parameters.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Every endpoint that may ever join this group (the machine database
+    /// gives the VCE this list; Isis had an equivalent site registry).
+    pub candidates: Vec<Addr>,
+    /// Heartbeat / protocol tick period.
+    pub heartbeat_us: u64,
+    /// Silence after which a peer is suspected dead.
+    pub failure_timeout_us: u64,
+    /// How long a starting node listens before bootstrapping the group.
+    pub bootstrap_quiet_us: u64,
+    /// Age of a FIFO gap before a NACK is sent.
+    pub nack_after_us: u64,
+    /// Outbound resend-buffer capacity (casts kept for retransmission).
+    pub resend_buffer: usize,
+}
+
+impl GroupConfig {
+    /// Sensible LAN defaults: 200 ms heartbeats, 1 s failure timeout.
+    pub fn new(mut candidates: Vec<Addr>) -> Self {
+        candidates.sort();
+        candidates.dedup();
+        Self {
+            candidates,
+            heartbeat_us: 200_000,
+            failure_timeout_us: 1_000_000,
+            bootstrap_quiet_us: 600_000,
+            nack_after_us: 400_000,
+            resend_buffer: 1024,
+        }
+    }
+}
+
+/// Events the isis layer reports up to the embedding application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Upcall {
+    /// A new membership view took effect.
+    ViewInstalled(View),
+    /// This member is now the group coordinator (the paper's "group
+    /// leader") — either first to bootstrap or oldest survivor after a
+    /// failure.
+    BecameCoordinator(View),
+    /// This member was excluded from the group (suspected dead); it will
+    /// automatically re-join when communication resumes.
+    Evicted,
+    /// An ordered broadcast is delivered.
+    Deliver {
+        /// Broadcast identity; replies go to `id.origin`.
+        id: BcastId,
+        /// Discipline it was sent under.
+        order: CastOrder,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// A collected broadcast finished (all expected replies, or deadline).
+    CollectDone(CollectResult),
+}
+
+/// One member's view of one process group. Embed in an endpoint; forward it
+/// isis messages and isis timer tokens; act on the returned upcalls.
+pub struct GroupMember {
+    me: Addr,
+    cfg: GroupConfig,
+    wrap: Box<dyn Fn(&IsisMsg) -> Bytes + Send>,
+    incarnation: u64,
+    started_at: u64,
+    view: View,
+    // Failure detection (BTreeMaps for deterministic iteration).
+    last_heard: BTreeMap<Addr, u64>,
+    incarnations: BTreeMap<Addr, u64>,
+    joiners: BTreeMap<Addr, u64>,
+    // Coordinator state.
+    next_join_seq: u64,
+    next_total_seq: u64,
+    // Outbound.
+    out_fifo_seq: u64,
+    resend: VecDeque<(u64, IsisMsg)>,
+    bcast_counter: u64,
+    causal_out: u64,
+    // Inbound.
+    ordering: OrderingState,
+    collector: Collector,
+    collect_deadlines: HashMap<u64, BcastId>,
+    token_of_collect: HashMap<BcastId, u64>,
+    next_collect_token: u64,
+}
+
+impl GroupMember {
+    /// Create a member whose outgoing isis messages are plain-encoded.
+    pub fn new(me: Addr, cfg: GroupConfig) -> Self {
+        Self::with_wrapper(me, cfg, |msg| {
+            let mut enc = Encoder::with_capacity(64);
+            msg.encode(&mut enc);
+            enc.finish_bytes()
+        })
+    }
+
+    /// Create a member whose outgoing isis messages are wrapped by `wrap`
+    /// (e.g. inside the daemon's own message enum).
+    pub fn with_wrapper(
+        me: Addr,
+        cfg: GroupConfig,
+        wrap: impl Fn(&IsisMsg) -> Bytes + Send + 'static,
+    ) -> Self {
+        Self {
+            me,
+            cfg,
+            wrap: Box::new(wrap),
+            incarnation: 0,
+            started_at: 0,
+            view: View::default(),
+            last_heard: BTreeMap::new(),
+            incarnations: BTreeMap::new(),
+            joiners: BTreeMap::new(),
+            next_join_seq: 0,
+            next_total_seq: 0,
+            out_fifo_seq: 0,
+            resend: VecDeque::new(),
+            bcast_counter: 0,
+            causal_out: 0,
+            ordering: OrderingState::new(),
+            collector: Collector::new(),
+            collect_deadlines: HashMap::new(),
+            token_of_collect: HashMap::new(),
+            next_collect_token: 0,
+        }
+    }
+
+    // ---- accessors ----
+
+    /// This member's address.
+    pub fn me(&self) -> Addr {
+        self.me
+    }
+
+    /// The current view ([`View::default`] before the first install).
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// True once a view containing this member is installed.
+    pub fn is_member(&self) -> bool {
+        self.view.contains(self.me)
+    }
+
+    /// True if this member coordinates the current view.
+    pub fn is_coordinator(&self) -> bool {
+        self.view.coordinator() == Some(self.me)
+    }
+
+    // ---- lifecycle ----
+
+    /// Must be called from the embedding endpoint's `on_start`.
+    pub fn start(&mut self, host: &mut dyn Host) {
+        self.started_at = host.now_us();
+        // Restart-detection: a fresh random incarnation per boot.
+        self.incarnation = host.rand_u64() | 1;
+        // Rebooted members start over (endpoint state may survive a
+        // kill/revive cycle in the simulator).
+        self.view = View::default();
+        self.last_heard.clear();
+        self.joiners.clear();
+        self.ordering = OrderingState::new();
+        host.set_timer(self.cfg.heartbeat_us, TOKEN_TICK);
+        self.send_heartbeats(host);
+    }
+
+    /// Forward isis timer tokens here (see [`crate::is_isis_token`]).
+    pub fn on_timer(&mut self, token: u64, host: &mut dyn Host) -> Vec<Upcall> {
+        let mut up = Vec::new();
+        if token == TOKEN_TICK {
+            host.set_timer(self.cfg.heartbeat_us, TOKEN_TICK);
+            self.send_heartbeats(host);
+            self.run_failure_detector(host, &mut up);
+            for (sender, expected) in self
+                .ordering
+                .overdue_gaps(host.now_us(), self.cfg.nack_after_us)
+            {
+                self.out(host, sender, &IsisMsg::Nack { expected });
+            }
+        } else if let Some(id) = self.collect_deadlines.remove(&token) {
+            self.token_of_collect.remove(&id);
+            if let Some(result) = self.collector.on_deadline(id) {
+                up.push(Upcall::CollectDone(result));
+            }
+        }
+        up
+    }
+
+    /// Forward received isis messages here.
+    pub fn handle(&mut self, src: Addr, msg: IsisMsg, host: &mut dyn Host) -> Vec<Upcall> {
+        let now = host.now_us();
+        self.last_heard.insert(src, now);
+        let mut up = Vec::new();
+        match msg {
+            IsisMsg::Heartbeat {
+                incarnation,
+                view_id,
+                joining: _,
+            } => {
+                // Restarted peer: discard its old FIFO stream.
+                let prev = self.incarnations.insert(src, incarnation);
+                if prev.is_some_and(|p| p != incarnation) {
+                    self.ordering.forget_sender(src);
+                }
+                if self.is_coordinator() && !self.view.contains(src) {
+                    // Any non-member heartbeat is an (implicit) join request.
+                    self.joiners.insert(src, now);
+                }
+                // A coordinator that hears of a newer view was partitioned
+                // out and superseded: step down and re-join.
+                if self.is_member() && view_id > self.view.id && !self.view.contains(src) {
+                    self.demote(&mut up);
+                }
+            }
+            IsisMsg::ViewInstall { view } => {
+                // Higher view ids win; on a tie (two partitions healing,
+                // both coordinators proposing concurrently), the view
+                // coordinated by the lower address wins — a total order, so
+                // merges converge instead of split-braining.
+                let accept = view.id > self.view.id
+                    || (view.id == self.view.id
+                        && match (view.coordinator(), self.view.coordinator()) {
+                            (Some(new), Some(cur)) => new < cur,
+                            _ => false,
+                        });
+                if accept {
+                    if view.contains(self.me) {
+                        self.install(view, &mut up);
+                    } else {
+                        self.demote(&mut up);
+                    }
+                }
+            }
+            IsisMsg::Cast {
+                id,
+                order,
+                fifo_seq,
+                vclock,
+                total_seq,
+                requester: _,
+                payload,
+            } => {
+                let data = CastData {
+                    id,
+                    order,
+                    vclock,
+                    total_seq,
+                    payload,
+                };
+                for d in self.ordering.on_cast(src, fifo_seq, data, now) {
+                    up.push(Upcall::Deliver {
+                        id: d.id,
+                        order: d.order,
+                        payload: d.payload,
+                    });
+                }
+            }
+            IsisMsg::TotalReq { req, payload } => {
+                if self.is_coordinator() {
+                    let seq = self.next_total_seq;
+                    self.next_total_seq += 1;
+                    self.cast_to_group(
+                        host,
+                        IsisMsg::Cast {
+                            id: req,
+                            order: CastOrder::Total,
+                            fifo_seq: 0, // assigned by cast_to_group
+                            vclock: None,
+                            total_seq: Some(seq),
+                            requester: Some(src),
+                            payload,
+                        },
+                    );
+                }
+                // Non-coordinators silently drop: the requester sends only
+                // to the coordinator it believes in; a lost request is a
+                // documented weakening of our abcast during succession.
+            }
+            IsisMsg::Nack { expected } => {
+                // Retransmit everything still buffered from `expected` on.
+                let to_resend: Vec<IsisMsg> = self
+                    .resend
+                    .iter()
+                    .filter(|(seq, _)| *seq >= expected)
+                    .map(|(_, m)| m.clone())
+                    .collect();
+                for m in to_resend {
+                    self.out(host, src, &m);
+                }
+            }
+            IsisMsg::Reply { to, payload } => {
+                if let Some(result) = self.collector.on_reply(to, src, payload) {
+                    if let Some(token) = self.token_of_collect.remove(&to) {
+                        self.collect_deadlines.remove(&token);
+                        host.cancel_timer(token);
+                    }
+                    up.push(Upcall::CollectDone(result));
+                }
+            }
+        }
+        up
+    }
+
+    // ---- application primitives ----
+
+    /// Ordered broadcast to the current view (including self, delivered via
+    /// loopback). Returns `None` when not yet a member.
+    pub fn bcast(
+        &mut self,
+        order: CastOrder,
+        payload: Bytes,
+        host: &mut dyn Host,
+    ) -> Option<BcastId> {
+        if !self.is_member() {
+            return None;
+        }
+        self.bcast_counter += 1;
+        let id = BcastId {
+            origin: self.me,
+            seq: self.bcast_counter,
+        };
+        match order {
+            CastOrder::Fifo => {
+                self.cast_to_group(
+                    host,
+                    IsisMsg::Cast {
+                        id,
+                        order,
+                        fifo_seq: 0,
+                        vclock: None,
+                        total_seq: None,
+                        requester: None,
+                        payload,
+                    },
+                );
+            }
+            CastOrder::Causal => {
+                self.causal_out += 1;
+                let mut vc = self.ordering.local_vc().clone();
+                vc.set(self.me, self.causal_out);
+                self.cast_to_group(
+                    host,
+                    IsisMsg::Cast {
+                        id,
+                        order,
+                        fifo_seq: 0,
+                        vclock: Some(vc),
+                        total_seq: None,
+                        requester: None,
+                        payload,
+                    },
+                );
+            }
+            CastOrder::Total => {
+                let coord = self.view.coordinator().expect("member implies view");
+                self.out(host, coord, &IsisMsg::TotalReq { req: id, payload });
+            }
+        }
+        Some(id)
+    }
+
+    /// The paper's `bcast`+`reply` pattern: FIFO-broadcast `payload` and
+    /// collect up to `expected` replies (default: one per current member),
+    /// or whatever arrived when `timeout_us` expires.
+    pub fn bcast_collect(
+        &mut self,
+        payload: Bytes,
+        expected: Option<usize>,
+        timeout_us: u64,
+        host: &mut dyn Host,
+    ) -> Option<BcastId> {
+        let expected = expected.unwrap_or(self.view.len());
+        let id = self.bcast(CastOrder::Fifo, payload, host)?;
+        self.collector.open(id, expected);
+        let token = TOKEN_COLLECT_BASE + self.next_collect_token;
+        self.next_collect_token += 1;
+        self.collect_deadlines.insert(token, id);
+        self.token_of_collect.insert(id, token);
+        host.set_timer(timeout_us, token);
+        Some(id)
+    }
+
+    /// Reply to a delivered broadcast (unicast to its origin).
+    pub fn reply(&mut self, to: BcastId, payload: Bytes, host: &mut dyn Host) {
+        self.out(host, to.origin, &IsisMsg::Reply { to, payload });
+    }
+
+    // ---- internals ----
+
+    fn out(&mut self, host: &mut dyn Host, dst: Addr, msg: &IsisMsg) {
+        let bytes = (self.wrap)(msg);
+        host.send(self.me, dst, bytes);
+    }
+
+    /// Assign the next FIFO sequence, buffer for retransmission, and send to
+    /// every view member (self included — loopback delivery keeps the
+    /// delivery path uniform).
+    fn cast_to_group(&mut self, host: &mut dyn Host, mut msg: IsisMsg) {
+        let seq = self.out_fifo_seq;
+        self.out_fifo_seq += 1;
+        if let IsisMsg::Cast { fifo_seq, .. } = &mut msg {
+            *fifo_seq = seq;
+        } else {
+            unreachable!("cast_to_group takes Cast messages only");
+        }
+        let dests: Vec<Addr> = self.view.addrs().collect();
+        for dst in dests {
+            self.out(host, dst, &msg);
+        }
+        self.resend.push_back((seq, msg));
+        while self.resend.len() > self.cfg.resend_buffer {
+            self.resend.pop_front();
+        }
+    }
+
+    fn send_heartbeats(&mut self, host: &mut dyn Host) {
+        let hb = IsisMsg::Heartbeat {
+            incarnation: self.incarnation,
+            view_id: self.view.id,
+            joining: !self.is_member(),
+        };
+        let candidates = self.cfg.candidates.clone();
+        for dst in candidates {
+            if dst != self.me {
+                self.out(host, dst, &hb);
+            }
+        }
+    }
+
+    fn alive(&self, who: Addr, now: u64) -> bool {
+        who == self.me
+            || self
+                .last_heard
+                .get(&who)
+                .is_some_and(|&t| now.saturating_sub(t) < self.cfg.failure_timeout_us)
+    }
+
+    fn run_failure_detector(&mut self, host: &mut dyn Host, up: &mut Vec<Upcall>) {
+        let now = host.now_us();
+        if self.is_member() {
+            let coord = self.view.coordinator().expect("member implies view");
+            if self.is_coordinator() {
+                self.coordinate(host, up);
+            } else if !self.alive(coord, now) {
+                // Succession: the oldest *surviving* member takes over.
+                let successor = self.view.addrs().find(|&a| self.alive(a, now));
+                if successor == Some(self.me) {
+                    host.log(format!("isis: {} assumes coordinator role", self.me));
+                    self.coordinate(host, up);
+                }
+            }
+        } else {
+            // Bootstrap: after a quiet period, the lowest-addressed live
+            // candidate forms the singleton view.
+            let quiet_over = now.saturating_sub(self.started_at) >= self.cfg.bootstrap_quiet_us;
+            if quiet_over && self.view.id == 0 {
+                let lowest_alive = self
+                    .cfg
+                    .candidates
+                    .iter()
+                    .copied()
+                    .find(|&c| self.alive(c, now));
+                if lowest_alive == Some(self.me) {
+                    let v = View::new(
+                        1,
+                        vec![Member {
+                            addr: self.me,
+                            joined_seq: 0,
+                        }],
+                    );
+                    self.next_join_seq = 1;
+                    host.log(format!("isis: {} bootstraps group", self.me));
+                    self.install(v, up);
+                }
+            }
+        }
+    }
+
+    /// Coordinator duty: admit joiners, drop the dead, install new views.
+    fn coordinate(&mut self, host: &mut dyn Host, up: &mut Vec<Upcall>) {
+        let now = host.now_us();
+        // Survivors keep their seniority.
+        let mut members: Vec<Member> = self
+            .view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| self.alive(m.addr, now))
+            .collect();
+        // Make sure we are present even before the first view (succession
+        // path: we may be installing a view that excludes the old
+        // coordinator and includes us unchanged).
+        if !members.iter().any(|m| m.addr == self.me) {
+            members.push(Member {
+                addr: self.me,
+                joined_seq: self.view.rank_of(self.me).map_or(0, |_| {
+                    self.view
+                        .members
+                        .iter()
+                        .find(|m| m.addr == self.me)
+                        .map(|m| m.joined_seq)
+                        .unwrap_or(0)
+                }),
+            });
+        }
+        self.next_join_seq = self
+            .next_join_seq
+            .max(members.iter().map(|m| m.joined_seq).max().unwrap_or(0) + 1);
+        // Admit live joiners in address order (deterministic seniority).
+        let joiners: Vec<Addr> = self
+            .joiners
+            .keys()
+            .copied()
+            .filter(|&j| self.alive(j, now) && !members.iter().any(|m| m.addr == j))
+            .collect();
+        for j in joiners {
+            members.push(Member {
+                addr: j,
+                joined_seq: self.next_join_seq,
+            });
+            self.next_join_seq += 1;
+        }
+        let proposed = View::new(self.view.id + 1, members);
+        let unchanged = proposed.members == self.view.members;
+        if !unchanged {
+            host.log(format!("isis: {} installs {}", self.me, proposed));
+            // Tell the members (and anyone just excluded, so they re-join
+            // promptly when they come back).
+            let mut recipients: Vec<Addr> = proposed.addrs().collect();
+            for old in self.view.addrs() {
+                if !proposed.contains(old) {
+                    recipients.push(old);
+                }
+            }
+            let msg = IsisMsg::ViewInstall {
+                view: proposed.clone(),
+            };
+            for dst in recipients {
+                if dst != self.me {
+                    self.out(host, dst, &msg);
+                }
+            }
+            self.install(proposed, up);
+        }
+    }
+
+    fn install(&mut self, view: View, up: &mut Vec<Upcall>) {
+        let was_coordinator = self.is_coordinator();
+        let old_coord = self.view.coordinator();
+        self.view = view.clone();
+        self.joiners.retain(|a, _| !view.contains(*a));
+        if old_coord != view.coordinator() {
+            // New sequencer ⇒ total order restarts (documented weakening).
+            self.ordering.reset_total_order();
+            if view.coordinator() == Some(self.me) {
+                self.next_total_seq = 0;
+            }
+        }
+        up.push(Upcall::ViewInstalled(view.clone()));
+        if self.is_coordinator() && !was_coordinator {
+            up.push(Upcall::BecameCoordinator(view));
+        }
+    }
+
+    fn demote(&mut self, up: &mut Vec<Upcall>) {
+        if self.is_member() {
+            up.push(Upcall::Evicted);
+        }
+        self.view = View::default();
+        self.joiners.clear();
+        self.ordering.reset_total_order();
+    }
+}

@@ -1,0 +1,285 @@
+//! The isis wire protocol.
+
+use bytes::Bytes;
+use vce_codec::{impl_codec_for_enum, Codec, CodecError, Decoder, Encoder, Result};
+use vce_net::Addr;
+
+use crate::vclock::VClock;
+use crate::view::View;
+
+/// Broadcast ordering discipline, named as in Isis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOrder {
+    /// Per-sender FIFO (`fbcast`).
+    Fifo,
+    /// Causal (`cbcast`).
+    Causal,
+    /// Total (`abcast`), sequenced by the coordinator.
+    Total,
+}
+
+impl_codec_for_enum!(CastOrder {
+    CastOrder::Fifo => 0,
+    CastOrder::Causal => 1,
+    CastOrder::Total => 2,
+});
+
+/// Globally unique broadcast identity: origin endpoint + origin-local
+/// counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BcastId {
+    /// The broadcasting member.
+    pub origin: Addr,
+    /// Origin-local broadcast counter.
+    pub seq: u64,
+}
+
+impl Codec for BcastId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.origin.encode(enc);
+        enc.put_u64(self.seq);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(BcastId {
+            origin: Addr::decode(dec)?,
+            seq: dec.get_u64()?,
+        })
+    }
+}
+
+/// Every message the isis layer exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsisMsg {
+    /// Periodic liveness + membership beacon.
+    Heartbeat {
+        /// Sender's incarnation (restart counter / boot time).
+        incarnation: u64,
+        /// Highest view id the sender has installed (0 = none).
+        view_id: u64,
+        /// True if the sender is not yet a member and wants in.
+        joining: bool,
+    },
+    /// Coordinator installs a new view (coordinator-sequenced; replaces
+    /// Isis's gbcast flush — see crate docs for the weakening).
+    ViewInstall {
+        /// The view to install.
+        view: View,
+    },
+    /// Reliable-FIFO data transport for all broadcast disciplines.
+    Cast {
+        /// Broadcast identity (origin + origin counter). For `Total` casts
+        /// the origin is the *sequencer* and `total_seq` is set.
+        id: BcastId,
+        /// Ordering discipline.
+        order: CastOrder,
+        /// Per-(sender→group) FIFO transport sequence.
+        fifo_seq: u64,
+        /// Vector timestamp (causal casts only).
+        vclock: Option<VClock>,
+        /// Global sequence (total casts only).
+        total_seq: Option<u64>,
+        /// The requester that asked the sequencer to order this cast
+        /// (total casts only; `id.origin` is the sequencer).
+        requester: Option<Addr>,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Ask the coordinator to sequence a total-order broadcast.
+    TotalReq {
+        /// Requester-side id used to correlate.
+        req: BcastId,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Negative ack: the sender is missing FIFO casts from `expected` on.
+    Nack {
+        /// First missing fifo_seq.
+        expected: u64,
+    },
+    /// Point-to-point reply to a collected broadcast (`reply` primitive).
+    Reply {
+        /// Which broadcast this answers.
+        to: BcastId,
+        /// Reply payload.
+        payload: Bytes,
+    },
+}
+
+// Discriminants for IsisMsg variants (wire-stable).
+const T_HEARTBEAT: u8 = 0;
+const T_VIEW_INSTALL: u8 = 1;
+const T_CAST: u8 = 2;
+const T_TOTAL_REQ: u8 = 3;
+const T_NACK: u8 = 4;
+const T_REPLY: u8 = 5;
+
+impl Codec for IsisMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            IsisMsg::Heartbeat {
+                incarnation,
+                view_id,
+                joining,
+            } => {
+                enc.put_u8(T_HEARTBEAT);
+                enc.put_u64(*incarnation);
+                enc.put_u64(*view_id);
+                enc.put_bool(*joining);
+            }
+            IsisMsg::ViewInstall { view } => {
+                enc.put_u8(T_VIEW_INSTALL);
+                view.encode(enc);
+            }
+            IsisMsg::Cast {
+                id,
+                order,
+                fifo_seq,
+                vclock,
+                total_seq,
+                requester,
+                payload,
+            } => {
+                enc.put_u8(T_CAST);
+                id.encode(enc);
+                order.encode(enc);
+                enc.put_u64(*fifo_seq);
+                vclock.encode(enc);
+                total_seq.encode(enc);
+                requester.encode(enc);
+                enc.put_len_bytes(payload);
+            }
+            IsisMsg::TotalReq { req, payload } => {
+                enc.put_u8(T_TOTAL_REQ);
+                req.encode(enc);
+                enc.put_len_bytes(payload);
+            }
+            IsisMsg::Nack { expected } => {
+                enc.put_u8(T_NACK);
+                enc.put_u64(*expected);
+            }
+            IsisMsg::Reply { to, payload } => {
+                enc.put_u8(T_REPLY);
+                to.encode(enc);
+                enc.put_len_bytes(payload);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.get_u8()? {
+            T_HEARTBEAT => IsisMsg::Heartbeat {
+                incarnation: dec.get_u64()?,
+                view_id: dec.get_u64()?,
+                joining: dec.get_bool()?,
+            },
+            T_VIEW_INSTALL => IsisMsg::ViewInstall {
+                view: View::decode(dec)?,
+            },
+            T_CAST => IsisMsg::Cast {
+                id: BcastId::decode(dec)?,
+                order: CastOrder::decode(dec)?,
+                fifo_seq: dec.get_u64()?,
+                vclock: Option::<VClock>::decode(dec)?,
+                total_seq: Option::<u64>::decode(dec)?,
+                requester: Option::<Addr>::decode(dec)?,
+                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+            },
+            T_TOTAL_REQ => IsisMsg::TotalReq {
+                req: BcastId::decode(dec)?,
+                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+            },
+            T_NACK => IsisMsg::Nack {
+                expected: dec.get_u64()?,
+            },
+            T_REPLY => IsisMsg::Reply {
+                to: BcastId::decode(dec)?,
+                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    value: u64::from(other),
+                    type_name: "IsisMsg",
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::Member;
+    use vce_codec::{from_bytes, to_bytes};
+    use vce_net::NodeId;
+
+    fn id(n: u32, s: u64) -> BcastId {
+        BcastId {
+            origin: Addr::daemon(NodeId(n)),
+            seq: s,
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let mut vc = VClock::new();
+        vc.set(Addr::daemon(NodeId(1)), 3);
+        let msgs = vec![
+            IsisMsg::Heartbeat {
+                incarnation: 7,
+                view_id: 2,
+                joining: true,
+            },
+            IsisMsg::ViewInstall {
+                view: View::new(
+                    3,
+                    vec![Member {
+                        addr: Addr::daemon(NodeId(1)),
+                        joined_seq: 0,
+                    }],
+                ),
+            },
+            IsisMsg::Cast {
+                id: id(1, 5),
+                order: CastOrder::Causal,
+                fifo_seq: 9,
+                vclock: Some(vc),
+                total_seq: None,
+                requester: None,
+                payload: Bytes::from_static(b"data"),
+            },
+            IsisMsg::Cast {
+                id: id(0, 6),
+                order: CastOrder::Total,
+                fifo_seq: 10,
+                vclock: None,
+                total_seq: Some(44),
+                requester: Some(Addr::daemon(NodeId(2))),
+                payload: Bytes::from_static(b"t"),
+            },
+            IsisMsg::TotalReq {
+                req: id(2, 1),
+                payload: Bytes::from_static(b"req"),
+            },
+            IsisMsg::Nack { expected: 12 },
+            IsisMsg::Reply {
+                to: id(1, 5),
+                payload: Bytes::from_static(b"bid"),
+            },
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m);
+            assert_eq!(from_bytes::<IsisMsg>(&bytes).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_discriminant_rejected() {
+        assert!(from_bytes::<IsisMsg>(&[99]).is_err());
+    }
+
+    #[test]
+    fn bcast_id_orders_by_origin_then_seq() {
+        assert!(id(1, 9) < id(2, 0));
+        assert!(id(1, 1) < id(1, 2));
+    }
+}

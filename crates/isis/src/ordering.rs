@@ -1,0 +1,415 @@
+//! Inbound ordering pipeline: reliable per-sender FIFO at the bottom,
+//! causal and total holdback on top.
+//!
+//! Every [`IsisMsg::Cast`](crate::IsisMsg) travels a per-sender FIFO stream
+//! (`fifo_seq`). Receivers hold back out-of-order casts, deliver contiguous
+//! runs, drop duplicates, and NACK persistent gaps so senders retransmit
+//! from their resend buffers. On top of that base:
+//!
+//! * `Fifo` casts deliver as soon as the FIFO layer releases them;
+//! * `Causal` casts additionally wait for the Birman–Schiper–Stephenson
+//!   vector-clock condition;
+//! * `Total` casts (emitted only by the sequencer) additionally wait for
+//!   contiguous global sequence numbers.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use vce_net::Addr;
+
+use crate::msg::{BcastId, CastOrder};
+use crate::vclock::VClock;
+
+/// A cast released by the ordering pipeline, ready for the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivered {
+    /// Broadcast identity; `id.origin` is where replies go.
+    pub id: BcastId,
+    /// Ordering discipline it was sent under.
+    pub order: CastOrder,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// Fields of a cast that matter after the FIFO layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CastData {
+    /// Broadcast identity.
+    pub id: BcastId,
+    /// Discipline.
+    pub order: CastOrder,
+    /// Vector timestamp (causal only).
+    pub vclock: Option<VClock>,
+    /// Global sequence (total only).
+    pub total_seq: Option<u64>,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+#[derive(Debug, Default)]
+struct FifoIn {
+    /// Next fifo_seq expected; `None` until the first cast from this sender
+    /// (we adopt whatever number the stream starts at, so members that join
+    /// mid-stream synchronize).
+    expected: Option<u64>,
+    holdback: BTreeMap<u64, CastData>,
+    /// Time at which the current gap (if any) was first observed.
+    gap_since_us: Option<u64>,
+}
+
+/// Per-group inbound ordering state.
+#[derive(Debug, Default)]
+pub struct OrderingState {
+    per_sender: BTreeMap<Addr, FifoIn>,
+    /// Causal state: delivered-count clock.
+    local_vc: VClock,
+    causal_holdback: Vec<(Addr, CastData)>,
+    /// Total state: next expected global seq (`None` ⇒ adopt first seen).
+    next_total: Option<u64>,
+    total_holdback: BTreeMap<u64, CastData>,
+}
+
+impl OrderingState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The local causal clock (exposed for stamping tests).
+    pub fn local_vc(&self) -> &VClock {
+        &self.local_vc
+    }
+
+    /// Feed one cast received from `transport_sender` at time `now_us`.
+    /// Returns everything that becomes deliverable, in delivery order.
+    pub fn on_cast(
+        &mut self,
+        transport_sender: Addr,
+        fifo_seq: u64,
+        data: CastData,
+        now_us: u64,
+    ) -> Vec<Delivered> {
+        let fifo = self.per_sender.entry(transport_sender).or_default();
+        match fifo.expected {
+            None => {
+                // First contact: adopt this stream position.
+                fifo.expected = Some(fifo_seq);
+            }
+            Some(exp) if fifo_seq < exp => return Vec::new(), // duplicate
+            _ => {}
+        }
+        fifo.holdback.insert(fifo_seq, data);
+
+        // Release the contiguous run.
+        let mut released = Vec::new();
+        loop {
+            let exp = fifo.expected.expect("set above");
+            match fifo.holdback.remove(&exp) {
+                Some(d) => {
+                    fifo.expected = Some(exp + 1);
+                    released.push(d);
+                }
+                None => break,
+            }
+        }
+        fifo.gap_since_us = if fifo.holdback.is_empty() {
+            None
+        } else {
+            Some(fifo.gap_since_us.unwrap_or(now_us))
+        };
+
+        let mut out = Vec::new();
+        for d in released {
+            self.admit(transport_sender, d, &mut out);
+        }
+        out
+    }
+
+    /// Run a cast through its discipline-specific holdback.
+    fn admit(&mut self, transport_sender: Addr, d: CastData, out: &mut Vec<Delivered>) {
+        match d.order {
+            CastOrder::Fifo => out.push(Delivered {
+                id: d.id,
+                order: d.order,
+                payload: d.payload,
+            }),
+            CastOrder::Causal => {
+                self.causal_holdback.push((transport_sender, d));
+                self.drain_causal(out);
+            }
+            CastOrder::Total => {
+                let seq = d.total_seq.unwrap_or(0);
+                if self.next_total.is_none() {
+                    self.next_total = Some(seq);
+                }
+                if seq < self.next_total.expect("set above") {
+                    return; // duplicate of an already delivered total cast
+                }
+                self.total_holdback.insert(seq, d);
+                self.drain_total(out);
+            }
+        }
+    }
+
+    fn drain_causal(&mut self, out: &mut Vec<Delivered>) {
+        loop {
+            let idx = self.causal_holdback.iter().position(|(_, d)| {
+                let sender = d.id.origin;
+                d.vclock
+                    .as_ref()
+                    .is_none_or(|vc| self.local_vc.deliverable(sender, vc))
+            });
+            match idx {
+                Some(i) => {
+                    let (_, d) = self.causal_holdback.remove(i);
+                    let sender = d.id.origin;
+                    let new = self.local_vc.get(sender) + 1;
+                    self.local_vc.set(sender, new);
+                    out.push(Delivered {
+                        id: d.id,
+                        order: d.order,
+                        payload: d.payload,
+                    });
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn drain_total(&mut self, out: &mut Vec<Delivered>) {
+        while let Some(next) = self.next_total {
+            match self.total_holdback.remove(&next) {
+                Some(d) => {
+                    self.next_total = Some(next + 1);
+                    out.push(Delivered {
+                        id: d.id,
+                        order: d.order,
+                        payload: d.payload,
+                    });
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// On a view change with a new sequencer, total-order numbering restarts
+    /// (documented weakening): drop the holdback and adopt the next stream.
+    pub fn reset_total_order(&mut self) {
+        self.next_total = None;
+        self.total_holdback.clear();
+    }
+
+    /// Forget a departed sender's FIFO state so a rejoin starts cleanly.
+    pub fn forget_sender(&mut self, sender: Addr) {
+        self.per_sender.remove(&sender);
+        self.causal_holdback.retain(|(s, _)| *s != sender);
+    }
+
+    /// Senders with a delivery gap older than `nack_after_us`: returns
+    /// `(sender, first_missing_seq)` pairs and refreshes their gap clocks so
+    /// NACKs repeat at most once per interval.
+    pub fn overdue_gaps(&mut self, now_us: u64, nack_after_us: u64) -> Vec<(Addr, u64)> {
+        let mut out = Vec::new();
+        for (&sender, fifo) in &mut self.per_sender {
+            if let (Some(since), Some(expected)) = (fifo.gap_since_us, fifo.expected) {
+                if !fifo.holdback.is_empty() && now_us.saturating_sub(since) >= nack_after_us {
+                    out.push((sender, expected));
+                    fifo.gap_since_us = Some(now_us);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total casts currently held back (diagnostics).
+    pub fn total_holdback_len(&self) -> usize {
+        self.total_holdback.len()
+    }
+
+    /// Causal casts currently held back (diagnostics).
+    pub fn causal_holdback_len(&self) -> usize {
+        self.causal_holdback.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::NodeId;
+
+    fn a(n: u32) -> Addr {
+        Addr::daemon(NodeId(n))
+    }
+
+    fn fifo_cast(origin: u32, seq: u64) -> CastData {
+        CastData {
+            id: BcastId {
+                origin: a(origin),
+                seq,
+            },
+            order: CastOrder::Fifo,
+            vclock: None,
+            total_seq: None,
+            payload: Bytes::from(format!("m{seq}")),
+        }
+    }
+
+    #[test]
+    fn in_order_fifo_delivers_immediately() {
+        let mut st = OrderingState::new();
+        for s in 0..3 {
+            let out = st.on_cast(a(1), s, fifo_cast(1, s), 0);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].id.seq, s);
+        }
+    }
+
+    #[test]
+    fn out_of_order_fifo_held_back_then_released() {
+        let mut st = OrderingState::new();
+        // Adopt stream at 0.
+        assert_eq!(st.on_cast(a(1), 0, fifo_cast(1, 0), 0).len(), 1);
+        // Gap: 2 before 1.
+        assert!(st.on_cast(a(1), 2, fifo_cast(1, 2), 10).is_empty());
+        let out = st.on_cast(a(1), 1, fifo_cast(1, 1), 20);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id.seq, 1);
+        assert_eq!(out[1].id.seq, 2);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut st = OrderingState::new();
+        assert_eq!(st.on_cast(a(1), 0, fifo_cast(1, 0), 0).len(), 1);
+        assert!(st.on_cast(a(1), 0, fifo_cast(1, 0), 1).is_empty());
+    }
+
+    #[test]
+    fn first_contact_adopts_stream_position() {
+        let mut st = OrderingState::new();
+        // A late joiner first hears seq 41.
+        let out = st.on_cast(a(1), 41, fifo_cast(1, 41), 0);
+        assert_eq!(out.len(), 1);
+        // 40 is now "duplicate" territory.
+        assert!(st.on_cast(a(1), 40, fifo_cast(1, 40), 1).is_empty());
+        assert_eq!(st.on_cast(a(1), 42, fifo_cast(1, 42), 2).len(), 1);
+    }
+
+    #[test]
+    fn gap_triggers_nack_once_per_interval() {
+        let mut st = OrderingState::new();
+        st.on_cast(a(1), 0, fifo_cast(1, 0), 0);
+        st.on_cast(a(1), 5, fifo_cast(1, 5), 100);
+        assert!(st.overdue_gaps(150, 100).is_empty()); // not overdue yet
+        let n = st.overdue_gaps(250, 100);
+        assert_eq!(n, vec![(a(1), 1)]);
+        // Refreshed: not again immediately.
+        assert!(st.overdue_gaps(260, 100).is_empty());
+        assert_eq!(st.overdue_gaps(400, 100), vec![(a(1), 1)]);
+    }
+
+    #[test]
+    fn gap_clock_clears_when_filled() {
+        let mut st = OrderingState::new();
+        st.on_cast(a(1), 0, fifo_cast(1, 0), 0);
+        st.on_cast(a(1), 2, fifo_cast(1, 2), 10);
+        st.on_cast(a(1), 1, fifo_cast(1, 1), 20);
+        assert!(st.overdue_gaps(10_000, 100).is_empty());
+    }
+
+    fn causal_cast(origin: u32, my_count: u64, seen: &[(u32, u64)]) -> CastData {
+        let mut vc = VClock::new();
+        for &(n, v) in seen {
+            vc.set(a(n), v);
+        }
+        vc.set(a(origin), my_count);
+        CastData {
+            id: BcastId {
+                origin: a(origin),
+                seq: my_count,
+            },
+            order: CastOrder::Causal,
+            vclock: Some(vc),
+            total_seq: None,
+            payload: Bytes::from_static(b"c"),
+        }
+    }
+
+    #[test]
+    fn causal_waits_for_dependencies() {
+        let mut st = OrderingState::new();
+        // Node 2's message depends on node 1's first message.
+        let dependent = causal_cast(2, 1, &[(1, 1)]);
+        assert!(st.on_cast(a(2), 0, dependent, 0).is_empty());
+        assert_eq!(st.causal_holdback_len(), 1);
+        // Node 1's message arrives: both deliver, dependency first.
+        let out = st.on_cast(a(1), 0, causal_cast(1, 1, &[]), 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id.origin, a(1));
+        assert_eq!(out[1].id.origin, a(2));
+        assert_eq!(st.causal_holdback_len(), 0);
+    }
+
+    #[test]
+    fn causal_in_order_from_one_sender() {
+        let mut st = OrderingState::new();
+        assert_eq!(st.on_cast(a(1), 0, causal_cast(1, 1, &[]), 0).len(), 1);
+        assert_eq!(st.on_cast(a(1), 1, causal_cast(1, 2, &[]), 1).len(), 1);
+        assert_eq!(st.local_vc().get(a(1)), 2);
+    }
+
+    fn total_cast(seq: u64) -> CastData {
+        CastData {
+            id: BcastId { origin: a(0), seq },
+            order: CastOrder::Total,
+            vclock: None,
+            total_seq: Some(seq),
+            payload: Bytes::from_static(b"t"),
+        }
+    }
+
+    #[test]
+    fn total_orders_by_global_seq() {
+        let mut st = OrderingState::new();
+        // fifo seqs in order (same sequencer), but pretend global seq gap:
+        // adopt 5 first.
+        assert_eq!(st.on_cast(a(0), 0, total_cast(5), 0).len(), 1);
+        // 7 held until 6 arrives.
+        assert!(st.on_cast(a(0), 2, total_cast(7), 1).is_empty());
+        // Wait: fifo gap too (seq 1 missing). Fill fifo 1 with total 6.
+        let out = st.on_cast(a(0), 1, total_cast(6), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, Bytes::from_static(b"t"));
+        assert_eq!(st.total_holdback_len(), 0);
+    }
+
+    #[test]
+    fn total_reset_adopts_new_sequencer() {
+        let mut st = OrderingState::new();
+        assert_eq!(st.on_cast(a(0), 0, total_cast(5), 0).len(), 1);
+        st.reset_total_order();
+        // New sequencer starts numbering at 0.
+        let mut c = total_cast(0);
+        c.id.origin = a(3);
+        assert_eq!(st.on_cast(a(3), 0, c, 1).len(), 1);
+    }
+
+    #[test]
+    fn forget_sender_clears_state() {
+        let mut st = OrderingState::new();
+        st.on_cast(a(1), 0, fifo_cast(1, 0), 0);
+        st.on_cast(a(1), 2, fifo_cast(1, 2), 1);
+        st.forget_sender(a(1));
+        // Fresh contact re-adopts.
+        assert_eq!(st.on_cast(a(1), 9, fifo_cast(1, 9), 2).len(), 1);
+    }
+
+    #[test]
+    fn independent_senders_do_not_block_each_other() {
+        let mut st = OrderingState::new();
+        st.on_cast(a(1), 0, fifo_cast(1, 0), 0);
+        st.on_cast(a(1), 5, fifo_cast(1, 5), 1); // gap on sender 1
+        let out = st.on_cast(a(2), 0, fifo_cast(2, 0), 2);
+        assert_eq!(out.len(), 1, "sender 2 unaffected by sender 1's gap");
+    }
+}

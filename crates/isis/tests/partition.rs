@@ -1,0 +1,138 @@
+//! Network partition behaviour: groups split into primary/minority views
+//! and re-merge on heal — the §5 claim that "machines can enter or leave
+//! the group at any time", stress-tested.
+
+use bytes::Bytes;
+use vce_codec::from_bytes;
+use vce_isis::{is_isis_token, CastOrder, GroupConfig, GroupMember, IsisMsg, Upcall, View};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineInfo, NodeId};
+use vce_sim::{Sim, SimConfig};
+
+struct Member {
+    gm: GroupMember,
+    delivered: Vec<Bytes>,
+    pending_casts: Vec<Bytes>,
+}
+
+impl Member {
+    fn new(me: Addr, cfg: GroupConfig) -> Self {
+        Self {
+            gm: GroupMember::new(me, cfg),
+            delivered: Vec::new(),
+            pending_casts: Vec::new(),
+        }
+    }
+}
+
+impl Endpoint for Member {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        self.gm.start(host);
+    }
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        let msg: IsisMsg = from_bytes(&env.payload).expect("isis msg");
+        for up in self.gm.handle(env.src, msg, host) {
+            if let Upcall::Deliver { payload, .. } = up {
+                self.delivered.push(payload);
+            }
+        }
+    }
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        assert!(is_isis_token(token));
+        let ups = self.gm.on_timer(token, host);
+        for up in ups {
+            if let Upcall::Deliver { payload, .. } = up {
+                self.delivered.push(payload);
+            }
+        }
+        if self.gm.is_member() {
+            for p in std::mem::take(&mut self.pending_casts) {
+                self.gm.bcast(CastOrder::Fifo, p, host);
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+fn addr(n: u32) -> Addr {
+    Addr::daemon(NodeId(n))
+}
+
+fn build(sim: &mut Sim, n: u32) -> Vec<Addr> {
+    let addrs: Vec<Addr> = (0..n).map(addr).collect();
+    for i in 0..n {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            addr(i),
+            Box::new(Member::new(addr(i), GroupConfig::new(addrs.clone()))),
+        );
+    }
+    addrs
+}
+
+fn view_at(sim: &mut Sim, a: Addr) -> View {
+    sim.with_endpoint_mut::<Member, _>(a, |m| m.gm.view().clone())
+        .unwrap()
+}
+
+#[test]
+fn partition_splits_and_heal_reconverges() {
+    let mut sim = Sim::new(SimConfig::default());
+    let addrs = build(&mut sim, 5);
+    sim.run_until(3_000_000);
+    for &a in &addrs {
+        assert_eq!(view_at(&mut sim, a).len(), 5);
+    }
+    // Partition {0,1} | {2,3,4}.
+    sim.with_fault_plan(|p| {
+        p.set_partition(NodeId(2), 1);
+        p.set_partition(NodeId(3), 1);
+        p.set_partition(NodeId(4), 1);
+    });
+    sim.run_until(9_000_000);
+    // Majority side: node 2 (lowest there) coordinates a 3-view.
+    let v2 = view_at(&mut sim, addr(2));
+    assert_eq!(v2.len(), 3, "{v2}");
+    assert_eq!(v2.coordinator(), Some(addr(2)));
+    // Minority side keeps its own view with the old coordinator.
+    let v0 = view_at(&mut sim, addr(0));
+    assert_eq!(v0.len(), 2, "{v0}");
+    assert_eq!(v0.coordinator(), Some(addr(0)));
+    // Heal: one side's coordinator must eventually absorb the other.
+    sim.with_fault_plan(|p| p.heal_partitions());
+    sim.run_until(25_000_000);
+    let final_views: Vec<View> = addrs.iter().map(|&a| view_at(&mut sim, a)).collect();
+    for v in &final_views {
+        assert_eq!(v.len(), 5, "after heal: {v}");
+        assert_eq!(v.coordinator(), final_views[0].coordinator());
+        assert_eq!(v.id, final_views[0].id);
+    }
+}
+
+#[test]
+fn casts_resume_after_heal() {
+    let mut sim = Sim::new(SimConfig::default());
+    let addrs = build(&mut sim, 4);
+    sim.run_until(3_000_000);
+    sim.with_fault_plan(|p| {
+        p.set_partition(NodeId(3), 1);
+    });
+    sim.run_until(9_000_000);
+    sim.with_fault_plan(|p| p.heal_partitions());
+    sim.run_until(22_000_000);
+    // Everyone is back in one view; a broadcast reaches all four.
+    sim.with_endpoint_mut::<Member, _>(addr(0), |m| {
+        m.pending_casts.push(Bytes::from_static(b"after-heal"));
+    });
+    sim.run_until(26_000_000);
+    for &a in &addrs {
+        let got = sim
+            .with_endpoint_mut::<Member, _>(a, |m| m.delivered.clone())
+            .unwrap();
+        assert!(
+            got.contains(&Bytes::from_static(b"after-heal")),
+            "{a} missed the post-heal broadcast"
+        );
+    }
+}

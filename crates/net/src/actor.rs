@@ -1,0 +1,225 @@
+//! The transport-agnostic actor model every VCE protocol component uses.
+//!
+//! Daemons, group leaders, executors and simulated tasks are written as
+//! [`Endpoint`] state machines: they react to envelopes, timers and
+//! work-completion notifications, and express all side effects through the
+//! [`Host`] interface. Two hosts exist:
+//!
+//! * the deterministic discrete-event host in `vce-sim` (all experiments);
+//! * the threaded [`LiveDriver`](crate::driver::LiveDriver) over
+//!   [`MemoryNetwork`](crate::MemoryNetwork) (live examples).
+//!
+//! Because the state machines *cannot tell the difference*, the code that is
+//! benchmarked is the code that runs live — the property DESIGN.md calls
+//! "the evaluated system is the shipped system".
+
+use bytes::Bytes;
+
+use crate::addr::Addr;
+use crate::machine::MachineInfo;
+
+/// The environment an [`Endpoint`] runs in.
+///
+/// All methods are infallible from the endpoint's perspective; delivery
+/// failures surface as silence (exactly what a 1994 datagram LAN gave Isis,
+/// which is why the failure detector exists).
+pub trait Host {
+    /// Current time in microseconds since the epoch of the run.
+    fn now_us(&self) -> u64;
+
+    /// Queue a message. `src` must be an endpoint on the local node.
+    fn send(&mut self, src: Addr, dst: Addr, payload: Bytes);
+
+    /// Arm a one-shot timer that fires `delay_us` from now with `token`.
+    fn set_timer(&mut self, delay_us: u64, token: u64);
+
+    /// Cancel a previously armed timer by token. Cancelling an unknown or
+    /// already-fired token is a no-op.
+    fn cancel_timer(&mut self, token: u64);
+
+    /// Begin executing `ops` million operations of compute on this machine's
+    /// CPU under the local process id `pid`; `on_work_done(pid)` fires when
+    /// it completes. Execution shares the CPU with other local work
+    /// (processor sharing in the simulator).
+    fn start_work(&mut self, pid: u64, mops: f64);
+
+    /// Kill running work by pid. Killing unknown work is a no-op.
+    fn cancel_work(&mut self, pid: u64);
+
+    /// Remaining Mops of work started under `pid` on this endpoint, if
+    /// still running — what checkpointing and migration read to know how
+    /// much progress would be carried or lost.
+    fn work_remaining(&self, pid: u64) -> Option<f64>;
+
+    /// Instantaneous load of the local machine: the number of runnable
+    /// processes including background (local-user) activity — the quantity
+    /// daemons disclose in their bids (§5).
+    fn load(&self) -> f64;
+
+    /// The local machine's database record.
+    fn machine(&self) -> &MachineInfo;
+
+    /// Deterministic per-node randomness (seeded by the driver).
+    fn rand_u64(&mut self) -> u64;
+
+    /// Emit a trace line (collected by the driver; free-form).
+    fn log(&mut self, line: String);
+}
+
+/// A protocol state machine bound to one [`Addr`].
+///
+/// Implementations must be deterministic functions of their inputs plus
+/// `Host::rand_u64`; they must not consult wall-clock time or global state.
+pub trait Endpoint: Send {
+    /// Called once when the endpoint starts (node boot or port creation).
+    fn on_start(&mut self, _host: &mut dyn Host) {}
+
+    /// Called for every envelope addressed to this endpoint.
+    fn on_envelope(&mut self, env: crate::Envelope, host: &mut dyn Host);
+
+    /// Called when a timer armed with `token` fires.
+    fn on_timer(&mut self, _token: u64, _host: &mut dyn Host) {}
+
+    /// Called when locally started work completes.
+    fn on_work_done(&mut self, _pid: u64, _host: &mut dyn Host) {}
+
+    /// Optional downcast hook so drivers can expose endpoint state to tests
+    /// and experiment harnesses. Override with `Some(self)` where inspection
+    /// is wanted; protocol correctness must never depend on it.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Encode a message and send it — the common idiom.
+pub fn send_msg<T: vce_codec::Codec>(host: &mut dyn Host, src: Addr, dst: Addr, msg: &T) {
+    let mut enc = vce_codec::Encoder::with_capacity(64);
+    msg.encode(&mut enc);
+    host.send(src, dst, enc.finish_bytes());
+}
+
+#[cfg(test)]
+pub(crate) mod test_host {
+    //! A scripted host for unit-testing endpoints in isolation.
+
+    use std::collections::VecDeque;
+
+    use super::*;
+    use crate::addr::NodeId;
+
+    /// Records effects; time is advanced manually.
+    pub struct MockHost {
+        pub now: u64,
+        pub sent: Vec<(Addr, Addr, Bytes)>,
+        pub timers: Vec<(u64, u64)>,
+        pub cancelled_timers: Vec<u64>,
+        pub work: Vec<(u64, f64)>,
+        pub cancelled_work: Vec<u64>,
+        pub logs: Vec<String>,
+        pub load_value: f64,
+        pub info: MachineInfo,
+        pub rand: VecDeque<u64>,
+    }
+
+    impl MockHost {
+        pub fn new(node: NodeId) -> Self {
+            Self {
+                now: 0,
+                sent: Vec::new(),
+                timers: Vec::new(),
+                cancelled_timers: Vec::new(),
+                work: Vec::new(),
+                cancelled_work: Vec::new(),
+                logs: Vec::new(),
+                load_value: 0.0,
+                info: MachineInfo::workstation(node, 100.0),
+                rand: VecDeque::new(),
+            }
+        }
+    }
+
+    impl Host for MockHost {
+        fn now_us(&self) -> u64 {
+            self.now
+        }
+        fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+            self.sent.push((src, dst, payload));
+        }
+        fn set_timer(&mut self, delay_us: u64, token: u64) {
+            self.timers.push((delay_us, token));
+        }
+        fn cancel_timer(&mut self, token: u64) {
+            self.cancelled_timers.push(token);
+        }
+        fn start_work(&mut self, pid: u64, mops: f64) {
+            self.work.push((pid, mops));
+        }
+        fn cancel_work(&mut self, pid: u64) {
+            self.cancelled_work.push(pid);
+        }
+        fn work_remaining(&self, pid: u64) -> Option<f64> {
+            self.work.iter().find(|(p, _)| *p == pid).map(|(_, m)| *m)
+        }
+        fn load(&self) -> f64 {
+            self.load_value
+        }
+        fn machine(&self) -> &MachineInfo {
+            &self.info
+        }
+        fn rand_u64(&mut self) -> u64 {
+            self.rand.pop_front().unwrap_or(0)
+        }
+        fn log(&mut self, line: String) {
+            self.logs.push(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_host::MockHost;
+    use super::*;
+    use crate::addr::NodeId;
+    use crate::Envelope;
+
+    /// An endpoint that echoes payloads back to the sender.
+    struct Echo {
+        me: Addr,
+        seen: usize,
+    }
+
+    impl Endpoint for Echo {
+        fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+            self.seen += 1;
+            host.send(self.me, env.src, env.payload);
+        }
+    }
+
+    #[test]
+    fn endpoint_effects_are_captured() {
+        let me = Addr::daemon(NodeId(0));
+        let peer = Addr::daemon(NodeId(1));
+        let mut echo = Echo { me, seen: 0 };
+        let mut host = MockHost::new(NodeId(0));
+        echo.on_envelope(
+            Envelope::new(peer, me, 0, Bytes::from_static(b"hi")),
+            &mut host,
+        );
+        assert_eq!(echo.seen, 1);
+        assert_eq!(host.sent.len(), 1);
+        assert_eq!(host.sent[0].1, peer);
+        assert_eq!(&host.sent[0].2[..], b"hi");
+    }
+
+    #[test]
+    fn send_msg_encodes() {
+        let mut host = MockHost::new(NodeId(0));
+        let src = Addr::daemon(NodeId(0));
+        let dst = Addr::leader(NodeId(1));
+        send_msg(&mut host, src, dst, &("x".to_string(), 7u64));
+        let (_, _, payload) = &host.sent[0];
+        let mut dec = vce_codec::Decoder::new(payload);
+        let got = <(String, u64) as vce_codec::Codec>::decode(&mut dec).unwrap();
+        assert_eq!(got, ("x".to_string(), 7));
+    }
+}

@@ -1,0 +1,351 @@
+//! The threaded in-memory transport ("live" mode).
+//!
+//! Each participating machine gets a [`NodeHandle`] with its own mailbox;
+//! protocol components run on real OS threads and exchange [`Envelope`]s
+//! through unbounded crossbeam channels. The shared [`FaultPlan`] is applied
+//! on the send path, so crash/partition experiments work identically to the
+//! simulator.
+//!
+//! This transport is intended for examples and integration tests at LAN
+//! scale (tens of nodes); the experiment harness uses the deterministic
+//! discrete-event transport in `vce-sim` instead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::addr::{Addr, NodeId};
+use crate::fault::{Delivery, FaultPlan};
+use crate::message::Envelope;
+use crate::stats::NetStats;
+
+struct Inner {
+    mailboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    fault: Mutex<FaultPlan>,
+    rng: Mutex<SmallRng>,
+    stats: NetStats,
+}
+
+/// A process-wide virtual LAN connecting [`NodeHandle`]s.
+///
+/// Cheap to clone (it is an `Arc` inside); clones share mailboxes, fault
+/// plan and statistics.
+#[derive(Clone)]
+pub struct MemoryNetwork {
+    inner: Arc<Inner>,
+}
+
+impl MemoryNetwork {
+    /// Create an empty network. `seed` drives fault-plan randomness.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                mailboxes: RwLock::new(HashMap::new()),
+                fault: Mutex::new(FaultPlan::none()),
+                rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+                stats: NetStats::new(),
+            }),
+        }
+    }
+
+    /// Attach a node, returning its handle. Panics if the node id is already
+    /// attached — node ids are assigned by the fleet builder and must be
+    /// unique.
+    pub fn attach(&self, node: NodeId) -> NodeHandle {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.mailboxes.write().insert(node, tx);
+        assert!(prev.is_none(), "node {node} attached twice");
+        NodeHandle {
+            node,
+            rx,
+            net: self.clone(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Detach a node; its mailbox closes and future messages to it drop.
+    pub fn detach(&self, node: NodeId) {
+        self.inner.mailboxes.write().remove(&node);
+    }
+
+    /// Mutate the fault plan under its lock.
+    pub fn with_fault_plan<T>(&self, f: impl FnOnce(&mut FaultPlan) -> T) -> T {
+        f(&mut self.inner.fault.lock())
+    }
+
+    /// Crash a node: messages to and from it vanish until revived. Its
+    /// threads keep running — exactly like a machine that lost its network,
+    /// which is what Isis failure detectors actually observe.
+    pub fn kill(&self, node: NodeId) {
+        self.with_fault_plan(|p| p.kill(node));
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&self, node: NodeId) {
+        self.with_fault_plan(|p| p.revive(node));
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Number of currently attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.mailboxes.read().len()
+    }
+
+    fn submit(&self, env: Envelope) {
+        let inner = &self.inner;
+        inner.stats.record_sent(env.wire_size());
+        let verdict = {
+            let plan = inner.fault.lock();
+            let mut rng = inner.rng.lock();
+            plan.judge(env.src.node, env.dst.node, &mut *rng)
+        };
+        match verdict {
+            Delivery::Drop => inner.stats.record_dropped(),
+            Delivery::Deliver { extra_delay_us } => {
+                self.deliver_after(env, extra_delay_us);
+            }
+            Delivery::Duplicate {
+                first_us,
+                second_us,
+            } => {
+                inner.stats.record_duplicated();
+                self.deliver_after(env.clone(), first_us);
+                self.deliver_after(env, second_us);
+            }
+        }
+    }
+
+    fn deliver_after(&self, env: Envelope, delay_us: u64) {
+        if delay_us == 0 {
+            self.deliver(env);
+        } else {
+            // Test-scale traffic only: a short-lived timer thread per delayed
+            // message keeps the transport dependency-free.
+            let this = self.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                this.deliver(env);
+            });
+        }
+    }
+
+    fn deliver(&self, env: Envelope) {
+        let mailboxes = self.inner.mailboxes.read();
+        match mailboxes.get(&env.dst.node) {
+            Some(tx) if tx.send(env).is_ok() => self.inner.stats.record_delivered(),
+            _ => self.inner.stats.record_dropped(),
+        }
+    }
+}
+
+/// One machine's attachment to a [`MemoryNetwork`].
+///
+/// A handle owns the node's single mailbox; messages for every port on the
+/// node arrive here and the node-local dispatcher (in `vce-exm`) demuxes by
+/// destination port, mirroring how one VCE daemon per machine fronted all
+/// local services in the paper.
+pub struct NodeHandle {
+    node: NodeId,
+    rx: Receiver<Envelope>,
+    net: MemoryNetwork,
+    seq: AtomicU64,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The network this handle is attached to.
+    pub fn network(&self) -> &MemoryNetwork {
+        &self.net
+    }
+
+    /// Send an envelope built from an already-encoded payload. The sequence
+    /// number is assigned here (per-handle monotone).
+    pub fn send_raw(&self, src: Addr, dst: Addr, payload: impl Into<bytes::Bytes>) {
+        debug_assert_eq!(src.node, self.node, "src must be a local endpoint");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.net.submit(Envelope::new(src, dst, seq, payload));
+    }
+
+    /// Encode `msg` with `vce-codec` and send it.
+    pub fn send<T: vce_codec::Codec>(&self, src: Addr, dst: Addr, msg: &T) {
+        debug_assert_eq!(src.node, self.node, "src must be a local endpoint");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.net
+            .submit(Envelope::encode_payload(src, dst, seq, msg));
+    }
+
+    /// Receive the next envelope, blocking.
+    pub fn recv(&self) -> Option<Envelope> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PortId;
+    use crate::fault::LinkFault;
+
+    #[test]
+    fn basic_send_receive() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &42u64);
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.decode_payload::<u64>().unwrap(), 42);
+        assert_eq!(env.src, Addr::daemon(NodeId(0)));
+        assert_eq!(net.stats().delivered(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_per_handle() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        for _ in 0..5 {
+            a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &0u8);
+        }
+        let mut seqs = Vec::new();
+        for _ in 0..5 {
+            seqs.push(b.recv_timeout(Duration::from_secs(1)).unwrap().seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn killed_node_receives_nothing() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        net.kill(NodeId(1));
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &1u8);
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_none());
+        assert_eq!(net.stats().dropped(), 1);
+        net.revive(NodeId(1));
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &2u8);
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn detached_node_drops_traffic() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        net.attach(NodeId(1));
+        net.detach(NodeId(1));
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &1u8);
+        assert_eq!(net.stats().dropped(), 1);
+        assert_eq!(net.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let net = MemoryNetwork::new(1);
+        let _a = net.attach(NodeId(0));
+        let _b = net.attach(NodeId(0));
+    }
+
+    #[test]
+    fn delayed_delivery_arrives() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        net.with_fault_plan(|p| {
+            p.default_link = LinkFault {
+                extra_delay_us: 10_000, // 10ms
+                ..Default::default()
+            };
+        });
+        let t0 = std::time::Instant::now();
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &9u8);
+        let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+        assert_eq!(env.decode_payload::<u8>().unwrap(), 9);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        net.with_fault_plan(|p| {
+            p.default_link = LinkFault {
+                dup_prob: 1.0,
+                ..Default::default()
+            };
+        });
+        a.send(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &1u8);
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_some());
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_some());
+        assert_eq!(net.stats().duplicated(), 1);
+    }
+
+    #[test]
+    fn ports_share_one_mailbox_per_node() {
+        let net = MemoryNetwork::new(1);
+        let a = net.attach(NodeId(0));
+        let b = net.attach(NodeId(1));
+        a.send(Addr::daemon(NodeId(0)), Addr::leader(NodeId(1)), &1u8);
+        a.send(
+            Addr::daemon(NodeId(0)),
+            Addr::new(NodeId(1), PortId(1001)),
+            &2u8,
+        );
+        let e1 = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let e2 = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(e1.dst.port, PortId::LEADER);
+        assert_eq!(e2.dst.port, PortId(1001));
+    }
+
+    #[test]
+    fn concurrent_senders() {
+        let net = MemoryNetwork::new(1);
+        let rx = net.attach(NodeId(99));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let h = net.attach(NodeId(i));
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        h.send(Addr::daemon(h.node()), Addr::daemon(NodeId(99)), &1u32);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while rx.recv_timeout(Duration::from_millis(200)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 800);
+    }
+}

@@ -1,0 +1,134 @@
+//! The message envelope carried by every transport.
+
+use bytes::Bytes;
+use vce_codec::{Codec, Decoder, Encoder, Result};
+
+use crate::addr::Addr;
+
+/// A routed message: source, destination, sequence number and an opaque
+/// payload.
+///
+/// The payload is already in architecture-independent form (encoded with
+/// `vce-codec` by the protocol layer); transports never inspect it. The
+/// sequence number is assigned per *sender endpoint* and is what FIFO
+/// ordering in `vce-isis` is built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending endpoint.
+    pub src: Addr,
+    /// Receiving endpoint.
+    pub dst: Addr,
+    /// Per-sender monotone sequence number.
+    pub seq: u64,
+    /// Opaque encoded payload.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Build an envelope around an already-encoded payload.
+    pub fn new(src: Addr, dst: Addr, seq: u64, payload: impl Into<Bytes>) -> Self {
+        Self {
+            src,
+            dst,
+            seq,
+            payload: payload.into(),
+        }
+    }
+
+    /// Encode `msg` with `vce-codec` and wrap it.
+    pub fn encode_payload<T: Codec>(src: Addr, dst: Addr, seq: u64, msg: &T) -> Self {
+        let mut enc = Encoder::with_capacity(64);
+        msg.encode(&mut enc);
+        Self::new(src, dst, seq, enc.finish_bytes())
+    }
+
+    /// Decode the payload as a `T`.
+    pub fn decode_payload<T: Codec>(&self) -> Result<T> {
+        let mut dec = Decoder::new(&self.payload);
+        T::decode(&mut dec)
+    }
+
+    /// Total size of the envelope on the (notional) wire: header + payload.
+    /// Used by the simulator's bandwidth model and by [`crate::NetStats`].
+    pub fn wire_size(&self) -> usize {
+        // src(8) + dst(8) + seq(8) + len(4)
+        28 + self.payload.len()
+    }
+}
+
+impl Codec for Envelope {
+    fn encode(&self, enc: &mut Encoder) {
+        self.src.encode(enc);
+        self.dst.encode(enc);
+        enc.put_u64(self.seq);
+        enc.put_len_bytes(&self.payload);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Envelope {
+            src: Addr::decode(dec)?,
+            dst: Addr::decode(dec)?,
+            seq: dec.get_u64()?,
+            payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{NodeId, PortId};
+    use vce_codec::{from_bytes, to_bytes};
+
+    fn sample() -> Envelope {
+        Envelope::encode_payload(
+            Addr::daemon(NodeId(1)),
+            Addr::leader(NodeId(2)),
+            7,
+            &("bid".to_string(), 0.25f64),
+        )
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let env = sample();
+        let (tag, load): (String, f64) = env.decode_payload().unwrap();
+        assert_eq!(tag, "bid");
+        assert_eq!(load, 0.25);
+    }
+
+    #[test]
+    fn envelope_itself_is_codec() {
+        let env = sample();
+        let back: Envelope = from_bytes(&to_bytes(&env)).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn wire_size_counts_header() {
+        let env = Envelope::new(
+            Addr::daemon(NodeId(0)),
+            Addr::daemon(NodeId(1)),
+            0,
+            vec![0u8; 10],
+        );
+        assert_eq!(env.wire_size(), 38);
+    }
+
+    #[test]
+    fn decode_wrong_type_fails() {
+        let env = sample();
+        assert!(env.decode_payload::<Vec<u64>>().is_err());
+    }
+
+    #[test]
+    fn dynamic_port_envelope() {
+        let env = Envelope::new(
+            Addr::new(NodeId(1), PortId(1001)),
+            Addr::new(NodeId(2), PortId(1002)),
+            1,
+            Bytes::new(),
+        );
+        assert!(env.src.port.is_dynamic());
+        assert_eq!(env.wire_size(), 28);
+    }
+}

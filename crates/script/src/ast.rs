@@ -1,0 +1,285 @@
+//! Abstract syntax of application-description scripts.
+
+use vce_net::MachineClass;
+use vce_taskgraph::ProblemClass;
+
+/// A directive's target: either a problem-architecture class (the design
+/// stage's vocabulary) or a concrete machine class — the paper's example
+/// mixes both (`ASYNC ...` and `WORKSTATION ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetClass {
+    /// Route by problem architecture (compilation manager picks machines).
+    Problem(ProblemClass),
+    /// Route to a specific hardware group.
+    Machine(MachineClass),
+}
+
+impl TargetClass {
+    /// Parse a directive keyword.
+    pub fn from_keyword(word: &str) -> Option<Self> {
+        Some(match word {
+            "ASYNC" => TargetClass::Problem(ProblemClass::Asynchronous),
+            "SYNC" => TargetClass::Problem(ProblemClass::Synchronous),
+            "LSYNC" => TargetClass::Problem(ProblemClass::LooselySynchronous),
+            "WORKSTATION" => TargetClass::Machine(MachineClass::Workstation),
+            "SIMD" => TargetClass::Machine(MachineClass::Simd),
+            "MIMD" => TargetClass::Machine(MachineClass::Mimd),
+            "VECTOR" => TargetClass::Machine(MachineClass::Vector),
+            _ => return None,
+        })
+    }
+
+    /// The keyword for this target.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TargetClass::Problem(p) => p.script_keyword(),
+            TargetClass::Machine(m) => m.script_keyword(),
+        }
+    }
+
+    /// The machine classes this target can use, in preference order.
+    pub fn machine_classes(self) -> Vec<MachineClass> {
+        match self {
+            TargetClass::Problem(p) => p.machine_preferences().to_vec(),
+            TargetClass::Machine(m) => vec![m],
+        }
+    }
+}
+
+/// Instance count specification.
+///
+/// `N` ⇒ exactly N; `N-` ⇒ one to N ("five or less", §5's planned
+/// extension); `N,M` ⇒ N to M.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountSpec {
+    /// Minimum acceptable instances.
+    pub min: u32,
+    /// Maximum useful instances.
+    pub max: u32,
+}
+
+impl CountSpec {
+    /// Exactly `n`.
+    pub fn exact(n: u32) -> Self {
+        Self { min: n, max: n }
+    }
+
+    /// Up to `n` (`"n-"`).
+    pub fn up_to(n: u32) -> Self {
+        Self { min: 1, max: n }
+    }
+
+    /// Between `min` and `max` (`"min,max"`).
+    pub fn range(min: u32, max: u32) -> Self {
+        Self { min, max }
+    }
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// Source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// Runtime quantities conditions may test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Var {
+    /// Idle machines of a class.
+    Idle(TargetClass),
+    /// All machines of a class.
+    Total(TargetClass),
+}
+
+/// A condition: `VAR op CONST`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cond {
+    /// Left-hand variable.
+    pub var: Var,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand constant.
+    pub value: u64,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Remote execution request: `CLASS countspec "path"`.
+    Remote {
+        /// Where to run.
+        target: TargetClass,
+        /// How many instances.
+        count: CountSpec,
+        /// Program path.
+        path: String,
+    },
+    /// `LOCAL "path"`: run on the submitting workstation after remote
+    /// executions have begun (§5).
+    Local {
+        /// Program path.
+        path: String,
+    },
+    /// `CONNECT "a" "b" kib`: communication requirement between programs.
+    Connect {
+        /// Sender program path.
+        from: String,
+        /// Receiver program path.
+        to: String,
+        /// Volume per step, KiB.
+        kib: u64,
+    },
+    /// `IF cond ... [ELSE ...] END`.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Statements when true.
+        then: Vec<Stmt>,
+        /// Statements when false.
+        els: Vec<Stmt>,
+    },
+}
+
+/// A parsed script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    stmts: Vec<Stmt>,
+}
+
+impl Script {
+    /// Wrap parsed statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Self { stmts }
+    }
+
+    /// Top-level statements.
+    pub fn statements(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// All program paths mentioned anywhere (for anticipatory compilation).
+    pub fn all_paths(&self) -> Vec<&str> {
+        fn walk<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a str>) {
+            for s in stmts {
+                match s {
+                    Stmt::Remote { path, .. } | Stmt::Local { path } => out.push(path),
+                    Stmt::Connect { .. } => {}
+                    Stmt::If { then, els, .. } => {
+                        walk(then, out);
+                        walk(els, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.stmts, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            "ASYNC",
+            "SYNC",
+            "LSYNC",
+            "WORKSTATION",
+            "SIMD",
+            "MIMD",
+            "VECTOR",
+        ] {
+            let t = TargetClass::from_keyword(kw).unwrap();
+            assert_eq!(t.keyword(), kw);
+        }
+        assert!(TargetClass::from_keyword("BOGUS").is_none());
+    }
+
+    #[test]
+    fn machine_classes_expand_problem_targets() {
+        let t = TargetClass::Problem(ProblemClass::Synchronous);
+        assert_eq!(t.machine_classes()[0], MachineClass::Simd);
+        let m = TargetClass::Machine(MachineClass::Vector);
+        assert_eq!(m.machine_classes(), vec![MachineClass::Vector]);
+    }
+
+    #[test]
+    fn count_specs() {
+        assert_eq!(CountSpec::exact(3), CountSpec { min: 3, max: 3 });
+        assert_eq!(CountSpec::up_to(5), CountSpec { min: 1, max: 5 });
+        assert_eq!(CountSpec::range(5, 10), CountSpec { min: 5, max: 10 });
+    }
+
+    #[test]
+    fn cmp_ops_eval() {
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(CmpOp::Le.eval(3, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Eq.eval(4, 4));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(!CmpOp::Gt.eval(4, 4));
+    }
+
+    #[test]
+    fn all_paths_walks_conditionals() {
+        let s = Script::new(vec![
+            Stmt::Local { path: "d".into() },
+            Stmt::If {
+                cond: Cond {
+                    var: Var::Idle(TargetClass::Machine(MachineClass::Workstation)),
+                    op: CmpOp::Ge,
+                    value: 1,
+                },
+                then: vec![Stmt::Remote {
+                    target: TargetClass::Machine(MachineClass::Workstation),
+                    count: CountSpec::exact(1),
+                    path: "a".into(),
+                }],
+                els: vec![Stmt::Local { path: "a".into() }],
+            },
+        ]);
+        assert_eq!(s.all_paths(), vec!["a", "d"]);
+    }
+}

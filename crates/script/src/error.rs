@@ -1,0 +1,97 @@
+//! Script diagnostics with source positions.
+
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A character the lexer cannot start a token with.
+    UnexpectedChar(char),
+    /// A string literal without a closing quote.
+    UnterminatedString,
+    /// A number too large for the count field.
+    NumberTooLarge,
+    /// The parser expected something else here.
+    Expected {
+        /// What was required.
+        wanted: &'static str,
+        /// What was found.
+        found: String,
+    },
+    /// `ELSE`/`END` without an open `IF`, or `IF` without `END`.
+    UnbalancedIf,
+    /// A count range with min > max (`SYNC 10,5`).
+    EmptyRange {
+        /// Range minimum.
+        min: u32,
+        /// Range maximum.
+        max: u32,
+    },
+    /// Count of zero instances.
+    ZeroCount,
+}
+
+/// An error with its source location (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// The problem.
+    pub kind: ErrorKind,
+}
+
+impl ScriptError {
+    pub(crate) fn new(line: u32, col: u32, kind: ErrorKind) -> Self {
+        Self { line, col, kind }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script error at {}:{}: ", self.line, self.col)?;
+        match &self.kind {
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ErrorKind::NumberTooLarge => write!(f, "number too large"),
+            ErrorKind::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found}")
+            }
+            ErrorKind::UnbalancedIf => write!(f, "unbalanced IF/ELSE/END"),
+            ErrorKind::EmptyRange { min, max } => {
+                write!(f, "empty instance range {min},{max}")
+            }
+            ErrorKind::ZeroCount => write!(f, "instance count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = ScriptError::new(3, 7, ErrorKind::UnterminatedString);
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("unterminated"));
+    }
+
+    #[test]
+    fn expected_formats_both_sides() {
+        let e = ScriptError::new(
+            1,
+            1,
+            ErrorKind::Expected {
+                wanted: "a path string",
+                found: "NEWLINE".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("a path string") && s.contains("NEWLINE"));
+    }
+}

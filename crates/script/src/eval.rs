@@ -1,0 +1,211 @@
+//! Script evaluation: resolve conditionals against the runtime environment
+//! and flatten the script into the requests the execution program sends to
+//! group leaders (§5's `SendRequestToSpecifiedGroup` loop).
+
+use std::collections::BTreeMap;
+
+use vce_net::MachineClass;
+
+use crate::ast::{CountSpec, Script, Stmt, TargetClass, Var};
+
+/// Snapshot of the fleet the conditional variables read.
+#[derive(Debug, Clone, Default)]
+pub struct EvalEnv {
+    /// Idle machines per class.
+    pub idle: BTreeMap<MachineClass, u64>,
+    /// Total machines per class.
+    pub total: BTreeMap<MachineClass, u64>,
+}
+
+impl EvalEnv {
+    /// Empty environment (all counts zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set counts for one class.
+    pub fn with_class(mut self, class: MachineClass, idle: u64, total: u64) -> Self {
+        self.idle.insert(class, idle);
+        self.total.insert(class, total);
+        self
+    }
+
+    fn idle_of(&self, t: TargetClass) -> u64 {
+        t.machine_classes()
+            .iter()
+            .map(|c| self.idle.get(c).copied().unwrap_or(0))
+            .sum()
+    }
+
+    fn total_of(&self, t: TargetClass) -> u64 {
+        t.machine_classes()
+            .iter()
+            .map(|c| self.total.get(c).copied().unwrap_or(0))
+            .sum()
+    }
+
+    fn var(&self, v: Var) -> u64 {
+        match v {
+            Var::Idle(t) => self.idle_of(t),
+            Var::Total(t) => self.total_of(t),
+        }
+    }
+}
+
+/// One flattened remote-execution request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementRequest {
+    /// Target class as written in the script.
+    pub target: TargetClass,
+    /// Instance count range.
+    pub count: CountSpec,
+    /// Program path.
+    pub path: String,
+}
+
+/// One `LOCAL` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalRun {
+    /// Program path.
+    pub path: String,
+}
+
+/// A flattened, condition-resolved script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Evaluated {
+    /// Remote requests in script order.
+    pub remote: Vec<PlacementRequest>,
+    /// Local runs in script order.
+    pub local: Vec<LocalRun>,
+    /// Declared channels `(from, to, kib)`.
+    pub channels: Vec<(String, String, u64)>,
+}
+
+/// Evaluate a script against an environment snapshot.
+pub fn evaluate(script: &Script, env: &EvalEnv) -> Evaluated {
+    let mut out = Evaluated::default();
+    eval_block(script.statements(), env, &mut out);
+    out
+}
+
+fn eval_block(stmts: &[Stmt], env: &EvalEnv, out: &mut Evaluated) {
+    for s in stmts {
+        match s {
+            Stmt::Remote {
+                target,
+                count,
+                path,
+            } => out.remote.push(PlacementRequest {
+                target: *target,
+                count: *count,
+                path: path.clone(),
+            }),
+            Stmt::Local { path } => out.local.push(LocalRun { path: path.clone() }),
+            Stmt::Connect { from, to, kib } => out.channels.push((from.clone(), to.clone(), *kib)),
+            Stmt::If { cond, then, els } => {
+                let lhs = env.var(cond.var);
+                if cond.op.eval(lhs, cond.value) {
+                    eval_block(then, env, out);
+                } else {
+                    eval_block(els, env, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::WEATHER_SCRIPT;
+
+    fn env() -> EvalEnv {
+        EvalEnv::new()
+            .with_class(MachineClass::Workstation, 5, 10)
+            .with_class(MachineClass::Simd, 1, 1)
+            .with_class(MachineClass::Mimd, 0, 2)
+    }
+
+    #[test]
+    fn weather_script_flattens() {
+        let s = parse(WEATHER_SCRIPT).unwrap();
+        let e = evaluate(&s, &env());
+        assert_eq!(e.remote.len(), 3);
+        assert_eq!(e.local.len(), 1);
+        assert_eq!(e.local[0].path, "/apps/snow/display.vce");
+        assert!(e.channels.is_empty());
+    }
+
+    #[test]
+    fn conditional_picks_then_branch() {
+        let src = r#"IF IDLE(WORKSTATION) >= 4
+WORKSTATION 4 "par"
+ELSE
+LOCAL "seq"
+END
+"#;
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &env()); // 5 idle workstations
+        assert_eq!(e.remote.len(), 1);
+        assert!(e.local.is_empty());
+    }
+
+    #[test]
+    fn conditional_picks_else_branch() {
+        let src = r#"IF IDLE(MIMD) > 0
+MIMD 1 "par"
+ELSE
+LOCAL "seq"
+END
+"#;
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &env()); // 0 idle MIMD
+        assert!(e.remote.is_empty());
+        assert_eq!(e.local.len(), 1);
+    }
+
+    #[test]
+    fn problem_targets_aggregate_over_preferred_machines() {
+        // IDLE(SYNC) = idle SIMD + idle VECTOR + idle MIMD = 1 + 0 + 0.
+        let src = "IF IDLE(SYNC) == 1\nLOCAL \"yes\"\nEND\n";
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &env());
+        assert_eq!(e.local.len(), 1);
+    }
+
+    #[test]
+    fn total_var_and_channels() {
+        let src = r#"IF TOTAL(WORKSTATION) >= 10
+CONNECT "a" "b" 128
+END
+"#;
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &env());
+        assert_eq!(e.channels, vec![("a".to_string(), "b".to_string(), 128)]);
+    }
+
+    #[test]
+    fn unknown_classes_count_zero() {
+        let src = "IF IDLE(VECTOR) == 0\nLOCAL \"v\"\nEND\n";
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &EvalEnv::new());
+        assert_eq!(e.local.len(), 1);
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let src = r#"IF TOTAL(WORKSTATION) > 0
+IF IDLE(WORKSTATION) > 100
+LOCAL "inner-no"
+ELSE
+LOCAL "inner-yes"
+END
+END
+"#;
+        let s = parse(src).unwrap();
+        let e = evaluate(&s, &env());
+        assert_eq!(e.local.len(), 1);
+        assert_eq!(e.local[0].path, "inner-yes");
+    }
+}

@@ -1,0 +1,443 @@
+//! Recursive-descent parser (line-oriented).
+
+use crate::ast::{CmpOp, Cond, CountSpec, Script, Stmt, TargetClass, Var};
+use crate::error::{ErrorKind, ScriptError};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parse a script source into an AST.
+pub fn parse(src: &str) -> Result<Script, ScriptError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmts = p.block(/*top_level=*/ true)?;
+    Ok(Script::new(stmts))
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let s = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        self.pos = (self.pos + 1).min(self.toks.len() - 1);
+        s
+    }
+
+    fn err(&self, wanted: &'static str) -> ScriptError {
+        let s = self.peek();
+        ScriptError::new(
+            s.line,
+            s.col,
+            ErrorKind::Expected {
+                wanted,
+                found: format!("{:?}", s.tok),
+            },
+        )
+    }
+
+    fn eat_newlines(&mut self) {
+        while matches!(self.peek().tok, Tok::Newline) {
+            self.next();
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ScriptError> {
+        match self.peek().tok {
+            Tok::Newline | Tok::Eof => {
+                self.next();
+                Ok(())
+            }
+            _ => Err(self.err("end of line")),
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<String, ScriptError> {
+        match self.next().tok {
+            Tok::Str(s) => Ok(s),
+            _ => {
+                self.pos -= 1;
+                Err(self.err("a quoted path"))
+            }
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<(u32, Spanned), ScriptError> {
+        let s = self.next();
+        match s.tok {
+            Tok::Int(n) => Ok((n, s)),
+            _ => {
+                self.pos -= 1;
+                Err(self.err("a number"))
+            }
+        }
+    }
+
+    /// Parse statements until `ELSE`/`END` (nested) or EOF (top level).
+    fn block(&mut self, top_level: bool) -> Result<Vec<Stmt>, ScriptError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.eat_newlines();
+            let s = self.peek().clone();
+            match &s.tok {
+                Tok::Eof => {
+                    if top_level {
+                        return Ok(stmts);
+                    }
+                    return Err(ScriptError::new(s.line, s.col, ErrorKind::UnbalancedIf));
+                }
+                Tok::Word(w) if w == "ELSE" || w == "END" => {
+                    if top_level {
+                        return Err(ScriptError::new(s.line, s.col, ErrorKind::UnbalancedIf));
+                    }
+                    return Ok(stmts);
+                }
+                _ => stmts.push(self.statement()?),
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ScriptError> {
+        let s = self.next();
+        let word = match &s.tok {
+            Tok::Word(w) => w.clone(),
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("a directive keyword"));
+            }
+        };
+        match word.as_str() {
+            "LOCAL" => {
+                let path = self.expect_str()?;
+                self.expect_newline()?;
+                Ok(Stmt::Local { path })
+            }
+            "CONNECT" => {
+                let from = self.expect_str()?;
+                let to = self.expect_str()?;
+                let (kib, _) = self.expect_int()?;
+                self.expect_newline()?;
+                Ok(Stmt::Connect {
+                    from,
+                    to,
+                    kib: u64::from(kib),
+                })
+            }
+            "IF" => {
+                let cond = self.cond()?;
+                self.expect_newline()?;
+                let then = self.block(false)?;
+                let mut els = Vec::new();
+                let kw = self.next();
+                match &kw.tok {
+                    Tok::Word(w) if w == "ELSE" => {
+                        self.expect_newline()?;
+                        els = self.block(false)?;
+                        let end = self.next();
+                        match &end.tok {
+                            Tok::Word(w2) if w2 == "END" => {}
+                            _ => {
+                                return Err(ScriptError::new(
+                                    end.line,
+                                    end.col,
+                                    ErrorKind::UnbalancedIf,
+                                ))
+                            }
+                        }
+                    }
+                    Tok::Word(w) if w == "END" => {}
+                    _ => return Err(ScriptError::new(kw.line, kw.col, ErrorKind::UnbalancedIf)),
+                }
+                self.expect_newline()?;
+                Ok(Stmt::If { cond, then, els })
+            }
+            other => {
+                let Some(target) = TargetClass::from_keyword(other) else {
+                    self.pos -= 1;
+                    return Err(self.err("a directive keyword (ASYNC/SYNC/LSYNC/WORKSTATION/SIMD/MIMD/VECTOR/LOCAL/CONNECT/IF)"));
+                };
+                let count = self.count_spec()?;
+                let path = self.expect_str()?;
+                self.expect_newline()?;
+                Ok(Stmt::Remote {
+                    target,
+                    count,
+                    path,
+                })
+            }
+        }
+    }
+
+    fn count_spec(&mut self) -> Result<CountSpec, ScriptError> {
+        let (n, span) = self.expect_int()?;
+        if n == 0 {
+            return Err(ScriptError::new(span.line, span.col, ErrorKind::ZeroCount));
+        }
+        match self.peek().tok {
+            Tok::Dash => {
+                self.next();
+                Ok(CountSpec::up_to(n))
+            }
+            Tok::Comma => {
+                self.next();
+                let (m, span2) = self.expect_int()?;
+                if m < n {
+                    return Err(ScriptError::new(
+                        span2.line,
+                        span2.col,
+                        ErrorKind::EmptyRange { min: n, max: m },
+                    ));
+                }
+                Ok(CountSpec::range(n, m))
+            }
+            _ => Ok(CountSpec::exact(n)),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, ScriptError> {
+        let s = self.next();
+        let func = match &s.tok {
+            Tok::Word(w) => w.clone(),
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("IDLE or TOTAL"));
+            }
+        };
+        if !matches!(self.next().tok, Tok::LParen) {
+            self.pos -= 1;
+            return Err(self.err("'('"));
+        }
+        let cls = self.next();
+        let target = match &cls.tok {
+            Tok::Word(w) => TargetClass::from_keyword(w).ok_or_else(|| {
+                ScriptError::new(
+                    cls.line,
+                    cls.col,
+                    ErrorKind::Expected {
+                        wanted: "a class keyword",
+                        found: w.clone(),
+                    },
+                )
+            })?,
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("a class keyword"));
+            }
+        };
+        if !matches!(self.next().tok, Tok::RParen) {
+            self.pos -= 1;
+            return Err(self.err("')'"));
+        }
+        let var = match func.as_str() {
+            "IDLE" => Var::Idle(target),
+            "TOTAL" => Var::Total(target),
+            _ => {
+                return Err(ScriptError::new(
+                    s.line,
+                    s.col,
+                    ErrorKind::Expected {
+                        wanted: "IDLE or TOTAL",
+                        found: func,
+                    },
+                ))
+            }
+        };
+        let opt = self.next();
+        let op = match &opt.tok {
+            Tok::Cmp(">=") => CmpOp::Ge,
+            Tok::Cmp("<=") => CmpOp::Le,
+            Tok::Cmp(">") => CmpOp::Gt,
+            Tok::Cmp("<") => CmpOp::Lt,
+            Tok::Cmp("==") => CmpOp::Eq,
+            Tok::Cmp("!=") => CmpOp::Ne,
+            _ => {
+                self.pos -= 1;
+                return Err(self.err("a comparison operator"));
+            }
+        };
+        let (value, _) = self.expect_int()?;
+        Ok(Cond {
+            var,
+            op,
+            value: u64::from(value),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WEATHER_SCRIPT;
+    use vce_net::MachineClass;
+    use vce_taskgraph::ProblemClass;
+
+    #[test]
+    fn parses_the_paper_script_exactly() {
+        let s = parse(WEATHER_SCRIPT).unwrap();
+        let st = s.statements();
+        assert_eq!(st.len(), 4);
+        assert_eq!(
+            st[0],
+            Stmt::Remote {
+                target: TargetClass::Problem(ProblemClass::Asynchronous),
+                count: CountSpec::exact(2),
+                path: "/apps/snow/collector.vce".into(),
+            }
+        );
+        assert_eq!(
+            st[1],
+            Stmt::Remote {
+                target: TargetClass::Machine(MachineClass::Workstation),
+                count: CountSpec::exact(1),
+                path: "/apps/snow/usercollect.vce".into(),
+            }
+        );
+        assert_eq!(
+            st[2],
+            Stmt::Remote {
+                target: TargetClass::Problem(ProblemClass::Synchronous),
+                count: CountSpec::exact(1),
+                path: "/apps/snow/predictor.vce".into(),
+            }
+        );
+        assert_eq!(
+            st[3],
+            Stmt::Local {
+                path: "/apps/snow/display.vce".into()
+            }
+        );
+    }
+
+    #[test]
+    fn future_work_ranges() {
+        let s = parse("ASYNC 5- \"a\"\nSYNC 5,10 \"b\"\n").unwrap();
+        assert_eq!(
+            s.statements()[0],
+            Stmt::Remote {
+                target: TargetClass::Problem(ProblemClass::Asynchronous),
+                count: CountSpec::up_to(5),
+                path: "a".into()
+            }
+        );
+        assert_eq!(
+            s.statements()[1],
+            Stmt::Remote {
+                target: TargetClass::Problem(ProblemClass::Synchronous),
+                count: CountSpec::range(5, 10),
+                path: "b".into()
+            }
+        );
+    }
+
+    #[test]
+    fn conditionals_with_else() {
+        let src = r#"IF IDLE(WORKSTATION) >= 4
+WORKSTATION 4 "par"
+ELSE
+LOCAL "seq"
+END
+"#;
+        let s = parse(src).unwrap();
+        match &s.statements()[0] {
+            Stmt::If { cond, then, els } => {
+                assert_eq!(cond.op, CmpOp::Ge);
+                assert_eq!(cond.value, 4);
+                assert!(matches!(
+                    cond.var,
+                    Var::Idle(TargetClass::Machine(MachineClass::Workstation))
+                ));
+                assert_eq!(then.len(), 1);
+                assert_eq!(els.len(), 1);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_without_else_and_nested() {
+        let src = r#"IF TOTAL(SIMD) > 0
+IF IDLE(SIMD) > 0
+SIMD 1 "fast"
+END
+END
+"#;
+        let s = parse(src).unwrap();
+        match &s.statements()[0] {
+            Stmt::If { then, els, .. } => {
+                assert!(els.is_empty());
+                assert!(matches!(then[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_statement() {
+        let s = parse("CONNECT \"a\" \"b\" 64\n").unwrap();
+        assert_eq!(
+            s.statements()[0],
+            Stmt::Connect {
+                from: "a".into(),
+                to: "b".into(),
+                kib: 64
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let s = parse("# weather app\n\nLOCAL \"d\" # display\n\n").unwrap();
+        assert_eq!(s.statements().len(), 1);
+    }
+
+    #[test]
+    fn error_zero_count() {
+        let e = parse("ASYNC 0 \"x\"\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::ZeroCount);
+    }
+
+    #[test]
+    fn error_empty_range() {
+        let e = parse("ASYNC 10,5 \"x\"\n").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::EmptyRange { min: 10, max: 5 });
+    }
+
+    #[test]
+    fn error_missing_path() {
+        let e = parse("ASYNC 2\n").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Expected { wanted, .. } if wanted.contains("path")));
+    }
+
+    #[test]
+    fn error_unknown_keyword() {
+        let e = parse("FROBNICATE 1 \"x\"\n").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Expected { .. }));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn error_unbalanced_if() {
+        assert_eq!(
+            parse("IF IDLE(SIMD) > 0\nSIMD 1 \"x\"\n").unwrap_err().kind,
+            ErrorKind::UnbalancedIf
+        );
+        assert_eq!(parse("END\n").unwrap_err().kind, ErrorKind::UnbalancedIf);
+        assert_eq!(parse("ELSE\n").unwrap_err().kind, ErrorKind::UnbalancedIf);
+    }
+
+    #[test]
+    fn error_trailing_garbage_on_line() {
+        let e = parse("LOCAL \"x\" 5\n").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Expected { wanted, .. } if wanted == "end of line"));
+    }
+
+    #[test]
+    fn empty_script_is_valid_and_empty() {
+        assert!(parse("").unwrap().statements().is_empty());
+        assert!(parse("\n\n# nothing\n").unwrap().statements().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Pretty-printer: renders an AST back to canonical script source.
+//!
+//! `parse(pretty(parse(src))) == parse(src)` — the property test in
+//! `tests/proptest_script.rs` holds the printer and parser to that law.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Cond, CountSpec, Script, Stmt, Var};
+
+/// Render a script AST as canonical source text.
+pub fn pretty(script: &Script) -> String {
+    let mut s = String::new();
+    emit(script.statements(), 0, &mut s);
+    s
+}
+
+fn emit(stmts: &[Stmt], indent: usize, out: &mut String) {
+    for stmt in stmts {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        match stmt {
+            Stmt::Remote {
+                target,
+                count,
+                path,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{} {} \"{}\"",
+                    target.keyword(),
+                    fmt_count(count),
+                    path
+                );
+            }
+            Stmt::Local { path } => {
+                let _ = writeln!(out, "LOCAL \"{path}\"");
+            }
+            Stmt::Connect { from, to, kib } => {
+                let _ = writeln!(out, "CONNECT \"{from}\" \"{to}\" {kib}");
+            }
+            Stmt::If { cond, then, els } => {
+                let _ = writeln!(out, "IF {}", fmt_cond(cond));
+                emit(then, indent + 1, out);
+                if !els.is_empty() {
+                    for _ in 0..indent {
+                        out.push_str("  ");
+                    }
+                    out.push_str("ELSE\n");
+                    emit(els, indent + 1, out);
+                }
+                for _ in 0..indent {
+                    out.push_str("  ");
+                }
+                out.push_str("END\n");
+            }
+        }
+    }
+}
+
+fn fmt_count(c: &CountSpec) -> String {
+    if c.min == c.max {
+        format!("{}", c.min)
+    } else if c.min == 1 {
+        format!("{}-", c.max)
+    } else {
+        format!("{},{}", c.min, c.max)
+    }
+}
+
+fn fmt_cond(c: &Cond) -> String {
+    let var = match c.var {
+        Var::Idle(t) => format!("IDLE({})", t.keyword()),
+        Var::Total(t) => format!("TOTAL({})", t.keyword()),
+    };
+    format!("{var} {} {}", c.op.spelling(), c.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::WEATHER_SCRIPT;
+
+    #[test]
+    fn weather_round_trips() {
+        let ast = parse(WEATHER_SCRIPT).unwrap();
+        let printed = pretty(&ast);
+        assert_eq!(parse(&printed).unwrap(), ast);
+    }
+
+    #[test]
+    fn conditional_round_trips_with_indent() {
+        let src = "IF IDLE(SIMD) > 0\nSIMD 1 \"f\"\nELSE\nLOCAL \"s\"\nEND\n";
+        let ast = parse(src).unwrap();
+        let printed = pretty(&ast);
+        assert!(printed.contains("  SIMD 1 \"f\""));
+        assert_eq!(parse(&printed).unwrap(), ast);
+    }
+
+    #[test]
+    fn ranges_print_canonically() {
+        let ast = parse("ASYNC 5- \"a\"\nSYNC 5,10 \"b\"\nMIMD 3 \"c\"\n").unwrap();
+        let printed = pretty(&ast);
+        assert!(printed.contains("ASYNC 5- \"a\""));
+        assert!(printed.contains("SYNC 5,10 \"b\""));
+        assert!(printed.contains("MIMD 3 \"c\""));
+        assert_eq!(parse(&printed).unwrap(), ast);
+    }
+}

@@ -1,0 +1,317 @@
+//! The lexer.
+
+use crate::error::{ErrorKind, ScriptError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A bare word: directive keywords, variable names.
+    Word(String),
+    /// An unsigned integer.
+    Int(u32),
+    /// A quoted string (quotes stripped).
+    Str(String),
+    /// `-` (open range suffix).
+    Dash,
+    /// `,` (range separator).
+    Comma,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// Comparison operator as written.
+    Cmp(&'static str),
+    /// End of line (statements are line-oriented).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenize a script. Comments (`#` to end of line) are skipped; runs of
+/// blank lines collapse to single newlines.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ScriptError> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = col;
+        match c {
+            '\n' => {
+                chars.next();
+                // Collapse duplicate newlines.
+                if !matches!(
+                    out.last().map(|s: &Spanned| &s.tok),
+                    Some(Tok::Newline) | None
+                ) {
+                    push!(Tok::Newline, start_col);
+                }
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(ScriptError::new(
+                                line,
+                                start_col,
+                                ErrorKind::UnterminatedString,
+                            ))
+                        }
+                        Some(c2) => {
+                            s.push(c2);
+                            col += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s), start_col);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Dash, start_col);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, start_col);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, start_col);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, start_col);
+            }
+            '>' | '<' | '=' | '!' => {
+                chars.next();
+                col += 1;
+                let two = chars.peek() == Some(&'=');
+                let op = match (c, two) {
+                    ('>', true) => ">=",
+                    ('<', true) => "<=",
+                    ('=', true) => "==",
+                    ('!', true) => "!=",
+                    ('>', false) => ">",
+                    ('<', false) => "<",
+                    _ => {
+                        return Err(ScriptError::new(
+                            line,
+                            start_col,
+                            ErrorKind::UnexpectedChar(c),
+                        ))
+                    }
+                };
+                if two {
+                    chars.next();
+                    col += 1;
+                }
+                push!(Tok::Cmp(op), start_col);
+            }
+            '0'..='9' => {
+                let mut v: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        v = v * 10 + u64::from(digit);
+                        if v > u64::from(u32::MAX) {
+                            return Err(ScriptError::new(
+                                line,
+                                start_col,
+                                ErrorKind::NumberTooLarge,
+                            ));
+                        }
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(v as u32), start_col);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        w.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Word(w), start_col);
+            }
+            other => {
+                return Err(ScriptError::new(
+                    line,
+                    start_col,
+                    ErrorKind::UnexpectedChar(other),
+                ))
+            }
+        }
+    }
+    // Terminate the final statement.
+    if !matches!(
+        out.last().map(|s: &Spanned| &s.tok),
+        Some(Tok::Newline) | None
+    ) {
+        out.push(Spanned {
+            tok: Tok::Newline,
+            line,
+            col,
+        });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn paper_line_lexes() {
+        assert_eq!(
+            toks("ASYNC 2 \"/apps/snow/collector.vce\""),
+            vec![
+                Tok::Word("ASYNC".into()),
+                Tok::Int(2),
+                Tok::Str("/apps/snow/collector.vce".into()),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_punctuation() {
+        assert_eq!(
+            toks("SYNC 5,10\nASYNC 5-"),
+            vec![
+                Tok::Word("SYNC".into()),
+                Tok::Int(5),
+                Tok::Comma,
+                Tok::Int(10),
+                Tok::Newline,
+                Tok::Word("ASYNC".into()),
+                Tok::Int(5),
+                Tok::Dash,
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            toks("IF IDLE(WORKSTATION) >= 4"),
+            vec![
+                Tok::Word("IF".into()),
+                Tok::Word("IDLE".into()),
+                Tok::LParen,
+                Tok::Word("WORKSTATION".into()),
+                Tok::RParen,
+                Tok::Cmp(">="),
+                Tok::Int(4),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+        assert_eq!(toks("a < 1")[1], Tok::Cmp("<"));
+        assert_eq!(toks("a != 1")[1], Tok::Cmp("!="));
+        assert_eq!(toks("a == 1")[1], Tok::Cmp("=="));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        assert_eq!(
+            toks("# header\n\n\nLOCAL \"x\" # trailing\n"),
+            vec![
+                Tok::Word("LOCAL".into()),
+                Tok::Str("x".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reports_position() {
+        let e = lex("LOCAL \"oops").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnterminatedString);
+        assert_eq!((e.line, e.col), (1, 7));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        let e = lex("ASYNC 2 @").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnexpectedChar('@'));
+    }
+
+    #[test]
+    fn huge_number_rejected() {
+        let e = lex("ASYNC 99999999999").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::NumberTooLarge);
+    }
+
+    #[test]
+    fn lone_bang_rejected() {
+        let e = lex("a ! b").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnexpectedChar('!'));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: parser totality on arbitrary input, and the
+//! parse∘pretty fixpoint on arbitrary ASTs.
+
+use proptest::prelude::*;
+use vce_script::{parse, pretty, CmpOp, Cond, CountSpec, Script, Stmt, TargetClass, Var};
+
+fn arb_target() -> impl Strategy<Value = TargetClass> {
+    prop_oneof![
+        Just("ASYNC"),
+        Just("SYNC"),
+        Just("LSYNC"),
+        Just("WORKSTATION"),
+        Just("SIMD"),
+        Just("MIMD"),
+        Just("VECTOR"),
+    ]
+    .prop_map(|kw| TargetClass::from_keyword(kw).unwrap())
+}
+
+fn arb_count() -> impl Strategy<Value = CountSpec> {
+    prop_oneof![
+        (1u32..50).prop_map(CountSpec::exact),
+        (2u32..50).prop_map(CountSpec::up_to),
+        (2u32..20, 0u32..20).prop_map(|(min, extra)| CountSpec::range(min, min + extra)),
+    ]
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "[a-z/_.]{1,24}"
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (
+        arb_target(),
+        prop_oneof![
+            Just(CmpOp::Ge),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne)
+        ],
+        0u64..100,
+        any::<bool>(),
+    )
+        .prop_map(|(t, op, value, idle)| Cond {
+            var: if idle { Var::Idle(t) } else { Var::Total(t) },
+            op,
+            value,
+        })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        (arb_target(), arb_count(), arb_path()).prop_map(|(target, count, path)| Stmt::Remote {
+            target,
+            count,
+            path
+        }),
+        arb_path().prop_map(|path| Stmt::Local { path }),
+        (arb_path(), arb_path(), 0u64..10_000).prop_map(|(from, to, kib)| Stmt::Connect {
+            from,
+            to,
+            kib
+        }),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            (
+                arb_cond(),
+                prop::collection::vec(arb_stmt(depth - 1), 1..3),
+                prop::collection::vec(arb_stmt(depth - 1), 0..3),
+            )
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_directive_shaped_text(
+        src in "(ASYNC|SYNC|LOCAL|IF|END|ELSE|CONNECT|WORKSTATION)[ 0-9,\\-\"a-z()<>=!\n]{0,80}"
+    ) {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn pretty_parse_is_identity_on_asts(stmts in prop::collection::vec(arb_stmt(2), 0..6)) {
+        let script = Script::new(stmts);
+        let printed = pretty(&script);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        prop_assert_eq!(reparsed, script);
+    }
+}

@@ -1,0 +1,185 @@
+//! Anticipatory processing planner (§4.5).
+//!
+//! "Suppose there is a VCE application consisting of two modules where the
+//! second cannot start until the first completes. If there are lots of idle
+//! resources in the network they can be used to do things that may help the
+//! second module run faster when it is ready to go": compile it for every
+//! candidate architecture (**anticipatory compilation**) and replicate its
+//! input files to candidate hosts (**anticipatory file replication**).
+//!
+//! The planner looks at tasks that are *not yet dispatchable* (some
+//! dataflow predecessor unfinished) and lists the useful work idle
+//! machines could do for them now. The execution module carries the plan
+//! out; experiment U2 measures the dispatch-latency payoff.
+
+use std::collections::HashSet;
+
+use vce_net::MachineClass;
+use vce_taskgraph::{TaskGraph, TaskId};
+
+use crate::compilemgr::BinaryCache;
+use crate::machinedb::MachineDb;
+
+/// One useful piece of anticipatory work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnticipatoryAction {
+    /// Compile `task`'s program for `target` before it becomes ready.
+    Compile {
+        /// The pending task.
+        task: TaskId,
+        /// Target class missing from the binary cache.
+        target: MachineClass,
+    },
+    /// Replicate an input file to machines of `target` class.
+    ReplicateFile {
+        /// The pending task that will read it.
+        task: TaskId,
+        /// File path.
+        file: String,
+        /// Candidate-host class.
+        target: MachineClass,
+    },
+}
+
+/// Compute the anticipatory work plan.
+///
+/// `completed` are finished tasks; tasks with unfinished predecessors are
+/// the anticipation targets. Actions are ordered by task id, compiles
+/// before replications, best class first — the order the execution module
+/// should fund them with idle capacity.
+pub fn plan(
+    g: &TaskGraph,
+    db: &MachineDb,
+    cache: &BinaryCache,
+    completed: &HashSet<TaskId>,
+) -> Vec<AnticipatoryAction> {
+    let mut actions = Vec::new();
+    for id in g.ids() {
+        if completed.contains(&id) {
+            continue;
+        }
+        let blocked = g.predecessors(id).any(|p| !completed.contains(&p));
+        if !blocked {
+            continue; // dispatchable now — the scheduler's job, not ours
+        }
+        let spec = g.get(id).expect("valid id");
+        let classes = db.feasible_classes(spec);
+        for &target in &classes {
+            if !cache.contains(&spec.name, target) {
+                actions.push(AnticipatoryAction::Compile { task: id, target });
+            }
+        }
+        for file in &spec.input_files {
+            for &target in &classes {
+                actions.push(AnticipatoryAction::ReplicateFile {
+                    task: id,
+                    file: file.clone(),
+                    target,
+                });
+            }
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compilemgr::Binary;
+    use vce_net::{MachineInfo, NodeId};
+    use vce_taskgraph::{Language, ProblemClass, TaskSpec};
+
+    fn db() -> MachineDb {
+        MachineDb::new()
+            .with(MachineInfo::workstation(NodeId(0), 100.0))
+            .with(
+                MachineInfo::workstation(NodeId(1), 900.0)
+                    .with_class(MachineClass::Mimd)
+                    .with_mem_mb(256),
+            )
+    }
+
+    fn two_stage() -> (TaskGraph, TaskId, TaskId) {
+        let mut g = TaskGraph::new("two");
+        let first = g.add_task(
+            TaskSpec::new("first")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(10.0),
+        );
+        let second = g.add_task(
+            TaskSpec::new("second")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(10.0)
+                .with_input_file("/data/grid.dat"),
+        );
+        g.depends(second, first, 1);
+        (g, first, second)
+    }
+
+    #[test]
+    fn plans_compiles_and_replication_for_blocked_task() {
+        let (g, _first, second) = two_stage();
+        let actions = plan(&g, &db(), &BinaryCache::new(), &HashSet::new());
+        // `first` is dispatchable (not planned); `second` is blocked.
+        assert_eq!(
+            actions,
+            vec![
+                AnticipatoryAction::Compile {
+                    task: second,
+                    target: MachineClass::Workstation
+                },
+                AnticipatoryAction::Compile {
+                    task: second,
+                    target: MachineClass::Mimd
+                },
+                AnticipatoryAction::ReplicateFile {
+                    task: second,
+                    file: "/data/grid.dat".into(),
+                    target: MachineClass::Workstation
+                },
+                AnticipatoryAction::ReplicateFile {
+                    task: second,
+                    file: "/data/grid.dat".into(),
+                    target: MachineClass::Mimd
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn cached_binaries_drop_out_of_the_plan() {
+        let (g, _, _) = two_stage();
+        let mut cache = BinaryCache::new();
+        cache.put(Binary {
+            unit: "second".into(),
+            target: MachineClass::Workstation,
+            kib: 10,
+            compile_us: 1,
+        });
+        let actions = plan(&g, &db(), &cache, &HashSet::new());
+        assert!(!actions.contains(&AnticipatoryAction::Compile {
+            task: TaskId(1),
+            target: MachineClass::Workstation
+        }));
+        assert!(actions.contains(&AnticipatoryAction::Compile {
+            task: TaskId(1),
+            target: MachineClass::Mimd
+        }));
+    }
+
+    #[test]
+    fn nothing_to_anticipate_once_predecessors_finish() {
+        let (g, first, _) = two_stage();
+        let done: HashSet<TaskId> = [first].into_iter().collect();
+        assert!(plan(&g, &db(), &BinaryCache::new(), &done).is_empty());
+    }
+
+    #[test]
+    fn completed_tasks_never_planned() {
+        let (g, first, second) = two_stage();
+        let done: HashSet<TaskId> = [first, second].into_iter().collect();
+        assert!(plan(&g, &db(), &BinaryCache::new(), &done).is_empty());
+    }
+}

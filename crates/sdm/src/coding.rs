@@ -1,0 +1,187 @@
+//! The coding level: implementation languages and the communication plan.
+//!
+//! §3.1.1: the coding level parallelizes tasks "using architecture
+//! independent languages" (HPF, HPC++) with communication "via standard
+//! communication libraries (based on standards such as MPI)". We assign a
+//! default language per problem class when the user gave none, and derive
+//! the [`CommPlan`] — which channels and transfers the runtime must
+//! provision — from the graph's arcs.
+
+use vce_taskgraph::{ArcKind, Language, ProblemClass, TaskGraph, TaskId};
+
+/// Default language per problem class (the idiomatic 1994 choice).
+pub fn default_language(class: ProblemClass) -> Language {
+    match class {
+        ProblemClass::Synchronous => Language::HpFortran,
+        ProblemClass::LooselySynchronous => Language::HpCpp,
+        ProblemClass::Asynchronous => Language::C,
+    }
+}
+
+/// One provisioned communication element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommElement {
+    /// A VCE channel for an ongoing stream between two tasks.
+    Channel {
+        /// Sender task.
+        from: TaskId,
+        /// Receiver task.
+        to: TaskId,
+        /// Volume per step, KiB.
+        kib: u64,
+    },
+    /// A one-shot output transfer along a dataflow arc.
+    Transfer {
+        /// Producer.
+        from: TaskId,
+        /// Consumer.
+        to: TaskId,
+        /// Volume, KiB.
+        kib: u64,
+    },
+}
+
+/// The communication plan for an application.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommPlan {
+    /// Elements in arc order.
+    pub elements: Vec<CommElement>,
+}
+
+impl CommPlan {
+    /// Channels only.
+    pub fn channels(&self) -> impl Iterator<Item = &CommElement> {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, CommElement::Channel { .. }))
+    }
+
+    /// Transfers only.
+    pub fn transfers(&self) -> impl Iterator<Item = &CommElement> {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, CommElement::Transfer { .. }))
+    }
+
+    /// Total volume moved per application step, KiB.
+    pub fn total_kib(&self) -> u64 {
+        self.elements
+            .iter()
+            .map(|e| match e {
+                CommElement::Channel { kib, .. } | CommElement::Transfer { kib, .. } => *kib,
+            })
+            .sum()
+    }
+}
+
+/// Run the coding level: fill languages and estimate work where missing,
+/// and derive the communication plan. Returns the plan.
+///
+/// Tasks with no work estimate get `fallback_work_mops` — the coding level
+/// must leave the graph coding-complete for the compilation manager.
+pub fn run_coding_level(g: &mut TaskGraph, fallback_work_mops: f64) -> CommPlan {
+    let ids: Vec<_> = g.ids().collect();
+    for id in ids {
+        let t = g.get_mut(id).expect("valid id");
+        if t.language.is_none() {
+            let class = t
+                .class
+                .expect("design stage must run before the coding level");
+            t.language = Some(default_language(class));
+        }
+        if t.work_mops <= 0.0 {
+            t.work_mops = fallback_work_mops;
+        }
+    }
+    let mut plan = CommPlan::default();
+    for a in g.arcs() {
+        plan.elements.push(match a.kind {
+            ArcKind::Stream => CommElement::Channel {
+                from: a.from,
+                to: a.to,
+                kib: a.data_kib,
+            },
+            ArcKind::DataFlow => CommElement::Transfer {
+                from: a.from,
+                to: a.to,
+                kib: a.data_kib,
+            },
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_taskgraph::{validate, TaskSpec};
+
+    #[test]
+    fn default_languages_per_class() {
+        assert_eq!(
+            default_language(ProblemClass::Synchronous),
+            Language::HpFortran
+        );
+        assert_eq!(
+            default_language(ProblemClass::LooselySynchronous),
+            Language::HpCpp
+        );
+        assert_eq!(default_language(ProblemClass::Asynchronous), Language::C);
+    }
+
+    #[test]
+    fn fills_language_and_work_until_coding_complete() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(TaskSpec::new("a").with_class(ProblemClass::Synchronous));
+        let b = g.add_task(
+            TaskSpec::new("b")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::Fortran)
+                .with_work(7.0),
+        );
+        g.depends(b, a, 32);
+        let plan = run_coding_level(&mut g, 500.0);
+        assert_eq!(g.get(a).unwrap().language, Some(Language::HpFortran));
+        assert_eq!(g.get(a).unwrap().work_mops, 500.0);
+        // User choices untouched.
+        assert_eq!(g.get(b).unwrap().language, Some(Language::Fortran));
+        assert_eq!(g.get(b).unwrap().work_mops, 7.0);
+        assert!(validate(&g).is_ok());
+        assert_eq!(plan.transfers().count(), 1);
+        assert_eq!(plan.channels().count(), 0);
+        assert_eq!(plan.total_kib(), 32);
+    }
+
+    #[test]
+    fn stream_arcs_become_channels() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(
+            TaskSpec::new("a")
+                .with_class(ProblemClass::LooselySynchronous)
+                .with_work(1.0),
+        );
+        let b = g.add_task(
+            TaskSpec::new("b")
+                .with_class(ProblemClass::LooselySynchronous)
+                .with_work(1.0),
+        );
+        g.add_arc(a, b, ArcKind::Stream, 128);
+        let plan = run_coding_level(&mut g, 1.0);
+        assert_eq!(
+            plan.elements,
+            vec![CommElement::Channel {
+                from: a,
+                to: b,
+                kib: 128
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "design stage must run")]
+    fn coding_before_design_panics() {
+        let mut g = TaskGraph::new("g");
+        g.add_task(TaskSpec::new("bare"));
+        run_coding_level(&mut g, 1.0);
+    }
+}

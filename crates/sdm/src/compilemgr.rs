@@ -1,0 +1,293 @@
+//! The compilation manager (§3.1.2, §4.1).
+//!
+//! "The compilation manager must select the machine, or machines, on which
+//! each task should be run ... In fact in most cases several different
+//! machines may be used to execute a particular task. In this case the
+//! compilation manager prepares executable images for all possible
+//! machines. The choice of which machine will actually be used will be
+//! made by the runtime manager."
+
+use std::collections::BTreeMap;
+
+use vce_net::MachineClass;
+use vce_taskgraph::{TaskGraph, TaskId};
+
+use crate::compiler::{CompileJob, Compiler};
+use crate::machinedb::MachineDb;
+
+/// A prepared executable image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binary {
+    /// The program (task name).
+    pub unit: String,
+    /// Machine class it runs on.
+    pub target: MachineClass,
+    /// Size, KiB.
+    pub kib: u64,
+    /// Time spent compiling it, µs.
+    pub compile_us: u64,
+}
+
+/// Cache of prepared binaries, keyed `(unit, target class)`.
+///
+/// The object-code-compatible groups of §5 mean one binary per class
+/// serves every machine in the class.
+#[derive(Debug, Clone, Default)]
+pub struct BinaryCache {
+    entries: BTreeMap<(String, MachineClass), Binary>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BinaryCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a binary.
+    pub fn get(&mut self, unit: &str, target: MachineClass) -> Option<&Binary> {
+        let key = (unit.to_string(), target);
+        if self.entries.contains_key(&key) {
+            self.hits += 1;
+            self.entries.get(&key)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Peek without counting.
+    pub fn contains(&self, unit: &str, target: MachineClass) -> bool {
+        self.entries.contains_key(&(unit.to_string(), target))
+    }
+
+    /// Insert a binary.
+    pub fn put(&mut self, binary: Binary) {
+        self.entries
+            .insert((binary.unit.clone(), binary.target), binary);
+    }
+
+    /// Number of cached binaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Per-task compilation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileReport {
+    /// The task.
+    pub task: TaskId,
+    /// Classes binaries were produced for (preference order).
+    pub targets: Vec<MachineClass>,
+    /// Total compile time charged, µs (cache hits are free).
+    pub compile_us: u64,
+}
+
+/// The compilation manager.
+#[derive(Debug, Default)]
+pub struct CompilationManager {
+    compiler: Compiler,
+    cache: BinaryCache,
+}
+
+impl CompilationManager {
+    /// Manager with the default cost model.
+    pub fn new() -> Self {
+        Self {
+            compiler: Compiler::default(),
+            cache: BinaryCache::new(),
+        }
+    }
+
+    /// Access the cache (diagnostics, anticipatory planning).
+    pub fn cache(&self) -> &BinaryCache {
+        &self.cache
+    }
+
+    /// Prepare binaries for one task on every feasible class (§4.1's
+    /// "all possible machines"). Returns `None` if the fleet cannot host
+    /// the task at all.
+    pub fn prepare_task(
+        &mut self,
+        g: &TaskGraph,
+        task: TaskId,
+        db: &MachineDb,
+    ) -> Option<CompileReport> {
+        let spec = g.get(task)?;
+        let classes = db.feasible_classes(spec);
+        if classes.is_empty() {
+            return None;
+        }
+        let mut total_us = 0;
+        for &target in &classes {
+            if self.cache.get(&spec.name, target).is_some() {
+                continue;
+            }
+            let out = self
+                .compiler
+                .compile(&CompileJob {
+                    unit: spec.name.clone(),
+                    language: spec.language.expect("coding-complete task"),
+                    target,
+                    work_mops: spec.work_mops,
+                })
+                .expect("feasible_classes filtered by toolchain availability");
+            total_us += out.compile_us;
+            self.cache.put(Binary {
+                unit: spec.name.clone(),
+                target,
+                kib: out.binary_kib,
+                compile_us: out.compile_us,
+            });
+        }
+        Some(CompileReport {
+            task,
+            targets: classes,
+            compile_us: total_us,
+        })
+    }
+
+    /// Prepare the whole application. Returns per-task reports; tasks the
+    /// fleet cannot host are reported in the error vector.
+    pub fn prepare_all(
+        &mut self,
+        g: &TaskGraph,
+        db: &MachineDb,
+    ) -> (Vec<CompileReport>, Vec<TaskId>) {
+        let mut reports = Vec::new();
+        let mut unhostable = Vec::new();
+        for id in g.ids() {
+            match self.prepare_task(g, id, db) {
+                Some(r) => reports.push(r),
+                None => unhostable.push(id),
+            }
+        }
+        (reports, unhostable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::{MachineInfo, NodeId};
+    use vce_taskgraph::{Language, ProblemClass, TaskSpec};
+
+    fn fleet() -> MachineDb {
+        MachineDb::new()
+            .with(MachineInfo::workstation(NodeId(0), 100.0))
+            .with(
+                MachineInfo::workstation(NodeId(1), 2000.0)
+                    .with_class(MachineClass::Simd)
+                    .with_mem_mb(512),
+            )
+            .with(
+                MachineInfo::workstation(NodeId(2), 800.0)
+                    .with_class(MachineClass::Mimd)
+                    .with_mem_mb(256),
+            )
+    }
+
+    fn app() -> TaskGraph {
+        let mut g = TaskGraph::new("app");
+        let a = g.add_task(
+            TaskSpec::new("collector")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(100.0),
+        );
+        let b = g.add_task(
+            TaskSpec::new("predictor")
+                .with_class(ProblemClass::Synchronous)
+                .with_language(Language::HpFortran)
+                .with_work(5000.0),
+        );
+        g.depends(b, a, 64);
+        g
+    }
+
+    #[test]
+    fn prepares_binaries_for_all_feasible_classes() {
+        let db = fleet();
+        let g = app();
+        let mut mgr = CompilationManager::new();
+        let (reports, unhostable) = mgr.prepare_all(&g, &db);
+        assert!(unhostable.is_empty());
+        assert_eq!(reports.len(), 2);
+        // collector (ASYNC, C): workstation then MIMD.
+        assert_eq!(
+            reports[0].targets,
+            vec![MachineClass::Workstation, MachineClass::Mimd]
+        );
+        // predictor (SYNC, HPF): SIMD then MIMD (no vector in fleet).
+        assert_eq!(
+            reports[1].targets,
+            vec![MachineClass::Simd, MachineClass::Mimd]
+        );
+        assert_eq!(mgr.cache().len(), 4);
+        for r in &reports {
+            assert!(r.compile_us > 0);
+        }
+    }
+
+    #[test]
+    fn cache_makes_recompilation_free() {
+        let db = fleet();
+        let g = app();
+        let mut mgr = CompilationManager::new();
+        let first = mgr
+            .prepare_task(&g, g.find("predictor").unwrap(), &db)
+            .unwrap();
+        let second = mgr
+            .prepare_task(&g, g.find("predictor").unwrap(), &db)
+            .unwrap();
+        assert!(first.compile_us > 0);
+        assert_eq!(second.compile_us, 0, "all targets cached");
+        let (hits, _misses) = mgr.cache().stats();
+        assert!(hits >= 2);
+    }
+
+    #[test]
+    fn unhostable_task_reported() {
+        // Vector-only preference with no vector machines and HPF language
+        // unavailable on workstations.
+        let db = MachineDb::new().with(MachineInfo::workstation(NodeId(0), 100.0));
+        let mut g = TaskGraph::new("g");
+        let t = g.add_task(
+            TaskSpec::new("lockstep")
+                .with_class(ProblemClass::Synchronous)
+                .with_language(Language::HpFortran)
+                .with_work(10.0),
+        );
+        let mut mgr = CompilationManager::new();
+        let (reports, unhostable) = mgr.prepare_all(&g, &db);
+        assert!(reports.is_empty());
+        assert_eq!(unhostable, vec![t]);
+    }
+
+    #[test]
+    fn binaries_shared_across_tasks_with_same_name() {
+        // Two graphs reusing a program path hit the same cache entries —
+        // the anticipatory-compilation payoff.
+        let db = fleet();
+        let g = app();
+        let mut mgr = CompilationManager::new();
+        mgr.prepare_all(&g, &db);
+        let cached = mgr.cache().len();
+        let g2 = app();
+        let (reports, _) = mgr.prepare_all(&g2, &db);
+        assert_eq!(mgr.cache().len(), cached);
+        assert!(reports.iter().all(|r| r.compile_us == 0));
+    }
+}

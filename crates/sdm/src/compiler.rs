@@ -1,0 +1,187 @@
+//! Simulated compilers — the documented substitution for the native
+//! toolchains on the paper's machines.
+//!
+//! The runtime consumes two things from a compiler: *whether* a (language,
+//! machine-class) pair is compilable, and *how long* compilation takes
+//! (this drives anticipatory compilation, §4.5, and
+//! migration-by-recompilation, §4.4). The cost model charges a base price
+//! per language plus a size-dependent term, with a penalty for the exotic
+//! parallelizing compilers of the era.
+
+use std::fmt;
+
+use vce_net::MachineClass;
+use vce_taskgraph::Language;
+
+/// A compilation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileJob {
+    /// Program identity (task name / path).
+    pub unit: String,
+    /// Source language.
+    pub language: Language,
+    /// Target machine class.
+    pub target: MachineClass,
+    /// Work estimate of the program, Mops (proxy for source size).
+    pub work_mops: f64,
+}
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// No compiler for this language on this machine class.
+    NoToolchain {
+        /// The language.
+        language: Language,
+        /// The class without a toolchain for it.
+        target: MachineClass,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoToolchain { language, target } => {
+                write!(f, "no {language:?} toolchain on {target} machines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result of a successful compile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOutput {
+    /// Time the compile took, µs.
+    pub compile_us: u64,
+    /// Binary size, KiB (drives transfer costs when dispatching).
+    pub binary_kib: u64,
+}
+
+/// The toolchain inventory + cost model.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    /// Base compile time, µs.
+    pub base_us: u64,
+    /// Additional µs per Mop of program size.
+    pub per_mop_us: u64,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        // A few seconds base, growing with program size — 1994 toolchains.
+        Self {
+            base_us: 2_000_000,
+            per_mop_us: 500,
+        }
+    }
+}
+
+impl Compiler {
+    /// Language penalty: parallelizing compilers are slower than `cc`.
+    fn language_factor(language: Language) -> f64 {
+        match language {
+            Language::C => 1.0,
+            Language::Fortran => 1.2,
+            Language::HpCpp => 2.5,
+            Language::HpFortran => 3.0,
+        }
+    }
+
+    /// Exotic back-ends take longer.
+    fn target_factor(target: MachineClass) -> f64 {
+        match target {
+            MachineClass::Workstation => 1.0,
+            MachineClass::Mimd => 1.5,
+            MachineClass::Vector => 2.0,
+            MachineClass::Simd => 2.5,
+        }
+    }
+
+    /// Run one compile.
+    pub fn compile(&self, job: &CompileJob) -> Result<CompileOutput, CompileError> {
+        if !job.language.available_on(job.target) {
+            return Err(CompileError::NoToolchain {
+                language: job.language,
+                target: job.target,
+            });
+        }
+        let factor = Self::language_factor(job.language) * Self::target_factor(job.target);
+        let compile_us =
+            ((self.base_us as f64 + self.per_mop_us as f64 * job.work_mops) * factor) as u64;
+        let binary_kib = 64 + (job.work_mops / 4.0) as u64;
+        Ok(CompileOutput {
+            compile_us,
+            binary_kib,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(language: Language, target: MachineClass) -> CompileJob {
+        CompileJob {
+            unit: "predictor".into(),
+            language,
+            target,
+            work_mops: 1000.0,
+        }
+    }
+
+    #[test]
+    fn c_on_workstation_is_cheapest() {
+        let c = Compiler::default();
+        let ws = c
+            .compile(&job(Language::C, MachineClass::Workstation))
+            .unwrap();
+        let simd = c
+            .compile(&job(Language::HpFortran, MachineClass::Simd))
+            .unwrap();
+        assert!(simd.compile_us > ws.compile_us * 5);
+    }
+
+    #[test]
+    fn missing_toolchain_reported() {
+        let c = Compiler::default();
+        let e = c
+            .compile(&job(Language::HpFortran, MachineClass::Workstation))
+            .unwrap_err();
+        assert_eq!(
+            e,
+            CompileError::NoToolchain {
+                language: Language::HpFortran,
+                target: MachineClass::Workstation
+            }
+        );
+        assert!(e.to_string().contains("toolchain"));
+    }
+
+    #[test]
+    fn cost_scales_with_program_size() {
+        let c = Compiler::default();
+        let small = c
+            .compile(&CompileJob {
+                work_mops: 10.0,
+                ..job(Language::C, MachineClass::Workstation)
+            })
+            .unwrap();
+        let big = c
+            .compile(&CompileJob {
+                work_mops: 100_000.0,
+                ..job(Language::C, MachineClass::Workstation)
+            })
+            .unwrap();
+        assert!(big.compile_us > small.compile_us);
+        assert!(big.binary_kib > small.binary_kib);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = Compiler::default();
+        let j = job(Language::HpCpp, MachineClass::Mimd);
+        assert_eq!(c.compile(&j), c.compile(&j));
+    }
+}

@@ -1,0 +1,107 @@
+//! The design stage: classify each task's problem architecture.
+//!
+//! §3.1.1: "The design stage is responsible for analyzing the computational
+//! needs and the existing dependencies for each task in the task graph ...
+//! The parallel software design methodology used in the design stage
+//! concentrates on the architecture of the problem and not the machine."
+//!
+//! User-supplied classes are respected; unclassified tasks are inferred
+//! from the graph's structure:
+//!
+//! * many identical instances with **no** stream coupling → a regular
+//!   data-parallel sweep → **synchronous**;
+//! * stream-coupled tasks (peers exchanging data while running) → phased
+//!   communication → **loosely synchronous**;
+//! * everything else (irregular, event-driven, single processes) →
+//!   **asynchronous**.
+
+use vce_taskgraph::{ProblemClass, TaskGraph};
+
+/// Instance count at or above which an uncoupled replicated task reads as
+/// data-parallel.
+pub const SYNCHRONOUS_INSTANCE_THRESHOLD: u32 = 4;
+
+/// Run the design stage: fill in missing [`ProblemClass`] annotations.
+/// Returns how many tasks were classified by inference.
+pub fn run_design_stage(g: &mut TaskGraph) -> usize {
+    let mut inferred = 0;
+    let ids: Vec<_> = g.ids().collect();
+    for id in ids {
+        if g.get(id).expect("valid id").class.is_some() {
+            continue;
+        }
+        let has_streams = g.stream_peers(id).count() > 0;
+        let instances = g.get(id).expect("valid id").instances;
+        let class = if has_streams {
+            ProblemClass::LooselySynchronous
+        } else if instances >= SYNCHRONOUS_INSTANCE_THRESHOLD {
+            ProblemClass::Synchronous
+        } else {
+            ProblemClass::Asynchronous
+        };
+        g.get_mut(id).expect("valid id").class = Some(class);
+        inferred += 1;
+    }
+    inferred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_taskgraph::{ArcKind, TaskSpec};
+
+    #[test]
+    fn user_classes_are_respected() {
+        let mut g = TaskGraph::new("g");
+        let id = g.add_task(TaskSpec::new("t").with_class(ProblemClass::Synchronous));
+        assert_eq!(run_design_stage(&mut g), 0);
+        assert_eq!(g.get(id).unwrap().class, Some(ProblemClass::Synchronous));
+    }
+
+    #[test]
+    fn replicated_uncoupled_task_is_synchronous() {
+        let mut g = TaskGraph::new("g");
+        let id = g.add_task(TaskSpec::new("sweep").with_instances(8));
+        assert_eq!(run_design_stage(&mut g), 1);
+        assert_eq!(g.get(id).unwrap().class, Some(ProblemClass::Synchronous));
+    }
+
+    #[test]
+    fn stream_coupled_tasks_are_loosely_synchronous() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(TaskSpec::new("a").with_instances(8));
+        let b = g.add_task(TaskSpec::new("b"));
+        g.add_arc(a, b, ArcKind::Stream, 16);
+        run_design_stage(&mut g);
+        assert_eq!(
+            g.get(a).unwrap().class,
+            Some(ProblemClass::LooselySynchronous),
+            "stream coupling dominates instance count"
+        );
+        assert_eq!(
+            g.get(b).unwrap().class,
+            Some(ProblemClass::LooselySynchronous)
+        );
+    }
+
+    #[test]
+    fn singleton_tasks_are_asynchronous() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(TaskSpec::new("a"));
+        let b = g.add_task(TaskSpec::new("b").with_instances(2));
+        g.depends(b, a, 1);
+        run_design_stage(&mut g);
+        assert_eq!(g.get(a).unwrap().class, Some(ProblemClass::Asynchronous));
+        assert_eq!(g.get(b).unwrap().class, Some(ProblemClass::Asynchronous));
+    }
+
+    #[test]
+    fn mixed_graph_counts_inferences() {
+        let mut g = TaskGraph::new("g");
+        g.add_task(TaskSpec::new("given").with_class(ProblemClass::Asynchronous));
+        g.add_task(TaskSpec::new("infer-me"));
+        g.add_task(TaskSpec::new("me-too").with_instances(6));
+        assert_eq!(run_design_stage(&mut g), 2);
+        assert!(g.tasks().iter().all(|t| t.class.is_some()));
+    }
+}

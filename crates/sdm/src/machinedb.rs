@@ -1,0 +1,204 @@
+//! The machine database (§3.1.2): what the compilation and runtime
+//! managers know about every machine in the VCE network.
+
+use vce_net::{MachineClass, MachineInfo, NodeId};
+use vce_taskgraph::TaskSpec;
+
+/// The fleet registry.
+#[derive(Debug, Clone, Default)]
+pub struct MachineDb {
+    machines: Vec<MachineInfo>,
+}
+
+impl MachineDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a machine. Panics on duplicate node ids (registration is
+    /// administrator-driven).
+    pub fn register(&mut self, info: MachineInfo) {
+        assert!(
+            self.get(info.node).is_none(),
+            "node {} registered twice",
+            info.node
+        );
+        self.machines.push(info);
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, info: MachineInfo) -> Self {
+        self.register(info);
+        self
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> &[MachineInfo] {
+        &self.machines
+    }
+
+    /// Look up one machine.
+    pub fn get(&self, node: NodeId) -> Option<&MachineInfo> {
+        self.machines.iter().find(|m| m.node == node)
+    }
+
+    /// Machines of a class.
+    pub fn by_class(&self, class: MachineClass) -> impl Iterator<Item = &MachineInfo> {
+        self.machines.iter().filter(move |m| m.class == class)
+    }
+
+    /// Count per class.
+    pub fn count(&self, class: MachineClass) -> usize {
+        self.by_class(class).count()
+    }
+
+    /// Classes present in the fleet, in [`MachineClass::ALL`] order.
+    pub fn present_classes(&self) -> Vec<MachineClass> {
+        MachineClass::ALL
+            .into_iter()
+            .filter(|&c| self.count(c) > 0)
+            .collect()
+    }
+
+    /// Machine classes a (coding-complete) task can execute on, best
+    /// first: problem-class preference filtered by language availability
+    /// and fleet presence.
+    pub fn feasible_classes(&self, task: &TaskSpec) -> Vec<MachineClass> {
+        let Some(problem) = task.class else {
+            return Vec::new();
+        };
+        let Some(language) = task.language else {
+            return Vec::new();
+        };
+        problem
+            .machine_preferences()
+            .iter()
+            .copied()
+            .filter(|&mc| language.available_on(mc))
+            .filter(|&mc| self.count(mc) > 0)
+            .collect()
+    }
+
+    /// Concrete machines a task can run on, best class first, and within a
+    /// class fastest first. Applies memory and remote-hosting constraints.
+    pub fn feasible_machines(&self, task: &TaskSpec) -> Vec<&MachineInfo> {
+        let classes = self.feasible_classes(task);
+        let mut out: Vec<&MachineInfo> = Vec::new();
+        for class in classes {
+            let mut tier: Vec<&MachineInfo> = self
+                .by_class(class)
+                .filter(|m| m.mem_mb >= task.mem_mb)
+                .filter(|m| m.allows_remote || task.local_only)
+                .collect();
+            tier.sort_by(|a, b| {
+                b.speed_mops
+                    .partial_cmp(&a.speed_mops)
+                    .expect("finite speeds")
+                    .then(a.node.cmp(&b.node))
+            });
+            out.extend(tier);
+        }
+        out
+    }
+
+    /// Can the fleet run this task at all?
+    pub fn can_host(&self, task: &TaskSpec) -> bool {
+        !self.feasible_machines(task).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_taskgraph::{Language, ProblemClass};
+
+    fn fleet() -> MachineDb {
+        MachineDb::new()
+            .with(MachineInfo::workstation(NodeId(0), 50.0))
+            .with(MachineInfo::workstation(NodeId(1), 100.0))
+            .with(
+                MachineInfo::workstation(NodeId(2), 2000.0)
+                    .with_class(MachineClass::Simd)
+                    .with_mem_mb(512),
+            )
+            .with(
+                MachineInfo::workstation(NodeId(3), 800.0)
+                    .with_class(MachineClass::Mimd)
+                    .with_mem_mb(256),
+            )
+            .with(MachineInfo::workstation(NodeId(4), 80.0).with_allows_remote(false))
+    }
+
+    fn task(class: ProblemClass, lang: Language) -> TaskSpec {
+        TaskSpec::new("t")
+            .with_class(class)
+            .with_language(lang)
+            .with_work(10.0)
+    }
+
+    #[test]
+    fn class_queries() {
+        let db = fleet();
+        assert_eq!(db.count(MachineClass::Workstation), 3);
+        assert_eq!(db.count(MachineClass::Simd), 1);
+        assert_eq!(db.count(MachineClass::Vector), 0);
+        assert_eq!(
+            db.present_classes(),
+            vec![
+                MachineClass::Workstation,
+                MachineClass::Simd,
+                MachineClass::Mimd
+            ]
+        );
+        assert!(db.get(NodeId(3)).is_some());
+        assert!(db.get(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn feasible_classes_respect_language() {
+        let db = fleet();
+        // HPF on a synchronous task: SIMD present, workstation excluded.
+        let t = task(ProblemClass::Synchronous, Language::HpFortran);
+        assert_eq!(
+            db.feasible_classes(&t),
+            vec![MachineClass::Simd, MachineClass::Mimd]
+        );
+        // HpCpp cannot target SIMD: loses the Simd tier.
+        let t = task(ProblemClass::Synchronous, Language::HpCpp);
+        assert_eq!(db.feasible_classes(&t), vec![MachineClass::Mimd]);
+    }
+
+    #[test]
+    fn feasible_machines_sorted_best_first() {
+        let db = fleet();
+        let t = task(ProblemClass::Asynchronous, Language::C);
+        let nodes: Vec<NodeId> = db.feasible_machines(&t).iter().map(|m| m.node).collect();
+        // Workstations first (fastest first, node 4 excluded: no remote),
+        // then MIMD.
+        assert_eq!(nodes, vec![NodeId(1), NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn memory_constraint_filters() {
+        let db = fleet();
+        let t = task(ProblemClass::Asynchronous, Language::C).with_mem(200);
+        let nodes: Vec<NodeId> = db.feasible_machines(&t).iter().map(|m| m.node).collect();
+        assert_eq!(nodes, vec![NodeId(3)]); // only MIMD has ≥200MB
+        assert!(db.can_host(&t));
+        let t = t.with_mem(4096);
+        assert!(!db.can_host(&t));
+    }
+
+    #[test]
+    fn unannotated_task_has_no_feasible_machines() {
+        let db = fleet();
+        assert!(db.feasible_machines(&TaskSpec::new("bare")).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let _ = fleet().with(MachineInfo::workstation(NodeId(0), 1.0));
+    }
+}

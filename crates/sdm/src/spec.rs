@@ -1,0 +1,138 @@
+//! Problem specification layer: build the initial task graph — notably
+//! from an application-description script, the §5 prototype's input.
+
+use vce_script::{Evaluated, LocalRun, PlacementRequest, TargetClass};
+use vce_taskgraph::{ArcKind, ProblemClass, TaskGraph, TaskSpec};
+
+/// Default work estimate for script-described programs (Mops). Scripts
+/// carry no cost annotations; the coding level or the user refines this.
+pub const DEFAULT_SCRIPT_WORK_MOPS: f64 = 1_000.0;
+
+/// Convert an evaluated script into an initial task graph.
+///
+/// * Each remote request becomes a task carrying the requested instance
+///   *range* (`ASYNC 5-` ⇒ 1..=5): the runtime runs as many replicas as
+///   the group leader grants.
+/// * `ASYNC`/`SYNC`/`LSYNC` targets pre-fill the design-stage class; pure
+///   machine targets (`WORKSTATION 1 ...`) map to the class that prefers
+///   that hardware.
+/// * `LOCAL` programs become local-pinned tasks depending on every remote
+///   task — §5: "a program to run on the local workstation after the
+///   remote executions have begun".
+/// * `CONNECT` statements become stream arcs.
+pub fn graph_from_script(name: &str, eval: &Evaluated) -> TaskGraph {
+    let mut g = TaskGraph::new(name);
+    let mut remote_ids = Vec::new();
+    for PlacementRequest {
+        target,
+        count,
+        path,
+    } in &eval.remote
+    {
+        let class = match target {
+            TargetClass::Problem(p) => *p,
+            TargetClass::Machine(m) => class_for_machine(*m),
+        };
+        let id = g.add_task(
+            TaskSpec::new(path.clone())
+                .with_class(class)
+                .with_work(DEFAULT_SCRIPT_WORK_MOPS)
+                .with_instance_range(count.min, count.max),
+        );
+        remote_ids.push(id);
+    }
+    for LocalRun { path } in &eval.local {
+        let id = g.add_task(
+            TaskSpec::new(path.clone())
+                .with_class(ProblemClass::Asynchronous)
+                .with_work(DEFAULT_SCRIPT_WORK_MOPS / 10.0)
+                .local(),
+        );
+        for &r in &remote_ids {
+            g.depends(id, r, 1);
+        }
+    }
+    for (from, to, kib) in &eval.channels {
+        if let (Some(f), Some(t)) = (g.find(from), g.find(to)) {
+            g.add_arc(f, t, ArcKind::Stream, *kib);
+        }
+    }
+    g
+}
+
+fn class_for_machine(m: vce_net::MachineClass) -> ProblemClass {
+    use vce_net::MachineClass as MC;
+    match m {
+        MC::Simd | MC::Vector => ProblemClass::Synchronous,
+        MC::Mimd => ProblemClass::LooselySynchronous,
+        MC::Workstation => ProblemClass::Asynchronous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_script::{evaluate, parse, EvalEnv, WEATHER_SCRIPT};
+    use vce_taskgraph::algo::topo_sort;
+
+    fn weather_graph() -> TaskGraph {
+        let script = parse(WEATHER_SCRIPT).unwrap();
+        let eval = evaluate(&script, &EvalEnv::new());
+        graph_from_script("weather", &eval)
+    }
+
+    #[test]
+    fn weather_script_becomes_four_tasks() {
+        let g = weather_graph();
+        assert_eq!(g.len(), 4);
+        let collector = g.get(g.find("/apps/snow/collector.vce").unwrap()).unwrap();
+        assert_eq!(collector.class, Some(ProblemClass::Asynchronous));
+        assert_eq!(collector.instances, 2);
+        let predictor = g.get(g.find("/apps/snow/predictor.vce").unwrap()).unwrap();
+        assert_eq!(predictor.class, Some(ProblemClass::Synchronous));
+        let display = g.get(g.find("/apps/snow/display.vce").unwrap()).unwrap();
+        assert!(display.local_only);
+    }
+
+    #[test]
+    fn local_task_depends_on_all_remotes() {
+        let g = weather_graph();
+        let display = g.find("/apps/snow/display.vce").unwrap();
+        assert_eq!(g.predecessors(display).count(), 3);
+        assert!(topo_sort(&g).is_some());
+    }
+
+    #[test]
+    fn machine_targets_map_to_problem_classes() {
+        let g = weather_graph();
+        let uc = g
+            .get(g.find("/apps/snow/usercollect.vce").unwrap())
+            .unwrap();
+        assert_eq!(uc.class, Some(ProblemClass::Asynchronous));
+    }
+
+    #[test]
+    fn connect_statements_become_stream_arcs() {
+        let script = parse("ASYNC 1 \"a\"\nASYNC 1 \"b\"\nCONNECT \"a\" \"b\" 64\n").unwrap();
+        let eval = evaluate(&script, &EvalEnv::new());
+        let g = graph_from_script("piped", &eval);
+        let a = g.find("a").unwrap();
+        assert_eq!(g.stream_peers(a).count(), 1);
+        assert_eq!(
+            g.arcs()
+                .iter()
+                .filter(|x| x.kind == ArcKind::Stream)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn range_counts_use_max_instances() {
+        let script = parse("ASYNC 5- \"a\"\nSYNC 5,10 \"b\"\n").unwrap();
+        let eval = evaluate(&script, &EvalEnv::new());
+        let g = graph_from_script("r", &eval);
+        assert_eq!(g.get(g.find("a").unwrap()).unwrap().instances, 5);
+        assert_eq!(g.get(g.find("b").unwrap()).unwrap().instances, 10);
+    }
+}

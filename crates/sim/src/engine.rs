@@ -1,0 +1,977 @@
+//! The discrete-event engine: event heap, per-node state, and the
+//! [`Host`] implementation endpoints run against.
+//!
+//! Determinism contract: a run is a pure function of (config seed, the
+//! sequence of `add_*`/`kill_*`/`inject` calls). The event heap orders by
+//! `(time, insertion sequence)`, so simultaneous events fire in insertion
+//! order; all randomness (fault judgments, per-node `rand_u64`) derives from
+//! the master seed. The determinism integration test asserts bit-identical
+//! traces across runs.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use vce_net::fault::Delivery;
+use vce_net::{Addr, Endpoint, Envelope, FaultPlan, Host, MachineInfo, NetStats, NodeId, PortId};
+
+use crate::cpu::Cpu;
+use crate::load::LoadTrace;
+use crate::metrics::NodeMetrics;
+use crate::topology::Topology;
+use crate::trace::Trace;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; everything random in the run derives from it.
+    pub seed: u64,
+    /// Latency model.
+    pub topology: Topology,
+    /// Whether to keep a full trace (disable for hot benchmarks).
+    pub trace_enabled: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            topology: Topology::default(),
+            trace_enabled: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start { port: PortId },
+    Deliver(Envelope),
+    Timer { port: PortId, token: u64 },
+    CpuCheck { generation: u64 },
+    LoadChange { background: f64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at_us: u64,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind,
+}
+
+// Heap ordering key: earliest time, then earliest insertion.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+struct SimNode {
+    info: MachineInfo,
+    cpu: Cpu,
+    endpoints: HashMap<PortId, Box<dyn Endpoint>>,
+    rng: SmallRng,
+    send_seq: u64,
+    cancelled_timers: HashMap<(PortId, u64), u32>,
+    dead: bool,
+}
+
+/// Deferred side effects collected while an endpoint runs.
+#[derive(Default)]
+struct Effects {
+    sends: Vec<(Addr, Addr, Bytes)>,
+    timers: Vec<(u64, u64)>,
+    timer_cancels: Vec<u64>,
+    works: Vec<(u64, f64)>,
+    work_cancels: Vec<u64>,
+    logs: Vec<String>,
+}
+
+struct HostCtx<'a> {
+    now: u64,
+    info: MachineInfo,
+    load: f64,
+    /// Remaining work of this port's jobs, advanced to `now`.
+    port_jobs: Vec<(u64, f64)>,
+    rng: &'a mut SmallRng,
+    fx: Effects,
+}
+
+impl Host for HostCtx<'_> {
+    fn now_us(&self) -> u64 {
+        self.now
+    }
+    fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+        self.fx.sends.push((src, dst, payload));
+    }
+    fn set_timer(&mut self, delay_us: u64, token: u64) {
+        self.fx.timers.push((delay_us, token));
+    }
+    fn cancel_timer(&mut self, token: u64) {
+        self.fx.timer_cancels.push(token);
+    }
+    fn start_work(&mut self, pid: u64, mops: f64) {
+        self.load += 1.0; // reflect immediately in subsequent load() calls
+        self.fx.works.push((pid, mops));
+    }
+    fn cancel_work(&mut self, pid: u64) {
+        self.fx.work_cancels.push(pid);
+    }
+    fn work_remaining(&self, pid: u64) -> Option<f64> {
+        if self.fx.work_cancels.contains(&pid) {
+            return None;
+        }
+        // Work started within this callback first, then the CPU snapshot.
+        self.fx
+            .works
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, m)| *m)
+            .or_else(|| {
+                self.port_jobs
+                    .iter()
+                    .find(|(p, _)| *p == pid)
+                    .map(|(_, m)| *m)
+            })
+    }
+    fn load(&self) -> f64 {
+        self.load
+    }
+    fn machine(&self) -> &MachineInfo {
+        &self.info
+    }
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn log(&mut self, line: String) {
+        self.fx.logs.push(line);
+    }
+}
+
+/// The simulator.
+pub struct Sim {
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    nodes: HashMap<NodeId, SimNode>,
+    fault: FaultPlan,
+    topology: Topology,
+    stats: NetStats,
+    trace: Trace,
+    master_rng: SmallRng,
+    seed: u64,
+    events_processed: u64,
+}
+
+impl Sim {
+    /// Build an empty simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: HashMap::new(),
+            fault: FaultPlan::none(),
+            topology: config.topology,
+            stats: NetStats::new(),
+            trace: if config.trace_enabled {
+                Trace::new()
+            } else {
+                Trace::disabled()
+            },
+            master_rng: SmallRng::seed_from_u64(config.seed),
+            seed: config.seed,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Network statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The run trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutate the fault plan (partitions, link faults). For whole-machine
+    /// crash semantics prefer [`Sim::kill_node`], which also clears the CPU.
+    pub fn with_fault_plan<T>(&mut self, f: impl FnOnce(&mut FaultPlan) -> T) -> T {
+        f(&mut self.fault)
+    }
+
+    /// Register a machine with an idle background-load trace.
+    pub fn add_node(&mut self, info: MachineInfo) {
+        self.add_node_with_load(info, LoadTrace::idle());
+    }
+
+    /// Register a machine and schedule its background-load trace.
+    pub fn add_node_with_load(&mut self, info: MachineInfo, load: LoadTrace) {
+        let node = info.node;
+        let node_seed = self.seed ^ (u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let cpu = Cpu::new(info.speed_mops);
+        let prev = self.nodes.insert(
+            node,
+            SimNode {
+                info,
+                cpu,
+                endpoints: HashMap::new(),
+                rng: SmallRng::seed_from_u64(node_seed),
+                send_seq: 0,
+                cancelled_timers: HashMap::new(),
+                dead: false,
+            },
+        );
+        assert!(prev.is_none(), "node {node} added twice");
+        for &(at_us, background) in load.steps() {
+            self.push_event(
+                at_us.max(self.now),
+                node,
+                EventKind::LoadChange { background },
+            );
+        }
+    }
+
+    /// Register an endpoint; its `on_start` runs as the next event.
+    pub fn add_endpoint(&mut self, addr: Addr, ep: Box<dyn Endpoint>) {
+        let node = self
+            .nodes
+            .get_mut(&addr.node)
+            .unwrap_or_else(|| panic!("endpoint on unknown node {}", addr.node));
+        let prev = node.endpoints.insert(addr.port, ep);
+        assert!(prev.is_none(), "endpoint {addr} registered twice");
+        self.push_event(self.now, addr.node, EventKind::Start { port: addr.port });
+    }
+
+    /// Inject an external envelope, delivered to `dst` at `at_us`
+    /// (≥ now). Used by experiment harnesses to kick off scenarios.
+    pub fn inject_at(&mut self, at_us: u64, src: Addr, dst: Addr, payload: Bytes) {
+        let env = Envelope::new(src, dst, u64::MAX, payload);
+        self.push_event(at_us.max(self.now), dst.node, EventKind::Deliver(env));
+    }
+
+    /// Encode and inject an external message for immediate delivery.
+    pub fn inject<T: vce_codec::Codec>(&mut self, src: Addr, dst: Addr, msg: &T) {
+        let mut enc = vce_codec::Encoder::with_capacity(64);
+        msg.encode(&mut enc);
+        self.inject_at(self.now, src, dst, enc.finish_bytes());
+    }
+
+    /// Crash a machine: connectivity drops, resident jobs are lost, timers
+    /// go stale. Endpoint state survives for a later [`Sim::revive_node`]
+    /// (a rebooted daemon restarting from scratch is modelled by the
+    /// endpoint itself on `on_start`).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.fault.kill(node);
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.dead = true;
+            n.cpu.advance(self.now);
+            n.cpu.clear();
+        }
+        let now = self.now;
+        self.trace.push(now, node, "engine: node killed".into());
+    }
+
+    /// Revive a crashed machine and re-run `on_start` on its endpoints.
+    pub fn revive_node(&mut self, node: NodeId) {
+        self.fault.revive(node);
+        let ports: Vec<PortId> = match self.nodes.get_mut(&node) {
+            Some(n) => {
+                n.dead = false;
+                n.endpoints.keys().copied().collect()
+            }
+            None => Vec::new(),
+        };
+        for port in ports {
+            self.push_event(self.now, node, EventKind::Start { port });
+        }
+        let now = self.now;
+        self.trace.push(now, node, "engine: node revived".into());
+    }
+
+    /// Immediately set a node's background load.
+    pub fn set_background(&mut self, node: NodeId, background: f64) {
+        self.push_event(self.now, node, EventKind::LoadChange { background });
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_node_dead(&self, node: NodeId) -> bool {
+        self.node_is_dead(node)
+    }
+
+    /// A node's instantaneous load.
+    pub fn node_load(&self, node: NodeId) -> f64 {
+        self.nodes.get(&node).map_or(0.0, |n| n.cpu.load())
+    }
+
+    /// Metrics snapshot for one node (advances its CPU accounting to now).
+    pub fn metrics(&mut self, node: NodeId) -> Option<NodeMetrics> {
+        let now = self.now;
+        self.nodes.get_mut(&node).map(|n| {
+            n.cpu.advance(now);
+            NodeMetrics {
+                node,
+                class: n.info.class,
+                busy_us: n.cpu.busy_us(),
+                elapsed_us: now,
+                completed_jobs: n.cpu.completed_jobs(),
+                mops_done: n.cpu.total_mops_done(),
+                avg_load: if now == 0 {
+                    0.0
+                } else {
+                    n.cpu.weighted_load_us() / now as f64
+                },
+                load_now: n.cpu.load(),
+            }
+        })
+    }
+
+    /// Metrics for every node, sorted by node id.
+    pub fn all_metrics(&mut self) -> Vec<NodeMetrics> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort();
+        ids.into_iter().filter_map(|id| self.metrics(id)).collect()
+    }
+
+    /// Access an endpoint's concrete state (via its `as_any_mut` hook).
+    pub fn with_endpoint_mut<E: 'static, T>(
+        &mut self,
+        addr: Addr,
+        f: impl FnOnce(&mut E) -> T,
+    ) -> Option<T> {
+        let node = self.nodes.get_mut(&addr.node)?;
+        let ep = node.endpoints.get_mut(&addr.port)?;
+        let any = ep.as_any_mut()?;
+        any.downcast_mut::<E>().map(f)
+    }
+
+    fn push_event(&mut self, at_us: u64, node: NodeId, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            at_us,
+            seq: self.seq,
+            node,
+            kind,
+        }));
+    }
+
+    /// Process one event. Returns `false` when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at_us >= self.now, "event heap went backwards");
+        self.now = ev.at_us;
+        self.events_processed += 1;
+        self.handle(ev);
+        true
+    }
+
+    /// Run until the event heap is empty; returns the final time.
+    ///
+    /// **Only terminates for self-quenching scenarios.** Endpoints with
+    /// periodic timers (every VCE daemon re-arms heartbeat/housekeeping
+    /// ticks forever) keep the heap non-empty — drive those with
+    /// [`Sim::run_until`]/[`Sim::run_for`] instead.
+    pub fn run_until_idle(&mut self) -> u64 {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until simulated time reaches `t_us` (events at exactly `t_us`
+    /// are processed); the clock advances to `t_us` even if the heap
+    /// empties first.
+    pub fn run_until(&mut self, t_us: u64) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at_us > t_us {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t_us {
+            self.now = t_us;
+        }
+    }
+
+    /// Run for `d_us` more simulated microseconds.
+    pub fn run_for(&mut self, d_us: u64) {
+        let t = self.now + d_us;
+        self.run_until(t);
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Start { port } => {
+                if self.node_is_dead(ev.node) {
+                    return;
+                }
+                self.dispatch(ev.node, port, |ep, host| ep.on_start(host));
+            }
+            EventKind::Deliver(env) => {
+                // The destination may have died after the send was judged.
+                if self.node_is_dead(ev.node) || self.fault.is_dead(env.dst.node) {
+                    self.stats.record_dropped();
+                    return;
+                }
+                self.stats.record_delivered();
+                let port = env.dst.port;
+                let delivered = self
+                    .nodes
+                    .get(&ev.node)
+                    .is_some_and(|n| n.endpoints.contains_key(&port));
+                if delivered {
+                    self.dispatch(ev.node, port, move |ep, host| ep.on_envelope(env, host));
+                } else {
+                    let now = self.now;
+                    self.trace.push(
+                        now,
+                        ev.node,
+                        format!("engine: no endpoint for port {port:?}"),
+                    );
+                }
+            }
+            EventKind::Timer { port, token } => {
+                if self.node_is_dead(ev.node) {
+                    return;
+                }
+                if let Some(n) = self.nodes.get_mut(&ev.node) {
+                    if let Some(c) = n.cancelled_timers.get_mut(&(port, token)) {
+                        *c -= 1;
+                        if *c == 0 {
+                            n.cancelled_timers.remove(&(port, token));
+                        }
+                        return;
+                    }
+                }
+                self.dispatch(ev.node, port, move |ep, host| ep.on_timer(token, host));
+            }
+            EventKind::CpuCheck { generation } => {
+                if self.node_is_dead(ev.node) {
+                    return;
+                }
+                let now = self.now;
+                let completions: Vec<(PortId, u64)> = {
+                    let Some(n) = self.nodes.get_mut(&ev.node) else {
+                        return;
+                    };
+                    if n.cpu.generation != generation {
+                        return; // stale prediction
+                    }
+                    n.cpu.advance(now);
+                    // Everything numerically finished completes together.
+                    let done = n.cpu.done_jobs();
+                    for &key in &done {
+                        n.cpu.remove_job(key);
+                        n.cpu.note_completed();
+                    }
+                    done
+                };
+                for (port, pid) in completions {
+                    self.dispatch(ev.node, port, move |ep, host| ep.on_work_done(pid, host));
+                }
+                self.schedule_cpu_check(ev.node);
+            }
+            EventKind::LoadChange { background } => {
+                if let Some(n) = self.nodes.get_mut(&ev.node) {
+                    let now = self.now;
+                    n.cpu.advance(now);
+                    n.cpu.set_background(background);
+                    self.trace.push(
+                        now,
+                        ev.node,
+                        format!("engine: background load -> {background}"),
+                    );
+                    self.schedule_cpu_check(ev.node);
+                }
+            }
+        }
+    }
+
+    fn node_is_dead(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).is_none_or(|n| n.dead)
+    }
+
+    fn schedule_cpu_check(&mut self, node: NodeId) {
+        let now = self.now;
+        let next = self.nodes.get_mut(&node).and_then(|n| {
+            n.cpu
+                .next_completion(now)
+                .map(|(_, at)| (at, n.cpu.generation))
+        });
+        if let Some((at, generation)) = next {
+            self.push_event(at, node, EventKind::CpuCheck { generation });
+        }
+    }
+
+    /// Run one endpoint callback and apply its effects.
+    fn dispatch(
+        &mut self,
+        node_id: NodeId,
+        port: PortId,
+        f: impl FnOnce(&mut dyn Endpoint, &mut dyn Host),
+    ) {
+        let now = self.now;
+        let (ep, fx) = {
+            let Some(node) = self.nodes.get_mut(&node_id) else {
+                return;
+            };
+            let Some(mut ep) = node.endpoints.remove(&port) else {
+                return;
+            };
+            node.cpu.advance(now);
+            let mut ctx = HostCtx {
+                now,
+                info: node.info.clone(),
+                load: node.cpu.load(),
+                port_jobs: node.cpu.jobs_of_port(port),
+                rng: &mut node.rng,
+                fx: Effects::default(),
+            };
+            f(ep.as_mut(), &mut ctx);
+            (ep, ctx.fx)
+        };
+        // Re-insert (the endpoint may have been re-registered meanwhile only
+        // via add_endpoint, which would have panicked on duplicate — safe).
+        if let Some(node) = self.nodes.get_mut(&node_id) {
+            node.endpoints.insert(port, ep);
+        }
+        self.apply_effects(node_id, port, fx);
+    }
+
+    fn apply_effects(&mut self, node_id: NodeId, port: PortId, fx: Effects) {
+        let now = self.now;
+        for line in fx.logs {
+            self.trace.push(now, node_id, line);
+        }
+        for token in fx.timer_cancels {
+            if let Some(n) = self.nodes.get_mut(&node_id) {
+                *n.cancelled_timers.entry((port, token)).or_insert(0) += 1;
+            }
+        }
+        for (delay, token) in fx.timers {
+            self.push_event(now + delay, node_id, EventKind::Timer { port, token });
+        }
+        let mut cpu_dirty = false;
+        for (pid, mops) in fx.works {
+            if let Some(n) = self.nodes.get_mut(&node_id) {
+                n.cpu.advance(now);
+                n.cpu.add_job((port, pid), mops);
+                cpu_dirty = true;
+            }
+        }
+        for pid in fx.work_cancels {
+            if let Some(n) = self.nodes.get_mut(&node_id) {
+                n.cpu.advance(now);
+                n.cpu.remove_job((port, pid));
+                cpu_dirty = true;
+            }
+        }
+        if cpu_dirty {
+            self.schedule_cpu_check(node_id);
+        }
+        for (src, dst, payload) in fx.sends {
+            self.route(src, dst, payload);
+        }
+    }
+
+    fn route(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+        let seq = match self.nodes.get_mut(&src.node) {
+            Some(n) => {
+                let s = n.send_seq;
+                n.send_seq += 1;
+                s
+            }
+            None => 0,
+        };
+        let env = Envelope::new(src, dst, seq, payload);
+        self.stats.record_sent(env.wire_size());
+        let verdict = self.fault.judge(src.node, dst.node, &mut self.master_rng);
+        let base = self
+            .topology
+            .latency_us(src.node, dst.node, env.wire_size());
+        match verdict {
+            Delivery::Drop => self.stats.record_dropped(),
+            Delivery::Deliver { extra_delay_us } => {
+                let at = self.now + base + extra_delay_us;
+                self.push_event(at, dst.node, EventKind::Deliver(env));
+            }
+            Delivery::Duplicate {
+                first_us,
+                second_us,
+            } => {
+                self.stats.record_duplicated();
+                self.push_event(
+                    self.now + base + first_us,
+                    dst.node,
+                    EventKind::Deliver(env.clone()),
+                );
+                self.push_event(
+                    self.now + base + second_us,
+                    dst.node,
+                    EventKind::Deliver(env),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::send_msg;
+
+    /// Echo endpoint: replies to every envelope with the same number + 1,
+    /// until a cap.
+    struct Counter {
+        me: Addr,
+        cap: u64,
+        last_seen: u64,
+        finish_time: Option<u64>,
+    }
+
+    impl Endpoint for Counter {
+        fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+            let v: u64 = env.decode_payload().unwrap();
+            self.last_seen = v;
+            if v >= self.cap {
+                self.finish_time = Some(host.now_us());
+            } else {
+                send_msg(host, self.me, env.src, &(v + 1));
+            }
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn two_node_sim() -> Sim {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_node(MachineInfo::workstation(NodeId(1), 100.0));
+        sim
+    }
+
+    #[test]
+    fn message_ping_pong_advances_time_by_latency() {
+        let mut sim = two_node_sim();
+        for n in [0u32, 1] {
+            sim.add_endpoint(
+                Addr::daemon(NodeId(n)),
+                Box::new(Counter {
+                    me: Addr::daemon(NodeId(n)),
+                    cap: 10,
+                    last_seen: 0,
+                    finish_time: None,
+                }),
+            );
+        }
+        sim.inject(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &0u64);
+        sim.run_until_idle();
+        let t = sim
+            .with_endpoint_mut::<Counter, _>(Addr::daemon(NodeId(0)), |c| c.finish_time)
+            .flatten()
+            .or_else(|| {
+                sim.with_endpoint_mut::<Counter, _>(Addr::daemon(NodeId(1)), |c| c.finish_time)
+                    .flatten()
+            })
+            .expect("someone finished");
+        // Ten hops at ~1ms base latency each.
+        assert!(t >= 10_000, "time {t}");
+        assert_eq!(sim.stats().delivered(), 11); // inject + 10 replies
+    }
+
+    #[test]
+    fn deterministic_runs_produce_identical_traces() {
+        let run = || {
+            let mut sim = two_node_sim();
+            for n in [0u32, 1] {
+                sim.add_endpoint(
+                    Addr::daemon(NodeId(n)),
+                    Box::new(Counter {
+                        me: Addr::daemon(NodeId(n)),
+                        cap: 50,
+                        last_seen: 0,
+                        finish_time: None,
+                    }),
+                );
+            }
+            sim.inject(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &0u64);
+            sim.run_until_idle();
+            (sim.now_us(), sim.events_processed(), sim.stats().snapshot())
+        };
+        assert_eq!(run(), run());
+    }
+
+    struct WorkOnce {
+        mops: f64,
+        done_at: Option<u64>,
+    }
+    impl Endpoint for WorkOnce {
+        fn on_start(&mut self, host: &mut dyn Host) {
+            host.start_work(1, self.mops);
+        }
+        fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {}
+        fn on_work_done(&mut self, _pid: u64, host: &mut dyn Host) {
+            self.done_at = Some(host.now_us());
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    #[test]
+    fn work_completes_at_predicted_time() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 200.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(WorkOnce {
+                mops: 100.0,
+                done_at: None,
+            }),
+        );
+        sim.run_until_idle();
+        let done = sim
+            .with_endpoint_mut::<WorkOnce, _>(Addr::daemon(NodeId(0)), |w| w.done_at)
+            .flatten()
+            .unwrap();
+        assert_eq!(done, 500_000); // 100 Mops at 200 Mops/s
+    }
+
+    #[test]
+    fn background_load_trace_slows_work() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node_with_load(
+            MachineInfo::workstation(NodeId(0), 100.0),
+            LoadTrace::constant(1.0),
+        );
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(WorkOnce {
+                mops: 50.0,
+                done_at: None,
+            }),
+        );
+        sim.run_until_idle();
+        let done = sim
+            .with_endpoint_mut::<WorkOnce, _>(Addr::daemon(NodeId(0)), |w| w.done_at)
+            .flatten()
+            .unwrap();
+        assert_eq!(done, 1_000_000); // halved by one background job
+        assert_eq!(sim.node_load(NodeId(0)), 1.0); // background remains
+    }
+
+    #[test]
+    fn mid_run_load_change_repredicts_completion() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node_with_load(
+            MachineInfo::workstation(NodeId(0), 100.0),
+            LoadTrace::from_steps(vec![(250_000, 1.0)]),
+        );
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(WorkOnce {
+                mops: 50.0,
+                done_at: None,
+            }),
+        );
+        sim.run_until_idle();
+        let done = sim
+            .with_endpoint_mut::<WorkOnce, _>(Addr::daemon(NodeId(0)), |w| w.done_at)
+            .flatten()
+            .unwrap();
+        // 25 Mops at full speed (250ms), then 25 Mops at half speed (500ms).
+        assert_eq!(done, 750_000);
+    }
+
+    struct TimerEp {
+        fired: Vec<(u64, u64)>,
+    }
+    impl Endpoint for TimerEp {
+        fn on_start(&mut self, host: &mut dyn Host) {
+            host.set_timer(100, 1);
+            host.set_timer(50, 2);
+            host.set_timer(200, 3);
+            host.cancel_timer(3);
+        }
+        fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {}
+        fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+            self.fired.push((host.now_us(), token));
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_order_and_respect_cancel() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_endpoint(Addr::daemon(NodeId(0)), Box::new(TimerEp { fired: vec![] }));
+        sim.run_until_idle();
+        let fired = sim
+            .with_endpoint_mut::<TimerEp, _>(Addr::daemon(NodeId(0)), |t| t.fired.clone())
+            .unwrap();
+        assert_eq!(fired, vec![(50, 2), (100, 1)]);
+    }
+
+    #[test]
+    fn killed_node_stops_participating() {
+        let mut sim = two_node_sim();
+        for n in [0u32, 1] {
+            sim.add_endpoint(
+                Addr::daemon(NodeId(n)),
+                Box::new(Counter {
+                    me: Addr::daemon(NodeId(n)),
+                    cap: 1_000_000,
+                    last_seen: 0,
+                    finish_time: None,
+                }),
+            );
+        }
+        sim.inject(Addr::daemon(NodeId(0)), Addr::daemon(NodeId(1)), &0u64);
+        sim.run_until(20_000);
+        sim.kill_node(NodeId(1));
+        sim.run_until_idle();
+        // The ping-pong stopped: far fewer than cap messages happened.
+        let last = sim
+            .with_endpoint_mut::<Counter, _>(Addr::daemon(NodeId(0)), |c| c.last_seen)
+            .unwrap();
+        assert!(last < 100, "last {last}");
+        assert!(sim.stats().dropped() > 0);
+    }
+
+    #[test]
+    fn revive_reruns_on_start() {
+        struct Boot {
+            boots: u32,
+        }
+        impl Endpoint for Boot {
+            fn on_start(&mut self, _h: &mut dyn Host) {
+                self.boots += 1;
+            }
+            fn on_envelope(&mut self, _env: Envelope, _h: &mut dyn Host) {}
+            fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+                Some(self)
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_endpoint(Addr::daemon(NodeId(0)), Box::new(Boot { boots: 0 }));
+        sim.run_until_idle();
+        sim.kill_node(NodeId(0));
+        sim.revive_node(NodeId(0));
+        sim.run_until_idle();
+        let boots = sim
+            .with_endpoint_mut::<Boot, _>(Addr::daemon(NodeId(0)), |b| b.boots)
+            .unwrap();
+        assert_eq!(boots, 2);
+    }
+
+    #[test]
+    fn kill_clears_cpu_jobs() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(WorkOnce {
+                mops: 1000.0,
+                done_at: None,
+            }),
+        );
+        sim.run_until(1_000);
+        assert_eq!(sim.node_load(NodeId(0)), 1.0);
+        sim.kill_node(NodeId(0));
+        assert_eq!(sim.node_load(NodeId(0)), 0.0);
+        sim.run_until_idle();
+        let done = sim
+            .with_endpoint_mut::<WorkOnce, _>(Addr::daemon(NodeId(0)), |w| w.done_at)
+            .unwrap();
+        assert!(done.is_none());
+    }
+
+    #[test]
+    fn metrics_report_utilization() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_node(MachineInfo::workstation(NodeId(1), 100.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(WorkOnce {
+                mops: 50.0,
+                done_at: None,
+            }),
+        );
+        sim.run_until(1_000_000);
+        let m = sim.metrics(NodeId(0)).unwrap();
+        assert_eq!(m.busy_us, 500_000);
+        assert!((m.utilization() - 0.5).abs() < 1e-6);
+        assert_eq!(m.completed_jobs, 1);
+        let idle = sim.metrics(NodeId(1)).unwrap();
+        assert_eq!(idle.utilization(), 0.0);
+        let all = sim.all_metrics();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.run_until(5_000_000);
+        assert_eq!(sim.now_us(), 5_000_000);
+        sim.run_for(1_000);
+        assert_eq!(sim.now_us(), 5_001_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_node_panics() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_endpoint_panics() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.add_endpoint(Addr::daemon(NodeId(0)), Box::new(TimerEp { fired: vec![] }));
+        sim.add_endpoint(Addr::daemon(NodeId(0)), Box::new(TimerEp { fired: vec![] }));
+    }
+
+    #[test]
+    fn trace_records_engine_events() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+        sim.kill_node(NodeId(0));
+        assert!(sim.trace().first_time("node killed").is_some());
+    }
+}

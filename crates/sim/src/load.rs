@@ -1,0 +1,194 @@
+//! Background (local-user) load traces.
+//!
+//! §4.3 of the paper builds on Krueger's and Clark's observation that
+//! workstations are idle most of the time but their owners' activity comes
+//! and goes. A [`LoadTrace`] is a piecewise-constant schedule of "equivalent
+//! background jobs" for one machine; the engine replays it as events. The
+//! generators here produce the workloads the experiments sweep:
+//! always-idle fleets (free parallelism), bursty owner activity
+//! (migration/ripple experiments), and steady multiprogramming.
+
+use rand::Rng;
+
+/// A piecewise-constant background-load schedule.
+///
+/// Steps are `(at_us, background)` pairs sorted by time; the background
+/// weight holds from its step until the next.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadTrace {
+    steps: Vec<(u64, f64)>,
+}
+
+impl LoadTrace {
+    /// The always-idle trace.
+    pub fn idle() -> Self {
+        Self::default()
+    }
+
+    /// A constant background weight from time zero.
+    pub fn constant(background: f64) -> Self {
+        Self {
+            steps: vec![(0, background.max(0.0))],
+        }
+    }
+
+    /// Build from explicit steps; they are sorted and deduplicated by time
+    /// (last write wins).
+    pub fn from_steps(mut steps: Vec<(u64, f64)>) -> Self {
+        steps.sort_by_key(|&(t, _)| t);
+        steps.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // keep the later entry's value
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        for s in &mut steps {
+            s.1 = s.1.max(0.0);
+        }
+        Self { steps }
+    }
+
+    /// An on/off "owner at the keyboard" trace: alternating busy periods of
+    /// weight `busy_weight` and idle periods, with exponentially distributed
+    /// durations (means in µs), out to `horizon_us`.
+    pub fn bursty<R: Rng + ?Sized>(
+        rng: &mut R,
+        mean_busy_us: f64,
+        mean_idle_us: f64,
+        busy_weight: f64,
+        horizon_us: u64,
+    ) -> Self {
+        assert!(mean_busy_us > 0.0 && mean_idle_us > 0.0);
+        let mut steps = Vec::new();
+        let mut t = 0u64;
+        // Start idle with a random phase so fleets are not synchronized.
+        let mut busy = rng.gen_bool(mean_busy_us / (mean_busy_us + mean_idle_us));
+        steps.push((0, if busy { busy_weight } else { 0.0 }));
+        while t < horizon_us {
+            let mean = if busy { mean_busy_us } else { mean_idle_us };
+            // Inverse-CDF exponential draw.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let dur = (-mean * u.ln()).max(1.0) as u64;
+            t = t.saturating_add(dur);
+            busy = !busy;
+            if t < horizon_us {
+                steps.push((t, if busy { busy_weight } else { 0.0 }));
+            }
+        }
+        Self::from_steps(steps)
+    }
+
+    /// The schedule's steps.
+    pub fn steps(&self) -> &[(u64, f64)] {
+        &self.steps
+    }
+
+    /// The background weight in effect at `t_us`.
+    pub fn value_at(&self, t_us: u64) -> f64 {
+        match self.steps.iter().rev().find(|&&(t, _)| t <= t_us) {
+            Some(&(_, v)) => v,
+            None => 0.0,
+        }
+    }
+
+    /// Fraction of `[0, horizon_us)` spent with background > 0.
+    pub fn busy_fraction(&self, horizon_us: u64) -> f64 {
+        if horizon_us == 0 {
+            return 0.0;
+        }
+        let mut busy = 0u64;
+        for (i, &(t, v)) in self.steps.iter().enumerate() {
+            if t >= horizon_us {
+                break;
+            }
+            let end = self
+                .steps
+                .get(i + 1)
+                .map(|&(t2, _)| t2)
+                .unwrap_or(horizon_us)
+                .min(horizon_us);
+            if v > 0.0 {
+                busy += end - t;
+            }
+        }
+        busy as f64 / horizon_us as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn idle_is_empty() {
+        let t = LoadTrace::idle();
+        assert!(t.steps().is_empty());
+        assert_eq!(t.value_at(5_000_000), 0.0);
+        assert_eq!(t.busy_fraction(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn constant_holds_forever() {
+        let t = LoadTrace::constant(1.5);
+        assert_eq!(t.value_at(0), 1.5);
+        assert_eq!(t.value_at(u64::MAX), 1.5);
+        assert_eq!(t.busy_fraction(100), 1.0);
+    }
+
+    #[test]
+    fn from_steps_sorts_and_dedups() {
+        let t = LoadTrace::from_steps(vec![(10, 1.0), (0, 0.0), (10, 2.0), (20, -1.0)]);
+        assert_eq!(t.steps(), &[(0, 0.0), (10, 2.0), (20, 0.0)]);
+        assert_eq!(t.value_at(15), 2.0);
+        assert_eq!(t.value_at(25), 0.0);
+    }
+
+    #[test]
+    fn value_before_first_step_is_zero() {
+        let t = LoadTrace::from_steps(vec![(100, 3.0)]);
+        assert_eq!(t.value_at(50), 0.0);
+        assert_eq!(t.value_at(100), 3.0);
+    }
+
+    #[test]
+    fn bursty_is_deterministic_per_seed() {
+        let a = LoadTrace::bursty(&mut SmallRng::seed_from_u64(5), 1e6, 3e6, 2.0, 60_000_000);
+        let b = LoadTrace::bursty(&mut SmallRng::seed_from_u64(5), 1e6, 3e6, 2.0, 60_000_000);
+        assert_eq!(a, b);
+        let c = LoadTrace::bursty(&mut SmallRng::seed_from_u64(6), 1e6, 3e6, 2.0, 60_000_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursty_busy_fraction_tracks_duty_cycle() {
+        // mean busy 1s, mean idle 3s → expect ~25% busy.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let horizon = 600_000_000; // 600 s
+        let t = LoadTrace::bursty(&mut rng, 1e6, 3e6, 2.0, horizon);
+        let frac = t.busy_fraction(horizon);
+        assert!((0.15..0.35).contains(&frac), "busy fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_alternates_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = LoadTrace::bursty(&mut rng, 1e6, 1e6, 1.5, 30_000_000);
+        for w in t.steps().windows(2) {
+            assert_ne!(w[0].1 > 0.0, w[1].1 > 0.0, "must alternate busy/idle");
+        }
+        for &(_, v) in t.steps() {
+            assert!(v == 0.0 || v == 1.5);
+        }
+    }
+
+    #[test]
+    fn busy_fraction_clips_to_horizon() {
+        let t = LoadTrace::from_steps(vec![(0, 1.0), (50, 0.0), (200, 1.0)]);
+        assert_eq!(t.busy_fraction(100), 0.5);
+    }
+}

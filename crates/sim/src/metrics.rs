@@ -1,0 +1,99 @@
+//! Per-node metric snapshots derived from the CPU model.
+
+use vce_net::{MachineClass, NodeId};
+
+/// Snapshot of one machine's accounting at a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetrics {
+    /// The machine.
+    pub node: NodeId,
+    /// Its class.
+    pub class: MachineClass,
+    /// Time with ≥1 resident VCE job, µs.
+    pub busy_us: u64,
+    /// Total elapsed simulated time, µs.
+    pub elapsed_us: u64,
+    /// Completed VCE jobs.
+    pub completed_jobs: u64,
+    /// Useful work executed, Mops.
+    pub mops_done: f64,
+    /// Time-average load.
+    pub avg_load: f64,
+    /// Instantaneous load at snapshot time.
+    pub load_now: f64,
+}
+
+impl NodeMetrics {
+    /// Fraction of elapsed time the machine was running VCE work.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / self.elapsed_us as f64
+        }
+    }
+}
+
+/// Aggregate over a fleet snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetMetrics {
+    /// Mean utilization across machines.
+    pub mean_utilization: f64,
+    /// Total completed jobs.
+    pub completed_jobs: u64,
+    /// Total Mops executed.
+    pub mops_done: f64,
+}
+
+impl FleetMetrics {
+    /// Summarize a set of node metrics.
+    pub fn summarize(nodes: &[NodeMetrics]) -> Self {
+        if nodes.is_empty() {
+            return Self::default();
+        }
+        Self {
+            mean_utilization: nodes.iter().map(NodeMetrics::utilization).sum::<f64>()
+                / nodes.len() as f64,
+            completed_jobs: nodes.iter().map(|n| n.completed_jobs).sum(),
+            mops_done: nodes.iter().map(|n| n.mops_done).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(node: u32, busy: u64, elapsed: u64, jobs: u64) -> NodeMetrics {
+        NodeMetrics {
+            node: NodeId(node),
+            class: MachineClass::Workstation,
+            busy_us: busy,
+            elapsed_us: elapsed,
+            completed_jobs: jobs,
+            mops_done: jobs as f64 * 10.0,
+            avg_load: 0.0,
+            load_now: 0.0,
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        assert_eq!(m(0, 50, 100, 1).utilization(), 0.5);
+        assert_eq!(m(0, 0, 0, 0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn fleet_summary() {
+        let fleet = vec![m(0, 100, 100, 2), m(1, 0, 100, 0)];
+        let agg = FleetMetrics::summarize(&fleet);
+        assert_eq!(agg.mean_utilization, 0.5);
+        assert_eq!(agg.completed_jobs, 2);
+        assert_eq!(agg.mops_done, 20.0);
+    }
+
+    #[test]
+    fn empty_fleet_summary_is_default() {
+        assert_eq!(FleetMetrics::summarize(&[]), FleetMetrics::default());
+    }
+}

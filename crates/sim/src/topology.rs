@@ -1,0 +1,160 @@
+//! Network latency/bandwidth model.
+//!
+//! A 1994 department LAN (the paper's testbed) is well modelled by a uniform
+//! base latency plus a per-byte serialization cost; campus-scale VCEs add a
+//! cluster structure (machines in the same machine room are closer). Both
+//! are supported: nodes may be assigned to *sites*, with intra-site and
+//! inter-site parameters.
+
+use std::collections::BTreeMap;
+
+use vce_net::NodeId;
+
+/// Latency parameters for one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Fixed one-way latency in µs.
+    pub base_us: u64,
+    /// Serialization cost in µs per KiB.
+    pub per_kib_us: u64,
+}
+
+impl LinkParams {
+    /// 10BASE-T-era department LAN: ~1 ms base, ~0.8 ms/KiB.
+    pub fn lan_1994() -> Self {
+        Self {
+            base_us: 1_000,
+            per_kib_us: 800,
+        }
+    }
+
+    /// Campus backbone between sites: ~5 ms base.
+    pub fn campus_1994() -> Self {
+        Self {
+            base_us: 5_000,
+            per_kib_us: 1_000,
+        }
+    }
+
+    /// Latency of a `bytes`-byte message on this link.
+    pub fn latency_us(&self, bytes: usize) -> u64 {
+        self.base_us + (bytes as u64 * self.per_kib_us) / 1024
+    }
+}
+
+/// Fleet communication topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    intra: LinkParams,
+    inter: LinkParams,
+    /// Site id per node; absent ⇒ site 0.
+    sites: BTreeMap<NodeId, u32>,
+    /// Loopback cost (same node), typically ~free.
+    local_us: u64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::uniform(LinkParams::lan_1994())
+    }
+}
+
+impl Topology {
+    /// Every pair of distinct nodes uses the same link parameters.
+    pub fn uniform(params: LinkParams) -> Self {
+        Self {
+            intra: params,
+            inter: params,
+            sites: BTreeMap::new(),
+            local_us: 10,
+        }
+    }
+
+    /// Two-tier topology: `intra` within a site, `inter` across sites.
+    pub fn two_tier(intra: LinkParams, inter: LinkParams) -> Self {
+        Self {
+            intra,
+            inter,
+            sites: BTreeMap::new(),
+            local_us: 10,
+        }
+    }
+
+    /// Assign a node to a site (default site is 0).
+    pub fn set_site(&mut self, node: NodeId, site: u32) {
+        if site == 0 {
+            self.sites.remove(&node);
+        } else {
+            self.sites.insert(node, site);
+        }
+    }
+
+    /// Site of a node.
+    pub fn site_of(&self, node: NodeId) -> u32 {
+        self.sites.get(&node).copied().unwrap_or(0)
+    }
+
+    /// One-way latency for a `bytes`-byte message from `src` to `dst`.
+    pub fn latency_us(&self, src: NodeId, dst: NodeId, bytes: usize) -> u64 {
+        if src == dst {
+            return self.local_us;
+        }
+        let params = if self.site_of(src) == self.site_of(dst) {
+            self.intra
+        } else {
+            self.inter
+        };
+        params.latency_us(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_delivery_is_cheap() {
+        let t = Topology::default();
+        assert_eq!(t.latency_us(NodeId(1), NodeId(1), 10_000), 10);
+    }
+
+    #[test]
+    fn size_increases_latency() {
+        let t = Topology::default();
+        let small = t.latency_us(NodeId(0), NodeId(1), 100);
+        let big = t.latency_us(NodeId(0), NodeId(1), 100_000);
+        assert!(big > small);
+        assert_eq!(small, 1_000 + 100 * 800 / 1024);
+    }
+
+    #[test]
+    fn two_tier_charges_more_across_sites() {
+        let mut t = Topology::two_tier(LinkParams::lan_1994(), LinkParams::campus_1994());
+        t.set_site(NodeId(1), 1);
+        let same = t.latency_us(NodeId(0), NodeId(2), 0); // both site 0
+        let cross = t.latency_us(NodeId(0), NodeId(1), 0);
+        assert_eq!(same, 1_000);
+        assert_eq!(cross, 5_000);
+    }
+
+    #[test]
+    fn site_zero_is_default_and_resettable() {
+        let mut t = Topology::default();
+        assert_eq!(t.site_of(NodeId(9)), 0);
+        t.set_site(NodeId(9), 3);
+        assert_eq!(t.site_of(NodeId(9)), 3);
+        t.set_site(NodeId(9), 0);
+        assert_eq!(t.site_of(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn link_params_math() {
+        let p = LinkParams {
+            base_us: 100,
+            per_kib_us: 1024,
+        };
+        assert_eq!(p.latency_us(0), 100);
+        assert_eq!(p.latency_us(1024), 100 + 1024);
+        assert_eq!(p.latency_us(512), 100 + 512);
+    }
+}

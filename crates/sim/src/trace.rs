@@ -1,0 +1,142 @@
+//! Run trace: a time-stamped log of everything notable that happened.
+//!
+//! Experiments post-process traces to extract latencies (e.g. request→
+//! allocation for the Fig. 3 bidding experiment) and to debug protocol
+//! behaviour. Endpoints contribute lines via [`vce_net::Host::log`].
+
+use std::fmt;
+
+use vce_net::NodeId;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time, µs.
+    pub at_us: u64,
+    /// Node the event occurred on (or the engine's perspective node).
+    pub node: NodeId,
+    /// Free-form description, conventionally `component: detail`.
+    pub line: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}µs {}] {}", self.at_us, self.node, self.line)
+    }
+}
+
+/// Append-only run trace.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// An enabled, empty trace.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace (hot benchmark runs skip the allocations).
+    pub fn disabled() -> Self {
+        Self {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn push(&mut self, at_us: u64, node: NodeId, line: String) {
+        if self.enabled {
+            self.events.push(TraceEvent { at_us, node, line });
+        }
+    }
+
+    /// All records, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records whose line contains `needle`.
+    pub fn grep<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.line.contains(needle))
+    }
+
+    /// Time of the first record matching `needle`, if any.
+    pub fn first_time(&self, needle: &str) -> Option<u64> {
+        self.grep(needle).next().map(|e| e.at_us)
+    }
+
+    /// Time of the last record matching `needle`, if any.
+    pub fn last_time(&self, needle: &str) -> Option<u64> {
+        self.grep(needle).last().map(|e| e.at_us)
+    }
+
+    /// Render the whole trace (for test diagnostics).
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_grep() {
+        let mut t = Trace::new();
+        t.push(10, NodeId(0), "daemon: bid sent".into());
+        t.push(20, NodeId(1), "leader: allocation done".into());
+        t.push(30, NodeId(0), "daemon: task started".into());
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.grep("daemon").count(), 2);
+        assert_eq!(t.first_time("allocation"), Some(20));
+        assert_eq!(t.last_time("daemon"), Some(30));
+        assert_eq!(t.first_time("nope"), None);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(1, NodeId(0), "x".into());
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at_us: 1500,
+            node: NodeId(3),
+            line: "hello".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1500µs"));
+        assert!(s.contains("n3"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn dump_contains_all_lines() {
+        let mut t = Trace::new();
+        t.push(1, NodeId(0), "alpha".into());
+        t.push(2, NodeId(1), "beta".into());
+        let d = t.dump();
+        assert!(d.contains("alpha") && d.contains("beta"));
+        assert_eq!(d.lines().count(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! DAG algorithms over the dataflow arcs: topological order, cycle
+//! detection, level schedule, critical path, ready sets.
+
+use std::collections::HashSet;
+
+use crate::graph::{ArcKind, TaskGraph};
+use crate::task::TaskId;
+
+/// Kahn's algorithm over dataflow arcs. `None` if the dataflow relation is
+/// cyclic.
+pub fn topo_sort(g: &TaskGraph) -> Option<Vec<TaskId>> {
+    let n = g.len();
+    let mut indeg = vec![0usize; n];
+    for a in g.arcs() {
+        if a.kind == ArcKind::DataFlow {
+            indeg[a.to.0 as usize] += 1;
+        }
+    }
+    // Ready queue kept sorted by id for deterministic output.
+    let mut ready: Vec<TaskId> = (0..n as u32)
+        .map(TaskId)
+        .filter(|t| indeg[t.0 as usize] == 0)
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(&next) = ready.first() {
+        ready.remove(0);
+        out.push(next);
+        for succ in g.successors(next) {
+            let d = &mut indeg[succ.0 as usize];
+            *d -= 1;
+            if *d == 0 {
+                let pos = ready.binary_search(&succ).unwrap_err();
+                ready.insert(pos, succ);
+            }
+        }
+    }
+    (out.len() == n).then_some(out)
+}
+
+/// True if the dataflow relation contains a cycle.
+pub fn has_cycle(g: &TaskGraph) -> bool {
+    topo_sort(g).is_none()
+}
+
+/// Level schedule: level(t) = 1 + max(level(preds)), sources at level 0.
+/// `None` on cycles.
+pub fn levels(g: &TaskGraph) -> Option<Vec<u32>> {
+    let order = topo_sort(g)?;
+    let mut level = vec![0u32; g.len()];
+    for t in order {
+        for p in g.predecessors(t) {
+            level[t.0 as usize] = level[t.0 as usize].max(level[p.0 as usize] + 1);
+        }
+    }
+    Some(level)
+}
+
+/// Critical path by work estimate: the heaviest (sum of `work_mops`)
+/// dependency chain. Returns `(total_mops, path)`; `None` on cycles or an
+/// empty graph.
+pub fn critical_path(g: &TaskGraph) -> Option<(f64, Vec<TaskId>)> {
+    if g.is_empty() {
+        return None;
+    }
+    let order = topo_sort(g)?;
+    let n = g.len();
+    let mut best = vec![0.0f64; n]; // heaviest chain ending at t, inclusive
+    let mut prev: Vec<Option<TaskId>> = vec![None; n];
+    for &t in &order {
+        let own = g.get(t).expect("valid id").work_mops;
+        let mut incoming = 0.0;
+        for p in g.predecessors(t) {
+            if best[p.0 as usize] > incoming {
+                incoming = best[p.0 as usize];
+                prev[t.0 as usize] = Some(p);
+            }
+        }
+        best[t.0 as usize] = incoming + own;
+    }
+    let (end, &total) = best
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN work"))?;
+    let mut path = vec![TaskId(end as u32)];
+    while let Some(p) = prev[path.last().expect("nonempty").0 as usize] {
+        path.push(p);
+    }
+    path.reverse();
+    Some((total, path))
+}
+
+/// Tasks whose dataflow predecessors are all in `completed` and which are
+/// not themselves completed or in `running` — the dispatchable frontier.
+pub fn ready_set(
+    g: &TaskGraph,
+    completed: &HashSet<TaskId>,
+    running: &HashSet<TaskId>,
+) -> Vec<TaskId> {
+    g.ids()
+        .filter(|t| !completed.contains(t) && !running.contains(t))
+        .filter(|&t| g.predecessors(t).all(|p| completed.contains(&p)))
+        .collect()
+}
+
+/// Total work in the graph, Mops (instances counted).
+pub fn total_work(g: &TaskGraph) -> f64 {
+    g.tasks()
+        .iter()
+        .map(|t| t.work_mops * f64::from(t.instances))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new("diamond");
+        let a = g.add_task(TaskSpec::new("a").with_work(10.0));
+        let b = g.add_task(TaskSpec::new("b").with_work(100.0));
+        let c = g.add_task(TaskSpec::new("c").with_work(20.0));
+        let d = g.add_task(TaskSpec::new("d").with_work(5.0));
+        g.depends(b, a, 1);
+        g.depends(c, a, 1);
+        g.depends(d, b, 1);
+        g.depends(d, c, 1);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topo_respects_dependencies() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = topo_sort(&g).unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new("cyc");
+        let a = g.add_task(TaskSpec::new("a"));
+        let b = g.add_task(TaskSpec::new("b"));
+        g.depends(b, a, 1);
+        g.depends(a, b, 1);
+        assert!(has_cycle(&g));
+        assert!(topo_sort(&g).is_none());
+        assert!(levels(&g).is_none());
+        assert!(critical_path(&g).is_none());
+    }
+
+    #[test]
+    fn level_schedule() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv[a.0 as usize], 0);
+        assert_eq!(lv[b.0 as usize], 1);
+        assert_eq!(lv[c.0 as usize], 1);
+        assert_eq!(lv[d.0 as usize], 2);
+    }
+
+    #[test]
+    fn critical_path_takes_heavy_branch() {
+        let (g, [a, b, _c, d]) = diamond();
+        let (total, path) = critical_path(&g).unwrap();
+        assert_eq!(path, vec![a, b, d]);
+        assert!((total - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ready_set_progresses_with_completions() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut done = HashSet::new();
+        let mut running = HashSet::new();
+        assert_eq!(ready_set(&g, &done, &running), vec![a]);
+        running.insert(a);
+        assert!(ready_set(&g, &done, &running).is_empty());
+        running.remove(&a);
+        done.insert(a);
+        assert_eq!(ready_set(&g, &done, &running), vec![b, c]);
+        done.insert(b);
+        done.insert(c);
+        assert_eq!(ready_set(&g, &done, &running), vec![d]);
+        done.insert(d);
+        assert!(ready_set(&g, &done, &running).is_empty());
+    }
+
+    #[test]
+    fn stream_arcs_ignored_by_dag_algorithms() {
+        let mut g = TaskGraph::new("s");
+        let a = g.add_task(TaskSpec::new("a").with_work(1.0));
+        let b = g.add_task(TaskSpec::new("b").with_work(1.0));
+        g.add_arc(a, b, crate::graph::ArcKind::Stream, 1);
+        g.add_arc(b, a, crate::graph::ArcKind::Stream, 1);
+        assert!(!has_cycle(&g), "stream cycles are fine");
+        assert_eq!(levels(&g).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn total_work_counts_instances() {
+        let mut g = TaskGraph::new("w");
+        g.add_task(TaskSpec::new("a").with_work(10.0).with_instances(3));
+        g.add_task(TaskSpec::new("b").with_work(5.0));
+        assert_eq!(total_work(&g), 35.0);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = TaskGraph::new("e");
+        assert_eq!(topo_sort(&g), Some(vec![]));
+        assert!(critical_path(&g).is_none());
+        assert_eq!(total_work(&g), 0.0);
+    }
+
+    #[test]
+    fn deterministic_topo_order() {
+        let (g, _) = diamond();
+        assert_eq!(topo_sort(&g).unwrap(), topo_sort(&g).unwrap());
+    }
+}

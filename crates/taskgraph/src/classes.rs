@@ -1,0 +1,196 @@
+//! Problem-architecture classes and related vocabulary.
+//!
+//! The design stage classifies *problems*, not machines: "There are three
+//! broad classes of problem architectures: synchronous, loosely
+//! synchronous, and asynchronous, which describe the temporal ... structure
+//! of the problem" (§3.1.1, after Fox). The compilation manager later maps
+//! these to machine classes: "the synchronous class of problems maps easily
+//! to most SIMD style machines" (§4.1).
+
+use vce_codec::impl_codec_for_enum;
+use vce_net::MachineClass;
+
+/// Fox's problem-architecture classes (temporal structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProblemClass {
+    /// Lock-step data parallelism (maps to SIMD/vector hardware).
+    Synchronous,
+    /// Iterative phases with loose synchronization (maps to MIMD).
+    LooselySynchronous,
+    /// Irregular, event-driven computation (maps to MIMD/workstations).
+    Asynchronous,
+}
+
+impl_codec_for_enum!(ProblemClass {
+    ProblemClass::Synchronous => 0,
+    ProblemClass::LooselySynchronous => 1,
+    ProblemClass::Asynchronous => 2,
+});
+
+impl ProblemClass {
+    /// Machine classes able to run this problem class, in preference order
+    /// (§4.1's class mapping). The first entry is the "best available
+    /// platform" the runtime manager aims for; later entries are feasible
+    /// fallbacks.
+    pub fn machine_preferences(self) -> &'static [MachineClass] {
+        match self {
+            ProblemClass::Synchronous => {
+                &[MachineClass::Simd, MachineClass::Vector, MachineClass::Mimd]
+            }
+            ProblemClass::LooselySynchronous => &[
+                MachineClass::Mimd,
+                MachineClass::Vector,
+                MachineClass::Workstation,
+            ],
+            ProblemClass::Asynchronous => &[MachineClass::Workstation, MachineClass::Mimd],
+        }
+    }
+
+    /// Can this problem class execute on `machine` at all?
+    pub fn runs_on(self, machine: MachineClass) -> bool {
+        self.machine_preferences().contains(&machine)
+    }
+
+    /// Preference rank of `machine` (0 = best), or `None` if infeasible.
+    pub fn preference_rank(self, machine: MachineClass) -> Option<usize> {
+        self.machine_preferences()
+            .iter()
+            .position(|&m| m == machine)
+    }
+
+    /// The keyword used in application-description scripts (§5: `ASYNC`,
+    /// `SYNC`, plus our spelled-out loosely-synchronous form).
+    pub fn script_keyword(self) -> &'static str {
+        match self {
+            ProblemClass::Synchronous => "SYNC",
+            ProblemClass::LooselySynchronous => "LSYNC",
+            ProblemClass::Asynchronous => "ASYNC",
+        }
+    }
+}
+
+/// "Other classes that capture the nature of the task, such as graphic or
+/// interactive, will be used to assist the lower layers" (§3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskNature {
+    /// Pure computation (the default).
+    #[default]
+    Compute,
+    /// Produces graphics; prefers the user's workstation or one with a
+    /// display.
+    Graphic,
+    /// Interacts with the user; must run locally.
+    Interactive,
+}
+
+impl_codec_for_enum!(TaskNature {
+    TaskNature::Compute => 0,
+    TaskNature::Graphic => 1,
+    TaskNature::Interactive => 2,
+});
+
+/// Implementation languages the coding level supports (§3.1.1 names the
+/// emerging standards of the day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// Plain Fortran 77.
+    Fortran,
+    /// High Performance Fortran (Fortran D lineage).
+    HpFortran,
+    /// Plain C.
+    C,
+    /// High Performance C++.
+    HpCpp,
+}
+
+impl_codec_for_enum!(Language {
+    Language::Fortran => 0,
+    Language::HpFortran => 1,
+    Language::C => 2,
+    Language::HpCpp => 3,
+});
+
+impl Language {
+    /// Whether compilers for this language exist on a machine class in the
+    /// VCE's (simulated) tool inventory. HPF targets data-parallel hardware;
+    /// everything compiles on workstations and MIMD machines.
+    pub fn available_on(self, machine: MachineClass) -> bool {
+        match self {
+            Language::Fortran | Language::C => true,
+            Language::HpFortran => matches!(
+                machine,
+                MachineClass::Simd | MachineClass::Vector | MachineClass::Mimd
+            ),
+            Language::HpCpp => matches!(machine, MachineClass::Mimd | MachineClass::Workstation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn synchronous_prefers_simd() {
+        assert_eq!(
+            ProblemClass::Synchronous.machine_preferences()[0],
+            MachineClass::Simd
+        );
+        assert_eq!(
+            ProblemClass::Synchronous.preference_rank(MachineClass::Simd),
+            Some(0)
+        );
+        assert!(ProblemClass::Synchronous.runs_on(MachineClass::Vector));
+        assert!(!ProblemClass::Synchronous.runs_on(MachineClass::Workstation));
+    }
+
+    #[test]
+    fn asynchronous_prefers_workstations() {
+        assert_eq!(
+            ProblemClass::Asynchronous.machine_preferences()[0],
+            MachineClass::Workstation
+        );
+        assert!(!ProblemClass::Asynchronous.runs_on(MachineClass::Simd));
+    }
+
+    #[test]
+    fn script_keywords_match_paper() {
+        assert_eq!(ProblemClass::Asynchronous.script_keyword(), "ASYNC");
+        assert_eq!(ProblemClass::Synchronous.script_keyword(), "SYNC");
+    }
+
+    #[test]
+    fn language_availability() {
+        assert!(Language::C.available_on(MachineClass::Simd));
+        assert!(Language::HpFortran.available_on(MachineClass::Simd));
+        assert!(!Language::HpFortran.available_on(MachineClass::Workstation));
+        assert!(!Language::HpCpp.available_on(MachineClass::Vector));
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        for c in [
+            ProblemClass::Synchronous,
+            ProblemClass::LooselySynchronous,
+            ProblemClass::Asynchronous,
+        ] {
+            assert_eq!(from_bytes::<ProblemClass>(&to_bytes(&c)).unwrap(), c);
+        }
+        for n in [
+            TaskNature::Compute,
+            TaskNature::Graphic,
+            TaskNature::Interactive,
+        ] {
+            assert_eq!(from_bytes::<TaskNature>(&to_bytes(&n)).unwrap(), n);
+        }
+        for l in [
+            Language::Fortran,
+            Language::HpFortran,
+            Language::C,
+            Language::HpCpp,
+        ] {
+            assert_eq!(from_bytes::<Language>(&to_bytes(&l)).unwrap(), l);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Graphviz DOT export — the "represented visually using a task graph" of
+//! §3.1, in the only visual format a library can honestly emit.
+
+use std::fmt::Write as _;
+
+use crate::classes::ProblemClass;
+use crate::graph::{ArcKind, TaskGraph};
+
+/// Render the graph as DOT. Dataflow arcs are solid, stream arcs dashed;
+/// node labels carry the class annotation once the design stage has run.
+pub fn to_dot(g: &TaskGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    for t in g.tasks() {
+        let class = match t.class {
+            Some(ProblemClass::Synchronous) => "SYNC",
+            Some(ProblemClass::LooselySynchronous) => "LSYNC",
+            Some(ProblemClass::Asynchronous) => "ASYNC",
+            None => "?",
+        };
+        let shape = if t.local_only { "house" } else { "box" };
+        let _ = writeln!(
+            s,
+            "  t{} [label=\"{}\\n{} x{}\", shape={}];",
+            t.id.0, t.name, class, t.instances, shape
+        );
+    }
+    for a in g.arcs() {
+        let style = match a.kind {
+            ArcKind::DataFlow => "solid",
+            ArcKind::Stream => "dashed",
+        };
+        let _ = writeln!(
+            s,
+            "  t{} -> t{} [style={}, label=\"{}KiB\"];",
+            a.from.0, a.to.0, style, a.data_kib
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    #[test]
+    fn dot_contains_nodes_and_arcs() {
+        let mut g = TaskGraph::new("weather");
+        let a = g.add_task(TaskSpec::new("collector").with_class(ProblemClass::Asynchronous));
+        let b = g.add_task(TaskSpec::new("display").local());
+        g.depends(b, a, 64);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"weather\""));
+        assert!(dot.contains("collector"));
+        assert!(dot.contains("ASYNC"));
+        assert!(dot.contains("shape=house"), "local task gets house shape");
+        assert!(dot.contains("t0 -> t1"));
+        assert!(dot.contains("64KiB"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unannotated_task_shows_question_mark() {
+        let mut g = TaskGraph::new("g");
+        g.add_task(TaskSpec::new("x"));
+        assert!(to_dot(&g).contains("?"));
+    }
+
+    #[test]
+    fn stream_arcs_are_dashed() {
+        let mut g = TaskGraph::new("g");
+        let a = g.add_task(TaskSpec::new("a"));
+        let b = g.add_task(TaskSpec::new("b"));
+        g.add_arc(a, b, ArcKind::Stream, 1);
+        assert!(to_dot(&g).contains("style=dashed"));
+    }
+}

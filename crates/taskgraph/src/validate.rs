@@ -1,0 +1,166 @@
+//! Graph validation — what each SDM layer requires before handing the
+//! graph onward.
+
+use std::fmt;
+
+use crate::algo::has_cycle;
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// Why a task graph was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The graph has no tasks.
+    Empty,
+    /// Two tasks share a name (scripts and reports address tasks by name).
+    DuplicateName(String),
+    /// The dataflow relation is cyclic.
+    Cycle,
+    /// A task is missing its design-stage annotation.
+    DesignIncomplete(TaskId),
+    /// A task is missing coding-level annotations.
+    CodingIncomplete(TaskId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Empty => write!(f, "task graph has no tasks"),
+            ValidationError::DuplicateName(n) => write!(f, "duplicate task name {n:?}"),
+            ValidationError::Cycle => write!(f, "dataflow arcs form a cycle"),
+            ValidationError::DesignIncomplete(t) => {
+                write!(f, "task {t:?} lacks design-stage annotations")
+            }
+            ValidationError::CodingIncomplete(t) => {
+                write!(f, "task {t:?} lacks coding-level annotations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// How far through the SDM the graph claims to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Problem specification only: structure checks.
+    Specification,
+    /// Design stage done: classes present.
+    Design,
+    /// Coding level done: languages and estimates present.
+    Coding,
+}
+
+/// Validate the graph for a given SDM stage.
+pub fn validate_stage(g: &TaskGraph, stage: Stage) -> Result<(), ValidationError> {
+    if g.is_empty() {
+        return Err(ValidationError::Empty);
+    }
+    let mut names: Vec<&str> = g.tasks().iter().map(|t| t.name.as_str()).collect();
+    names.sort_unstable();
+    if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+        return Err(ValidationError::DuplicateName(w[0].to_string()));
+    }
+    if has_cycle(g) {
+        return Err(ValidationError::Cycle);
+    }
+    if matches!(stage, Stage::Design | Stage::Coding) {
+        for t in g.tasks() {
+            if !t.design_complete() {
+                return Err(ValidationError::DesignIncomplete(t.id));
+            }
+        }
+    }
+    if stage == Stage::Coding {
+        for t in g.tasks() {
+            if !t.coding_complete() {
+                return Err(ValidationError::CodingIncomplete(t.id));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate for the final (coding-complete) stage — what the execution
+/// module requires.
+pub fn validate(g: &TaskGraph) -> Result<(), ValidationError> {
+    validate_stage(g, Stage::Coding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{Language, ProblemClass};
+    use crate::task::TaskSpec;
+
+    fn complete_task(name: &str) -> TaskSpec {
+        TaskSpec::new(name)
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(10.0)
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(validate(&TaskGraph::new("e")), Err(ValidationError::Empty));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = TaskGraph::new("d");
+        g.add_task(complete_task("x"));
+        g.add_task(complete_task("x"));
+        assert_eq!(
+            validate(&g),
+            Err(ValidationError::DuplicateName("x".into()))
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = TaskGraph::new("c");
+        let a = g.add_task(complete_task("a"));
+        let b = g.add_task(complete_task("b"));
+        g.depends(a, b, 1);
+        g.depends(b, a, 1);
+        assert_eq!(validate(&g), Err(ValidationError::Cycle));
+    }
+
+    #[test]
+    fn stage_gates_annotations() {
+        let mut g = TaskGraph::new("s");
+        let id = g.add_task(TaskSpec::new("bare"));
+        assert!(validate_stage(&g, Stage::Specification).is_ok());
+        assert_eq!(
+            validate_stage(&g, Stage::Design),
+            Err(ValidationError::DesignIncomplete(id))
+        );
+        g.get_mut(id).unwrap().class = Some(ProblemClass::Synchronous);
+        assert!(validate_stage(&g, Stage::Design).is_ok());
+        assert_eq!(
+            validate_stage(&g, Stage::Coding),
+            Err(ValidationError::CodingIncomplete(id))
+        );
+        {
+            let t = g.get_mut(id).unwrap();
+            t.language = Some(Language::HpFortran);
+            t.work_mops = 5.0;
+        }
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_passes() {
+        let mut g = TaskGraph::new("ok");
+        let a = g.add_task(complete_task("a"));
+        let b = g.add_task(complete_task("b"));
+        g.depends(b, a, 1);
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ValidationError::DesignIncomplete(TaskId(3));
+        assert!(e.to_string().contains("design-stage"));
+    }
+}

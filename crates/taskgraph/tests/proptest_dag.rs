@@ -1,0 +1,101 @@
+//! Property tests on random DAGs: the graph algorithms' invariants.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use vce_taskgraph::algo::{critical_path, has_cycle, levels, ready_set, topo_sort, total_work};
+use vce_taskgraph::{TaskGraph, TaskId, TaskSpec};
+
+/// Generate a random DAG: arcs only from lower to higher id, so it is
+/// acyclic by construction.
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut g = TaskGraph::new("random");
+        let mut s = seed;
+        let mut next = move || {
+            // xorshift64 for cheap deterministic pseudo-randomness.
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n {
+            g.add_task(TaskSpec::new(format!("t{i}")).with_work(1.0 + (next() % 100) as f64));
+        }
+        for to in 1..n {
+            for from in 0..to {
+                if next() % 4 == 0 {
+                    g.depends(TaskId(to as u32), TaskId(from as u32), 1 + next() % 64);
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_dags_are_acyclic_and_sortable(g in arb_dag()) {
+        prop_assert!(!has_cycle(&g));
+        let order = topo_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), g.len());
+        // Every arc goes forward in the order.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, t) in order.iter().enumerate() {
+                p[t.0 as usize] = i;
+            }
+            p
+        };
+        for a in g.arcs() {
+            prop_assert!(pos[a.from.0 as usize] < pos[a.to.0 as usize]);
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_arcs(g in arb_dag()) {
+        let lv = levels(&g).unwrap();
+        for a in g.arcs() {
+            prop_assert!(lv[a.from.0 as usize] < lv[a.to.0 as usize]);
+        }
+    }
+
+    #[test]
+    fn critical_path_is_a_chain_bounded_by_total_work(g in arb_dag()) {
+        let (cp, path) = critical_path(&g).unwrap();
+        prop_assert!(cp <= total_work(&g) + 1e-9);
+        prop_assert!(!path.is_empty());
+        // The path is a dependency chain.
+        for w in path.windows(2) {
+            prop_assert!(g.predecessors(w[1]).any(|p| p == w[0]));
+        }
+        // And its weight equals the sum of its tasks' work.
+        let sum: f64 = path.iter().map(|&t| g.get(t).unwrap().work_mops).sum();
+        prop_assert!((sum - cp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn executing_ready_sets_drains_the_graph(g in arb_dag()) {
+        // Repeatedly complete the whole ready frontier; the graph must
+        // drain in at most `len` rounds and never expose an unready task.
+        let mut done: HashSet<TaskId> = HashSet::new();
+        let running = HashSet::new();
+        let mut rounds = 0;
+        while done.len() < g.len() {
+            let ready = ready_set(&g, &done, &running);
+            prop_assert!(!ready.is_empty(), "deadlock with {} done", done.len());
+            for t in &ready {
+                prop_assert!(g.predecessors(*t).all(|p| done.contains(&p)));
+            }
+            done.extend(ready);
+            rounds += 1;
+            prop_assert!(rounds <= g.len());
+        }
+    }
+
+    #[test]
+    fn graph_codec_round_trip(g in arb_dag()) {
+        let bytes = vce_codec::to_bytes(&g);
+        prop_assert_eq!(vce_codec::from_bytes::<TaskGraph>(&bytes).unwrap(), g);
+    }
+}

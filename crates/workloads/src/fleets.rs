@@ -1,0 +1,80 @@
+//! Fleet generators.
+
+use vce_net::{MachineClass, MachineInfo, NodeId};
+use vce_sdm::MachineDb;
+
+/// `n` workstations with speeds cycling through `speeds` (heterogeneous
+/// LAN).
+pub fn workstation_fleet(n: u32, speeds: &[f64]) -> MachineDb {
+    assert!(!speeds.is_empty());
+    let mut db = MachineDb::new();
+    for i in 0..n {
+        db.register(MachineInfo::workstation(
+            NodeId(i),
+            speeds[(i as usize) % speeds.len()],
+        ));
+    }
+    db
+}
+
+/// A mixed campus: `n_ws` workstations, `n_simd` SIMD machines, `n_mimd`
+/// MIMD machines, `n_vector` vector machines. Node ids assigned in that
+/// order.
+pub fn mixed_fleet(n_ws: u32, n_simd: u32, n_mimd: u32, n_vector: u32) -> MachineDb {
+    let mut db = MachineDb::new();
+    let mut next = 0u32;
+    for _ in 0..n_ws {
+        let speed = [50.0, 80.0, 120.0][(next % 3) as usize];
+        db.register(MachineInfo::workstation(NodeId(next), speed));
+        next += 1;
+    }
+    for _ in 0..n_simd {
+        db.register(
+            MachineInfo::workstation(NodeId(next), 4_000.0)
+                .with_class(MachineClass::Simd)
+                .with_mem_mb(1024),
+        );
+        next += 1;
+    }
+    for _ in 0..n_mimd {
+        db.register(
+            MachineInfo::workstation(NodeId(next), 1_500.0)
+                .with_class(MachineClass::Mimd)
+                .with_mem_mb(512),
+        );
+        next += 1;
+    }
+    for _ in 0..n_vector {
+        db.register(
+            MachineInfo::workstation(NodeId(next), 2_500.0)
+                .with_class(MachineClass::Vector)
+                .with_mem_mb(768),
+        );
+        next += 1;
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workstation_fleet_cycles_speeds() {
+        let db = workstation_fleet(5, &[10.0, 20.0]);
+        assert_eq!(db.machines().len(), 5);
+        assert_eq!(db.get(NodeId(0)).unwrap().speed_mops, 10.0);
+        assert_eq!(db.get(NodeId(1)).unwrap().speed_mops, 20.0);
+        assert_eq!(db.get(NodeId(4)).unwrap().speed_mops, 10.0);
+    }
+
+    #[test]
+    fn mixed_fleet_counts() {
+        let db = mixed_fleet(4, 2, 1, 1);
+        assert_eq!(db.count(MachineClass::Workstation), 4);
+        assert_eq!(db.count(MachineClass::Simd), 2);
+        assert_eq!(db.count(MachineClass::Mimd), 1);
+        assert_eq!(db.count(MachineClass::Vector), 1);
+        assert_eq!(db.machines().len(), 8);
+    }
+}

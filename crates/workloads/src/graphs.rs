@@ -1,0 +1,158 @@
+//! Task-graph families. All generated tasks are coding-complete
+//! (asynchronous / C by default) so they can go straight to the runtime.
+
+use rand::Rng;
+use vce_taskgraph::{Language, MigrationTraits, ProblemClass, TaskGraph, TaskId, TaskSpec};
+
+fn job(name: String, mops: f64) -> TaskSpec {
+    TaskSpec::new(name)
+        .with_class(ProblemClass::Asynchronous)
+        .with_language(Language::C)
+        .with_work(mops)
+        .with_migration(MigrationTraits {
+            checkpoints: true,
+            checkpoint_interval_s: 5,
+            restartable: true,
+            core_dumpable: true,
+        })
+}
+
+/// A linear pipeline of `n` tasks (`data_kib` per hop) — the ripple
+/// effect's worst case.
+pub fn chain(n: u32, mops: f64, data_kib: u64) -> TaskGraph {
+    assert!(n >= 1);
+    let mut g = TaskGraph::new("chain");
+    let mut prev: Option<TaskId> = None;
+    for i in 0..n {
+        let id = g.add_task(job(format!("stage{i}"), mops));
+        if let Some(p) = prev {
+            g.depends(id, p, data_kib);
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// A source fanning out to `width` workers fanning into a sink.
+pub fn fan(width: u32, worker_mops: f64) -> TaskGraph {
+    assert!(width >= 1);
+    let mut g = TaskGraph::new("fan");
+    let src = g.add_task(job("source".into(), worker_mops / 10.0));
+    let sink = g.add_task(job("sink".into(), worker_mops / 10.0));
+    for i in 0..width {
+        let w = g.add_task(job(format!("worker{i}"), worker_mops));
+        g.depends(w, src, 8);
+        g.depends(sink, w, 8);
+    }
+    g
+}
+
+/// A diamond of `levels` alternating wide/narrow stages.
+pub fn diamond(levels: u32, mops: f64) -> TaskGraph {
+    assert!(levels >= 2);
+    let mut g = TaskGraph::new("diamond");
+    let mut prev_level = vec![g.add_task(job("top".into(), mops))];
+    for l in 1..levels {
+        let width = if l == levels - 1 { 1 } else { 2 + (l % 3) };
+        let mut this_level = Vec::new();
+        for i in 0..width {
+            let id = g.add_task(job(format!("d{l}_{i}"), mops));
+            for &p in &prev_level {
+                g.depends(id, p, 4);
+            }
+            this_level.push(id);
+        }
+        prev_level = this_level;
+    }
+    g
+}
+
+/// A bag of `n` independent tasks, sizes uniform in `[min,max]` Mops —
+/// one task with n instances of divisible work, or independent tasks.
+pub fn bag_of_tasks<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u32,
+    min_mops: f64,
+    max_mops: f64,
+) -> TaskGraph {
+    let mut g = TaskGraph::new("bag");
+    for i in 0..n {
+        g.add_task(job(format!("mc{i}"), rng.gen_range(min_mops..=max_mops)));
+    }
+    g
+}
+
+/// A random DAG: `n` tasks, forward arcs with probability `p`.
+pub fn random_dag<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64, mops: f64) -> TaskGraph {
+    let mut g = TaskGraph::new("random-dag");
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| g.add_task(job(format!("r{i}"), mops * rng.gen_range(0.5..1.5))))
+        .collect();
+    for to in 1..n as usize {
+        for from in 0..to {
+            if rng.gen_bool(p) {
+                g.depends(ids[to], ids[from], 1 + rng.gen_range(0..32));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vce_taskgraph::{algo, validate};
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 100.0, 8);
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.len(), 5);
+        let (cp, path) = algo::critical_path(&g).unwrap();
+        assert_eq!(path.len(), 5);
+        assert!((cp - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_shape() {
+        let g = fan(6, 100.0);
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.len(), 8);
+        let lv = algo::levels(&g).unwrap();
+        assert_eq!(*lv.iter().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn diamond_is_valid() {
+        let g = diamond(5, 50.0);
+        assert!(validate(&g).is_ok());
+        assert!(algo::topo_sort(&g).is_some());
+        // Last level narrows to one sink.
+        let lv = algo::levels(&g).unwrap();
+        let max = *lv.iter().max().unwrap();
+        assert_eq!(lv.iter().filter(|&&l| l == max).count(), 1);
+    }
+
+    #[test]
+    fn bag_is_flat() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = bag_of_tasks(&mut rng, 10, 50.0, 100.0);
+        assert!(validate(&g).is_ok());
+        assert_eq!(g.arcs().len(), 0);
+        assert!(g
+            .tasks()
+            .iter()
+            .all(|t| (50.0..=100.0).contains(&t.work_mops)));
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_deterministic() {
+        let g1 = random_dag(&mut SmallRng::seed_from_u64(2), 15, 0.3, 100.0);
+        let g2 = random_dag(&mut SmallRng::seed_from_u64(2), 15, 0.3, 100.0);
+        assert_eq!(g1, g2);
+        assert!(validate(&g1).is_ok());
+        assert!(algo::topo_sort(&g1).is_some());
+    }
+}

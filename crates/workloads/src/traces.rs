@@ -1,0 +1,40 @@
+//! Owner-activity trace presets.
+
+use rand::Rng;
+use vce_sim::LoadTrace;
+
+/// The owner comes back at `at_us` with weight `weight` and stays.
+pub fn busy_owner_after(at_us: u64, weight: f64) -> LoadTrace {
+    LoadTrace::from_steps(vec![(at_us, weight)])
+}
+
+/// Intermittent interactive use: exponential busy/idle alternation with
+/// ~25% duty cycle (mean busy 60 s, mean idle 180 s — Krueger-style
+/// workstation usage).
+pub fn intermittent_owner<R: Rng + ?Sized>(rng: &mut R, horizon_us: u64) -> LoadTrace {
+    LoadTrace::bursty(rng, 60e6, 180e6, 1.5, horizon_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn busy_owner_is_a_single_step() {
+        let t = busy_owner_after(5_000_000, 2.0);
+        assert_eq!(t.value_at(4_999_999), 0.0);
+        assert_eq!(t.value_at(5_000_000), 2.0);
+        assert_eq!(t.value_at(u64::MAX), 2.0);
+    }
+
+    #[test]
+    fn intermittent_owner_has_expected_duty_cycle() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let horizon = 3_600_000_000; // 1h
+        let t = intermittent_owner(&mut rng, horizon);
+        let frac = t.busy_fraction(horizon);
+        assert!((0.10..0.45).contains(&frac), "duty {frac}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Fault tolerance end to end: a long pipeline keeps running while the
+//! group leader is killed mid-flight (§5's oldest-survivor takeover) and a
+//! worker machine dies with a task on it (executor watchdog + re-dispatch).
+//!
+//! ```sh
+//! cargo run --release -p vce-examples --bin fault_tolerant_pipeline
+//! ```
+
+use vce::prelude::*;
+
+fn main() {
+    let mut builder = VceBuilder::new(13);
+    for i in 0..6 {
+        builder.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let mut vce = builder.build();
+    vce.settle();
+    let leader = vce.leader_of(MachineClass::Workstation).expect("leader");
+    println!("initial group leader: {leader}");
+
+    // A 4-stage pipeline, ~40 s per stage.
+    let mut g = TaskGraph::new("pipeline");
+    let mut prev = None;
+    for i in 0..4 {
+        let id = g.add_task(
+            TaskSpec::new(format!("stage{i}"))
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(4_000.0),
+        );
+        if let Some(p) = prev {
+            g.depends(id, p, 32);
+        }
+        prev = Some(id);
+    }
+    let app = Application::from_graph(g, vce.db()).expect("pipeline");
+    // Submit from the highest-numbered workstation (it will survive).
+    let handle = vce.submit(app, NodeId(5));
+
+    // Let stage 0 get going, then kill the leader.
+    vce.sim_mut().run_for(5_000_000);
+    println!(
+        "t={:.1}s: killing the leader ({leader})",
+        vce.sim().now_us() as f64 / 1e6
+    );
+    vce.kill_node(leader);
+
+    // A bit later, kill whichever machine hosts the running stage.
+    vce.sim_mut().run_for(20_000_000);
+    if let Some((key, host)) = vce
+        .placements(&handle)
+        .into_iter()
+        .find(|(_, n)| *n != NodeId(5) && !vce.sim().is_node_dead(*n))
+    {
+        println!(
+            "t={:.1}s: killing worker {host} (hosting task {})",
+            vce.sim().now_us() as f64 / 1e6,
+            key.task
+        );
+        vce.kill_node(host);
+    }
+
+    let result = vce.run_until_done(&handle, 3_600_000_000);
+    assert!(result.completed, "{:?}", result.failed);
+    let new_leader = vce.leader_of(MachineClass::Workstation).expect("successor");
+    println!(
+        "\npipeline completed in {:.1} s despite both failures",
+        result.makespan_s()
+    );
+    println!("successor leader: {new_leader} (oldest surviving member)");
+    let evictions = result
+        .timeline
+        .count(|e| matches!(e, vce_exm::AppEvent::InstanceEvicted { .. }));
+    println!("instances recovered after host loss: {evictions}");
+}

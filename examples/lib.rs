@@ -1,0 +1,2 @@
+//! Placeholder library target; the runnable examples are `[[bin]]` targets
+//! declared in Cargo.toml (`quickstart`, `weather_forecast`, ...).

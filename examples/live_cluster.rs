@@ -1,0 +1,133 @@
+//! Live mode: the very same daemon and executor state machines that every
+//! experiment simulates, running on real OS threads over the in-memory
+//! transport. Group formation, bidding, dispatch and completion all happen
+//! in (compressed) wall-clock time.
+//!
+//! ```sh
+//! cargo run --release -p vce-examples --bin live_cluster
+//! ```
+
+use std::time::{Duration, Instant};
+
+use vce_exm::{AppId, DaemonEndpoint, ExecutorEndpoint, ExmConfig};
+use vce_net::{
+    Addr, Endpoint, Envelope, Host, LiveDriver, LiveNodeConfig, MachineClass, MachineInfo,
+    MemoryNetwork, NodeId, PortId,
+};
+use vce_sdm::MachineDb;
+use vce_taskgraph::{Language, ProblemClass, TaskGraph, TaskSpec};
+
+/// Forwards everything to the executor and signals completion through a
+/// channel — the only live-mode addition, purely observational.
+struct Watched {
+    inner: ExecutorEndpoint,
+    tx: crossbeam::channel::Sender<(bool, u64)>,
+    signaled: bool,
+}
+
+impl Watched {
+    fn check(&mut self) {
+        if !self.signaled && self.inner.is_done() {
+            self.signaled = true;
+            let _ = self.tx.send((
+                self.inner.failed.is_none(),
+                self.inner.makespan_us().unwrap_or(0),
+            ));
+        }
+    }
+}
+
+impl Endpoint for Watched {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        self.inner.on_start(host);
+        self.check();
+    }
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        self.inner.on_envelope(env, host);
+        self.check();
+    }
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        self.inner.on_timer(token, host);
+        self.check();
+    }
+    fn on_work_done(&mut self, pid: u64, host: &mut dyn Host) {
+        self.inner.on_work_done(pid, host);
+        self.check();
+    }
+}
+
+fn main() {
+    let n = 4u32;
+    let mut db = MachineDb::new();
+    for i in 0..n {
+        db.register(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let peers: Vec<Addr> = (0..n).map(|i| Addr::daemon(NodeId(i))).collect();
+    let cfg = ExmConfig::default();
+
+    // A three-job application.
+    let mut g = TaskGraph::new("live-demo");
+    let a = g.add_task(
+        TaskSpec::new("prepare")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(800.0),
+    );
+    let b = g.add_task(
+        TaskSpec::new("crunch")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(2_000.0)
+            .with_instances(2),
+    );
+    g.depends(b, a, 16);
+
+    let exec_addr = Addr::executor(NodeId(0));
+    let executor = ExecutorEndpoint::new(AppId(1), exec_addr, g, db, cfg.clone());
+    let (tx, rx) = crossbeam::channel::unbounded();
+
+    let mut nodes: Vec<LiveNodeConfig> = (0..n)
+        .map(|i| {
+            let mut d = DaemonEndpoint::new(
+                NodeId(i),
+                MachineClass::Workstation,
+                peers.clone(),
+                cfg.clone(),
+            );
+            d.stage_binary("prepare");
+            d.stage_binary("crunch");
+            LiveNodeConfig::new(MachineInfo::workstation(NodeId(i), 100.0))
+                .with_endpoint(PortId::DAEMON, Box::new(d))
+        })
+        .collect();
+    nodes[0].endpoints.push((
+        PortId::EXECUTOR,
+        Box::new(Watched {
+            inner: executor,
+            tx,
+            signaled: false,
+        }),
+    ));
+
+    println!("spawning {n} daemon threads + 1 executor thread (time 2000x compressed)...");
+    let net = MemoryNetwork::new(2026);
+    let t0 = Instant::now();
+    let driver = LiveDriver::spawn(&net, nodes, 11, 2_000.0);
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok((ok, sim_us)) => {
+            println!(
+                "application {} in {:.1} simulated seconds ({:.0} ms of wall time)",
+                if ok { "completed" } else { "FAILED" },
+                sim_us as f64 / 1e6,
+                t0.elapsed().as_millis()
+            );
+        }
+        Err(_) => println!("timed out"),
+    }
+    driver.stop();
+    println!(
+        "network carried {} messages ({} bytes)",
+        net.stats().delivered(),
+        net.stats().bytes_sent()
+    );
+}

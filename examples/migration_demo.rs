@@ -1,0 +1,62 @@
+//! §4.4 live: a checkpointing simulation is driven off its machine when
+//! the owner comes back; the group leader migrates it to an idle machine
+//! and it finishes there.
+//!
+//! ```sh
+//! cargo run --release -p vce-examples --bin migration_demo
+//! ```
+
+use vce::prelude::*;
+
+fn main() {
+    let mut builder = VceBuilder::new(5);
+    builder.machine(MachineInfo::workstation(NodeId(0), 100.0)); // user
+    builder.machine(MachineInfo::workstation(NodeId(1), 100.0));
+    builder.machine(MachineInfo::workstation(NodeId(2), 100.0));
+    let mut cfg = ExmConfig::default();
+    cfg.policy = PlacementPolicy::BestPlatform;
+    builder.exm_config(cfg);
+    let mut vce = builder.build();
+    vce.settle();
+
+    // A 5-minute simulation that checkpoints every 5 seconds.
+    let mut g = TaskGraph::new("long-sim");
+    g.add_task(
+        TaskSpec::new("climate-sim")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::Fortran)
+            .with_work(30_000.0)
+            .with_migration(MigrationTraits {
+                checkpoints: true,
+                checkpoint_interval_s: 5,
+                restartable: true,
+                core_dumpable: true,
+            }),
+    );
+    let app = Application::from_graph(g, vce.db()).expect("pipeline");
+    let handle = vce.submit(app, NodeId(0));
+
+    vce.sim_mut().run_for(30_000_000);
+    let host = vce.placements(&handle).values().next().copied().unwrap();
+    println!(
+        "t={:.0}s: climate-sim running on {host}; the owner sits down there...",
+        vce.sim().now_us() as f64 / 1e6
+    );
+    vce.set_background(host, 2.0);
+
+    let result = vce.run_until_done(&handle, 3_600_000_000);
+    assert!(result.completed, "{:?}", result.failed);
+
+    for m in &result.migrations {
+        println!(
+            "migration: {:?} moved task {} {} -> {} ({} KiB of state, {:.0} Mops re-run)",
+            m.technique, m.key.task, m.from, m.to, m.state_kib, m.lost_mops
+        );
+    }
+    let final_host = result.placements.values().next().copied().unwrap();
+    println!(
+        "finished on {final_host} in {:.1} s total; the owner's machine was\nreturned within one rebalance sweep.",
+        result.makespan_s()
+    );
+    assert_ne!(final_host, host);
+}

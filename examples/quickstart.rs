@@ -1,0 +1,80 @@
+//! Quickstart: build a small virtual computer, describe an application as
+//! a task graph, run it, and read the results.
+//!
+//! ```sh
+//! cargo run --release -p vce-examples --bin quickstart
+//! ```
+
+use vce::prelude::*;
+
+fn main() {
+    // 1. A virtual machine room: four workstations and one MIMD machine.
+    //    The seed makes the entire run reproducible.
+    let mut builder = VceBuilder::new(42);
+    for i in 0..4 {
+        builder.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    builder.machine(
+        MachineInfo::workstation(NodeId(4), 1_500.0)
+            .with_class(MachineClass::Mimd)
+            .with_mem_mb(512),
+    );
+    let mut vce = builder.build();
+
+    // 2. Let the daemons form their Isis process groups and elect leaders.
+    vce.settle();
+    println!(
+        "workstation group leader: {:?}",
+        vce.leader_of(MachineClass::Workstation)
+    );
+
+    // 3. An application: preprocess → solve (on the MIMD machine) → report.
+    let mut g = TaskGraph::new("quickstart");
+    let pre = g.add_task(
+        TaskSpec::new("preprocess")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(1_000.0),
+    );
+    let solve = g.add_task(
+        TaskSpec::new("solve")
+            .with_class(ProblemClass::LooselySynchronous)
+            .with_language(Language::HpCpp)
+            .with_work(30_000.0)
+            .with_mem(256),
+    );
+    let report = g.add_task(
+        TaskSpec::new("report")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(200.0)
+            .local(), // runs on the submitting workstation
+    );
+    g.depends(solve, pre, 64); // 64 KiB of preprocessed data
+    g.depends(report, solve, 16);
+
+    // 4. The SDM pipeline: validate, plan communication, compile for every
+    //    feasible machine class.
+    let app = Application::from_graph(g, vce.db()).expect("pipeline");
+    println!(
+        "compiled {} tasks, {} total Mops",
+        app.compile_reports.len(),
+        app.total_mops()
+    );
+
+    // 5. Submit from workstation 0 and run to completion.
+    let handle = vce.submit(app, NodeId(0));
+    let result = vce.run_until_done(&handle, 600_000_000);
+    assert!(result.completed, "run failed: {:?}", result.failed);
+
+    println!("makespan: {:.2} s", result.makespan_s());
+    println!("placements:");
+    for (key, node) in &result.placements {
+        let class = vce.db().get(*node).map(|m| m.class).unwrap();
+        println!(
+            "  task {} instance {} -> {node} ({class})",
+            key.task, key.instance
+        );
+    }
+    let _ = (pre, solve, report);
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerate every experiment table in EXPERIMENTS.md.
+# Usage: scripts/run_experiments.sh [output-dir]
+set -eu
+out="${1:-experiment-results}"
+mkdir -p "$out"
+for e in exp_pipeline exp_proxy exp_bidding exp_weather exp_placement \
+         exp_starvation exp_migration exp_ripple exp_freepar \
+         exp_anticipatory exp_baselines exp_failover exp_heterogeneity \
+         exp_loadbal exp_ablation; do
+    echo "== $e =="
+    cargo run --release -q -p vce-bench --bin "$e" | tee "$out/$e.txt"
+    echo
+done
+echo "All experiment outputs written to $out/"

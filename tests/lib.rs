@@ -1,0 +1,23 @@
+//! Shared helpers for the integration test suite (the scenarios live in
+//! `tests/*.rs` of this package).
+
+use vce::prelude::*;
+
+/// A coding-complete asynchronous C task.
+pub fn simple_task(name: &str, mops: f64) -> TaskSpec {
+    TaskSpec::new(name)
+        .with_class(ProblemClass::Asynchronous)
+        .with_language(Language::C)
+        .with_work(mops)
+}
+
+/// Build and settle an all-workstation VCE.
+pub fn workstation_vce(seed: u64, n: u32) -> Vce {
+    let mut b = VceBuilder::new(seed);
+    for i in 0..n {
+        b.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let mut vce = b.build();
+    vce.settle();
+    vce
+}

@@ -1,0 +1,58 @@
+//! Cross-crate scheduler comparisons — CI-enforced versions of the
+//! experiment shapes (M2, B1).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vce_baselines::harness::{idle_fleet, run_baseline};
+use vce_baselines::policy::{condor, stealth, vcelike};
+use vce_baselines::Workload;
+use vce_net::{MachineInfo, NodeId};
+use vce_sim::LoadTrace;
+use vce_workloads::traces::intermittent_owner;
+
+const HORIZON: u64 = 4 * 3_600_000_000;
+
+fn owner_fleet(seed: u64, n: u32) -> Vec<(MachineInfo, LoadTrace)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                MachineInfo::workstation(NodeId(i), 100.0),
+                intermittent_owner(&mut rng, HORIZON),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ripple_effect_suspension_loses_to_migration_on_chains() {
+    let fleet = owner_fleet(23, 8);
+    let w = Workload::chains(4, 6, 3_000.0);
+    let s = run_baseline(23, &fleet, &w, Box::new(stealth::Stealth::new()), HORIZON);
+    let m = run_baseline(23, &fleet, &w, Box::new(vcelike::VceLike::new()), HORIZON);
+    assert!(s.completed && m.completed);
+    let (s_mk, m_mk) = (s.makespan_us.unwrap(), m.makespan_us.unwrap());
+    assert!(
+        s_mk as f64 > m_mk as f64 * 1.2,
+        "§4.4 ripple effect: stealth {s_mk} should clearly exceed migrating {m_mk}"
+    );
+    assert!(s.counters.suspensions > 0, "stealth must actually suspend");
+    assert!(m.counters.recalls > 0, "vce-like must actually migrate");
+}
+
+#[test]
+fn all_policies_agree_on_an_idle_fleet() {
+    // With no owner activity the policies differ only in placement noise;
+    // every one finishes a small bag within 2x of the best.
+    let fleet = idle_fleet(4, 100.0);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let w = Workload::bag(&mut rng, 8, 1_000.0, 2_000.0);
+    let condor = run_baseline(5, &fleet, &w, Box::new(condor::Condor::new()), HORIZON);
+    let stealth = run_baseline(5, &fleet, &w, Box::new(stealth::Stealth::new()), HORIZON);
+    assert!(condor.completed && stealth.completed);
+    let (c, s) = (condor.makespan_us.unwrap(), stealth.makespan_us.unwrap());
+    assert!(
+        s < c * 2 && c < s * 2,
+        "no owners ⇒ comparable makespans, got condor {c} stealth {s}"
+    );
+}

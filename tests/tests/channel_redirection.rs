@@ -1,0 +1,132 @@
+//! §4.2 channel redirection through the full runtime: a stream channel
+//! between two running tasks keeps routing to the right machine after the
+//! leader migrates one of them.
+
+use vce::prelude::*;
+use vce_channels::registry::Role;
+use vce_exm::InstanceKey;
+
+fn stream_app(db: &MachineDb) -> (Application, TaskId, TaskId) {
+    let mut g = TaskGraph::new("streamed");
+    let producer = g.add_task(
+        TaskSpec::new("producer")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(20_000.0)
+            .with_migration(MigrationTraits {
+                checkpoints: true,
+                checkpoint_interval_s: 5,
+                restartable: true,
+                core_dumpable: true,
+            }),
+    );
+    let consumer = g.add_task(
+        TaskSpec::new("consumer")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(20_000.0),
+    );
+    g.add_arc(producer, consumer, ArcKind::Stream, 64);
+    (Application::from_graph(g, db).unwrap(), producer, consumer)
+}
+
+#[test]
+fn stream_route_follows_a_migrated_task() {
+    let mut b = VceBuilder::new(91);
+    for i in 0..4 {
+        b.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let mut cfg = ExmConfig::default();
+    cfg.policy = PlacementPolicy::BestPlatform;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    let (app, producer, consumer) = stream_app(vce.db());
+    let handle = vce.submit(app, NodeId(0));
+    vce.sim_mut().run_for(10_000_000);
+
+    let key_of = |task: TaskId| InstanceKey {
+        app: handle.app,
+        task: task.0,
+        instance: 0,
+    };
+    let producer_host = vce
+        .placements(&handle)
+        .get(&key_of(producer))
+        .copied()
+        .expect("producer placed");
+
+    // The executor's registry routes producer → consumer's machine.
+    let consumer_host = vce.placements(&handle)[&key_of(consumer)];
+    let route_before = vce
+        .with_executor(&handle, |e| {
+            let members = e
+                .channels
+                .members(vce_channels::registry::ChannelId(0))
+                .unwrap();
+            let sender = members
+                .iter()
+                .find(|(_, r)| *r == Role::Sender)
+                .map(|(p, _)| *p)
+                .unwrap();
+            e.channels
+                .route(vce_channels::registry::ChannelId(0), sender)
+                .unwrap()
+        })
+        .unwrap();
+    assert_eq!(route_before.len(), 1);
+    assert_eq!(route_before[0].location.node, consumer_host);
+
+    // Owner reclaims the producer's machine: the leader migrates it.
+    vce.set_background(producer_host, 2.0);
+    vce.sim_mut().run_for(20_000_000);
+    let moved_to = vce.placements(&handle)[&key_of(producer)];
+    assert_ne!(moved_to, producer_host, "producer migrated");
+
+    // The sender port's *location* followed the migration.
+    let sender_location = vce
+        .with_executor(&handle, |e| {
+            let members = e
+                .channels
+                .members(vce_channels::registry::ChannelId(0))
+                .unwrap();
+            let sender = members
+                .iter()
+                .find(|(_, r)| *r == Role::Sender)
+                .map(|(p, _)| *p)
+                .unwrap();
+            e.channels.location(sender).unwrap()
+        })
+        .unwrap();
+    assert_eq!(sender_location.node, moved_to);
+
+    let report = vce.run_until_done(&handle, 3_600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+}
+
+#[test]
+fn ports_are_destroyed_when_instances_finish() {
+    let mut b = VceBuilder::new(92);
+    for i in 0..3 {
+        b.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let mut cfg = ExmConfig::default();
+    cfg.migration_enabled = false;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    let (app, _producer, _consumer) = stream_app(vce.db());
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 3_600_000_000);
+    assert!(report.completed);
+    // Both ports retired: the channel has no members left.
+    let members = vce
+        .with_executor(&handle, |e| {
+            e.channels
+                .members(vce_channels::registry::ChannelId(0))
+                .unwrap()
+                .len()
+        })
+        .unwrap();
+    assert_eq!(members, 0, "ports destroyed at completion");
+}

@@ -1,0 +1,84 @@
+//! Determinism: a run is a pure function of its seed — the property every
+//! experiment table relies on.
+
+use vce::prelude::*;
+use vce_integration_tests::{simple_task, workstation_vce};
+
+fn weather_run(seed: u64) -> (Option<u64>, u64, Vec<(u32, u32, u32)>) {
+    let db = campus_fleet(5);
+    let mut b = VceBuilder::new(seed);
+    for m in db.machines() {
+        b.machine(m.clone());
+    }
+    let mut vce = b.build();
+    vce.settle();
+    let app = weather_app(vce.db(), &WeatherCosts::default()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed);
+    let placements: Vec<(u32, u32, u32)> = report
+        .placements
+        .iter()
+        .map(|(k, n)| (k.task, k.instance, n.0))
+        .collect();
+    (report.makespan_us, vce.sim().events_processed(), placements)
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    assert_eq!(weather_run(7), weather_run(7));
+    assert_eq!(weather_run(8), weather_run(8));
+}
+
+#[test]
+fn different_seeds_still_complete() {
+    for seed in [1, 2, 3] {
+        let (makespan, _, _) = weather_run(seed);
+        assert!(makespan.is_some());
+    }
+}
+
+#[test]
+fn failure_scenarios_are_reproducible() {
+    let run = |seed: u64| {
+        let mut vce = workstation_vce(seed, 5);
+        let app = {
+            let mut g = TaskGraph::new("j");
+            for i in 0..6 {
+                g.add_task(simple_task(&format!("job{i}"), 5_000.0));
+            }
+            Application::from_graph(g, vce.db()).unwrap()
+        };
+        let handle = vce.submit(app, NodeId(4));
+        vce.sim_mut().run_for(3_000_000);
+        vce.kill_node(NodeId(0));
+        vce.sim_mut().run_for(20_000_000);
+        vce.revive_node(NodeId(0));
+        let report = vce.run_until_done(&handle, 3_600_000_000);
+        (
+            report.completed,
+            report.makespan_us,
+            vce.sim().events_processed(),
+            vce.sim().stats().snapshot(),
+        )
+    };
+    assert_eq!(run(11), run(11));
+    let (completed, ..) = run(11);
+    assert!(completed);
+}
+
+#[test]
+fn trace_is_bit_identical_across_runs() {
+    let dump = |seed: u64| {
+        let mut vce = workstation_vce(seed, 4);
+        let app = {
+            let mut g = TaskGraph::new("t");
+            g.add_task(simple_task("a", 2_000.0));
+            Application::from_graph(g, vce.db()).unwrap()
+        };
+        let handle = vce.submit(app, NodeId(0));
+        vce.run_until_done(&handle, 600_000_000);
+        vce.sim().trace().dump()
+    };
+    assert_eq!(dump(5), dump(5));
+}

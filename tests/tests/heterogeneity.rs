@@ -1,0 +1,121 @@
+//! Heterogeneous class routing: tasks land only on machines their problem
+//! class, language and memory requirements allow.
+
+use vce::prelude::*;
+
+fn mixed_vce(seed: u64) -> Vce {
+    let db = vce_workloads::mixed_fleet(4, 2, 2, 1);
+    let mut b = VceBuilder::new(seed);
+    for m in db.machines() {
+        b.machine(m.clone());
+    }
+    let mut vce = b.build();
+    vce.settle();
+    vce
+}
+
+#[test]
+fn every_class_group_elects_its_own_leader() {
+    let mut vce = mixed_vce(1);
+    for class in [
+        MachineClass::Workstation,
+        MachineClass::Simd,
+        MachineClass::Mimd,
+        MachineClass::Vector,
+    ] {
+        let leader = vce.leader_of(class);
+        assert!(leader.is_some(), "{class} group has no leader");
+        let leader = leader.unwrap();
+        assert_eq!(vce.db().get(leader).unwrap().class, class);
+    }
+}
+
+#[test]
+fn synchronous_tasks_avoid_workstations() {
+    let mut vce = mixed_vce(2);
+    let mut g = TaskGraph::new("sync-only");
+    for i in 0..3 {
+        g.add_task(
+            TaskSpec::new(format!("lockstep{i}"))
+                .with_class(ProblemClass::Synchronous)
+                .with_language(Language::HpFortran)
+                .with_work(5_000.0),
+        );
+    }
+    let app = Application::from_graph(g, vce.db()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    for (&key, &node) in &report.placements {
+        let class = vce.db().get(node).unwrap().class;
+        assert!(
+            matches!(
+                class,
+                MachineClass::Simd | MachineClass::Vector | MachineClass::Mimd
+            ),
+            "task {} on {class}",
+            key.task
+        );
+    }
+}
+
+#[test]
+fn memory_requirements_are_respected() {
+    // Only the SIMD/MIMD/vector machines have > 256 MB in mixed_fleet.
+    let mut vce = mixed_vce(3);
+    let mut g = TaskGraph::new("big-mem");
+    g.add_task(
+        TaskSpec::new("hog")
+            .with_class(ProblemClass::LooselySynchronous)
+            .with_language(Language::C)
+            .with_work(2_000.0)
+            .with_mem(400),
+    );
+    let app = Application::from_graph(g, vce.db()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed, "{:?}", report.failed);
+    let node = *report.placements.values().next().unwrap();
+    assert!(vce.db().get(node).unwrap().mem_mb >= 400);
+}
+
+#[test]
+fn unhostable_applications_are_rejected_by_the_pipeline() {
+    let db = vce_workloads::workstation_fleet(4, &[100.0]);
+    let mut g = TaskGraph::new("impossible");
+    g.add_task(
+        TaskSpec::new("needs-simd")
+            .with_class(ProblemClass::Synchronous)
+            .with_language(Language::HpFortran)
+            .with_work(100.0),
+    );
+    let err = Application::from_graph(g, &db).unwrap_err();
+    assert!(matches!(err, PipelineError::Unhostable(t) if t == vec![0]));
+}
+
+#[test]
+fn faster_machines_win_ties_within_a_class() {
+    // Two idle workstations, one clearly faster: best-platform picks it.
+    let mut b = VceBuilder::new(4);
+    b.machine(MachineInfo::workstation(NodeId(0), 50.0));
+    b.machine(MachineInfo::workstation(NodeId(1), 300.0));
+    b.machine(MachineInfo::workstation(NodeId(2), 100.0));
+    let mut cfg = ExmConfig::default();
+    cfg.policy = PlacementPolicy::BestPlatform;
+    cfg.migration_enabled = false;
+    b.exm_config(cfg);
+    let mut vce = b.build();
+    vce.settle();
+    let mut g = TaskGraph::new("one");
+    g.add_task(
+        TaskSpec::new("quick")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(1_000.0),
+    );
+    let app = Application::from_graph(g, vce.db()).unwrap();
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, 600_000_000);
+    assert!(report.completed);
+    assert_eq!(*report.placements.values().next().unwrap(), NodeId(1));
+}

@@ -1,0 +1,107 @@
+//! Live mode: the *same* daemon and executor endpoints that every
+//! experiment simulates, running on real OS threads over the in-memory
+//! transport — the "evaluated system is the shipped system" property.
+
+use std::time::Duration;
+
+use vce_exm::{AppId, DaemonEndpoint, ExecutorEndpoint, ExmConfig};
+use vce_net::{
+    Addr, Endpoint, Envelope, Host, LiveDriver, LiveNodeConfig, MachineClass, MachineInfo,
+    MemoryNetwork, NodeId, PortId,
+};
+use vce_sdm::MachineDb;
+use vce_taskgraph::{Language, ProblemClass, TaskGraph, TaskSpec};
+
+/// Wraps the executor and fires a channel message the moment it reports
+/// done — the only live-mode addition, purely observational.
+struct WatchedExecutor {
+    inner: ExecutorEndpoint,
+    tx: crossbeam::channel::Sender<bool>,
+    signaled: bool,
+}
+
+impl WatchedExecutor {
+    fn check(&mut self) {
+        if !self.signaled && self.inner.is_done() {
+            self.signaled = true;
+            let _ = self.tx.send(self.inner.failed.is_none());
+        }
+    }
+}
+
+impl Endpoint for WatchedExecutor {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        self.inner.on_start(host);
+        self.check();
+    }
+    fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
+        self.inner.on_envelope(env, host);
+        self.check();
+    }
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        self.inner.on_timer(token, host);
+        self.check();
+    }
+    fn on_work_done(&mut self, pid: u64, host: &mut dyn Host) {
+        self.inner.on_work_done(pid, host);
+        self.check();
+    }
+}
+
+#[test]
+fn daemons_and_executor_complete_an_app_on_real_threads() {
+    let n = 3u32;
+    let mut db = MachineDb::new();
+    for i in 0..n {
+        db.register(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    let peers: Vec<Addr> = (0..n).map(|i| Addr::daemon(NodeId(i))).collect();
+    let cfg = ExmConfig::default();
+
+    let mut g = TaskGraph::new("live");
+    for i in 0..2 {
+        g.add_task(
+            TaskSpec::new(format!("job{i}"))
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(500.0),
+        );
+    }
+    let exec_addr = Addr::executor(NodeId(0));
+    let executor = ExecutorEndpoint::new(AppId(1), exec_addr, g, db.clone(), cfg.clone());
+    let (tx, rx) = crossbeam::channel::unbounded();
+
+    let mut nodes: Vec<LiveNodeConfig> = (0..n)
+        .map(|i| {
+            let mut d = DaemonEndpoint::new(
+                NodeId(i),
+                MachineClass::Workstation,
+                peers.clone(),
+                cfg.clone(),
+            );
+            d.stage_binary("job0");
+            d.stage_binary("job1");
+            LiveNodeConfig::new(MachineInfo::workstation(NodeId(i), 100.0))
+                .with_endpoint(PortId::DAEMON, Box::new(d))
+        })
+        .collect();
+    nodes[0].endpoints.push((
+        PortId::EXECUTOR,
+        Box::new(WatchedExecutor {
+            inner: executor,
+            tx,
+            signaled: false,
+        }),
+    ));
+
+    let net = MemoryNetwork::new(99);
+    // time_scale 2000: heartbeats (200 sim-ms) fire every 0.1 real ms; the
+    // ~15 sim-second run finishes in well under a real second.
+    let driver = LiveDriver::spawn(&net, nodes, 7, 2_000.0);
+    let outcome = rx.recv_timeout(Duration::from_secs(60));
+    driver.stop();
+    match outcome {
+        Ok(success) => assert!(success, "application failed in live mode"),
+        Err(_) => panic!("live cluster did not finish within the wall deadline"),
+    }
+}
