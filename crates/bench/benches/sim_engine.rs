@@ -71,6 +71,14 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+    // The acceptance scenario: dense all-to-all broadcast with per-tick
+    // watchdog re-arm — delivery, timer-cancel and effects paths at once.
+    g.bench_function("message_storm_16x50", |b| {
+        b.iter(|| {
+            let events = vce_bench::message_storm(16, 50);
+            assert!(events > 10_000);
+        })
+    });
     g.bench_function("processor_sharing_churn_1000_jobs", |b| {
         b.iter(|| {
             let mut sim = Sim::new(SimConfig {

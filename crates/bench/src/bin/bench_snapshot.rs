@@ -1,0 +1,138 @@
+//! Perf snapshot: measures engine throughput (message storm), F3 bidding
+//! latency, and sweep serial-vs-parallel wall time, and prints a JSON
+//! object. `scripts/bench_snapshot.sh` redirects this into `BENCH_sim.json`
+//! so later PRs have a perf trajectory to regress against.
+//!
+//! With `--baseline FILE` (a previous snapshot of this same format), the
+//! output embeds the baseline numbers and the events/sec speedup against
+//! them — that is how the "≥ 1.3× vs pre-change" acceptance number is
+//! recorded: the baseline file was produced by this binary on the
+//! pre-optimization engine.
+
+use std::time::Instant;
+
+use vce_bench::sweep::{sweep, threads_for};
+use vce_bench::{bidding_round_detailed, message_storm};
+
+const STORM_NODES: u32 = 16;
+const STORM_TICKS: u32 = 50;
+const SWEEP_SEEDS: u64 = 8;
+const SWEEP_GROUP: u32 = 8;
+const SWEEP_JITTER_US: u64 = 800;
+
+fn measure_storm() -> (u64, f64) {
+    // Warm up once, then take the best of many timed reps (least
+    // scheduler noise) — each rep is a full deterministic sim run of a
+    // few milliseconds, so at least one rep lands in a clean scheduling
+    // window even on a loaded shared machine.
+    let events = message_storm(STORM_NODES, STORM_TICKS);
+    let mut best = f64::INFINITY;
+    for _ in 0..40 {
+        let t = Instant::now();
+        let e = message_storm(STORM_NODES, STORM_TICKS);
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(e, events, "storm must be deterministic");
+        if dt < best {
+            best = dt;
+        }
+    }
+    (events, events as f64 / best)
+}
+
+fn f3_row(seed: u64) -> String {
+    let r = bidding_round_detailed(seed, SWEEP_GROUP, SWEEP_JITTER_US);
+    format!(
+        "{seed},{},{},{}",
+        r.latency_us, r.protocol_msgs, r.heartbeat_msgs
+    )
+}
+
+fn measure_sweep() -> (f64, f64, usize, bool) {
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).map(|s| 100 + s).collect();
+    let t = Instant::now();
+    let serial: Vec<String> = seeds.iter().map(|&s| f3_row(s)).collect();
+    let serial_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = sweep(&seeds, |_, &s| f3_row(s));
+    let parallel_s = t.elapsed().as_secs_f64();
+    (
+        serial_s,
+        parallel_s,
+        threads_for(seeds.len()),
+        serial == parallel,
+    )
+}
+
+/// Extract `"key": <number>` from a snapshot this binary wrote earlier.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut baseline_text: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            let path = args.next().expect("--baseline needs a file");
+            baseline_text = Some(
+                std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}")),
+            );
+        }
+    }
+
+    let (storm_events, events_per_sec) = measure_storm();
+    let lat_us = bidding_round_detailed(1, SWEEP_GROUP, SWEEP_JITTER_US).latency_us;
+    let (serial_s, parallel_s, threads, identical) = measure_sweep();
+
+    println!("{{");
+    println!("  \"schema\": \"vce-bench-snapshot-v1\",");
+    println!("  \"storm\": {{");
+    println!("    \"nodes\": {STORM_NODES}, \"ticks\": {STORM_TICKS},");
+    println!("    \"events\": {storm_events},");
+    println!("    \"events_per_sec\": {events_per_sec:.0}");
+    println!("  }},");
+    println!("  \"bidding_round\": {{");
+    println!("    \"group\": {SWEEP_GROUP}, \"jitter_us\": {SWEEP_JITTER_US},");
+    println!("    \"latency_us\": {lat_us}");
+    println!("  }},");
+    println!("  \"sweep\": {{");
+    println!("    \"seeds\": {SWEEP_SEEDS}, \"group\": {SWEEP_GROUP},");
+    println!("    \"serial_s\": {serial_s:.3},");
+    println!("    \"parallel_s\": {parallel_s:.3},");
+    println!("    \"threads\": {threads},");
+    println!(
+        "    \"speedup\": {:.2},",
+        if parallel_s > 0.0 {
+            serial_s / parallel_s
+        } else {
+            0.0
+        }
+    );
+    println!("    \"identical_output\": {identical}");
+    if let Some(base) = &baseline_text {
+        let base_eps = extract_number(base, "events_per_sec");
+        println!("  }},");
+        match base_eps {
+            Some(b) if b > 0.0 => {
+                println!("  \"baseline\": {{");
+                println!("    \"events_per_sec\": {b:.0}");
+                println!("  }},");
+                println!(
+                    "  \"events_per_sec_vs_baseline\": {:.2}",
+                    events_per_sec / b
+                );
+            }
+            _ => println!("  \"baseline\": null"),
+        }
+    } else {
+        println!("  }}");
+    }
+    println!("}}");
+}

@@ -3,43 +3,55 @@
 //!
 //! Expected shape: the collect is one parallel round, so the *median*
 //! latency is near-flat in group size, while the *tail* grows slowly (max
-//! of n jittered bid arrivals) and the *message count* grows linearly
-//! (request broadcast + n bids + heartbeats).
+//! of n jittered bid arrivals). Protocol messages grow O(n) per round; the
+//! heartbeat column grows O(n²) — the failure detector's standing cost,
+//! split out so the two curves are visible separately.
 
-use vce_bench::bidding_round_detailed;
+use vce_bench::sweep::seed_param_sweep;
+use vce_bench::{bidding_round_detailed, BiddingRound};
 use vce_workloads::table::Table;
 
 fn main() {
     let jitter_us = 800; // LAN jitter so the tail is visible
+    let seeds: Vec<u64> = (0..7).map(|s| 100 + s).collect();
+    let sizes = [2u32, 4, 8, 16, 32, 64];
+    // Every (seed, size) run is independent: fan them out. Results come
+    // back in row-major (seed-outer) order, identical to the serial loop.
+    let runs: Vec<BiddingRound> = seed_param_sweep(&seeds, &sizes, |seed, &n| {
+        bidding_round_detailed(seed, n, jitter_us)
+    });
     let mut t = Table::new(
         "F3: bidding vs group size (0.8 ms link jitter)",
         &[
             "group size",
             "latency p50 (ms)",
             "latency max (ms)",
-            "msgs per run",
+            "protocol msgs",
+            "heartbeat msgs",
         ],
     );
-    for &n in &[2u32, 4, 8, 16, 32, 64] {
-        let runs: Vec<(u64, u64)> = (0..7)
-            .map(|s| bidding_round_detailed(100 + s, n, jitter_us))
+    for (j, &n) in sizes.iter().enumerate() {
+        let rows: Vec<&BiddingRound> = (0..seeds.len())
+            .map(|i| &runs[i * sizes.len() + j])
             .collect();
-        let mut lats: Vec<u64> = runs.iter().map(|r| r.0).collect();
+        let mut lats: Vec<u64> = rows.iter().map(|r| r.latency_us).collect();
         lats.sort();
-        let msgs = runs.iter().map(|r| r.1).sum::<u64>() / runs.len() as u64;
+        let proto = rows.iter().map(|r| r.protocol_msgs).sum::<u64>() / rows.len() as u64;
+        let hb = rows.iter().map(|r| r.heartbeat_msgs).sum::<u64>() / rows.len() as u64;
         t.row(&[
             n.to_string(),
             format!("{:.1}", lats[lats.len() / 2] as f64 / 1e3),
             format!("{:.1}", *lats.last().unwrap() as f64 / 1e3),
-            msgs.to_string(),
+            proto.to_string(),
+            hb.to_string(),
         ]);
     }
     t.print();
     println!(
         "Paper-expected shape: one parallel collect round ⇒ flat median,\n\
          slowly growing tail (max of n jittered bids). The collect itself\n\
-         costs O(n) messages; the totals grow O(n²) because the all-to-all\n\
-         heartbeat failure detector runs underneath — the real Isis\n\
-         scalability ceiling the 1994 prototype inherited."
+         costs O(n) protocol messages; the heartbeat column grows O(n²)\n\
+         because the all-to-all failure detector runs underneath — the real\n\
+         Isis scalability ceiling the 1994 prototype inherited."
     );
 }

@@ -6,17 +6,23 @@
 //! sharing against the owner's work); with it on, the leader's rebalance
 //! sweep moves it to an idle machine. Expected shape: migration's
 //! advantage grows with owner duty cycle.
+//!
+//! The (seed × duty-cycle × on/off) grid fans out through
+//! [`vce_bench::sweep`]; each cell is an independent deterministic run.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vce::prelude::*;
+use vce_bench::sweep::seed_param_sweep;
 use vce_workloads::table::{ratio, secs_opt, Table};
 
 const HORIZON: u64 = 8 * 3_600_000_000;
+const SEEDS: [u64; 3] = [77, 78, 79];
+const DUTY_POINTS: [(f64, f64); 3] = [(30.0, 270.0), (90.0, 180.0), (180.0, 120.0)];
 
-fn run(migration: bool, mean_busy_s: f64, mean_idle_s: f64) -> (Option<u64>, usize) {
-    let mut rng = SmallRng::seed_from_u64(77);
-    let mut b = VceBuilder::new(77);
+fn run(seed: u64, migration: bool, mean_busy_s: f64, mean_idle_s: f64) -> (Option<u64>, usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = VceBuilder::new(seed);
     for i in 0..8 {
         b.machine_with_load(
             MachineInfo::workstation(NodeId(i), 100.0),
@@ -58,9 +64,22 @@ fn run(migration: bool, mean_busy_s: f64, mean_idle_s: f64) -> (Option<u64>, usi
     (report.makespan_us, report.migrations.len())
 }
 
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
 fn main() {
+    // Grid cells: (busy, idle, migration_on).
+    let cells: Vec<(f64, f64, bool)> = DUTY_POINTS
+        .iter()
+        .flat_map(|&(b, i)| [(b, i, false), (b, i, true)])
+        .collect();
+    let runs = seed_param_sweep(&SEEDS, &cells, |seed, &(busy, idle, on)| {
+        run(seed, on, busy, idle)
+    });
     let mut t = Table::new(
-        "L1: §4.4 leader-driven migration vs owner duty cycle (8 long jobs, 8 machines)",
+        "L1: §4.4 leader-driven migration vs owner duty cycle (8 long jobs, 8 machines, median of 3 seeds)",
         &[
             "owner busy/idle (s)",
             "duty",
@@ -70,15 +89,24 @@ fn main() {
             "migrations",
         ],
     );
-    for &(busy, idle) in &[(30.0, 270.0), (90.0, 180.0), (180.0, 120.0)] {
-        let (off, _) = run(false, busy, idle);
-        let (on, migs) = run(true, busy, idle);
+    for (j, &(busy, idle)) in DUTY_POINTS.iter().enumerate() {
+        let pick = |on: bool| -> Vec<(Option<u64>, usize)> {
+            let col = j * 2 + usize::from(on);
+            (0..SEEDS.len())
+                .map(|i| runs[i * cells.len() + col])
+                .collect()
+        };
+        let offs = pick(false);
+        let ons = pick(true);
+        let off = median(offs.iter().filter_map(|r| r.0).collect());
+        let on = median(ons.iter().filter_map(|r| r.0).collect());
+        let migs = median(ons.iter().map(|r| r.1 as u64).collect());
         t.row(&[
             format!("{busy:.0}/{idle:.0}"),
             format!("{:.0}%", busy / (busy + idle) * 100.0),
-            secs_opt(off),
-            secs_opt(on),
-            ratio(off.unwrap() as f64 / on.unwrap() as f64),
+            secs_opt(Some(off)),
+            secs_opt(Some(on)),
+            ratio(off as f64 / on as f64),
             migs.to_string(),
         ]);
     }

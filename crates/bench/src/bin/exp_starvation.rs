@@ -10,10 +10,12 @@
 //! wait(aging off) ≫ wait(aging on).
 
 use vce::prelude::*;
+use vce_bench::sweep::seed_param_sweep;
 use vce_exm::AppEvent;
 use vce_taskgraph::TaskHints;
 use vce_workloads::table::{secs, Table};
 
+const SEEDS: [u64; 3] = [17, 18, 19];
 const VIP_COUNT: u32 = 24;
 const VIP_PERIOD_US: u64 = 2_500_000;
 const VIP_WORK: f64 = 2_000.0; // 20 s on one machine
@@ -34,8 +36,8 @@ fn one_job_app(db: &MachineDb, name: &str, mops: f64, boost: i32) -> Application
     Application::from_graph(g, db).unwrap()
 }
 
-fn run(aging_quantum_us: u64) -> u64 {
-    let mut b = VceBuilder::new(17);
+fn run(seed: u64, aging_quantum_us: u64) -> u64 {
+    let mut b = VceBuilder::new(seed);
     b.machine(MachineInfo::workstation(NodeId(0), 100.0));
     b.machine(MachineInfo::workstation(NodeId(1), 100.0));
     let mut cfg = ExmConfig::default();
@@ -75,11 +77,21 @@ fn run(aging_quantum_us: u64) -> u64 {
 
 fn main() {
     let mut t = Table::new(
-        "P2: §4.3 starvation prevention (1 deprioritized job vs a boosted stream)",
+        "P2: §4.3 starvation prevention (1 deprioritized job vs a boosted stream, median of 3 seeds)",
         &["aging quantum", "deprioritized job wait (s)"],
     );
-    let with_aging = run(2_000_000);
-    let without = run(u64::MAX / 4);
+    // (seed × quantum) grid, fanned out: every cell is an independent run.
+    let quanta = [2_000_000u64, u64::MAX / 4];
+    let runs = seed_param_sweep(&SEEDS, &quanta, |seed, &q| run(seed, q));
+    let median = |col: usize| -> u64 {
+        let mut xs: Vec<u64> = (0..SEEDS.len())
+            .map(|i| runs[i * quanta.len() + col])
+            .collect();
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    };
+    let with_aging = median(0);
+    let without = median(1);
     t.row(&["2 s (aging on)".into(), secs(with_aging)]);
     t.row(&["∞ (aging off)".into(), secs(without)]);
     t.print();

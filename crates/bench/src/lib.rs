@@ -2,13 +2,82 @@
 //! Shared experiment scenarios, so the `exp_*` binaries and the Criterion
 //! benches drive identical code.
 
+pub mod sweep;
+
 use vce::prelude::*;
 use vce_exm::migrate::MigrationTechnique;
 use vce_exm::msg::ExmMsg;
-use vce_net::Addr;
+use vce_net::{send_msg, Addr, Endpoint, Envelope, Host};
 
 /// Default horizon for experiment runs (10 simulated minutes).
 pub const HORIZON_US: u64 = 600_000_000;
+
+/// Engine stress scenario: `nodes` endpoints each broadcast to every peer
+/// on a periodic tick, `ticks` times, while re-arming (and cancelling) a
+/// watchdog timer each tick — the all-to-all heartbeat pattern that
+/// dominates F3, concentrated into a dense burst. Exercises the engine's
+/// delivery, timer-cancel and effects paths. Returns events processed.
+pub fn message_storm(nodes: u32, ticks: u32) -> u64 {
+    const TICK: u64 = 1;
+    const WATCHDOG: u64 = 2;
+
+    struct StormPeer {
+        me: Addr,
+        peers: Vec<Addr>,
+        ticks_left: u32,
+        received: u64,
+    }
+
+    impl Endpoint for StormPeer {
+        fn on_start(&mut self, host: &mut dyn Host) {
+            host.set_timer(1_000, TICK);
+            host.set_timer(10_000, WATCHDOG);
+        }
+        fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+            if token != TICK {
+                return; // watchdog fired: quiescent, let the storm drain
+            }
+            for &p in &self.peers {
+                send_msg(host, self.me, p, &self.received);
+            }
+            // Push out the watchdog, as a failure detector would.
+            host.cancel_timer(WATCHDOG);
+            host.set_timer(10_000, WATCHDOG);
+            self.ticks_left -= 1;
+            if self.ticks_left > 0 {
+                host.set_timer(1_000, TICK);
+            }
+        }
+    }
+
+    let mut sim = vce_sim::Sim::new(vce_sim::SimConfig {
+        seed: 0,
+        topology: vce_sim::Topology::default(),
+        trace_enabled: false,
+    });
+    let addrs: Vec<Addr> = (0..nodes).map(|i| Addr::daemon(NodeId(i))).collect();
+    for i in 0..nodes {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            addrs[i as usize],
+            Box::new(StormPeer {
+                me: addrs[i as usize],
+                peers: addrs
+                    .iter()
+                    .copied()
+                    .filter(|a| a.node != NodeId(i))
+                    .collect(),
+                ticks_left: ticks,
+                received: 0,
+            }),
+        );
+    }
+    sim.run_until_idle();
+    sim.events_processed()
+}
 
 /// Build a settled all-workstation VCE.
 pub fn workstation_vce(seed: u64, n: u32, speed: f64, cfg: ExmConfig) -> Vce {
@@ -41,15 +110,26 @@ pub fn single_task_app(db: &MachineDb, spec: TaskSpec) -> Application {
 /// F3 scenario: one allocation round on `n` workstations; returns the
 /// request→allocation latency in µs.
 pub fn bidding_round(seed: u64, n: u32) -> u64 {
-    bidding_round_detailed(seed, n, 0).0
+    bidding_round_detailed(seed, n, 0).latency_us
 }
 
-/// F3 scenario with LAN jitter: returns `(latency_us, protocol_messages)`
-/// for one allocation round — messages counted from request send to
-/// allocation receipt (excluding group heartbeats would require deep
-/// attribution; the delta includes them, which is honest: they are the
-/// protocol's standing cost).
-pub fn bidding_round_detailed(seed: u64, n: u32, jitter_us: u64) -> (u64, u64) {
+/// Measured outcome of one F3 allocation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiddingRound {
+    /// Request→allocation latency, µs.
+    pub latency_us: u64,
+    /// Protocol messages during the round: request broadcast, bids,
+    /// allocation, membership traffic.
+    pub protocol_msgs: u64,
+    /// Failure-detector heartbeats during the round — the O(n²) standing
+    /// cost of group liveness, split out so F3 shows both curves.
+    pub heartbeat_msgs: u64,
+}
+
+/// F3 scenario with LAN jitter: one allocation round, with messages
+/// counted from request send to allocation receipt and attributed to
+/// protocol vs heartbeat via the transport's category counters.
+pub fn bidding_round_detailed(seed: u64, n: u32, jitter_us: u64) -> BiddingRound {
     let mut cfg = ExmConfig::default();
     cfg.migration_enabled = false;
     let mut vce = workstation_vce(seed, n, 100.0, cfg);
@@ -62,6 +142,7 @@ pub fn bidding_round_detailed(seed: u64, n: u32, jitter_us: u64) -> (u64, u64) {
         });
     }
     let sent_before = vce.sim().stats().sent();
+    let hb_before = vce.sim().stats().heartbeats_sent();
     let app = single_task_app(vce.db(), simple_task("probe", 100.0));
     let handle = vce.submit(app, NodeId(0));
     let report = vce.run_until_done(&handle, HORIZON_US);
@@ -78,9 +159,13 @@ pub fn bidding_round_detailed(seed: u64, n: u32, jitter_us: u64) -> (u64, u64) {
         .timeline
         .allocation_latency(req)
         .expect("allocation observed");
-    // Messages during the whole run, normalized per allocation round.
     let msgs = vce.sim().stats().sent() - sent_before;
-    (latency, msgs)
+    let heartbeat_msgs = vce.sim().stats().heartbeats_sent() - hb_before;
+    BiddingRound {
+        latency_us: latency,
+        protocol_msgs: msgs - heartbeat_msgs,
+        heartbeat_msgs,
+    }
 }
 
 /// Outcome of one forced-technique migration (M1).

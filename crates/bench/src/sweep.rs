@@ -1,0 +1,128 @@
+//! Parallel experiment sweeps.
+//!
+//! Every experiment in EXPERIMENTS.md is a loop of *independent*
+//! deterministic simulator runs — `(seed, param)` in, row out. [`sweep`]
+//! fans those runs across scoped worker threads: each run constructs its
+//! own engine instance (nothing is shared, so per-run bit-determinism is
+//! untouched), and results are written back by input index, so the output
+//! order — and therefore any table built from it — is byte-identical to
+//! the serial loop's.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, capped by
+//! the input count, and can be pinned with `VCE_SWEEP_THREADS` (`1` forces
+//! the serial path — CI uses that to diff parallel output against serial).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a sweep over `n` inputs would use.
+pub fn threads_for(n: usize) -> usize {
+    let avail = std::env::var("VCE_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    avail.min(n).max(1)
+}
+
+/// Run `f` over every input, in parallel, returning results in input
+/// order. `f(i, &inputs[i])` must be a pure function of its arguments for
+/// output to be reproducible — every simulator scenario in this crate is.
+pub fn sweep<I, T, F>(inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = threads_for(inputs.len());
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    // Work-stealing by atomic index; results land in their input's slot.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(i) else { break };
+                let out = f(i, input);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every input produced a result")
+        })
+        .collect()
+}
+
+/// Sweep where each input is a `(seed, param)` pair — the common
+/// experiment shape (multi-seed × parameter grid).
+pub fn seed_param_sweep<P, T, F>(seeds: &[u64], params: &[P], f: F) -> Vec<T>
+where
+    P: Sync + Clone,
+    T: Send,
+    F: Fn(u64, &P) -> T + Sync,
+{
+    let inputs: Vec<(u64, P)> = seeds
+        .iter()
+        .flat_map(|&s| params.iter().map(move |p| (s, p.clone())))
+        .collect();
+    sweep(&inputs, |_, (seed, param)| f(*seed, param))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = sweep(&inputs, |i, &x| {
+            // Uneven work so threads finish out of order.
+            let spin = (x % 7) * 1000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k);
+            }
+            (i, x * 2, acc & 1)
+        });
+        for (i, &(idx, doubled, _)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(doubled, inputs[i] * 2);
+        }
+    }
+
+    #[test]
+    fn matches_serial_output_exactly() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let serial: Vec<String> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| format!("{i}:{}", x * x))
+            .collect();
+        let parallel = sweep(&inputs, |i, &x| format!("{i}:{}", x * x));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn seed_param_grid_is_row_major() {
+        let out = seed_param_sweep(&[1, 2], &[10u32, 20], |s, &p| (s, p));
+        assert_eq!(out, vec![(1, 10), (1, 20), (2, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = sweep(&[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -282,7 +282,9 @@ impl DaemonEndpoint {
                 r.state = RunState::Compiling(pid);
             }
             let mops = self.cfg.dispatch_compile_mops;
-            host.log(format!("daemon: compiling {unit} at dispatch"));
+            if host.log_enabled() {
+                host.log(format!("daemon: compiling {unit} at dispatch"));
+            }
             host.start_work(pid, mops);
             return;
         }
@@ -307,7 +309,9 @@ impl DaemonEndpoint {
             if let Some(r) = self.tasks.get_mut(&key) {
                 r.state = RunState::Fetching;
             }
-            host.log(format!("daemon: fetching inputs for {unit}"));
+            if host.log_enabled() {
+                host.log(format!("daemon: fetching inputs for {unit}"));
+            }
             host.set_timer(delay.max(1), TOKEN_FETCH_BASE + pid);
             return;
         }
@@ -366,7 +370,9 @@ impl DaemonEndpoint {
             if let Some(r) = self.kill_task(key, host) {
                 self.evictions += 1;
                 let node = host.machine().node;
-                host.log(format!("daemon: evicted redundant {key:?} for owner"));
+                if host.log_enabled() {
+                    host.log(format!("daemon: evicted redundant {key:?} for owner"));
+                }
                 self.send(host, r.lp.reply_to, &ExmMsg::TaskEvicted { key, node });
             }
         }
@@ -412,9 +418,11 @@ impl DaemonEndpoint {
             state_kib: kib,
             lost_mops: (carried - remaining).max(0.0),
         });
-        host.log(format!(
-            "daemon: migrating {key:?} to {to} via {technique:?} ({kib} KiB)"
-        ));
+        if host.log_enabled() {
+            host.log(format!(
+                "daemon: migrating {key:?} to {to} via {technique:?} ({kib} KiB)"
+            ));
+        }
         let state = MigrationState {
             key,
             unit: r.lp.unit.clone(),
@@ -602,7 +610,9 @@ impl DaemonEndpoint {
                     enqueued_at_us: host.now_us(),
                     reply_to,
                 });
-                host.log(format!("leader: queued {req:?} (insufficient resources)"));
+                if host.log_enabled() {
+                    host.log(format!("leader: queued {req:?} (insufficient resources)"));
+                }
                 // Tell the executor we have it (stops retry exhaustion).
                 self.send(host, reply_to, &ExmMsg::RequestQueued { req });
             } else {
@@ -622,7 +632,9 @@ impl DaemonEndpoint {
             self.leader.recent_alloc.insert(n, until);
         }
         self.leader.served.insert(req, nodes.clone());
-        host.log(format!("leader: allocated {req:?} -> {nodes:?}"));
+        if host.log_enabled() {
+            host.log(format!("leader: allocated {req:?} -> {nodes:?}"));
+        }
         self.send(host, reply_to, &ExmMsg::Allocation { req, nodes });
         true
     }
@@ -685,7 +697,9 @@ impl DaemonEndpoint {
                 self.leader.recent_alloc.insert(n, until);
             }
             self.leader.served.insert(q.req, nodes.clone());
-            host.log(format!("leader: dequeued {:?} -> {nodes:?}", q.req));
+            if host.log_enabled() {
+                host.log(format!("leader: dequeued {:?} -> {nodes:?}", q.req));
+            }
             self.send(host, q.reply_to, &ExmMsg::Allocation { req: q.req, nodes });
         }
     }
@@ -740,10 +754,12 @@ impl DaemonEndpoint {
             }
             self.leader.migrating.insert(key);
             self.leader.last_migrated_us.insert(key, now);
-            host.log(format!(
-                "leader: ordering migration of {key:?} {} -> {} ({technique:?})",
-                src.node, target.node
-            ));
+            if host.log_enabled() {
+                host.log(format!(
+                    "leader: ordering migration of {key:?} {} -> {} ({technique:?})",
+                    src.node, target.node
+                ));
+            }
             let _ = me;
             self.send(
                 host,
@@ -786,7 +802,9 @@ impl DaemonEndpoint {
                     self.handle_collect_done(result.id, result.replies, host);
                 }
                 Upcall::BecameCoordinator(view) => {
-                    host.log(format!("daemon: {} is now group leader of {view}", self.me));
+                    if host.log_enabled() {
+                        host.log(format!("daemon: {} is now group leader of {view}", self.me));
+                    }
                     // Fresh leader state: outstanding executor retries will
                     // repopulate requests.
                     self.leader = LeaderState::new(self.cfg.aging_quantum_us);

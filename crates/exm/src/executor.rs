@@ -499,7 +499,9 @@ impl ExecutorEndpoint {
     }
 
     fn fail(&mut self, host: &mut dyn Host, reason: String) {
-        host.log(format!("executor: application failed: {reason}"));
+        if host.log_enabled() {
+            host.log(format!("executor: application failed: {reason}"));
+        }
         self.failed = Some(reason);
         self.finish(host);
     }
@@ -585,7 +587,9 @@ impl ExecutorEndpoint {
             if *misses > PROBE_MISS_LIMIT {
                 // Host presumed dead: recover the instance.
                 self.probe_misses.remove(&key);
-                host.log(format!("executor: instance {key:?} lost on {node}"));
+                if host.log_enabled() {
+                    host.log(format!("executor: instance {key:?} lost on {node}"));
+                }
                 self.instance_evicted(key, node, host);
             } else {
                 self.send(

@@ -646,6 +646,7 @@ mod tests {
             incarnation: 1,
             view_id: 2,
             joining: false,
+            fifo_next: 0,
         });
         let bytes = encode_msg(&m);
         assert_eq!(vce_codec::from_bytes::<ExmMsg>(&bytes).unwrap(), m);

@@ -218,12 +218,17 @@ impl GroupMember {
                 incarnation,
                 view_id,
                 joining: _,
+                fifo_next,
             } => {
                 // Restarted peer: discard its old FIFO stream.
                 let prev = self.incarnations.insert(src, incarnation);
                 if prev.is_some_and(|p| p != incarnation) {
                     self.ordering.forget_sender(src);
                 }
+                // Pin the peer's FIFO stream position before any cast
+                // arrives, so a dropped head-of-stream cast is a NACKable
+                // gap rather than a silent first-contact adoption.
+                self.ordering.sync_stream(src, fifo_next);
                 if self.is_coordinator() && !self.view.contains(src) {
                     // Any non-member heartbeat is an (implicit) join request.
                     self.joiners.insert(src, now);
@@ -440,11 +445,16 @@ impl GroupMember {
             incarnation: self.incarnation,
             view_id: self.view.id,
             joining: !self.is_member(),
+            fifo_next: self.out_fifo_seq,
         };
+        // Tagged so transports can attribute the O(n²) standing cost of
+        // liveness traffic separately from the protocol operation under
+        // measurement (F3's message count splits on this).
+        let bytes = (self.wrap)(&hb);
         let candidates = self.cfg.candidates.clone();
         for dst in candidates {
             if dst != self.me {
-                self.out(host, dst, &hb);
+                host.send_category(self.me, dst, bytes.clone(), vce_net::MsgCategory::Heartbeat);
             }
         }
     }
@@ -467,7 +477,9 @@ impl GroupMember {
                 // Succession: the oldest *surviving* member takes over.
                 let successor = self.view.addrs().find(|&a| self.alive(a, now));
                 if successor == Some(self.me) {
-                    host.log(format!("isis: {} assumes coordinator role", self.me));
+                    if host.log_enabled() {
+                        host.log(format!("isis: {} assumes coordinator role", self.me));
+                    }
                     self.coordinate(host, up);
                 }
             }
@@ -491,7 +503,9 @@ impl GroupMember {
                         }],
                     );
                     self.next_join_seq = 1;
-                    host.log(format!("isis: {} bootstraps group", self.me));
+                    if host.log_enabled() {
+                        host.log(format!("isis: {} bootstraps group", self.me));
+                    }
                     self.install(v, up);
                 }
             }
@@ -545,7 +559,9 @@ impl GroupMember {
         let proposed = View::new(self.view.id + 1, members);
         let unchanged = proposed.members == self.view.members;
         if !unchanged {
-            host.log(format!("isis: {} installs {}", self.me, proposed));
+            if host.log_enabled() {
+                host.log(format!("isis: {} installs {}", self.me, proposed));
+            }
             // Tell the members (and anyone just excluded, so they re-join
             // promptly when they come back).
             let mut recipients: Vec<Addr> = proposed.addrs().collect();

@@ -58,6 +58,12 @@ pub enum IsisMsg {
         view_id: u64,
         /// True if the sender is not yet a member and wants in.
         joining: bool,
+        /// The sender's next outbound cast `fifo_seq`. Receivers that have
+        /// not yet heard a cast from this sender pin their FIFO expectation
+        /// here, so a dropped head-of-stream cast shows up as a gap (and is
+        /// NACKed) instead of being silently skipped by first-contact
+        /// adoption.
+        fifo_next: u64,
     },
     /// Coordinator installs a new view (coordinator-sequenced; replaces
     /// Isis's gbcast flush — see crate docs for the weakening).
@@ -120,11 +126,13 @@ impl Codec for IsisMsg {
                 incarnation,
                 view_id,
                 joining,
+                fifo_next,
             } => {
                 enc.put_u8(T_HEARTBEAT);
                 enc.put_u64(*incarnation);
                 enc.put_u64(*view_id);
                 enc.put_bool(*joining);
+                enc.put_u64(*fifo_next);
             }
             IsisMsg::ViewInstall { view } => {
                 enc.put_u8(T_VIEW_INSTALL);
@@ -171,6 +179,7 @@ impl Codec for IsisMsg {
                 incarnation: dec.get_u64()?,
                 view_id: dec.get_u64()?,
                 joining: dec.get_bool()?,
+                fifo_next: dec.get_u64()?,
             },
             T_VIEW_INSTALL => IsisMsg::ViewInstall {
                 view: View::decode(dec)?,
@@ -228,6 +237,7 @@ mod tests {
                 incarnation: 7,
                 view_id: 2,
                 joining: true,
+                fifo_next: 4,
             },
             IsisMsg::ViewInstall {
                 view: View::new(

@@ -199,6 +199,20 @@ impl OrderingState {
         self.total_holdback.clear();
     }
 
+    /// Pin `sender`'s FIFO expectation to `fifo_next` (its advertised next
+    /// outbound seq) if no cast from it has been seen yet. Heartbeats call
+    /// this so a receiver that was present from the start of a stream
+    /// expects seq 0 — making a dropped first cast a recoverable gap —
+    /// while a late joiner still adopts the current stream position.
+    /// No-op once an expectation exists: casts and the gap/NACK machinery
+    /// own it from then on.
+    pub fn sync_stream(&mut self, sender: Addr, fifo_next: u64) {
+        let fifo = self.per_sender.entry(sender).or_default();
+        if fifo.expected.is_none() {
+            fifo.expected = Some(fifo_next);
+        }
+    }
+
     /// Forget a departed sender's FIFO state so a rejoin starts cleanly.
     pub fn forget_sender(&mut self, sender: Addr) {
         self.per_sender.remove(&sender);
@@ -293,6 +307,43 @@ mod tests {
         // 40 is now "duplicate" territory.
         assert!(st.on_cast(a(1), 40, fifo_cast(1, 40), 1).is_empty());
         assert_eq!(st.on_cast(a(1), 42, fifo_cast(1, 42), 2).len(), 1);
+    }
+
+    #[test]
+    fn synced_stream_makes_head_of_stream_loss_a_gap() {
+        let mut st = OrderingState::new();
+        // Heartbeat pinned the stream start before any cast arrived.
+        st.sync_stream(a(1), 0);
+        // First cast seen is seq 1 (seq 0 was dropped): held back, not
+        // adopted.
+        assert!(st.on_cast(a(1), 1, fifo_cast(1, 1), 100).is_empty());
+        // The gap is NACKable...
+        assert_eq!(st.overdue_gaps(10_000, 100), vec![(a(1), 0)]);
+        // ...and the retransmit releases both in order.
+        let out = st.on_cast(a(1), 0, fifo_cast(1, 0), 20_000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id.seq, 0);
+        assert_eq!(out[1].id.seq, 1);
+    }
+
+    #[test]
+    fn sync_stream_is_inert_once_casts_flow() {
+        let mut st = OrderingState::new();
+        assert_eq!(st.on_cast(a(1), 0, fifo_cast(1, 0), 0).len(), 1);
+        // A stale (or fresher) advertisement must not rewind/skip.
+        st.sync_stream(a(1), 0);
+        st.sync_stream(a(1), 7);
+        assert_eq!(st.on_cast(a(1), 1, fifo_cast(1, 1), 10).len(), 1);
+    }
+
+    #[test]
+    fn late_joiner_adopts_advertised_position() {
+        let mut st = OrderingState::new();
+        // A joiner first hears a heartbeat advertising fifo_next = 41.
+        st.sync_stream(a(1), 41);
+        assert_eq!(st.on_cast(a(1), 41, fifo_cast(1, 41), 0).len(), 1);
+        // Older history is duplicate territory, as with adoption.
+        assert!(st.on_cast(a(1), 40, fifo_cast(1, 40), 1).is_empty());
     }
 
     #[test]

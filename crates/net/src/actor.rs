@@ -17,6 +17,7 @@ use bytes::Bytes;
 
 use crate::addr::Addr;
 use crate::machine::MachineInfo;
+use crate::stats::MsgCategory;
 
 /// The environment an [`Endpoint`] runs in.
 ///
@@ -29,6 +30,14 @@ pub trait Host {
 
     /// Queue a message. `src` must be an endpoint on the local node.
     fn send(&mut self, src: Addr, dst: Addr, payload: Bytes);
+
+    /// Queue a message attributed to a traffic category (see
+    /// [`MsgCategory`]). Hosts that don't keep per-category statistics may
+    /// ignore the attribution — the default forwards to [`Host::send`].
+    fn send_category(&mut self, src: Addr, dst: Addr, payload: Bytes, category: MsgCategory) {
+        let _ = category;
+        self.send(src, dst, payload);
+    }
 
     /// Arm a one-shot timer that fires `delay_us` from now with `token`.
     fn set_timer(&mut self, delay_us: u64, token: u64);
@@ -64,6 +73,13 @@ pub trait Host {
 
     /// Emit a trace line (collected by the driver; free-form).
     fn log(&mut self, line: String);
+
+    /// Whether [`Host::log`] lines are being kept. Hot paths check this
+    /// before building a log string, so disabled-trace runs (benchmarks)
+    /// pay neither the `format!` allocation nor the push.
+    fn log_enabled(&self) -> bool {
+        true
+    }
 }
 
 /// A protocol state machine bound to one [`Addr`].

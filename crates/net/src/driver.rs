@@ -92,6 +92,16 @@ impl Host for NodeState {
         self.handle.send_raw(src, dst, payload);
     }
 
+    fn send_category(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        payload: bytes::Bytes,
+        category: crate::MsgCategory,
+    ) {
+        self.handle.send_raw_category(src, dst, payload, category);
+    }
+
     fn set_timer(&mut self, delay_us: u64, token: u64) {
         let at_us = self.now_us() + delay_us;
         self.seq += 1;
@@ -435,10 +445,13 @@ mod tests {
         let driver = LiveDriver::spawn(&net, vec![cfg], 1, 10_000.0);
         let sim_duration = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         driver.stop();
-        // Should be at least the nominal 500_000 sim-us, with slack for poll
-        // quantum overshoot.
+        // Should be at least the nominal 500_000 sim-us. The upper bound is
+        // only a sanity check and must be generous: on a loaded single-core
+        // CI machine the driver thread can be starved for whole seconds of
+        // real time, which this wall-clock-scaled test would otherwise read
+        // as a failure.
         assert!(
-            (400_000..5_000_000).contains(&sim_duration),
+            (400_000..40_000_000).contains(&sim_duration),
             "sim duration {sim_duration}"
         );
     }

@@ -133,11 +133,16 @@ impl FaultPlan {
         if !self.connected(src, dst) {
             return Delivery::Drop;
         }
-        let fault = self
-            .links
-            .get(&(src, dst))
-            .copied()
-            .unwrap_or(self.default_link);
+        let fault = match self.links.get(&(src, dst)) {
+            Some(f) => *f,
+            // Loopback traffic never traverses the network, so the ambient
+            // link fault does not apply (an explicit self-link entry still
+            // does). Without this, a lossy `default_link` can drop a node's
+            // message to itself — unrecoverable for head-of-stream losses
+            // that gap-based NACK schemes cannot observe.
+            None if src == dst => LinkFault::default(),
+            None => self.default_link,
+        };
         if fault.drop_prob > 0.0 && rng.gen::<f64>() < fault.drop_prob {
             return Delivery::Drop;
         }
@@ -296,6 +301,31 @@ mod tests {
             .count();
         let rate = dropped as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn loopback_exempt_from_default_link_faults() {
+        let mut plan = FaultPlan::none();
+        plan.default_link = LinkFault {
+            drop_prob: 1.0,
+            extra_delay_us: 99,
+            ..Default::default()
+        };
+        let mut r = rng();
+        assert_eq!(
+            plan.judge(NodeId(3), NodeId(3), &mut r),
+            Delivery::Deliver { extra_delay_us: 0 }
+        );
+        // An explicit self-link entry is still honoured.
+        plan.set_link(
+            NodeId(3),
+            NodeId(3),
+            LinkFault {
+                drop_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(plan.judge(NodeId(3), NodeId(3), &mut r), Delivery::Drop);
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use fault::{FaultPlan, LinkFault};
 pub use machine::{MachineClass, MachineInfo};
 pub use memory::{MemoryNetwork, NodeHandle};
 pub use message::Envelope;
-pub use stats::NetStats;
+pub use stats::{MsgCategory, NetStats};

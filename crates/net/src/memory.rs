@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use crate::addr::{Addr, NodeId};
 use crate::fault::{Delivery, FaultPlan};
 use crate::message::Envelope;
-use crate::stats::NetStats;
+use crate::stats::{MsgCategory, NetStats};
 
 struct Inner {
     mailboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
@@ -101,9 +101,9 @@ impl MemoryNetwork {
         self.inner.mailboxes.read().len()
     }
 
-    fn submit(&self, env: Envelope) {
+    fn submit(&self, env: Envelope, category: MsgCategory) {
         let inner = &self.inner;
-        inner.stats.record_sent(env.wire_size());
+        inner.stats.record_sent_category(env.wire_size(), category);
         let verdict = {
             let plan = inner.fault.lock();
             let mut rng = inner.rng.lock();
@@ -175,17 +175,31 @@ impl NodeHandle {
     /// Send an envelope built from an already-encoded payload. The sequence
     /// number is assigned here (per-handle monotone).
     pub fn send_raw(&self, src: Addr, dst: Addr, payload: impl Into<bytes::Bytes>) {
+        self.send_raw_category(src, dst, payload, MsgCategory::Protocol);
+    }
+
+    /// [`NodeHandle::send_raw`] with explicit traffic attribution.
+    pub fn send_raw_category(
+        &self,
+        src: Addr,
+        dst: Addr,
+        payload: impl Into<bytes::Bytes>,
+        category: MsgCategory,
+    ) {
         debug_assert_eq!(src.node, self.node, "src must be a local endpoint");
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.net.submit(Envelope::new(src, dst, seq, payload));
+        self.net
+            .submit(Envelope::new(src, dst, seq, payload), category);
     }
 
     /// Encode `msg` with `vce-codec` and send it.
     pub fn send<T: vce_codec::Codec>(&self, src: Addr, dst: Addr, msg: &T) {
         debug_assert_eq!(src.node, self.node, "src must be a local endpoint");
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.net
-            .submit(Envelope::encode_payload(src, dst, seq, msg));
+        self.net.submit(
+            Envelope::encode_payload(src, dst, seq, msg),
+            MsgCategory::Protocol,
+        );
     }
 
     /// Receive the next envelope, blocking.

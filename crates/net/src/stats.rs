@@ -2,6 +2,18 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Coarse traffic attribution, so experiments can tell a protocol's
+/// *standing* cost (failure-detector heartbeats, which grow O(n²) with
+/// group size) from the cost of the operation under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MsgCategory {
+    /// Protocol traffic proper (requests, bids, casts, NACKs, …).
+    #[default]
+    Protocol,
+    /// Periodic liveness heartbeats.
+    Heartbeat,
+}
+
 /// Monotone counters describing traffic through a transport.
 ///
 /// All counters use relaxed atomics: they are statistics, not
@@ -15,6 +27,7 @@ pub struct NetStats {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     bytes_sent: AtomicU64,
+    heartbeats_sent: AtomicU64,
 }
 
 impl NetStats {
@@ -25,9 +38,17 @@ impl NetStats {
 
     /// Record a send attempt of `wire_size` bytes.
     pub fn record_sent(&self, wire_size: usize) {
+        self.record_sent_category(wire_size, MsgCategory::Protocol);
+    }
+
+    /// Record a send attempt, attributed to a traffic category.
+    pub fn record_sent_category(&self, wire_size: usize, category: MsgCategory) {
         self.sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent
             .fetch_add(wire_size as u64, Ordering::Relaxed);
+        if category == MsgCategory::Heartbeat {
+            self.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record a successful delivery.
@@ -70,6 +91,16 @@ impl NetStats {
         self.bytes_sent.load(Ordering::Relaxed)
     }
 
+    /// Messages submitted that were liveness heartbeats.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages submitted that were protocol traffic proper.
+    pub fn protocol_sent(&self) -> u64 {
+        self.sent() - self.heartbeats_sent()
+    }
+
     /// A plain-data snapshot for reports.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -78,6 +109,7 @@ impl NetStats {
             dropped: self.dropped(),
             duplicated: self.duplicated(),
             bytes_sent: self.bytes_sent(),
+            heartbeats_sent: self.heartbeats_sent(),
         }
     }
 }
@@ -95,6 +127,8 @@ pub struct StatsSnapshot {
     pub duplicated: u64,
     /// Bytes submitted.
     pub bytes_sent: u64,
+    /// Of `sent`, how many were liveness heartbeats.
+    pub heartbeats_sent: u64,
 }
 
 #[cfg(test)]
@@ -114,6 +148,19 @@ mod tests {
         assert_eq!(s.delivered(), 1);
         assert_eq!(s.dropped(), 1);
         assert_eq!(s.duplicated(), 1);
+    }
+
+    #[test]
+    fn heartbeats_split_out_of_sent() {
+        let s = NetStats::new();
+        s.record_sent_category(10, MsgCategory::Protocol);
+        s.record_sent_category(10, MsgCategory::Heartbeat);
+        s.record_sent_category(10, MsgCategory::Heartbeat);
+        assert_eq!(s.sent(), 3);
+        assert_eq!(s.heartbeats_sent(), 2);
+        assert_eq!(s.protocol_sent(), 1);
+        assert_eq!(s.bytes_sent(), 30);
+        assert_eq!(s.snapshot().heartbeats_sent, 2);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
 use vce_net::fault::Delivery;
-use vce_net::{Addr, Endpoint, Envelope, FaultPlan, Host, MachineInfo, NetStats, NodeId, PortId};
+use vce_net::{
+    Addr, Endpoint, Envelope, FaultPlan, Host, MachineInfo, MsgCategory, NetStats, NodeId, PortId,
+};
 
 use crate::cpu::Cpu;
 use crate::load::LoadTrace;
@@ -47,11 +49,25 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum EventKind {
-    Start { port: PortId },
+    Start {
+        port: PortId,
+    },
     Deliver(Envelope),
-    Timer { port: PortId, token: u64 },
-    CpuCheck { generation: u64 },
-    LoadChange { background: f64 },
+    /// Several envelopes for the same node that would have occupied
+    /// consecutive heap slots at the same timestamp (one callback sent them
+    /// back-to-back) — coalesced into one heap entry to cut sift cost on
+    /// burst traffic. Processing order is identical to the uncoalesced form.
+    DeliverBatch(Vec<Envelope>),
+    Timer {
+        port: PortId,
+        token: u64,
+    },
+    CpuCheck {
+        generation: u64,
+    },
+    LoadChange {
+        background: f64,
+    },
 }
 
 #[derive(Debug)]
@@ -87,28 +103,46 @@ struct SimNode {
     rng: SmallRng,
     send_seq: u64,
     cancelled_timers: HashMap<(PortId, u64), u32>,
+    /// Sum of the counts in `cancelled_timers`. While zero, timer pops fire
+    /// directly without a hash lookup — the common case on nodes that never
+    /// cancel (or whose cancellations have all been consumed).
+    pending_cancels: u32,
     dead: bool,
 }
 
+/// A work mutation, kept in issue order. Interleaving starts and cancels in
+/// one list (rather than two) preserves the order the endpoint issued them:
+/// `cancel(p)` then `start(p)` in one callback leaves `p` running, while
+/// `start(p)` then `cancel(p)` leaves it stopped.
+enum WorkOp {
+    Start(u64, f64),
+    Cancel(u64),
+}
+
 /// Deferred side effects collected while an endpoint runs.
+///
+/// One instance lives on the [`Sim`] and is lent to each dispatch in turn;
+/// the vectors are drained (not dropped) when applied, so after warm-up the
+/// hot path allocates nothing here.
 #[derive(Default)]
 struct Effects {
-    sends: Vec<(Addr, Addr, Bytes)>,
+    sends: Vec<(Addr, Addr, Bytes, MsgCategory)>,
     timers: Vec<(u64, u64)>,
     timer_cancels: Vec<u64>,
-    works: Vec<(u64, f64)>,
-    work_cancels: Vec<u64>,
+    work_ops: Vec<WorkOp>,
     logs: Vec<String>,
 }
 
 struct HostCtx<'a> {
     now: u64,
-    info: MachineInfo,
+    info: &'a MachineInfo,
     load: f64,
-    /// Remaining work of this port's jobs, advanced to `now`.
-    port_jobs: Vec<(u64, f64)>,
+    /// CPU state advanced to `now`, for lazy job lookups.
+    cpu: &'a Cpu,
+    port: PortId,
+    trace_on: bool,
     rng: &'a mut SmallRng,
-    fx: Effects,
+    fx: &'a mut Effects,
 }
 
 impl Host for HostCtx<'_> {
@@ -116,7 +150,12 @@ impl Host for HostCtx<'_> {
         self.now
     }
     fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
-        self.fx.sends.push((src, dst, payload));
+        self.fx
+            .sends
+            .push((src, dst, payload, MsgCategory::Protocol));
+    }
+    fn send_category(&mut self, src: Addr, dst: Addr, payload: Bytes, category: MsgCategory) {
+        self.fx.sends.push((src, dst, payload, category));
     }
     fn set_timer(&mut self, delay_us: u64, token: u64) {
         self.fx.timers.push((delay_us, token));
@@ -126,41 +165,48 @@ impl Host for HostCtx<'_> {
     }
     fn start_work(&mut self, pid: u64, mops: f64) {
         self.load += 1.0; // reflect immediately in subsequent load() calls
-        self.fx.works.push((pid, mops));
+        self.fx.work_ops.push(WorkOp::Start(pid, mops));
     }
     fn cancel_work(&mut self, pid: u64) {
-        self.fx.work_cancels.push(pid);
+        self.fx.work_ops.push(WorkOp::Cancel(pid));
     }
     fn work_remaining(&self, pid: u64) -> Option<f64> {
-        if self.fx.work_cancels.contains(&pid) {
-            return None;
+        // The latest mutation within this callback wins; otherwise consult
+        // the CPU directly (advanced to `now` before the callback began).
+        for op in self.fx.work_ops.iter().rev() {
+            match *op {
+                WorkOp::Start(p, m) if p == pid => return Some(m),
+                WorkOp::Cancel(p) if p == pid => return None,
+                _ => {}
+            }
         }
-        // Work started within this callback first, then the CPU snapshot.
-        self.fx
-            .works
-            .iter()
-            .rev()
-            .find(|(p, _)| *p == pid)
-            .map(|(_, m)| *m)
-            .or_else(|| {
-                self.port_jobs
-                    .iter()
-                    .find(|(p, _)| *p == pid)
-                    .map(|(_, m)| *m)
-            })
+        self.cpu.remaining((self.port, pid))
     }
     fn load(&self) -> f64 {
         self.load
     }
     fn machine(&self) -> &MachineInfo {
-        &self.info
+        self.info
     }
     fn rand_u64(&mut self) -> u64 {
         self.rng.next_u64()
     }
     fn log(&mut self, line: String) {
-        self.fx.logs.push(line);
+        if self.trace_on {
+            self.fx.logs.push(line);
+        }
     }
+    fn log_enabled(&self) -> bool {
+        self.trace_on
+    }
+}
+
+/// Accumulator for coalescing consecutive deliverable sends into one
+/// [`EventKind::DeliverBatch`] heap entry (see `Sim::route_send`).
+enum PendingDelivery {
+    None,
+    One(u64, NodeId, Envelope),
+    Many(u64, NodeId, Vec<Envelope>),
 }
 
 /// The simulator.
@@ -176,6 +222,8 @@ pub struct Sim {
     master_rng: SmallRng,
     seed: u64,
     events_processed: u64,
+    /// Scratch [`Effects`] reused across dispatches (capacity persists).
+    scratch_fx: Effects,
 }
 
 impl Sim {
@@ -197,6 +245,7 @@ impl Sim {
             master_rng: SmallRng::seed_from_u64(config.seed),
             seed: config.seed,
             events_processed: 0,
+            scratch_fx: Effects::default(),
         }
     }
 
@@ -245,6 +294,7 @@ impl Sim {
                 rng: SmallRng::seed_from_u64(node_seed),
                 send_seq: 0,
                 cancelled_timers: HashMap::new(),
+                pending_cancels: 0,
                 dead: false,
             },
         );
@@ -294,8 +344,10 @@ impl Sim {
             n.cpu.advance(self.now);
             n.cpu.clear();
         }
-        let now = self.now;
-        self.trace.push(now, node, "engine: node killed".into());
+        if self.trace.is_enabled() {
+            let now = self.now;
+            self.trace.push(now, node, "engine: node killed".into());
+        }
     }
 
     /// Revive a crashed machine and re-run `on_start` on its endpoints.
@@ -311,8 +363,10 @@ impl Sim {
         for port in ports {
             self.push_event(self.now, node, EventKind::Start { port });
         }
-        let now = self.now;
-        self.trace.push(now, node, "engine: node revived".into());
+        if self.trace.is_enabled() {
+            let now = self.now;
+            self.trace.push(now, node, "engine: node revived".into());
+        }
     }
 
     /// Immediately set a node's background load.
@@ -433,36 +487,28 @@ impl Sim {
                 }
                 self.dispatch(ev.node, port, |ep, host| ep.on_start(host));
             }
-            EventKind::Deliver(env) => {
-                // The destination may have died after the send was judged.
-                if self.node_is_dead(ev.node) || self.fault.is_dead(env.dst.node) {
-                    self.stats.record_dropped();
-                    return;
-                }
-                self.stats.record_delivered();
-                let port = env.dst.port;
-                let delivered = self
-                    .nodes
-                    .get(&ev.node)
-                    .is_some_and(|n| n.endpoints.contains_key(&port));
-                if delivered {
-                    self.dispatch(ev.node, port, move |ep, host| ep.on_envelope(env, host));
-                } else {
-                    let now = self.now;
-                    self.trace.push(
-                        now,
-                        ev.node,
-                        format!("engine: no endpoint for port {port:?}"),
-                    );
+            EventKind::Deliver(env) => self.deliver_one(ev.node, env),
+            EventKind::DeliverBatch(envs) => {
+                // Count each coalesced delivery like its uncoalesced form,
+                // so `events_processed` is independent of batching.
+                self.events_processed += envs.len() as u64 - 1;
+                for env in envs {
+                    self.deliver_one(ev.node, env);
                 }
             }
             EventKind::Timer { port, token } => {
-                if self.node_is_dead(ev.node) {
+                let Some(n) = self.nodes.get_mut(&ev.node) else {
+                    return;
+                };
+                if n.dead {
                     return;
                 }
-                if let Some(n) = self.nodes.get_mut(&ev.node) {
+                // Fast path: with no cancellations outstanding anywhere on
+                // this node, fire without hashing into the cancel map.
+                if n.pending_cancels > 0 {
                     if let Some(c) = n.cancelled_timers.get_mut(&(port, token)) {
                         *c -= 1;
+                        n.pending_cancels -= 1;
                         if *c == 0 {
                             n.cancelled_timers.remove(&(port, token));
                         }
@@ -502,15 +548,70 @@ impl Sim {
                     let now = self.now;
                     n.cpu.advance(now);
                     n.cpu.set_background(background);
-                    self.trace.push(
-                        now,
-                        ev.node,
-                        format!("engine: background load -> {background}"),
-                    );
+                    if self.trace.is_enabled() {
+                        self.trace.push(
+                            now,
+                            ev.node,
+                            format!("engine: background load -> {background}"),
+                        );
+                    }
                     self.schedule_cpu_check(ev.node);
                 }
             }
         }
+    }
+
+    fn deliver_one(&mut self, node: NodeId, env: Envelope) {
+        // Specialised dispatch for the dominant event kind: one node-map
+        // hit covers the liveness check, the endpoint lookup, and the
+        // callback itself (the generic path costs three extra lookups).
+        let now = self.now;
+        let trace_on = self.trace.is_enabled();
+        let port = env.dst.port;
+        let mut fx = std::mem::take(&mut self.scratch_fx);
+        {
+            let Some(n) = self.nodes.get_mut(&node) else {
+                self.scratch_fx = fx;
+                self.stats.record_dropped();
+                return;
+            };
+            // The destination may have died after the send was judged.
+            if n.dead || self.fault.is_dead(env.dst.node) {
+                self.scratch_fx = fx;
+                self.stats.record_dropped();
+                return;
+            }
+            self.stats.record_delivered();
+            let SimNode {
+                info,
+                cpu,
+                endpoints,
+                rng,
+                ..
+            } = n;
+            let Some(ep) = endpoints.get_mut(&port) else {
+                self.scratch_fx = fx;
+                if trace_on {
+                    self.trace
+                        .push(now, node, format!("engine: no endpoint for port {port:?}"));
+                }
+                return;
+            };
+            cpu.advance(now);
+            let mut ctx = HostCtx {
+                now,
+                info,
+                load: cpu.load(),
+                cpu,
+                port,
+                trace_on,
+                rng,
+                fx: &mut fx,
+            };
+            ep.on_envelope(env, &mut ctx);
+        }
+        self.apply_effects(node, port, &mut fx);
+        self.scratch_fx = fx;
     }
 
     fn node_is_dead(&self, node: NodeId) -> bool {
@@ -537,80 +638,129 @@ impl Sim {
         f: impl FnOnce(&mut dyn Endpoint, &mut dyn Host),
     ) {
         let now = self.now;
-        let (ep, fx) = {
+        let trace_on = self.trace.is_enabled();
+        // Lend the shared scratch buffers to this callback; drained on
+        // apply, returned below with their capacity intact. (apply_effects
+        // never re-enters dispatch, so one scratch instance suffices.)
+        let mut fx = std::mem::take(&mut self.scratch_fx);
+        {
             let Some(node) = self.nodes.get_mut(&node_id) else {
+                self.scratch_fx = fx;
                 return;
             };
-            let Some(mut ep) = node.endpoints.remove(&port) else {
+            // Disjoint field borrows: the endpoint (mut) runs against its
+            // node's info/cpu (shared) and rng (mut) with no clones and
+            // without removing it from the map.
+            let SimNode {
+                info,
+                cpu,
+                endpoints,
+                rng,
+                ..
+            } = node;
+            let Some(ep) = endpoints.get_mut(&port) else {
+                self.scratch_fx = fx;
                 return;
             };
-            node.cpu.advance(now);
+            cpu.advance(now);
             let mut ctx = HostCtx {
                 now,
-                info: node.info.clone(),
-                load: node.cpu.load(),
-                port_jobs: node.cpu.jobs_of_port(port),
-                rng: &mut node.rng,
-                fx: Effects::default(),
+                info,
+                load: cpu.load(),
+                cpu,
+                port,
+                trace_on,
+                rng,
+                fx: &mut fx,
             };
             f(ep.as_mut(), &mut ctx);
-            (ep, ctx.fx)
-        };
-        // Re-insert (the endpoint may have been re-registered meanwhile only
-        // via add_endpoint, which would have panicked on duplicate — safe).
-        if let Some(node) = self.nodes.get_mut(&node_id) {
-            node.endpoints.insert(port, ep);
         }
-        self.apply_effects(node_id, port, fx);
+        self.apply_effects(node_id, port, &mut fx);
+        self.scratch_fx = fx;
     }
 
-    fn apply_effects(&mut self, node_id: NodeId, port: PortId, fx: Effects) {
+    fn apply_effects(&mut self, node_id: NodeId, port: PortId, fx: &mut Effects) {
         let now = self.now;
-        for line in fx.logs {
+        for line in fx.logs.drain(..) {
             self.trace.push(now, node_id, line);
         }
-        for token in fx.timer_cancels {
+        if !fx.timer_cancels.is_empty() {
             if let Some(n) = self.nodes.get_mut(&node_id) {
-                *n.cancelled_timers.entry((port, token)).or_insert(0) += 1;
+                for token in fx.timer_cancels.drain(..) {
+                    *n.cancelled_timers.entry((port, token)).or_insert(0) += 1;
+                    n.pending_cancels += 1;
+                }
+            } else {
+                fx.timer_cancels.clear();
             }
         }
-        for (delay, token) in fx.timers {
+        for (delay, token) in fx.timers.drain(..) {
             self.push_event(now + delay, node_id, EventKind::Timer { port, token });
         }
-        let mut cpu_dirty = false;
-        for (pid, mops) in fx.works {
+        if !fx.work_ops.is_empty() {
             if let Some(n) = self.nodes.get_mut(&node_id) {
                 n.cpu.advance(now);
-                n.cpu.add_job((port, pid), mops);
-                cpu_dirty = true;
+                for op in fx.work_ops.drain(..) {
+                    match op {
+                        WorkOp::Start(pid, mops) => n.cpu.add_job((port, pid), mops),
+                        WorkOp::Cancel(pid) => {
+                            n.cpu.remove_job((port, pid));
+                        }
+                    }
+                }
+                self.schedule_cpu_check(node_id);
+            } else {
+                fx.work_ops.clear();
             }
         }
-        for pid in fx.work_cancels {
-            if let Some(n) = self.nodes.get_mut(&node_id) {
-                n.cpu.advance(now);
-                n.cpu.remove_job((port, pid));
-                cpu_dirty = true;
+        if fx.sends.is_empty() {
+            return;
+        }
+        let mut pending = PendingDelivery::None;
+        // Sends from one callback almost always share the callback's own
+        // node as source: bump that node's `send_seq` by the whole batch in
+        // a single map hit and hand out the pre-assigned range. A send with
+        // a foreign source address (possible, endpoints pick `src` freely)
+        // falls back to the per-send lookup.
+        if fx.sends.iter().all(|(s, ..)| s.node == node_id) {
+            let base = match self.nodes.get_mut(&node_id) {
+                Some(n) => {
+                    let s = n.send_seq;
+                    n.send_seq += fx.sends.len() as u64;
+                    s
+                }
+                None => 0,
+            };
+            for (i, (src, dst, payload, category)) in fx.sends.drain(..).enumerate() {
+                self.route_send(src, dst, payload, category, base + i as u64, &mut pending);
+            }
+        } else {
+            for (src, dst, payload, category) in fx.sends.drain(..) {
+                let seq = match self.nodes.get_mut(&src.node) {
+                    Some(n) => {
+                        let s = n.send_seq;
+                        n.send_seq += 1;
+                        s
+                    }
+                    None => 0,
+                };
+                self.route_send(src, dst, payload, category, seq, &mut pending);
             }
         }
-        if cpu_dirty {
-            self.schedule_cpu_check(node_id);
-        }
-        for (src, dst, payload) in fx.sends {
-            self.route(src, dst, payload);
-        }
+        self.flush_delivery(pending);
     }
 
-    fn route(&mut self, src: Addr, dst: Addr, payload: Bytes) {
-        let seq = match self.nodes.get_mut(&src.node) {
-            Some(n) => {
-                let s = n.send_seq;
-                n.send_seq += 1;
-                s
-            }
-            None => 0,
-        };
+    fn route_send(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        payload: Bytes,
+        category: MsgCategory,
+        seq: u64,
+        pending: &mut PendingDelivery,
+    ) {
         let env = Envelope::new(src, dst, seq, payload);
-        self.stats.record_sent(env.wire_size());
+        self.stats.record_sent_category(env.wire_size(), category);
         let verdict = self.fault.judge(src.node, dst.node, &mut self.master_rng);
         let base = self
             .topology
@@ -619,12 +769,34 @@ impl Sim {
             Delivery::Drop => self.stats.record_dropped(),
             Delivery::Deliver { extra_delay_us } => {
                 let at = self.now + base + extra_delay_us;
-                self.push_event(at, dst.node, EventKind::Deliver(env));
+                // Coalesce with the previous deliverable send when both land
+                // on the same node at the same instant: their heap slots
+                // would be adjacent (consecutive push seqs, nothing pushed
+                // between), so one batched entry fires in identical order.
+                *pending = match std::mem::replace(pending, PendingDelivery::None) {
+                    PendingDelivery::None => PendingDelivery::One(at, dst.node, env),
+                    PendingDelivery::One(pat, pnode, penv) if pat == at && pnode == dst.node => {
+                        PendingDelivery::Many(at, pnode, vec![penv, env])
+                    }
+                    PendingDelivery::Many(pat, pnode, mut envs)
+                        if pat == at && pnode == dst.node =>
+                    {
+                        envs.push(env);
+                        PendingDelivery::Many(pat, pnode, envs)
+                    }
+                    other => {
+                        self.flush_delivery(other);
+                        PendingDelivery::One(at, dst.node, env)
+                    }
+                };
             }
             Delivery::Duplicate {
                 first_us,
                 second_us,
             } => {
+                // Flush first so heap-insertion order matches the serial
+                // (unbatched) push sequence exactly.
+                self.flush_delivery(std::mem::replace(pending, PendingDelivery::None));
                 self.stats.record_duplicated();
                 self.push_event(
                     self.now + base + first_us,
@@ -636,6 +808,18 @@ impl Sim {
                     dst.node,
                     EventKind::Deliver(env),
                 );
+            }
+        }
+    }
+
+    fn flush_delivery(&mut self, pending: PendingDelivery) {
+        match pending {
+            PendingDelivery::None => {}
+            PendingDelivery::One(at, node, env) => {
+                self.push_event(at, node, EventKind::Deliver(env));
+            }
+            PendingDelivery::Many(at, node, envs) => {
+                self.push_event(at, node, EventKind::DeliverBatch(envs));
             }
         }
     }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Perf snapshot: build the harness and write BENCH_sim.json at the repo
+# root. Fields (see crates/bench/src/bin/bench_snapshot.rs):
+#   storm.events_per_sec        engine throughput on the 16-node message storm
+#   bidding_round.latency_us    one F3 allocation round, 8 machines, 0.8ms jitter
+#   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
+#   sweep.identical_output      parallel rows byte-identical to serial rows
+#   baseline / *_vs_baseline    present when BENCH_baseline.json exists
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_sim.json}
+baseline=${VCE_BENCH_BASELINE:-BENCH_baseline.json}
+
+cargo build --release --offline -q -p vce-bench --bin bench_snapshot
+
+if [ -f "$baseline" ]; then
+    ./target/release/bench_snapshot --baseline "$baseline" > "$out"
+else
+    ./target/release/bench_snapshot > "$out"
+fi
+echo "wrote $out" >&2
+cat "$out"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, full test suite, then quick smoke runs of the
+# pieces a perf/regression PR is most likely to break — the F3 bidding
+# experiment, the parallel-sweep determinism test, and the engine
+# criterion bench in quick mode (one sample; checks it still runs, not
+# how fast). Keep this cheap enough to run on every change.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline -q
+
+echo "== tests =="
+cargo test --offline -q
+
+echo "== exp_bidding smoke =="
+cargo run --release --offline -q -p vce-bench --bin exp_bidding
+
+echo "== sweep determinism =="
+cargo test --release --offline -q -p vce-bench --test sweep_determinism
+
+echo "== engine bench smoke (quick mode) =="
+VCE_BENCH_QUICK=1 cargo bench --offline -p vce-bench --bench sim_engine
+
+echo "CI OK"

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` benchmark harness, providing the
+//! API subset this workspace's benches use: `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! external dependencies are vendored as minimal source-compatible
+//! implementations (see `vendor/README.md`). This harness measures with
+//! `std::time::Instant`: a warm-up phase sizes the per-sample iteration
+//! count, then `sample_size` samples are taken and min/median/mean are
+//! reported. Not criterion's statistics engine, but stable enough for
+//! before/after comparisons — `scripts/bench_snapshot.sh` records its
+//! output into `BENCH_sim.json` for exactly that purpose.
+//!
+//! Environment knobs:
+//! * `VCE_BENCH_QUICK=1` — one warm-up pass and one sample per benchmark
+//!   (CI smoke mode: proves benches run without paying measurement time).
+//! * `VCE_BENCH_SAMPLES=n` — override the per-benchmark sample count.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time per sample chosen during warm-up.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+/// Warm-up budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(300);
+
+fn quick_mode() -> bool {
+    std::env::var("VCE_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_sample_size = std::env::var("VCE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion {
+            default_sample_size,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Extend the per-benchmark measurement budget (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_budget: usize,
+    warmed_up: bool,
+}
+
+impl Bencher {
+    /// Measure `body`, running it enough times per sample for a stable
+    /// reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if quick_mode() {
+            let t = Instant::now();
+            black_box(body());
+            self.iters_per_sample = 1;
+            self.samples.push(t.elapsed());
+            return;
+        }
+        if !self.warmed_up {
+            // Warm up and size the per-sample iteration count.
+            let start = Instant::now();
+            let mut iters: u64 = 0;
+            while start.elapsed() < WARMUP_TIME {
+                black_box(body());
+                iters += 1;
+            }
+            let per_iter = start.elapsed().as_nanos() / u128::from(iters.max(1));
+            self.iters_per_sample = ((TARGET_SAMPLE_TIME.as_nanos() / per_iter.max(1)) as u64)
+                .clamp(1, 1_000_000_000);
+            self.warmed_up = true;
+        }
+        for _ in 0..self.sample_budget {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(body());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_budget: sample_size,
+        warmed_up: false,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    let mut sorted = per_iter.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<60} time: [min {} median {} mean {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. `--bench`);
+            // accept and ignore them like real criterion does.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_single_iteration() {
+        std::env::set_var("VCE_BENCH_QUICK", "1");
+        let mut count = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+        std::env::remove_var("VCE_BENCH_QUICK");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `proptest` property-testing crate, providing the
+//! API subset this workspace's tests use: the [`proptest!`] /
+//! [`prop_oneof!`] / [`prop_assert!`] family of macros, the [`Strategy`]
+//! trait with `prop_map` and `boxed`, `any::<T>()`, numeric-range and
+//! regex-literal strategies, and the `collection` / `option` / `num`
+//! modules.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! external dependencies are vendored as minimal source-compatible
+//! implementations (see `vendor/README.md`).
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * **No shrinking.** A failing case reports its deterministic case index;
+//!   re-running reproduces it exactly (seeds derive from the test name, not
+//!   from entropy), which substitutes for persistence files.
+//! * **Case count** defaults to 64 per property (override with
+//!   `PROPTEST_CASES`).
+//! * **Regex strategies** implement the subset of syntax the workspace
+//!   uses: literals, `.`, character classes with ranges and escapes,
+//!   non-nested alternation groups, and the `* + ? {n} {n,m}` quantifiers.
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// The glob import every proptest test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to strategy constructors (`prop::collection::vec`,
+    /// `prop::num::f64::ANY`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests: each argument is drawn from its strategy for a
+/// number of deterministic cases and the body is run per case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let mut body = move ||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let ::core::result::Result::Err(e) = body() {
+                        panic!(
+                            "proptest {} failed at deterministic case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Choose uniformly between several strategies (all arms must yield the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a property body (fails the case rather than panicking
+/// directly, so the harness can attach case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

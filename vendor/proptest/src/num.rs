@@ -1,0 +1,65 @@
+//! Numeric strategies beyond plain ranges: `prop::num::f64::{ANY, NORMAL}`.
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Every bit pattern — includes NaN, infinities, subnormals and both
+    /// zeros. Round-trip tests must therefore compare bit patterns or use
+    /// `total_cmp`, exactly as with real proptest.
+    pub const ANY: F64Any = F64Any;
+
+    /// Only normal floats: finite, non-zero, non-subnormal, either sign.
+    pub const NORMAL: F64Normal = F64Normal;
+
+    /// Strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64Any;
+
+    impl Strategy for F64Any {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy behind [`NORMAL`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64Normal;
+
+    impl Strategy for F64Normal {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Compose sign + exponent in 1..=2046 + mantissa: always normal.
+            let bits = rng.next_u64();
+            let sign = bits & (1 << 63);
+            let mantissa = bits & ((1 << 52) - 1);
+            let exponent = 1 + rng.below(2046);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_is_normal() {
+            let mut rng = TestRng::for_case("num::f64", 0);
+            for _ in 0..500 {
+                let v = NORMAL.generate(&mut rng);
+                assert!(v.is_normal(), "{v} should be normal");
+            }
+        }
+
+        #[test]
+        fn any_round_trips_bits() {
+            let mut rng = TestRng::for_case("num::f64", 1);
+            for _ in 0..500 {
+                let v = ANY.generate(&mut rng);
+                assert_eq!(v.to_bits(), f64::from_bits(v.to_bits()).to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! A tiny regex *generator* (not matcher) covering the pattern subset this
+//! workspace's proptest strategies use: literals, `.`, escapes, character
+//! classes with ranges, non-nested alternation groups, and the
+//! `* + ? {n} {n,m}` quantifiers.
+
+use crate::test_runner::TestRng;
+
+/// Repetition bound used for the open-ended `*` and `+` quantifiers.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Characters `.` may generate: printable ASCII plus a few multi-byte
+/// scalars so UTF-8 handling gets exercised.
+const DOT_EXTRAS: [char; 6] = ['é', 'ß', 'λ', '中', '\u{2192}', '🦀'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except newline.
+    Dot,
+    /// `[...]` — one of an explicit set (ranges pre-expanded).
+    Class(Vec<char>),
+    /// `(a|bc|d)` — one of several literal alternatives (sequences).
+    Group(Vec<Vec<Atom>>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed generator-pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pieces: Vec<Piece>,
+}
+
+impl Regex {
+    /// Parse a pattern; errors describe the unsupported construct.
+    pub fn parse(pattern: &str) -> Result<Regex, String> {
+        let mut chars = pattern.chars().peekable();
+        let pieces = parse_seq(&mut chars, /*in_group=*/ false)?;
+        if chars.peek().is_some() {
+            return Err(format!("trailing input in pattern {pattern:?}"));
+        }
+        Ok(Regex { pieces })
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32
+            };
+            for _ in 0..count {
+                gen_atom(&piece.atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Dot => {
+            // Mostly printable ASCII, occasionally multi-byte.
+            if rng.below(8) == 0 {
+                out.push(DOT_EXTRAS[rng.below_usize(DOT_EXTRAS.len())]);
+            } else {
+                out.push((b' ' + rng.below(95) as u8) as char);
+            }
+        }
+        Atom::Class(set) => out.push(set[rng.below_usize(set.len())]),
+        Atom::Group(alts) => {
+            let alt = &alts[rng.below_usize(alts.len())];
+            for a in alt {
+                gen_atom(a, rng, out);
+            }
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars, in_group: bool) -> Result<Vec<Piece>, String> {
+    let mut pieces = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if in_group && (c == '|' || c == ')') {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(chars)?),
+            '(' => Atom::Group(parse_group(chars)?),
+            '\\' => Atom::Literal(parse_escape(chars)?),
+            ')' | ']' | '}' => return Err(format!("unbalanced {c:?}")),
+            '*' | '+' | '?' | '{' => return Err(format!("dangling quantifier {c:?}")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(chars)?;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+fn parse_group(chars: &mut Chars) -> Result<Vec<Vec<Atom>>, String> {
+    let mut alts = Vec::new();
+    loop {
+        let seq = parse_seq(chars, true)?;
+        // Quantifiers inside group alternatives are not needed by the
+        // workspace's patterns; reject pieces that use them.
+        let mut atoms = Vec::new();
+        for p in seq {
+            if p.min != 1 || p.max != 1 {
+                return Err("quantifier inside group is unsupported".into());
+            }
+            atoms.push(p.atom);
+        }
+        alts.push(atoms);
+        match chars.next() {
+            Some('|') => continue,
+            Some(')') => return Ok(alts),
+            _ => return Err("unterminated group".into()),
+        }
+    }
+}
+
+fn parse_class(chars: &mut Chars) -> Result<Vec<char>, String> {
+    let mut set = Vec::new();
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        match c {
+            ']' => break,
+            '\\' => set.push(parse_escape(chars)?),
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // the '-'
+                    match ahead.peek() {
+                        Some(&']') | None => set.push(c), // trailing '-' is literal
+                        Some(&hi) => {
+                            chars.next();
+                            chars.next();
+                            let hi = if hi == '\\' { parse_escape(chars)? } else { hi };
+                            if (hi as u32) < (c as u32) {
+                                return Err(format!("bad class range {c}-{hi}"));
+                            }
+                            for u in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(u) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    set.push(c);
+                }
+            }
+        }
+    }
+    if set.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(set)
+}
+
+fn parse_escape(chars: &mut Chars) -> Result<char, String> {
+    match chars.next().ok_or("dangling backslash")? {
+        'n' => Ok('\n'),
+        't' => Ok('\t'),
+        'r' => Ok('\r'),
+        '0' => Ok('\0'),
+        c @ ('\\' | '"' | '\'' | '-' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*'
+        | '+' | '^' | '$' | '/') => Ok(c),
+        other => Err(format!("unsupported escape \\{other}")),
+    }
+}
+
+fn parse_quantifier(chars: &mut Chars) -> Result<(u32, u32), String> {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Ok((0, UNBOUNDED_CAP))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, UNBOUNDED_CAP))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next().ok_or("unterminated {n,m} quantifier")? {
+                    '}' => break,
+                    c => spec.push(c),
+                }
+            }
+            let parse_n =
+                |s: &str| s.trim().parse::<u32>().map_err(|_| format!("bad bound {s:?}"));
+            if let Some((lo, hi)) = spec.split_once(',') {
+                let min = parse_n(lo)?;
+                let max = if hi.trim().is_empty() {
+                    min + UNBOUNDED_CAP
+                } else {
+                    parse_n(hi)?
+                };
+                if max < min {
+                    return Err(format!("inverted quantifier {{{spec}}}"));
+                }
+                Ok((min, max))
+            } else {
+                let n = parse_n(&spec)?;
+                Ok((n, n))
+            }
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex::tests", 1)
+    }
+
+    fn samples(pat: &str, n: usize) -> Vec<String> {
+        let re = Regex::parse(pat).unwrap();
+        let mut r = rng();
+        (0..n).map(|_| re.generate(&mut r)).collect()
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert!(samples("abc", 5).iter().all(|s| s == "abc"));
+    }
+
+    #[test]
+    fn class_ranges() {
+        for s in samples("[a-c]{4}", 50) {
+            assert_eq!(s.chars().count(), 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        for s in samples("[a-z]{1,6}", 100) {
+            assert!((1..=6).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn dot_star_varies() {
+        let all = samples(".*", 40);
+        assert!(all.iter().any(|s| !s.is_empty()));
+        assert!(all.iter().any(|s| s.len() != all[0].len()));
+    }
+
+    #[test]
+    fn alternation_groups() {
+        for s in samples("(ab|c|def)", 60) {
+            assert!(matches!(s.as_str(), "ab" | "c" | "def"));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members() {
+        // The exm policy header pattern exercises '-', '"' and '\n' in class.
+        for s in samples("[ 0-9,\\-\"a-z()<>=!\n]{0,80}", 30) {
+            assert!(s.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in samples("[ -~]{0,40}", 30) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Regex::parse("a(b(c))").is_err()); // nested groups
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("[z-a]").is_err());
+    }
+}
