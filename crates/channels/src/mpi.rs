@@ -303,6 +303,7 @@ pub fn run_ranks<R: Send + 'static>(
         .into_iter()
         .map(|c| {
             let f = std::sync::Arc::clone(&f);
+            // vce-lint: allow(D004) run_ranks is the live MPI harness: one OS thread per rank, used by tests/benches only
             std::thread::spawn(move || f(&Communicator::new(c)))
         })
         .collect();

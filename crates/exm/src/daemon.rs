@@ -289,10 +289,10 @@ impl DaemonEndpoint {
             return;
         }
         // 2. Missing input files? Fetch them (network delay).
-        let missing: Vec<String> = self
-            .tasks
-            .get(&key)
-            .expect("resident")
+        let Some(resident) = self.tasks.get(&key) else {
+            return;
+        };
+        let missing: Vec<String> = resident
             .lp
             .input_files
             .iter()
@@ -398,7 +398,9 @@ impl DaemonEndpoint {
         };
         let total = r.lp.work_mops;
         let checkpointed = r.checkpointed_remaining;
-        let r = self.kill_task(key, host).expect("present");
+        let Some(r) = self.kill_task(key, host) else {
+            return; // raced with completion between the get and the kill
+        };
         if technique == MigrationTechnique::Redundant {
             // Kill only; a surviving copy completes elsewhere.
             self.evictions += 1;
@@ -711,12 +713,10 @@ impl DaemonEndpoint {
             .iter()
             .filter(|b| b.willing && b.load <= self.cfg.idle_threshold)
             .collect();
-        targets.sort_by(|a, b| {
-            a.load
-                .partial_cmp(&b.load)
-                .expect("finite")
-                .then(a.node.cmp(&b.node))
-        });
+        // total_cmp, not partial_cmp().expect(): `load` arrives in a remote
+        // DiscloseState reply, and a corrupt peer sending NaN must not be
+        // able to panic the leader.
+        targets.sort_by(|a, b| a.load.total_cmp(&b.load).then(a.node.cmp(&b.node)));
         let mut target_iter = targets.into_iter();
         let now = host.now_us();
         for src in bids {

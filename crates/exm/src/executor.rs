@@ -15,7 +15,7 @@
 //! executor robust to leader failover: requests are idempotent and
 //! re-sent until answered.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vce_channels::registry::{ChannelId, ChannelRegistry, PortId as ChanPortId, Role};
 use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
@@ -65,8 +65,8 @@ pub struct ExecutorEndpoint {
     /// §4.5 anticipatory processing on/off.
     anticipate: bool,
     task_state: BTreeMap<TaskId, TaskRun>,
-    completed: HashSet<TaskId>,
-    dispatched: HashSet<TaskId>,
+    completed: BTreeSet<TaskId>,
+    dispatched: BTreeSet<TaskId>,
     next_req_seq: u32,
     requests: BTreeMap<ReqId, PendingReq>,
     local_pids: BTreeMap<u64, TaskId>,
@@ -114,8 +114,8 @@ impl ExecutorEndpoint {
             cfg,
             anticipate: false,
             task_state: BTreeMap::new(),
-            completed: HashSet::new(),
-            dispatched: HashSet::new(),
+            completed: BTreeSet::new(),
+            dispatched: BTreeSet::new(),
             next_req_seq: 0,
             requests: BTreeMap::new(),
             local_pids: BTreeMap::new(),
@@ -204,8 +204,11 @@ impl ExecutorEndpoint {
             .collect()
     }
 
-    fn spec(&self, task: TaskId) -> &vce_taskgraph::TaskSpec {
-        self.graph.get(task).expect("valid task id")
+    /// Spec lookup. `None` for an id the graph does not know — task ids
+    /// in remote messages (`InstanceKey::task`) are untrusted, and a bogus
+    /// one must not panic the executor.
+    fn spec(&self, task: TaskId) -> Option<&vce_taskgraph::TaskSpec> {
+        self.graph.get(task)
     }
 
     // ------------------------------------------------------------------
@@ -213,14 +216,14 @@ impl ExecutorEndpoint {
     // ------------------------------------------------------------------
 
     fn dispatch_ready(&mut self, host: &mut dyn Host) {
-        let running: HashSet<TaskId> = self.dispatched.iter().copied().collect();
+        let running: BTreeSet<TaskId> = self.dispatched.iter().copied().collect();
         let mut ready = algo::ready_set(&self.graph, &self.completed, &running);
         // §3.1.1's hint: "dispatching of the longer job can be given higher
         // priority so opportunities for parallel execution will be
         // maximized" — request resources for dominant tasks first.
         ready.sort_by_key(|&t| {
-            let spec = self.graph.get(t).expect("valid id");
-            (std::cmp::Reverse(spec.hints.expected_dominance), t)
+            let dominance = self.graph.get(t).map_or(0, |s| s.hints.expected_dominance);
+            (std::cmp::Reverse(dominance), t)
         });
         for task in ready {
             // Charge the dataflow transfer time from finished predecessors
@@ -243,7 +246,9 @@ impl ExecutorEndpoint {
     }
 
     fn dispatch_task(&mut self, task: TaskId, host: &mut dyn Host) {
-        let spec = self.spec(task).clone();
+        let Some(spec) = self.spec(task).cloned() else {
+            return;
+        };
         if spec.local_only {
             // Run on the user's workstation (§5 LOCAL).
             let run = self.task_state.entry(task).or_default();
@@ -292,7 +297,9 @@ impl ExecutorEndpoint {
         count_max: u32,
         host: &mut dyn Host,
     ) {
-        let spec = self.spec(task).clone();
+        let Some(spec) = self.spec(task).cloned() else {
+            return;
+        };
         let req = ReqId {
             app: self.app,
             seq: self.next_req_seq,
@@ -346,7 +353,9 @@ impl ExecutorEndpoint {
                 nodes: nodes.clone(),
             },
         );
-        let spec = self.spec(task).clone();
+        let Some(spec) = self.spec(task).cloned() else {
+            return;
+        };
         let run = self.task_state.entry(task).or_default();
         // Instance plan: divisible tasks split work across what we got;
         // others replicate, with surplus machines as redundant copies.
@@ -376,9 +385,13 @@ impl ExecutorEndpoint {
                     v.push((slot, node, redundant));
                 }
             }
-            // Surplus machines host redundant copies, round-robin.
+            // Surplus machines host redundant copies, round-robin. The
+            // node list came off the wire: index defensively rather than
+            // trusting its length arithmetic.
             for (j, &node) in nodes.iter().enumerate().skip(primaries) {
-                let slot = slots[(j - primaries) % primaries];
+                let Some(&slot) = slots.get((j - primaries) % primaries) else {
+                    break;
+                };
                 v.push((slot, node, true));
             }
             (v, spec.work_mops)
@@ -434,7 +447,9 @@ impl ExecutorEndpoint {
         for other in others {
             self.send(host, Addr::daemon(other), &ExmMsg::KillTask { key });
         }
-        let run = self.task_state.get(&task).expect("present");
+        let Some(run) = self.task_state.get(&task) else {
+            return;
+        };
         if run.done_instances.len() as u32 >= run.instances_total {
             self.completed.insert(task);
             self.timeline
@@ -470,7 +485,9 @@ impl ExecutorEndpoint {
         }
         if copies.is_empty() {
             // Last incarnation gone: re-request one machine for this slot.
-            let spec = self.spec(task).clone();
+            let Some(spec) = self.spec(task).cloned() else {
+                return;
+            };
             let classes = self.db.feasible_classes(&spec);
             if let Some(&class) = classes.first() {
                 self.send_request(task, class, vec![key.instance], 1, 1, host);
@@ -520,7 +537,9 @@ impl ExecutorEndpoint {
             })
             .collect();
         for task in blocked {
-            let spec = self.spec(task).clone();
+            let Some(spec) = self.spec(task).cloned() else {
+                continue;
+            };
             for class in self.db.feasible_classes(&spec) {
                 // Fund a couple of *candidate* machines per class, not the
                 // whole group: anticipation must not steal cycles from the
@@ -692,10 +711,14 @@ impl Endpoint for ExecutorEndpoint {
                 Some((false, _)) => {}
             }
             {
-                let (class, min, max) = {
-                    let p = self.requests.get_mut(&req).expect("checked");
+                let (class, min, max, spec_mem, boost, unit) = {
+                    let Some(p) = self.requests.get_mut(&req) else {
+                        return; // request retired between the check and here
+                    };
                     p.retries += 1;
-                    let spec = self.graph.get(p.task).expect("valid").clone();
+                    let Some(spec) = self.graph.get(p.task) else {
+                        return;
+                    };
                     let slots = p.slots.len() as u32;
                     let (min, max) = if spec.divisible {
                         (1, slots)
@@ -705,18 +728,15 @@ impl Endpoint for ExecutorEndpoint {
                             slots * self.cfg.redundancy.max(1),
                         )
                     };
-                    (p.class, min, max)
+                    (
+                        p.class,
+                        min,
+                        max,
+                        spec.mem_mb,
+                        spec.hints.priority_boost,
+                        spec.name.clone(),
+                    )
                 };
-                let spec_mem;
-                let boost;
-                let unit;
-                {
-                    let p = self.requests.get(&req).expect("checked");
-                    let spec = self.graph.get(p.task).expect("valid");
-                    spec_mem = spec.mem_mb;
-                    boost = spec.hints.priority_boost;
-                    unit = spec.name.clone();
-                }
                 let msg = ExmMsg::ResourceRequest {
                     req,
                     class,

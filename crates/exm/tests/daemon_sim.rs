@@ -265,3 +265,40 @@ fn non_redundant_tasks_survive_owner_activity() {
     let done = done_times(&mut sim);
     assert_eq!(done.len(), 1);
 }
+
+/// P001 hardening: a daemon fed garbage bytes and control messages naming
+/// instances it has never heard of must drop them (the seed unwrapped its
+/// task table on these paths) and keep serving well-formed work.
+#[test]
+fn malformed_and_unknown_key_messages_do_not_kill_the_daemon() {
+    let mut sim = one_daemon_sim(0.0);
+    sim.with_endpoint_mut::<DaemonEndpoint, _>(Addr::daemon(NodeId(0)), |d| {
+        d.stage_binary("unit1")
+    });
+    // Undecodable payload straight off the wire.
+    sim.inject_at(
+        sim.now_us(),
+        SINK,
+        Addr::daemon(NodeId(0)),
+        bytes::Bytes::from_static(b"\xff\xfe not an ExmMsg \x00"),
+    );
+    // Control messages for an instance that was never loaded here.
+    send_to_daemon(&mut sim, &ExmMsg::KillTask { key: key(99) });
+    send_to_daemon(
+        &mut sim,
+        &ExmMsg::MigrateOut {
+            key: key(99),
+            to: NodeId(7),
+            technique: vce_exm::MigrationTechnique::CoreDump,
+        },
+    );
+    sim.run_for(2_000_000);
+    // Still alive: a legitimate load completes normally afterwards.
+    let t0 = sim.now_us();
+    send_to_daemon(&mut sim, &ExmMsg::Load(load(1, 1_000.0, vec![])));
+    sim.run_for(30_000_000);
+    let done = done_times(&mut sim);
+    assert_eq!(done.len(), 1);
+    let elapsed = done[0].0 - t0;
+    assert!((10_000_000..10_100_000).contains(&elapsed), "{elapsed}");
+}

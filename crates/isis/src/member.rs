@@ -379,7 +379,9 @@ impl GroupMember {
                 );
             }
             CastOrder::Total => {
-                let coord = self.view.coordinator().expect("member implies view");
+                let Some(coord) = self.view.coordinator() else {
+                    return None; // membership raced away: nowhere to sequence
+                };
                 self.out(host, coord, &IsisMsg::TotalReq { req: id, payload });
             }
         }
@@ -470,7 +472,9 @@ impl GroupMember {
     fn run_failure_detector(&mut self, host: &mut dyn Host, up: &mut Vec<Upcall>) {
         let now = host.now_us();
         if self.is_member() {
-            let coord = self.view.coordinator().expect("member implies view");
+            let Some(coord) = self.view.coordinator() else {
+                return; // member of an empty view cannot happen; never panic on it
+            };
             if self.is_coordinator() {
                 self.coordinate(host, up);
             } else if !self.alive(coord, now) {

@@ -1,0 +1,261 @@
+//! A minimal Rust lexer: just enough to token-match lint rules without a
+//! full parser (the build container has no crates registry, so no `syn`).
+//!
+//! Produces identifiers, single-char punctuation, opaque literals and
+//! lifetimes, each tagged with a 1-based line number. Comments are lexed
+//! into a separate stream so the waiver parser can see them while the rule
+//! matchers see only code. String/char literals are consumed opaquely so a
+//! forbidden name inside a string (e.g. a log message mentioning
+//! "thread_rng") never trips a rule.
+
+/// One code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `for`, `self`, ...).
+    Ident(String),
+    /// Single punctuation character (`:`, `.`, `(`, ...). Multi-char
+    /// operators arrive as consecutive tokens (`::` is `:`, `:`).
+    Punct(char),
+    /// String / raw-string / byte-string / char / numeric literal
+    /// (contents deliberately discarded).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment, line or block, tagged with its starting line. Block comments
+/// keep their full text; the waiver parser scans per physical line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexed file: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: bytes[start..i].iter().collect(),
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: bytes[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Identifiers — with lookahead for raw strings / raw identifiers /
+        // byte strings whose prefix lexes like an identifier.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let next = bytes.get(i).copied();
+            if matches!(word.as_str(), "r" | "b" | "br" | "rb") && matches!(next, Some('"' | '#')) {
+                // Raw / byte string: r"..", r#".."#, br#".."#, b"..".
+                let raw = word.contains('r');
+                let mut hashes = 0usize;
+                while raw && bytes.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&'"') {
+                    i += 1;
+                    if raw {
+                        // Scan for `"` followed by `hashes` hashes.
+                        'raw: while i < n {
+                            if bytes[i] == '\n' {
+                                line += 1;
+                            } else if bytes[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                    } else {
+                        consume_quoted(&bytes, &mut i, &mut line, '"');
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                    continue;
+                }
+                if word == "r" && hashes == 1 && bytes.get(i).copied().is_some_and(is_ident_start) {
+                    // Raw identifier `r#type`: emit the bare identifier.
+                    let s = i;
+                    while i < n && is_ident_cont(bytes[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(bytes[s..i].iter().collect()),
+                        line,
+                    });
+                    continue;
+                }
+                // `r #` that was neither: re-emit what we consumed.
+                out.tokens.push(Token {
+                    tok: Tok::Ident(word),
+                    line,
+                });
+                for _ in 0..hashes {
+                    out.tokens.push(Token {
+                        tok: Tok::Punct('#'),
+                        line,
+                    });
+                }
+                continue;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(word),
+                line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let one = bytes.get(i + 1).copied();
+            let two = bytes.get(i + 2).copied();
+            if one.is_some_and(is_ident_start) && two != Some('\'') {
+                i += 1;
+                while i < n && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+            } else {
+                i += 1;
+                consume_quoted(&bytes, &mut i, &mut line, '\'');
+                out.tokens.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            consume_quoted(&bytes, &mut i, &mut line, '"');
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        // Number literal: digits plus alphanumeric tail (hex, suffixes,
+        // exponents); a `.` joins only when followed by a digit so `1.max()`
+        // still lexes the method call.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n {
+                let d = bytes[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && bytes.get(i + 1).is_some_and(|e| e.is_ascii_digit()) {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Consume the remainder of a quoted literal (after the opening quote),
+/// honoring backslash escapes, leaving `i` past the closing quote.
+fn consume_quoted(bytes: &[char], i: &mut usize, line: &mut u32, quote: char) {
+    while *i < bytes.len() {
+        let c = bytes[*i];
+        if c == '\\' {
+            *i += 2;
+            continue;
+        }
+        if c == '\n' {
+            *line += 1;
+        }
+        *i += 1;
+        if c == quote {
+            return;
+        }
+    }
+}

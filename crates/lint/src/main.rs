@@ -1,0 +1,33 @@
+//! CLI entry point: lint the workspace, print `file:line` diagnostics,
+//! exit nonzero on any unwaived finding.
+//!
+//! Usage: `cargo run -p vce-lint` (optionally `-- <root>`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/lint/../.. == the workspace root, wherever the binary
+            // was built from.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        });
+    let report = vce_lint::lint_workspace(&root);
+    for f in &report.findings {
+        println!("{}:{}: {}: {} [{}]", f.file, f.line, f.rule, f.msg, f.hint);
+    }
+    if report.findings.is_empty() {
+        println!("vce-lint: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "vce-lint: {} finding(s) in {} files — fix, or waive with `// vce-lint: allow(RULE) reason`",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

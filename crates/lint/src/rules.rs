@@ -1,0 +1,630 @@
+//! Rule definitions and the token-stream matchers behind them.
+//!
+//! Rules are deliberately heuristic: they match token shapes, not types.
+//! A miss is acceptable (reviewers still exist); a false positive is
+//! waivable inline with a written reason. What is *not* acceptable is a
+//! silent nondeterminism source in a sim-deterministic crate, which is
+//! exactly what each D-rule exists to keep out.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::waiver::{parse_comments, WaiverIssue};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose `src/` must stay sim-deterministic. `lint` polices itself.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim",
+    "isis",
+    "exm",
+    "net",
+    "sdm",
+    "channels",
+    "taskgraph",
+    "script",
+    "baselines",
+    "workloads",
+    "core",
+    "lint",
+];
+
+/// Files whose message-handling paths must not panic on remote input.
+pub const P001_FILES: &[&str] = &[
+    "crates/isis/src/member.rs",
+    "crates/exm/src/daemon.rs",
+    "crates/exm/src/executor.rs",
+];
+
+pub const RULE_IDS: &[&str] = &[
+    "D001", "D002", "D003", "D004", "P001", "W001", "W002", "W003",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+    pub hint: &'static str,
+}
+
+const HINT_D001: &str = "use sim time (Host::now_us); wall-clock belongs to live mode, waive it";
+const HINT_D002: &str =
+    "switch to BTreeMap/BTreeSet, or waive with an order-insensitivity argument";
+const HINT_D003: &str = "seed the RNG explicitly (e.g. SmallRng::seed_from_u64 from config)";
+const HINT_D004: &str =
+    "sim-deterministic code is single-threaded; threads live in vce-bench or live drivers (waive)";
+const HINT_P001: &str = "remote input must not panic a node: drop/log or reply with an error, or waive with an invariant argument";
+const HINT_W001: &str = "write `// vce-lint: allow(RULE) reason`";
+const HINT_W002: &str = "valid rules: D001 D002 D003 D004 P001";
+const HINT_W003: &str = "the waived line is clean — delete the waiver";
+
+/// Lint one file's source. `relpath` is workspace-relative and drives
+/// per-crate scoping (e.g. `crates/sim/src/engine.rs`).
+pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let crate_name = crate_of(relpath);
+    let in_scope = crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    let exempt = test_module_ranges(&lexed.tokens);
+    let is_exempt = |line: u32| exempt.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if in_scope {
+        check_d001(relpath, &lexed.tokens, &mut findings);
+        check_d002(relpath, &lexed.tokens, &mut findings);
+        check_d003(relpath, &lexed.tokens, &mut findings);
+        check_d004(relpath, &lexed.tokens, &mut findings);
+    }
+    if P001_FILES.contains(&relpath) {
+        check_p001(relpath, &lexed.tokens, &mut findings);
+    }
+    findings.retain(|f| !is_exempt(f.line));
+    findings.sort();
+    findings.dedup();
+
+    // Waivers.
+    let (waivers, issues) = parse_comments(&lexed.comments);
+    for WaiverIssue { line, detail } in issues {
+        findings.push(Finding {
+            file: relpath.into(),
+            line,
+            rule: "W001",
+            msg: format!("malformed waiver: {detail}"),
+            hint: HINT_W001,
+        });
+    }
+    // Per-line code presence, for waiver targeting.
+    let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    for w in &waivers {
+        for r in &w.rules {
+            if !RULE_IDS.contains(&r.as_str()) || r.starts_with('W') {
+                findings.push(Finding {
+                    file: relpath.into(),
+                    line: w.line,
+                    rule: "W002",
+                    msg: format!("waiver names unknown rule `{r}`"),
+                    hint: HINT_W002,
+                });
+            }
+        }
+    }
+    // A waiver sharing its line with code guards that line; one on its own
+    // line guards the next code line.
+    let mut used: BTreeMap<usize, bool> = BTreeMap::new();
+    for (wi, w) in waivers.iter().enumerate() {
+        let target = if code_lines.contains(&w.line) {
+            Some(w.line)
+        } else {
+            code_lines.range(w.line + 1..).next().copied()
+        };
+        used.insert(wi, false);
+        if let Some(t) = target {
+            let before = findings.len();
+            findings.retain(|f| {
+                !(f.line == t && w.rules.iter().any(|r| r == f.rule) && !f.rule.starts_with('W'))
+            });
+            if findings.len() != before {
+                used.insert(wi, true);
+            }
+        }
+    }
+    for (wi, w) in waivers.iter().enumerate() {
+        let fine = w
+            .rules
+            .iter()
+            .all(|r| RULE_IDS.contains(&r.as_str()) && !r.starts_with('W'));
+        if fine && !used[&wi] {
+            findings.push(Finding {
+                file: relpath.into(),
+                line: w.line,
+                rule: "W003",
+                msg: format!("unused waiver for {}", w.rules.join(",")),
+                hint: HINT_W003,
+            });
+        }
+    }
+    findings.sort();
+    findings
+}
+
+/// `crates/<name>/src/...` → `<name>`.
+fn crate_of(relpath: &str) -> Option<&str> {
+    let mut parts = relpath.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    let name = parts.next()?;
+    if parts.next() != Some("src") {
+        return None;
+    }
+    Some(name)
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Does `toks[i..]` start with the given idents separated by `::`?
+fn path_at(toks: &[Token], i: usize, segs: &[&str]) -> bool {
+    let mut j = i;
+    for (k, seg) in segs.iter().enumerate() {
+        if ident(toks.get(j).unwrap_or(&NIL)) != Some(seg) {
+            return false;
+        }
+        j += 1;
+        if k + 1 < segs.len() {
+            if !(is_punct(toks.get(j).unwrap_or(&NIL), ':')
+                && is_punct(toks.get(j + 1).unwrap_or(&NIL), ':'))
+            {
+                return false;
+            }
+            j += 2;
+        }
+    }
+    true
+}
+
+static NIL: Token = Token {
+    tok: Tok::Punct('\0'),
+    line: 0,
+};
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items. Rules do not
+/// apply inside test modules: tests of the live (threaded, wall-clock)
+/// components are wall-clock by nature, and test-local ordering cannot leak
+/// into experiment output.
+fn test_module_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `# [ ... ]` attribute?
+        if !(is_punct(&toks[i], '#') && toks.get(i + 1).is_some_and(|t| is_punct(t, '['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = toks[i].line;
+        // Find the matching `]`, remembering whether `cfg` and `test`
+        // both appear inside (covers `cfg(test)` and `cfg(all(test, ..))`).
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(s) if s == "cfg" => saw_cfg = true,
+                Tok::Ident(s) if s == "test" => saw_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then swallow the annotated item:
+        // up to `;` (use/extern) or through its brace-matched body.
+        let mut k = j + 1;
+        while k < toks.len() && is_punct(&toks[k], '#') {
+            let mut d = 0usize;
+            k += 1;
+            while k < toks.len() {
+                if is_punct(&toks[k], '[') {
+                    d += 1;
+                } else if is_punct(&toks[k], ']') {
+                    d -= 1;
+                    if d == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+        let mut end_line = attr_start_line;
+        let mut brace = 0usize;
+        while k < toks.len() {
+            if is_punct(&toks[k], '{') {
+                brace += 1;
+            } else if is_punct(&toks[k], '}') {
+                if brace <= 1 {
+                    end_line = toks[k].line;
+                    break;
+                }
+                brace -= 1;
+            } else if is_punct(&toks[k], ';') && brace == 0 {
+                end_line = toks[k].line;
+                break;
+            }
+            k += 1;
+        }
+        ranges.push((attr_start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+fn push(findings: &mut Vec<Finding>, file: &str, line: u32, rule: &'static str, msg: String) {
+    let hint = match rule {
+        "D001" => HINT_D001,
+        "D002" => HINT_D002,
+        "D003" => HINT_D003,
+        "D004" => HINT_D004,
+        _ => HINT_P001,
+    };
+    findings.push(Finding {
+        file: file.into(),
+        line,
+        rule,
+        msg,
+        hint,
+    });
+}
+
+/// D001: no wall-clock time. Flags `use std::time::{..}` items importing
+/// `Instant`/`SystemTime`, fully-qualified `std::time::Instant` paths, and
+/// `Instant::now()` / `SystemTime::now()` construction sites. Bare type
+/// mentions (struct fields) ride on their import's waiver.
+fn check_d001(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(&toks[i]) == Some("use") && path_at(toks, i + 1, &["std", "time"]) {
+            // Scan the use-item for the forbidden names.
+            let mut j = i + 1;
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if let Some(name @ ("Instant" | "SystemTime")) = ident(&toks[j]) {
+                    push(
+                        findings,
+                        file,
+                        toks[j].line,
+                        "D001",
+                        format!(
+                            "imports wall-clock `std::time::{name}` in a sim-deterministic crate"
+                        ),
+                    );
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if path_at(toks, i, &["std", "time"]) {
+            // The segment after `std::time::` sits past the two colons.
+            if let Some(name @ ("Instant" | "SystemTime")) =
+                (is_punct(toks.get(i + 4).unwrap_or(&NIL), ':')
+                    && is_punct(toks.get(i + 5).unwrap_or(&NIL), ':'))
+                .then(|| ident(toks.get(i + 6).unwrap_or(&NIL)))
+                .flatten()
+            {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "D001",
+                    format!("uses wall-clock `std::time::{name}`"),
+                );
+                i += 7;
+                continue;
+            }
+        }
+        if let Some(name @ ("Instant" | "SystemTime")) = ident(&toks[i]) {
+            if is_punct(toks.get(i + 1).unwrap_or(&NIL), ':')
+                && is_punct(toks.get(i + 2).unwrap_or(&NIL), ':')
+                && ident(toks.get(i + 3).unwrap_or(&NIL)) == Some("now")
+                && !preceded_by_path(toks, i)
+            {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "D001",
+                    format!("reads the wall clock via `{name}::now()`"),
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+/// True when `toks[i]` is itself a path segment (preceded by `::`), so the
+/// qualified-path matcher already judged it.
+fn preceded_by_path(toks: &[Token], i: usize) -> bool {
+    i >= 2 && is_punct(&toks[i - 1], ':') && is_punct(&toks[i - 2], ':')
+}
+
+/// Methods whose results expose hash-table ordering.
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// D002: no iteration over `HashMap`/`HashSet`. Two passes: learn which
+/// names in this file are hash-typed (field/param/let declarations and
+/// `type` aliases), then flag order-exposing method calls and `for` loops
+/// over those names.
+fn check_d002(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    let mut hash_types: BTreeSet<String> = BTreeSet::new();
+    hash_types.insert("HashMap".into());
+    hash_types.insert("HashSet".into());
+
+    // Aliases first: `type X = HashMap<..>` anywhere in the file.
+    for i in 0..toks.len() {
+        if ident(&toks[i]) == Some("type")
+            && ident(toks.get(i + 1).unwrap_or(&NIL)).is_some()
+            && is_punct(toks.get(i + 2).unwrap_or(&NIL), '=')
+        {
+            let mut j = i + 3;
+            // Skip a path prefix (`std :: collections ::`).
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if let Some(s) = ident(&toks[j]) {
+                    if s == "HashMap" || s == "HashSet" {
+                        hash_types.insert(ident(&toks[i + 1]).unwrap().to_string());
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    // Declarations: `name : [&] [mut] [path ::] HashType [<..]`.
+    for i in 0..toks.len() {
+        let Some(t) = ident(&toks[i]) else { continue };
+        if !hash_types.contains(t) {
+            continue;
+        }
+        // Walk back over a path prefix and `&`/`mut`/lifetime noise to the
+        // `:` that binds a name.
+        let mut j = i;
+        while j >= 2 && is_punct(&toks[j - 1], ':') && is_punct(&toks[j - 2], ':') {
+            if ident(&toks[j - 3]).is_some() {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        let mut k = j;
+        while k >= 1 {
+            match &toks[k - 1].tok {
+                Tok::Punct('&') | Tok::Lifetime => k -= 1,
+                Tok::Ident(s) if s == "mut" => k -= 1,
+                _ => break,
+            }
+        }
+        if k >= 2 && is_punct(&toks[k - 1], ':') && !is_punct(&toks[k - 2], ':') {
+            if let Some(name) = ident(&toks[k - 2]) {
+                hash_names.insert(name.to_string());
+            }
+        }
+        // `let [mut] name = HashType :: new(..)` without annotation.
+        if is_punct(toks.get(i.wrapping_sub(1)).unwrap_or(&NIL), '=') {
+            let b = i - 1;
+            if b >= 2
+                && ident(&toks[b - 1]).is_some()
+                && ident(&toks[b - 2]).is_some_and(|s| s == "let" || s == "mut")
+            {
+                hash_names.insert(ident(&toks[b - 1]).unwrap().to_string());
+            }
+        }
+    }
+
+    // Findings: `name.order_method(` …
+    for i in 2..toks.len() {
+        let Some(m) = ident(&toks[i]) else { continue };
+        if !ORDER_METHODS.contains(&m) {
+            continue;
+        }
+        if !is_punct(&toks[i - 1], '.') || !is_punct(toks.get(i + 1).unwrap_or(&NIL), '(') {
+            continue;
+        }
+        if let Some(recv) = ident(&toks[i - 2]) {
+            if hash_names.contains(recv) {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "D002",
+                    format!("iterates hash-ordered `{recv}` via `.{m}()`"),
+                );
+            }
+        }
+    }
+    // … and `for pat in [&][mut] [self.]name {`.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(&toks[i]) != Some("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('(' | '[') => depth += 1,
+                Tok::Punct(')' | ']') => depth -= 1,
+                Tok::Ident(s) if s == "in" && depth == 0 => break,
+                Tok::Punct('{') => break, // not a loop header
+                _ => {}
+            }
+            j += 1;
+        }
+        if ident(toks.get(j).unwrap_or(&NIL)) != Some("in") {
+            i = j;
+            continue;
+        }
+        // Collect the iterated expression up to the loop `{`.
+        let mut k = j + 1;
+        let mut simple = true;
+        let mut last_ident: Option<&str> = None;
+        while k < toks.len() && !is_punct(&toks[k], '{') {
+            match &toks[k].tok {
+                Tok::Ident(s) if s == "mut" || s == "self" => last_ident = None,
+                Tok::Ident(s) => last_ident = Some(s.as_str()),
+                Tok::Punct('&' | '.') => {}
+                _ => simple = false,
+            }
+            k += 1;
+        }
+        if simple {
+            if let Some(name) = last_ident {
+                if hash_names.contains(name) {
+                    push(
+                        findings,
+                        file,
+                        toks[j].line,
+                        "D002",
+                        format!("`for` loop iterates hash-ordered `{name}`"),
+                    );
+                }
+            }
+        }
+        i = k;
+    }
+}
+
+/// D003: RNGs must be seeded.
+fn check_d003(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        match ident(&toks[i]) {
+            Some("thread_rng") => push(
+                findings,
+                file,
+                toks[i].line,
+                "D003",
+                "uses `thread_rng()` — OS-entropy RNG is unseeded".into(),
+            ),
+            Some("from_entropy") => push(
+                findings,
+                file,
+                toks[i].line,
+                "D003",
+                "seeds an RNG from OS entropy (`from_entropy`)".into(),
+            ),
+            Some("rand") if path_at(toks, i, &["rand", "random"]) => push(
+                findings,
+                file,
+                toks[i].line,
+                "D003",
+                "uses `rand::random()` — implicitly thread-local RNG".into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// D004: no OS threads or mpsc channels in sim-deterministic code.
+fn check_d004(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let mut thread_imported = false;
+    for i in 0..toks.len() {
+        if ident(&toks[i]) == Some("use") && path_at(toks, i + 1, &["std", "thread"]) {
+            thread_imported = true;
+        }
+        if path_at(toks, i, &["std", "thread"]) && !preceded_by_path(toks, i) {
+            push(
+                findings,
+                file,
+                toks[i].line,
+                "D004",
+                "uses `std::thread` in a sim-deterministic crate".into(),
+            );
+        }
+        if path_at(toks, i, &["std", "sync", "mpsc"]) && !preceded_by_path(toks, i) {
+            push(
+                findings,
+                file,
+                toks[i].line,
+                "D004",
+                "uses `std::sync::mpsc` in a sim-deterministic crate".into(),
+            );
+        }
+        if thread_imported && path_at(toks, i, &["thread", "spawn"]) && !preceded_by_path(toks, i) {
+            push(
+                findings,
+                file,
+                toks[i].line,
+                "D004",
+                "spawns an OS thread (`thread::spawn`)".into(),
+            );
+        }
+    }
+}
+
+/// P001: no `unwrap()`/`expect()`/indexing in protocol message handlers —
+/// scoped to the handler files; remote bytes reach every path in them.
+fn check_p001(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if let Some(m @ ("unwrap" | "expect")) = ident(&toks[i]) {
+            if i >= 1
+                && is_punct(&toks[i - 1], '.')
+                && is_punct(toks.get(i + 1).unwrap_or(&NIL), '(')
+            {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "P001",
+                    format!("`.{m}()` can panic a node on remote input"),
+                );
+            }
+        }
+        if is_punct(&toks[i], '[') && i >= 1 {
+            // Indexing = `[` directly after a value (identifier or closing
+            // bracket). `vec![` has a `!` before it; `#[`, `: [u8; 4]` and
+            // slice patterns have punctuation — none of those match.
+            let panics = match &toks[i - 1].tok {
+                Tok::Ident(s) => !matches!(s.as_str(), "mut" | "in" | "dyn" | "where"),
+                Tok::Punct(')') | Tok::Punct(']') => true,
+                _ => false,
+            };
+            if panics {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "P001",
+                    "indexing can panic a node on remote input".into(),
+                );
+            }
+        }
+    }
+}

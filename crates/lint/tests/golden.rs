@@ -1,0 +1,306 @@
+//! Golden-file tests for every vce-lint rule: a known-bad snippet that must
+//! fire (positive), a near-miss that must not (negative), and a waived copy
+//! that must be suppressed — plus the waiver grammar's own failure modes and
+//! a self-test that the shipped workspace is clean.
+
+use vce_lint::{lint_source, Finding};
+
+/// Path inside a determinism-scoped crate; engages D001–D004.
+const SIM: &str = "crates/sim/src/fake.rs";
+/// Path on the protocol-handler list; engages P001 as well.
+const P001: &str = "crates/isis/src/member.rs";
+/// Path outside every scoped crate; no rules apply.
+const UNSCOPED: &str = "crates/viz/src/fake.rs";
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn assert_fires(path: &str, src: &str, rule: &str) {
+    let findings = lint_source(path, src);
+    assert!(
+        rules_fired(&findings).contains(&rule),
+        "expected {rule} on {path}, got {findings:?}"
+    );
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let findings = lint_source(path, src);
+    assert!(findings.is_empty(), "expected clean, got {findings:?}");
+}
+
+// ---------------------------------------------------------------- D001
+
+#[test]
+fn d001_flags_wall_clock_types() {
+    assert_fires(SIM, "use std::time::Instant;\n", "D001");
+    assert_fires(
+        SIM,
+        "fn f() { let t = std::time::SystemTime::now(); }\n",
+        "D001",
+    );
+    assert_fires(SIM, "use std::time::{Duration, Instant};\n", "D001");
+}
+
+#[test]
+fn d001_ignores_duration_and_unscoped_crates() {
+    // Duration is a plain value type: fine everywhere.
+    assert_clean(SIM, "use std::time::Duration;\n");
+    // Wall-clock reads are fine outside the deterministic crates.
+    assert_clean(UNSCOPED, "use std::time::Instant;\n");
+}
+
+#[test]
+fn d001_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(D001) live harness is wall-clock by design\n\
+         use std::time::Instant;\n",
+    );
+}
+
+// ---------------------------------------------------------------- D002
+
+#[test]
+fn d002_flags_hash_map_iteration() {
+    let src = "\
+use std::collections::HashMap;
+struct S { m: HashMap<u32, u32> }
+impl S {
+    fn f(&self) {
+        for (k, v) in &self.m { drop((k, v)); }
+    }
+}
+";
+    assert_fires(SIM, src, "D002");
+    // Method-call form on a local binding.
+    let src = "\
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for k in m.keys() { drop(k); }
+}
+";
+    assert_fires(SIM, src, "D002");
+}
+
+#[test]
+fn d002_ignores_lookups_and_btree_iteration() {
+    // Point lookups on a HashMap are order-free.
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }
+";
+    assert_clean(SIM, src);
+    // BTreeMap iteration is deterministic.
+    let src = "\
+use std::collections::BTreeMap;
+fn f(m: &BTreeMap<u32, u32>) { for k in m.keys() { drop(k); } }
+";
+    assert_clean(SIM, src);
+}
+
+#[test]
+fn d002_waived_is_suppressed() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    // vce-lint: allow(D002) order-insensitive: summing is commutative
+    m.values().sum()
+}
+";
+    assert_clean(SIM, src);
+}
+
+// ---------------------------------------------------------------- D003
+
+#[test]
+fn d003_flags_ambient_randomness() {
+    assert_fires(SIM, "fn f() { let r = rand::thread_rng(); }\n", "D003");
+    assert_fires(SIM, "fn f() -> u64 { rand::random() }\n", "D003");
+}
+
+#[test]
+fn d003_ignores_seeded_rng_names() {
+    // Explicitly seeded generators are the sanctioned path.
+    assert_clean(
+        SIM,
+        "fn f(seed: u64) { let rng = SmallRng::seed_from_u64(seed); }\n",
+    );
+}
+
+#[test]
+fn d003_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(D003) jitter for a non-replayed backoff path\n\
+         fn f() -> u64 { rand::random() }\n",
+    );
+}
+
+// ---------------------------------------------------------------- D004
+
+#[test]
+fn d004_flags_threads_and_mpsc() {
+    assert_fires(SIM, "fn f() { std::thread::spawn(|| {}); }\n", "D004");
+    assert_fires(SIM, "use std::sync::mpsc;\n", "D004");
+}
+
+#[test]
+fn d004_allows_threads_in_bench_and_tests() {
+    // The bench crate is off the deterministic list entirely.
+    assert_clean(
+        "crates/bench/src/lib.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    // #[cfg(test)] modules are exempt from every rule.
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { std::thread::spawn(|| {}).join().unwrap(); }
+}
+";
+    assert_clean(SIM, src);
+}
+
+#[test]
+fn d004_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(D004) one OS thread per node in live mode\n\
+         fn f() { std::thread::spawn(|| {}); }\n",
+    );
+}
+
+// ---------------------------------------------------------------- P001
+
+#[test]
+fn p001_flags_panics_in_protocol_files() {
+    assert_fires(P001, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "P001");
+    assert_fires(
+        P001,
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }\n",
+        "P001",
+    );
+    assert_fires(P001, "fn f(v: &[u32]) -> u32 { v[0] }\n", "P001");
+}
+
+#[test]
+fn p001_scoped_to_listed_files_only() {
+    // Same code in a deterministic — but non-protocol — file is fine.
+    assert_clean(SIM, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
+}
+
+#[test]
+fn p001_ignores_non_indexing_brackets() {
+    // Attribute/macro/type brackets are not indexing expressions.
+    assert_clean(P001, "fn f() -> Vec<u32> { vec![1, 2, 3] }\n");
+    assert_clean(P001, "fn f(v: &mut [u32]) -> usize { v.len() }\n");
+}
+
+#[test]
+fn p001_waived_is_suppressed() {
+    assert_clean(
+        P001,
+        "fn f(x: Option<u32>) -> u32 {\n\
+         // vce-lint: allow(P001) x is produced two lines up, never remote\n\
+         x.unwrap()\n\
+         }\n",
+    );
+}
+
+// ------------------------------------------------------- waiver grammar
+
+/// ISSUE regression test: an `allow` with no reason is itself an error,
+/// and the finding it tried to cover still fires.
+#[test]
+fn waiver_without_reason_is_an_error_and_suppresses_nothing() {
+    let src = "// vce-lint: allow(D001)\nuse std::time::Instant;\n";
+    let fired = lint_source(SIM, src);
+    let rules = rules_fired(&fired);
+    assert!(
+        rules.contains(&"W001"),
+        "reasonless waiver must be W001: {fired:?}"
+    );
+    assert!(
+        rules.contains(&"D001"),
+        "unwaived finding must survive: {fired:?}"
+    );
+}
+
+#[test]
+fn waiver_with_malformed_directive_is_w001() {
+    assert_fires(
+        SIM,
+        "// vce-lint: alow(D001) typo in verb\nfn f() {}\n",
+        "W001",
+    );
+    assert_fires(
+        SIM,
+        "// vce-lint: allow D001 missing parens\nfn f() {}\n",
+        "W001",
+    );
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_w002() {
+    assert_fires(
+        SIM,
+        "// vce-lint: allow(D999) no such rule\nfn f() {}\n",
+        "W002",
+    );
+}
+
+#[test]
+fn waiver_covering_nothing_is_w003() {
+    assert_fires(
+        SIM,
+        "// vce-lint: allow(D001) but the next line is innocent\nfn f() {}\n",
+        "W003",
+    );
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    assert_clean(
+        SIM,
+        "use std::time::Instant; // vce-lint: allow(D001) live-mode import\n",
+    );
+}
+
+#[test]
+fn doc_comments_quoting_the_marker_are_not_directives() {
+    // Rendered docs may cite the syntax without being parsed as waivers.
+    assert_clean(
+        SIM,
+        "/// Write `// vce-lint: allow(D001) reason` above the line.\nfn f() {}\n",
+    );
+}
+
+#[test]
+fn waiver_covers_multiple_rules_in_one_directive() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(D001,D004) live harness: threads + wall clock\n\
+         fn f() { std::thread::spawn(|| { let _ = std::time::Instant::now(); }); }\n",
+    );
+}
+
+// ---------------------------------------------------------- self-test
+
+/// The shipped workspace must be clean: zero findings, every waiver used.
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = vce_lint::lint_workspace(&root);
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 100, "walker saw the whole tree");
+}

@@ -12,9 +12,10 @@
 //! The `time_scale` factor compresses simulated seconds into real
 //! microseconds so examples finish instantly.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+// vce-lint: allow(D001) live mode IS wall-clock: one OS thread per node, scaled real time (see module doc)
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -207,6 +208,7 @@ impl LiveNodeConfig {
 /// Drives a set of nodes, one thread each, until stopped.
 pub struct LiveDriver {
     stop: Arc<AtomicBool>,
+    // vce-lint: allow(D004) live mode exists to run endpoints on real OS threads; the sim engine is the deterministic twin
     threads: Vec<std::thread::JoinHandle<Vec<String>>>,
 }
 
@@ -233,6 +235,7 @@ impl LiveDriver {
             .map(|(i, (handle, cfg))| {
                 let stop = Arc::clone(&stop);
                 let node_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // vce-lint: allow(D004) one thread per live node is the point of the live driver
                 std::thread::spawn(move || run_node(handle, cfg, node_seed, time_scale, stop))
             })
             .collect();
@@ -257,10 +260,13 @@ fn run_node(
     stop: Arc<AtomicBool>,
 ) -> Vec<String> {
     let node = cfg.info.node;
-    let mut endpoints: HashMap<PortId, Box<dyn Endpoint>> = cfg.endpoints.into_iter().collect();
+    // BTreeMap so `on_start` order (and any same-deadline dispatch order)
+    // matches the sim engine's port order rather than a hash seed.
+    let mut endpoints: BTreeMap<PortId, Box<dyn Endpoint>> = cfg.endpoints.into_iter().collect();
     let mut state = NodeState {
         handle,
         info: cfg.info,
+        // vce-lint: allow(D001) live node time base: scaled wall clock, by definition of live mode
         start: Instant::now(),
         time_scale,
         deadlines: BinaryHeap::new(),

@@ -132,8 +132,9 @@ impl MemoryNetwork {
             // Test-scale traffic only: a short-lived timer thread per delayed
             // message keeps the transport dependency-free.
             let this = self.clone();
+            // vce-lint: allow(D004) live transport injects real delay; the sim engine models delay deterministically
             std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_micros(delay_us));
+                std::thread::sleep(Duration::from_micros(delay_us)); // vce-lint: allow(D004) same: real sleep in the live transport's timer thread
                 this.deliver(env);
             });
         }

@@ -12,7 +12,7 @@
 //! machines could do for them now. The execution module carries the plan
 //! out; experiment U2 measures the dispatch-latency payoff.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use vce_net::MachineClass;
 use vce_taskgraph::{TaskGraph, TaskId};
@@ -51,7 +51,7 @@ pub fn plan(
     g: &TaskGraph,
     db: &MachineDb,
     cache: &BinaryCache,
-    completed: &HashSet<TaskId>,
+    completed: &BTreeSet<TaskId>,
 ) -> Vec<AnticipatoryAction> {
     let mut actions = Vec::new();
     for id in g.ids() {
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn plans_compiles_and_replication_for_blocked_task() {
         let (g, _first, second) = two_stage();
-        let actions = plan(&g, &db(), &BinaryCache::new(), &HashSet::new());
+        let actions = plan(&g, &db(), &BinaryCache::new(), &BTreeSet::new());
         // `first` is dispatchable (not planned); `second` is blocked.
         assert_eq!(
             actions,
@@ -158,7 +158,7 @@ mod tests {
             kib: 10,
             compile_us: 1,
         });
-        let actions = plan(&g, &db(), &cache, &HashSet::new());
+        let actions = plan(&g, &db(), &cache, &BTreeSet::new());
         assert!(!actions.contains(&AnticipatoryAction::Compile {
             task: TaskId(1),
             target: MachineClass::Workstation
@@ -172,14 +172,14 @@ mod tests {
     #[test]
     fn nothing_to_anticipate_once_predecessors_finish() {
         let (g, first, _) = two_stage();
-        let done: HashSet<TaskId> = [first].into_iter().collect();
+        let done: BTreeSet<TaskId> = [first].into_iter().collect();
         assert!(plan(&g, &db(), &BinaryCache::new(), &done).is_empty());
     }
 
     #[test]
     fn completed_tasks_never_planned() {
         let (g, first, second) = two_stage();
-        let done: HashSet<TaskId> = [first, second].into_iter().collect();
+        let done: BTreeSet<TaskId> = [first, second].into_iter().collect();
         assert!(plan(&g, &db(), &BinaryCache::new(), &done).is_empty());
     }
 }

@@ -9,7 +9,7 @@
 //! traces across runs.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
@@ -99,7 +99,9 @@ impl Ord for Event {
 struct SimNode {
     info: MachineInfo,
     cpu: Cpu,
-    endpoints: HashMap<PortId, Box<dyn Endpoint>>,
+    /// BTreeMap, not HashMap: `revive_node` replays `on_start` in iteration
+    /// order, which must not vary with the process's hash seed.
+    endpoints: BTreeMap<PortId, Box<dyn Endpoint>>,
     rng: SmallRng,
     send_seq: u64,
     cancelled_timers: HashMap<(PortId, u64), u32>,
@@ -290,7 +292,7 @@ impl Sim {
             SimNode {
                 info,
                 cpu,
-                endpoints: HashMap::new(),
+                endpoints: BTreeMap::new(),
                 rng: SmallRng::seed_from_u64(node_seed),
                 send_seq: 0,
                 cancelled_timers: HashMap::new(),
@@ -408,6 +410,7 @@ impl Sim {
 
     /// Metrics for every node, sorted by node id.
     pub fn all_metrics(&mut self) -> Vec<NodeMetrics> {
+        // vce-lint: allow(D002) order-insensitive — collected ids are sorted on the next line
         let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
         ids.sort();
         ids.into_iter().filter_map(|id| self.metrics(id)).collect()

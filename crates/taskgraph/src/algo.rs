@@ -1,7 +1,7 @@
 //! DAG algorithms over the dataflow arcs: topological order, cycle
 //! detection, level schedule, critical path, ready sets.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::graph::{ArcKind, TaskGraph};
 use crate::task::TaskId;
@@ -93,8 +93,8 @@ pub fn critical_path(g: &TaskGraph) -> Option<(f64, Vec<TaskId>)> {
 /// not themselves completed or in `running` — the dispatchable frontier.
 pub fn ready_set(
     g: &TaskGraph,
-    completed: &HashSet<TaskId>,
-    running: &HashSet<TaskId>,
+    completed: &BTreeSet<TaskId>,
+    running: &BTreeSet<TaskId>,
 ) -> Vec<TaskId> {
     g.ids()
         .filter(|t| !completed.contains(t) && !running.contains(t))
@@ -174,8 +174,8 @@ mod tests {
     #[test]
     fn ready_set_progresses_with_completions() {
         let (g, [a, b, c, d]) = diamond();
-        let mut done = HashSet::new();
-        let mut running = HashSet::new();
+        let mut done = BTreeSet::new();
+        let mut running = BTreeSet::new();
         assert_eq!(ready_set(&g, &done, &running), vec![a]);
         running.insert(a);
         assert!(ready_set(&g, &done, &running).is_empty());

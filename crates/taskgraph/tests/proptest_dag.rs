@@ -1,6 +1,6 @@
 //! Property tests on random DAGs: the graph algorithms' invariants.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use vce_taskgraph::algo::{critical_path, has_cycle, levels, ready_set, topo_sort, total_work};
@@ -78,8 +78,8 @@ proptest! {
     fn executing_ready_sets_drains_the_graph(g in arb_dag()) {
         // Repeatedly complete the whole ready frontier; the graph must
         // drain in at most `len` rounds and never expose an unready task.
-        let mut done: HashSet<TaskId> = HashSet::new();
-        let running = HashSet::new();
+        let mut done: BTreeSet<TaskId> = BTreeSet::new();
+        let running = BTreeSet::new();
         let mut rounds = 0;
         while done.len() < g.len() {
             let ready = ready_set(&g, &done, &running);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo CI gate: build, full test suite, then quick smoke runs of the
-# pieces a perf/regression PR is most likely to break — the F3 bidding
+# Repo CI gate: lint first (cheapest, fails fastest), then build, the
+# full test suite, clippy/fmt, and quick smoke runs of the pieces a
+# perf/regression PR is most likely to break — the F3 bidding
 # experiment, the parallel-sweep determinism test, and the engine
 # criterion bench in quick mode (one sample; checks it still runs, not
 # how fast). Keep this cheap enough to run on every change.
@@ -9,11 +10,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== vce-lint =="
+cargo run --offline -q -p vce-lint
+
 echo "== build (release) =="
 cargo build --release --offline -q
 
 echo "== tests =="
 cargo test --offline -q
+
+echo "== clippy =="
+cargo clippy --all-targets --offline -q -- -D warnings
+
+echo "== fmt =="
+cargo fmt --check
 
 echo "== exp_bidding smoke =="
 cargo run --release --offline -q -p vce-bench --bin exp_bidding

@@ -1,7 +1,21 @@
 #!/usr/bin/env sh
 # Regenerate every experiment table in EXPERIMENTS.md.
-# Usage: scripts/run_experiments.sh [output-dir]
+#
+# Usage: scripts/run_experiments.sh [--check] [output-dir]
+#
+#   --check   run every experiment TWICE and diff the two stdouts; any
+#             difference means the simulation is nondeterministic across
+#             runs (e.g. HashMap iteration order leaking into results)
+#             and the script exits nonzero naming the experiment.
+#             exp_proxy is exempt: it is a live wall-clock microbenchmark
+#             (marshal/round-trip ns), so its numbers vary by nature.
 set -eu
+
+check=0
+if [ "${1:-}" = "--check" ]; then
+    check=1
+    shift
+fi
 out="${1:-experiment-results}"
 mkdir -p "$out"
 for e in exp_pipeline exp_proxy exp_bidding exp_weather exp_placement \
@@ -10,6 +24,16 @@ for e in exp_pipeline exp_proxy exp_bidding exp_weather exp_placement \
          exp_loadbal exp_ablation; do
     echo "== $e =="
     cargo run --release -q -p vce-bench --bin "$e" | tee "$out/$e.txt"
+    if [ "$check" = 1 ] && [ "$e" != exp_proxy ]; then
+        cargo run --release -q -p vce-bench --bin "$e" > "$out/$e.rerun.txt"
+        if ! cmp -s "$out/$e.txt" "$out/$e.rerun.txt"; then
+            echo "DETERMINISM FAILURE: $e produced different output on rerun" >&2
+            diff "$out/$e.txt" "$out/$e.rerun.txt" >&2 || true
+            exit 1
+        fi
+        rm -f "$out/$e.rerun.txt"
+        echo "($e deterministic across two runs)"
+    fi
     echo
 done
 echo "All experiment outputs written to $out/"
