@@ -11,8 +11,10 @@
 
 use std::time::Instant;
 
+use vce_bench::chaos::{baseline_makespan_us, run_chaos, ChaosConfig, ScheduleShape};
 use vce_bench::sweep::{sweep, threads_for};
 use vce_bench::{bidding_round_detailed, message_storm};
+use vce_exm::migrate::MigrationTechnique;
 
 const STORM_NODES: u32 = 16;
 const STORM_TICKS: u32 = 50;
@@ -91,6 +93,17 @@ fn main() {
     let lat_us = bidding_round_detailed(1, SWEEP_GROUP, SWEEP_JITTER_US).latency_us;
     let (serial_s, parallel_s, threads, identical) = measure_sweep();
 
+    // One representative chaos cell: the mixed schedule (crashes +
+    // partition + loss bursts + leader kill) under checkpoint migration.
+    // Headline = did recovery hold, and at what makespan cost.
+    let chaos = run_chaos(&ChaosConfig {
+        seed: 100,
+        shape: ScheduleShape::Mixed,
+        technique: MigrationTechnique::Checkpoint,
+        trace: false,
+    });
+    let chaos_base_us = baseline_makespan_us(MigrationTechnique::Checkpoint);
+
     println!("{{");
     println!("  \"schema\": \"vce-bench-snapshot-v1\",");
     println!("  \"storm\": {{");
@@ -116,6 +129,26 @@ fn main() {
         }
     );
     println!("    \"identical_output\": {identical}");
+    println!("  }},");
+    println!("  \"chaos\": {{");
+    println!(
+        "    \"seed\": {}, \"shape\": \"{}\", \"technique\": \"checkpoint\",",
+        chaos.seed,
+        chaos.shape.name()
+    );
+    println!("    \"green\": {},", chaos.green());
+    println!("    \"faults\": {},", chaos.faults);
+    println!("    \"allocations\": {},", chaos.allocations);
+    match chaos.makespan_us {
+        Some(m) => {
+            println!("    \"makespan_s\": {:.1},", m as f64 / 1e6);
+            println!(
+                "    \"degradation_vs_fault_free\": {:.2}",
+                m as f64 / chaos_base_us as f64
+            );
+        }
+        None => println!("    \"makespan_s\": null"),
+    }
     if let Some(base) = &baseline_text {
         let base_eps = extract_number(base, "events_per_sec");
         println!("  }},");

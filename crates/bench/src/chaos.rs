@@ -1,0 +1,842 @@
+//! vce-chaos: seeded fault-injection campaigns over the full Isis + EXM
+//! stack.
+//!
+//! A campaign run builds a small VCE fleet, submits an application, and
+//! drives it through a generated fault schedule — node crashes/revives,
+//! link partitions and heals, message-loss/dup bursts, and leader-targeted
+//! kills at protocol-sensitive moments — while invariant checkers observe
+//! every step:
+//!
+//! 1. **SingleLeader** — at most one coordinator allocating per network
+//!    component (split brains across a partition are legal; a persistent
+//!    dual leader inside one component is not).
+//! 2. **NoTaskLost** — no task is permanently lost: once the last fault
+//!    heals, every allocation the application still needs is satisfied.
+//! 3. **NoDupExec** — a non-redundant (SYNC) instance never keeps
+//!    executing on two machines the executor can reach for longer than
+//!    the watchdog's kill latency.
+//! 4. **Termination** — every application terminates after the last heal,
+//!    and no daemon is left running zombie instances afterwards.
+//! 5. **Reconverge** — post-heal group views reconverge to one view with
+//!    one coordinator within a bounded number of heartbeats.
+//!
+//! Schedules are a pure function of `(seed, shape, technique)`, so a
+//! failing run is replayed exactly by re-running its config with the
+//! trace enabled ([`replay`]); `exp_chaos` stays byte-identical under
+//! `run_experiments.sh --check`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use vce::prelude::*;
+use vce_exm::migrate::MigrationTechnique;
+use vce_net::{FaultOp, LinkFault};
+
+/// Machines in the fleet (node 0 is the submitting user's workstation —
+/// the paper's executor lives there and is exempt from crashes, like a
+/// user who would simply restart the run).
+pub const FLEET: u32 = 6;
+/// Tasks per application (three singletons plus one divisible).
+pub const TASKS: u32 = 4;
+/// Invariant-observation quantum, µs.
+const OBS_US: u64 = 250_000;
+/// Chaos window after submission, µs: faults are injected inside it and
+/// the final heal + revive lands at its end.
+const CHAOS_WINDOW_US: u64 = 22_000_000;
+/// Recovery deadline after the last heal, µs (NoTaskLost/Termination).
+const RECOVERY_US: u64 = 90_000_000;
+/// Post-completion settle before the zombie sweep, µs — lets the §5
+/// Terminate broadcast propagate.
+const ZOMBIE_SETTLE_US: u64 = 6_000_000;
+/// View-reconvergence deadline after the last heal, µs.
+const RECONVERGE_US: u64 = 30_000_000;
+/// A dual leader inside one component must resolve within this long
+/// (failure timeout + heartbeat demotion + margin).
+const GRACE_LEADER_US: u64 = 5_000_000;
+/// A doubly-executing non-redundant instance must resolve within this
+/// long once both hosts are reachable (probe period × miss limit + kill
+/// delivery + margin).
+const GRACE_DUP_US: u64 = 8_000_000;
+
+/// The isis heartbeat period the fleet runs with (see
+/// `vce_isis::GroupConfig`); used to express reconvergence in heartbeats.
+const HEARTBEAT_US: u64 = 200_000;
+
+/// Fault-schedule family. Each shape generates a different mix of the
+/// same primitive ops; `Mixed` samples across all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleShape {
+    /// Random crash/revive churn.
+    Crashes,
+    /// Symmetric partitions that split the fleet, then heal.
+    Partitions,
+    /// Message-loss/duplication bursts on every link.
+    Bursts,
+    /// Kills aimed at whoever currently coordinates allocation, timed at
+    /// protocol-sensitive moments (mid-bid / mid-allocation / mid-run).
+    LeaderHunt,
+    /// All of the above.
+    Mixed,
+}
+
+impl ScheduleShape {
+    /// Every shape, in sweep order.
+    pub const ALL: [ScheduleShape; 5] = [
+        ScheduleShape::Crashes,
+        ScheduleShape::Partitions,
+        ScheduleShape::Bursts,
+        ScheduleShape::LeaderHunt,
+        ScheduleShape::Mixed,
+    ];
+
+    /// Stable name for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleShape::Crashes => "crashes",
+            ScheduleShape::Partitions => "partitions",
+            ScheduleShape::Bursts => "bursts",
+            ScheduleShape::LeaderHunt => "leader-hunt",
+            ScheduleShape::Mixed => "mixed",
+        }
+    }
+}
+
+/// The §4.4 migration techniques a campaign cell equips its tasks with.
+pub const TECHNIQUES: [MigrationTechnique; 4] = [
+    MigrationTechnique::Redundant,
+    MigrationTechnique::Checkpoint,
+    MigrationTechnique::CoreDump,
+    MigrationTechnique::Recompile,
+];
+
+/// One campaign cell: everything a run is a pure function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Master seed: drives both the sim RNG and the schedule generator.
+    pub seed: u64,
+    /// Fault-schedule family.
+    pub shape: ScheduleShape,
+    /// Migration/recovery technique the tasks are equipped with.
+    pub technique: MigrationTechnique,
+    /// Keep the event trace (slower; enables the replay dump).
+    pub trace: bool,
+}
+
+/// The five checked invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// ≤1 coordinator allocating per component.
+    SingleLeader,
+    /// No task permanently lost.
+    NoTaskLost,
+    /// No SYNC task executing twice concurrently (beyond kill latency).
+    NoDupExec,
+    /// Every app terminates after the last heal; no zombies remain.
+    Termination,
+    /// Post-heal views reconverge within bounded heartbeats.
+    Reconverge,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::SingleLeader => "single-leader",
+            Invariant::NoTaskLost => "no-task-lost",
+            Invariant::NoDupExec => "no-dup-exec",
+            Invariant::Termination => "termination",
+            Invariant::Reconverge => "reconverge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation, with enough context to replay.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Sim time it was detected, µs.
+    pub at_us: u64,
+    /// Human-readable specifics (nodes, keys, views).
+    pub detail: String,
+}
+
+/// Outcome of one campaign run.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The cell that produced this outcome.
+    pub seed: u64,
+    /// Schedule family of the run.
+    pub shape: ScheduleShape,
+    /// Technique the tasks were equipped with.
+    pub technique: MigrationTechnique,
+    /// Violations observed (empty = all five invariants green).
+    pub violations: Vec<Violation>,
+    /// Fault ops injected (kills + partitions + bursts + heals).
+    pub faults: u32,
+    /// Allocations the executor accepted.
+    pub allocations: u64,
+    /// Application makespan, µs, when it completed.
+    pub makespan_us: Option<u64>,
+    /// Heartbeat periods from the last heal to view reconvergence.
+    pub reconverge_heartbeats: Option<u64>,
+    /// Tail of the event trace (only on traced runs with violations).
+    pub trace_tail: Option<String>,
+}
+
+impl ChaosOutcome {
+    /// All five invariants held.
+    pub fn green(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The failing-seed report: seed, violated invariants, and (when the
+    /// run was traced) the replayable event-trace tail.
+    pub fn report(&self) -> String {
+        let mut s = format!(
+            "chaos FAIL seed={} shape={} technique={:?}\n",
+            self.seed,
+            self.shape.name(),
+            self.technique
+        );
+        for v in &self.violations {
+            s.push_str(&format!(
+                "  [{:>12}µs] {}: {}\n",
+                v.at_us, v.invariant, v.detail
+            ));
+        }
+        s.push_str(&format!(
+            "  replay: exp_chaos --replay {} {} {:?}\n",
+            self.seed,
+            self.shape.name(),
+            self.technique
+        ));
+        if let Some(t) = &self.trace_tail {
+            s.push_str("  trace tail:\n");
+            for line in t.lines() {
+                s.push_str("    ");
+                s.push_str(line);
+                s.push('\n');
+            }
+        }
+        s
+    }
+}
+
+// ----------------------------------------------------------------------
+// Schedule generation
+// ----------------------------------------------------------------------
+
+/// A driver-resolved op the engine cannot pre-schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriverOp {
+    /// Kill whoever currently leads the workstation group (skipped if the
+    /// leader is the user's own workstation or too much is already dead).
+    KillLeader,
+}
+
+/// A generated schedule: engine ops ride the sim's event heap
+/// ([`vce_sim::Sim::schedule_fault`]); driver ops resolve at runtime.
+struct Schedule {
+    /// `(at_us, op)` — absolute sim times, sorted.
+    engine_ops: Vec<(u64, FaultOp)>,
+    /// Runtime-resolved ops, sorted by time.
+    driver_ops: Vec<(u64, DriverOp)>,
+    /// When the last heal/revive lands.
+    end_us: u64,
+}
+
+fn burst_link(rng: &mut SmallRng) -> LinkFault {
+    LinkFault {
+        drop_prob: rng.gen_range(0.10..0.35),
+        extra_delay_us: rng.gen_range(0..5_000),
+        jitter_us: rng.gen_range(0..20_000),
+        dup_prob: rng.gen_range(0.05..0.20),
+    }
+}
+
+/// Generate the fault schedule for a cell. Pure function of the config.
+fn generate(cfg: &ChaosConfig, start_us: u64) -> Schedule {
+    let shape_salt = cfg.shape.name().bytes().map(u64::from).sum::<u64>();
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(shape_salt),
+    );
+    let end_us = start_us + CHAOS_WINDOW_US;
+    let mut engine_ops: Vec<(u64, FaultOp)> = Vec::new();
+    let mut driver_ops: Vec<(u64, DriverOp)> = Vec::new();
+    // Planned (kill, revive) windows per node, to cap concurrent deaths
+    // at half the fleet and never double-kill.
+    let mut dead_windows: Vec<(u64, u64, u32)> = Vec::new();
+
+    let crashes = |rng: &mut SmallRng,
+                   engine_ops: &mut Vec<(u64, FaultOp)>,
+                   dead_windows: &mut Vec<(u64, u64, u32)>,
+                   n: u32| {
+        for _ in 0..n {
+            let at = rng.gen_range(start_us + 500_000..end_us - 3_000_000);
+            let until = (at + rng.gen_range(2_000_000..6_000_000)).min(end_us - 500_000);
+            let node = rng.gen_range(1..FLEET);
+            let overlapping = dead_windows
+                .iter()
+                .filter(|&&(a, b, _)| a < until && at < b)
+                .count();
+            let node_busy = dead_windows
+                .iter()
+                .any(|&(a, b, n2)| n2 == node && a < until && at < b);
+            if node_busy || overlapping >= (FLEET as usize - 1) / 2 {
+                continue;
+            }
+            dead_windows.push((at, until, node));
+            engine_ops.push((at, FaultOp::Kill(NodeId(node))));
+            engine_ops.push((until, FaultOp::Revive(NodeId(node))));
+        }
+    };
+    let partitions = |rng: &mut SmallRng, engine_ops: &mut Vec<(u64, FaultOp)>, n: u32| {
+        for _ in 0..n {
+            let at = rng.gen_range(start_us + 500_000..end_us - 4_000_000);
+            let until = (at + rng.gen_range(3_000_000..6_000_000)).min(end_us - 500_000);
+            // Node 0 (user workstation) anchors group 0; every other node
+            // flips a coin. A one-sided draw still partitions nothing,
+            // which is a legal (if dull) schedule.
+            for node in 1..FLEET {
+                let group = u32::from(rng.gen::<bool>());
+                engine_ops.push((at, FaultOp::Partition(NodeId(node), group)));
+            }
+            engine_ops.push((until, FaultOp::Heal));
+        }
+    };
+    let bursts = |rng: &mut SmallRng, engine_ops: &mut Vec<(u64, FaultOp)>, n: u32| {
+        for _ in 0..n {
+            let at = rng.gen_range(start_us + 500_000..end_us - 3_000_000);
+            let until = (at + rng.gen_range(2_000_000..4_000_000)).min(end_us - 500_000);
+            engine_ops.push((at, FaultOp::DefaultLink(burst_link(rng))));
+            engine_ops.push((until, FaultOp::DefaultLink(LinkFault::default())));
+        }
+    };
+    let hunts = |rng: &mut SmallRng, driver_ops: &mut Vec<(u64, DriverOp)>, n: u32| {
+        // The first strike lands moments after dispatch — mid-bid or
+        // mid-allocation for the opening request wave; later strikes catch
+        // the successor mid-run (and mid-migration when rebalancing).
+        let mut at = start_us + rng.gen_range(200_000..1_200_000);
+        for _ in 0..n {
+            if at >= end_us - 4_000_000 {
+                break;
+            }
+            driver_ops.push((at, DriverOp::KillLeader));
+            at += rng.gen_range(4_000_000..8_000_000);
+        }
+    };
+
+    match cfg.shape {
+        ScheduleShape::Crashes => crashes(&mut rng, &mut engine_ops, &mut dead_windows, 8),
+        ScheduleShape::Partitions => partitions(&mut rng, &mut engine_ops, 3),
+        ScheduleShape::Bursts => bursts(&mut rng, &mut engine_ops, 4),
+        ScheduleShape::LeaderHunt => hunts(&mut rng, &mut driver_ops, 3),
+        ScheduleShape::Mixed => {
+            crashes(&mut rng, &mut engine_ops, &mut dead_windows, 4);
+            partitions(&mut rng, &mut engine_ops, 1);
+            bursts(&mut rng, &mut engine_ops, 2);
+            hunts(&mut rng, &mut driver_ops, 1);
+        }
+    }
+
+    // The campaign's contract: after `end_us` nothing is broken any more.
+    engine_ops.push((end_us, FaultOp::Heal));
+    engine_ops.push((end_us, FaultOp::DefaultLink(LinkFault::default())));
+    engine_ops.sort_by_key(|&(t, _)| t);
+    driver_ops.sort_by_key(|&(t, _)| t);
+    Schedule {
+        engine_ops,
+        driver_ops,
+        end_us,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The campaign application
+// ----------------------------------------------------------------------
+
+fn traits_for(technique: MigrationTechnique) -> MigrationTraits {
+    MigrationTraits {
+        checkpoints: technique == MigrationTechnique::Checkpoint,
+        checkpoint_interval_s: 2,
+        restartable: true,
+        core_dumpable: technique == MigrationTechnique::CoreDump,
+    }
+}
+
+fn campaign_app(db: &MachineDb, technique: MigrationTechnique) -> Application {
+    let mut g = TaskGraph::new("chaos");
+    for i in 0..TASKS - 1 {
+        g.add_task(
+            TaskSpec::new(format!("c{i}"))
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(500.0)
+                .with_migration(traits_for(technique)),
+        );
+    }
+    // One divisible task: exercises multi-machine allocation and partial
+    // grants under churn.
+    g.add_task(
+        TaskSpec::new("cdiv")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(900.0)
+            .with_instances(3)
+            .with_migration(traits_for(technique))
+            .divisible(),
+    );
+    Application::from_graph(g, db).expect("hostable")
+}
+
+fn fleet_vce(cfg: &ChaosConfig) -> Vce {
+    let mut exm = ExmConfig::default();
+    if cfg.technique == MigrationTechnique::Redundant {
+        exm.redundancy = 2;
+    }
+    let mut b = VceBuilder::new(cfg.seed);
+    for i in 0..FLEET {
+        b.machine(MachineInfo::workstation(NodeId(i), 100.0));
+    }
+    b.exm_config(exm);
+    b.trace_enabled(cfg.trace);
+    let mut vce = b.build();
+    vce.settle();
+    vce
+}
+
+// ----------------------------------------------------------------------
+// Invariant observation
+// ----------------------------------------------------------------------
+
+/// The driver's mirror of what the schedule has done to the network so
+/// far — it generated the ops, so it can replay their effects without new
+/// engine accessors.
+#[derive(Default)]
+struct NetMirror {
+    dead: BTreeSet<u32>,
+    group: BTreeMap<u32, u32>,
+}
+
+impl NetMirror {
+    fn apply(&mut self, op: &FaultOp) {
+        match *op {
+            FaultOp::Kill(n) => {
+                self.dead.insert(n.0);
+            }
+            FaultOp::Revive(n) => {
+                self.dead.remove(&n.0);
+            }
+            FaultOp::Partition(n, g) => {
+                if g == 0 {
+                    self.group.remove(&n.0);
+                } else {
+                    self.group.insert(n.0, g);
+                }
+            }
+            FaultOp::Heal => self.group.clear(),
+            FaultOp::DefaultLink(_) => {}
+        }
+    }
+
+    fn alive(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..FLEET).filter(|n| !self.dead.contains(n))
+    }
+
+    fn group_of(&self, n: u32) -> u32 {
+        self.group.get(&n).copied().unwrap_or(0)
+    }
+}
+
+/// Sliding-window state for the transient-tolerant invariants.
+#[derive(Default)]
+struct Watch {
+    dual_leader_since: Option<u64>,
+    dup_since: BTreeMap<InstanceKey, u64>,
+}
+
+fn observe(vce: &mut Vce, mirror: &NetMirror, watch: &mut Watch, violations: &mut Vec<Violation>) {
+    let now = vce.sim().now_us();
+    // INV1: at most one coordinator per component.
+    let mut leaders: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for n in mirror.alive() {
+        if vce
+            .with_daemon(NodeId(n), |d| d.is_leader())
+            .unwrap_or(false)
+        {
+            leaders.entry(mirror.group_of(n)).or_default().push(n);
+        }
+    }
+    let dual: Vec<(u32, Vec<u32>)> = leaders.into_iter().filter(|(_, v)| v.len() > 1).collect();
+    if dual.is_empty() {
+        watch.dual_leader_since = None;
+    } else {
+        let since = *watch.dual_leader_since.get_or_insert(now);
+        if now - since > GRACE_LEADER_US {
+            violations.push(Violation {
+                invariant: Invariant::SingleLeader,
+                at_us: now,
+                detail: format!("coordinators {dual:?} coexisted for {}µs", now - since),
+            });
+            watch.dual_leader_since = Some(now); // re-arm, don't spam
+        }
+    }
+    // INV3: a non-redundant instance executing on ≥2 machines the
+    // executor (node 0) can reach must clear within the kill latency.
+    let exec_group = mirror.group_of(0);
+    let mut hosts: BTreeMap<InstanceKey, Vec<u32>> = BTreeMap::new();
+    for n in mirror.alive() {
+        if mirror.group_of(n) != exec_group {
+            continue;
+        }
+        let detail = vce
+            .with_daemon(NodeId(n), |d| d.resident_detail())
+            .unwrap_or_default();
+        for (key, redundant, running) in detail {
+            if !redundant && running {
+                hosts.entry(key).or_default().push(n);
+            }
+        }
+    }
+    let mut still_dup: BTreeSet<InstanceKey> = BTreeSet::new();
+    for (key, nodes) in hosts {
+        if nodes.len() < 2 {
+            continue;
+        }
+        still_dup.insert(key);
+        let since = *watch.dup_since.entry(key).or_insert(now);
+        if now - since > GRACE_DUP_US {
+            violations.push(Violation {
+                invariant: Invariant::NoDupExec,
+                at_us: now,
+                detail: format!(
+                    "instance {key:?} executing on nodes {nodes:?} for {}µs",
+                    now - since
+                ),
+            });
+            watch.dup_since.insert(key, now);
+        }
+    }
+    watch.dup_since.retain(|k, _| still_dup.contains(k));
+}
+
+// ----------------------------------------------------------------------
+// The campaign driver
+// ----------------------------------------------------------------------
+
+/// Fault-free makespan of the campaign application for one technique —
+/// the baseline the F-row's degradation column divides by.
+pub fn baseline_makespan_us(technique: MigrationTechnique) -> u64 {
+    let cfg = ChaosConfig {
+        seed: 1,
+        shape: ScheduleShape::Crashes,
+        technique,
+        trace: false,
+    };
+    let mut vce = fleet_vce(&cfg);
+    let app = campaign_app(vce.db(), cfg.technique);
+    let handle = vce.submit(app, NodeId(0));
+    let report = vce.run_until_done(&handle, RECOVERY_US);
+    report.makespan_us.expect("baseline run must complete")
+}
+
+/// Run one campaign cell.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    let mut vce = fleet_vce(cfg);
+    let app = campaign_app(vce.db(), cfg.technique);
+    let handle = vce.submit(app, NodeId(0));
+    let start_us = vce.sim().now_us();
+    let schedule = generate(cfg, start_us);
+    let faults = schedule.engine_ops.len() as u32 + schedule.driver_ops.len() as u32;
+    for (at, op) in &schedule.engine_ops {
+        vce.sim_mut().schedule_fault(*at, op.clone());
+    }
+
+    let mut mirror = NetMirror::default();
+    let mut watch = Watch::default();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut pending_engine = schedule.engine_ops.clone();
+    let mut pending_driver = schedule.driver_ops.clone();
+    // Revives the driver schedules for its own leader kills.
+    let mut pending_revives: Vec<(u64, u32)> = Vec::new();
+
+    // Chaos phase: advance one observation quantum at a time, mirroring
+    // schedule effects and running the per-step invariant checkers.
+    let mut now = start_us;
+    while now < schedule.end_us {
+        now = (now + OBS_US).min(schedule.end_us);
+        vce.sim_mut().run_until(now);
+        while pending_engine.first().is_some_and(|&(t, _)| t <= now) {
+            let (_, op) = pending_engine.remove(0);
+            mirror.apply(&op);
+        }
+        for &(t, node) in &pending_revives {
+            if t <= now {
+                mirror.apply(&FaultOp::Revive(NodeId(node)));
+            }
+        }
+        pending_revives.retain(|&(t, _)| t > now);
+        while pending_driver.first().is_some_and(|&(t, _)| t <= now) {
+            let (_, op) = pending_driver.remove(0);
+            match op {
+                DriverOp::KillLeader => {
+                    let leader = vce.leader_of(MachineClass::Workstation);
+                    if let Some(victim) = leader.filter(|l| l.0 != 0) {
+                        if mirror.dead.len() < (FLEET as usize - 1) / 2 {
+                            vce.kill_node(victim);
+                            mirror.apply(&FaultOp::Kill(victim));
+                            let back = now + 3_000_000;
+                            vce.sim_mut().schedule_fault(back, FaultOp::Revive(victim));
+                            pending_revives.push((back, victim.0));
+                        }
+                    }
+                }
+            }
+        }
+        observe(&mut vce, &mirror, &mut watch, &mut violations);
+    }
+    // Any leader-kill revive scheduled past the window still lands; run
+    // to the latest of them so the mirror and plan agree before recovery.
+    if let Some(&(t, _)) = pending_revives.iter().max_by_key(|&&(t, _)| t) {
+        vce.sim_mut().run_until(t);
+        for &(_, node) in &pending_revives {
+            mirror.apply(&FaultOp::Revive(NodeId(node)));
+        }
+    }
+    let heal_us = vce.sim().now_us();
+
+    // Recovery phase: the schedule has healed everything; the app must
+    // now finish (INV2/INV4) and the views must reconverge (INV5).
+    let deadline = heal_us + RECOVERY_US;
+    let mut reconverged_at: Option<u64> = None;
+    loop {
+        let now = vce.sim().now_us();
+        let done = vce.with_executor(&handle, |e| e.is_done()).unwrap_or(true);
+        if reconverged_at.is_none() && views_converged(&mut vce) {
+            reconverged_at = Some(now);
+        }
+        if (done && reconverged_at.is_some()) || now >= deadline {
+            break;
+        }
+        let next = (now + 500_000).min(deadline);
+        vce.sim_mut().run_until(next);
+        observe(&mut vce, &mirror, &mut watch, &mut violations);
+    }
+    let report = vce.report(&handle);
+    if !report.completed {
+        let invariant = if report.failed.is_some() {
+            Invariant::NoTaskLost
+        } else {
+            Invariant::Termination
+        };
+        violations.push(Violation {
+            invariant,
+            at_us: vce.sim().now_us(),
+            detail: format!(
+                "app not complete {}µs after the last heal (failed: {:?})",
+                vce.sim().now_us() - heal_us,
+                report.failed
+            ),
+        });
+    }
+    match reconverged_at {
+        Some(t) if t <= heal_us + RECONVERGE_US => {}
+        _ => violations.push(Violation {
+            invariant: Invariant::Reconverge,
+            at_us: vce.sim().now_us(),
+            detail: format!(
+                "views not reconverged within {RECONVERGE_US}µs of the last heal (views: {})",
+                view_summary(&mut vce)
+            ),
+        }),
+    }
+    // Zombie sweep: after the Terminate broadcast settles, no daemon may
+    // still host instances of the finished application.
+    if report.completed {
+        let settle = vce.sim().now_us() + ZOMBIE_SETTLE_US;
+        vce.sim_mut().run_until(settle);
+        for n in 0..FLEET {
+            let resident = vce
+                .with_daemon(NodeId(n), |d| d.resident())
+                .unwrap_or_default();
+            let zombies: Vec<InstanceKey> = resident
+                .into_iter()
+                .filter(|k| k.app == handle.app)
+                .collect();
+            if !zombies.is_empty() {
+                violations.push(Violation {
+                    invariant: Invariant::Termination,
+                    at_us: settle,
+                    detail: format!("node {n} still hosts {zombies:?} after termination"),
+                });
+            }
+        }
+    }
+
+    let allocations = report
+        .timeline
+        .events()
+        .iter()
+        .filter(|(_, e)| matches!(e, vce_exm::events::AppEvent::Allocated { .. }))
+        .count() as u64;
+    let trace_tail = if cfg.trace && !violations.is_empty() {
+        let n = std::env::var("VCE_CHAOS_TRACE_TAIL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60);
+        Some(vce.sim().trace().dump_tail(n))
+    } else {
+        None
+    };
+    ChaosOutcome {
+        seed: cfg.seed,
+        shape: cfg.shape,
+        technique: cfg.technique,
+        violations,
+        faults,
+        allocations,
+        makespan_us: report.makespan_us,
+        reconverge_heartbeats: reconverged_at.map(|t| (t.saturating_sub(heal_us)) / HEARTBEAT_US),
+        trace_tail,
+    }
+}
+
+/// Re-run a failing cell with the trace enabled and return the outcome
+/// (its `trace_tail` carries the replayable dump).
+pub fn replay(seed: u64, shape: ScheduleShape, technique: MigrationTechnique) -> ChaosOutcome {
+    run_chaos(&ChaosConfig {
+        seed,
+        shape,
+        technique,
+        trace: true,
+    })
+}
+
+fn views_converged(vce: &mut Vce) -> bool {
+    let mut seen: Option<(u64, Vec<NodeId>)> = None;
+    let mut leaders = 0u32;
+    for n in 0..FLEET {
+        if vce.sim().is_node_dead(NodeId(n)) {
+            return false;
+        }
+        let Some((view, leader)) = vce.with_daemon(NodeId(n), |d| {
+            let v = d.view();
+            (
+                (
+                    v.id,
+                    v.members.iter().map(|m| m.addr.node).collect::<Vec<_>>(),
+                ),
+                d.is_leader(),
+            )
+        }) else {
+            return false;
+        };
+        if view.1.len() != FLEET as usize {
+            return false;
+        }
+        leaders += u32::from(leader);
+        match &seen {
+            None => seen = Some(view),
+            Some(s) if *s != view => return false,
+            Some(_) => {}
+        }
+    }
+    leaders == 1
+}
+
+fn view_summary(vce: &mut Vce) -> String {
+    let mut parts = Vec::new();
+    for n in 0..FLEET {
+        if let Some((id, len, lead)) = vce.with_daemon(NodeId(n), |d| {
+            (d.view().id, d.view().members.len(), d.is_leader())
+        }) {
+            parts.push(format!("{n}:v{id}×{len}{}", if lead { "*" } else { "" }));
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            shape: ScheduleShape::Mixed,
+            technique: MigrationTechnique::Checkpoint,
+            trace: false,
+        };
+        let a = generate(&cfg, 2_500_000);
+        let b = generate(&cfg, 2_500_000);
+        assert_eq!(a.engine_ops, b.engine_ops);
+        assert_eq!(a.driver_ops, b.driver_ops);
+        assert_eq!(a.end_us, b.end_us);
+        assert!(!a.engine_ops.is_empty());
+    }
+
+    #[test]
+    fn shapes_generate_distinct_schedules() {
+        let mk = |shape| {
+            generate(
+                &ChaosConfig {
+                    seed: 7,
+                    shape,
+                    technique: MigrationTechnique::Recompile,
+                    trace: false,
+                },
+                2_500_000,
+            )
+        };
+        let crash = mk(ScheduleShape::Crashes);
+        let burst = mk(ScheduleShape::Bursts);
+        assert!(crash
+            .engine_ops
+            .iter()
+            .any(|(_, op)| matches!(op, FaultOp::Kill(_))));
+        assert!(burst
+            .engine_ops
+            .iter()
+            .any(|(_, op)| matches!(op, FaultOp::DefaultLink(_))));
+        assert!(!burst
+            .engine_ops
+            .iter()
+            .any(|(_, op)| matches!(op, FaultOp::Kill(_))));
+    }
+
+    #[test]
+    fn a_crash_heavy_run_stays_green_and_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 3,
+            shape: ScheduleShape::Crashes,
+            technique: MigrationTechnique::Checkpoint,
+            trace: false,
+        };
+        let a = run_chaos(&cfg);
+        assert!(a.green(), "violations: {:#?}", a.violations);
+        assert!(a.makespan_us.is_some());
+        let b = run_chaos(&cfg);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.allocations, b.allocations);
+        assert_eq!(a.reconverge_heartbeats, b.reconverge_heartbeats);
+    }
+
+    #[test]
+    fn a_leader_hunt_run_survives_targeted_kills() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            shape: ScheduleShape::LeaderHunt,
+            technique: MigrationTechnique::Recompile,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
+    }
+}

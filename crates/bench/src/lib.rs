@@ -2,6 +2,7 @@
 //! Shared experiment scenarios, so the `exp_*` binaries and the Criterion
 //! benches drive identical code.
 
+pub mod chaos;
 pub mod sweep;
 
 use vce::prelude::*;

@@ -168,6 +168,17 @@ impl DaemonEndpoint {
         self.tasks.keys().copied().collect()
     }
 
+    /// Resident instances with the flags invariant checkers need:
+    /// `(key, is_redundant_copy, is_executing)`. Chaos-campaign observers
+    /// use this to assert a non-redundant instance never executes on two
+    /// reachable machines for longer than the watchdog's kill latency.
+    pub fn resident_detail(&self) -> Vec<(InstanceKey, bool, bool)> {
+        self.tasks
+            .iter()
+            .map(|(&k, r)| (k, r.lp.redundant, matches!(r.state, RunState::Running(_))))
+            .collect()
+    }
+
     /// Mark a binary as locally available (pre-staging / test setup).
     pub fn stage_binary(&mut self, unit: impl Into<String>) {
         self.binaries.insert(unit.into());
@@ -817,6 +828,17 @@ impl DaemonEndpoint {
 
 impl Endpoint for DaemonEndpoint {
     fn on_start(&mut self, host: &mut dyn Host) {
+        // A (re)boot loses every local process: resident instances,
+        // dispatch compiles, and the leader's soft state died with the
+        // machine (staged binaries and input files are on disk and
+        // survive). Keeping `tasks` across a revive made the daemon
+        // answer probes with `running=true` for processes the crash
+        // destroyed, wedging the owning application forever — found by
+        // the exp_chaos crash/revive campaign.
+        self.tasks.clear();
+        self.pid_of.clear();
+        self.compiles.clear();
+        self.leader = LeaderState::new(self.cfg.aging_quantum_us);
         self.gm.start(host);
         host.set_timer(TICK_US, TOKEN_TICK);
     }

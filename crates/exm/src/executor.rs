@@ -26,10 +26,32 @@ use crate::config::ExmConfig;
 use crate::events::{AppEvent, Timeline};
 use crate::msg::{encode_msg, AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
 
-const TOKEN_RETRY_BASE: u64 = 1 << 20;
-const TOKEN_DISPATCH_BASE: u64 = 2 << 20;
-const TOKEN_PROBE: u64 = 3 << 20;
+/// Timer tokens carry a kind tag in bits 32.. and a 32-bit payload (task
+/// id or request seq) in the low bits, so the *full* `u32` id space is
+/// collision-free. (The previous scheme added ids to bases spaced 2^20
+/// apart, so a task id ≥ 2^20 bled into the probe token and beyond.) Tags
+/// stay far below the isis namespace at 2^48 — see docs/PROTOCOL.md.
+const TOKEN_TAG_SHIFT: u32 = 32;
+const TAG_RETRY: u64 = 1;
+const TAG_DISPATCH: u64 = 2;
+const TAG_PROBE: u64 = 3;
+const TOKEN_PROBE: u64 = TAG_PROBE << TOKEN_TAG_SHIFT;
 const LOCAL_PID_BASE: u64 = 1 << 16;
+
+/// Retry timer for request `seq`.
+fn retry_token(seq: u32) -> u64 {
+    (TAG_RETRY << TOKEN_TAG_SHIFT) | u64::from(seq)
+}
+
+/// Dispatch (dataflow-delay) timer for `task`.
+fn dispatch_token(task: TaskId) -> u64 {
+    (TAG_DISPATCH << TOKEN_TAG_SHIFT) | u64::from(task.0)
+}
+
+/// Split a token into its kind tag and 32-bit payload.
+fn decode_token(token: u64) -> (u64, u32) {
+    (token >> TOKEN_TAG_SHIFT, token as u32)
+}
 /// Unanswered probes before an instance is declared lost.
 const PROBE_MISS_LIMIT: u32 = 3;
 
@@ -79,6 +101,11 @@ pub struct ExecutorEndpoint {
     pub failed: Option<String>,
     /// Watchdog: unanswered probes per outstanding instance.
     probe_misses: BTreeMap<InstanceKey, u32>,
+    /// Copies written off by the watchdog whose hosts may in fact be alive
+    /// behind a partition (§5's false-suspicion case). Until the instance
+    /// completes we keep sending kills so a healed stale copy cannot keep
+    /// running a SYNC task concurrently with its replacement.
+    superseded: BTreeMap<InstanceKey, BTreeSet<NodeId>>,
     /// §4.2 channel bookkeeping: one channel per stream arc, one port per
     /// connected instance, redirected as instances move.
     pub channels: ChannelRegistry,
@@ -124,6 +151,7 @@ impl ExecutorEndpoint {
             timeline: Timeline::default(),
             failed: None,
             probe_misses: BTreeMap::new(),
+            superseded: BTreeMap::new(),
             channels,
             stream_channels,
             port_of: BTreeMap::new(),
@@ -238,7 +266,7 @@ impl ExecutorEndpoint {
                 .unwrap_or(0);
             self.dispatched.insert(task);
             if delay > 0 {
-                host.set_timer(delay, TOKEN_DISPATCH_BASE + u64::from(task.0));
+                host.set_timer(delay, dispatch_token(task));
             } else {
                 self.dispatch_task(task, host);
             }
@@ -330,10 +358,7 @@ impl ExecutorEndpoint {
         }
         self.timeline
             .push(host.now_us(), AppEvent::RequestSent { req });
-        host.set_timer(
-            self.cfg.request_retry_us,
-            TOKEN_RETRY_BASE + u64::from(req.seq),
-        );
+        host.set_timer(self.cfg.request_retry_us, retry_token(req.seq));
     }
 
     fn handle_allocation(&mut self, req: ReqId, nodes: Vec<NodeId>, host: &mut dyn Host) {
@@ -361,14 +386,24 @@ impl ExecutorEndpoint {
         // others replicate, with surplus machines as redundant copies.
         let (assignments, per_instance): (Vec<(u32, NodeId, bool)>, f64) = if spec.divisible {
             let n = nodes.len().min(slots.len()).max(1);
-            run.instances_total = n as u32;
-            let per = spec.work_mops / n as f64;
+            // Only the first allocation fixes the work split. A later
+            // re-request for a *lost* slot arrives here with slots=[that
+            // slot]; reuse the established plan — resetting it used to
+            // relaunch slot 0 with the whole task's work and shrink
+            // instances_total, so the task never converged (found by the
+            // exp_chaos eviction/re-request schedules).
+            let per = if run.instances_total == 0 {
+                run.instances_total = n as u32;
+                spec.work_mops / n as f64
+            } else {
+                run.per_instance_mops
+            };
             (
-                nodes
+                slots
                     .iter()
+                    .zip(nodes.iter())
                     .take(n)
-                    .enumerate()
-                    .map(|(i, &node)| (i as u32, node, false))
+                    .map(|(&slot, &node)| (slot, node, false))
                     .collect(),
                 per,
             )
@@ -405,6 +440,14 @@ impl ExecutorEndpoint {
             };
             let run = self.task_state.entry(task).or_default();
             run.copies.entry(slot).or_default().insert(node);
+            // The node legitimately hosts this instance again — don't keep
+            // killing its fresh copy.
+            if let Some(set) = self.superseded.get_mut(&key) {
+                set.remove(&node);
+                if set.is_empty() {
+                    self.superseded.remove(&key);
+                }
+            }
             self.placements.entry(key).or_insert(node);
             self.wire_ports(key, node);
             let lp = LoadProgram {
@@ -434,12 +477,13 @@ impl ExecutorEndpoint {
         if !run.done_instances.insert(key.instance) {
             return; // duplicate completion (redundant copy raced the kill)
         }
-        // Kill surviving redundant copies of this instance.
-        let others: Vec<NodeId> = run
-            .copies
-            .remove(&key.instance)
-            .map(|set| set.into_iter().filter(|&n| n != node).collect())
-            .unwrap_or_default();
+        // Kill surviving redundant copies of this instance, plus any
+        // written-off copy on a host that may still be alive behind a
+        // partition.
+        let mut doomed: BTreeSet<NodeId> = run.copies.remove(&key.instance).unwrap_or_default();
+        doomed.extend(self.superseded.remove(&key).unwrap_or_default());
+        doomed.remove(&node);
+        let others: Vec<NodeId> = doomed.into_iter().collect();
         self.placements.insert(key, node);
         self.retire_port(key);
         self.timeline
@@ -604,8 +648,11 @@ impl ExecutorEndpoint {
             let misses = self.probe_misses.entry(key).or_insert(0);
             *misses += 1;
             if *misses > PROBE_MISS_LIMIT {
-                // Host presumed dead: recover the instance.
+                // Host presumed dead: recover the instance. Suspicion can
+                // be wrong (partition, not crash), so remember the node and
+                // keep killing the possibly-live stale copy below.
                 self.probe_misses.remove(&key);
+                self.superseded.entry(key).or_default().insert(node);
                 if host.log_enabled() {
                     host.log(format!("executor: instance {key:?} lost on {node}"));
                 }
@@ -620,6 +667,18 @@ impl ExecutorEndpoint {
                     },
                 );
             }
+        }
+        // Re-kill written-off copies: the KillTask is dropped while the
+        // host is dead or partitioned away, so one shot is not enough. A
+        // heal delivers the next round within one probe period, bounding
+        // how long a stale copy can run concurrently with its replacement.
+        let stale: Vec<(InstanceKey, NodeId)> = self
+            .superseded
+            .iter()
+            .flat_map(|(&k, nodes)| nodes.iter().map(move |&n| (k, n)))
+            .collect();
+        for (key, node) in stale {
+            self.send(host, Addr::daemon(node), &ExmMsg::KillTask { key });
         }
     }
 }
@@ -686,14 +745,14 @@ impl Endpoint for ExecutorEndpoint {
         if self.done {
             return;
         }
-        if token == TOKEN_PROBE {
+        let (tag, payload) = decode_token(token);
+        if tag == TAG_PROBE {
             self.run_probes(host);
             host.set_timer(self.cfg.probe_period_us, TOKEN_PROBE);
-        } else if token >= TOKEN_DISPATCH_BASE {
-            let task = TaskId((token - TOKEN_DISPATCH_BASE) as u32);
-            self.dispatch_task(task, host);
-        } else if token >= TOKEN_RETRY_BASE {
-            let seq = (token - TOKEN_RETRY_BASE) as u32;
+        } else if tag == TAG_DISPATCH {
+            self.dispatch_task(TaskId(payload), host);
+        } else if tag == TAG_RETRY {
+            let seq = payload;
             let req = ReqId { app: self.app, seq };
             let state = self.requests.get(&req).map(|p| (p.allocated, p.retries));
             match state {
@@ -778,5 +837,113 @@ impl Endpoint for ExecutorEndpoint {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use vce_net::MachineInfo;
+    use vce_taskgraph::{Language, ProblemClass, TaskSpec};
+
+    /// Records timer/send effects so token routing is observable.
+    struct RecordingHost {
+        info: MachineInfo,
+        timers: Vec<(u64, u64)>,
+        sent: Vec<(Addr, Addr)>,
+    }
+
+    impl RecordingHost {
+        fn new() -> Self {
+            Self {
+                info: MachineInfo::workstation(NodeId(0), 100.0),
+                timers: Vec::new(),
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl vce_net::Host for RecordingHost {
+        fn now_us(&self) -> u64 {
+            0
+        }
+        fn send(&mut self, src: Addr, dst: Addr, _payload: Bytes) {
+            self.sent.push((src, dst));
+        }
+        fn set_timer(&mut self, delay_us: u64, token: u64) {
+            self.timers.push((delay_us, token));
+        }
+        fn cancel_timer(&mut self, _token: u64) {}
+        fn start_work(&mut self, _pid: u64, _mops: f64) {}
+        fn cancel_work(&mut self, _pid: u64) {}
+        fn work_remaining(&self, _pid: u64) -> Option<f64> {
+            None
+        }
+        fn load(&self) -> f64 {
+            0.0
+        }
+        fn machine(&self) -> &MachineInfo {
+            &self.info
+        }
+        fn rand_u64(&mut self) -> u64 {
+            0
+        }
+        fn log(&mut self, _line: String) {}
+        fn log_enabled(&self) -> bool {
+            false
+        }
+    }
+
+    fn tiny_executor() -> ExecutorEndpoint {
+        let mut g = TaskGraph::new("t");
+        g.add_task(
+            TaskSpec::new("job")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(10.0),
+        );
+        let mut db = MachineDb::new();
+        db.register(MachineInfo::workstation(NodeId(0), 100.0));
+        let me = Addr::executor(NodeId(0));
+        ExecutorEndpoint::new(AppId(1), me, g, db, ExmConfig::default())
+    }
+
+    /// The old additive scheme (`2<<20 + task.0`) made the dispatch token
+    /// for task id 2^20 numerically equal to the probe token; every id
+    /// beyond kept bleeding into foreign ranges. The tagged encoding must
+    /// keep the full u32 id space distinct across kinds.
+    #[test]
+    fn token_kinds_stay_distinct_across_the_full_id_space() {
+        for id in [0u32, 1, (1 << 20) - 1, 1 << 20, (1 << 20) + 1, u32::MAX] {
+            assert_ne!(dispatch_token(TaskId(id)), TOKEN_PROBE, "id {id}");
+            assert_ne!(retry_token(id), TOKEN_PROBE, "id {id}");
+            assert_ne!(dispatch_token(TaskId(id)), retry_token(id), "id {id}");
+            assert_eq!(decode_token(dispatch_token(TaskId(id))), (TAG_DISPATCH, id));
+            assert_eq!(decode_token(retry_token(id)), (TAG_RETRY, id));
+        }
+        assert_eq!(decode_token(TOKEN_PROBE).0, TAG_PROBE);
+        // Stay inside the documented exm timer namespace, below isis'.
+        const { assert!(TOKEN_PROBE < vce_isis::ISIS_TOKEN_BASE) };
+        assert!(retry_token(u32::MAX) < vce_isis::ISIS_TOKEN_BASE);
+    }
+
+    /// Boundary regression: a dispatch timer for task id 2^20 must route to
+    /// dispatch handling (a no-op for an unknown task), not masquerade as
+    /// the probe timer. On the pre-fix encoding this token *was*
+    /// `TOKEN_PROBE`, so `on_timer` re-armed the probe timer — which this
+    /// test rejects.
+    #[test]
+    fn boundary_dispatch_token_is_not_misrouted_to_the_watchdog() {
+        let mut exec = tiny_executor();
+        let mut host = RecordingHost::new();
+        exec.on_timer(dispatch_token(TaskId(1 << 20)), &mut host);
+        assert!(
+            host.timers.is_empty() && host.sent.is_empty(),
+            "dispatch timer for an unknown task must be inert, got timers \
+             {:?} / sends {:?}",
+            host.timers,
+            host.sent
+        );
     }
 }

@@ -645,6 +645,7 @@ mod tests {
         let m = ExmMsg::Isis(IsisMsg::Heartbeat {
             incarnation: 1,
             view_id: 2,
+            view_len: 3,
             joining: false,
             fifo_next: 0,
         });

@@ -95,15 +95,16 @@ pub fn select_with(
     }
     // The paper's sortBidsByLoad with tiebreaks: least loaded first; among
     // equals prefer a machine that already holds the unit's binary (no
-    // dispatch-time compile — §4.5), then the fastest.
+    // dispatch-time compile — §4.5), then the fastest. Bid fields came off
+    // the wire, so a corrupt peer can send NaN: total_cmp gives NaN a
+    // stable (worst) rank instead of panicking the group leader.
     eligible_bids.sort_by(|a, b| {
         let a_has = prefer_staged_binaries && a.binaries.contains(&needs.unit);
         let b_has = prefer_staged_binaries && b.binaries.contains(&needs.unit);
         a.load
-            .partial_cmp(&b.load)
-            .expect("finite loads")
+            .total_cmp(&b.load)
             .then(b_has.cmp(&a_has))
-            .then(b.speed_mops.partial_cmp(&a.speed_mops).expect("finite"))
+            .then(b.speed_mops.total_cmp(&a.speed_mops))
             .then(a.node.cmp(&b.node))
     });
     if eligible_bids.len() < needs.count_min as usize {
@@ -296,6 +297,34 @@ mod tests {
         ] {
             let got = select(policy, &bids, &needs(16, 1, 1), &[], OVERLOAD_THRESHOLD);
             assert_eq!(got, vec![NodeId(1)], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn nan_bids_from_a_corrupt_peer_do_not_panic_the_leader() {
+        // A corrupt (or byzantine) peer can put NaN in any wire float.
+        // NaN `load` fails the `load < overload` eligibility test, so it
+        // never reaches the sort; NaN `speed_mops` survives eligibility and
+        // used to hit `partial_cmp().expect("finite")` in the tiebreak —
+        // panicking the group leader. This test panics on the pre-fix code.
+        let nan_speed = bid(0, 0.0, f64::NAN, 64);
+        let nan_load = bid(1, f64::NAN, 100.0, 64);
+        let honest = bid(2, 0.0, 100.0, 64);
+        for policy in [
+            PlacementPolicy::BestPlatform,
+            PlacementPolicy::UtilizationFirst,
+        ] {
+            let got = select(
+                policy,
+                &[nan_speed.clone(), nan_load.clone(), honest.clone()],
+                &needs(16, 1, 3),
+                &[],
+                OVERLOAD_THRESHOLD,
+            );
+            // NaN load is never eligible; the NaN-speed machine may still
+            // be chosen (its load is honest) but must not crash the sort.
+            assert!(!got.contains(&NodeId(1)), "{policy:?}: NaN load eligible");
+            assert!(got.contains(&NodeId(2)), "{policy:?}: honest bid dropped");
         }
     }
 

@@ -217,7 +217,8 @@ impl GroupMember {
             IsisMsg::Heartbeat {
                 incarnation,
                 view_id,
-                joining: _,
+                view_len,
+                joining,
                 fifo_next,
             } => {
                 // Restarted peer: discard its old FIFO stream.
@@ -233,10 +234,44 @@ impl GroupMember {
                     // Any non-member heartbeat is an (implicit) join request.
                     self.joiners.insert(src, now);
                 }
-                // A coordinator that hears of a newer view was partitioned
-                // out and superseded: step down and re-join.
-                if self.is_member() && view_id > self.view.id && !self.view.contains(src) {
+                // Our own coordinator announcing it is a *joiner* has
+                // abdicated (demoted after a merge it lost): it is alive
+                // but will never coordinate this view again. Treat it as
+                // failed so succession can elect the oldest surviving
+                // member — otherwise its heartbeats keep the view's
+                // members waiting on a dead throne forever.
+                if joining && self.is_member() && self.view.coordinator() == Some(src) {
+                    self.last_heard.remove(&src);
+                }
+                // A member that hears of a *dominant* foreign view was
+                // partitioned out and superseded: step down and re-join.
+                // Dominance is primary-partition first (a view holding a
+                // quorum of the configured candidates), then view id. A
+                // lone rejoining ex-coordinator has churned its id far
+                // ahead evicting everyone, but must defer to the surviving
+                // majority — raw id order would hand it the merged group
+                // back, and with it a second allocator over the same
+                // machines. Size alone won't do either: a stale full view
+                // would then outrank the newer view that evicted a dead
+                // member, demoting the survivors en masse.
+                let quorum = self.cfg.candidates.len() / 2 + 1;
+                let superseded = match (view_len as usize >= quorum, self.view.len() >= quorum) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => view_id > self.view.id,
+                };
+                if self.is_member() && !self.view.contains(src) && superseded {
                     self.demote(&mut up);
+                }
+                // Anti-entropy for dropped ViewInstalls: a member of our
+                // view announcing an older view id missed an install on the
+                // lossy transport and would otherwise stay stale forever;
+                // re-push the current view to it directly.
+                if self.is_coordinator() && self.view.contains(src) && view_id < self.view.id {
+                    let msg = IsisMsg::ViewInstall {
+                        view: self.view.clone(),
+                    };
+                    self.out(host, src, &msg);
                 }
             }
             IsisMsg::ViewInstall { view } => {
@@ -446,6 +481,7 @@ impl GroupMember {
         let hb = IsisMsg::Heartbeat {
             incarnation: self.incarnation,
             view_id: self.view.id,
+            view_len: self.view.len() as u32,
             joining: !self.is_member(),
             fifo_next: self.out_fifo_seq,
         };

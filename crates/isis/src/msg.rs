@@ -56,6 +56,12 @@ pub enum IsisMsg {
         incarnation: u64,
         /// Highest view id the sender has installed (0 = none).
         view_id: u64,
+        /// Size of the sender's installed view (0 = none). Merge authority
+        /// when partitions heal: a view holding a quorum of the configured
+        /// candidates outranks one that does not, before ids are compared,
+        /// so a lone rejoining ex-coordinator whose id churned ahead cannot
+        /// reclaim the group from the surviving majority.
+        view_len: u32,
         /// True if the sender is not yet a member and wants in.
         joining: bool,
         /// The sender's next outbound cast `fifo_seq`. Receivers that have
@@ -125,12 +131,14 @@ impl Codec for IsisMsg {
             IsisMsg::Heartbeat {
                 incarnation,
                 view_id,
+                view_len,
                 joining,
                 fifo_next,
             } => {
                 enc.put_u8(T_HEARTBEAT);
                 enc.put_u64(*incarnation);
                 enc.put_u64(*view_id);
+                enc.put_u32(*view_len);
                 enc.put_bool(*joining);
                 enc.put_u64(*fifo_next);
             }
@@ -178,6 +186,7 @@ impl Codec for IsisMsg {
             T_HEARTBEAT => IsisMsg::Heartbeat {
                 incarnation: dec.get_u64()?,
                 view_id: dec.get_u64()?,
+                view_len: dec.get_u32()?,
                 joining: dec.get_bool()?,
                 fifo_next: dec.get_u64()?,
             },
@@ -236,6 +245,7 @@ mod tests {
             IsisMsg::Heartbeat {
                 incarnation: 7,
                 view_id: 2,
+                view_len: 5,
                 joining: true,
                 fifo_next: 4,
             },

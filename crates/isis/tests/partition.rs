@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use vce_codec::from_bytes;
+use vce_isis::collect::CollectResult;
 use vce_isis::{is_isis_token, CastOrder, GroupConfig, GroupMember, IsisMsg, Upcall, View};
 use vce_net::{Addr, Endpoint, Envelope, Host, MachineInfo, NodeId};
 use vce_sim::{Sim, SimConfig};
@@ -12,6 +13,12 @@ struct Member {
     gm: GroupMember,
     delivered: Vec<Bytes>,
     pending_casts: Vec<Bytes>,
+    /// Reply to every delivered broadcast with this payload (stands in for
+    /// a daemon answering a bid solicitation).
+    auto_reply: Option<Bytes>,
+    /// Collect to start on the next tick: (payload, timeout).
+    pending_collect: Option<(Bytes, u64)>,
+    collects: Vec<CollectResult>,
 }
 
 impl Member {
@@ -20,6 +27,24 @@ impl Member {
             gm: GroupMember::new(me, cfg),
             delivered: Vec::new(),
             pending_casts: Vec::new(),
+            auto_reply: None,
+            pending_collect: None,
+            collects: Vec::new(),
+        }
+    }
+
+    fn process(&mut self, ups: Vec<Upcall>, host: &mut dyn Host) {
+        for up in ups {
+            match up {
+                Upcall::Deliver { id, payload, .. } => {
+                    if let Some(reply) = &self.auto_reply {
+                        self.gm.reply(id, reply.clone(), host);
+                    }
+                    self.delivered.push(payload);
+                }
+                Upcall::CollectDone(r) => self.collects.push(r),
+                _ => {}
+            }
         }
     }
 }
@@ -30,23 +55,19 @@ impl Endpoint for Member {
     }
     fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
         let msg: IsisMsg = from_bytes(&env.payload).expect("isis msg");
-        for up in self.gm.handle(env.src, msg, host) {
-            if let Upcall::Deliver { payload, .. } = up {
-                self.delivered.push(payload);
-            }
-        }
+        let ups = self.gm.handle(env.src, msg, host);
+        self.process(ups, host);
     }
     fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
         assert!(is_isis_token(token));
         let ups = self.gm.on_timer(token, host);
-        for up in ups {
-            if let Upcall::Deliver { payload, .. } = up {
-                self.delivered.push(payload);
-            }
-        }
+        self.process(ups, host);
         if self.gm.is_member() {
             for p in std::mem::take(&mut self.pending_casts) {
                 self.gm.bcast(CastOrder::Fifo, p, host);
+            }
+            if let Some((payload, timeout)) = self.pending_collect.take() {
+                self.gm.bcast_collect(payload, None, timeout, host);
             }
         }
     }
@@ -108,6 +129,92 @@ fn partition_splits_and_heal_reconverges() {
         assert_eq!(v.coordinator(), final_views[0].coordinator());
         assert_eq!(v.id, final_views[0].id);
     }
+}
+
+/// §5 leader succession under partition: isolating the coordinator must
+/// leave each side with exactly one allocator whose bid collection sees
+/// only its own side — never machines across the cut (which is what would
+/// feed a dual allocation) — and on heal the pre-partition coordinator
+/// must stand down, leaving exactly one coordinator overall.
+#[test]
+fn isolated_coordinator_allocates_only_its_side_and_stands_down_on_heal() {
+    let mut sim = Sim::new(SimConfig::default());
+    let addrs = build(&mut sim, 5);
+    for &a in &addrs {
+        sim.with_endpoint_mut::<Member, _>(a, |m| {
+            m.auto_reply = Some(Bytes::from_static(b"bid"));
+        });
+    }
+    sim.run_until(3_000_000);
+    assert_eq!(view_at(&mut sim, addr(0)).coordinator(), Some(addr(0)));
+
+    // Cut the coordinator off on its own: {0} | {1,2,3,4}.
+    sim.with_fault_plan(|p| {
+        for n in 1..5 {
+            p.set_partition(NodeId(n), 1);
+        }
+    });
+    sim.run_until(9_000_000);
+    // Each side runs exactly one coordinator: the old one alone on its
+    // island, the oldest survivor (node 1) on the majority side.
+    let v0 = view_at(&mut sim, addr(0));
+    assert_eq!(v0.len(), 1, "{v0}");
+    assert_eq!(v0.coordinator(), Some(addr(0)));
+    let v1 = view_at(&mut sim, addr(1));
+    assert_eq!(v1.len(), 4, "{v1}");
+    assert_eq!(v1.coordinator(), Some(addr(1)));
+    for n in 0..5u32 {
+        let is_coord = sim
+            .with_endpoint_mut::<Member, _>(addr(n), |m| m.gm.is_coordinator())
+            .unwrap();
+        assert_eq!(is_coord, n == 0 || n == 1, "node {n}");
+    }
+
+    // Both coordinators solicit bids mid-partition. Replies must come
+    // only from the soliciting side — no cross-partition inputs exist for
+    // either allocator to act on.
+    for n in [0u32, 1] {
+        sim.with_endpoint_mut::<Member, _>(addr(n), |m| {
+            m.pending_collect = Some((Bytes::from_static(b"solicit"), 1_500_000));
+        });
+    }
+    sim.run_until(12_000_000);
+    let collected = |sim: &mut Sim, n: u32| -> Vec<Addr> {
+        sim.with_endpoint_mut::<Member, _>(addr(n), |m| m.collects.clone())
+            .unwrap()
+            .last()
+            .expect("collect finished")
+            .replies
+            .iter()
+            .map(|(a, _)| *a)
+            .collect()
+    };
+    let side0 = collected(&mut sim, 0);
+    assert_eq!(side0, vec![addr(0)], "isolated coordinator heard {side0:?}");
+    let side1 = collected(&mut sim, 1);
+    assert_eq!(side1.len(), 4, "majority coordinator heard {side1:?}");
+    assert!(!side1.contains(&addr(0)), "cross-partition bid: {side1:?}");
+
+    // Heal: the pre-partition coordinator rejoins as the youngest member
+    // and stands down; the group converges on exactly one coordinator.
+    sim.with_fault_plan(|p| p.heal_partitions());
+    sim.run_until(30_000_000);
+    let merged = view_at(&mut sim, addr(0));
+    assert_eq!(merged.len(), 5, "{merged}");
+    for &a in &addrs {
+        assert_eq!(view_at(&mut sim, a).id, merged.id);
+    }
+    let coordinators: Vec<u32> = (0..5u32)
+        .filter(|&n| {
+            sim.with_endpoint_mut::<Member, _>(addr(n), |m| m.gm.is_coordinator())
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(coordinators.len(), 1, "coordinators: {coordinators:?}");
+    let demoted = sim
+        .with_endpoint_mut::<Member, _>(addr(0), |m| m.gm.is_coordinator())
+        .unwrap();
+    assert!(!demoted, "pre-partition coordinator did not stand down");
 }
 
 #[test]

@@ -31,6 +31,7 @@ pub const P001_FILES: &[&str] = &[
     "crates/isis/src/member.rs",
     "crates/exm/src/daemon.rs",
     "crates/exm/src/executor.rs",
+    "crates/exm/src/policy.rs",
 ];
 
 pub const RULE_IDS: &[&str] = &[

@@ -36,6 +36,26 @@ impl Default for LinkFault {
     }
 }
 
+/// One timed mutation of a [`FaultPlan`] — the unit of a *schedulable*
+/// fault plan. Drivers queue `(at_us, FaultOp)` pairs (e.g. via
+/// `vce_sim::Sim::schedule_fault`) so an entire crash/partition/heal
+/// scenario rides the deterministic event heap instead of ad-hoc driver
+/// stepping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOp {
+    /// Crash a machine: its CPU state vanishes, messages to/from it drop.
+    Kill(NodeId),
+    /// Revive a crashed machine; its endpoints reboot via `on_start`.
+    Revive(NodeId),
+    /// Move a node into partition `group` (0 = the main component).
+    Partition(NodeId, u32),
+    /// Heal all partitions.
+    Heal,
+    /// Replace the every-link default fault — message loss/dup/jitter
+    /// bursts start by installing one and end by restoring the default.
+    DefaultLink(LinkFault),
+}
+
 /// The verdict a transport gets for one envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Delivery {

@@ -32,7 +32,7 @@ pub mod stats;
 pub use actor::{send_msg, Endpoint, Host};
 pub use addr::{Addr, NodeId, PortId};
 pub use driver::{LiveDriver, LiveNodeConfig};
-pub use fault::{FaultPlan, LinkFault};
+pub use fault::{FaultOp, FaultPlan, LinkFault};
 pub use machine::{MachineClass, MachineInfo};
 pub use memory::{MemoryNetwork, NodeHandle};
 pub use message::Envelope;

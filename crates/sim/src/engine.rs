@@ -68,6 +68,8 @@ enum EventKind {
     LoadChange {
         background: f64,
     },
+    /// A scheduled fault-plan mutation (see [`Sim::schedule_fault`]).
+    Fault(vce_net::FaultOp),
 }
 
 #[derive(Debug)]
@@ -371,6 +373,58 @@ impl Sim {
         }
     }
 
+    /// Schedule a fault-plan mutation at absolute sim time `at_us` —
+    /// crash/revive, partition/heal, or a default-link change. The op
+    /// rides the ordinary event heap, so an entire chaos schedule queued
+    /// up front interleaves deterministically with protocol traffic, and
+    /// each application is visible in the trace for replay.
+    pub fn schedule_fault(&mut self, at_us: u64, op: vce_net::FaultOp) {
+        let node = match op {
+            vce_net::FaultOp::Kill(n)
+            | vce_net::FaultOp::Revive(n)
+            | vce_net::FaultOp::Partition(n, _) => n,
+            _ => NodeId(0),
+        };
+        self.push_event(at_us.max(self.now), node, EventKind::Fault(op));
+    }
+
+    fn apply_fault(&mut self, op: vce_net::FaultOp) {
+        match op {
+            vce_net::FaultOp::Kill(n) => self.kill_node(n),
+            vce_net::FaultOp::Revive(n) => self.revive_node(n),
+            vce_net::FaultOp::Partition(n, group) => {
+                self.fault.set_partition(n, group);
+                if self.trace.is_enabled() {
+                    let now = self.now;
+                    self.trace
+                        .push(now, n, format!("engine: partition -> group {group}"));
+                }
+            }
+            vce_net::FaultOp::Heal => {
+                self.fault.heal_partitions();
+                if self.trace.is_enabled() {
+                    let now = self.now;
+                    self.trace
+                        .push(now, NodeId(0), "engine: partitions healed".into());
+                }
+            }
+            vce_net::FaultOp::DefaultLink(lf) => {
+                self.fault.default_link = lf;
+                if self.trace.is_enabled() {
+                    let now = self.now;
+                    self.trace.push(
+                        now,
+                        NodeId(0),
+                        format!(
+                            "engine: default link drop={} dup={} delay={}µs+{}µs",
+                            lf.drop_prob, lf.dup_prob, lf.extra_delay_us, lf.jitter_us
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     /// Immediately set a node's background load.
     pub fn set_background(&mut self, node: NodeId, background: f64) {
         self.push_event(self.now, node, EventKind::LoadChange { background });
@@ -546,6 +600,7 @@ impl Sim {
                 }
                 self.schedule_cpu_check(ev.node);
             }
+            EventKind::Fault(op) => self.apply_fault(op),
             EventKind::LoadChange { background } => {
                 if let Some(n) = self.nodes.get_mut(&ev.node) {
                     let now = self.now;

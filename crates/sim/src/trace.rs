@@ -81,6 +81,25 @@ impl Trace {
         self.grep(needle).last().map(|e| e.at_us)
     }
 
+    /// Number of records matching `needle` — the cheap hook invariant
+    /// checkers poll between observation quanta.
+    pub fn count(&self, needle: &str) -> usize {
+        self.grep(needle).count()
+    }
+
+    /// Render the last `n` records — the replayable tail a failing chaos
+    /// seed reports (the full trace of a long campaign run is huge; the
+    /// tail plus the seed reproduces the rest).
+    pub fn dump_tail(&self, n: usize) -> String {
+        let skip = self.events.len().saturating_sub(n);
+        let mut s = String::new();
+        for e in &self.events[skip..] {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
     /// Render the whole trace (for test diagnostics).
     pub fn dump(&self) -> String {
         let mut s = String::new();

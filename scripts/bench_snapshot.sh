@@ -5,6 +5,9 @@
 #   bidding_round.latency_us    one F3 allocation round, 8 machines, 0.8ms jitter
 #   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
 #   sweep.identical_output      parallel rows byte-identical to serial rows
+#   chaos.*                     one mixed-schedule chaos run (seed 100,
+#                               checkpoint): invariants green, faults,
+#                               makespan degradation vs fault-free
 #   baseline / *_vs_baseline    present when BENCH_baseline.json exists
 #
 # Usage: scripts/bench_snapshot.sh [output.json]

@@ -28,6 +28,9 @@ cargo fmt --check
 echo "== exp_bidding smoke =="
 cargo run --release --offline -q -p vce-bench --bin exp_bidding
 
+echo "== exp_chaos smoke (1 seed per cell) =="
+VCE_CHAOS_SEEDS=1 cargo run --release --offline -q -p vce-bench --bin exp_chaos
+
 echo "== sweep determinism =="
 cargo test --release --offline -q -p vce-bench --test sweep_determinism
 
