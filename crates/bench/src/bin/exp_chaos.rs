@@ -3,7 +3,8 @@
 //! A seeded fault-injection sweep (see `vce_bench::chaos`): every cell of
 //! the `technique × schedule-shape × seed` grid drives a full VCE fleet
 //! through a generated fault schedule — crashes/revives, partitions/heals,
-//! loss/dup bursts, leader-targeted kills — and checks five recovery
+//! loss/dup bursts, leader-targeted kills, and storage-fault crash shapes
+//! (intact WAL, torn log tail, device loss) — and checks seven recovery
 //! invariants. The table reports completed allocations and makespan
 //! degradation versus the fault-free baseline, per §4.4 migration
 //! technique. Any failing seed is replayed with the trace enabled and its
@@ -22,7 +23,7 @@ use vce_bench::sweep::sweep;
 use vce_exm::migrate::MigrationTechnique;
 use vce_workloads::table::Table;
 
-/// Seeds per grid cell: 10 × 5 shapes × 4 techniques = 200 schedules.
+/// Seeds per grid cell: 10 × 8 shapes × 4 techniques = 320 schedules.
 const DEFAULT_SEEDS: u64 = 10;
 /// Seed base — arbitrary, fixed so reports name replayable seeds.
 const SEED_BASE: u64 = 100;
@@ -73,6 +74,9 @@ fn replay_main(args: &[String]) -> ! {
             shape.name(),
             tech_name(tech)
         );
+        for line in &out.journal {
+            println!("  journal: {line}");
+        }
         std::process::exit(0);
     }
     print!("{}", out.report());

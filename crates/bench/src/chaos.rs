@@ -19,6 +19,19 @@
 //!    and no daemon is left running zombie instances afterwards.
 //! 5. **Reconverge** — post-heal group views reconverge to one view with
 //!    one coordinator within a bounded number of heartbeats.
+//! 6. **NoReexec** — a committed completed task is never re-executed after
+//!    a WAL recovery: no instance restored from the log also has its
+//!    `Done` record in the committed prefix.
+//! 7. **PrefixRecovery** — every recovery replays a *prefix* of what was
+//!    journaled (a torn tail truncates; it never resurrects later records
+//!    or invents state).
+//!
+//! The storage-fault shapes (`crash-recover`, `torn-tail`, `device-loss`)
+//! drive the same crash/revive churn as `crashes` but pin the stable
+//! store's crash-fault model, exercising the daemon WAL's recovery path:
+//! intact logs, torn tails that must truncate, and total device loss that
+//! must fall back to pre-WAL amnesia (the §4.4 techniques then re-cover
+//! the lost work).
 //!
 //! Schedules are a pure function of `(seed, shape, technique)`, so a
 //! failing run is replayed exactly by re-running its config with the
@@ -80,16 +93,29 @@ pub enum ScheduleShape {
     LeaderHunt,
     /// All of the above.
     Mixed,
+    /// Crash/revive churn with intact stable storage: every revive replays
+    /// a clean WAL (the recovery fast path).
+    CrashRecover,
+    /// Crash/revive churn where every crash tears the log tail: recovery
+    /// must truncate the torn record, never replay it.
+    TornTail,
+    /// Crash/revive churn where every crash loses the whole device:
+    /// recovery degrades to pre-WAL amnesia and the §4.4 techniques must
+    /// re-cover the lost work.
+    DeviceLoss,
 }
 
 impl ScheduleShape {
     /// Every shape, in sweep order.
-    pub const ALL: [ScheduleShape; 5] = [
+    pub const ALL: [ScheduleShape; 8] = [
         ScheduleShape::Crashes,
         ScheduleShape::Partitions,
         ScheduleShape::Bursts,
         ScheduleShape::LeaderHunt,
         ScheduleShape::Mixed,
+        ScheduleShape::CrashRecover,
+        ScheduleShape::TornTail,
+        ScheduleShape::DeviceLoss,
     ];
 
     /// Stable name for tables and reports.
@@ -100,6 +126,27 @@ impl ScheduleShape {
             ScheduleShape::Bursts => "bursts",
             ScheduleShape::LeaderHunt => "leader-hunt",
             ScheduleShape::Mixed => "mixed",
+            ScheduleShape::CrashRecover => "crash-recover",
+            ScheduleShape::TornTail => "torn-tail",
+            ScheduleShape::DeviceLoss => "device-loss",
+        }
+    }
+
+    /// The stable-storage crash-fault model this shape pins on every
+    /// machine. Non-storage shapes leave the store fault-free (crashes
+    /// still lose non-durable in-flight writes — that is the baseline
+    /// write-behind model, not a fault).
+    pub fn fault_model(self) -> vce_storage::FaultModel {
+        match self {
+            ScheduleShape::TornTail => vce_storage::FaultModel {
+                torn_tail: 1.0,
+                ..vce_storage::FaultModel::none()
+            },
+            ScheduleShape::DeviceLoss => vce_storage::FaultModel {
+                device_loss: 1.0,
+                ..vce_storage::FaultModel::none()
+            },
+            _ => vce_storage::FaultModel::none(),
         }
     }
 }
@@ -125,7 +172,7 @@ pub struct ChaosConfig {
     pub trace: bool,
 }
 
-/// The five checked invariants.
+/// The seven checked invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Invariant {
     /// ≤1 coordinator allocating per component.
@@ -138,6 +185,10 @@ pub enum Invariant {
     Termination,
     /// Post-heal views reconverge within bounded heartbeats.
     Reconverge,
+    /// No committed completed task is re-executed after a WAL recovery.
+    NoReexec,
+    /// Every recovery replays a prefix of what was journaled.
+    PrefixRecovery,
 }
 
 impl fmt::Display for Invariant {
@@ -148,6 +199,8 @@ impl fmt::Display for Invariant {
             Invariant::NoDupExec => "no-dup-exec",
             Invariant::Termination => "termination",
             Invariant::Reconverge => "reconverge",
+            Invariant::NoReexec => "no-reexec",
+            Invariant::PrefixRecovery => "recovery-prefix",
         };
         f.write_str(s)
     }
@@ -173,7 +226,7 @@ pub struct ChaosOutcome {
     pub shape: ScheduleShape,
     /// Technique the tasks were equipped with.
     pub technique: MigrationTechnique,
-    /// Violations observed (empty = all five invariants green).
+    /// Violations observed (empty = all seven invariants green).
     pub violations: Vec<Violation>,
     /// Fault ops injected (kills + partitions + bursts + heals).
     pub faults: u32,
@@ -185,10 +238,13 @@ pub struct ChaosOutcome {
     pub reconverge_heartbeats: Option<u64>,
     /// Tail of the event trace (only on traced runs with violations).
     pub trace_tail: Option<String>,
+    /// Per-crashed-node stable-storage journal summary, in node order —
+    /// what each WAL saw across its crashes (replay diagnostics).
+    pub journal: Vec<String>,
 }
 
 impl ChaosOutcome {
-    /// All five invariants held.
+    /// All seven invariants held.
     pub fn green(&self) -> bool {
         self.violations.is_empty()
     }
@@ -214,6 +270,14 @@ impl ChaosOutcome {
             self.shape.name(),
             self.technique
         ));
+        if !self.journal.is_empty() {
+            s.push_str("  journal:\n");
+            for line in &self.journal {
+                s.push_str("    ");
+                s.push_str(line);
+                s.push('\n');
+            }
+        }
         if let Some(t) = &self.trace_tail {
             s.push_str("  trace tail:\n");
             for line in t.lines() {
@@ -343,6 +407,12 @@ fn generate(cfg: &ChaosConfig, start_us: u64) -> Schedule {
             bursts(&mut rng, &mut engine_ops, 2);
             hunts(&mut rng, &mut driver_ops, 1);
         }
+        // The storage shapes reuse the crash/revive generator (distinct
+        // schedules via the shape-name salt); what differs is the
+        // stable-store fault model pinned in `fleet_vce`.
+        ScheduleShape::CrashRecover | ScheduleShape::TornTail | ScheduleShape::DeviceLoss => {
+            crashes(&mut rng, &mut engine_ops, &mut dead_windows, 8)
+        }
     }
 
     // The campaign's contract: after `end_us` nothing is broken any more.
@@ -400,6 +470,7 @@ fn fleet_vce(cfg: &ChaosConfig) -> Vce {
     if cfg.technique == MigrationTechnique::Redundant {
         exm.redundancy = 2;
     }
+    exm.storage.fault = cfg.shape.fault_model();
     let mut b = VceBuilder::new(cfg.seed);
     for i in 0..FLEET {
         b.machine(MachineInfo::workstation(NodeId(i), 100.0));
@@ -422,6 +493,8 @@ fn fleet_vce(cfg: &ChaosConfig) -> Vce {
 struct NetMirror {
     dead: BTreeSet<u32>,
     group: BTreeMap<u32, u32>,
+    /// Every node the schedule has killed at least once (journal report).
+    ever_crashed: BTreeSet<u32>,
 }
 
 impl NetMirror {
@@ -429,6 +502,7 @@ impl NetMirror {
         match *op {
             FaultOp::Kill(n) => {
                 self.dead.insert(n.0);
+                self.ever_crashed.insert(n.0);
             }
             FaultOp::Revive(n) => {
                 self.dead.remove(&n.0);
@@ -459,6 +533,9 @@ impl NetMirror {
 struct Watch {
     dual_leader_since: Option<u64>,
     dup_since: BTreeMap<InstanceKey, u64>,
+    /// WAL recoveries already checked, keyed `(node, recovery_seq)` — each
+    /// revive's report is judged exactly once.
+    recoveries_seen: BTreeSet<(u32, u64)>,
 }
 
 fn observe(vce: &mut Vce, mirror: &NetMirror, watch: &mut Watch, violations: &mut Vec<Violation>) {
@@ -502,6 +579,41 @@ fn observe(vce: &mut Vce, mirror: &NetMirror, watch: &mut Watch, violations: &mu
             if !redundant && running {
                 hosts.entry(key).or_default().push(n);
             }
+        }
+    }
+    // INV6/INV7: judge each WAL recovery exactly once — a restored
+    // instance must not have its completion in the committed prefix, and
+    // the replay must be a prefix of what was journaled.
+    for n in mirror.alive() {
+        let Some(rec) = vce
+            .with_daemon(NodeId(n), |d| d.last_recovery.clone())
+            .flatten()
+        else {
+            continue;
+        };
+        if !watch.recoveries_seen.insert((n, rec.seq)) {
+            continue;
+        }
+        if !rec.resurrected.is_empty() {
+            violations.push(Violation {
+                invariant: Invariant::NoReexec,
+                at_us: now,
+                detail: format!(
+                    "node {n} recovery #{} re-executed committed-done instances {:?}",
+                    rec.seq, rec.resurrected
+                ),
+            });
+        }
+        if !rec.prefix_ok {
+            violations.push(Violation {
+                invariant: Invariant::PrefixRecovery,
+                at_us: now,
+                detail: format!(
+                    "node {n} recovery #{} replayed {} of {} records but not as a prefix \
+                     (fault {:?}, {} bytes truncated)",
+                    rec.seq, rec.replayed, rec.appended, rec.fault, rec.truncated_bytes
+                ),
+            });
         }
     }
     let mut still_dup: BTreeSet<InstanceKey> = BTreeSet::new();
@@ -694,6 +806,16 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     } else {
         None
     };
+    let journal: Vec<String> = mirror
+        .ever_crashed
+        .iter()
+        .map(|&n| {
+            let s = vce
+                .with_daemon(NodeId(n), |d| d.wal_summary())
+                .unwrap_or_else(|| "daemon unavailable".to_string());
+            format!("node {n}: {s}")
+        })
+        .collect();
     ChaosOutcome {
         seed: cfg.seed,
         shape: cfg.shape,
@@ -704,6 +826,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         makespan_us: report.makespan_us,
         reconverge_heartbeats: reconverged_at.map(|t| (t.saturating_sub(heal_us)) / HEARTBEAT_US),
         trace_tail,
+        journal,
     }
 }
 
@@ -826,6 +949,57 @@ mod tests {
         assert_eq!(a.makespan_us, b.makespan_us);
         assert_eq!(a.allocations, b.allocations);
         assert_eq!(a.reconverge_heartbeats, b.reconverge_heartbeats);
+    }
+
+    #[test]
+    fn failing_reports_carry_the_journal_and_replay_line() {
+        let out = ChaosOutcome {
+            seed: 42,
+            shape: ScheduleShape::TornTail,
+            technique: MigrationTechnique::Checkpoint,
+            violations: vec![Violation {
+                invariant: Invariant::PrefixRecovery,
+                at_us: 1_000_000,
+                detail: "synthetic".to_string(),
+            }],
+            faults: 1,
+            allocations: 0,
+            makespan_us: None,
+            reconverge_heartbeats: None,
+            trace_tail: None,
+            journal: vec!["node 3: records=2 ...".to_string()],
+        };
+        let r = out.report();
+        assert!(r.contains("recovery-prefix"), "{r}");
+        assert!(r.contains("--replay 42 torn-tail"), "{r}");
+        assert!(r.contains("journal:"), "{r}");
+        assert!(r.contains("node 3: records=2"), "{r}");
+    }
+
+    #[test]
+    fn a_torn_tail_run_truncates_and_stays_green() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            shape: ScheduleShape::TornTail,
+            technique: MigrationTechnique::Checkpoint,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
+        // Every crashed node's journal line is reported.
+        assert!(!out.journal.is_empty(), "crash shapes must report journals");
+    }
+
+    #[test]
+    fn a_device_loss_run_falls_back_to_amnesia_and_stays_green() {
+        let cfg = ChaosConfig {
+            seed: 9,
+            shape: ScheduleShape::DeviceLoss,
+            technique: MigrationTechnique::Recompile,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Seeded, bounded exponential backoff.
+//!
+//! The executor's allocation-request retry and the leader's bid-collection
+//! deadline were fixed-interval: under a long outage every retry fired in
+//! lockstep at the same cost, and a fleet of executors hammered a dead
+//! group in phase. Retries now double per attempt up to a cap, with ±12.5%
+//! jitter drawn from the seeded sim RNG so repeated failures decorrelate
+//! across nodes while staying deterministic per seed.
+
+/// Delay before attempt `attempt` (0-based), in µs.
+///
+/// Attempt 0 returns exactly `base` — fair-weather timings (and every
+/// experiment table that depends on them) are unchanged. Later attempts
+/// double the interval, saturate at `cap`, then add jitter in
+/// `[-cap/8, +cap/8)` from `rand` (a raw `Host::rand_u64` draw).
+pub(crate) fn backoff_delay_us(base: u64, cap: u64, attempt: u32, rand: u64) -> u64 {
+    if attempt == 0 {
+        return base;
+    }
+    let cap = cap.max(base);
+    let doubled = base.saturating_mul(1u64.checked_shl(attempt.min(20)).unwrap_or(u64::MAX));
+    let d = doubled.min(cap);
+    let spread = (d / 4).max(1);
+    (d - d / 8 + rand % spread).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_is_exactly_base() {
+        assert_eq!(backoff_delay_us(1_000, 8_000, 0, 0xDEAD_BEEF), 1_000);
+    }
+
+    #[test]
+    fn doubles_then_saturates_at_cap() {
+        // Jitter-free midpoint check: rand = spread/2 gives d - d/8 + d/8 = d.
+        for (attempt, want) in [(1, 2_000), (2, 4_000), (3, 8_000), (4, 8_000), (30, 8_000)] {
+            let d = backoff_delay_us(1_000, 8_000, attempt, 0);
+            assert!(
+                d >= want - want / 8 && d < want + want / 8,
+                "attempt {attempt}: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        for r in [0u64, 1, 7, u64::MAX, 0x9E37_79B9] {
+            let d = backoff_delay_us(1_000, 8_000, 10, r);
+            assert!((7_000..9_000).contains(&d), "{d}");
+            assert_eq!(d, backoff_delay_us(1_000, 8_000, 10, r));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_never_zero_or_overflow() {
+        assert!(backoff_delay_us(0, 0, 5, 0) >= 1);
+        assert!(backoff_delay_us(u64::MAX, 1, 63, u64::MAX) >= 1);
+        assert!(backoff_delay_us(1, u64::MAX, u32::MAX, u64::MAX) >= 1);
+    }
+
+    #[test]
+    fn cap_below_base_is_lifted_to_base() {
+        let d = backoff_delay_us(1_000, 10, 3, 0);
+        assert!(d >= 875, "{d}"); // behaves as cap == base
+    }
+}

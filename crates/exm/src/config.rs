@@ -10,9 +10,15 @@ pub struct ExmConfig {
     /// Bid-collection deadline, µs (the leader allocates with whatever
     /// arrived when it expires).
     pub bid_timeout_us: u64,
+    /// Upper bound the bid-collection deadline backs off to when collects
+    /// keep coming back short (members crashed or partitioned away).
+    pub bid_timeout_cap_us: u64,
     /// Executor's resource-request retry timeout, µs (covers leader
-    /// failover windows).
+    /// failover windows). This is the *initial* interval; retries back off
+    /// exponentially (with seeded jitter) up to `request_retry_cap_us`.
     pub request_retry_us: u64,
+    /// Upper bound the resource-request retry interval backs off to.
+    pub request_retry_cap_us: u64,
     /// Queue requests the group cannot satisfy now instead of returning
     /// AllocError (`false` reproduces the §5 prototype's behaviour).
     pub queue_insufficient: bool,
@@ -56,6 +62,13 @@ pub struct ExmConfig {
     /// Executor watchdog probe period, µs (host-crash detection latency is
     /// roughly `probe_period_us × (miss limit + 1)`).
     pub probe_period_us: u64,
+    /// Per-node stable storage behind the daemon's write-ahead log:
+    /// write latency and crash-fault probabilities.
+    pub storage: vce_storage::StorageConfig,
+    /// Journal daemon state changes and recover them on revive. `false`
+    /// reproduces the pre-WAL daemon (total amnesia on reboot) — the
+    /// baseline arm of `exp_recovery`.
+    pub wal_enabled: bool,
 }
 
 impl Default for ExmConfig {
@@ -63,7 +76,9 @@ impl Default for ExmConfig {
         Self {
             policy: PlacementPolicy::UtilizationFirst,
             bid_timeout_us: 800_000,
+            bid_timeout_cap_us: 2_400_000,
             request_retry_us: 3_000_000,
+            request_retry_cap_us: 12_000_000,
             queue_insufficient: true,
             aging_quantum_us: 2_000_000,
             rebalance_period_us: 2_000_000,
@@ -79,6 +94,8 @@ impl Default for ExmConfig {
             prefer_staged_binaries: true,
             soft_reservations: true,
             probe_period_us: 2_000_000,
+            storage: vce_storage::StorageConfig::default(),
+            wal_enabled: true,
         }
     }
 }
@@ -91,6 +108,11 @@ mod tests {
     fn defaults_are_coherent() {
         let c = ExmConfig::default();
         assert!(c.bid_timeout_us < c.request_retry_us);
+        assert!(c.bid_timeout_us <= c.bid_timeout_cap_us);
+        assert!(c.request_retry_us <= c.request_retry_cap_us);
+        // Even a fully backed-off collect stays shorter than one retry
+        // interval, so a leader answers before the executor gives up on it.
+        assert!(c.bid_timeout_cap_us < c.request_retry_us);
         assert!(c.idle_threshold < c.owner_busy_threshold);
         assert!(c.redundancy >= 1);
         assert_eq!(c.policy, PlacementPolicy::UtilizationFirst);

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vce_isis::{is_isis_token, BcastId, GroupConfig, GroupMember, Upcall};
 use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
 
+use crate::backoff::backoff_delay_us;
 use crate::config::ExmConfig;
 use crate::events::MigrationRecord;
 use crate::migrate::{carried_remaining, choose_technique, state_kib, MigrationTechnique};
@@ -31,6 +32,7 @@ use crate::msg::{encode_msg, ExmMsg, InstanceKey, LoadProgram, MigrationState, R
 use crate::policy::{select_with, Needs};
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::status::{DaemonStatus, ResidentTask};
+use crate::wal::{DaemonWal, WalRecord};
 
 // Timer tokens (all < ISIS_TOKEN_BASE).
 const TOKEN_TICK: u64 = 1;
@@ -85,6 +87,9 @@ struct LeaderState {
     migrating: BTreeSet<InstanceKey>,
     /// Last migration order per instance (thrash hysteresis).
     last_migrated_us: BTreeMap<InstanceKey, u64>,
+    /// Consecutive bid collects that expired short of a full reply set —
+    /// drives exponential backoff of the collect deadline.
+    short_rounds: u32,
 }
 
 impl LeaderState {
@@ -98,8 +103,35 @@ impl LeaderState {
             last_rebalance_us: 0,
             migrating: BTreeSet::new(),
             last_migrated_us: BTreeMap::new(),
+            short_rounds: 0,
         }
     }
+}
+
+/// What one crash-and-revive recovered, for invariant checkers and the
+/// chaos report. Published on the daemon after every `on_start` that
+/// replayed a log.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Recovery counter on this daemon (1 = first revive).
+    pub seq: u64,
+    /// Sim time of the recovery.
+    pub at_us: u64,
+    /// Records journaled since the previous recovery.
+    pub appended: u64,
+    /// Records replayed from the committed prefix.
+    pub replayed: u64,
+    /// Replay was a prefix of the journal — the storage invariant.
+    pub prefix_ok: bool,
+    /// Bytes truncated at the log tail (torn record + garbage).
+    pub truncated_bytes: usize,
+    /// Storage fault the crash injected, if any.
+    pub fault: Option<vce_storage::StorageFault>,
+    /// Instances restarted from the log.
+    pub restored: Vec<InstanceKey>,
+    /// Restored instances whose completion was *also* in the committed
+    /// prefix — must always be empty (no-reexec invariant).
+    pub resurrected: Vec<InstanceKey>,
 }
 
 /// The per-machine scheduling/dispatching daemon.
@@ -118,6 +150,19 @@ pub struct DaemonEndpoint {
     /// Input files present locally.
     files: BTreeSet<String>,
     leader: LeaderState,
+    /// Write-ahead log over this machine's stable store.
+    wal: DaemonWal,
+    /// Allocation decisions replayed from the log, held back until the
+    /// group actually elects this daemon again: a recovered coordinator
+    /// defers to whoever leads now.
+    recovered_served: BTreeMap<ReqId, Vec<NodeId>>,
+    /// Recoveries performed (distinguishes reports across revives).
+    recovery_seq: u64,
+    /// The last recovery, for chaos invariants and experiment accounting.
+    pub last_recovery: Option<RecoveryReport>,
+    /// Task Mops actually executed on this machine, including work later
+    /// lost to crashes — the numerator of the re-executed-work metric.
+    pub mops_executed: f64,
     /// Experiment accounting.
     pub migrations: Vec<MigrationRecord>,
     /// Redundant incarnations evicted for the owner.
@@ -135,6 +180,7 @@ impl DaemonEndpoint {
             encode_msg(&ExmMsg::Isis(m.clone()))
         });
         let aging = cfg.aging_quantum_us;
+        let wal = DaemonWal::new(cfg.storage.clone(), cfg.wal_enabled);
         Self {
             me,
             class,
@@ -147,10 +193,20 @@ impl DaemonEndpoint {
             binaries: BTreeSet::new(),
             files: BTreeSet::new(),
             leader: LeaderState::new(aging),
+            wal,
+            recovered_served: BTreeMap::new(),
+            recovery_seq: 0,
+            last_recovery: None,
+            mops_executed: 0.0,
             migrations: Vec::new(),
             evictions: 0,
             completed: 0,
         }
+    }
+
+    /// One-line stable-storage summary (chaos replay reports).
+    pub fn wal_summary(&self) -> String {
+        self.wal.summary()
     }
 
     /// This daemon's group view (diagnostics).
@@ -268,6 +324,8 @@ impl DaemonEndpoint {
         if self.tasks.contains_key(&key) {
             return; // duplicate Load (executor retry)
         }
+        self.wal
+            .journal(host.now_us(), &WalRecord::Loaded(lp.clone()));
         let work = lp.work_mops;
         let resident = Resident {
             checkpointed_remaining: work,
@@ -347,7 +405,12 @@ impl DaemonEndpoint {
 
     fn finish_task(&mut self, key: InstanceKey, host: &mut dyn Host) {
         if let Some(r) = self.tasks.remove(&key) {
+            // Write-ahead: the completion must be journaled before the
+            // owner hears about it, or a crash after the send could
+            // resurrect a task the application already counted done.
+            self.wal.journal(host.now_us(), &WalRecord::Done { key });
             self.completed += 1;
+            self.mops_executed += r.work_to_run;
             let node = host.machine().node;
             self.send(host, r.lp.reply_to, &ExmMsg::TaskDone { key, node });
         }
@@ -355,10 +418,15 @@ impl DaemonEndpoint {
 
     fn kill_task(&mut self, key: InstanceKey, host: &mut dyn Host) -> Option<Resident> {
         let r = self.tasks.remove(&key)?;
+        self.wal.journal(host.now_us(), &WalRecord::Killed { key });
         match r.state {
             RunState::Running(pid) | RunState::Compiling(pid) => {
+                if self.compiles.remove(&pid).is_none() {
+                    // Partial task progress was real execution.
+                    let rem = host.work_remaining(pid).unwrap_or(r.work_to_run);
+                    self.mops_executed += (r.work_to_run - rem).max(0.0);
+                }
                 host.cancel_work(pid);
-                self.compiles.remove(&pid);
             }
             _ => {}
         }
@@ -478,6 +546,8 @@ impl DaemonEndpoint {
             input_files: vec![],
             reply_to: st.reply_to,
         };
+        self.wal
+            .journal(host.now_us(), &WalRecord::Loaded(lp.clone()));
         let resident = Resident {
             checkpointed_remaining: st.remaining_mops,
             work_to_run: st.remaining_mops,
@@ -536,10 +606,16 @@ impl DaemonEndpoint {
             },
         };
         let payload = encode_msg(&ExmMsg::DiscloseState { req });
-        if let Some(id) = self
-            .gm
-            .bcast_collect(payload, None, self.cfg.bid_timeout_us, host)
-        {
+        // Collects that keep expiring short (members crashed or partitioned
+        // away) stretch the deadline exponentially up to the cap, so a
+        // leader bridging an outage doesn't spin full-rate collects.
+        let timeout = backoff_delay_us(
+            self.cfg.bid_timeout_us,
+            self.cfg.bid_timeout_cap_us,
+            self.leader.short_rounds,
+            host.rand_u64(),
+        );
+        if let Some(id) = self.gm.bcast_collect(payload, None, timeout, host) {
             self.leader.collects.insert(id, kind);
         }
     }
@@ -644,6 +720,13 @@ impl DaemonEndpoint {
         for &n in &nodes {
             self.leader.recent_alloc.insert(n, until);
         }
+        self.wal.journal(
+            host.now_us(),
+            &WalRecord::Allocated {
+                req,
+                nodes: nodes.clone(),
+            },
+        );
         self.leader.served.insert(req, nodes.clone());
         if host.log_enabled() {
             host.log(format!("leader: allocated {req:?} -> {nodes:?}"));
@@ -656,6 +739,7 @@ impl DaemonEndpoint {
         &mut self,
         id: BcastId,
         replies: Vec<(Addr, bytes::Bytes)>,
+        timed_out: bool,
         host: &mut dyn Host,
     ) {
         let Some(kind) = self.leader.collects.remove(&id) else {
@@ -663,6 +747,11 @@ impl DaemonEndpoint {
         };
         if !self.gm.is_coordinator() {
             return; // deposed mid-collect
+        }
+        if timed_out {
+            self.leader.short_rounds = (self.leader.short_rounds + 1).min(8);
+        } else {
+            self.leader.short_rounds = 0;
         }
         let now = host.now_us();
         let bids = self.effective_bids(&replies, now);
@@ -709,6 +798,13 @@ impl DaemonEndpoint {
             for &n in &nodes {
                 self.leader.recent_alloc.insert(n, until);
             }
+            self.wal.journal(
+                now,
+                &WalRecord::Allocated {
+                    req: q.req,
+                    nodes: nodes.clone(),
+                },
+            );
             self.leader.served.insert(q.req, nodes.clone());
             if host.log_enabled() {
                 host.log(format!("leader: dequeued {:?} -> {nodes:?}", q.req));
@@ -810,7 +906,7 @@ impl DaemonEndpoint {
                     }
                 }
                 Upcall::CollectDone(result) => {
-                    self.handle_collect_done(result.id, result.replies, host);
+                    self.handle_collect_done(result.id, result.replies, result.timed_out, host);
                 }
                 Upcall::BecameCoordinator(view) => {
                     if host.log_enabled() {
@@ -819,6 +915,14 @@ impl DaemonEndpoint {
                     // Fresh leader state: outstanding executor retries will
                     // repopulate requests.
                     self.leader = LeaderState::new(self.cfg.aging_quantum_us);
+                    // Only now may journal-recovered allocation decisions
+                    // come back: the group has (re-)elected this daemon, so
+                    // answering old requests idempotently cannot contradict
+                    // a live allocator. Until this point they stay inert —
+                    // a recovered coordinator stands down by default.
+                    for (req, nodes) in std::mem::take(&mut self.recovered_served) {
+                        self.leader.served.insert(req, nodes);
+                    }
                 }
                 Upcall::ViewInstalled(_) | Upcall::Evicted => {}
             }
@@ -839,8 +943,89 @@ impl Endpoint for DaemonEndpoint {
         self.pid_of.clear();
         self.compiles.clear();
         self.leader = LeaderState::new(self.cfg.aging_quantum_us);
+        self.recovered_served.clear();
+
+        // Replay the write-ahead log: restart committed-resident tasks
+        // from their last checkpoint instead of waiting for the owner to
+        // notice the loss and re-dispatch from scratch. Replay is
+        // read-only on the journal — the surviving records are still in
+        // the store, so nothing is re-journaled here.
+        if let Some(rec) = self.wal.recover() {
+            self.recovery_seq += 1;
+            let resurrected: Vec<InstanceKey> = rec
+                .tasks
+                .iter()
+                .filter(|(lp, _)| rec.committed_done.contains(&lp.key))
+                .map(|(lp, _)| lp.key)
+                .collect();
+            let mut restored = Vec::new();
+            let node = host.machine().node;
+            for (lp, rem) in rec.tasks {
+                let key = lp.key;
+                // Log bytes are untrusted: clamp the checkpointed work
+                // into the range the load order allows.
+                let rem = rem.clamp(0.0, lp.work_mops.max(0.0));
+                let reply_to = lp.reply_to;
+                self.tasks.insert(
+                    key,
+                    Resident {
+                        checkpointed_remaining: rem,
+                        work_to_run: rem,
+                        lp,
+                        state: RunState::Fetching, // placeholder, fixed below
+                    },
+                );
+                restored.push(key);
+                // Tell the owner this incarnation is back. The executor
+                // replies KillTask if the instance already finished or now
+                // runs elsewhere: the recovered copy defers to the live
+                // view, never the other way round.
+                self.send(host, reply_to, &ExmMsg::RecoveredTask { key, node });
+            }
+            if host.log_enabled() {
+                host.log(format!(
+                    "daemon: wal recovery #{} replayed {}/{} records, restored {} tasks ({})",
+                    self.recovery_seq,
+                    rec.replayed,
+                    rec.appended,
+                    restored.len(),
+                    rec.fault.map_or("clean", vce_storage::StorageFault::name),
+                ));
+            }
+            self.recovered_served = rec.served;
+            self.last_recovery = Some(RecoveryReport {
+                seq: self.recovery_seq,
+                at_us: host.now_us(),
+                appended: rec.appended,
+                replayed: rec.replayed,
+                prefix_ok: rec.prefix_ok,
+                truncated_bytes: rec.truncated_bytes,
+                fault: rec.fault,
+                restored: restored.clone(),
+                resurrected,
+            });
+            for key in restored {
+                self.advance_prep(key, host);
+            }
+        }
+
         self.gm.start(host);
         host.set_timer(TICK_US, TOKEN_TICK);
+    }
+
+    fn on_crash(&mut self, host: &mut dyn Host) {
+        // Progress the crash destroys was still real execution: account
+        // it before the CPU state is cleared (re-executed-work metric).
+        for r in self.tasks.values() {
+            if let RunState::Running(pid) = r.state {
+                let rem = host.work_remaining(pid).unwrap_or(r.work_to_run);
+                self.mops_executed += (r.work_to_run - rem).max(0.0);
+            }
+        }
+        // Settle the stable store: in-flight writes may be lost, and the
+        // configured fault model draws from the node's seeded RNG.
+        let (r1, r2) = (host.rand_u64(), host.rand_u64());
+        self.wal.on_crash(host.now_us(), r1, r2);
     }
 
     fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
@@ -928,6 +1113,7 @@ impl Endpoint for DaemonEndpoint {
             }
             // Messages only other roles receive.
             ExmMsg::Allocation { .. }
+            | ExmMsg::RecoveredTask { .. }
             | ExmMsg::RequestQueued { .. }
             | ExmMsg::TaskStatusReply { .. }
             | ExmMsg::AllocError { .. }
@@ -989,16 +1175,26 @@ impl Endpoint for DaemonEndpoint {
             t if t >= TOKEN_CHECKPOINT_BASE => {
                 let pid = t - TOKEN_CHECKPOINT_BASE;
                 if let Some(&key) = self.pid_of.get(&pid) {
-                    if let Some(r) = self.tasks.get_mut(&key) {
-                        if r.state == RunState::Running(pid) {
-                            if let Some(rem) = host.work_remaining(pid) {
+                    let snapshot = match self.tasks.get_mut(&key) {
+                        Some(r) if r.state == RunState::Running(pid) => {
+                            host.work_remaining(pid).inspect(|&rem| {
                                 r.checkpointed_remaining = rem;
                                 host.set_timer(
                                     r.lp.checkpoint_interval_us.max(1),
                                     TOKEN_CHECKPOINT_BASE + pid,
                                 );
-                            }
+                            })
                         }
+                        _ => None,
+                    };
+                    if let Some(rem) = snapshot {
+                        self.wal.journal(
+                            host.now_us(),
+                            &WalRecord::Checkpoint {
+                                key,
+                                remaining_mops: rem,
+                            },
+                        );
                     }
                 }
             }

@@ -22,6 +22,7 @@ use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
 use vce_sdm::MachineDb;
 use vce_taskgraph::{algo, TaskGraph, TaskId};
 
+use crate::backoff::backoff_delay_us;
 use crate::config::ExmConfig;
 use crate::events::{AppEvent, Timeline};
 use crate::msg::{encode_msg, AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
@@ -685,6 +686,45 @@ impl ExecutorEndpoint {
 
 impl Endpoint for ExecutorEndpoint {
     fn on_start(&mut self, host: &mut dyn Host) {
+        // Revive hardening: a crash killed every pending timer and local
+        // work item, so restart from surviving in-memory state *before*
+        // dispatching new work. All three sets are empty on a first boot,
+        // so fair-weather behaviour is unchanged.
+        let unanswered: Vec<u32> = self
+            .requests
+            .iter()
+            .filter(|(_, p)| !p.allocated)
+            .map(|(r, _)| r.seq)
+            .collect();
+        let stuck: Vec<TaskId> = self
+            .dispatched
+            .iter()
+            .copied()
+            .filter(|t| !self.completed.contains(t))
+            .filter(|t| !self.task_state.contains_key(t))
+            .filter(|t| !self.requests.values().any(|p| p.task == *t && !p.allocated))
+            .collect();
+        let local_restart: Vec<(u64, TaskId)> = self
+            .local_pids
+            .iter()
+            .map(|(&p, &t)| (p, t))
+            .filter(|(_, t)| !self.completed.contains(t))
+            .collect();
+        for seq in unanswered {
+            host.set_timer(self.cfg.request_retry_us, retry_token(seq));
+        }
+        for task in stuck {
+            // Its dataflow-delay timer died with the node: dispatch now.
+            self.dispatch_task(task, host);
+        }
+        for (pid, task) in local_restart {
+            if host.work_remaining(pid).is_none() {
+                if let Some(spec) = self.spec(task) {
+                    host.start_work(pid, spec.work_mops);
+                }
+            }
+        }
+
         if self.anticipate {
             self.send_anticipations(host);
         }
@@ -725,6 +765,28 @@ impl Endpoint for ExecutorEndpoint {
                     if !p.allocated {
                         p.retries = 0;
                     }
+                }
+            }
+            ExmMsg::RecoveredTask { key, node } => {
+                // A crashed-and-revived daemon replayed its journal and
+                // restarted this instance. The recovered copy defers to
+                // the live view: keep it only if this node still
+                // legitimately hosts the instance and it is still wanted.
+                let keep = self.instance_outstanding(&key)
+                    && self
+                        .task_state
+                        .get(&TaskId(key.task))
+                        .and_then(|r| r.copies.get(&key.instance))
+                        .is_some_and(|set| set.contains(&node))
+                    && !self.superseded.get(&key).is_some_and(|s| s.contains(&node));
+                if keep {
+                    // The incarnation resumed from its checkpoint; give the
+                    // watchdog a fresh budget.
+                    self.probe_misses.remove(&key);
+                    self.timeline
+                        .push(host.now_us(), AppEvent::Loaded { key, node });
+                } else {
+                    self.send(host, Addr::daemon(node), &ExmMsg::KillTask { key });
                 }
             }
             ExmMsg::TaskStatusReply { key, running, node } => {
@@ -811,7 +873,18 @@ impl Endpoint for ExecutorEndpoint {
                 }
                 self.timeline
                     .push(host.now_us(), AppEvent::RequestSent { req });
-                host.set_timer(self.cfg.request_retry_us, token);
+                // Exponential backoff with seeded jitter: a dead or
+                // partitioned group is retried at a decaying rate instead
+                // of full-rate lockstep (RequestQueued resets `retries`,
+                // so a live-but-busy leader keeps the fast interval).
+                let retries = self.requests.get(&req).map_or(0, |p| p.retries);
+                let delay = backoff_delay_us(
+                    self.cfg.request_retry_us,
+                    self.cfg.request_retry_cap_us,
+                    retries,
+                    host.rand_u64(),
+                );
+                host.set_timer(delay, token);
             }
         }
     }

@@ -31,6 +31,7 @@
 //! on the deterministic simulator (all experiments) and on the threaded
 //! live driver.
 
+mod backoff;
 pub mod config;
 pub mod daemon;
 pub mod events;
@@ -40,6 +41,7 @@ pub mod msg;
 pub mod policy;
 pub mod queue;
 pub mod status;
+pub mod wal;
 
 pub use config::ExmConfig;
 pub use daemon::DaemonEndpoint;
@@ -49,3 +51,4 @@ pub use migrate::MigrationTechnique;
 pub use msg::{AppId, ExmMsg, InstanceKey, ReqId};
 pub use policy::PlacementPolicy;
 pub use status::DaemonStatus;
+pub use wal::{DaemonWal, WalRecord, WalRecovery};

@@ -305,6 +305,17 @@ pub enum ExmMsg {
         /// The queued request.
         req: ReqId,
     },
+    /// Recovered daemon → executor: this instance was found in the
+    /// write-ahead log after a crash and has been restarted from its last
+    /// checkpoint. The executor answers with `KillTask` if the instance is
+    /// already done or has been re-placed elsewhere — the recovered copy
+    /// defers to the live view, never the other way round.
+    RecoveredTask {
+        /// Which instance.
+        key: InstanceKey,
+        /// The recovering machine.
+        node: NodeId,
+    },
     /// Daemon → executor: probe answer.
     TaskStatusReply {
         /// Which instance.
@@ -334,6 +345,7 @@ const T_ANT_FILE: u8 = 14;
 const T_PROBE: u8 = 15;
 const T_STATUS_REPLY: u8 = 16;
 const T_REQUEST_QUEUED: u8 = 17;
+const T_RECOVERED_TASK: u8 = 18;
 
 impl Codec for ExmMsg {
     fn encode(&self, enc: &mut Encoder) {
@@ -432,6 +444,11 @@ impl Codec for ExmMsg {
                 key.encode(enc);
                 reply_to.encode(enc);
             }
+            ExmMsg::RecoveredTask { key, node } => {
+                enc.put_u8(T_RECOVERED_TASK);
+                key.encode(enc);
+                node.encode(enc);
+            }
             ExmMsg::TaskStatusReply { key, running, node } => {
                 enc.put_u8(T_STATUS_REPLY);
                 key.encode(enc);
@@ -504,6 +521,10 @@ impl Codec for ExmMsg {
             T_PROBE => ExmMsg::ProbeTask {
                 key: InstanceKey::decode(dec)?,
                 reply_to: Addr::decode(dec)?,
+            },
+            T_RECOVERED_TASK => ExmMsg::RecoveredTask {
+                key: InstanceKey::decode(dec)?,
+                node: NodeId::decode(dec)?,
             },
             T_STATUS_REPLY => ExmMsg::TaskStatusReply {
                 key: InstanceKey::decode(dec)?,
@@ -631,6 +652,10 @@ mod tests {
             ExmMsg::AnticipateFile {
                 file: "/data/grid.dat".into(),
                 kib: 2048,
+            },
+            ExmMsg::RecoveredTask {
+                key: key(),
+                node: NodeId(4),
             },
         ];
         for m in msgs {

@@ -1,0 +1,403 @@
+//! The daemon's write-ahead log over simulated stable storage.
+//!
+//! Every state change a daemon would need after a reboot is journaled as a
+//! [`WalRecord`] before (or atomically with) the in-memory change: task
+//! arrival, checkpoint snapshots, completion, kills, and — while leading —
+//! allocation decisions. Records reuse the `vce_codec` wire format; the
+//! storage layer frames each one with a CRC so a torn tail is detected and
+//! truncated, never replayed.
+//!
+//! Recovery ([`DaemonWal::recover`]) folds the committed prefix into the
+//! last surviving state per instance. The bytes come back from storage,
+//! which is as untrusted as the network: replay indexes nothing, and a
+//! CRC-valid record that fails to decode stops replay at that point (the
+//! same stance the codec takes on remote input).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vce_codec::{Codec, CodecError, Decoder, Encoder, Result};
+use vce_net::NodeId;
+use vce_storage::{StableStore, StorageConfig, StorageFault};
+
+use crate::msg::{InstanceKey, LoadProgram, ReqId};
+
+const R_LOADED: u8 = 0;
+const R_CHECKPOINT: u8 = 1;
+const R_DONE: u8 = 2;
+const R_KILLED: u8 = 3;
+const R_ALLOCATED: u8 = 4;
+
+/// One journaled daemon state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A program arrived (Load or MigrateIn) and is resident.
+    Loaded(LoadProgram),
+    /// Cooperative checkpoint: `remaining_mops` still to execute.
+    Checkpoint {
+        /// Which instance.
+        key: InstanceKey,
+        /// Work remaining at the checkpoint.
+        remaining_mops: f64,
+    },
+    /// The instance completed here and the owner was told.
+    Done {
+        /// Which instance.
+        key: InstanceKey,
+    },
+    /// The instance was killed/evicted/migrated away — not resident.
+    Killed {
+        /// Which instance.
+        key: InstanceKey,
+    },
+    /// Leader decision: `req` was answered with `nodes`.
+    Allocated {
+        /// The request served.
+        req: ReqId,
+        /// Machines allocated.
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl Codec for WalRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WalRecord::Loaded(lp) => {
+                enc.put_u8(R_LOADED);
+                lp.encode(enc);
+            }
+            WalRecord::Checkpoint {
+                key,
+                remaining_mops,
+            } => {
+                enc.put_u8(R_CHECKPOINT);
+                key.encode(enc);
+                enc.put_f64(*remaining_mops);
+            }
+            WalRecord::Done { key } => {
+                enc.put_u8(R_DONE);
+                key.encode(enc);
+            }
+            WalRecord::Killed { key } => {
+                enc.put_u8(R_KILLED);
+                key.encode(enc);
+            }
+            WalRecord::Allocated { req, nodes } => {
+                enc.put_u8(R_ALLOCATED);
+                req.encode(enc);
+                nodes.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(match dec.get_u8()? {
+            R_LOADED => WalRecord::Loaded(LoadProgram::decode(dec)?),
+            R_CHECKPOINT => WalRecord::Checkpoint {
+                key: InstanceKey::decode(dec)?,
+                remaining_mops: dec.get_f64()?,
+            },
+            R_DONE => WalRecord::Done {
+                key: InstanceKey::decode(dec)?,
+            },
+            R_KILLED => WalRecord::Killed {
+                key: InstanceKey::decode(dec)?,
+            },
+            R_ALLOCATED => WalRecord::Allocated {
+                req: ReqId::decode(dec)?,
+                nodes: Vec::<NodeId>::decode(dec)?,
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    value: u64::from(other),
+                    type_name: "WalRecord",
+                })
+            }
+        })
+    }
+}
+
+/// What replaying the committed log yields.
+#[derive(Debug, Clone)]
+pub struct WalRecovery {
+    /// Instances resident at the last committed record, with the work each
+    /// still owed (from its last checkpoint, or its full work if none).
+    pub tasks: Vec<(LoadProgram, f64)>,
+    /// Allocation decisions this daemon made while leading. Merged into
+    /// live leader state only if the group elects it again — a recovered
+    /// coordinator defers to whoever leads now.
+    pub served: BTreeMap<ReqId, Vec<NodeId>>,
+    /// Instances whose completion is in the committed prefix: these must
+    /// never run again.
+    pub committed_done: BTreeSet<InstanceKey>,
+    /// Records appended since the previous recovery.
+    pub appended: u64,
+    /// Records replayed from the committed prefix.
+    pub replayed: u64,
+    /// True iff storage replay was a prefix of the journal mirror.
+    pub prefix_ok: bool,
+    /// Bytes truncated at the device tail.
+    pub truncated_bytes: usize,
+    /// Storage fault injected by the crash, if any.
+    pub fault: Option<StorageFault>,
+    /// Records lost to the crash.
+    pub lost_records: u64,
+}
+
+/// The daemon's journal: a thin typed layer over one [`StableStore`].
+#[derive(Debug)]
+pub struct DaemonWal {
+    store: StableStore,
+    enabled: bool,
+}
+
+impl DaemonWal {
+    /// A WAL over fresh storage. `enabled == false` models the pre-WAL
+    /// daemon (pure amnesia on revive) for experiments.
+    pub fn new(cfg: StorageConfig, enabled: bool) -> Self {
+        DaemonWal {
+            store: StableStore::new(cfg),
+            enabled,
+        }
+    }
+
+    /// Append one record; returns when it becomes durable (diagnostics).
+    pub fn journal(&mut self, now_us: u64, rec: &WalRecord) -> u64 {
+        if !self.enabled {
+            return now_us;
+        }
+        let mut enc = Encoder::with_capacity(96);
+        rec.encode(&mut enc);
+        self.store.append(now_us, &enc.finish_bytes())
+    }
+
+    /// The node crashed: settle which in-flight writes survived and draw
+    /// the storage fault. `r1`/`r2` come from the node's seeded RNG.
+    pub fn on_crash(&mut self, now_us: u64, r1: u64, r2: u64) {
+        if self.enabled {
+            self.store.crash(now_us, r1, r2);
+        }
+    }
+
+    /// Replay the committed log. `None` on a first boot (nothing journaled,
+    /// never crashed) or when the WAL is disabled — the caller starts empty.
+    pub fn recover(&mut self) -> Option<WalRecovery> {
+        if !self.enabled || (self.store.appended() == 0 && self.store.last_crash().is_none()) {
+            return None;
+        }
+        let rec = self.store.recover();
+
+        let mut live: BTreeMap<InstanceKey, (LoadProgram, f64)> = BTreeMap::new();
+        let mut served: BTreeMap<ReqId, Vec<NodeId>> = BTreeMap::new();
+        let mut committed_done: BTreeSet<InstanceKey> = BTreeSet::new();
+        let mut replayed = 0u64;
+        for payload in &rec.payloads {
+            // A CRC-valid record that fails to decode means the journal
+            // writer and reader disagree; stop at the last good record
+            // rather than guess (storage bytes are untrusted input).
+            let Ok(record) = vce_codec::from_bytes::<WalRecord>(payload) else {
+                break;
+            };
+            replayed += 1;
+            match record {
+                WalRecord::Loaded(lp) => {
+                    let work = lp.work_mops;
+                    live.insert(lp.key, (lp, work));
+                }
+                WalRecord::Checkpoint {
+                    key,
+                    remaining_mops,
+                } => {
+                    if let Some((_, rem)) = live.get_mut(&key) {
+                        *rem = remaining_mops;
+                    }
+                }
+                WalRecord::Done { key } => {
+                    live.remove(&key);
+                    committed_done.insert(key);
+                }
+                WalRecord::Killed { key } => {
+                    live.remove(&key);
+                }
+                WalRecord::Allocated { req, nodes } => {
+                    served.insert(req, nodes);
+                }
+            }
+        }
+
+        Some(WalRecovery {
+            tasks: live.into_values().collect(),
+            served,
+            committed_done,
+            appended: rec.appended,
+            replayed,
+            prefix_ok: rec.prefix_ok,
+            truncated_bytes: rec.truncated_bytes,
+            fault: rec.fault,
+            lost_records: rec.lost_records,
+        })
+    }
+
+    /// One-line storage summary for chaos reports.
+    pub fn summary(&self) -> String {
+        if self.enabled {
+            self.store.summary()
+        } else {
+            "wal-disabled".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vce_net::Addr;
+
+    fn key(task: u32) -> InstanceKey {
+        InstanceKey {
+            app: crate::msg::AppId(7),
+            task,
+            instance: 0,
+        }
+    }
+
+    fn lp(task: u32, work: f64) -> LoadProgram {
+        LoadProgram {
+            key: key(task),
+            unit: "u".into(),
+            work_mops: work,
+            mem_mb: 16,
+            checkpoints: true,
+            checkpoint_interval_us: 1_000_000,
+            restartable: true,
+            core_dumpable: false,
+            redundant: false,
+            input_files: vec![],
+            reply_to: Addr::executor(NodeId(0)),
+        }
+    }
+
+    fn wal() -> DaemonWal {
+        DaemonWal::new(StorageConfig::default(), true)
+    }
+
+    #[test]
+    fn first_boot_has_nothing_to_recover() {
+        let mut w = wal();
+        assert!(w.recover().is_none());
+    }
+
+    #[test]
+    fn disabled_wal_recovers_nothing() {
+        let mut w = DaemonWal::new(StorageConfig::default(), false);
+        w.journal(0, &WalRecord::Loaded(lp(1, 100.0)));
+        w.on_crash(1_000_000, 1, 2);
+        assert!(w.recover().is_none());
+        assert_eq!(w.summary(), "wal-disabled");
+    }
+
+    #[test]
+    fn replay_folds_to_last_surviving_state() {
+        let mut w = wal();
+        let mut t = 0;
+        t = w.journal(t, &WalRecord::Loaded(lp(1, 100.0)));
+        t = w.journal(t, &WalRecord::Loaded(lp(2, 200.0)));
+        t = w.journal(
+            t,
+            &WalRecord::Checkpoint {
+                key: key(1),
+                remaining_mops: 40.0,
+            },
+        );
+        t = w.journal(t, &WalRecord::Done { key: key(2) });
+        t = w.journal(
+            t,
+            &WalRecord::Allocated {
+                req: ReqId {
+                    app: crate::msg::AppId(7),
+                    seq: 1,
+                },
+                nodes: vec![NodeId(3)],
+            },
+        );
+        w.on_crash(t, 1, 2); // everything durable, clean crash
+        let rec = w.recover().expect("crashed wal recovers");
+        assert!(rec.prefix_ok);
+        assert_eq!(rec.replayed, 5);
+        assert_eq!(rec.tasks.len(), 1);
+        let (ref lp1, rem) = rec.tasks.first().expect("task 1 survives").clone();
+        assert_eq!(lp1.key, key(1));
+        assert_eq!(rem, 40.0);
+        assert!(rec.committed_done.contains(&key(2)));
+        assert_eq!(
+            rec.served.get(&ReqId {
+                app: crate::msg::AppId(7),
+                seq: 1
+            }),
+            Some(&vec![NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn killed_tasks_stay_dead() {
+        let mut w = wal();
+        let mut t = 0;
+        t = w.journal(t, &WalRecord::Loaded(lp(1, 100.0)));
+        t = w.journal(t, &WalRecord::Killed { key: key(1) });
+        w.on_crash(t, 1, 2);
+        let rec = w.recover().expect("recovers");
+        assert!(rec.tasks.is_empty());
+        assert!(rec.committed_done.is_empty());
+    }
+
+    #[test]
+    fn in_flight_checkpoint_is_lost_but_load_survives() {
+        let mut w = wal();
+        let t = w.journal(0, &WalRecord::Loaded(lp(1, 100.0)));
+        // Checkpoint appended but crash hits before it is durable.
+        w.journal(
+            t,
+            &WalRecord::Checkpoint {
+                key: key(1),
+                remaining_mops: 10.0,
+            },
+        );
+        w.on_crash(t, 1, 2);
+        let rec = w.recover().expect("recovers");
+        assert_eq!(rec.lost_records, 1);
+        let (_, rem) = rec.tasks.first().expect("task survives").clone();
+        assert_eq!(rem, 100.0); // full work again: checkpoint never committed
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = vec![
+            WalRecord::Loaded(lp(1, 123.0)),
+            WalRecord::Checkpoint {
+                key: key(2),
+                remaining_mops: 4.5,
+            },
+            WalRecord::Done { key: key(3) },
+            WalRecord::Killed { key: key(4) },
+            WalRecord::Allocated {
+                req: ReqId {
+                    app: crate::msg::AppId(1),
+                    seq: 9,
+                },
+                nodes: vec![NodeId(1), NodeId(2)],
+            },
+        ];
+        for r in records {
+            let bytes = vce_codec::to_bytes(&r);
+            assert_eq!(
+                vce_codec::from_bytes::<WalRecord>(&bytes).unwrap(),
+                r,
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_record_discriminant_rejected() {
+        assert!(vce_codec::from_bytes::<WalRecord>(&[99]).is_err());
+    }
+}

@@ -18,6 +18,7 @@ fn silence_from_the_whole_group_fails_the_application() {
     let peers = vec![Addr::daemon(NodeId(1)), Addr::daemon(NodeId(2))];
     let mut cfg = ExmConfig::default();
     cfg.request_retry_us = 400_000;
+    cfg.request_retry_cap_us = 1_600_000; // keep 10 backed-off windows inside the horizon
     for i in [1u32, 2] {
         sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
         db.register(MachineInfo::workstation(NodeId(i), 100.0));
@@ -72,6 +73,7 @@ fn queued_request_acks_reset_the_retry_budget() {
     let peers = vec![Addr::daemon(NodeId(1))];
     let mut cfg = ExmConfig::default();
     cfg.request_retry_us = 400_000; // dozens of retry windows below
+    cfg.request_retry_cap_us = 1_600_000;
     sim.add_endpoint(
         Addr::daemon(NodeId(1)),
         Box::new(DaemonEndpoint::new(
@@ -106,4 +108,71 @@ fn queued_request_acks_reset_the_retry_budget() {
         failed.is_none(),
         "queue acks must prevent spurious exhaustion, got {failed:?}"
     );
+}
+
+#[test]
+fn backoff_never_livelocks_a_late_recovering_group() {
+    // The whole group goes silent, the executor's retry interval backs off
+    // exponentially — and because the backoff is *capped*, a group that
+    // comes back before exhaustion is rediscovered within one capped
+    // window instead of some unbounded doubled interval.
+    let mut sim = Sim::new(SimConfig::default());
+    let mut db = MachineDb::new();
+    sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
+    db.register(MachineInfo::workstation(NodeId(0), 100.0).with_allows_remote(false));
+    let peers = vec![Addr::daemon(NodeId(1)), Addr::daemon(NodeId(2))];
+    let mut cfg = ExmConfig::default();
+    cfg.request_retry_us = 400_000;
+    cfg.request_retry_cap_us = 1_600_000;
+    for i in [1u32, 2] {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        db.register(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(i)),
+            Box::new(DaemonEndpoint::new(
+                NodeId(i),
+                MachineClass::Workstation,
+                peers.clone(),
+                cfg.clone(),
+            )),
+        );
+    }
+    sim.run_until(2_500_000);
+    sim.kill_node(NodeId(1));
+    sim.kill_node(NodeId(2));
+
+    let mut g = TaskGraph::new("patient");
+    g.add_task(
+        TaskSpec::new("job")
+            .with_class(ProblemClass::Asynchronous)
+            .with_language(Language::C)
+            .with_work(1_000.0),
+    );
+    let exec = Addr::executor(NodeId(0));
+    sim.add_endpoint(
+        exec,
+        Box::new(ExecutorEndpoint::new(AppId(1), exec, g, db, cfg)),
+    );
+    // Let several backed-off retry windows elapse (delays are already at
+    // the cap), then bring the group back well before the 10-retry budget
+    // runs out.
+    sim.run_until(8_000_000);
+    let retries_while_dark = sim
+        .with_endpoint_mut::<ExecutorEndpoint, _>(exec, |e| (e.is_done(), e.failed.clone()))
+        .unwrap();
+    assert!(
+        !retries_while_dark.0 && retries_while_dark.1.is_none(),
+        "must still be retrying, not exhausted: {retries_while_dark:?}"
+    );
+    sim.revive_node(NodeId(1));
+    sim.revive_node(NodeId(2));
+    sim.run_until(90_000_000);
+    let (done, failed) = sim
+        .with_endpoint_mut::<ExecutorEndpoint, _>(exec, |e| (e.is_done(), e.failed.clone()))
+        .unwrap();
+    assert!(
+        failed.is_none(),
+        "revived group must be rediscovered, got {failed:?}"
+    );
+    assert!(done, "app must complete once the group is back");
 }

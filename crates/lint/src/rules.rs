@@ -24,6 +24,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "workloads",
     "core",
     "lint",
+    "storage",
 ];
 
 /// Files whose message-handling paths must not panic on remote input.
@@ -32,6 +33,8 @@ pub const P001_FILES: &[&str] = &[
     "crates/exm/src/daemon.rs",
     "crates/exm/src/executor.rs",
     "crates/exm/src/policy.rs",
+    "crates/exm/src/wal.rs",
+    "crates/storage/src/lib.rs",
 ];
 
 pub const RULE_IDS: &[&str] = &[

@@ -99,6 +99,14 @@ pub trait Endpoint: Send {
     /// Called when locally started work completes.
     fn on_work_done(&mut self, _pid: u64, _host: &mut dyn Host) {}
 
+    /// Called at the instant the node crashes, before it is marked dead.
+    /// This is *not* an orderly shutdown hook: sends are already severed
+    /// (the fault plan drops them) and timers die with the node. Its one
+    /// legitimate use is settling simulated local state that survives the
+    /// crash — e.g. a stable store deciding which in-flight writes hit the
+    /// platter. Endpoints without durable state ignore it.
+    fn on_crash(&mut self, _host: &mut dyn Host) {}
+
     /// Optional downcast hook so drivers can expose endpoint state to tests
     /// and experiment harnesses. Override with `Some(self)` where inspection
     /// is wanted; protocol correctness must never depend on it.

@@ -342,7 +342,18 @@ impl Sim {
     /// (a rebooted daemon restarting from scratch is modelled by the
     /// endpoint itself on `on_start`).
     pub fn kill_node(&mut self, node: NodeId) {
+        // Sever connectivity first so anything `on_crash` tries to send is
+        // dropped by the fault judge, then give each endpoint its crash
+        // instant (stable stores settle which in-flight writes survive)
+        // while the CPU still reflects pre-crash work.
         self.fault.kill(node);
+        let ports: Vec<PortId> = match self.nodes.get(&node) {
+            Some(n) if !n.dead => n.endpoints.keys().copied().collect(),
+            _ => Vec::new(),
+        };
+        for port in ports {
+            self.dispatch(node, port, |ep, host| ep.on_crash(host));
+        }
         if let Some(n) = self.nodes.get_mut(&node) {
             n.dead = true;
             n.cpu.advance(self.now);

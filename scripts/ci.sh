@@ -28,6 +28,8 @@ cargo fmt --check
 echo "== exp_bidding smoke =="
 cargo run --release --offline -q -p vce-bench --bin exp_bidding
 
+# One seed per cell still covers every schedule shape, including the
+# storage-fault ones (torn-tail / device-loss WAL recovery).
 echo "== exp_chaos smoke (1 seed per cell) =="
 VCE_CHAOS_SEEDS=1 cargo run --release --offline -q -p vce-bench --bin exp_chaos
 
