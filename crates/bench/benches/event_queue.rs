@@ -1,0 +1,107 @@
+//! Event-core microbench: the calendar queue ([`vce_sim::queue`]) against
+//! the `BinaryHeap<Reverse<(at_us, seq, id)>>` it replaced, on the
+//! simulator's dominant workload shapes — steady periodic timers
+//! (heartbeats: pop one, re-arm one period out) and a bimodal mix where a
+//! fraction of re-arms land seconds out (backoff probes riding the
+//! overflow level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vce_sim::queue::CalendarQueue;
+
+const OPS: u64 = 100_000;
+const FAR_DELAY_US: u64 = 5_000_000;
+
+/// Deterministic splitmix-style generator: the bench must not depend on
+/// ambient randomness.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// `timers` concurrent periodic timers; every `far_every`-th re-arm (0 =
+/// never) goes far-future instead. Returns a checksum of pop order so the
+/// two implementations can be cross-checked and the work can't be
+/// optimized away.
+fn run_wheel(timers: u64, far_every: u64) -> u64 {
+    let mut q = CalendarQueue::new();
+    let mut rng = 12345u64;
+    for i in 0..timers {
+        q.push(next(&mut rng) % 1000, i as u32);
+    }
+    let mut acc = 0u64;
+    for n in 0..OPS {
+        let (at, id) = q.pop().expect("queue stays populated");
+        acc = acc.wrapping_mul(31) ^ at ^ u64::from(id);
+        let delay = if far_every != 0 && n % far_every == 0 {
+            FAR_DELAY_US
+        } else {
+            1_000 + next(&mut rng) % 256
+        };
+        q.push(at + delay, id);
+    }
+    while q.pop().is_some() {}
+    acc
+}
+
+fn run_heap(timers: u64, far_every: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut rng = 12345u64;
+    for i in 0..timers {
+        seq += 1;
+        q.push(Reverse((next(&mut rng) % 1000, seq, i as u32)));
+    }
+    let mut acc = 0u64;
+    for n in 0..OPS {
+        let Reverse((at, _, id)) = q.pop().expect("queue stays populated");
+        acc = acc.wrapping_mul(31) ^ at ^ u64::from(id);
+        let delay = if far_every != 0 && n % far_every == 0 {
+            FAR_DELAY_US
+        } else {
+            1_000 + next(&mut rng) % 256
+        };
+        seq += 1;
+        q.push(Reverse((at + delay, seq, id)));
+    }
+    while q.pop().is_some() {}
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    // The ordering contract first: identical pop order on both shapes.
+    assert_eq!(run_wheel(64, 0), run_heap(64, 0));
+    assert_eq!(run_wheel(64, 16), run_heap(64, 16));
+
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(20);
+    for &timers in &[64u64, 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("wheel_periodic", timers),
+            &timers,
+            |b, &t| b.iter(|| run_wheel(t, 0)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("heap_periodic", timers),
+            &timers,
+            |b, &t| b.iter(|| run_heap(t, 0)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("wheel_bimodal", timers),
+            &timers,
+            |b, &t| b.iter(|| run_wheel(t, 16)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("heap_bimodal", timers),
+            &timers,
+            |b, &t| b.iter(|| run_heap(t, 16)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,27 +13,28 @@ use std::time::Instant;
 
 use vce_bench::chaos::{baseline_makespan_us, run_chaos, ChaosConfig, ScheduleShape};
 use vce_bench::sweep::{sweep, threads_for};
-use vce_bench::{bidding_round_detailed, message_storm};
+use vce_bench::{bidding_round_detailed, heartbeat_storm, message_storm};
 use vce_exm::migrate::MigrationTechnique;
 
 const STORM_NODES: u32 = 16;
 const STORM_TICKS: u32 = 50;
+const STORM_LONG_NODES: u32 = 64;
+const STORM_LONG_SECONDS: u64 = 60;
 const SWEEP_SEEDS: u64 = 8;
 const SWEEP_GROUP: u32 = 8;
 const SWEEP_JITTER_US: u64 = 800;
 
-fn measure_storm() -> (u64, f64) {
-    // Warm up once, then take the best of many timed reps (least
-    // scheduler noise) — each rep is a full deterministic sim run of a
-    // few milliseconds, so at least one rep lands in a clean scheduling
-    // window even on a loaded shared machine.
-    let events = message_storm(STORM_NODES, STORM_TICKS);
+/// Warm up once, then take the best of `reps` timed runs (least scheduler
+/// noise) — each rep is a full deterministic sim run, so at least one rep
+/// lands in a clean scheduling window even on a loaded shared machine.
+fn measure(reps: u32, run: impl Fn() -> u64) -> (u64, f64) {
+    let events = run();
     let mut best = f64::INFINITY;
-    for _ in 0..40 {
+    for _ in 0..reps {
         let t = Instant::now();
-        let e = message_storm(STORM_NODES, STORM_TICKS);
+        let e = run();
         let dt = t.elapsed().as_secs_f64();
-        assert_eq!(e, events, "storm must be deterministic");
+        assert_eq!(e, events, "scenario must be deterministic");
         if dt < best {
             best = dt;
         }
@@ -89,7 +90,9 @@ fn main() {
         }
     }
 
-    let (storm_events, events_per_sec) = measure_storm();
+    let (storm_events, events_per_sec) = measure(40, || message_storm(STORM_NODES, STORM_TICKS));
+    let (long_events, long_eps) =
+        measure(10, || heartbeat_storm(STORM_LONG_NODES, STORM_LONG_SECONDS));
     let lat_us = bidding_round_detailed(1, SWEEP_GROUP, SWEEP_JITTER_US).latency_us;
     let (serial_s, parallel_s, threads, identical) = measure_sweep();
 
@@ -111,6 +114,11 @@ fn main() {
     println!("    \"events\": {storm_events},");
     println!("    \"events_per_sec\": {events_per_sec:.0}");
     println!("  }},");
+    println!("  \"storm_long\": {{");
+    println!("    \"nodes\": {STORM_LONG_NODES}, \"seconds\": {STORM_LONG_SECONDS},");
+    println!("    \"events\": {long_events},");
+    println!("    \"events_per_sec\": {long_eps:.0}");
+    println!("  }},");
     println!("  \"bidding_round\": {{");
     println!("    \"group\": {SWEEP_GROUP}, \"jitter_us\": {SWEEP_JITTER_US},");
     println!("    \"latency_us\": {lat_us}");
@@ -120,14 +128,21 @@ fn main() {
     println!("    \"serial_s\": {serial_s:.3},");
     println!("    \"parallel_s\": {parallel_s:.3},");
     println!("    \"threads\": {threads},");
-    println!(
-        "    \"speedup\": {:.2},",
-        if parallel_s > 0.0 {
-            serial_s / parallel_s
-        } else {
-            0.0
-        }
-    );
+    // A speedup headline on a 1-core runner is pure measurement noise
+    // (the sweep degenerates to serial execution plus thread-pool
+    // overhead), so it is only recorded when parallelism actually ran.
+    // The byte-identical-output check is the load-bearing part and is
+    // unconditional.
+    if threads > 1 {
+        println!(
+            "    \"speedup\": {:.2},",
+            if parallel_s > 0.0 {
+                serial_s / parallel_s
+            } else {
+                0.0
+            }
+        );
+    }
     println!("    \"identical_output\": {identical}");
     println!("  }},");
     println!("  \"chaos\": {{");

@@ -80,6 +80,72 @@ pub fn message_storm(nodes: u32, ticks: u32) -> u64 {
     sim.events_processed()
 }
 
+/// Long-horizon heartbeat storm: `nodes` endpoints tick at 20 Hz for
+/// `seconds` of simulated time — each tick sends one small heartbeat to a
+/// neighbour, cancels and re-arms a 1 s watchdog (steady lazy-cancel
+/// churn), and every 64th tick arms a far probe 5 s out, which lives
+/// beyond the calendar queue's wheel horizon and rides the overflow
+/// level. Unlike [`message_storm`] (a dense all-to-all burst), this is
+/// the timer-dominated steady state a real daemon fleet sits in, run long
+/// enough that the wheel's admission window re-bases many times. Returns
+/// events processed.
+pub fn heartbeat_storm(nodes: u32, seconds: u64) -> u64 {
+    const TICK: u64 = 1;
+    const WATCHDOG: u64 = 2;
+    const PROBE: u64 = 3;
+    const TICK_US: u64 = 50_000;
+
+    struct Beater {
+        me: Addr,
+        neighbour: Addr,
+        ticks: u64,
+        received: u64,
+    }
+
+    impl Endpoint for Beater {
+        fn on_start(&mut self, host: &mut dyn Host) {
+            host.set_timer(TICK_US, TICK);
+            host.set_timer(1_000_000, WATCHDOG);
+        }
+        fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+            // Watchdog / probe firings are quiescent by design.
+            if token == TICK {
+                send_msg(host, self.me, self.neighbour, &self.received);
+                host.cancel_timer(WATCHDOG);
+                host.set_timer(1_000_000, WATCHDOG);
+                if self.ticks.is_multiple_of(64) {
+                    host.set_timer(5_000_000, PROBE);
+                }
+                self.ticks += 1;
+                host.set_timer(TICK_US, TICK);
+            }
+        }
+    }
+
+    let mut sim = vce_sim::Sim::new(vce_sim::SimConfig {
+        seed: 0,
+        topology: vce_sim::Topology::default(),
+        trace_enabled: false,
+    });
+    for i in 0..nodes {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            Addr::daemon(NodeId(i)),
+            Box::new(Beater {
+                me: Addr::daemon(NodeId(i)),
+                neighbour: Addr::daemon(NodeId((i + 1) % nodes)),
+                ticks: 0,
+                received: 0,
+            }),
+        );
+    }
+    sim.run_until(seconds * 1_000_000);
+    sim.events_processed()
+}
+
 /// Build a settled all-workstation VCE.
 pub fn workstation_vce(seed: u64, n: u32, speed: f64, cfg: ExmConfig) -> Vce {
     let mut b = VceBuilder::new(seed);

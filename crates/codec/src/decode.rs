@@ -1,6 +1,8 @@
 //! The decoder: reads big-endian fields from a byte slice with bounds and
 //! sanity checking.
 
+use bytes::Bytes;
+
 use crate::error::{CodecError, Result};
 use crate::wire::WireType;
 
@@ -21,6 +23,9 @@ pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
     depth: usize,
+    /// When decoding straight out of a refcounted buffer, the owner — lets
+    /// [`Decoder::get_bytes`] return zero-copy sub-views of it.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Decoder<'a> {
@@ -30,6 +35,19 @@ impl<'a> Decoder<'a> {
             buf,
             pos: 0,
             depth: 0,
+            backing: None,
+        }
+    }
+
+    /// Start decoding a [`Bytes`] buffer, remembering it as the backing
+    /// store so [`Decoder::get_bytes`] can hand out zero-copy sub-views
+    /// (`Bytes::slice_ref`) instead of copying payloads out.
+    pub fn with_backing(buf: &'a Bytes) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            depth: 0,
+            backing: Some(buf),
         }
     }
 
@@ -117,6 +135,18 @@ impl<'a> Decoder<'a> {
             });
         }
         self.take(len as usize)
+    }
+
+    /// Read a u32 length prefix followed by that many raw bytes, as an
+    /// owned [`Bytes`]. With a backing buffer ([`Decoder::with_backing`])
+    /// this is zero-copy — the result is a sub-view sharing the backing
+    /// allocation; otherwise the bytes are copied out.
+    pub fn get_bytes(&mut self) -> Result<Bytes> {
+        let s = self.get_len_bytes()?;
+        Ok(match self.backing {
+            Some(b) => b.slice_ref(s),
+            None => Bytes::copy_from_slice(s),
+        })
     }
 
     /// Read a length-prefixed UTF-8 string.

@@ -64,6 +64,22 @@ pub fn to_bytes<T: Codec>(value: &T) -> Vec<u8> {
     enc.finish()
 }
 
+/// Decode a single [`Codec`] value directly from a [`bytes::Bytes`]
+/// buffer, requiring that it is fully consumed. Unlike [`from_bytes`],
+/// nested byte fields read with [`Decoder::get_bytes`] come back as
+/// zero-copy sub-views of `buf` rather than fresh copies — the decode
+/// path for protocol messages whose payloads ride inside an envelope.
+pub fn from_backing<T: Codec>(buf: &bytes::Bytes) -> Result<T> {
+    let mut dec = Decoder::with_backing(buf);
+    let v = T::decode(&mut dec)?;
+    if !dec.is_empty() {
+        return Err(CodecError::TrailingBytes {
+            remaining: dec.remaining(),
+        });
+    }
+    Ok(v)
+}
+
 /// Decode a single [`Codec`] value from a byte slice, requiring that the
 /// slice is fully consumed.
 pub fn from_bytes<T: Codec>(bytes: &[u8]) -> Result<T> {

@@ -896,7 +896,7 @@ impl DaemonEndpoint {
             match up {
                 Upcall::Deliver { id, payload, .. } => {
                     if let Ok(ExmMsg::DiscloseState { .. }) =
-                        vce_codec::from_bytes::<ExmMsg>(&payload)
+                        vce_codec::from_backing::<ExmMsg>(&payload)
                     {
                         // Bid: reply with our status (§5's "sends its load
                         // description to the group leader").
@@ -1029,7 +1029,7 @@ impl Endpoint for DaemonEndpoint {
     }
 
     fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
-        let Ok(msg) = vce_codec::from_bytes::<ExmMsg>(&env.payload) else {
+        let Ok(msg) = vce_codec::from_backing::<ExmMsg>(&env.payload) else {
             host.log("daemon: undecodable message dropped".into());
             return;
         };

@@ -733,7 +733,7 @@ impl Endpoint for ExecutorEndpoint {
     }
 
     fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
-        let Ok(msg) = vce_codec::from_bytes::<ExmMsg>(&env.payload) else {
+        let Ok(msg) = vce_codec::from_backing::<ExmMsg>(&env.payload) else {
             return;
         };
         match msg {

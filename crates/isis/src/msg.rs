@@ -200,18 +200,18 @@ impl Codec for IsisMsg {
                 vclock: Option::<VClock>::decode(dec)?,
                 total_seq: Option::<u64>::decode(dec)?,
                 requester: Option::<Addr>::decode(dec)?,
-                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+                payload: dec.get_bytes()?,
             },
             T_TOTAL_REQ => IsisMsg::TotalReq {
                 req: BcastId::decode(dec)?,
-                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+                payload: dec.get_bytes()?,
             },
             T_NACK => IsisMsg::Nack {
                 expected: dec.get_u64()?,
             },
             T_REPLY => IsisMsg::Reply {
                 to: BcastId::decode(dec)?,
-                payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+                payload: dec.get_bytes()?,
             },
             other => {
                 return Err(CodecError::InvalidDiscriminant {

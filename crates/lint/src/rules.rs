@@ -38,7 +38,7 @@ pub const P001_FILES: &[&str] = &[
 ];
 
 pub const RULE_IDS: &[&str] = &[
-    "D001", "D002", "D003", "D004", "P001", "W001", "W002", "W003",
+    "D001", "D002", "D003", "D004", "D005", "P001", "W001", "W002", "W003",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -56,9 +56,10 @@ const HINT_D002: &str =
 const HINT_D003: &str = "seed the RNG explicitly (e.g. SmallRng::seed_from_u64 from config)";
 const HINT_D004: &str =
     "sim-deterministic code is single-threaded; threads live in vce-bench or live drivers (waive)";
+const HINT_D005: &str = "give the element a `seq` field assigned from a monotone insertion counter and include it in `Ord` (the `(at_us, seq)` contract), or waive with an ordering argument";
 const HINT_P001: &str = "remote input must not panic a node: drop/log or reply with an error, or waive with an invariant argument";
 const HINT_W001: &str = "write `// vce-lint: allow(RULE) reason`";
-const HINT_W002: &str = "valid rules: D001 D002 D003 D004 P001";
+const HINT_W002: &str = "valid rules: D001 D002 D003 D004 D005 P001";
 const HINT_W003: &str = "the waived line is clean — delete the waiver";
 
 /// Lint one file's source. `relpath` is workspace-relative and drives
@@ -76,6 +77,7 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
         check_d002(relpath, &lexed.tokens, &mut findings);
         check_d003(relpath, &lexed.tokens, &mut findings);
         check_d004(relpath, &lexed.tokens, &mut findings);
+        check_d005(relpath, &lexed.tokens, &mut findings);
     }
     if P001_FILES.contains(&relpath) {
         check_p001(relpath, &lexed.tokens, &mut findings);
@@ -285,6 +287,7 @@ fn push(findings: &mut Vec<Finding>, file: &str, line: u32, rule: &'static str, 
         "D002" => HINT_D002,
         "D003" => HINT_D003,
         "D004" => HINT_D004,
+        "D005" => HINT_D005,
         _ => HINT_P001,
     };
     findings.push(Finding {
@@ -590,6 +593,150 @@ fn check_d004(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
                 "spawns an OS thread (`thread::spawn`)".into(),
             );
         }
+    }
+}
+
+/// Idents that are wrapper/path noise around a heap's element type, not
+/// the element itself.
+const D005_SKIP: &[&str] = &[
+    "Reverse",
+    "std",
+    "core",
+    "cmp",
+    "collections",
+    "Box",
+    "Rc",
+    "Arc",
+];
+
+/// D005: ad-hoc priority queues must carry an insertion-order tie-break.
+/// The event-core contract is that heap pop order is a *total* order —
+/// `(at_us, seq)` with `seq` a monotone insertion counter — because
+/// same-key ties otherwise pop in heap-internal (layout-dependent) order,
+/// which is invisible until a refactor reshuffles sift paths and every
+/// golden trace shifts. Heuristic: a `BinaryHeap<..>` element in a
+/// sim-deterministic crate should be a struct defined in the same file
+/// with a `seq`-named field; heaps of tuples, primitives or foreign types
+/// cannot be verified and are flagged for an explicit waiver.
+fn check_d005(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    // Pass 1: structs defined in this file, and which of them have a field
+    // whose name contains `seq`.
+    let mut all_structs: BTreeSet<&str> = BTreeSet::new();
+    let mut seq_structs: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("struct") {
+            continue;
+        }
+        let Some(name) = ident(toks.get(i + 1).unwrap_or(&NIL)) else {
+            continue;
+        };
+        all_structs.insert(name);
+        // Walk past generics to the field block; `struct X;` / tuple
+        // structs have no named fields and never qualify.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            if is_punct(&toks[j], '<') {
+                angle += 1;
+            } else if is_punct(&toks[j], '>') {
+                angle -= 1;
+            } else if angle == 0 && (is_punct(&toks[j], ';') || is_punct(&toks[j], '(')) {
+                break;
+            } else if angle == 0 && is_punct(&toks[j], '{') {
+                // Field block: look for `<ident containing seq> :` (and not
+                // `::`, which would be a path, not a field type binding).
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < toks.len() && depth > 0 {
+                    if is_punct(&toks[k], '{') {
+                        depth += 1;
+                    } else if is_punct(&toks[k], '}') {
+                        depth -= 1;
+                    } else if depth == 1 {
+                        if let Some(f) = ident(&toks[k]) {
+                            if f.contains("seq")
+                                && is_punct(toks.get(k + 1).unwrap_or(&NIL), ':')
+                                && !is_punct(toks.get(k + 2).unwrap_or(&NIL), ':')
+                            {
+                                seq_structs.insert(name);
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+
+    // Pass 2: typed `BinaryHeap<..>` mentions (incl. turbofish).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(&toks[i]) != Some("BinaryHeap") {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut g = i + 1;
+        if is_punct(toks.get(g).unwrap_or(&NIL), ':')
+            && is_punct(toks.get(g + 1).unwrap_or(&NIL), ':')
+        {
+            g += 2; // turbofish `BinaryHeap::<..>`
+        }
+        if !is_punct(toks.get(g).unwrap_or(&NIL), '<') {
+            i += 1;
+            continue; // bare mention (`use`, `BinaryHeap::new()`): no type info
+        }
+        // First non-wrapper ident inside the generic args is the element.
+        let mut depth = 1i32;
+        let mut j = g + 1;
+        let mut elem: Option<&str> = None;
+        while j < toks.len() && depth > 0 {
+            if is_punct(&toks[j], '<') {
+                depth += 1;
+            } else if is_punct(&toks[j], '>') {
+                depth -= 1;
+            } else if elem.is_none() {
+                if let Some(s) = ident(&toks[j]) {
+                    if !D005_SKIP.contains(&s) {
+                        elem = Some(s);
+                    }
+                }
+            }
+            j += 1;
+        }
+        match elem {
+            Some(e) if seq_structs.contains(e) => {}
+            Some(e) if all_structs.contains(e) => push(
+                findings,
+                file,
+                line,
+                "D005",
+                format!(
+                    "priority-queue element `{e}` has no insertion-seq field: \
+                     same-key ties pop in heap-internal order"
+                ),
+            ),
+            Some(e) => push(
+                findings,
+                file,
+                line,
+                "D005",
+                format!(
+                    "cannot verify the insertion-order tie-break for \
+                     `BinaryHeap` element `{e}` (not defined in this file)"
+                ),
+            ),
+            None => push(
+                findings,
+                file,
+                line,
+                "D005",
+                "`BinaryHeap` of primitives/tuples has no insertion-order tie-break".into(),
+            ),
+        }
+        i = j;
     }
 }
 

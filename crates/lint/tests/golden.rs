@@ -173,6 +173,69 @@ fn d004_waived_is_suppressed() {
     );
 }
 
+// ---------------------------------------------------------------- D005
+
+#[test]
+fn d005_flags_heap_element_without_seq_field() {
+    let src = "\
+use std::collections::BinaryHeap;
+struct Ev { at_us: u64 }
+struct Q { heap: BinaryHeap<Ev> }
+";
+    assert_fires(SIM, src, "D005");
+    // Wrapped in Reverse<..> is still the same element.
+    let src = "\
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+struct Ev { at_us: u64 }
+fn f() { let h: BinaryHeap<Reverse<Ev>> = BinaryHeap::new(); drop(h); }
+";
+    assert_fires(SIM, src, "D005");
+    // Tuples / foreign element types cannot be verified: flagged too.
+    assert_fires(
+        SIM,
+        "fn f() { let h: std::collections::BinaryHeap<(u64, u64)> = Default::default(); drop(h); }\n",
+        "D005",
+    );
+}
+
+#[test]
+fn d005_accepts_seq_tie_break_and_unscoped_crates() {
+    // The `(at_us, seq)` contract: element carries an insertion counter.
+    let src = "\
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+struct Deadline { at_us: u64, seq: u64 }
+struct Q { heap: BinaryHeap<Reverse<Deadline>> }
+";
+    assert_clean(SIM, src);
+    // A `seq`-ish name (e.g. `push_seq`) also satisfies the contract.
+    let src = "\
+use std::collections::BinaryHeap;
+struct Ev { at_us: u64, push_seq: u64 }
+struct Q { heap: BinaryHeap<Ev> }
+";
+    assert_clean(SIM, src);
+    // Outside the deterministic crates, heaps are unconstrained.
+    assert_clean(
+        "crates/bench/src/lib.rs",
+        "struct Ev { at_us: u64 }\nstruct Q { h: std::collections::BinaryHeap<Ev> }\n",
+    );
+    // Bare mentions (imports, `new()` without a typed binding) say nothing
+    // about the element and are not flagged.
+    assert_clean(SIM, "use std::collections::BinaryHeap;\n");
+}
+
+#[test]
+fn d005_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "struct Ev { at_us: u64 }\n\
+         // vce-lint: allow(D005) ties impossible: at_us strictly monotone by construction\n\
+         struct Q { heap: std::collections::BinaryHeap<Ev> }\n",
+    );
+}
+
 // ---------------------------------------------------------------- P001
 
 #[test]

@@ -42,10 +42,21 @@ impl Envelope {
         Self::new(src, dst, seq, enc.finish_bytes())
     }
 
-    /// Decode the payload as a `T`.
+    /// Decode the payload as a `T`. The payload buffer is passed as the
+    /// decoder's backing store, so nested byte fields (e.g. the payload
+    /// inside an `IsisMsg::Cast`) decode as zero-copy sub-views of it.
     pub fn decode_payload<T: Codec>(&self) -> Result<T> {
-        let mut dec = Decoder::new(&self.payload);
+        let mut dec = Decoder::with_backing(&self.payload);
         T::decode(&mut dec)
+    }
+
+    /// Decode a whole envelope from its wire buffer without copying the
+    /// payload: where plain `Codec::decode` from a `&[u8]` copies the
+    /// payload bytes out, this borrows them — the returned envelope's
+    /// `payload` is a `slice_ref` sub-view sharing `buf`'s allocation.
+    /// The buffer must contain exactly one envelope.
+    pub fn decode_from(buf: &Bytes) -> Result<Self> {
+        vce_codec::from_backing(buf)
     }
 
     /// Total size of the envelope on the (notional) wire: header + payload.
@@ -68,7 +79,9 @@ impl Codec for Envelope {
             src: Addr::decode(dec)?,
             dst: Addr::decode(dec)?,
             seq: dec.get_u64()?,
-            payload: Bytes::copy_from_slice(dec.get_len_bytes()?),
+            // Zero-copy when the decoder has a backing buffer (see
+            // `Envelope::decode_from`); copies otherwise.
+            payload: dec.get_bytes()?,
         })
     }
 }
@@ -118,6 +131,33 @@ mod tests {
     fn decode_wrong_type_fails() {
         let env = sample();
         assert!(env.decode_payload::<Vec<u64>>().is_err());
+    }
+
+    #[test]
+    fn decode_from_shares_the_wire_buffer() {
+        // Payload large enough to be heap-backed (not inline in the
+        // Bytes handle), so pointer identity proves sharing.
+        let env = Envelope::new(
+            Addr::daemon(NodeId(1)),
+            Addr::daemon(NodeId(2)),
+            3,
+            (0u8..64).collect::<Vec<u8>>(),
+        );
+        let wire = Bytes::from(to_bytes(&env));
+        let back = Envelope::decode_from(&wire).unwrap();
+        assert_eq!(back, env);
+        // Zero-copy: the decoded payload points into the wire buffer.
+        let base = wire.as_ref().as_ptr() as usize;
+        let sub = back.payload.as_ref().as_ptr() as usize;
+        assert!(sub >= base && sub + back.payload.len() <= base + wire.len());
+    }
+
+    #[test]
+    fn decode_from_rejects_trailing_garbage() {
+        let env = sample();
+        let mut wire = to_bytes(&env);
+        wire.push(0);
+        assert!(Envelope::decode_from(&Bytes::from(wire)).is_err());
     }
 
     #[test]

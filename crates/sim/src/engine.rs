@@ -1,15 +1,22 @@
-//! The discrete-event engine: event heap, per-node state, and the
-//! [`Host`] implementation endpoints run against.
+//! The discrete-event engine: calendar-queue event core, dense per-node
+//! dispatch tables, and the [`Host`] implementation endpoints run against.
 //!
 //! Determinism contract: a run is a pure function of (config seed, the
-//! sequence of `add_*`/`kill_*`/`inject` calls). The event heap orders by
-//! `(time, insertion sequence)`, so simultaneous events fire in insertion
-//! order; all randomness (fault judgments, per-node `rand_u64`) derives from
-//! the master seed. The determinism integration test asserts bit-identical
+//! sequence of `add_*`/`kill_*`/`inject` calls). The event queue (a
+//! two-level calendar queue, see [`crate::queue`]) orders by `(time,
+//! insertion sequence)`, so simultaneous events fire in insertion order;
+//! all randomness (fault judgments, per-node `rand_u64`) derives from the
+//! master seed. The determinism integration test asserts bit-identical
 //! traces across runs.
+//!
+//! Dispatch is table-driven rather than map-driven: nodes live in an
+//! index-stable slab (`Vec<SimNode>`, nodes are never removed — crash
+//! marks them dead in place) reached through a dense `NodeId → slot`
+//! array, and each node's endpoints live in a small `Vec` sorted by
+//! `PortId` with a one-entry lookup cache. The per-event cost is two array
+//! indexes instead of a `HashMap` hash plus a `BTreeMap` walk.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use bytes::Bytes;
 use rand::rngs::SmallRng;
@@ -23,6 +30,7 @@ use vce_net::{
 use crate::cpu::Cpu;
 use crate::load::LoadTrace;
 use crate::metrics::NodeMetrics;
+use crate::queue::CalendarQueue;
 use crate::topology::Topology;
 use crate::trace::Trace;
 
@@ -72,38 +80,26 @@ enum EventKind {
     Fault(vce_net::FaultOp),
 }
 
+/// An event in the calendar queue; its `(at_us, seq)` ordering key lives in
+/// the queue entry itself (see [`CalendarQueue`]).
 #[derive(Debug)]
 struct Event {
-    at_us: u64,
-    seq: u64,
     node: NodeId,
     kind: EventKind,
-}
-
-// Heap ordering key: earliest time, then earliest insertion.
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_us == other.at_us && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
-    }
 }
 
 struct SimNode {
     info: MachineInfo,
     cpu: Cpu,
-    /// BTreeMap, not HashMap: `revive_node` replays `on_start` in iteration
-    /// order, which must not vary with the process's hash seed.
-    endpoints: BTreeMap<PortId, Box<dyn Endpoint>>,
+    /// Kept **sorted by `PortId`** (the order the old `BTreeMap` iterated
+    /// in): `kill_node`/`revive_node` replay `on_crash`/`on_start` in this
+    /// order, which must not vary run to run. Nodes host a handful of
+    /// endpoints, so lookup is a binary search over a short, contiguous
+    /// array — cheaper and cache-friendlier than a tree walk.
+    endpoints: Vec<(PortId, Box<dyn Endpoint>)>,
+    /// Index of the last endpoint hit — a one-entry port→slot cache.
+    /// Validated against the port on every use, so staleness is harmless.
+    ep_cache: u32,
     rng: SmallRng,
     send_seq: u64,
     cancelled_timers: HashMap<(PortId, u64), u32>,
@@ -112,6 +108,71 @@ struct SimNode {
     /// cancel (or whose cancellations have all been consumed).
     pending_cancels: u32,
     dead: bool,
+}
+
+impl SimNode {
+    /// Endpoint slot for `port`: cache check, then binary search.
+    #[inline]
+    fn ep_slot(&mut self, port: PortId) -> Option<usize> {
+        let c = self.ep_cache as usize;
+        if let Some((p, _)) = self.endpoints.get(c) {
+            if *p == port {
+                return Some(c);
+            }
+        }
+        match self.endpoints.binary_search_by_key(&port, |(p, _)| *p) {
+            Ok(i) => {
+                self.ep_cache = i as u32;
+                Some(i)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Dense `NodeId → slab slot` index. Node ids in every experiment are
+/// small and dense, so the common path is a single array load; ids past
+/// [`NodeSlots::DENSE_CAP`] (which would make the array wasteful) spill to
+/// a side map.
+#[derive(Default)]
+struct NodeSlots {
+    dense: Vec<u32>,
+    spill: HashMap<u32, u32>,
+}
+
+impl NodeSlots {
+    const DENSE_CAP: usize = 1 << 16;
+    const EMPTY: u32 = u32::MAX;
+
+    #[inline]
+    fn get(&self, node: NodeId) -> Option<usize> {
+        let id = node.0 as usize;
+        if id < Self::DENSE_CAP {
+            match self.dense.get(id) {
+                Some(&s) if s != Self::EMPTY => Some(s as usize),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&node.0).map(|&s| s as usize)
+        }
+    }
+
+    /// Returns false if the node was already present.
+    fn insert(&mut self, node: NodeId, slot: usize) -> bool {
+        let id = node.0 as usize;
+        if id < Self::DENSE_CAP {
+            if self.dense.len() <= id {
+                self.dense.resize(id + 1, Self::EMPTY);
+            }
+            if self.dense[id] != Self::EMPTY {
+                return false;
+            }
+            self.dense[id] = slot as u32;
+            true
+        } else {
+            self.spill.insert(node.0, slot as u32).is_none()
+        }
+    }
 }
 
 /// A work mutation, kept in issue order. Interleaving starts and cancels in
@@ -216,9 +277,11 @@ enum PendingDelivery {
 /// The simulator.
 pub struct Sim {
     now: u64,
-    seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
-    nodes: HashMap<NodeId, SimNode>,
+    events: CalendarQueue<Event>,
+    /// Index-stable node slab: slots are assigned in registration order and
+    /// never reused or removed (crash marks the node dead in place).
+    nodes: Vec<SimNode>,
+    slots: NodeSlots,
     fault: FaultPlan,
     topology: Topology,
     stats: NetStats,
@@ -227,7 +290,13 @@ pub struct Sim {
     seed: u64,
     events_processed: u64,
     /// Scratch [`Effects`] reused across dispatches (capacity persists).
-    scratch_fx: Effects,
+    /// Boxed so lending it to a callback is a pointer move, not a copy of
+    /// five `Vec` headers; `None` only while a dispatch is borrowing it.
+    scratch_fx: Option<Box<Effects>>,
+    /// Recycled [`EventKind::DeliverBatch`] buffers: drained batches park
+    /// here and `route_send` reuses them, so steady-state burst delivery
+    /// allocates no fresh `Vec`s.
+    batch_pool: Vec<Vec<Envelope>>,
 }
 
 impl Sim {
@@ -235,9 +304,9 @@ impl Sim {
     pub fn new(config: SimConfig) -> Self {
         Self {
             now: 0,
-            seq: 0,
-            events: BinaryHeap::new(),
-            nodes: HashMap::new(),
+            events: CalendarQueue::new(),
+            nodes: Vec::new(),
+            slots: NodeSlots::default(),
             fault: FaultPlan::none(),
             topology: config.topology,
             stats: NetStats::new(),
@@ -249,7 +318,8 @@ impl Sim {
             master_rng: SmallRng::seed_from_u64(config.seed),
             seed: config.seed,
             events_processed: 0,
-            scratch_fx: Effects::default(),
+            scratch_fx: Some(Box::default()),
+            batch_pool: Vec::new(),
         }
     }
 
@@ -289,20 +359,19 @@ impl Sim {
         let node = info.node;
         let node_seed = self.seed ^ (u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let cpu = Cpu::new(info.speed_mops);
-        let prev = self.nodes.insert(
-            node,
-            SimNode {
-                info,
-                cpu,
-                endpoints: BTreeMap::new(),
-                rng: SmallRng::seed_from_u64(node_seed),
-                send_seq: 0,
-                cancelled_timers: HashMap::new(),
-                pending_cancels: 0,
-                dead: false,
-            },
-        );
-        assert!(prev.is_none(), "node {node} added twice");
+        let slot = self.nodes.len();
+        assert!(self.slots.insert(node, slot), "node {node} added twice");
+        self.nodes.push(SimNode {
+            info,
+            cpu,
+            endpoints: Vec::new(),
+            ep_cache: 0,
+            rng: SmallRng::seed_from_u64(node_seed),
+            send_seq: 0,
+            cancelled_timers: HashMap::new(),
+            pending_cancels: 0,
+            dead: false,
+        });
         for &(at_us, background) in load.steps() {
             self.push_event(
                 at_us.max(self.now),
@@ -314,12 +383,15 @@ impl Sim {
 
     /// Register an endpoint; its `on_start` runs as the next event.
     pub fn add_endpoint(&mut self, addr: Addr, ep: Box<dyn Endpoint>) {
-        let node = self
-            .nodes
-            .get_mut(&addr.node)
+        let slot = self
+            .slots
+            .get(addr.node)
             .unwrap_or_else(|| panic!("endpoint on unknown node {}", addr.node));
-        let prev = node.endpoints.insert(addr.port, ep);
-        assert!(prev.is_none(), "endpoint {addr} registered twice");
+        let node = &mut self.nodes[slot];
+        match node.endpoints.binary_search_by_key(&addr.port, |(p, _)| *p) {
+            Ok(_) => panic!("endpoint {addr} registered twice"),
+            Err(i) => node.endpoints.insert(i, (addr.port, ep)),
+        }
         self.push_event(self.now, addr.node, EventKind::Start { port: addr.port });
     }
 
@@ -347,14 +419,18 @@ impl Sim {
         // instant (stable stores settle which in-flight writes survive)
         // while the CPU still reflects pre-crash work.
         self.fault.kill(node);
-        let ports: Vec<PortId> = match self.nodes.get(&node) {
-            Some(n) if !n.dead => n.endpoints.keys().copied().collect(),
+        let slot = self.slots.get(node);
+        let ports: Vec<PortId> = match slot {
+            Some(s) if !self.nodes[s].dead => {
+                self.nodes[s].endpoints.iter().map(|(p, _)| *p).collect()
+            }
             _ => Vec::new(),
         };
-        for port in ports {
-            self.dispatch(node, port, |ep, host| ep.on_crash(host));
-        }
-        if let Some(n) = self.nodes.get_mut(&node) {
+        if let Some(s) = slot {
+            for port in ports {
+                self.dispatch(s, node, port, |ep, host| ep.on_crash(host));
+            }
+            let n = &mut self.nodes[s];
             n.dead = true;
             n.cpu.advance(self.now);
             n.cpu.clear();
@@ -368,10 +444,13 @@ impl Sim {
     /// Revive a crashed machine and re-run `on_start` on its endpoints.
     pub fn revive_node(&mut self, node: NodeId) {
         self.fault.revive(node);
-        let ports: Vec<PortId> = match self.nodes.get_mut(&node) {
-            Some(n) => {
+        let ports: Vec<PortId> = match self.slots.get(node) {
+            Some(s) => {
+                let n = &mut self.nodes[s];
                 n.dead = false;
-                n.endpoints.keys().copied().collect()
+                // Sorted by port: the deterministic replay order the old
+                // BTreeMap iteration gave us.
+                n.endpoints.iter().map(|(p, _)| *p).collect()
             }
             None => Vec::new(),
         };
@@ -448,13 +527,16 @@ impl Sim {
 
     /// A node's instantaneous load.
     pub fn node_load(&self, node: NodeId) -> f64 {
-        self.nodes.get(&node).map_or(0.0, |n| n.cpu.load())
+        self.slots
+            .get(node)
+            .map_or(0.0, |s| self.nodes[s].cpu.load())
     }
 
     /// Metrics snapshot for one node (advances its CPU accounting to now).
     pub fn metrics(&mut self, node: NodeId) -> Option<NodeMetrics> {
         let now = self.now;
-        self.nodes.get_mut(&node).map(|n| {
+        self.slots.get(node).map(|s| {
+            let n = &mut self.nodes[s];
             n.cpu.advance(now);
             NodeMetrics {
                 node,
@@ -475,8 +557,7 @@ impl Sim {
 
     /// Metrics for every node, sorted by node id.
     pub fn all_metrics(&mut self) -> Vec<NodeMetrics> {
-        // vce-lint: allow(D002) order-insensitive — collected ids are sorted on the next line
-        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut ids: Vec<NodeId> = self.nodes.iter().map(|n| n.info.node).collect();
         ids.sort();
         ids.into_iter().filter_map(|id| self.metrics(id)).collect()
     }
@@ -487,29 +568,23 @@ impl Sim {
         addr: Addr,
         f: impl FnOnce(&mut E) -> T,
     ) -> Option<T> {
-        let node = self.nodes.get_mut(&addr.node)?;
-        let ep = node.endpoints.get_mut(&addr.port)?;
-        let any = ep.as_any_mut()?;
+        let node = &mut self.nodes[self.slots.get(addr.node)?];
+        let i = node.ep_slot(addr.port)?;
+        let any = node.endpoints[i].1.as_any_mut()?;
         any.downcast_mut::<E>().map(f)
     }
 
     fn push_event(&mut self, at_us: u64, node: NodeId, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            at_us,
-            seq: self.seq,
-            node,
-            kind,
-        }));
+        self.events.push(at_us, Event { node, kind });
     }
 
-    /// Process one event. Returns `false` when the heap is empty.
+    /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.events.pop() else {
+        let Some((at_us, ev)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(ev.at_us >= self.now, "event heap went backwards");
-        self.now = ev.at_us;
+        debug_assert!(at_us >= self.now, "event queue went backwards");
+        self.now = at_us;
         self.events_processed += 1;
         self.handle(ev);
         true
@@ -530,8 +605,8 @@ impl Sim {
     /// are processed); the clock advances to `t_us` even if the heap
     /// empties first.
     pub fn run_until(&mut self, t_us: u64) {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at_us > t_us {
+        while let Some(at) = self.events.peek_time() {
+            if at > t_us {
                 break;
             }
             self.step();
@@ -550,24 +625,29 @@ impl Sim {
     fn handle(&mut self, ev: Event) {
         match ev.kind {
             EventKind::Start { port } => {
-                if self.node_is_dead(ev.node) {
+                let Some(slot) = self.live_slot(ev.node) else {
                     return;
-                }
-                self.dispatch(ev.node, port, |ep, host| ep.on_start(host));
+                };
+                self.dispatch(slot, ev.node, port, |ep, host| ep.on_start(host));
             }
             EventKind::Deliver(env) => self.deliver_one(ev.node, env),
-            EventKind::DeliverBatch(envs) => {
+            EventKind::DeliverBatch(mut envs) => {
                 // Count each coalesced delivery like its uncoalesced form,
                 // so `events_processed` is independent of batching.
                 self.events_processed += envs.len() as u64 - 1;
-                for env in envs {
+                for env in envs.drain(..) {
                     self.deliver_one(ev.node, env);
+                }
+                // Park the drained buffer for route_send to reuse.
+                if self.batch_pool.len() < 64 {
+                    self.batch_pool.push(envs);
                 }
             }
             EventKind::Timer { port, token } => {
-                let Some(n) = self.nodes.get_mut(&ev.node) else {
+                let Some(slot) = self.slots.get(ev.node) else {
                     return;
                 };
+                let n = &mut self.nodes[slot];
                 if n.dead {
                     return;
                 }
@@ -583,17 +663,17 @@ impl Sim {
                         return;
                     }
                 }
-                self.dispatch(ev.node, port, move |ep, host| ep.on_timer(token, host));
+                self.dispatch(slot, ev.node, port, move |ep, host| {
+                    ep.on_timer(token, host)
+                });
             }
             EventKind::CpuCheck { generation } => {
-                if self.node_is_dead(ev.node) {
+                let Some(slot) = self.live_slot(ev.node) else {
                     return;
-                }
+                };
                 let now = self.now;
                 let completions: Vec<(PortId, u64)> = {
-                    let Some(n) = self.nodes.get_mut(&ev.node) else {
-                        return;
-                    };
+                    let n = &mut self.nodes[slot];
                     if n.cpu.generation != generation {
                         return; // stale prediction
                     }
@@ -607,14 +687,17 @@ impl Sim {
                     done
                 };
                 for (port, pid) in completions {
-                    self.dispatch(ev.node, port, move |ep, host| ep.on_work_done(pid, host));
+                    self.dispatch(slot, ev.node, port, move |ep, host| {
+                        ep.on_work_done(pid, host)
+                    });
                 }
                 self.schedule_cpu_check(ev.node);
             }
             EventKind::Fault(op) => self.apply_fault(op),
             EventKind::LoadChange { background } => {
-                if let Some(n) = self.nodes.get_mut(&ev.node) {
+                if let Some(slot) = self.slots.get(ev.node) {
                     let now = self.now;
+                    let n = &mut self.nodes[slot];
                     n.cpu.advance(now);
                     n.cpu.set_background(background);
                     if self.trace.is_enabled() {
@@ -631,26 +714,35 @@ impl Sim {
     }
 
     fn deliver_one(&mut self, node: NodeId, env: Envelope) {
-        // Specialised dispatch for the dominant event kind: one node-map
-        // hit covers the liveness check, the endpoint lookup, and the
-        // callback itself (the generic path costs three extra lookups).
+        // Specialised dispatch for the dominant event kind: one slab index
+        // covers the liveness check, the endpoint lookup, and the callback
+        // itself.
         let now = self.now;
         let trace_on = self.trace.is_enabled();
         let port = env.dst.port;
-        let mut fx = std::mem::take(&mut self.scratch_fx);
+        let mut fx = self.scratch_fx.take().unwrap_or_default();
         {
-            let Some(n) = self.nodes.get_mut(&node) else {
-                self.scratch_fx = fx;
+            let Some(slot) = self.slots.get(node) else {
+                self.scratch_fx = Some(fx);
                 self.stats.record_dropped();
                 return;
             };
+            let n = &mut self.nodes[slot];
             // The destination may have died after the send was judged.
             if n.dead || self.fault.is_dead(env.dst.node) {
-                self.scratch_fx = fx;
+                self.scratch_fx = Some(fx);
                 self.stats.record_dropped();
                 return;
             }
             self.stats.record_delivered();
+            let Some(i) = n.ep_slot(port) else {
+                self.scratch_fx = Some(fx);
+                if trace_on {
+                    self.trace
+                        .push(now, node, format!("engine: no endpoint for port {port:?}"));
+                }
+                return;
+            };
             let SimNode {
                 info,
                 cpu,
@@ -658,14 +750,7 @@ impl Sim {
                 rng,
                 ..
             } = n;
-            let Some(ep) = endpoints.get_mut(&port) else {
-                self.scratch_fx = fx;
-                if trace_on {
-                    self.trace
-                        .push(now, node, format!("engine: no endpoint for port {port:?}"));
-                }
-                return;
-            };
+            let ep = &mut endpoints[i].1;
             cpu.advance(now);
             let mut ctx = HostCtx {
                 now,
@@ -680,16 +765,23 @@ impl Sim {
             ep.on_envelope(env, &mut ctx);
         }
         self.apply_effects(node, port, &mut fx);
-        self.scratch_fx = fx;
+        self.scratch_fx = Some(fx);
+    }
+
+    /// Slab slot of `node` if it exists and is alive.
+    #[inline]
+    fn live_slot(&self, node: NodeId) -> Option<usize> {
+        self.slots.get(node).filter(|&s| !self.nodes[s].dead)
     }
 
     fn node_is_dead(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).is_none_or(|n| n.dead)
+        self.live_slot(node).is_none()
     }
 
     fn schedule_cpu_check(&mut self, node: NodeId) {
         let now = self.now;
-        let next = self.nodes.get_mut(&node).and_then(|n| {
+        let next = self.slots.get(node).and_then(|s| {
+            let n = &mut self.nodes[s];
             n.cpu
                 .next_completion(now)
                 .map(|(_, at)| (at, n.cpu.generation))
@@ -699,9 +791,11 @@ impl Sim {
         }
     }
 
-    /// Run one endpoint callback and apply its effects.
+    /// Run one endpoint callback and apply its effects. `slot` must be
+    /// `node_id`'s slab slot.
     fn dispatch(
         &mut self,
+        slot: usize,
         node_id: NodeId,
         port: PortId,
         f: impl FnOnce(&mut dyn Endpoint, &mut dyn Host),
@@ -711,15 +805,16 @@ impl Sim {
         // Lend the shared scratch buffers to this callback; drained on
         // apply, returned below with their capacity intact. (apply_effects
         // never re-enters dispatch, so one scratch instance suffices.)
-        let mut fx = std::mem::take(&mut self.scratch_fx);
+        let mut fx = self.scratch_fx.take().unwrap_or_default();
         {
-            let Some(node) = self.nodes.get_mut(&node_id) else {
-                self.scratch_fx = fx;
+            let node = &mut self.nodes[slot];
+            let Some(i) = node.ep_slot(port) else {
+                self.scratch_fx = Some(fx);
                 return;
             };
             // Disjoint field borrows: the endpoint (mut) runs against its
             // node's info/cpu (shared) and rng (mut) with no clones and
-            // without removing it from the map.
+            // without moving it out of the table.
             let SimNode {
                 info,
                 cpu,
@@ -727,10 +822,7 @@ impl Sim {
                 rng,
                 ..
             } = node;
-            let Some(ep) = endpoints.get_mut(&port) else {
-                self.scratch_fx = fx;
-                return;
-            };
+            let ep = &mut endpoints[i].1;
             cpu.advance(now);
             let mut ctx = HostCtx {
                 now,
@@ -745,16 +837,18 @@ impl Sim {
             f(ep.as_mut(), &mut ctx);
         }
         self.apply_effects(node_id, port, &mut fx);
-        self.scratch_fx = fx;
+        self.scratch_fx = Some(fx);
     }
 
     fn apply_effects(&mut self, node_id: NodeId, port: PortId, fx: &mut Effects) {
         let now = self.now;
+        let slot = self.slots.get(node_id);
         for line in fx.logs.drain(..) {
             self.trace.push(now, node_id, line);
         }
         if !fx.timer_cancels.is_empty() {
-            if let Some(n) = self.nodes.get_mut(&node_id) {
+            if let Some(s) = slot {
+                let n = &mut self.nodes[s];
                 for token in fx.timer_cancels.drain(..) {
                     *n.cancelled_timers.entry((port, token)).or_insert(0) += 1;
                     n.pending_cancels += 1;
@@ -767,7 +861,8 @@ impl Sim {
             self.push_event(now + delay, node_id, EventKind::Timer { port, token });
         }
         if !fx.work_ops.is_empty() {
-            if let Some(n) = self.nodes.get_mut(&node_id) {
+            if let Some(s) = slot {
+                let n = &mut self.nodes[s];
                 n.cpu.advance(now);
                 for op in fx.work_ops.drain(..) {
                     match op {
@@ -788,15 +883,16 @@ impl Sim {
         let mut pending = PendingDelivery::None;
         // Sends from one callback almost always share the callback's own
         // node as source: bump that node's `send_seq` by the whole batch in
-        // a single map hit and hand out the pre-assigned range. A send with
-        // a foreign source address (possible, endpoints pick `src` freely)
+        // one slab hit and hand out the pre-assigned range. A send with a
+        // foreign source address (possible, endpoints pick `src` freely)
         // falls back to the per-send lookup.
         if fx.sends.iter().all(|(s, ..)| s.node == node_id) {
-            let base = match self.nodes.get_mut(&node_id) {
-                Some(n) => {
-                    let s = n.send_seq;
+            let base = match slot {
+                Some(s) => {
+                    let n = &mut self.nodes[s];
+                    let b = n.send_seq;
                     n.send_seq += fx.sends.len() as u64;
-                    s
+                    b
                 }
                 None => 0,
             };
@@ -805,11 +901,12 @@ impl Sim {
             }
         } else {
             for (src, dst, payload, category) in fx.sends.drain(..) {
-                let seq = match self.nodes.get_mut(&src.node) {
-                    Some(n) => {
-                        let s = n.send_seq;
+                let seq = match self.slots.get(src.node) {
+                    Some(s) => {
+                        let n = &mut self.nodes[s];
+                        let b = n.send_seq;
                         n.send_seq += 1;
-                        s
+                        b
                     }
                     None => 0,
                 };
@@ -845,7 +942,11 @@ impl Sim {
                 *pending = match std::mem::replace(pending, PendingDelivery::None) {
                     PendingDelivery::None => PendingDelivery::One(at, dst.node, env),
                     PendingDelivery::One(pat, pnode, penv) if pat == at && pnode == dst.node => {
-                        PendingDelivery::Many(at, pnode, vec![penv, env])
+                        // Reuse a drained batch buffer if one is parked.
+                        let mut envs = self.batch_pool.pop().unwrap_or_default();
+                        envs.push(penv);
+                        envs.push(env);
+                        PendingDelivery::Many(at, pnode, envs)
                     }
                     PendingDelivery::Many(pat, pnode, mut envs)
                         if pat == at && pnode == dst.node =>

@@ -18,8 +18,9 @@
 //!
 //! The protocol state machines from `vce-isis`/`vce-exm` run unmodified on
 //! this engine via the [`vce_net::Endpoint`]/[`vce_net::Host`] traits. Every
-//! run is a pure function of its seed: the event heap tie-breaks on
-//! insertion sequence and all randomness derives from one master seed.
+//! run is a pure function of its seed: the event queue (a calendar queue,
+//! [`queue::CalendarQueue`]) tie-breaks on insertion sequence and all
+//! randomness derives from one master seed.
 //!
 //! ```
 //! use vce_net::{Addr, Endpoint, Envelope, Host, MachineInfo, NodeId, PortId};
@@ -41,6 +42,7 @@ pub mod cpu;
 pub mod engine;
 pub mod load;
 pub mod metrics;
+pub mod queue;
 pub mod topology;
 pub mod trace;
 

@@ -1,0 +1,385 @@
+//! The event core: a two-level bucketed calendar queue (hierarchical timer
+//! wheel) ordered by `(at_us, seq)`.
+//!
+//! # Why not a `BinaryHeap`?
+//!
+//! Every event in the simulator funnels through one priority queue, and the
+//! dominant event class is *near-future* periodic work — heartbeats, CPU
+//! checks, backoff probes — which is the worst case for a comparison heap
+//! (every push/pop pays `O(log n)` sifts through cold memory) and the best
+//! case for a timer wheel (`O(1)` amortized bucket append / cursor walk).
+//!
+//! # Structure
+//!
+//! * **Level 0 — the wheel.** `NUM_BUCKETS` ring slots of `BUCKET_US`
+//!   microseconds each (~[`SPAN_US`] of horizon). An event whose slot
+//!   (`at_us >> BUCKET_BITS`) lies inside the current admission window
+//!   `[cur_slot, horizon_slot)` is appended, unsorted, to its bucket. When
+//!   the drain cursor reaches a bucket, the bucket is sorted once by
+//!   `(at_us, seq)` and popped from in order.
+//! * **Level 1 — the overflow.** Events at or beyond `horizon_slot` go to a
+//!   sorted overflow level (a min-heap on the same key). **Promotion rule:**
+//!   only when the wheel runs completely dry does the window jump forward —
+//!   `cur_slot` moves to the earliest overflow slot, `horizon_slot` to
+//!   `cur_slot + NUM_BUCKETS`, and every overflow event now inside the
+//!   window is scattered into its bucket. The admission horizon never moves
+//!   between promotions, so a bucketed event is always earlier than every
+//!   overflow event and the two levels never have to be compared.
+//!
+//! # Ordering contract
+//!
+//! Pop order is **exactly** ascending `(at_us, seq)`, where `seq` is the
+//! queue-assigned insertion sequence — the same total order as the
+//! `BinaryHeap<Reverse<Event>>` it replaced, including same-timestamp
+//! insertion-order tie-breaks. Traces, experiment outputs and chaos
+//! schedules therefore stay byte-identical across the swap; the
+//! `wheel_matches_heap_oracle` proptest in `crates/sim/tests` drives random
+//! schedules through both and asserts identical pop order.
+//!
+//! A push whose timestamp lands in the bucket currently being drained (or
+//! earlier — possible only for a push at the current sim time) is inserted
+//! into the sorted in-flight run by binary search, preserving the global
+//! order even for pop/push interleavings at one instant.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// log2 of the bucket width in microseconds (128 µs per bucket): fine
+/// enough that a bucket rarely holds more than a handful of events, coarse
+/// enough that periodic-timer slots are revisited (and their `Vec`
+/// capacity reused) instead of sprayed across cold memory.
+const BUCKET_BITS: u32 = 7;
+/// Bucket width in microseconds.
+const BUCKET_US: u64 = 1 << BUCKET_BITS;
+/// Ring size. Must be a power of two (slot masking) and a multiple of 64
+/// (occupancy bitmap words).
+const NUM_BUCKETS: usize = 8192;
+/// Wheel horizon: how far past the drain cursor an event may be admitted
+/// to level 0 (~1.05 simulated seconds). Heartbeats, CPU checks and
+/// backoff probes all live well inside this band.
+pub const SPAN_US: u64 = NUM_BUCKETS as u64 * BUCKET_US;
+
+const RING_MASK: usize = NUM_BUCKETS - 1;
+const WORDS: usize = NUM_BUCKETS / 64;
+
+/// One queued item with its ordering key.
+#[derive(Debug)]
+struct Entry<T> {
+    at_us: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at_us, self.seq)
+    }
+}
+
+// Overflow-heap ordering: min on (at_us, seq) via `Reverse`.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Two-level calendar queue with exact `(at_us, seq)` total order.
+///
+/// `seq` is assigned internally on every [`CalendarQueue::push`], so two
+/// events at the same microsecond pop in insertion order.
+pub struct CalendarQueue<T> {
+    /// Level 0 ring; bucket `s & RING_MASK` holds slot `s`'s events,
+    /// unsorted until the drain cursor reaches it.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Occupancy bitmap over ring positions (bit set ⇔ bucket non-empty).
+    occupied: [u64; WORDS],
+    /// Absolute slot (`at_us >> BUCKET_BITS`) currently being drained.
+    cur_slot: u64,
+    /// First slot *not* admitted to the wheel; events at `slot >=
+    /// horizon_slot` go to the overflow level. Fixed between promotions.
+    horizon_slot: u64,
+    /// The in-flight bucket: sorted **descending** by `(at_us, seq)` so
+    /// pops are `Vec::pop` from the tail.
+    current: Vec<Entry<T>>,
+    /// Level 1: far-future events, min-heap on `(at_us, seq)`.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    /// Warm drained-bucket buffers. A sim revisits nearby ring slots but
+    /// (over a long horizon) rarely the *same* slot, so capacity is pooled
+    /// here instead of stranded in slots that won't be hit again; a fresh
+    /// bucket's first push grabs a warm buffer and steady state allocates
+    /// nothing.
+    spare: Vec<Vec<Entry<T>>>,
+    /// Next insertion sequence number.
+    seq: u64,
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue starting at time 0.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::iter::repeat_with(Vec::new).take(NUM_BUCKETS).collect(),
+            occupied: [0u64; WORDS],
+            cur_slot: 0,
+            horizon_slot: NUM_BUCKETS as u64,
+            current: Vec::new(),
+            overflow: BinaryHeap::new(),
+            spare: Vec::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `item` at absolute time `at_us`; ties with already-queued
+    /// events at the same microsecond resolve in push order.
+    pub fn push(&mut self, at_us: u64, item: T) {
+        self.seq += 1;
+        let entry = Entry {
+            at_us,
+            seq: self.seq,
+            item,
+        };
+        let slot = at_us >> BUCKET_BITS;
+        if slot <= self.cur_slot {
+            // Lands in (or before) the bucket being drained: binary-search
+            // into the sorted in-flight run. The tail past the insertion
+            // point only holds events earlier than this one — at one
+            // instant that is a handful at most.
+            let key = entry.key();
+            let idx = self.current.partition_point(|e| e.key() > key);
+            self.current.insert(idx, entry);
+        } else if slot < self.horizon_slot {
+            let ring = (slot as usize) & RING_MASK;
+            let bucket = &mut self.buckets[ring];
+            if bucket.capacity() == 0 {
+                if let Some(warm) = self.spare.pop() {
+                    *bucket = warm;
+                }
+            }
+            bucket.push(entry);
+            self.occupied[ring / 64] |= 1u64 << (ring % 64);
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        self.len += 1;
+    }
+
+    /// Timestamp of the earliest event, or `None` if empty. `&mut` because
+    /// peeking may advance the drain cursor to (and sort) the next bucket.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        if self.ensure_current() {
+            self.current.last().map(|e| e.at_us)
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return the earliest event as `(at_us, item)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if !self.ensure_current() {
+            return None;
+        }
+        let e = self.current.pop().expect("ensure_current guarantees one");
+        self.len -= 1;
+        Some((e.at_us, e.item))
+    }
+
+    /// Make `current` non-empty, advancing the cursor / promoting overflow
+    /// as needed. Returns false iff the queue is empty.
+    fn ensure_current(&mut self) -> bool {
+        if !self.current.is_empty() {
+            return true;
+        }
+        if self.len == 0 {
+            return false;
+        }
+        loop {
+            match self.next_occupied_slot() {
+                Some(slot) => {
+                    self.load_bucket(slot);
+                    return true;
+                }
+                None => {
+                    // Wheel dry: jump the window to the overflow's earliest
+                    // slot and scatter everything now inside it.
+                    let Some(Reverse(head)) = self.overflow.peek() else {
+                        debug_assert_eq!(self.len, 0);
+                        return false;
+                    };
+                    self.cur_slot = head.at_us >> BUCKET_BITS;
+                    self.horizon_slot = self.cur_slot + NUM_BUCKETS as u64;
+                    let bound = self.horizon_slot << BUCKET_BITS;
+                    while let Some(Reverse(e)) = self.overflow.peek() {
+                        if e.at_us >= bound {
+                            break;
+                        }
+                        let Reverse(e) = self.overflow.pop().expect("peeked");
+                        let ring = ((e.at_us >> BUCKET_BITS) as usize) & RING_MASK;
+                        self.buckets[ring].push(e);
+                        self.occupied[ring / 64] |= 1u64 << (ring % 64);
+                    }
+                    // cur_slot's bucket is now occupied; next loop loads it.
+                }
+            }
+        }
+    }
+
+    /// The earliest occupied slot in `[cur_slot, horizon_slot)`, via the
+    /// bitmap (word-skipping scan in ring order from the cursor).
+    fn next_occupied_slot(&self) -> Option<u64> {
+        let start = (self.cur_slot as usize) & RING_MASK;
+        // First (possibly partial) word: bits at/after the cursor.
+        let mut word_idx = start / 64;
+        let mut word = self.occupied[word_idx] & (!0u64 << (start % 64));
+        for step in 0..=WORDS {
+            if word != 0 {
+                let ring = word_idx * 64 + word.trailing_zeros() as usize;
+                // Ring position → absolute slot within the window.
+                let delta = (ring.wrapping_sub(start) & RING_MASK) as u64;
+                let slot = self.cur_slot + delta;
+                if slot < self.horizon_slot {
+                    return Some(slot);
+                }
+                // Occupied but past the horizon cannot happen (admission
+                // keeps wheel events inside the window); defensive only.
+                debug_assert!(false, "occupied bucket beyond horizon");
+                return None;
+            }
+            if step == WORDS {
+                break;
+            }
+            word_idx = (word_idx + 1) % WORDS;
+            word = self.occupied[word_idx];
+            if word_idx == start / 64 {
+                // Wrapped: only bits *before* the cursor remain.
+                word &= !(!0u64 << (start % 64));
+            }
+        }
+        None
+    }
+
+    /// Move the drain cursor to `slot`: sort its bucket descending (pops
+    /// are `Vec::pop` from the tail) and swap it in as the in-flight run.
+    /// The drained buffer's capacity goes to the spare pool for reuse.
+    fn load_bucket(&mut self, slot: u64) {
+        self.cur_slot = slot;
+        let ring = (slot as usize) & RING_MASK;
+        let bucket = &mut self.buckets[ring];
+        // Events arrive in seq order and mostly in time order, so buckets
+        // are usually already ascending (frequently one timestamp run):
+        // detect that with one pass and reverse, instead of a full sort.
+        if bucket.windows(2).all(|w| w[0].key() < w[1].key()) {
+            bucket.reverse();
+        } else {
+            bucket.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        }
+        debug_assert!(self.current.is_empty());
+        std::mem::swap(&mut self.current, bucket);
+        self.occupied[ring / 64] &= !(1u64 << (ring % 64));
+        let warm = std::mem::take(bucket);
+        if warm.capacity() > 0 && self.spare.len() < 32 {
+            self.spare.push(warm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = CalendarQueue::new();
+        q.push(500, "b");
+        q.push(100, "a");
+        q.push(500, "c");
+        q.push(100, "a2");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(100));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(100, "a"), (100, "a2"), (500, "b"), (500, "c")]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_rides_the_overflow_level() {
+        let mut q = CalendarQueue::new();
+        // Beyond the wheel horizon → overflow, promoted on demand.
+        q.push(3 * SPAN_US, 1u32);
+        q.push(10, 0u32);
+        q.push(7 * SPAN_US + 3, 2u32);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((3 * SPAN_US, 1)));
+        assert_eq!(q.pop(), Some((7 * SPAN_US + 3, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_push_during_drain_keeps_order() {
+        let mut q = CalendarQueue::new();
+        q.push(100, 0u32);
+        q.push(100, 1);
+        assert_eq!(q.pop(), Some((100, 0)));
+        // Pushed mid-drain at the same instant: must pop after already
+        // queued t=100 events (larger seq) but before t=101.
+        q.push(100, 2);
+        q.push(101, 3);
+        assert_eq!(q.pop(), Some((100, 1)));
+        assert_eq!(q.pop(), Some((100, 2)));
+        assert_eq!(q.pop(), Some((101, 3)));
+    }
+
+    #[test]
+    fn interleaved_pushes_across_buckets() {
+        let mut q = CalendarQueue::new();
+        q.push(5 * BUCKET_US, "far");
+        q.push(1, "near");
+        assert_eq!(q.pop(), Some((1, "near")));
+        q.push(2 * BUCKET_US, "mid");
+        assert_eq!(q.pop(), Some((2 * BUCKET_US, "mid")));
+        assert_eq!(q.pop(), Some((5 * BUCKET_US, "far")));
+    }
+
+    #[test]
+    fn empty_then_reused_after_idle_gap() {
+        let mut q = CalendarQueue::new();
+        q.push(50, ());
+        assert_eq!(q.pop(), Some((50, ())));
+        assert_eq!(q.peek_time(), None);
+        // Re-arm far past the original window (as run_until does after an
+        // idle stretch).
+        q.push(40 * SPAN_US, ());
+        q.push(40 * SPAN_US + BUCKET_US, ());
+        assert_eq!(q.pop(), Some((40 * SPAN_US, ())));
+        assert_eq!(q.pop(), Some((40 * SPAN_US + BUCKET_US, ())));
+    }
+}

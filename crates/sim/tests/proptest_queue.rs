@@ -1,0 +1,117 @@
+//! Oracle equivalence for the calendar-queue event core: random
+//! push/pop/cancel schedules driven simultaneously through
+//! [`CalendarQueue`] and a reference `BinaryHeap` keyed `(at_us, seq)` —
+//! the structure it replaced in `Sim` — must produce identical pop
+//! sequences, including same-timestamp insertion-order tie-breaks and
+//! interaction with lazy cancellation (cancelled entries stay queued and
+//! are silently consumed at pop, exactly like the engine's cancelled-timer
+//! filter).
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use vce_sim::queue::{CalendarQueue, SPAN_US};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at this absolute time.
+    Push(u64),
+    /// Pop one observable (non-cancelled) event.
+    Pop,
+    /// Lazily cancel the most recently pushed still-live event.
+    Cancel,
+}
+
+/// Times are drawn from three bands: a quantized near band (forcing many
+/// same-timestamp ties), a mid band inside the wheel horizon, and a far
+/// band beyond it (exercising the overflow level and promotion).
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (The vendored `prop_oneof!` is unweighted; arms are repeated to bias
+    // toward tie-heavy near-band pushes and pops.)
+    prop_oneof![
+        (0u64..32).prop_map(|t| Op::Push(t * 64)),
+        (0u64..32).prop_map(|t| Op::Push(t * 64)),
+        (0u64..32).prop_map(|t| Op::Push(t * 64)),
+        (0u64..SPAN_US).prop_map(Op::Push),
+        (0u64..4000).prop_map(|r| Op::Push(SPAN_US + r * 731)),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Cancel),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap_oracle(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut wheel: CalendarQueue<u32> = CalendarQueue::new();
+        // The reference: exactly the old engine's shape — a min-heap on
+        // (at_us, seq) with a caller-side insertion counter.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut next_id = 0u32;
+        let mut live: Vec<u32> = Vec::new();
+        let mut cancelled: HashSet<u32> = HashSet::new();
+
+        let pop_both = |wheel: &mut CalendarQueue<u32>,
+                            heap: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                            cancelled: &HashSet<u32>| {
+            // Lazy-cancel drain: cancelled entries are consumed silently.
+            let w = loop {
+                match wheel.pop() {
+                    None => break None,
+                    Some((_, id)) if cancelled.contains(&id) => continue,
+                    Some((at, id)) => break Some((at, id)),
+                }
+            };
+            let h = loop {
+                match heap.pop() {
+                    None => break None,
+                    Some(Reverse((_, _, id))) if cancelled.contains(&id) => continue,
+                    Some(Reverse((at, _, id))) => break Some((at, id)),
+                }
+            };
+            (w, h)
+        };
+
+        for op in ops {
+            match op {
+                Op::Push(at) => {
+                    let id = next_id;
+                    next_id += 1;
+                    wheel.push(at, id);
+                    seq += 1;
+                    heap.push(Reverse((at, seq, id)));
+                    live.push(id);
+                }
+                Op::Cancel => {
+                    if let Some(id) = live.pop() {
+                        cancelled.insert(id);
+                    }
+                }
+                Op::Pop => {
+                    // Before popping, the earliest timestamps must agree
+                    // (peek may see a cancelled entry — on both sides).
+                    let heap_peek = heap.peek().map(|Reverse((at, _, _))| *at);
+                    prop_assert_eq!(wheel.peek_time(), heap_peek);
+                    let (w, h) = pop_both(&mut wheel, &mut heap, &cancelled);
+                    prop_assert_eq!(w, h, "divergent pop");
+                    if let Some((_, id)) = w {
+                        live.retain(|&x| x != id);
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len(), "divergent len");
+        }
+
+        // Drain to empty: the full residual order must match too.
+        loop {
+            let (w, h) = pop_both(&mut wheel, &mut heap, &cancelled);
+            prop_assert_eq!(w, h, "divergent drain");
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

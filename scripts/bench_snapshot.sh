@@ -2,8 +2,11 @@
 # Perf snapshot: build the harness and write BENCH_sim.json at the repo
 # root. Fields (see crates/bench/src/bin/bench_snapshot.rs):
 #   storm.events_per_sec        engine throughput on the 16-node message storm
+#   storm_long.events_per_sec   long-horizon heartbeat storm (64 nodes, 60 s
+#                               simulated): the timer-dominated steady state
 #   bidding_round.latency_us    one F3 allocation round, 8 machines, 0.8ms jitter
 #   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
+#                               (speedup recorded only when threads > 1)
 #   sweep.identical_output      parallel rows byte-identical to serial rows
 #   chaos.*                     one mixed-schedule chaos run (seed 100,
 #                               checkpoint): invariants green, faults,

@@ -39,4 +39,27 @@ cargo test --release --offline -q -p vce-bench --test sweep_determinism
 echo "== engine bench smoke (quick mode) =="
 VCE_BENCH_QUICK=1 cargo bench --offline -p vce-bench --bench sim_engine
 
+# Warn-only: shared CI runners are noisy, so a perf drop must never fail
+# the gate — but it should be visible in every PR's log. Re-measures the
+# storm scenario and prints the % delta vs the committed snapshot.
+echo "== bench drift vs BENCH_sim.json (warn-only) =="
+drift_tmp=$(mktemp)
+./target/release/bench_snapshot > "$drift_tmp"
+python3 - "$drift_tmp" <<'PY' || echo "bench-drift: check skipped (parse error)"
+import json, sys
+now = json.load(open(sys.argv[1]))
+committed = json.load(open("BENCH_sim.json"))
+for row in ("storm", "storm_long"):
+    try:
+        new = now[row]["events_per_sec"]
+        old = committed[row]["events_per_sec"]
+    except KeyError:
+        print(f"bench-drift: {row}: no committed number, skipping")
+        continue
+    delta = 100.0 * (new - old) / old
+    flag = "" if delta > -10.0 else "  <-- WARNING: >10% below committed snapshot"
+    print(f"bench-drift: {row}: {new:.0f} ev/s vs committed {old:.0f} ({delta:+.1f}%){flag}")
+PY
+rm -f "$drift_tmp"
+
 echo "CI OK"

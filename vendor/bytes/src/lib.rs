@@ -17,17 +17,37 @@ use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous slice of memory.
 ///
-/// Internally either a `&'static [u8]` (from [`Bytes::from_static`]) or an
-/// `Arc<[u8]>`; `clone` is a pointer copy + refcount bump either way.
+/// Internally a `&'static [u8]` (from [`Bytes::from_static`]), a view
+/// (`offset..offset+len`) into an `Arc<[u8]>`, or — for buffers up to
+/// [`INLINE_CAP`] bytes — the data itself stored inline in the handle, so
+/// small payloads (protocol headers, heartbeats) never allocate and clone
+/// as a plain memcpy. `clone` is a pointer copy + refcount bump for the
+/// shared form, and [`Bytes::slice`] / [`Bytes::slice_ref`] produce
+/// sub-views sharing the backing allocation (inline sub-views copy, which
+/// is cheaper than refcounting at that size).
 #[derive(Clone)]
 pub struct Bytes {
     inner: Inner,
+    /// View start within the backing storage. `u32` keeps `Bytes` at 32
+    /// bytes (the real crate's size); buffers are length-checked on
+    /// construction.
+    off: u32,
+    /// View length.
+    len: u32,
 }
+
+/// Largest buffer stored inline in the `Bytes` handle. Sized so `Inner`
+/// stays 24 bytes (tag + the 16-byte `Static`/`Shared` payloads leave 23
+/// spare under 8-byte alignment) and `Bytes` stays 32.
+const INLINE_CAP: usize = 23;
 
 #[derive(Clone)]
 enum Inner {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// Small-buffer optimisation: the data lives in the handle itself.
+    /// The valid prefix length is the outer `Bytes::len` (+ `off`).
+    Inline([u8; INLINE_CAP]),
 }
 
 impl Bytes {
@@ -35,38 +55,121 @@ impl Bytes {
     pub const fn new() -> Self {
         Bytes {
             inner: Inner::Static(&[]),
+            off: 0,
+            len: 0,
         }
     }
 
     /// Wrap a static slice (no allocation, no refcount).
     pub const fn from_static(bytes: &'static [u8]) -> Self {
+        assert!(bytes.len() <= u32::MAX as usize, "static slice too large");
         Bytes {
             inner: Inner::Static(bytes),
+            off: 0,
+            len: bytes.len() as u32,
         }
     }
 
-    /// Copy a slice into a new shared buffer.
+    /// Copy a slice into a new buffer (inline when it fits, shared
+    /// allocation otherwise).
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.len() <= INLINE_CAP {
+            Bytes::inline(data)
+        } else {
+            Bytes::from_shared(Arc::from(data))
+        }
+    }
+
+    fn inline(data: &[u8]) -> Self {
+        debug_assert!(data.len() <= INLINE_CAP);
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..data.len()].copy_from_slice(data);
         Bytes {
-            inner: Inner::Shared(Arc::from(data)),
+            inner: Inner::Inline(buf),
+            off: 0,
+            len: data.len() as u32,
+        }
+    }
+
+    fn from_shared(arc: Arc<[u8]>) -> Self {
+        assert!(arc.len() <= u32::MAX as usize, "buffer too large for Bytes");
+        let len = arc.len() as u32;
+        Bytes {
+            inner: Inner::Shared(arc),
+            off: 0,
+            len,
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        self.len as usize
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `self` covering `range` (in bytes relative
+    /// to this view). The backing allocation is shared, not copied.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(
+            end <= self.len(),
+            "slice end {end} out of bounds ({})",
+            self.len()
+        );
+        Bytes {
+            inner: self.inner.clone(),
+            off: self.off + start as u32,
+            len: (end - start) as u32,
+        }
+    }
+
+    /// View of `subset`, which must lie within `self` (same backing
+    /// memory, e.g. a `&[u8]` handed out by a decoder reading from this
+    /// buffer). Matches the real `bytes` crate's `slice_ref`: for shared
+    /// buffers the returned `Bytes` shares the allocation instead of
+    /// copying; inline buffers copy their handful of bytes.
+    ///
+    /// # Panics
+    /// Panics if `subset` is not a sub-slice of `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_slice().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len(),
+            "slice_ref: subset is not contained in this Bytes"
+        );
+        let start = sub - base;
+        self.slice(start..start + subset.len())
     }
 
     fn as_slice(&self) -> &[u8] {
-        match &self.inner {
+        let base: &[u8] = match &self.inner {
             Inner::Static(s) => s,
             Inner::Shared(s) => s,
-        }
+            Inner::Inline(d) => d,
+        };
+        &base[self.off as usize..(self.off + self.len) as usize]
     }
 }
 
@@ -145,8 +248,10 @@ impl Hash for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            inner: Inner::Shared(Arc::from(v.into_boxed_slice())),
+        if v.len() <= INLINE_CAP {
+            Bytes::inline(&v)
+        } else {
+            Bytes::from_shared(Arc::from(v.into_boxed_slice()))
         }
     }
 }
@@ -171,8 +276,10 @@ impl From<String> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        Bytes {
-            inner: Inner::Shared(Arc::from(b)),
+        if b.len() <= INLINE_CAP {
+            Bytes::inline(&b)
+        } else {
+            Bytes::from_shared(Arc::from(b))
         }
     }
 }
@@ -343,6 +450,60 @@ mod tests {
         assert_eq!(b[0], 1);
         assert_eq!(b[1], 2);
         assert_eq!(b[14], 0x0f);
+    }
+
+    #[test]
+    fn slice_shares_storage_and_reslices() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(a.slice(..).len(), 8);
+        assert!(a.slice(3..3).is_empty());
+    }
+
+    #[test]
+    fn slice_ref_points_into_parent() {
+        // > INLINE_CAP so the buffer is heap-shared, not inline.
+        let a = Bytes::from((0u8..64).collect::<Vec<u8>>());
+        let sub = a.slice_ref(&a[10..40]);
+        assert_eq!(&sub[..], &a[10..40]);
+        // Zero-copy: same backing address.
+        assert_eq!(sub.as_slice().as_ptr(), a[10..40].as_ptr());
+        // Empty subset maps to the canonical empty buffer.
+        assert!(a.slice_ref(&a[2..2]).is_empty());
+    }
+
+    #[test]
+    fn small_buffers_are_inline_and_behave_like_shared() {
+        let v = vec![9u8, 8, 7, 6, 5];
+        let a = Bytes::from(v.clone());
+        assert!(matches!(a.inner, Inner::Inline(_)));
+        assert_eq!(&a[..], &v[..]);
+        // Sub-views still work (by copying the few bytes).
+        let sub = a.slice_ref(&a[1..4]);
+        assert_eq!(&sub[..], &[8, 7, 6]);
+        assert_eq!(&a.slice(2..).to_vec(), &[7, 6, 5]);
+        // The boundary: INLINE_CAP fits inline, one more goes to the heap.
+        let fit = Bytes::copy_from_slice(&[0xAB; INLINE_CAP]);
+        assert!(matches!(fit.inner, Inner::Inline(_)));
+        let spill = Bytes::copy_from_slice(&[0xAB; INLINE_CAP + 1]);
+        assert!(matches!(spill.inner, Inner::Shared(_)));
+        assert_eq!(spill.len(), INLINE_CAP + 1);
+    }
+
+    #[test]
+    fn bytes_handle_stays_32_bytes() {
+        assert_eq!(std::mem::size_of::<Bytes>(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn slice_ref_foreign_slice_panics() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let other = [1u8, 2, 3];
+        let _ = a.slice_ref(&other);
     }
 
     #[test]
