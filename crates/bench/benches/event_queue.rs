@@ -28,20 +28,23 @@ fn next(state: &mut u64) -> u64 {
 /// optimized away.
 fn run_wheel(timers: u64, far_every: u64) -> u64 {
     let mut q = CalendarQueue::new();
+    let mut seq = 0u64;
     let mut rng = 12345u64;
     for i in 0..timers {
-        q.push(next(&mut rng) % 1000, i as u32);
+        seq += 1;
+        q.push(next(&mut rng) % 1000, seq, i as u32);
     }
     let mut acc = 0u64;
     for n in 0..OPS {
-        let (at, id) = q.pop().expect("queue stays populated");
+        let (at, _, id) = q.pop().expect("queue stays populated");
         acc = acc.wrapping_mul(31) ^ at ^ u64::from(id);
         let delay = if far_every != 0 && n % far_every == 0 {
             FAR_DELAY_US
         } else {
             1_000 + next(&mut rng) % 256
         };
-        q.push(at + delay, id);
+        seq += 1;
+        q.push(at + delay, seq, id);
     }
     while q.pop().is_some() {}
     acc

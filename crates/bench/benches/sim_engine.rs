@@ -53,6 +53,7 @@ fn bench(c: &mut Criterion) {
                         trace_enabled: false,
                         topology: Topology::default(),
                         seed: 0,
+                        shards: 1,
                     });
                     for n in [0u32, 1] {
                         sim.add_node(MachineInfo::workstation(NodeId(n), 100.0));
@@ -85,6 +86,7 @@ fn bench(c: &mut Criterion) {
                 trace_enabled: false,
                 topology: Topology::default(),
                 seed: 0,
+                shards: 1,
             });
             sim.add_node(MachineInfo::workstation(NodeId(0), 1_000.0));
             sim.add_endpoint(

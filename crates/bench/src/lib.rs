@@ -58,6 +58,7 @@ pub fn message_storm(nodes: u32, ticks: u32) -> u64 {
         seed: 0,
         topology: vce_sim::Topology::default(),
         trace_enabled: false,
+        shards: vce_sim::SimConfig::shards_from_env(),
     });
     let addrs: Vec<Addr> = (0..nodes).map(|i| Addr::daemon(NodeId(i))).collect();
     for i in 0..nodes {
@@ -129,6 +130,7 @@ pub fn heartbeat_storm(nodes: u32, seconds: u64) -> u64 {
         seed: 0,
         topology: vce_sim::Topology::default(),
         trace_enabled: false,
+        shards: vce_sim::SimConfig::shards_from_env(),
     });
     for i in 0..nodes {
         sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
@@ -144,6 +146,113 @@ pub fn heartbeat_storm(nodes: u32, seconds: u64) -> u64 {
     }
     sim.run_until(seconds * 1_000_000);
     sim.events_processed()
+}
+
+/// Outcome of one [`sharded_storm`] run: enough to verify two runs were
+/// identical (digest over every endpoint's final state plus the engine's
+/// own counters) and to rate the engine (events processed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormRun {
+    /// Events the engine processed.
+    pub events: u64,
+    /// Order-sensitive digest of all endpoint receive counters, the event
+    /// count and the final simulated time. Equal digests ⇒ identical runs.
+    pub digest: u64,
+    /// Final simulated time, µs.
+    pub final_time_us: u64,
+}
+
+/// Scalable engine stress for the sharded runner: `nodes` endpoints each
+/// tick 20× per simulated second for `ticks` ticks, sending one message to
+/// each of 8 deterministic neighbours (stride pattern, so traffic crosses
+/// any shard layout) and churning a watchdog timer — [`message_storm`]'s
+/// access pattern but with O(n) fan-out so it scales to 10k+ nodes.
+/// `shards` picks the partition count explicitly (pass 1 for the serial
+/// baseline); output must be byte-identical for any value.
+pub fn sharded_storm(nodes: u32, ticks: u32, shards: usize) -> StormRun {
+    const TICK: u64 = 1;
+    const WATCHDOG: u64 = 2;
+
+    struct FanoutPeer {
+        me: Addr,
+        peers: Vec<Addr>,
+        ticks_left: u32,
+        received: u64,
+    }
+
+    impl Endpoint for FanoutPeer {
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+        fn on_start(&mut self, host: &mut dyn Host) {
+            host.set_timer(1_000, TICK);
+            host.set_timer(10_000, WATCHDOG);
+        }
+        fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+            if token != TICK {
+                return;
+            }
+            for &p in &self.peers {
+                send_msg(host, self.me, p, &self.received);
+            }
+            host.cancel_timer(WATCHDOG);
+            host.set_timer(10_000, WATCHDOG);
+            self.ticks_left -= 1;
+            if self.ticks_left > 0 {
+                host.set_timer(1_000, TICK);
+            }
+        }
+    }
+
+    let mut sim = vce_sim::Sim::new(vce_sim::SimConfig {
+        seed: 0,
+        topology: vce_sim::Topology::default(),
+        trace_enabled: false,
+        shards,
+    });
+    let addrs: Vec<Addr> = (0..nodes).map(|i| Addr::daemon(NodeId(i))).collect();
+    // Strided neighbour set: nearby and far ids, so messages cross shard
+    // boundaries under the id-modulo layout no matter the shard count.
+    let strides: [u32; 8] = [1, 2, 3, 5, 7, 11, nodes / 3 + 1, nodes / 2 + 1];
+    for i in 0..nodes {
+        sim.add_node(MachineInfo::workstation(NodeId(i), 100.0));
+        sim.add_endpoint(
+            addrs[i as usize],
+            Box::new(FanoutPeer {
+                me: addrs[i as usize],
+                peers: strides
+                    .iter()
+                    .map(|&s| addrs[((i + s) % nodes) as usize])
+                    .collect(),
+                ticks_left: ticks,
+                received: 0,
+            }),
+        );
+    }
+    sim.run_until_idle();
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &a in &addrs {
+        let received = sim
+            .with_endpoint_mut::<FanoutPeer, u64>(a, |p| p.received)
+            .expect("storm peer");
+        mix(received);
+    }
+    mix(sim.events_processed());
+    mix(sim.now_us());
+    StormRun {
+        events: sim.events_processed(),
+        digest,
+        final_time_us: sim.now_us(),
+    }
 }
 
 /// Build a settled all-workstation VCE.
@@ -365,6 +474,15 @@ mod tests {
         assert_eq!(o.migrations, 1);
         assert!(o.state_kib > 0);
         assert!(o.lost_mops >= 0.0);
+    }
+
+    #[test]
+    fn sharded_storm_is_shard_invariant() {
+        let serial = sharded_storm(96, 4, 1);
+        assert!(serial.events > 0);
+        for shards in [2, 4, 8] {
+            assert_eq!(sharded_storm(96, 4, shards), serial, "S={shards}");
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The sharded engine must be invisible: every experiment scenario and the
+//! chaos harness must produce byte-identical output for any shard count.
+//! This is the regression gate for the conservative-window runner — it
+//! exercises the full stack (daemons, Isis groups, executors, migration,
+//! storage recovery) rather than the synthetic endpoints the unit tests
+//! use.
+//!
+//! One `#[test]` drives all shard counts: `VCE_SHARDS` is process-global,
+//! so the sweep has to be serial within a single test (the same pattern as
+//! `sweep_determinism.rs`'s `VCE_SWEEP_THREADS`).
+
+use vce_bench::chaos::{run_chaos, ChaosConfig, ScheduleShape};
+use vce_bench::{bidding_round_detailed, forced_migration, freepar_run, sharded_storm};
+use vce_exm::migrate::MigrationTechnique;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Everything observable from one full experiment pass, formatted so a
+/// mismatch diff shows *which* scenario diverged.
+fn experiment_fingerprint() -> String {
+    let mut out = String::new();
+
+    // F3: allocation round with LAN jitter (drop/dup/jitter RNG draws).
+    let f3 = bidding_round_detailed(7, 8, 800);
+    out.push_str(&format!(
+        "f3: latency={} protocol={} heartbeats={}\n",
+        f3.latency_us, f3.protocol_msgs, f3.heartbeat_msgs
+    ));
+
+    // M1: forced checkpoint migration (kill/revive-free but multi-node,
+    // leader-ordered, state-volume sensitive).
+    let m1 = forced_migration(7, MigrationTechnique::Checkpoint, 4_000.0);
+    out.push_str(&format!(
+        "m1: makespan={} state_kib={} lost_mops={} migrations={}\n",
+        m1.makespan_us, m1.state_kib, m1.lost_mops, m1.migrations
+    ));
+
+    // U1: divisible job across 6 machines (placement + completion order).
+    let u1 = freepar_run(7, 6, 6_000.0);
+    out.push_str(&format!("u1: makespan={u1}\n"));
+
+    // One chaos cell: mixed schedule (crashes, partition, loss bursts,
+    // leader kill) — the full report plus the trace tail, which is the
+    // closest thing to "byte-identical stdout and trace" the harness
+    // exposes in-process.
+    let chaos = run_chaos(&ChaosConfig {
+        seed: 100,
+        shape: ScheduleShape::Mixed,
+        technique: MigrationTechnique::Checkpoint,
+        trace: true,
+    });
+    out.push_str(&chaos.report());
+    out.push('\n');
+    if let Some(tail) = &chaos.trace_tail {
+        out.push_str(tail);
+        out.push('\n');
+    }
+    for line in &chaos.journal {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn experiments_are_identical_across_shard_counts() {
+    // Real worker threads even on 1-core CI runners — otherwise the
+    // threaded barrier path would only ever be certified on dev machines.
+    std::env::set_var("VCE_SHARDS_THREADS", "1");
+    let mut baseline: Option<String> = None;
+    for shards in SHARD_COUNTS {
+        std::env::set_var("VCE_SHARDS", shards.to_string());
+        let fp = experiment_fingerprint();
+        match &baseline {
+            None => baseline = Some(fp),
+            Some(b) => assert_eq!(&fp, b, "shard count {shards} diverged from the serial run"),
+        }
+    }
+    std::env::remove_var("VCE_SHARDS");
+}
+
+#[test]
+fn storm_digests_are_identical_across_shard_counts() {
+    // Direct shard-count injection, larger fleet than the unit test:
+    // 1k nodes through the (forced) threaded runner.
+    std::env::set_var("VCE_SHARDS_THREADS", "1");
+    let serial = sharded_storm(1_024, 6, 1);
+    assert!(serial.events > 0);
+    for shards in [2, 4, 8] {
+        let r = sharded_storm(1_024, 6, shards);
+        assert_eq!(r, serial, "S={shards} diverged (digest/events/time)");
+    }
+}

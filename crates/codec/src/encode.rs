@@ -51,6 +51,28 @@ impl Encoder {
         self.buf.freeze()
     }
 
+    /// Reset to empty, keeping the allocated capacity. Hot paths hold one
+    /// scratch `Encoder` per host and `clear` it between messages instead
+    /// of constructing a fresh buffer per message.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, without consuming the encoder.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Copy the written bytes out as a frozen buffer, leaving the encoder
+    /// (and its capacity) intact for reuse. Small messages (the common
+    /// case on the wire) land in `Bytes`' inline representation with no
+    /// heap allocation at all; larger ones pay one exact-size copy — the
+    /// same cost `finish_bytes` pays for its shared buffer, minus the
+    /// per-message scratch allocation.
+    pub fn snapshot_bytes(&self) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(&self.buf)
+    }
+
     // ---- raw primitive writers (untagged) ----
 
     /// Write a single raw byte.
@@ -139,6 +161,21 @@ mod tests {
         let e = Encoder::with_capacity(64);
         assert!(e.is_empty());
         assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn clear_and_snapshot_reuse_the_buffer() {
+        let mut e = Encoder::with_capacity(64);
+        e.put_u32(0xAABB_CCDD);
+        let first = e.snapshot_bytes();
+        assert_eq!(&first[..], &[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(e.as_slice(), &first[..]); // snapshot does not consume
+        e.clear();
+        assert!(e.is_empty());
+        e.put_u8(7);
+        let second = e.snapshot_bytes();
+        assert_eq!(&second[..], &[7]);
+        assert_eq!(&first[..], &[0xAA, 0xBB, 0xCC, 0xDD]); // unaffected
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct VceBuilder {
     cfg: ExmConfig,
     topology: Topology,
     trace_enabled: bool,
+    shards: usize,
 }
 
 impl VceBuilder {
@@ -40,6 +41,7 @@ impl VceBuilder {
             cfg: ExmConfig::default(),
             topology: Topology::default(),
             trace_enabled: true,
+            shards: SimConfig::shards_from_env(),
         }
     }
 
@@ -75,12 +77,20 @@ impl VceBuilder {
         self
     }
 
+    /// Partition the fleet across `n` simulator shards (defaults to the
+    /// `VCE_SHARDS` environment variable; output is identical for any `n`).
+    pub fn shards(&mut self, n: usize) -> &mut Self {
+        self.shards = n.clamp(1, 64);
+        self
+    }
+
     /// Construct the fleet: nodes, load traces and daemons.
     pub fn build(self) -> Vce {
         let mut sim = Sim::new(SimConfig {
             seed: self.seed,
             topology: self.topology,
             trace_enabled: self.trace_enabled,
+            shards: self.shards,
         });
         let mut loads: BTreeMap<NodeId, LoadTrace> = self.loads.into_iter().collect();
         // Group candidates per class (sorted by the GroupConfig).

@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use vce_codec::Codec;
 use vce_isis::{is_isis_token, BcastId, GroupConfig, GroupMember, Upcall};
 use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
 
@@ -246,7 +247,10 @@ impl DaemonEndpoint {
     }
 
     fn send(&self, host: &mut dyn Host, dst: Addr, msg: &ExmMsg) {
-        host.send(self.me, dst, encode_msg(msg));
+        // Encode via the host's pooled scratch buffer: daemon traffic is
+        // the hot path, and this avoids a fresh allocation per message.
+        let payload = host.encode_with(&mut |enc| msg.encode(enc));
+        host.send(self.me, dst, payload);
     }
 
     fn alloc_pid(&mut self, key: InstanceKey) -> u64 {

@@ -18,6 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use vce_channels::registry::{ChannelId, ChannelRegistry, PortId as ChanPortId, Role};
+use vce_codec::Codec;
 use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
 use vce_sdm::MachineDb;
 use vce_taskgraph::{algo, TaskGraph, TaskId};
@@ -25,7 +26,7 @@ use vce_taskgraph::{algo, TaskGraph, TaskId};
 use crate::backoff::backoff_delay_us;
 use crate::config::ExmConfig;
 use crate::events::{AppEvent, Timeline};
-use crate::msg::{encode_msg, AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
+use crate::msg::{AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
 
 /// Timer tokens carry a kind tag in bits 32.. and a 32-bit payload (task
 /// id or request seq) in the low bits, so the *full* `u32` id space is
@@ -223,7 +224,9 @@ impl ExecutorEndpoint {
     }
 
     fn send(&self, host: &mut dyn Host, dst: Addr, msg: &ExmMsg) {
-        host.send(self.me, dst, encode_msg(msg));
+        // Pooled encode: see ExmDaemon::send.
+        let payload = host.encode_with(&mut |enc| msg.encode(enc));
+        host.send(self.me, dst, payload);
     }
 
     fn class_daemons(&self, class: MachineClass) -> Vec<Addr> {

@@ -173,6 +173,35 @@ fn d004_waived_is_suppressed() {
     );
 }
 
+/// The sharded window runner's exact shape: one trailing waiver on the
+/// `use std::thread;` line covers the module's scoped-thread usage
+/// (`thread::scope` / `scope.spawn` are not import sites, so the single
+/// reasoned waiver is the only one the module needs).
+#[test]
+fn d004_sharded_runner_waiver_shape() {
+    let waived = "\
+use std::thread; // vce-lint: allow(D004) conservative barriers keep the run deterministic
+
+fn run() {
+    thread::scope(|scope| {
+        scope.spawn(move || {});
+    });
+}
+";
+    assert_clean(SIM, waived);
+    // The same module without the waiver must fire on the import line.
+    let unwaived = "\
+use std::thread;
+
+fn run() {
+    thread::scope(|scope| {
+        scope.spawn(move || {});
+    });
+}
+";
+    assert_fires(SIM, unwaived, "D004");
+}
+
 // ---------------------------------------------------------------- D005
 
 #[test]

@@ -80,6 +80,17 @@ pub trait Host {
     fn log_enabled(&self) -> bool {
         true
     }
+
+    /// Run `f` against an encoder and return the encoded bytes. The
+    /// default constructs a fresh encoder per call; hosts on the hot path
+    /// (the simulator) override it with a pooled per-host scratch buffer
+    /// so envelope encode stops allocating per message. Callers must treat
+    /// the encoder as empty on entry and must not stash it.
+    fn encode_with(&mut self, f: &mut dyn FnMut(&mut vce_codec::Encoder)) -> Bytes {
+        let mut enc = vce_codec::Encoder::with_capacity(64);
+        f(&mut enc);
+        enc.finish_bytes()
+    }
 }
 
 /// A protocol state machine bound to one [`Addr`].
@@ -115,11 +126,12 @@ pub trait Endpoint: Send {
     }
 }
 
-/// Encode a message and send it — the common idiom.
+/// Encode a message and send it — the common idiom. Encodes through
+/// [`Host::encode_with`], so hosts with a pooled scratch buffer serve the
+/// hot path allocation-free.
 pub fn send_msg<T: vce_codec::Codec>(host: &mut dyn Host, src: Addr, dst: Addr, msg: &T) {
-    let mut enc = vce_codec::Encoder::with_capacity(64);
-    msg.encode(&mut enc);
-    host.send(src, dst, enc.finish_bytes());
+    let payload = host.encode_with(&mut |enc| msg.encode(enc));
+    host.send(src, dst, payload);
 }
 
 #[cfg(test)]

@@ -66,6 +66,23 @@ impl NetStats {
         self.duplicated.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fold another counter set into this one. The sharded simulator keeps
+    /// one `NetStats` per shard (each touched by exactly one worker) and
+    /// merges them into the facade's aggregate at barrier sync points;
+    /// counters are commutative, so the merge is order-independent.
+    pub fn absorb(&self, other: &NetStats) {
+        self.sent.fetch_add(other.sent(), Ordering::Relaxed);
+        self.delivered
+            .fetch_add(other.delivered(), Ordering::Relaxed);
+        self.dropped.fetch_add(other.dropped(), Ordering::Relaxed);
+        self.duplicated
+            .fetch_add(other.duplicated(), Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(other.bytes_sent(), Ordering::Relaxed);
+        self.heartbeats_sent
+            .fetch_add(other.heartbeats_sent(), Ordering::Relaxed);
+    }
+
     /// Messages submitted for sending.
     pub fn sent(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)

@@ -1,36 +1,35 @@
-//! The discrete-event engine: calendar-queue event core, dense per-node
-//! dispatch tables, and the [`Host`] implementation endpoints run against.
+//! The discrete-event engine facade: partitions nodes across shards,
+//! schedules fault fences, and merges per-shard traces and statistics back
+//! into one global-order view.
 //!
 //! Determinism contract: a run is a pure function of (config seed, the
-//! sequence of `add_*`/`kill_*`/`inject` calls). The event queue (a
-//! two-level calendar queue, see [`crate::queue`]) orders by `(time,
-//! insertion sequence)`, so simultaneous events fire in insertion order;
-//! all randomness (fault judgments, per-node `rand_u64`) derives from the
-//! master seed. The determinism integration test asserts bit-identical
-//! traces across runs.
+//! sequence of `add_*`/`kill_*`/`inject` calls) — **independent of the
+//! shard count**. Every event carries a *cause key* derived from its
+//! creator (see [`crate::shard`]); the global total order is `(at_us,
+//! cause)`, and shards advance in conservative time windows of width
+//! [`Topology::min_cross_latency_us`] so cross-shard events always land in
+//! a later window. Traces, experiment stdout and chaos invariants are
+//! byte-identical for `shards` ∈ {1, 2, 4, 8}; with `shards = 1` the
+//! facade compiles down to a plain serial event loop over one shard.
 //!
-//! Dispatch is table-driven rather than map-driven: nodes live in an
-//! index-stable slab (`Vec<SimNode>`, nodes are never removed — crash
-//! marks them dead in place) reached through a dense `NodeId → slot`
-//! array, and each node's endpoints live in a small `Vec` sorted by
-//! `PortId` with a one-entry lookup cache. The per-event cost is two array
-//! indexes instead of a `HashMap` hash plus a `BTreeMap` walk.
+//! Fault mutations (scheduled chaos ops and driver-time kills/revives) are
+//! not ordinary events: they touch the *global* fault plan, which every
+//! shard consults. They are kept as **fences** — a time-ordered side list
+//! that caps window ends — and applied to every shard's plan replica at
+//! window starts, before same-microsecond events, identically on every
+//! shard count.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
 
-use vce_net::fault::Delivery;
-use vce_net::{
-    Addr, Endpoint, Envelope, FaultPlan, Host, MachineInfo, MsgCategory, NetStats, NodeId, PortId,
-};
+use vce_net::{Addr, Endpoint, Envelope, FaultPlan, MachineInfo, NetStats, NodeId};
 
-use crate::cpu::Cpu;
 use crate::load::LoadTrace;
 use crate::metrics::NodeMetrics;
-use crate::queue::CalendarQueue;
+use crate::shard::{apply_plan_op, cause_key, shard_of, Shard};
+use crate::sharded;
 use crate::topology::Topology;
 use crate::trace::Trace;
 
@@ -43,6 +42,21 @@ pub struct SimConfig {
     pub topology: Topology,
     /// Whether to keep a full trace (disable for hot benchmarks).
     pub trace_enabled: bool,
+    /// Number of shards the node slab is partitioned into (1–64). Output
+    /// is byte-identical for every value; >1 engages the multi-core window
+    /// runner when cores are available. Defaults from `VCE_SHARDS`.
+    pub shards: usize,
+}
+
+impl SimConfig {
+    /// Shard count from the `VCE_SHARDS` environment variable, clamped to
+    /// 1–64; 1 (the serial engine) when unset or unparsable.
+    pub fn shards_from_env() -> usize {
+        std::env::var("VCE_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, 64))
+    }
 }
 
 impl Default for SimConfig {
@@ -51,275 +65,65 @@ impl Default for SimConfig {
             seed: 0,
             topology: Topology::default(),
             trace_enabled: true,
+            shards: Self::shards_from_env(),
         }
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Start {
-        port: PortId,
-    },
-    Deliver(Envelope),
-    /// Several envelopes for the same node that would have occupied
-    /// consecutive heap slots at the same timestamp (one callback sent them
-    /// back-to-back) — coalesced into one heap entry to cut sift cost on
-    /// burst traffic. Processing order is identical to the uncoalesced form.
-    DeliverBatch(Vec<Envelope>),
-    Timer {
-        port: PortId,
-        token: u64,
-    },
-    CpuCheck {
-        generation: u64,
-    },
-    LoadChange {
-        background: f64,
-    },
-    /// A scheduled fault-plan mutation (see [`Sim::schedule_fault`]).
-    Fault(vce_net::FaultOp),
-}
-
-/// An event in the calendar queue; its `(at_us, seq)` ordering key lives in
-/// the queue entry itself (see [`CalendarQueue`]).
-#[derive(Debug)]
-struct Event {
-    node: NodeId,
-    kind: EventKind,
-}
-
-struct SimNode {
-    info: MachineInfo,
-    cpu: Cpu,
-    /// Kept **sorted by `PortId`** (the order the old `BTreeMap` iterated
-    /// in): `kill_node`/`revive_node` replay `on_crash`/`on_start` in this
-    /// order, which must not vary run to run. Nodes host a handful of
-    /// endpoints, so lookup is a binary search over a short, contiguous
-    /// array — cheaper and cache-friendlier than a tree walk.
-    endpoints: Vec<(PortId, Box<dyn Endpoint>)>,
-    /// Index of the last endpoint hit — a one-entry port→slot cache.
-    /// Validated against the port on every use, so staleness is harmless.
-    ep_cache: u32,
-    rng: SmallRng,
-    send_seq: u64,
-    cancelled_timers: HashMap<(PortId, u64), u32>,
-    /// Sum of the counts in `cancelled_timers`. While zero, timer pops fire
-    /// directly without a hash lookup — the common case on nodes that never
-    /// cancel (or whose cancellations have all been consumed).
-    pending_cancels: u32,
-    dead: bool,
-}
-
-impl SimNode {
-    /// Endpoint slot for `port`: cache check, then binary search.
-    #[inline]
-    fn ep_slot(&mut self, port: PortId) -> Option<usize> {
-        let c = self.ep_cache as usize;
-        if let Some((p, _)) = self.endpoints.get(c) {
-            if *p == port {
-                return Some(c);
-            }
-        }
-        match self.endpoints.binary_search_by_key(&port, |(p, _)| *p) {
-            Ok(i) => {
-                self.ep_cache = i as u32;
-                Some(i)
-            }
-            Err(_) => None,
-        }
-    }
-}
-
-/// Dense `NodeId → slab slot` index. Node ids in every experiment are
-/// small and dense, so the common path is a single array load; ids past
-/// [`NodeSlots::DENSE_CAP`] (which would make the array wasteful) spill to
-/// a side map.
-#[derive(Default)]
-struct NodeSlots {
-    dense: Vec<u32>,
-    spill: HashMap<u32, u32>,
-}
-
-impl NodeSlots {
-    const DENSE_CAP: usize = 1 << 16;
-    const EMPTY: u32 = u32::MAX;
-
-    #[inline]
-    fn get(&self, node: NodeId) -> Option<usize> {
-        let id = node.0 as usize;
-        if id < Self::DENSE_CAP {
-            match self.dense.get(id) {
-                Some(&s) if s != Self::EMPTY => Some(s as usize),
-                _ => None,
-            }
-        } else {
-            self.spill.get(&node.0).map(|&s| s as usize)
-        }
-    }
-
-    /// Returns false if the node was already present.
-    fn insert(&mut self, node: NodeId, slot: usize) -> bool {
-        let id = node.0 as usize;
-        if id < Self::DENSE_CAP {
-            if self.dense.len() <= id {
-                self.dense.resize(id + 1, Self::EMPTY);
-            }
-            if self.dense[id] != Self::EMPTY {
-                return false;
-            }
-            self.dense[id] = slot as u32;
-            true
-        } else {
-            self.spill.insert(node.0, slot as u32).is_none()
-        }
-    }
-}
-
-/// A work mutation, kept in issue order. Interleaving starts and cancels in
-/// one list (rather than two) preserves the order the endpoint issued them:
-/// `cancel(p)` then `start(p)` in one callback leaves `p` running, while
-/// `start(p)` then `cancel(p)` leaves it stopped.
-enum WorkOp {
-    Start(u64, f64),
-    Cancel(u64),
-}
-
-/// Deferred side effects collected while an endpoint runs.
-///
-/// One instance lives on the [`Sim`] and is lent to each dispatch in turn;
-/// the vectors are drained (not dropped) when applied, so after warm-up the
-/// hot path allocates nothing here.
-#[derive(Default)]
-struct Effects {
-    sends: Vec<(Addr, Addr, Bytes, MsgCategory)>,
-    timers: Vec<(u64, u64)>,
-    timer_cancels: Vec<u64>,
-    work_ops: Vec<WorkOp>,
-    logs: Vec<String>,
-}
-
-struct HostCtx<'a> {
-    now: u64,
-    info: &'a MachineInfo,
-    load: f64,
-    /// CPU state advanced to `now`, for lazy job lookups.
-    cpu: &'a Cpu,
-    port: PortId,
-    trace_on: bool,
-    rng: &'a mut SmallRng,
-    fx: &'a mut Effects,
-}
-
-impl Host for HostCtx<'_> {
-    fn now_us(&self) -> u64 {
-        self.now
-    }
-    fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
-        self.fx
-            .sends
-            .push((src, dst, payload, MsgCategory::Protocol));
-    }
-    fn send_category(&mut self, src: Addr, dst: Addr, payload: Bytes, category: MsgCategory) {
-        self.fx.sends.push((src, dst, payload, category));
-    }
-    fn set_timer(&mut self, delay_us: u64, token: u64) {
-        self.fx.timers.push((delay_us, token));
-    }
-    fn cancel_timer(&mut self, token: u64) {
-        self.fx.timer_cancels.push(token);
-    }
-    fn start_work(&mut self, pid: u64, mops: f64) {
-        self.load += 1.0; // reflect immediately in subsequent load() calls
-        self.fx.work_ops.push(WorkOp::Start(pid, mops));
-    }
-    fn cancel_work(&mut self, pid: u64) {
-        self.fx.work_ops.push(WorkOp::Cancel(pid));
-    }
-    fn work_remaining(&self, pid: u64) -> Option<f64> {
-        // The latest mutation within this callback wins; otherwise consult
-        // the CPU directly (advanced to `now` before the callback began).
-        for op in self.fx.work_ops.iter().rev() {
-            match *op {
-                WorkOp::Start(p, m) if p == pid => return Some(m),
-                WorkOp::Cancel(p) if p == pid => return None,
-                _ => {}
-            }
-        }
-        self.cpu.remaining((self.port, pid))
-    }
-    fn load(&self) -> f64 {
-        self.load
-    }
-    fn machine(&self) -> &MachineInfo {
-        self.info
-    }
-    fn rand_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn log(&mut self, line: String) {
-        if self.trace_on {
-            self.fx.logs.push(line);
-        }
-    }
-    fn log_enabled(&self) -> bool {
-        self.trace_on
-    }
-}
-
-/// Accumulator for coalescing consecutive deliverable sends into one
-/// [`EventKind::DeliverBatch`] heap entry (see `Sim::route_send`).
-enum PendingDelivery {
-    None,
-    One(u64, NodeId, Envelope),
-    Many(u64, NodeId, Vec<Envelope>),
-}
-
-/// The simulator.
+/// The simulator: a facade over `shards` shard-local engines.
 pub struct Sim {
     now: u64,
-    events: CalendarQueue<Event>,
-    /// Index-stable node slab: slots are assigned in registration order and
-    /// never reused or removed (crash marks the node dead in place).
-    nodes: Vec<SimNode>,
-    slots: NodeSlots,
+    shards: Vec<Shard>,
+    topology: Arc<Topology>,
+    /// Canonical fault plan (driver's view). Shards hold replicas, updated
+    /// op-wise at fences; [`Sim::with_fault_plan`] re-clones wholesale.
     fault: FaultPlan,
-    topology: Topology,
-    stats: NetStats,
+    /// Pending fault fences, ordered by `(at_us, driver cause)`.
+    fences: BTreeMap<(u64, u64), vce_net::FaultOp>,
+    /// Driver cause counter (origin 0): injections, fences, driver kills.
+    driver_seq: u64,
+    /// Conservative window width: the cheapest cross-node latency.
+    lookahead: u64,
+    /// Master trace, appended in global `(at_us, phase, cause)` order at
+    /// every sync point.
     trace: Trace,
-    master_rng: SmallRng,
-    seed: u64,
-    events_processed: u64,
-    /// Scratch [`Effects`] reused across dispatches (capacity persists).
-    /// Boxed so lending it to a callback is a pointer move, not a copy of
-    /// five `Vec` headers; `None` only while a dispatch is borrowing it.
-    scratch_fx: Option<Box<Effects>>,
-    /// Recycled [`EventKind::DeliverBatch`] buffers: drained batches park
-    /// here and `route_send` reuses them, so steady-state burst delivery
-    /// allocates no fresh `Vec`s.
-    batch_pool: Vec<Vec<Envelope>>,
+    /// Aggregate of the per-shard counters, rebuilt at sync points.
+    /// Unused (never read) with one shard — `stats()` short-circuits.
+    merged_stats: NetStats,
+    trace_enabled: bool,
 }
 
 impl Sim {
     /// Build an empty simulator.
     pub fn new(config: SimConfig) -> Self {
+        let shards = config.shards.clamp(1, 64);
+        let topology = Arc::new(config.topology);
+        let lookahead = topology.min_cross_latency_us();
         Self {
             now: 0,
-            events: CalendarQueue::new(),
-            nodes: Vec::new(),
-            slots: NodeSlots::default(),
+            shards: (0..shards)
+                .map(|i| {
+                    Shard::new(
+                        i,
+                        shards,
+                        config.seed,
+                        Arc::clone(&topology),
+                        config.trace_enabled,
+                    )
+                })
+                .collect(),
+            topology,
             fault: FaultPlan::none(),
-            topology: config.topology,
-            stats: NetStats::new(),
+            fences: BTreeMap::new(),
+            driver_seq: 0,
+            lookahead,
             trace: if config.trace_enabled {
                 Trace::new()
             } else {
                 Trace::disabled()
             },
-            master_rng: SmallRng::seed_from_u64(config.seed),
-            seed: config.seed,
-            events_processed: 0,
-            scratch_fx: Some(Box::default()),
-            batch_pool: Vec::new(),
+            merged_stats: NetStats::new(),
+            trace_enabled: config.trace_enabled,
         }
     }
 
@@ -328,17 +132,28 @@ impl Sim {
         self.now
     }
 
-    /// Total events processed so far.
+    /// Number of shards the simulator is running with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total events processed so far, summed across shards. Independent of
+    /// the shard count (batched deliveries count per envelope).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
     }
 
-    /// Network statistics.
+    /// Network statistics (aggregated across shards as of the last sync
+    /// point; every public mutating call syncs before returning).
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        if self.shards.len() == 1 {
+            &self.shards[0].stats
+        } else {
+            &self.merged_stats
+        }
     }
 
-    /// The run trace.
+    /// The run trace, in global `(time, cause)` order.
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
@@ -346,7 +161,11 @@ impl Sim {
     /// Mutate the fault plan (partitions, link faults). For whole-machine
     /// crash semantics prefer [`Sim::kill_node`], which also clears the CPU.
     pub fn with_fault_plan<T>(&mut self, f: impl FnOnce(&mut FaultPlan) -> T) -> T {
-        f(&mut self.fault)
+        let out = f(&mut self.fault);
+        for sh in &mut self.shards {
+            sh.fault = self.fault.clone();
+        }
+        out
     }
 
     /// Register a machine with an idle background-load trace.
@@ -356,50 +175,26 @@ impl Sim {
 
     /// Register a machine and schedule its background-load trace.
     pub fn add_node_with_load(&mut self, info: MachineInfo, load: LoadTrace) {
-        let node = info.node;
-        let node_seed = self.seed ^ (u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let cpu = Cpu::new(info.speed_mops);
-        let slot = self.nodes.len();
-        assert!(self.slots.insert(node, slot), "node {node} added twice");
-        self.nodes.push(SimNode {
-            info,
-            cpu,
-            endpoints: Vec::new(),
-            ep_cache: 0,
-            rng: SmallRng::seed_from_u64(node_seed),
-            send_seq: 0,
-            cancelled_timers: HashMap::new(),
-            pending_cancels: 0,
-            dead: false,
-        });
-        for &(at_us, background) in load.steps() {
-            self.push_event(
-                at_us.max(self.now),
-                node,
-                EventKind::LoadChange { background },
-            );
-        }
+        let owner = shard_of(info.node, self.shards.len());
+        let now = self.now;
+        self.shards[owner].add_node_with_load(info, &load, now);
     }
 
     /// Register an endpoint; its `on_start` runs as the next event.
     pub fn add_endpoint(&mut self, addr: Addr, ep: Box<dyn Endpoint>) {
-        let slot = self
-            .slots
-            .get(addr.node)
-            .unwrap_or_else(|| panic!("endpoint on unknown node {}", addr.node));
-        let node = &mut self.nodes[slot];
-        match node.endpoints.binary_search_by_key(&addr.port, |(p, _)| *p) {
-            Ok(_) => panic!("endpoint {addr} registered twice"),
-            Err(i) => node.endpoints.insert(i, (addr.port, ep)),
-        }
-        self.push_event(self.now, addr.node, EventKind::Start { port: addr.port });
+        let owner = shard_of(addr.node, self.shards.len());
+        let now = self.now;
+        self.shards[owner].add_endpoint(addr, ep, now);
     }
 
     /// Inject an external envelope, delivered to `dst` at `at_us`
     /// (≥ now). Used by experiment harnesses to kick off scenarios.
     pub fn inject_at(&mut self, at_us: u64, src: Addr, dst: Addr, payload: Bytes) {
         let env = Envelope::new(src, dst, u64::MAX, payload);
-        self.push_event(at_us.max(self.now), dst.node, EventKind::Deliver(env));
+        let cause = self.next_driver_cause();
+        let owner = shard_of(dst.node, self.shards.len());
+        let at = at_us.max(self.now);
+        self.shards[owner].push_driver_event(at, cause, dst.node, env);
     }
 
     /// Encode and inject an external message for immediate delivery.
@@ -409,155 +204,72 @@ impl Sim {
         self.inject_at(self.now, src, dst, enc.finish_bytes());
     }
 
-    /// Crash a machine: connectivity drops, resident jobs are lost, timers
-    /// go stale. Endpoint state survives for a later [`Sim::revive_node`]
-    /// (a rebooted daemon restarting from scratch is modelled by the
-    /// endpoint itself on `on_start`).
+    /// Crash a machine immediately: connectivity drops, resident jobs are
+    /// lost, timers go stale. Endpoint state survives for a later
+    /// [`Sim::revive_node`] (a rebooted daemon restarting from scratch is
+    /// modelled by the endpoint itself on `on_start`).
     pub fn kill_node(&mut self, node: NodeId) {
-        // Sever connectivity first so anything `on_crash` tries to send is
-        // dropped by the fault judge, then give each endpoint its crash
-        // instant (stable stores settle which in-flight writes survive)
-        // while the CPU still reflects pre-crash work.
-        self.fault.kill(node);
-        let slot = self.slots.get(node);
-        let ports: Vec<PortId> = match slot {
-            Some(s) if !self.nodes[s].dead => {
-                self.nodes[s].endpoints.iter().map(|(p, _)| *p).collect()
-            }
-            _ => Vec::new(),
-        };
-        if let Some(s) = slot {
-            for port in ports {
-                self.dispatch(s, node, port, |ep, host| ep.on_crash(host));
-            }
-            let n = &mut self.nodes[s];
-            n.dead = true;
-            n.cpu.advance(self.now);
-            n.cpu.clear();
-        }
-        if self.trace.is_enabled() {
-            let now = self.now;
-            self.trace.push(now, node, "engine: node killed".into());
-        }
+        self.apply_fence_now(vce_net::FaultOp::Kill(node));
     }
 
     /// Revive a crashed machine and re-run `on_start` on its endpoints.
     pub fn revive_node(&mut self, node: NodeId) {
-        self.fault.revive(node);
-        let ports: Vec<PortId> = match self.slots.get(node) {
-            Some(s) => {
-                let n = &mut self.nodes[s];
-                n.dead = false;
-                // Sorted by port: the deterministic replay order the old
-                // BTreeMap iteration gave us.
-                n.endpoints.iter().map(|(p, _)| *p).collect()
-            }
-            None => Vec::new(),
-        };
-        for port in ports {
-            self.push_event(self.now, node, EventKind::Start { port });
+        self.apply_fence_now(vce_net::FaultOp::Revive(node));
+    }
+
+    /// Apply a fault op at driver time (now), on the canonical plan and
+    /// every replica, then sync so its trace line is visible.
+    fn apply_fence_now(&mut self, op: vce_net::FaultOp) {
+        let cause = self.next_driver_cause();
+        let now = self.now;
+        apply_plan_op(&mut self.fault, &op);
+        for sh in &mut self.shards {
+            sh.apply_fence(now, cause, &op);
         }
-        if self.trace.is_enabled() {
-            let now = self.now;
-            self.trace.push(now, node, "engine: node revived".into());
-        }
+        self.exchange_outboxes();
+        self.sync();
     }
 
     /// Schedule a fault-plan mutation at absolute sim time `at_us` —
-    /// crash/revive, partition/heal, or a default-link change. The op
-    /// rides the ordinary event heap, so an entire chaos schedule queued
-    /// up front interleaves deterministically with protocol traffic, and
-    /// each application is visible in the trace for replay.
+    /// crash/revive, partition/heal, or a default-link change. Ops become
+    /// *fences*: they cap conservative windows and apply before
+    /// same-microsecond events, so an entire chaos schedule queued up
+    /// front interleaves deterministically with protocol traffic on any
+    /// shard count, and each application is visible in the trace.
     pub fn schedule_fault(&mut self, at_us: u64, op: vce_net::FaultOp) {
-        let node = match op {
-            vce_net::FaultOp::Kill(n)
-            | vce_net::FaultOp::Revive(n)
-            | vce_net::FaultOp::Partition(n, _) => n,
-            _ => NodeId(0),
-        };
-        self.push_event(at_us.max(self.now), node, EventKind::Fault(op));
-    }
-
-    fn apply_fault(&mut self, op: vce_net::FaultOp) {
-        match op {
-            vce_net::FaultOp::Kill(n) => self.kill_node(n),
-            vce_net::FaultOp::Revive(n) => self.revive_node(n),
-            vce_net::FaultOp::Partition(n, group) => {
-                self.fault.set_partition(n, group);
-                if self.trace.is_enabled() {
-                    let now = self.now;
-                    self.trace
-                        .push(now, n, format!("engine: partition -> group {group}"));
-                }
-            }
-            vce_net::FaultOp::Heal => {
-                self.fault.heal_partitions();
-                if self.trace.is_enabled() {
-                    let now = self.now;
-                    self.trace
-                        .push(now, NodeId(0), "engine: partitions healed".into());
-                }
-            }
-            vce_net::FaultOp::DefaultLink(lf) => {
-                self.fault.default_link = lf;
-                if self.trace.is_enabled() {
-                    let now = self.now;
-                    self.trace.push(
-                        now,
-                        NodeId(0),
-                        format!(
-                            "engine: default link drop={} dup={} delay={}µs+{}µs",
-                            lf.drop_prob, lf.dup_prob, lf.extra_delay_us, lf.jitter_us
-                        ),
-                    );
-                }
-            }
-        }
+        let cause = self.next_driver_cause();
+        self.fences.insert((at_us.max(self.now), cause), op);
     }
 
     /// Immediately set a node's background load.
     pub fn set_background(&mut self, node: NodeId, background: f64) {
-        self.push_event(self.now, node, EventKind::LoadChange { background });
+        let owner = shard_of(node, self.shards.len());
+        let now = self.now;
+        self.shards[owner].set_background(node, background, now);
     }
 
     /// Whether a node is currently crashed.
     pub fn is_node_dead(&self, node: NodeId) -> bool {
-        self.node_is_dead(node)
+        let owner = shard_of(node, self.shards.len());
+        self.shards[owner].node_is_dead(node)
     }
 
     /// A node's instantaneous load.
     pub fn node_load(&self, node: NodeId) -> f64 {
-        self.slots
-            .get(node)
-            .map_or(0.0, |s| self.nodes[s].cpu.load())
+        let owner = shard_of(node, self.shards.len());
+        self.shards[owner].node_load(node)
     }
 
     /// Metrics snapshot for one node (advances its CPU accounting to now).
     pub fn metrics(&mut self, node: NodeId) -> Option<NodeMetrics> {
+        let owner = shard_of(node, self.shards.len());
         let now = self.now;
-        self.slots.get(node).map(|s| {
-            let n = &mut self.nodes[s];
-            n.cpu.advance(now);
-            NodeMetrics {
-                node,
-                class: n.info.class,
-                busy_us: n.cpu.busy_us(),
-                elapsed_us: now,
-                completed_jobs: n.cpu.completed_jobs(),
-                mops_done: n.cpu.total_mops_done(),
-                avg_load: if now == 0 {
-                    0.0
-                } else {
-                    n.cpu.weighted_load_us() / now as f64
-                },
-                load_now: n.cpu.load(),
-            }
-        })
+        self.shards[owner].metrics(node, now)
     }
 
     /// Metrics for every node, sorted by node id.
     pub fn all_metrics(&mut self) -> Vec<NodeMetrics> {
-        let mut ids: Vec<NodeId> = self.nodes.iter().map(|n| n.info.node).collect();
+        let mut ids: Vec<NodeId> = self.shards.iter().flat_map(|s| s.node_ids()).collect();
         ids.sort();
         ids.into_iter().filter_map(|id| self.metrics(id)).collect()
     }
@@ -568,26 +280,21 @@ impl Sim {
         addr: Addr,
         f: impl FnOnce(&mut E) -> T,
     ) -> Option<T> {
-        let node = &mut self.nodes[self.slots.get(addr.node)?];
-        let i = node.ep_slot(addr.port)?;
-        let any = node.endpoints[i].1.as_any_mut()?;
-        any.downcast_mut::<E>().map(f)
+        let owner = shard_of(addr.node, self.shards.len());
+        self.shards[owner].with_endpoint_mut(addr, f)
     }
 
-    fn push_event(&mut self, at_us: u64, node: NodeId, kind: EventKind) {
-        self.events.push(at_us, Event { node, kind });
-    }
-
-    /// Process one event. Returns `false` when the queue is empty.
+    /// Advance the simulation by one unit: one event on the serial (1-shard)
+    /// engine, one conservative window on a sharded one. Returns `false`
+    /// when nothing (event or fence) remains.
     pub fn step(&mut self) -> bool {
-        let Some((at_us, ev)) = self.events.pop() else {
-            return false;
+        let progressed = if self.shards.len() == 1 {
+            self.step_serial(u64::MAX)
+        } else {
+            self.run_one_window_inplace(u64::MAX)
         };
-        debug_assert!(at_us >= self.now, "event queue went backwards");
-        self.now = at_us;
-        self.events_processed += 1;
-        self.handle(ev);
-        true
+        self.finish_run(None);
+        progressed
     }
 
     /// Run until the event heap is empty; returns the final time.
@@ -597,7 +304,8 @@ impl Sim {
     /// ticks forever) keep the heap non-empty — drive those with
     /// [`Sim::run_until`]/[`Sim::run_for`] instead.
     pub fn run_until_idle(&mut self) -> u64 {
-        while self.step() {}
+        self.run_bounded(u64::MAX);
+        self.finish_run(None);
         self.now
     }
 
@@ -605,15 +313,8 @@ impl Sim {
     /// are processed); the clock advances to `t_us` even if the heap
     /// empties first.
     pub fn run_until(&mut self, t_us: u64) {
-        while let Some(at) = self.events.peek_time() {
-            if at > t_us {
-                break;
-            }
-            self.step();
-        }
-        if self.now < t_us {
-            self.now = t_us;
-        }
+        self.run_bounded(t_us);
+        self.finish_run(Some(t_us));
     }
 
     /// Run for `d_us` more simulated microseconds.
@@ -622,383 +323,187 @@ impl Sim {
         self.run_until(t);
     }
 
-    fn handle(&mut self, ev: Event) {
-        match ev.kind {
-            EventKind::Start { port } => {
-                let Some(slot) = self.live_slot(ev.node) else {
-                    return;
-                };
-                self.dispatch(slot, ev.node, port, |ep, host| ep.on_start(host));
-            }
-            EventKind::Deliver(env) => self.deliver_one(ev.node, env),
-            EventKind::DeliverBatch(mut envs) => {
-                // Count each coalesced delivery like its uncoalesced form,
-                // so `events_processed` is independent of batching.
-                self.events_processed += envs.len() as u64 - 1;
-                for env in envs.drain(..) {
-                    self.deliver_one(ev.node, env);
-                }
-                // Park the drained buffer for route_send to reuse.
-                if self.batch_pool.len() < 64 {
-                    self.batch_pool.push(envs);
-                }
-            }
-            EventKind::Timer { port, token } => {
-                let Some(slot) = self.slots.get(ev.node) else {
-                    return;
-                };
-                let n = &mut self.nodes[slot];
-                if n.dead {
-                    return;
-                }
-                // Fast path: with no cancellations outstanding anywhere on
-                // this node, fire without hashing into the cancel map.
-                if n.pending_cancels > 0 {
-                    if let Some(c) = n.cancelled_timers.get_mut(&(port, token)) {
-                        *c -= 1;
-                        n.pending_cancels -= 1;
-                        if *c == 0 {
-                            n.cancelled_timers.remove(&(port, token));
-                        }
-                        return;
-                    }
-                }
-                self.dispatch(slot, ev.node, port, move |ep, host| {
-                    ep.on_timer(token, host)
-                });
-            }
-            EventKind::CpuCheck { generation } => {
-                let Some(slot) = self.live_slot(ev.node) else {
-                    return;
-                };
-                let now = self.now;
-                let completions: Vec<(PortId, u64)> = {
-                    let n = &mut self.nodes[slot];
-                    if n.cpu.generation != generation {
-                        return; // stale prediction
-                    }
-                    n.cpu.advance(now);
-                    // Everything numerically finished completes together.
-                    let done = n.cpu.done_jobs();
-                    for &key in &done {
-                        n.cpu.remove_job(key);
-                        n.cpu.note_completed();
-                    }
-                    done
-                };
-                for (port, pid) in completions {
-                    self.dispatch(slot, ev.node, port, move |ep, host| {
-                        ep.on_work_done(pid, host)
-                    });
-                }
-                self.schedule_cpu_check(ev.node);
-            }
-            EventKind::Fault(op) => self.apply_fault(op),
-            EventKind::LoadChange { background } => {
-                if let Some(slot) = self.slots.get(ev.node) {
-                    let now = self.now;
-                    let n = &mut self.nodes[slot];
-                    n.cpu.advance(now);
-                    n.cpu.set_background(background);
-                    if self.trace.is_enabled() {
-                        self.trace.push(
-                            now,
-                            ev.node,
-                            format!("engine: background load -> {background}"),
-                        );
-                    }
-                    self.schedule_cpu_check(ev.node);
-                }
-            }
+    // ---- run internals ----
+
+    fn next_driver_cause(&mut self) -> u64 {
+        let c = cause_key(0, self.driver_seq);
+        self.driver_seq += 1;
+        c
+    }
+
+    /// Run everything (events and fences) at or before `t`.
+    fn run_bounded(&mut self, t: u64) {
+        if self.shards.len() == 1 {
+            while self.step_serial(t) {}
+        } else if sharded::use_threads(self.shards.len()) {
+            let fences = self.take_fences_through(t);
+            sharded::run(&mut self.shards, &fences, self.lookahead, t);
+        } else {
+            // Single-core fallback: the identical window schedule, run
+            // in-place — byte-identical output, no thread overhead.
+            while self.run_one_window_inplace(t) {}
         }
     }
 
-    fn deliver_one(&mut self, node: NodeId, env: Envelope) {
-        // Specialised dispatch for the dominant event kind: one slab index
-        // covers the liveness check, the endpoint lookup, and the callback
-        // itself.
-        let now = self.now;
-        let trace_on = self.trace.is_enabled();
-        let port = env.dst.port;
-        let mut fx = self.scratch_fx.take().unwrap_or_default();
-        {
-            let Some(slot) = self.slots.get(node) else {
-                self.scratch_fx = Some(fx);
-                self.stats.record_dropped();
-                return;
-            };
-            let n = &mut self.nodes[slot];
-            // The destination may have died after the send was judged.
-            if n.dead || self.fault.is_dead(env.dst.node) {
-                self.scratch_fx = Some(fx);
-                self.stats.record_dropped();
-                return;
-            }
-            self.stats.record_delivered();
-            let Some(i) = n.ep_slot(port) else {
-                self.scratch_fx = Some(fx);
-                if trace_on {
-                    self.trace
-                        .push(now, node, format!("engine: no endpoint for port {port:?}"));
-                }
-                return;
-            };
-            let SimNode {
-                info,
-                cpu,
-                endpoints,
-                rng,
-                ..
-            } = n;
-            let ep = &mut endpoints[i].1;
-            cpu.advance(now);
-            let mut ctx = HostCtx {
-                now,
-                info,
-                load: cpu.load(),
-                cpu,
-                port,
-                trace_on,
-                rng,
-                fx: &mut fx,
-            };
-            ep.on_envelope(env, &mut ctx);
-        }
-        self.apply_effects(node, port, &mut fx);
-        self.scratch_fx = Some(fx);
-    }
-
-    /// Slab slot of `node` if it exists and is alive.
-    #[inline]
-    fn live_slot(&self, node: NodeId) -> Option<usize> {
-        self.slots.get(node).filter(|&s| !self.nodes[s].dead)
-    }
-
-    fn node_is_dead(&self, node: NodeId) -> bool {
-        self.live_slot(node).is_none()
-    }
-
-    fn schedule_cpu_check(&mut self, node: NodeId) {
-        let now = self.now;
-        let next = self.slots.get(node).and_then(|s| {
-            let n = &mut self.nodes[s];
-            n.cpu
-                .next_completion(now)
-                .map(|(_, at)| (at, n.cpu.generation))
-        });
-        if let Some((at, generation)) = next {
-            self.push_event(at, node, EventKind::CpuCheck { generation });
-        }
-    }
-
-    /// Run one endpoint callback and apply its effects. `slot` must be
-    /// `node_id`'s slab slot.
-    fn dispatch(
-        &mut self,
-        slot: usize,
-        node_id: NodeId,
-        port: PortId,
-        f: impl FnOnce(&mut dyn Endpoint, &mut dyn Host),
-    ) {
-        let now = self.now;
-        let trace_on = self.trace.is_enabled();
-        // Lend the shared scratch buffers to this callback; drained on
-        // apply, returned below with their capacity intact. (apply_effects
-        // never re-enters dispatch, so one scratch instance suffices.)
-        let mut fx = self.scratch_fx.take().unwrap_or_default();
-        {
-            let node = &mut self.nodes[slot];
-            let Some(i) = node.ep_slot(port) else {
-                self.scratch_fx = Some(fx);
-                return;
-            };
-            // Disjoint field borrows: the endpoint (mut) runs against its
-            // node's info/cpu (shared) and rng (mut) with no clones and
-            // without moving it out of the table.
-            let SimNode {
-                info,
-                cpu,
-                endpoints,
-                rng,
-                ..
-            } = node;
-            let ep = &mut endpoints[i].1;
-            cpu.advance(now);
-            let mut ctx = HostCtx {
-                now,
-                info,
-                load: cpu.load(),
-                cpu,
-                port,
-                trace_on,
-                rng,
-                fx: &mut fx,
-            };
-            f(ep.as_mut(), &mut ctx);
-        }
-        self.apply_effects(node_id, port, &mut fx);
-        self.scratch_fx = Some(fx);
-    }
-
-    fn apply_effects(&mut self, node_id: NodeId, port: PortId, fx: &mut Effects) {
-        let now = self.now;
-        let slot = self.slots.get(node_id);
-        for line in fx.logs.drain(..) {
-            self.trace.push(now, node_id, line);
-        }
-        if !fx.timer_cancels.is_empty() {
-            if let Some(s) = slot {
-                let n = &mut self.nodes[s];
-                for token in fx.timer_cancels.drain(..) {
-                    *n.cancelled_timers.entry((port, token)).or_insert(0) += 1;
-                    n.pending_cancels += 1;
-                }
-            } else {
-                fx.timer_cancels.clear();
+    /// Serial fast path (1 shard): interleave fences and events directly,
+    /// no windows. A fence at time F applies before events at F — the same
+    /// order the windowed paths produce.
+    fn step_serial(&mut self, t: u64) -> bool {
+        let next_fence = self.fences.keys().next().copied();
+        let next_ev = self.shards[0].peek_time();
+        if let Some((f_at, f_cause)) = next_fence {
+            if f_at <= t && next_ev.is_none_or(|e| f_at <= e) {
+                let op = self
+                    .fences
+                    .remove(&(f_at, f_cause))
+                    .expect("fence vanished");
+                apply_plan_op(&mut self.fault, &op);
+                self.shards[0].apply_fence(f_at, f_cause, &op);
+                return true;
             }
         }
-        for (delay, token) in fx.timers.drain(..) {
-            self.push_event(now + delay, node_id, EventKind::Timer { port, token });
+        match next_ev {
+            Some(e) if e <= t => self.shards[0].step_one(),
+            _ => false,
         }
-        if !fx.work_ops.is_empty() {
-            if let Some(s) = slot {
-                let n = &mut self.nodes[s];
-                n.cpu.advance(now);
-                for op in fx.work_ops.drain(..) {
-                    match op {
-                        WorkOp::Start(pid, mops) => n.cpu.add_job((port, pid), mops),
-                        WorkOp::Cancel(pid) => {
-                            n.cpu.remove_job((port, pid));
-                        }
-                    }
-                }
-                self.schedule_cpu_check(node_id);
-            } else {
-                fx.work_ops.clear();
+    }
+
+    /// One conservative window across all shards, in-place (no threads).
+    /// Returns `false` when nothing remains at or before `t`.
+    fn run_one_window_inplace(&mut self, t: u64) -> bool {
+        let next_fence = self.fences.keys().next().map(|&(at, _)| at);
+        let next_ev = self.shards.iter_mut().filter_map(|s| s.peek_time()).min();
+        let w_start = match (next_fence, next_ev) {
+            (Some(f), Some(e)) => f.min(e),
+            (Some(f), None) => f,
+            (None, Some(e)) => e,
+            (None, None) => return false,
+        };
+        if w_start > t {
+            return false;
+        }
+        while let Some((&(f_at, f_cause), _)) = self.fences.iter().next() {
+            if f_at != w_start {
+                break;
+            }
+            let op = self
+                .fences
+                .remove(&(f_at, f_cause))
+                .expect("fence vanished");
+            apply_plan_op(&mut self.fault, &op);
+            for sh in &mut self.shards {
+                sh.apply_fence(f_at, f_cause, &op);
             }
         }
-        if fx.sends.is_empty() {
+        let fence_cap = self.fences.keys().next().map_or(u64::MAX, |&(at, _)| at);
+        let w_end = w_start
+            .saturating_add(self.lookahead)
+            .min(fence_cap)
+            .min(t.saturating_add(1));
+        for sh in &mut self.shards {
+            sh.set_window(w_end);
+            sh.run_window(w_end);
+            sh.clear_window();
+        }
+        self.exchange_outboxes();
+        true
+    }
+
+    /// Pop every fence at or before `t` (sorted), applying each to the
+    /// canonical plan; the threaded runner applies them to the replicas.
+    fn take_fences_through(&mut self, t: u64) -> Vec<(u64, u64, vce_net::FaultOp)> {
+        let mut out = Vec::new();
+        while let Some(&(f_at, f_cause)) = self.fences.keys().next() {
+            if f_at > t {
+                break;
+            }
+            let op = self
+                .fences
+                .remove(&(f_at, f_cause))
+                .expect("fence vanished");
+            apply_plan_op(&mut self.fault, &op);
+            out.push((f_at, f_cause, op));
+        }
+        out
+    }
+
+    /// Move buffered cross-shard events to their owners' queues.
+    fn exchange_outboxes(&mut self) {
+        if self.shards.len() == 1 {
             return;
         }
-        let mut pending = PendingDelivery::None;
-        // Sends from one callback almost always share the callback's own
-        // node as source: bump that node's `send_seq` by the whole batch in
-        // one slab hit and hand out the pre-assigned range. A send with a
-        // foreign source address (possible, endpoints pick `src` freely)
-        // falls back to the per-send lookup.
-        if fx.sends.iter().all(|(s, ..)| s.node == node_id) {
-            let base = match slot {
-                Some(s) => {
-                    let n = &mut self.nodes[s];
-                    let b = n.send_seq;
-                    n.send_seq += fx.sends.len() as u64;
-                    b
+        let mut mail: Vec<crate::shard::RemoteEvent> = Vec::new();
+        for s in 0..self.shards.len() {
+            for d in 0..self.shards.len() {
+                if s == d || self.shards[s].outbox_is_empty(d) {
+                    continue;
                 }
-                None => 0,
-            };
-            for (i, (src, dst, payload, category)) in fx.sends.drain(..).enumerate() {
-                self.route_send(src, dst, payload, category, base + i as u64, &mut pending);
-            }
-        } else {
-            for (src, dst, payload, category) in fx.sends.drain(..) {
-                let seq = match self.slots.get(src.node) {
-                    Some(s) => {
-                        let n = &mut self.nodes[s];
-                        let b = n.send_seq;
-                        n.send_seq += 1;
-                        b
-                    }
-                    None => 0,
-                };
-                self.route_send(src, dst, payload, category, seq, &mut pending);
-            }
-        }
-        self.flush_delivery(pending);
-    }
-
-    fn route_send(
-        &mut self,
-        src: Addr,
-        dst: Addr,
-        payload: Bytes,
-        category: MsgCategory,
-        seq: u64,
-        pending: &mut PendingDelivery,
-    ) {
-        let env = Envelope::new(src, dst, seq, payload);
-        self.stats.record_sent_category(env.wire_size(), category);
-        let verdict = self.fault.judge(src.node, dst.node, &mut self.master_rng);
-        let base = self
-            .topology
-            .latency_us(src.node, dst.node, env.wire_size());
-        match verdict {
-            Delivery::Drop => self.stats.record_dropped(),
-            Delivery::Deliver { extra_delay_us } => {
-                let at = self.now + base + extra_delay_us;
-                // Coalesce with the previous deliverable send when both land
-                // on the same node at the same instant: their heap slots
-                // would be adjacent (consecutive push seqs, nothing pushed
-                // between), so one batched entry fires in identical order.
-                *pending = match std::mem::replace(pending, PendingDelivery::None) {
-                    PendingDelivery::None => PendingDelivery::One(at, dst.node, env),
-                    PendingDelivery::One(pat, pnode, penv) if pat == at && pnode == dst.node => {
-                        // Reuse a drained batch buffer if one is parked.
-                        let mut envs = self.batch_pool.pop().unwrap_or_default();
-                        envs.push(penv);
-                        envs.push(env);
-                        PendingDelivery::Many(at, pnode, envs)
-                    }
-                    PendingDelivery::Many(pat, pnode, mut envs)
-                        if pat == at && pnode == dst.node =>
-                    {
-                        envs.push(env);
-                        PendingDelivery::Many(pat, pnode, envs)
-                    }
-                    other => {
-                        self.flush_delivery(other);
-                        PendingDelivery::One(at, dst.node, env)
-                    }
-                };
-            }
-            Delivery::Duplicate {
-                first_us,
-                second_us,
-            } => {
-                // Flush first so heap-insertion order matches the serial
-                // (unbatched) push sequence exactly.
-                self.flush_delivery(std::mem::replace(pending, PendingDelivery::None));
-                self.stats.record_duplicated();
-                self.push_event(
-                    self.now + base + first_us,
-                    dst.node,
-                    EventKind::Deliver(env.clone()),
-                );
-                self.push_event(
-                    self.now + base + second_us,
-                    dst.node,
-                    EventKind::Deliver(env),
-                );
+                self.shards[s].drain_outbox_into(d, &mut mail);
+                self.shards[d].enqueue_remote_drain(&mut mail);
             }
         }
     }
 
-    fn flush_delivery(&mut self, pending: PendingDelivery) {
-        match pending {
-            PendingDelivery::None => {}
-            PendingDelivery::One(at, node, env) => {
-                self.push_event(at, node, EventKind::Deliver(env));
-            }
-            PendingDelivery::Many(at, node, envs) => {
-                self.push_event(at, node, EventKind::DeliverBatch(envs));
+    /// Post-run bookkeeping: reconcile the global clock (optionally
+    /// clamping up to a target time) and merge shard state.
+    fn finish_run(&mut self, clamp_to: Option<u64>) {
+        let latest = self.shards.iter().map(|s| s.now).max().unwrap_or(self.now);
+        if latest > self.now {
+            self.now = latest;
+        }
+        if let Some(t) = clamp_to {
+            if self.now < t {
+                self.now = t;
             }
         }
+        let now = self.now;
+        for sh in &mut self.shards {
+            sh.advance_clock(now);
+        }
+        self.sync();
+    }
+
+    /// Merge per-shard statistics and splice per-shard trace buffers into
+    /// the master trace in global `(at_us, phase, cause)` order.
+    ///
+    /// The batch is *sorted*, not concatenated, on every path including the
+    /// serial one: a zero-delay timer can legitimately execute after a
+    /// same-microsecond event with a larger cause (its key is assigned at
+    /// creation, mid-microsecond), so execution order and key order can
+    /// differ. Sorting by key yields one canonical order that every shard
+    /// count agrees on; the sort is stable and key collisions only occur
+    /// within a single callback's lines, which are already in order.
+    fn sync(&mut self) {
+        if self.shards.len() > 1 {
+            let merged = NetStats::new();
+            for sh in &self.shards {
+                merged.absorb(&sh.stats);
+            }
+            self.merged_stats = merged;
+        }
+        if !self.trace_enabled {
+            return;
+        }
+        let mut batch = Vec::new();
+        for sh in &mut self.shards {
+            batch.append(&mut sh.trace.buf);
+        }
+        batch.sort_by_key(|a| (a.0, a.1, a.2));
+        for (_, _, _, ev) in batch {
+            self.trace.push(ev.at_us, ev.node, ev.line);
+        }
+    }
+
+    /// The latency model in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vce_net::send_msg;
+    use vce_net::{send_msg, Host};
 
     /// Echo endpoint: replies to every envelope with the same number + 1,
     /// until a cap.
@@ -1080,6 +585,82 @@ mod tests {
             (sim.now_us(), sim.events_processed(), sim.stats().snapshot())
         };
         assert_eq!(run(), run());
+    }
+
+    /// A mesh scenario with faults, duplicates, background load and
+    /// cross-node chatter, run at a given shard count.
+    fn sharded_fingerprint(shards: usize) -> (u64, u64, vce_net::stats::StatsSnapshot, String) {
+        let mut sim = Sim::new(SimConfig {
+            seed: 7,
+            topology: Topology::default(),
+            trace_enabled: true,
+            shards,
+        });
+        let n_nodes = 12u32;
+        for n in 0..n_nodes {
+            sim.add_node_with_load(
+                MachineInfo::workstation(NodeId(n), 100.0),
+                LoadTrace::from_steps(vec![(40_000 + u64::from(n) * 1_000, 0.5)]),
+            );
+        }
+        for n in 0..n_nodes {
+            sim.add_endpoint(
+                Addr::daemon(NodeId(n)),
+                Box::new(Counter {
+                    me: Addr::daemon(NodeId(n)),
+                    cap: 400,
+                    last_seen: 0,
+                    finish_time: None,
+                }),
+            );
+        }
+        // Lossy, duplicating default link so verdict RNG is exercised.
+        sim.with_fault_plan(|p| {
+            p.default_link.drop_prob = 0.05;
+            p.default_link.dup_prob = 0.05;
+            p.default_link.jitter_us = 500;
+        });
+        // Several interleaved ping-pong chains crossing shard boundaries.
+        for n in 0..n_nodes {
+            sim.inject(
+                Addr::daemon(NodeId(n)),
+                Addr::daemon(NodeId((n + 1) % n_nodes)),
+                &0u64,
+            );
+        }
+        // Chaos fences mid-run.
+        sim.schedule_fault(120_000, vce_net::FaultOp::Kill(NodeId(3)));
+        sim.schedule_fault(240_000, vce_net::FaultOp::Revive(NodeId(3)));
+        sim.schedule_fault(180_000, vce_net::FaultOp::Partition(NodeId(5), 1));
+        sim.schedule_fault(300_000, vce_net::FaultOp::Heal);
+        sim.run_until(600_000);
+        // Driver-time kill/revive as well.
+        sim.kill_node(NodeId(7));
+        sim.run_for(100_000);
+        sim.revive_node(NodeId(7));
+        sim.run_until_idle();
+        (
+            sim.now_us(),
+            sim.events_processed(),
+            sim.stats().snapshot(),
+            sim.trace().dump(),
+        )
+    }
+
+    #[test]
+    fn shard_counts_produce_identical_runs() {
+        // Force the real threaded runner even on 1-core CI, so the
+        // barrier protocol (not just the in-place fallback) is what this
+        // test certifies.
+        std::env::set_var("VCE_SHARDS_THREADS", "1");
+        let baseline = sharded_fingerprint(1);
+        for shards in [2, 4, 8] {
+            let got = sharded_fingerprint(shards);
+            assert_eq!(baseline.0, got.0, "final time diverged at {shards} shards");
+            assert_eq!(baseline.1, got.1, "event count diverged at {shards} shards");
+            assert_eq!(baseline.2, got.2, "net stats diverged at {shards} shards");
+            assert_eq!(baseline.3, got.3, "trace diverged at {shards} shards");
+        }
     }
 
     struct WorkOnce {
@@ -1327,5 +908,55 @@ mod tests {
         sim.add_node(MachineInfo::workstation(NodeId(0), 100.0));
         sim.kill_node(NodeId(0));
         assert!(sim.trace().first_time("node killed").is_some());
+    }
+
+    #[test]
+    fn pooled_encode_roundtrips_through_sim_host() {
+        struct EncodeOnStart {
+            me: Addr,
+            peer: Addr,
+        }
+        impl Endpoint for EncodeOnStart {
+            fn on_start(&mut self, host: &mut dyn Host) {
+                // Two encodes back-to-back: the pooled scratch must not
+                // leak bytes between messages.
+                send_msg(host, self.me, self.peer, &("first".to_string(), 1u64));
+                send_msg(
+                    host,
+                    self.me,
+                    self.peer,
+                    &("second-longer".to_string(), 2u64),
+                );
+            }
+            fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {}
+        }
+        struct Collect {
+            got: Vec<(String, u64)>,
+        }
+        impl Endpoint for Collect {
+            fn on_envelope(&mut self, env: Envelope, _host: &mut dyn Host) {
+                self.got.push(env.decode_payload().unwrap());
+            }
+            fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+                Some(self)
+            }
+        }
+        let mut sim = two_node_sim();
+        sim.add_endpoint(
+            Addr::daemon(NodeId(0)),
+            Box::new(EncodeOnStart {
+                me: Addr::daemon(NodeId(0)),
+                peer: Addr::daemon(NodeId(1)),
+            }),
+        );
+        sim.add_endpoint(Addr::daemon(NodeId(1)), Box::new(Collect { got: vec![] }));
+        sim.run_until_idle();
+        let got = sim
+            .with_endpoint_mut::<Collect, _>(Addr::daemon(NodeId(1)), |c| c.got.clone())
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![("first".to_string(), 1), ("second-longer".to_string(), 2)]
+        );
     }
 }

@@ -43,6 +43,8 @@ pub mod engine;
 pub mod load;
 pub mod metrics;
 pub mod queue;
+mod shard;
+mod sharded;
 pub mod topology;
 pub mod trace;
 

@@ -1,5 +1,5 @@
 //! The event core: a two-level bucketed calendar queue (hierarchical timer
-//! wheel) ordered by `(at_us, seq)`.
+//! wheel) ordered by `(at_us, cause)`.
 //!
 //! # Why not a `BinaryHeap`?
 //!
@@ -16,7 +16,7 @@
 //!   (`at_us >> BUCKET_BITS`) lies inside the current admission window
 //!   `[cur_slot, horizon_slot)` is appended, unsorted, to its bucket. When
 //!   the drain cursor reaches a bucket, the bucket is sorted once by
-//!   `(at_us, seq)` and popped from in order.
+//!   `(at_us, cause)` and popped from in order.
 //! * **Level 1 — the overflow.** Events at or beyond `horizon_slot` go to a
 //!   sorted overflow level (a min-heap on the same key). **Promotion rule:**
 //!   only when the wheel runs completely dry does the window jump forward —
@@ -28,13 +28,16 @@
 //!
 //! # Ordering contract
 //!
-//! Pop order is **exactly** ascending `(at_us, seq)`, where `seq` is the
-//! queue-assigned insertion sequence — the same total order as the
-//! `BinaryHeap<Reverse<Event>>` it replaced, including same-timestamp
-//! insertion-order tie-breaks. Traces, experiment outputs and chaos
-//! schedules therefore stay byte-identical across the swap; the
-//! `wheel_matches_heap_oracle` proptest in `crates/sim/tests` drives random
-//! schedules through both and asserts identical pop order.
+//! Pop order is **exactly** ascending `(at_us, cause)`, where `cause` is a
+//! **caller-supplied** tie-break key. The queue used to assign an internal
+//! insertion sequence here, which made the total order depend on global
+//! push order — fine for one serial queue, fatal for the sharded engine,
+//! where S queues interleave pushes nondeterministically. The engine now
+//! derives `cause` from the *creating* event (an `(origin node, per-origin
+//! counter)` pair packed into one `u64`), which is a pure function of the
+//! simulation itself, so the same total order falls out of any shard
+//! count. Callers must keep `(at_us, cause)` pairs unique; equal keys pop
+//! in an unspecified (but deterministic for a fixed push order) order.
 //!
 //! A push whose timestamp lands in the bucket currently being drained (or
 //! earlier — possible only for a push at the current sim time) is inserted
@@ -66,18 +69,19 @@ const WORDS: usize = NUM_BUCKETS / 64;
 #[derive(Debug)]
 struct Entry<T> {
     at_us: u64,
-    seq: u64,
+    /// Caller-supplied tie-break key (the engine's cause key).
+    cause_seq: u64,
     item: T,
 }
 
 impl<T> Entry<T> {
     #[inline]
     fn key(&self) -> (u64, u64) {
-        (self.at_us, self.seq)
+        (self.at_us, self.cause_seq)
     }
 }
 
-// Overflow-heap ordering: min on (at_us, seq) via `Reverse`.
+// Overflow-heap ordering: min on (at_us, cause) via `Reverse`.
 impl<T> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
@@ -95,10 +99,10 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-/// Two-level calendar queue with exact `(at_us, seq)` total order.
+/// Two-level calendar queue with exact `(at_us, cause)` total order.
 ///
-/// `seq` is assigned internally on every [`CalendarQueue::push`], so two
-/// events at the same microsecond pop in insertion order.
+/// `cause` is supplied by the caller on every [`CalendarQueue::push`]; two
+/// events at the same microsecond pop in ascending `cause` order.
 pub struct CalendarQueue<T> {
     /// Level 0 ring; bucket `s & RING_MASK` holds slot `s`'s events,
     /// unsorted until the drain cursor reaches it.
@@ -110,10 +114,10 @@ pub struct CalendarQueue<T> {
     /// First slot *not* admitted to the wheel; events at `slot >=
     /// horizon_slot` go to the overflow level. Fixed between promotions.
     horizon_slot: u64,
-    /// The in-flight bucket: sorted **descending** by `(at_us, seq)` so
+    /// The in-flight bucket: sorted **descending** by `(at_us, cause)` so
     /// pops are `Vec::pop` from the tail.
     current: Vec<Entry<T>>,
-    /// Level 1: far-future events, min-heap on `(at_us, seq)`.
+    /// Level 1: far-future events, min-heap on `(at_us, cause)`.
     overflow: BinaryHeap<Reverse<Entry<T>>>,
     /// Warm drained-bucket buffers. A sim revisits nearby ring slots but
     /// (over a long horizon) rarely the *same* slot, so capacity is pooled
@@ -121,8 +125,6 @@ pub struct CalendarQueue<T> {
     /// bucket's first push grabs a warm buffer and steady state allocates
     /// nothing.
     spare: Vec<Vec<Entry<T>>>,
-    /// Next insertion sequence number.
-    seq: u64,
     len: usize,
 }
 
@@ -143,7 +145,6 @@ impl<T> CalendarQueue<T> {
             current: Vec::new(),
             overflow: BinaryHeap::new(),
             spare: Vec::new(),
-            seq: 0,
             len: 0,
         }
     }
@@ -158,13 +159,12 @@ impl<T> CalendarQueue<T> {
         self.len == 0
     }
 
-    /// Insert `item` at absolute time `at_us`; ties with already-queued
-    /// events at the same microsecond resolve in push order.
-    pub fn push(&mut self, at_us: u64, item: T) {
-        self.seq += 1;
+    /// Insert `item` at absolute time `at_us` with tie-break key `cause`;
+    /// events at the same microsecond pop in ascending `cause` order.
+    pub fn push(&mut self, at_us: u64, cause: u64, item: T) {
         let entry = Entry {
             at_us,
-            seq: self.seq,
+            cause_seq: cause,
             item,
         };
         let slot = at_us >> BUCKET_BITS;
@@ -202,14 +202,14 @@ impl<T> CalendarQueue<T> {
         }
     }
 
-    /// Remove and return the earliest event as `(at_us, item)`.
-    pub fn pop(&mut self) -> Option<(u64, T)> {
+    /// Remove and return the earliest event as `(at_us, cause, item)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if !self.ensure_current() {
             return None;
         }
         let e = self.current.pop().expect("ensure_current guarantees one");
         self.len -= 1;
-        Some((e.at_us, e.item))
+        Some((e.at_us, e.cause_seq, e.item))
     }
 
     /// Make `current` non-empty, advancing the cursor / promoting overflow
@@ -293,9 +293,9 @@ impl<T> CalendarQueue<T> {
         self.cur_slot = slot;
         let ring = (slot as usize) & RING_MASK;
         let bucket = &mut self.buckets[ring];
-        // Events arrive in seq order and mostly in time order, so buckets
-        // are usually already ascending (frequently one timestamp run):
-        // detect that with one pass and reverse, instead of a full sort.
+        // Pushes mostly arrive in ascending key order, so buckets are
+        // usually already ascending (frequently one timestamp run): detect
+        // that with one pass and reverse, instead of a full sort.
         if bucket.windows(2).all(|w| w[0].key() < w[1].key()) {
             bucket.reverse();
         } else {
@@ -316,70 +316,95 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pops_in_time_then_insertion_order() {
+    fn pops_in_time_then_cause_order() {
         let mut q = CalendarQueue::new();
-        q.push(500, "b");
-        q.push(100, "a");
-        q.push(500, "c");
-        q.push(100, "a2");
+        q.push(500, 1, "b");
+        q.push(100, 2, "a");
+        q.push(500, 3, "c");
+        q.push(100, 4, "a2");
         assert_eq!(q.len(), 4);
         assert_eq!(q.peek_time(), Some(100));
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
-        assert_eq!(order, vec![(100, "a"), (100, "a2"), (500, "b"), (500, "c")]);
+        assert_eq!(
+            order,
+            vec![(100, 2, "a"), (100, 4, "a2"), (500, 1, "b"), (500, 3, "c")]
+        );
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cause_order_beats_push_order() {
+        // The tie-break is the caller's key, not insertion order: pushing
+        // the larger cause first must not change the pop order. This is
+        // the property the sharded engine rests on — S queues push in
+        // different interleavings but pop the same sequence.
+        let mut q = CalendarQueue::new();
+        q.push(100, 9, "late");
+        q.push(100, 3, "early");
+        assert_eq!(q.pop(), Some((100, 3, "early")));
+        assert_eq!(q.pop(), Some((100, 9, "late")));
     }
 
     #[test]
     fn far_future_rides_the_overflow_level() {
         let mut q = CalendarQueue::new();
         // Beyond the wheel horizon → overflow, promoted on demand.
-        q.push(3 * SPAN_US, 1u32);
-        q.push(10, 0u32);
-        q.push(7 * SPAN_US + 3, 2u32);
-        assert_eq!(q.pop(), Some((10, 0)));
-        assert_eq!(q.pop(), Some((3 * SPAN_US, 1)));
-        assert_eq!(q.pop(), Some((7 * SPAN_US + 3, 2)));
+        q.push(3 * SPAN_US, 1, 1u32);
+        q.push(10, 2, 0u32);
+        q.push(7 * SPAN_US + 3, 3, 2u32);
+        assert_eq!(q.pop(), Some((10, 2, 0)));
+        assert_eq!(q.pop(), Some((3 * SPAN_US, 1, 1)));
+        assert_eq!(q.pop(), Some((7 * SPAN_US + 3, 3, 2)));
         assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn same_instant_push_during_drain_keeps_order() {
         let mut q = CalendarQueue::new();
-        q.push(100, 0u32);
-        q.push(100, 1);
-        assert_eq!(q.pop(), Some((100, 0)));
+        q.push(100, 1, 0u32);
+        q.push(100, 2, 1);
+        assert_eq!(q.pop(), Some((100, 1, 0)));
         // Pushed mid-drain at the same instant: must pop after already
-        // queued t=100 events (larger seq) but before t=101.
-        q.push(100, 2);
-        q.push(101, 3);
-        assert_eq!(q.pop(), Some((100, 1)));
-        assert_eq!(q.pop(), Some((100, 2)));
-        assert_eq!(q.pop(), Some((101, 3)));
+        // queued t=100 events (larger cause) but before t=101.
+        q.push(100, 3, 2);
+        q.push(101, 4, 3);
+        assert_eq!(q.pop(), Some((100, 2, 1)));
+        assert_eq!(q.pop(), Some((100, 3, 2)));
+        assert_eq!(q.pop(), Some((101, 4, 3)));
+        // And a mid-drain push with a *smaller* cause at the same instant
+        // pops before larger-cause events still in flight.
+        let mut q = CalendarQueue::new();
+        q.push(200, 5, 0u32);
+        q.push(200, 9, 1);
+        assert_eq!(q.pop(), Some((200, 5, 0)));
+        q.push(200, 7, 2);
+        assert_eq!(q.pop(), Some((200, 7, 2)));
+        assert_eq!(q.pop(), Some((200, 9, 1)));
     }
 
     #[test]
     fn interleaved_pushes_across_buckets() {
         let mut q = CalendarQueue::new();
-        q.push(5 * BUCKET_US, "far");
-        q.push(1, "near");
-        assert_eq!(q.pop(), Some((1, "near")));
-        q.push(2 * BUCKET_US, "mid");
-        assert_eq!(q.pop(), Some((2 * BUCKET_US, "mid")));
-        assert_eq!(q.pop(), Some((5 * BUCKET_US, "far")));
+        q.push(5 * BUCKET_US, 1, "far");
+        q.push(1, 2, "near");
+        assert_eq!(q.pop(), Some((1, 2, "near")));
+        q.push(2 * BUCKET_US, 3, "mid");
+        assert_eq!(q.pop(), Some((2 * BUCKET_US, 3, "mid")));
+        assert_eq!(q.pop(), Some((5 * BUCKET_US, 1, "far")));
     }
 
     #[test]
     fn empty_then_reused_after_idle_gap() {
         let mut q = CalendarQueue::new();
-        q.push(50, ());
-        assert_eq!(q.pop(), Some((50, ())));
+        q.push(50, 1, ());
+        assert_eq!(q.pop(), Some((50, 1, ())));
         assert_eq!(q.peek_time(), None);
         // Re-arm far past the original window (as run_until does after an
         // idle stretch).
-        q.push(40 * SPAN_US, ());
-        q.push(40 * SPAN_US + BUCKET_US, ());
-        assert_eq!(q.pop(), Some((40 * SPAN_US, ())));
-        assert_eq!(q.pop(), Some((40 * SPAN_US + BUCKET_US, ())));
+        q.push(40 * SPAN_US, 2, ());
+        q.push(40 * SPAN_US + BUCKET_US, 3, ());
+        assert_eq!(q.pop(), Some((40 * SPAN_US, 2, ())));
+        assert_eq!(q.pop(), Some((40 * SPAN_US + BUCKET_US, 3, ())));
     }
 }

@@ -1,0 +1,194 @@
+//! The multi-core window runner: drives `S` [`Shard`]s through lock-step
+//! conservative time windows on scoped worker threads.
+//!
+//! This is the **only** threaded module in the simulator, and the only one
+//! allowed to be: determinism is restored not by avoiding threads but by
+//! the conservative barrier (no cross-shard event can land inside the
+//! window that produced it, so shards never observe each other mid-window)
+//! plus the shard-invariant cause key (see [`crate::shard`]). Everything
+//! the threads share is either synchronized at the two barriers per window
+//! or commutative (per-shard `NetStats` merged later).
+//!
+//! # Protocol (three barrier waits per window)
+//!
+//! 1. Each worker ships the previous window's outboxes to the other
+//!    workers' inboxes. **Barrier 0** — every envelope is in its
+//!    destination inbox before anyone looks at one.
+//! 2. Each worker drains its inbox of cross-shard events, then publishes
+//!    its earliest event time. **Barrier A.**
+//! 3. The coordinator (worker 0, which also runs shard 0) reads all the
+//!    published times plus the next fence, picks the window `[w_start,
+//!    w_end)` — `w_end = w_start + lookahead`, capped by the next fence
+//!    and the run bound — or raises the stop flag. **Barrier B.**
+//! 4. Every worker applies the fences at `w_start` to its plan replica
+//!    (the owning shard also runs crash/boot callbacks), runs its events
+//!    in `[w_start, w_end)`, buffers cross-shard sends in its outboxes
+//!    and loops back to step 1.
+//!
+//! Inbox append order varies with thread timing, but the destination
+//! queue orders purely on the `(at_us, cause)` key, so the queue state —
+//! and therefore the whole run — is unaffected.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::thread; // vce-lint: allow(D004) the one sanctioned threaded module: window barriers + cause keys keep the run deterministic (DESIGN.md decision 17)
+
+use vce_net::FaultOp;
+
+use crate::shard::{RemoteEvent, Shard};
+
+/// Whether the threaded runner is worth engaging: more than one shard and
+/// more than one core. On a 1-core box the facade falls back to the
+/// in-place window loop, which produces byte-identical output (the window
+/// schedule is the same; only the execution substrate differs).
+///
+/// `VCE_SHARDS_THREADS=1` forces real worker threads regardless of core
+/// count, so the barrier protocol itself is exercised by determinism
+/// tests even on single-core CI runners (where it would otherwise always
+/// take the fallback).
+pub(crate) fn use_threads(shards: usize) -> bool {
+    if shards <= 1 {
+        return false;
+    }
+    if std::env::var_os("VCE_SHARDS_THREADS").is_some_and(|v| v == "1") {
+        return true;
+    }
+    thread::available_parallelism().map_or(1, |n| n.get()) > 1
+}
+
+/// Per-window plan published by the coordinator between barriers A and B.
+struct Plan {
+    w_end: AtomicU64,
+    /// Fence-list index up to which (exclusive) this window's fences run.
+    fence_upto: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// Drive all shards until no event or fence remains at or before `t`.
+///
+/// `fences` must be sorted by `(at, cause)` with every entry ≤ `t`; each
+/// worker applies them to its own replica at window starts, all at the
+/// same fence cursor (published by the coordinator), so replicas never
+/// diverge.
+pub(crate) fn run(shards: &mut [Shard], fences: &[(u64, u64, FaultOp)], lookahead: u64, t: u64) {
+    let n = shards.len();
+    let barrier = Barrier::new(n);
+    let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let inboxes: Vec<Mutex<Vec<RemoteEvent>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let plan = Plan {
+        w_end: AtomicU64::new(0),
+        fence_upto: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    };
+    thread::scope(|scope| {
+        let (first, rest) = shards.split_at_mut(1);
+        for sh in rest.iter_mut() {
+            let barrier = &barrier;
+            let next_times = &next_times[..];
+            let inboxes = &inboxes[..];
+            let plan = &plan;
+            scope.spawn(move || {
+                worker(sh, barrier, next_times, inboxes, plan, fences, lookahead, t);
+            });
+        }
+        // The coordinator doubles as shard 0's worker.
+        worker(
+            &mut first[0],
+            &barrier,
+            &next_times,
+            &inboxes,
+            &plan,
+            fences,
+            lookahead,
+            t,
+        );
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    sh: &mut Shard,
+    barrier: &Barrier,
+    next_times: &[AtomicU64],
+    inboxes: &[Mutex<Vec<RemoteEvent>>],
+    plan: &Plan,
+    fences: &[(u64, u64, FaultOp)],
+    lookahead: u64,
+    t: u64,
+) {
+    let i = sh.index;
+    let is_coord = i == 0;
+    let mut fence_cursor = 0usize;
+    loop {
+        // Phase 0: ship the previous window's outboxes, then rendezvous
+        // before anyone drains. Without this barrier a fast receiver can
+        // loop around, drain its still-empty inbox and publish its next
+        // event time while a slow sender is still posting mail to it —
+        // the coordinator then plans a window that silently excludes that
+        // mail, and the receiver replays it a window late (time going
+        // backwards, output diverging with thread timing).
+        for (d, inbox) in inboxes.iter().enumerate() {
+            if d != i && !sh.outbox_is_empty(d) {
+                let mut sink = inbox.lock().expect("sim worker panicked");
+                sh.drain_outbox_into(d, &mut sink);
+            }
+        }
+        barrier.wait();
+        // Phase 1: absorb cross-shard mail, publish the earliest thing
+        // this shard still has to do.
+        {
+            let mut mail = inboxes[i].lock().expect("sim worker panicked");
+            sh.enqueue_remote_drain(&mut mail);
+        }
+        next_times[i].store(sh.peek_time().unwrap_or(u64::MAX), Ordering::Release);
+        barrier.wait();
+        // Phase 2 (coordinator only, between the barriers — exclusive):
+        // pick the next window or stop.
+        if is_coord {
+            let next_ev = next_times
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u64::MAX);
+            let next_fence = fences.get(fence_cursor).map_or(u64::MAX, |&(at, _, _)| at);
+            let w_start = next_ev.min(next_fence);
+            // `w_start == MAX` means every queue is empty and no fence
+            // remains — checked explicitly because `w_start > t` can't
+            // catch it when the caller's bound is itself `u64::MAX`
+            // (`run_until_idle`).
+            if w_start > t || w_start == u64::MAX {
+                plan.stop.store(true, Ordering::Release);
+            } else {
+                let mut upto = fence_cursor;
+                while upto < fences.len() && fences[upto].0 == w_start {
+                    upto += 1;
+                }
+                let cap = fences.get(upto).map_or(u64::MAX, |&(at, _, _)| at);
+                let w_end = w_start
+                    .saturating_add(lookahead)
+                    .min(cap)
+                    .min(t.saturating_add(1));
+                plan.fence_upto.store(upto, Ordering::Release);
+                plan.w_end.store(w_end, Ordering::Release);
+            }
+        }
+        barrier.wait();
+        if plan.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Phase 3: fences for this window (every replica, same cursor
+        // range), then the window itself, then ship the outboxes.
+        let upto = plan.fence_upto.load(Ordering::Acquire);
+        while fence_cursor < upto {
+            let (at, cause, ref op) = fences[fence_cursor];
+            sh.apply_fence(at, cause, op);
+            fence_cursor += 1;
+        }
+        let w_end = plan.w_end.load(Ordering::Acquire);
+        sh.set_window(w_end);
+        sh.run_window(w_end);
+        sh.clear_window();
+        // Outboxes filled by this window are shipped at the top of the
+        // next iteration, behind the phase-0 barrier.
+    }
+}

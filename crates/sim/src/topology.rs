@@ -95,6 +95,14 @@ impl Topology {
     }
 
     /// One-way latency for a `bytes`-byte message from `src` to `dst`.
+    ///
+    /// Cross-node latency is clamped to ≥ 1 µs even if a caller constructs
+    /// zero-cost [`LinkParams`] (the fields are public, so that is
+    /// possible): the sharded engine's conservative lookahead window is
+    /// derived from the minimum cross-node latency, and a zero-width window
+    /// would wedge the barrier loop. One µs is also the physical floor —
+    /// no 1994 network moved a datagram between machines in under a
+    /// microsecond.
     pub fn latency_us(&self, src: NodeId, dst: NodeId, bytes: usize) -> u64 {
         if src == dst {
             return self.local_us;
@@ -104,7 +112,20 @@ impl Topology {
         } else {
             self.inter
         };
-        params.latency_us(bytes)
+        params.latency_us(bytes).max(1)
+    }
+
+    /// The minimum possible cross-node latency under this topology — the
+    /// conservative lookahead used by the sharded engine: an event executed
+    /// at time `t` can only cause another *node* to act at
+    /// `t + min_cross_latency_us()` or later, so shards may advance through
+    /// a window of that width without exchanging messages.
+    ///
+    /// Same-node loopback (`local_us`) does not participate: a node never
+    /// changes shard, so loopback traffic can never cross a shard boundary.
+    /// Never returns 0 (see [`Topology::latency_us`] for the clamp).
+    pub fn min_cross_latency_us(&self) -> u64 {
+        self.intra.base_us.min(self.inter.base_us).max(1)
     }
 }
 
@@ -145,6 +166,37 @@ mod tests {
         assert_eq!(t.site_of(NodeId(9)), 3);
         t.set_site(NodeId(9), 0);
         assert_eq!(t.site_of(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn min_cross_latency_is_cheapest_link_class() {
+        let t = Topology::two_tier(LinkParams::lan_1994(), LinkParams::campus_1994());
+        assert_eq!(t.min_cross_latency_us(), 1_000);
+        let u = Topology::default();
+        assert_eq!(u.min_cross_latency_us(), 1_000);
+    }
+
+    #[test]
+    fn zero_latency_links_clamp_to_one_microsecond() {
+        // LinkParams fields are public, so a zero-cost link is
+        // constructible; the lookahead (and the latency itself, for
+        // consistency) must clamp to 1µs rather than 0, which would give
+        // the sharded engine a zero-width window and wedge the barrier
+        // loop.
+        let zero = LinkParams {
+            base_us: 0,
+            per_kib_us: 0,
+        };
+        let t = Topology::uniform(zero);
+        assert_eq!(t.min_cross_latency_us(), 1);
+        assert_eq!(t.latency_us(NodeId(0), NodeId(1), 0), 1);
+        // Same-site pairs in a two-tier topology with a zero-cost intra
+        // link: still clamped.
+        let mixed = Topology::two_tier(zero, LinkParams::campus_1994());
+        assert_eq!(mixed.min_cross_latency_us(), 1);
+        assert_eq!(mixed.latency_us(NodeId(0), NodeId(1), 0), 1);
+        // Loopback is unaffected by the clamp and by the lookahead.
+        assert_eq!(t.latency_us(NodeId(2), NodeId(2), 64), 10);
     }
 
     #[test]

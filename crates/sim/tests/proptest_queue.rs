@@ -1,8 +1,8 @@
 //! Oracle equivalence for the calendar-queue event core: random
 //! push/pop/cancel schedules driven simultaneously through
-//! [`CalendarQueue`] and a reference `BinaryHeap` keyed `(at_us, seq)` —
+//! [`CalendarQueue`] and a reference `BinaryHeap` keyed `(at_us, cause)` —
 //! the structure it replaced in `Sim` — must produce identical pop
-//! sequences, including same-timestamp insertion-order tie-breaks and
+//! sequences, including same-timestamp cause-order tie-breaks and
 //! interaction with lazy cancellation (cancelled entries stay queued and
 //! are silently consumed at pop, exactly like the engine's cancelled-timer
 //! filter).
@@ -45,8 +45,9 @@ proptest! {
     #[test]
     fn wheel_matches_heap_oracle(ops in prop::collection::vec(op_strategy(), 1..300)) {
         let mut wheel: CalendarQueue<u32> = CalendarQueue::new();
-        // The reference: exactly the old engine's shape — a min-heap on
-        // (at_us, seq) with a caller-side insertion counter.
+        // The reference: a min-heap on (at_us, cause). The caller-side
+        // counter doubles as the cause key — monotone push order, exactly
+        // the serial engine's old insertion-sequence tie-break.
         let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut next_id = 0u32;
@@ -60,8 +61,8 @@ proptest! {
             let w = loop {
                 match wheel.pop() {
                     None => break None,
-                    Some((_, id)) if cancelled.contains(&id) => continue,
-                    Some((at, id)) => break Some((at, id)),
+                    Some((_, _, id)) if cancelled.contains(&id) => continue,
+                    Some((at, _, id)) => break Some((at, id)),
                 }
             };
             let h = loop {
@@ -79,8 +80,8 @@ proptest! {
                 Op::Push(at) => {
                     let id = next_id;
                     next_id += 1;
-                    wheel.push(at, id);
                     seq += 1;
+                    wheel.push(at, seq, id);
                     heap.push(Reverse((at, seq, id)));
                     live.push(id);
                 }

@@ -4,6 +4,11 @@
 #   storm.events_per_sec        engine throughput on the 16-node message storm
 #   storm_long.events_per_sec   long-horizon heartbeat storm (64 nodes, 60 s
 #                               simulated): the timer-dominated steady state
+#   sharded_storm.*             2048-node strided storm on the sharded engine:
+#                               S = cores vs the serial baseline, plus the
+#                               digest check (identical_output). On a 1-core
+#                               runner only identical_output is meaningful —
+#                               speedup_vs_serial is omitted there
 #   bidding_round.latency_us    one F3 allocation round, 8 machines, 0.8ms jitter
 #   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
 #                               (speedup recorded only when threads > 1)

@@ -36,6 +36,20 @@ VCE_CHAOS_SEEDS=1 cargo run --release --offline -q -p vce-bench --bin exp_chaos
 echo "== sweep determinism =="
 cargo test --release --offline -q -p vce-bench --test sweep_determinism
 
+# The sharded engine must be invisible: stdout of a full experiment run
+# with VCE_SHARDS=4 (threaded runner forced, even on 1-core runners) must
+# be byte-identical to the serial run. Backed by the in-process suite,
+# which additionally sweeps S in {1,2,4,8} and compares chaos traces.
+echo "== shard determinism (VCE_SHARDS=4 vs serial) =="
+cargo test --release --offline -q -p vce-sim --test proptest_shard
+cargo test --release --offline -q -p vce-bench --test shard_determinism
+shard_a=$(mktemp); shard_b=$(mktemp)
+VCE_SHARDS=1 cargo run --release --offline -q -p vce-bench --bin exp_bidding > "$shard_a"
+VCE_SHARDS=4 VCE_SHARDS_THREADS=1 cargo run --release --offline -q -p vce-bench --bin exp_bidding > "$shard_b"
+diff -u "$shard_a" "$shard_b" || { echo "shard-determinism: exp_bidding diverged at VCE_SHARDS=4"; exit 1; }
+rm -f "$shard_a" "$shard_b"
+echo "shard-determinism: exp_bidding identical at VCE_SHARDS=4"
+
 echo "== engine bench smoke (quick mode) =="
 VCE_BENCH_QUICK=1 cargo bench --offline -p vce-bench --bench sim_engine
 
@@ -49,7 +63,7 @@ python3 - "$drift_tmp" <<'PY' || echo "bench-drift: check skipped (parse error)"
 import json, sys
 now = json.load(open(sys.argv[1]))
 committed = json.load(open("BENCH_sim.json"))
-for row in ("storm", "storm_long"):
+for row in ("storm", "storm_long", "sharded_storm"):
     try:
         new = now[row]["events_per_sec"]
         old = committed[row]["events_per_sec"]
