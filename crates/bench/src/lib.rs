@@ -168,7 +168,9 @@ pub struct StormRun {
 /// any shard layout) and churning a watchdog timer — [`message_storm`]'s
 /// access pattern but with O(n) fan-out so it scales to 10k+ nodes.
 /// `shards` picks the partition count explicitly (pass 1 for the serial
-/// baseline); output must be byte-identical for any value.
+/// baseline); output must be byte-identical for any value — including
+/// under `VCE_SHARDS_STAGGER` wake-order permutations (the
+/// `shard_stagger` race gate drives this harness through seeded sweeps).
 pub fn sharded_storm(nodes: u32, ticks: u32, shards: usize) -> StormRun {
     const TICK: u64 = 1;
     const WATCHDOG: u64 = 2;

@@ -35,11 +35,28 @@ use crate::queue::{QueuedRequest, RequestQueue};
 use crate::status::{DaemonStatus, ResidentTask};
 use crate::wal::{DaemonWal, WalRecord};
 
-// Timer tokens (all < ISIS_TOKEN_BASE).
+// Timer tokens carry a kind tag in bits 32.. and the 32-bit pid in the low
+// bits, mirroring executor.rs, so the full pid space is collision-free.
+// (The previous scheme added the unbounded monotone pid to bases spaced
+// 2^20 apart — vce-lint P003 caught that a pid ≥ 2^20 bleeds into the
+// neighbouring token range.) Tags stay far below the isis namespace at
+// 2^48 — see docs/PROTOCOL.md.
 const TOKEN_TICK: u64 = 1;
-const TOKEN_CHECKPOINT_BASE: u64 = 1 << 20;
-const TOKEN_FETCH_BASE: u64 = 2 << 20;
-const TOKEN_TRANSFER_BASE: u64 = 3 << 20;
+const TOKEN_TAG_SHIFT: u32 = 32;
+const TAG_CHECKPOINT: u64 = 1;
+const TAG_FETCH: u64 = 2;
+const TAG_TRANSFER: u64 = 3;
+
+/// Pack a kind tag and pid into a timer token.
+fn pid_token(tag: u64, pid: u64) -> u64 {
+    debug_assert!(pid < 1 << TOKEN_TAG_SHIFT, "pid space exhausted");
+    (tag << TOKEN_TAG_SHIFT) | pid
+}
+
+/// Split a token into its kind tag and pid payload.
+fn decode_token(token: u64) -> (u64, u64) {
+    (token >> TOKEN_TAG_SHIFT, u64::from(token as u32))
+}
 /// Daemon housekeeping period, µs (eviction checks; leader rebalance runs
 /// on its own configured period).
 const TICK_US: u64 = 500_000;
@@ -385,7 +402,7 @@ impl DaemonEndpoint {
             if host.log_enabled() {
                 host.log(format!("daemon: fetching inputs for {unit}"));
             }
-            host.set_timer(delay.max(1), TOKEN_FETCH_BASE + pid);
+            host.set_timer(delay.max(1), pid_token(TAG_FETCH, pid));
             return;
         }
         // 3. Run.
@@ -403,7 +420,7 @@ impl DaemonEndpoint {
         let interval = r.lp.checkpoint_interval_us;
         host.start_work(pid, work);
         if checkpoints {
-            host.set_timer(interval.max(1), TOKEN_CHECKPOINT_BASE + pid);
+            host.set_timer(interval.max(1), pid_token(TAG_CHECKPOINT, pid));
         }
     }
 
@@ -562,7 +579,7 @@ impl DaemonEndpoint {
         // Charge the state-transfer time, then run the prep pipeline.
         let pid = self.alloc_pid(key);
         let delay = (st.state_kib * self.cfg.transfer_us_per_kib).max(1);
-        host.set_timer(delay, TOKEN_TRANSFER_BASE + pid);
+        host.set_timer(delay, pid_token(TAG_TRANSFER, pid));
     }
 
     // ------------------------------------------------------------------
@@ -1152,8 +1169,8 @@ impl Endpoint for DaemonEndpoint {
                     self.leader.recent_alloc.retain(|_, &mut until| until > now);
                 }
             }
-            t if t >= TOKEN_TRANSFER_BASE => {
-                let pid = t - TOKEN_TRANSFER_BASE;
+            t if decode_token(t).0 == TAG_TRANSFER => {
+                let pid = decode_token(t).1;
                 if let Some(&key) = self.pid_of.get(&pid) {
                     if self
                         .tasks
@@ -1164,8 +1181,8 @@ impl Endpoint for DaemonEndpoint {
                     }
                 }
             }
-            t if t >= TOKEN_FETCH_BASE => {
-                let pid = t - TOKEN_FETCH_BASE;
+            t if decode_token(t).0 == TAG_FETCH => {
+                let pid = decode_token(t).1;
                 if let Some(&key) = self.pid_of.get(&pid) {
                     if self
                         .tasks
@@ -1176,8 +1193,8 @@ impl Endpoint for DaemonEndpoint {
                     }
                 }
             }
-            t if t >= TOKEN_CHECKPOINT_BASE => {
-                let pid = t - TOKEN_CHECKPOINT_BASE;
+            t if decode_token(t).0 == TAG_CHECKPOINT => {
+                let pid = decode_token(t).1;
                 if let Some(&key) = self.pid_of.get(&pid) {
                     let snapshot = match self.tasks.get_mut(&key) {
                         Some(r) if r.state == RunState::Running(pid) => {
@@ -1185,7 +1202,7 @@ impl Endpoint for DaemonEndpoint {
                                 r.checkpointed_remaining = rem;
                                 host.set_timer(
                                     r.lp.checkpoint_interval_us.max(1),
-                                    TOKEN_CHECKPOINT_BASE + pid,
+                                    pid_token(TAG_CHECKPOINT, pid),
                                 );
                             })
                         }
@@ -1234,5 +1251,45 @@ impl Endpoint for DaemonEndpoint {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+}
+
+#[cfg(test)]
+mod token_tests {
+    use super::*;
+    use vce_isis::ISIS_TOKEN_BASE;
+
+    /// The old additive scheme (`1<<20 + pid` / `2<<20 + pid` /
+    /// `3<<20 + pid`) let any pid ≥ 2^20 bleed a checkpoint timer into the
+    /// fetch range and beyond — vce-lint P003 flags exactly that overlap.
+    /// The tagged encoding must keep the kinds distinct over the full u32
+    /// pid space, round-trip the pid, and stay clear of TICK and isis.
+    #[test]
+    fn token_kinds_stay_distinct_across_the_full_pid_space() {
+        for pid in [
+            0u64,
+            1,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::from(u32::MAX),
+        ] {
+            let (cp, fe, tr) = (
+                pid_token(TAG_CHECKPOINT, pid),
+                pid_token(TAG_FETCH, pid),
+                pid_token(TAG_TRANSFER, pid),
+            );
+            assert_ne!(cp, fe, "pid {pid}");
+            assert_ne!(cp, tr, "pid {pid}");
+            assert_ne!(fe, tr, "pid {pid}");
+            for t in [cp, fe, tr] {
+                assert_ne!(t, TOKEN_TICK, "pid {pid}");
+                assert!(t < ISIS_TOKEN_BASE, "pid {pid}");
+                assert!(!is_isis_token(t), "pid {pid}");
+            }
+            assert_eq!(decode_token(cp), (TAG_CHECKPOINT, pid));
+            assert_eq!(decode_token(fe), (TAG_FETCH, pid));
+            assert_eq!(decode_token(tr), (TAG_TRANSFER, pid));
+        }
     }
 }

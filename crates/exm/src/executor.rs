@@ -32,7 +32,10 @@ use crate::msg::{AppId, ExmMsg, InstanceKey, LoadProgram, ReqId};
 /// id or request seq) in the low bits, so the *full* `u32` id space is
 /// collision-free. (The previous scheme added ids to bases spaced 2^20
 /// apart, so a task id ≥ 2^20 bled into the probe token and beyond.) Tags
-/// stay far below the isis namespace at 2^48 — see docs/PROTOCOL.md.
+/// stay far below the isis namespace at 2^48 — see docs/PROTOCOL.md. The
+/// daemon uses the same encoding since PR 7, and vce-lint P003 now
+/// enforces space disjointness statically (it caught the daemon carrying
+/// this file's pre-fix scheme).
 const TOKEN_TAG_SHIFT: u32 = 32;
 const TAG_RETRY: u64 = 1;
 const TAG_DISPATCH: u64 = 2;

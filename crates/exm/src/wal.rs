@@ -7,6 +7,11 @@
 //! storage layer frames each one with a CRC so a torn tail is detected and
 //! truncated, never replayed.
 //!
+//! vce-lint P004 statically pairs the two halves of this contract: every
+//! record variant journaled anywhere outside this file must have a replay
+//! arm inside [`DaemonWal::recover`], and a replayed-but-never-journaled
+//! variant is a dead record (see docs/LINT.md).
+//!
 //! Recovery ([`DaemonWal::recover`]) folds the committed prefix into the
 //! last surviving state per instance. The bytes come back from storage,
 //! which is as untrusted as the network: replay indexes nothing, and a

@@ -13,6 +13,10 @@ use crate::ordering::{CastData, OrderingState};
 use crate::view::{Member, View};
 use crate::ISIS_TOKEN_BASE;
 
+// These tokens share an endpoint's `on_timer` with the embedding layer's
+// (the exm daemon and executor both host a member and route `≥
+// ISIS_TOKEN_BASE` here) — vce-lint P003 checks the combined namespaces
+// stay collision-free (docs/PROTOCOL.md token table).
 /// Timer token for the periodic protocol tick.
 const TOKEN_TICK: u64 = ISIS_TOKEN_BASE;
 /// First token used for collection deadlines.

@@ -1,0 +1,581 @@
+//! Phase 2 of the workspace analysis: cross-file rules over the phase-1
+//! registries.
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | P002 | wire-tag conformance: unique values, one encode site and one decode arm per tag, a handler arm per bound variant, single-route multiplexing |
+//! | P003 | timer-token collision freedom within and across endpoint namespaces |
+//! | P004 | WAL write/replay coverage: journaled ⇔ replayed |
+//! | D006 | interprocedural determinism taint at cross-file call sites |
+//!
+//! All findings anchor at a line in some scanned file, so the inline
+//! waiver policy (W001–W003) applies to them exactly as to per-line rules.
+
+use crate::registry::{ConstEnv, FileFacts};
+use crate::rules::{crate_of, Finding, DETERMINISTIC_CRATES};
+
+/// Const-name prefixes that define a wire-tag registry in their file.
+const TAG_PREFIXES: &[&str] = &["T_", "R_"];
+
+/// Enums whose wire-bound variants must each have a pattern arm in one of
+/// the listed handler files. Checked only when at least one handler file
+/// is in the scan set, so partial scans (single-file mode, golden tests)
+/// stay meaningful.
+const P002_HANDLERS: &[(&str, &[&str])] = &[
+    ("IsisMsg", &["crates/isis/src/member.rs"]),
+    (
+        "ExmMsg",
+        &["crates/exm/src/daemon.rs", "crates/exm/src/executor.rs"],
+    ),
+    (
+        "BaselineMsg",
+        &[
+            "crates/baselines/src/agent.rs",
+            "crates/baselines/src/sched.rs",
+        ],
+    ),
+];
+
+/// (parent file, parent enum, multiplex tag, child enum): the child
+/// protocol rides inside exactly one variant of the parent, so the two tag
+/// spaces stay disjoint by framing. A second embedding variant would break
+/// that.
+const P002_MULTIPLEX: &[(&str, &str, &str, &str)] =
+    &[("crates/exm/src/msg.rs", "ExmMsg", "T_ISIS", "IsisMsg")];
+
+/// Files sharing one endpoint timer namespace: the daemon endpoint embeds
+/// its Isis `GroupMember` (one `on_timer` dispatches both via
+/// `is_isis_token`), and the executor endpoint defends against the Isis
+/// base the same way.
+const P003_NAMESPACES: &[&[&str]] = &[
+    &["crates/exm/src/daemon.rs", "crates/isis/src/member.rs"],
+    &["crates/exm/src/executor.rs", "crates/isis/src/member.rs"],
+];
+
+/// Payload width assumed for open token spaces (`*_BASE + id`,
+/// `tag << SHIFT | id`): ids are u32 throughout the workspace, so a base
+/// owns `[base, base + 2^32)`. A scheme whose bases sit closer than that
+/// lets a large id bleed into the neighbouring space — the PR-3 executor
+/// bug class.
+const SPAN: u64 = 1 << 32;
+
+/// (WAL file, record enum, replay fn): every record variant constructed
+/// outside the WAL file must have a pattern arm inside the replay fn.
+const P004_WAL: (&str, &str, &str) = ("crates/exm/src/wal.rs", "WalRecord", "recover");
+
+pub fn check_cross(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
+    let env_facts: Vec<FileFacts> = files.iter().map(|(_, f)| f.clone()).collect();
+    let env = ConstEnv::new(&env_facts);
+    check_p002(files, &env, findings);
+    check_p003(files, &env, findings);
+    check_p004(files, findings);
+    check_d006(files, findings);
+}
+
+fn det(file: &str) -> bool {
+    crate_of(file).is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+}
+
+fn push(findings: &mut Vec<Finding>, file: &str, line: u32, rule: &'static str, msg: String) {
+    findings.push(Finding {
+        file: file.into(),
+        line,
+        rule,
+        msg,
+        hint: crate::rules::hint_of(rule),
+    });
+}
+
+// ---------------------------------------------------------------- P002 --
+
+fn check_p002(files: &[(String, FileFacts)], env: &ConstEnv, findings: &mut Vec<Finding>) {
+    for (fi, (file, facts)) in files.iter().enumerate() {
+        if !det(file) {
+            continue;
+        }
+        for prefix in TAG_PREFIXES {
+            let tags: Vec<_> = facts
+                .consts
+                .iter()
+                .filter(|c| c.name.starts_with(prefix) && c.ty.as_deref() == Some("u8"))
+                .collect();
+            if tags.is_empty() {
+                continue;
+            }
+            // Unique values within the registry.
+            let mut seen: Vec<(u64, &str, u32)> = Vec::new();
+            for c in &tags {
+                if let Some(v) = env.eval(fi, c) {
+                    if let Some((_, first, _)) = seen.iter().find(|(sv, _, _)| *sv == v) {
+                        push(
+                            findings,
+                            file,
+                            c.line,
+                            "P002",
+                            format!(
+                                "wire tag `{}` reuses value {v} already taken by `{first}`",
+                                c.name
+                            ),
+                        );
+                    } else {
+                        seen.push((v, &c.name, c.line));
+                    }
+                }
+            }
+            // Exactly one encode site and one decode arm per tag.
+            for c in &tags {
+                let encodes = facts.put_tags.iter().filter(|(n, _)| *n == c.name).count();
+                let decodes = facts.tag_arms.iter().filter(|(n, _)| *n == c.name).count();
+                if encodes == 0 {
+                    push(
+                        findings,
+                        file,
+                        c.line,
+                        "P002",
+                        format!("wire tag `{}` is never encoded (dead tag)", c.name),
+                    );
+                } else if encodes > 1 {
+                    push(
+                        findings,
+                        file,
+                        c.line,
+                        "P002",
+                        format!("wire tag `{}` is encoded at {encodes} sites", c.name),
+                    );
+                }
+                if decodes == 0 {
+                    push(
+                        findings,
+                        file,
+                        c.line,
+                        "P002",
+                        format!("wire tag `{}` has no decode arm", c.name),
+                    );
+                } else if decodes > 1 {
+                    push(
+                        findings,
+                        file,
+                        c.line,
+                        "P002",
+                        format!("wire tag `{}` has {decodes} decode arms", c.name),
+                    );
+                }
+            }
+        }
+        // Handler coverage: every wire-bound variant of a configured enum
+        // must be matched (or explicitly wildcard-ignored) in a handler.
+        for (enum_name, handler_files) in P002_HANDLERS {
+            let Some(edef) = facts.enums.iter().find(|e| e.name == *enum_name) else {
+                continue;
+            };
+            let present: Vec<&str> = handler_files
+                .iter()
+                .copied()
+                .filter(|h| files.iter().any(|(f, _)| f == h))
+                .collect();
+            if present.is_empty() {
+                continue;
+            }
+            for v in &edef.variants {
+                let qualified = format!("{enum_name}::{}", v.name);
+                let bound = facts.tag_bindings.iter().any(|(_, var)| *var == qualified);
+                if !bound {
+                    continue; // not a wire variant of this registry
+                }
+                let handled = files
+                    .iter()
+                    .filter(|(f, _)| present.contains(&f.as_str()))
+                    .any(|(_, hf)| {
+                        hf.variant_arms
+                            .iter()
+                            .any(|(en, var, _)| en == enum_name && var == &v.name)
+                    });
+                if !handled {
+                    push(
+                        findings,
+                        file,
+                        v.line,
+                        "P002",
+                        format!(
+                            "wire variant `{qualified}` has no handler match arm in {}",
+                            present.join(" or ")
+                        ),
+                    );
+                }
+            }
+        }
+        // Multiplex route uniqueness.
+        for (pfile, penum, tag, cenum) in P002_MULTIPLEX {
+            if file != pfile {
+                continue;
+            }
+            let Some(edef) = facts.enums.iter().find(|e| e.name == *penum) else {
+                continue;
+            };
+            let embedding: Vec<_> = edef
+                .variants
+                .iter()
+                .filter(|v| v.payload_idents.iter().any(|t| t == cenum))
+                .collect();
+            if embedding.len() > 1 {
+                for v in &embedding[1..] {
+                    push(
+                        findings,
+                        file,
+                        v.line,
+                        "P002",
+                        format!(
+                            "`{penum}` multiplexes `{cenum}` through more than one variant \
+                             (`{}` besides `{}`): the `{tag}` framing no longer keeps the \
+                             tag spaces disjoint",
+                            v.name, embedding[0].name
+                        ),
+                    );
+                }
+            }
+            if !facts.consts.iter().any(|c| c.name == *tag) {
+                push(
+                    findings,
+                    file,
+                    edef.line,
+                    "P002",
+                    format!("multiplex tag `{tag}` for `{cenum}`-in-`{penum}` not found"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- P003 --
+
+/// A token either names one instant (point) or owns a half-open range.
+#[derive(Debug, Clone)]
+struct TokenSpace {
+    name: String,
+    line: u32,
+    lo: u64,
+    /// Exclusive; `lo + 1` for point tokens.
+    hi: u64,
+    point: bool,
+}
+
+/// Extract the timer-token model of one file: `TOKEN_*` consts are points
+/// (or `[v, v+2^32)` spaces when named `*_BASE`), and `TAG_*` consts
+/// combined with the file's `*TAG_SHIFT` const own `[tag<<s, (tag+1)<<s)`.
+fn token_spaces(fi: usize, facts: &FileFacts, env: &ConstEnv) -> Vec<TokenSpace> {
+    let mut out = Vec::new();
+    let shift = facts
+        .consts
+        .iter()
+        .find(|c| c.name.ends_with("TAG_SHIFT"))
+        .and_then(|c| env.eval(fi, c));
+    for c in &facts.consts {
+        let is_token = c.name.starts_with("TOKEN_") || c.name.contains("_TOKEN_");
+        let is_tag = c.name.starts_with("TAG_");
+        if !is_token && !is_tag {
+            continue;
+        }
+        let Some(v) = env.eval(fi, c) else { continue };
+        if is_tag {
+            let Some(s) = shift else { continue };
+            let Some(lo) = v.checked_shl(s as u32) else {
+                continue;
+            };
+            let hi = (v + 1).checked_shl(s as u32).unwrap_or(u64::MAX);
+            out.push(TokenSpace {
+                name: c.name.clone(),
+                line: c.line,
+                lo,
+                hi,
+                point: false,
+            });
+        } else if c.name.ends_with("_BASE") {
+            out.push(TokenSpace {
+                name: c.name.clone(),
+                line: c.line,
+                lo: v,
+                hi: v.saturating_add(SPAN),
+                point: false,
+            });
+        } else {
+            out.push(TokenSpace {
+                name: c.name.clone(),
+                line: c.line,
+                lo: v,
+                hi: v + 1,
+                point: true,
+            });
+        }
+    }
+    out
+}
+
+fn check_p003(files: &[(String, FileFacts)], env: &ConstEnv, findings: &mut Vec<Finding>) {
+    let spaces: Vec<Vec<TokenSpace>> = files
+        .iter()
+        .enumerate()
+        .map(|(fi, (file, facts))| {
+            if det(file) {
+                token_spaces(fi, facts, env)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // Intra-file: two open spaces in one endpoint file must not overlap.
+    // (A point inside the file's own space is the idiomatic `BASE + k`
+    // well-known token and stays legal.)
+    for (fi, (file, _)) in files.iter().enumerate() {
+        let sp = &spaces[fi];
+        for a in 0..sp.len() {
+            for b in a + 1..sp.len() {
+                let (x, y) = (&sp[a], &sp[b]);
+                if x.point || y.point {
+                    continue;
+                }
+                if x.lo < y.hi && y.lo < x.hi {
+                    push(
+                        findings,
+                        file,
+                        x.line.max(y.line),
+                        "P003",
+                        format!(
+                            "timer-token space `{}` [{:#x}, {:#x}) overlaps `{}` \
+                             [{:#x}, {:#x}): an id ≥ the base gap bleeds into the \
+                             neighbouring token range",
+                            y.name, y.lo, y.hi, x.name, x.lo, x.hi
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Cross-file within each configured namespace.
+    for ns in P003_NAMESPACES {
+        let members: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, (f, _))| ns.contains(&f.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                for x in &spaces[a] {
+                    for y in &spaces[b] {
+                        if x.lo < y.hi && y.lo < x.hi {
+                            let (file, line) = (&files[b].0, y.line);
+                            push(
+                                findings,
+                                file,
+                                line,
+                                "P003",
+                                format!(
+                                    "timer token `{}` [{:#x}, {:#x}) collides with `{}` \
+                                     [{:#x}, {:#x}) from {} — both arrive at the same \
+                                     endpoint's on_timer",
+                                    y.name, y.lo, y.hi, x.name, x.lo, x.hi, files[a].0
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- P004 --
+
+fn check_p004(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
+    let (wal_file, record_enum, replay_fn) = P004_WAL;
+    let Some((wi, (_, wal))) = files.iter().enumerate().find(|(_, (f, _))| f == wal_file) else {
+        return;
+    };
+    let _ = wi;
+    let Some(edef) = wal.enums.iter().find(|e| e.name == record_enum) else {
+        return;
+    };
+    let Some(rf) = wal.fns.iter().find(|f| f.name == replay_fn) else {
+        push(
+            findings,
+            wal_file,
+            edef.line,
+            "P004",
+            format!("record enum `{record_enum}` has no `{replay_fn}()` in {wal_file}"),
+        );
+        return;
+    };
+    for v in &edef.variants {
+        let journal_site = files
+            .iter()
+            .filter(|(f, _)| f != wal_file)
+            .flat_map(|(f, facts)| {
+                facts
+                    .variant_ctors
+                    .iter()
+                    .filter(|(en, var, _)| en == record_enum && var == &v.name)
+                    .map(move |(_, _, line)| (f.as_str(), *line))
+            })
+            .next();
+        let replayed = wal.variant_arms.iter().any(|(en, var, line)| {
+            en == record_enum && var == &v.name && *line >= rf.line && *line <= rf.end_line
+        });
+        match (journal_site, replayed) {
+            (Some((jf, jl)), false) => push(
+                findings,
+                jf,
+                jl,
+                "P004",
+                format!(
+                    "`{record_enum}::{}` is journaled here but `{replay_fn}()` never \
+                     replays it — state written to the WAL silently vanishes on recovery",
+                    v.name
+                ),
+            ),
+            (None, true) => {
+                let line = wal
+                    .variant_arms
+                    .iter()
+                    .find(|(en, var, _)| en == record_enum && var == &v.name)
+                    .map(|(_, _, l)| *l)
+                    .unwrap_or(v.line);
+                push(
+                    findings,
+                    wal_file,
+                    line,
+                    "P004",
+                    format!(
+                        "`{record_enum}::{}` is replayed but never journaled (dead record)",
+                        v.name
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D006 --
+
+fn check_d006(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
+    use std::collections::BTreeMap;
+    // fn name → [(file idx, fn idx)].
+    let mut defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, (_, facts)) in files.iter().enumerate() {
+        for (ni, f) in facts.fns.iter().enumerate() {
+            defs.entry(f.name.as_str()).or_default().push((fi, ni));
+        }
+    }
+    // File stems ("crates/sim/src/sharded.rs" → "sharded") let a
+    // module-qualified call `sharded::run(..)` resolve to that module's
+    // definitions only.
+    let stems: Vec<&str> = files
+        .iter()
+        .map(|(f, _)| {
+            f.rsplit('/')
+                .next()
+                .and_then(|b| b.strip_suffix(".rs"))
+                .unwrap_or("")
+        })
+        .collect();
+    // Name-based resolution is honest only for calls whose target set we
+    // can actually bound: bare `f(..)` (any same-named fn) and
+    // module-qualified `m::f(..)` (same-named fns in files named `m`).
+    // Method calls `x.f(..)` and type-qualified `T::f(..)` dispatch on a
+    // receiver type a token-level analysis can't see — `scope.spawn` is
+    // std's, not ours — so they never resolve.
+    let resolve = |c: &crate::registry::CallSite| -> Option<Vec<(usize, usize)>> {
+        if c.method {
+            return None;
+        }
+        let ds = defs.get(c.name.as_str())?;
+        match &c.qualifier {
+            None => Some(ds.clone()),
+            Some(q) if q.chars().next().is_some_and(char::is_uppercase) => None,
+            Some(q) => {
+                let scoped: Vec<_> = ds
+                    .iter()
+                    .copied()
+                    .filter(|(dfi, _)| stems[*dfi] == q.as_str())
+                    .collect();
+                (!scoped.is_empty()).then_some(scoped)
+            }
+        }
+    };
+    // Taint fixpoint: why[(fi, ni)] = human-readable chain to the source.
+    let mut why: BTreeMap<(usize, usize), String> = BTreeMap::new();
+    for (fi, (file, facts)) in files.iter().enumerate() {
+        for (ni, f) in facts.fns.iter().enumerate() {
+            if let Some(t) = &f.direct_taint {
+                why.insert((fi, ni), format!("{t} ({file}:{})", f.line));
+            }
+        }
+    }
+    // A call propagates taint only when *every* resolved definition is
+    // tainted — mixed sets (trait impls, common names) stay silent, which
+    // keeps the name-based resolution from inventing false positives.
+    let tainted_call =
+        |why: &BTreeMap<(usize, usize), String>, c: &crate::registry::CallSite| -> Option<String> {
+            let ds = resolve(c)?;
+            ds.iter()
+                .all(|k| why.contains_key(k))
+                .then(|| why[&ds[0]].clone())
+        };
+    loop {
+        let mut changed = false;
+        for (fi, (_, facts)) in files.iter().enumerate() {
+            for (ni, f) in facts.fns.iter().enumerate() {
+                if why.contains_key(&(fi, ni)) {
+                    continue;
+                }
+                for c in &f.calls {
+                    if let Some(chain) = tainted_call(&why, c) {
+                        why.insert((fi, ni), format!("calls `{}` → {chain}", c.name));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Findings: cross-file call sites in deterministic crates. Same-file
+    // helpers are already covered by D001/D003 at the source line, and a
+    // directly-tainted caller is the source itself.
+    for (fi, (file, facts)) in files.iter().enumerate() {
+        if !det(file) {
+            continue;
+        }
+        for f in &facts.fns {
+            if f.direct_taint.is_some() {
+                continue;
+            }
+            for c in &f.calls {
+                let Some(ds) = resolve(c) else {
+                    continue;
+                };
+                if !ds.iter().all(|k| why.contains_key(k)) {
+                    continue;
+                }
+                if ds.iter().any(|(dfi, _)| *dfi == fi) {
+                    continue; // same-file helper: D001/D003 own that file
+                }
+                push(
+                    findings,
+                    file,
+                    c.line,
+                    "D006",
+                    format!(
+                        "calls `{}()`, which transitively reaches a \
+                         nondeterminism source: {}",
+                        c.name, why[&ds[0]]
+                    ),
+                );
+            }
+        }
+    }
+}

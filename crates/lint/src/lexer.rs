@@ -16,9 +16,14 @@ pub enum Tok {
     /// Single punctuation character (`:`, `.`, `(`, ...). Multi-char
     /// operators arrive as consecutive tokens (`::` is `:`, `:`).
     Punct(char),
-    /// String / raw-string / byte-string / char / numeric literal
-    /// (contents deliberately discarded).
+    /// String / raw-string / byte-string / char literal (contents
+    /// deliberately discarded so a forbidden name inside a string never
+    /// trips a rule).
     Literal,
+    /// Numeric literal with its spelling preserved (`0x1f`, `1_000u64`):
+    /// the registry's const-expression evaluator needs the value, which
+    /// no rule ever needs from a string.
+    Num(String),
     /// A lifetime such as `'a`.
     Lifetime,
 }
@@ -215,6 +220,7 @@ pub fn lex(src: &str) -> Lexed {
         // exponents); a `.` joins only when followed by a digit so `1.max()`
         // still lexes the method call.
         if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < n {
                 let d = bytes[i];
@@ -227,7 +233,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             out.tokens.push(Token {
-                tok: Tok::Literal,
+                tok: Tok::Num(bytes[start..i].iter().collect()),
                 line,
             });
             continue;

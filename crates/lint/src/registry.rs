@@ -1,0 +1,875 @@
+//! Phase 1 of the workspace analysis: an item-level fact extractor.
+//!
+//! For each file the collector walks the token stream once and records the
+//! facts the cross-file rules ([`crate::analysis`]) reason over: integer
+//! consts with their value expressions, enum definitions with variants,
+//! wire-tag encode sites (`enc.put_u8(T_X)`) and decode arms (`T_X =>`),
+//! `Enum::Variant` constructions vs. pattern arms, function spans with
+//! their call sites and direct nondeterminism facts, and hash-typed struct
+//! fields (which make D002 receiver knowledge workspace-global).
+//!
+//! This stays an *item-level* parse on the lint lexer — no expression
+//! grammar, no types — the same trade the per-line rules make: heuristic
+//! token shapes, misses acceptable, false positives waivable.
+
+use crate::lexer::{Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `const NAME: TY = <expr>;` — the expression is kept as tokens and
+/// evaluated on demand against the workspace const environment.
+#[derive(Debug, Clone)]
+pub struct ConstDef {
+    pub name: String,
+    pub line: u32,
+    /// First identifier of the ascribed type (`u8`, `u64`, ...).
+    pub ty: Option<String>,
+    /// Value tokens between `=` and `;`.
+    pub expr: Vec<Token>,
+}
+
+/// One variant of an enum definition.
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    pub name: String,
+    pub line: u32,
+    /// Identifiers appearing in the variant's payload (field types and
+    /// names) — enough to ask "does this variant embed `IsisMsg`?".
+    pub payload_idents: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<VariantDef>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    pub line: u32,
+    /// `m` in `m::f(..)` — `None` for bare `f(..)` calls. An uppercase
+    /// qualifier means a type-qualified call; a lowercase one names a
+    /// module, which D006 can resolve to that module's file.
+    pub qualifier: Option<String>,
+    /// True for `x.f(..)` — the receiver type is unknowable to a
+    /// token-level analysis, so method calls never *resolve*, they only
+    /// exist for completeness.
+    pub method: bool,
+}
+
+/// A function definition with the facts D006 needs.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub calls: Vec<CallSite>,
+    /// A direct nondeterminism source inside the body, e.g.
+    /// "reads the wall clock via `Instant::now()`".
+    pub direct_taint: Option<String>,
+}
+
+/// Everything phase 1 learned about one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Integer consts by definition order.
+    pub consts: Vec<ConstDef>,
+    pub enums: Vec<EnumDef>,
+    /// `enc.put_u8(NAME)` sites: (const name, line).
+    pub put_tags: Vec<(String, u32)>,
+    /// `NAME =>` match arms over SCREAMING_CASE consts: (name, line).
+    pub tag_arms: Vec<(String, u32)>,
+    /// (tag const, variant) bindings recovered from encode match arms —
+    /// the `Enum::Variant { .. } => { enc.put_u8(T_X); ... }` shape.
+    pub tag_bindings: Vec<(String, String)>,
+    /// `Enum::Variant` value constructions: (enum, variant, line).
+    pub variant_ctors: Vec<(String, String, u32)>,
+    /// `Enum::Variant` pattern arms: (enum, variant, line).
+    pub variant_arms: Vec<(String, String, u32)>,
+    pub fns: Vec<FnDef>,
+    /// Names declared as `HashMap`/`HashSet` struct fields.
+    pub hash_fields: BTreeSet<String>,
+    /// Names declared with a *non*-hash container type anywhere — these
+    /// veto workspace-global hash-field matches of the same name.
+    pub nonhash_names: BTreeSet<String>,
+}
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Keywords and control-flow words that look like calls (`if (..)`).
+const NON_CALLEES: &[&str] = &[
+    "if",
+    "while",
+    "for",
+    "match",
+    "return",
+    "loop",
+    "fn",
+    "let",
+    "in",
+    "as",
+    "move",
+    "unsafe",
+    "else",
+    "break",
+    "continue",
+    "where",
+    "impl",
+    "dyn",
+    "ref",
+    "mut",
+    "pub",
+    "use",
+    "mod",
+    "assert",
+    "debug_assert",
+    "matches",
+    "Some",
+    "Ok",
+    "Err",
+];
+
+/// Is this a SCREAMING_SNAKE_CASE const-style name?
+fn is_const_name(s: &str) -> bool {
+    s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Collect facts from a token stream. `exempt` are `#[cfg(test)]` line
+/// ranges — tokens inside them are invisible to the registry, so test-only
+/// consts, ctors and calls never feed cross-file rules.
+pub fn collect(toks: &[Token], exempt: &[(u32, u32)]) -> FileFacts {
+    let toks: Vec<Token> = toks
+        .iter()
+        .filter(|t| !exempt.iter().any(|&(a, b)| t.line >= a && t.line <= b))
+        .cloned()
+        .collect();
+    let toks = &toks[..];
+    let mut f = FileFacts::default();
+
+    collect_consts(toks, &mut f);
+    collect_enums(toks, &mut f);
+    collect_tags(toks, &mut f);
+    collect_variant_uses(toks, &mut f);
+    collect_fns(toks, &mut f);
+    collect_container_names(toks, &mut f);
+    f
+}
+
+fn collect_consts(toks: &[Token], f: &mut FileFacts) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(toks.get(i)) != Some("const") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident(toks.get(i + 1)) else {
+            i += 1;
+            continue;
+        };
+        if !is_punct(toks.get(i + 2), ':') || is_punct(toks.get(i + 3), ':') {
+            i += 1; // `const { .. }` block or path — not a named const
+            continue;
+        }
+        let name = name.to_string();
+        let line = toks[i + 1].line;
+        // Type tokens up to `=` at depth 0; first ident is the type head.
+        let mut j = i + 3;
+        let mut ty = None;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('<' | '[' | '(') => depth += 1,
+                Tok::Punct('>' | ']' | ')') => depth -= 1,
+                Tok::Punct('=') if depth == 0 => break,
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Ident(s) if ty.is_none() => ty = Some(s.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_punct(toks.get(j), '=') {
+            i = j;
+            continue; // associated const declaration without a value
+        }
+        // Expression tokens up to `;` at depth 0.
+        let mut expr = Vec::new();
+        let mut k = j + 1;
+        let mut d = 0i32;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('(' | '[' | '{') => d += 1,
+                Tok::Punct(')' | ']' | '}') => d -= 1,
+                Tok::Punct(';') if d == 0 => break,
+                _ => {}
+            }
+            expr.push(toks[k].clone());
+            k += 1;
+        }
+        f.consts.push(ConstDef {
+            name,
+            line,
+            ty,
+            expr,
+        });
+        i = k;
+    }
+}
+
+fn collect_enums(toks: &[Token], f: &mut FileFacts) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(toks.get(i)) != Some("enum") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ident(toks.get(i + 1)) else {
+            i += 1;
+            continue;
+        };
+        let mut def = EnumDef {
+            name: name.to_string(),
+            line: toks[i + 1].line,
+            variants: Vec::new(),
+        };
+        // Skip generics to the body `{`.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct('{') if angle == 0 => break,
+                Tok::Punct(';') if angle == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_punct(toks.get(j), '{') {
+            i = j + 1;
+            continue;
+        }
+        // Body at depth 1: variants are idents at depth 1 followed by
+        // `,` / `}` / `(` / `{` / `=`; `#[..]` attributes are skipped.
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        while k < toks.len() && depth > 0 {
+            match &toks[k].tok {
+                Tok::Punct('#') if depth == 1 && is_punct(toks.get(k + 1), '[') => {
+                    let mut d = 0i32;
+                    k += 1;
+                    while k < toks.len() {
+                        match &toks[k].tok {
+                            Tok::Punct('[') => d += 1,
+                            Tok::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                Tok::Punct('{' | '(') => depth += 1,
+                Tok::Punct('}' | ')') => depth -= 1,
+                Tok::Ident(s) if depth == 1 && starts_upper(s) => {
+                    let mut v = VariantDef {
+                        name: s.clone(),
+                        line: toks[k].line,
+                        payload_idents: Vec::new(),
+                    };
+                    // Payload group, if any.
+                    if is_punct(toks.get(k + 1), '{') || is_punct(toks.get(k + 1), '(') {
+                        let mut d = 0i32;
+                        let mut m = k + 1;
+                        while m < toks.len() {
+                            match &toks[m].tok {
+                                Tok::Punct('{' | '(') => d += 1,
+                                Tok::Punct('}' | ')') => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                Tok::Ident(id) => v.payload_idents.push(id.clone()),
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        k = m;
+                    }
+                    def.variants.push(v);
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        f.enums.push(def);
+        i = k;
+    }
+}
+
+fn collect_tags(toks: &[Token], f: &mut FileFacts) {
+    for i in 0..toks.len() {
+        // `. put_u8 ( NAME )`
+        if ident(toks.get(i)) == Some("put_u8")
+            && i >= 1
+            && is_punct(toks.get(i - 1), '.')
+            && is_punct(toks.get(i + 1), '(')
+            && is_punct(toks.get(i + 3), ')')
+        {
+            if let Some(arg) = ident(toks.get(i + 2)) {
+                if is_const_name(arg) {
+                    f.put_tags.push((arg.to_string(), toks[i].line));
+                    // Bind the tag to the variant of the enclosing encode
+                    // match arm: scan back for the nearest `=>` and read
+                    // the `Enum::Variant` pattern before it.
+                    if let Some((en, var)) = enclosing_arm_pattern(toks, i) {
+                        f.tag_bindings
+                            .push((arg.to_string(), format!("{en}::{var}")));
+                    }
+                }
+            }
+        }
+        // `NAME =>` where NAME is const-style (decode match arm).
+        if let Some(name) = ident(toks.get(i)) {
+            if is_const_name(name)
+                && is_punct(toks.get(i + 1), '=')
+                && is_punct(toks.get(i + 2), '>')
+                && !(i >= 1 && is_punct(toks.get(i - 1), ':'))
+            {
+                f.tag_arms.push((name.to_string(), toks[i].line));
+            }
+        }
+    }
+}
+
+/// From a token inside a match-arm body, find the `Enum::Variant` pattern
+/// of the nearest preceding `=>`.
+fn enclosing_arm_pattern(toks: &[Token], from: usize) -> Option<(String, String)> {
+    let mut i = from;
+    while i >= 2 {
+        if is_punct(toks.get(i), '>') && is_punct(toks.get(i - 1), '=') {
+            // Walk back over an optional payload group to the path.
+            let mut j = i - 2;
+            if is_punct(toks.get(j), '}') || is_punct(toks.get(j), ')') {
+                let close = match &toks[j].tok {
+                    Tok::Punct('}') => '{',
+                    _ => '(',
+                };
+                let open = match close {
+                    '{' => '}',
+                    _ => ')',
+                };
+                let mut d = 0i32;
+                while j > 0 {
+                    if is_punct(toks.get(j), open) {
+                        d += 1;
+                    } else if is_punct(toks.get(j), close) {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    j -= 1;
+                }
+                j = j.checked_sub(1)?;
+            }
+            let var = ident(toks.get(j))?;
+            if j >= 3
+                && is_punct(toks.get(j - 1), ':')
+                && is_punct(toks.get(j - 2), ':')
+                && starts_upper(var)
+            {
+                let en = ident(toks.get(j - 3))?;
+                return Some((en.to_string(), var.to_string()));
+            }
+            return None;
+        }
+        i -= 1;
+    }
+    None
+}
+
+fn collect_variant_uses(toks: &[Token], f: &mut FileFacts) {
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        let (Some(en), Some(var)) = (ident(toks.get(i)), ident(toks.get(i + 3))) else {
+            i += 1;
+            continue;
+        };
+        if !(starts_upper(en)
+            && starts_upper(var)
+            && is_punct(toks.get(i + 1), ':')
+            && is_punct(toks.get(i + 2), ':')
+            && !(i >= 1 && is_punct(toks.get(i - 1), ':')))
+        {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Optional payload group after the variant.
+        let mut j = i + 4;
+        let mut payload_has_rest = false;
+        if is_punct(toks.get(j), '{') || is_punct(toks.get(j), '(') {
+            let mut d = 0i32;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('{' | '(') => d += 1,
+                    Tok::Punct('}' | ')') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Punct('.')
+                        if d == 1
+                            && is_punct(toks.get(j + 1), '.')
+                            && !is_punct(toks.get(j + 2), '.') =>
+                    {
+                        payload_has_rest = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Pattern position: an or-pattern bar or match arrow follows (or a
+        // guard `if`), a bar precedes, or the payload used a `..` rest
+        // pattern (which cannot appear in an expression).
+        let followed_by_arrow = is_punct(toks.get(j), '=') && is_punct(toks.get(j + 1), '>');
+        let followed_by_bar = is_punct(toks.get(j), '|') && !is_punct(toks.get(j + 1), '|');
+        let preceded_by_bar = i >= 1 && is_punct(toks.get(i - 1), '|');
+        let guard = ident(toks.get(j)) == Some("if");
+        let is_arm =
+            followed_by_arrow || followed_by_bar || preceded_by_bar || guard || payload_has_rest;
+        let entry = (en.to_string(), var.to_string(), line);
+        if is_arm {
+            f.variant_arms.push(entry);
+        } else {
+            f.variant_ctors.push(entry);
+        }
+        i += 4;
+    }
+}
+
+fn collect_fns(toks: &[Token], f: &mut FileFacts) {
+    // A stack of open function bodies: (FnDef, brace depth at entry).
+    let mut stack: Vec<(FnDef, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                while let Some((fd, d)) = stack.last() {
+                    if depth < *d {
+                        let mut fd = fd.clone();
+                        fd.end_line = toks[i].line;
+                        f.fns.push(fd);
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some(name) = ident(toks.get(i + 1)) {
+                    // Find the body `{` (or a `;` for a bodyless trait fn)
+                    // at bracket depth 0 from the signature.
+                    let mut j = i + 2;
+                    let mut d = 0i32;
+                    let mut has_body = false;
+                    while j < toks.len() {
+                        match &toks[j].tok {
+                            Tok::Punct('(' | '[' | '<') => d += 1,
+                            Tok::Punct(')' | ']' | '>') => d -= 1,
+                            Tok::Punct('{') if d <= 0 => {
+                                has_body = true;
+                                break;
+                            }
+                            Tok::Punct(';') if d <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if has_body {
+                        stack.push((
+                            FnDef {
+                                name: name.to_string(),
+                                line: toks[i + 1].line,
+                                end_line: toks[i + 1].line,
+                                calls: Vec::new(),
+                                direct_taint: None,
+                            },
+                            depth + 1,
+                        ));
+                        depth += 1;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            Tok::Ident(name) => {
+                if let Some((fd, _)) = stack.last_mut() {
+                    // Direct taint sources.
+                    let taint = match name.as_str() {
+                        "Instant" | "SystemTime"
+                            if is_punct(toks.get(i + 1), ':')
+                                && is_punct(toks.get(i + 2), ':')
+                                && ident(toks.get(i + 3)) == Some("now") =>
+                        {
+                            Some(format!("reads the wall clock via `{name}::now()`"))
+                        }
+                        "thread_rng" => Some("draws from the unseeded `thread_rng()`".into()),
+                        "from_entropy" => Some("seeds an RNG from OS entropy".into()),
+                        "random"
+                            if i >= 3
+                                && is_punct(toks.get(i - 1), ':')
+                                && is_punct(toks.get(i - 2), ':')
+                                && ident(toks.get(i - 3)) == Some("rand") =>
+                        {
+                            Some("uses `rand::random()`".to_string())
+                        }
+                        _ => None,
+                    };
+                    if let Some(t) = taint {
+                        if fd.direct_taint.is_none() {
+                            fd.direct_taint = Some(t);
+                        }
+                    } else if is_punct(toks.get(i + 1), '(')
+                        && !NON_CALLEES.contains(&name.as_str())
+                        && !(i >= 1 && is_punct(toks.get(i - 1), '!'))
+                    {
+                        let method = i >= 1 && is_punct(toks.get(i - 1), '.');
+                        let qualifier = (i >= 3
+                            && is_punct(toks.get(i - 1), ':')
+                            && is_punct(toks.get(i - 2), ':'))
+                        .then(|| ident(toks.get(i - 3)).map(str::to_string))
+                        .flatten();
+                        fd.calls.push(CallSite {
+                            name: name.clone(),
+                            line: toks[i].line,
+                            qualifier,
+                            method,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Close anything left open (unbalanced file): attribute the last line.
+    let last_line = toks.last().map_or(0, |t| t.line);
+    while let Some((mut fd, _)) = stack.pop() {
+        fd.end_line = last_line;
+        f.fns.push(fd);
+    }
+}
+
+/// Hash-typed struct fields and non-hash container declarations, for the
+/// workspace-global D002 receiver set.
+fn collect_container_names(toks: &[Token], f: &mut FileFacts) {
+    const NONHASH: &[&str] = &[
+        "BTreeMap",
+        "BTreeSet",
+        "Vec",
+        "VecDeque",
+        "BinaryHeap",
+        "Box",
+    ];
+    // Struct bodies: `struct X { .. }` — fields are `name : Type` at depth 1.
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(toks.get(i)) == Some("struct") {
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct('{') if angle == 0 => break,
+                    Tok::Punct(';' | '(') if angle == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_punct(toks.get(j), '{') {
+                let mut d = 1i32;
+                let mut k = j + 1;
+                while k < toks.len() && d > 0 {
+                    match &toks[k].tok {
+                        Tok::Punct('{') => d += 1,
+                        Tok::Punct('}') => d -= 1,
+                        Tok::Ident(fname)
+                            if d == 1
+                                && is_punct(toks.get(k + 1), ':')
+                                && !is_punct(toks.get(k + 2), ':') =>
+                        {
+                            // First type ident after the colon (skipping a
+                            // path prefix) classifies the field.
+                            let mut m = k + 2;
+                            let mut head: Option<&str> = None;
+                            while m < toks.len() {
+                                match &toks[m].tok {
+                                    Tok::Ident(t) => {
+                                        if is_punct(toks.get(m + 1), ':')
+                                            && is_punct(toks.get(m + 2), ':')
+                                        {
+                                            m += 3;
+                                            continue;
+                                        }
+                                        head = Some(t.as_str());
+                                        break;
+                                    }
+                                    Tok::Punct('&') | Tok::Lifetime => m += 1,
+                                    _ => break,
+                                }
+                            }
+                            match head {
+                                Some("HashMap" | "HashSet") => {
+                                    f.hash_fields.insert(fname.clone());
+                                }
+                                Some(h) if NONHASH.contains(&h) => {
+                                    f.nonhash_names.insert(fname.clone());
+                                }
+                                _ => {}
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Any `name : NonHashContainer` declaration vetoes the name globally.
+    for i in 0..toks.len() {
+        if let Some(t) = ident(toks.get(i)) {
+            if NONHASH.contains(&t)
+                && i >= 2
+                && is_punct(toks.get(i - 1), ':')
+                && !is_punct(toks.get(i - 2), ':')
+            {
+                if let Some(name) = ident(toks.get(i - 2)) {
+                    f.nonhash_names.insert(name.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Strip `_` separators and a type suffix, parse decimal/hex/octal/binary.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let strip = |s: &str| {
+        for suf in [
+            "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        ] {
+            if let Some(p) = s.strip_suffix(suf) {
+                return p.to_string();
+            }
+        }
+        s.to_string()
+    };
+    let t = strip(&t);
+    if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else if let Some(o) = t.strip_prefix("0o") {
+        u64::from_str_radix(o, 8).ok()
+    } else if let Some(b) = t.strip_prefix("0b") {
+        u64::from_str_radix(b, 2).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// The workspace const environment: name → (file index, const), with
+/// ambiguous (multiply-defined) names resolvable only from their own file.
+pub struct ConstEnv<'a> {
+    /// Uniquely-named consts across the workspace.
+    global: BTreeMap<&'a str, &'a ConstDef>,
+    /// Per-file name → const (local names shadow the global table).
+    local: Vec<BTreeMap<&'a str, &'a ConstDef>>,
+}
+
+impl<'a> ConstEnv<'a> {
+    pub fn new(files: &'a [FileFacts]) -> Self {
+        let mut global: BTreeMap<&str, &ConstDef> = BTreeMap::new();
+        let mut dup: BTreeSet<&str> = BTreeSet::new();
+        let mut local = Vec::with_capacity(files.len());
+        for f in files {
+            let mut l = BTreeMap::new();
+            for c in &f.consts {
+                l.insert(c.name.as_str(), c);
+                if global.insert(c.name.as_str(), c).is_some() {
+                    dup.insert(c.name.as_str());
+                }
+            }
+            local.push(l);
+        }
+        for d in dup {
+            global.remove(d);
+        }
+        ConstEnv { global, local }
+    }
+
+    /// Evaluate a const of file `fi` to a `u64`, resolving identifier
+    /// references through the file's own consts first, then the global
+    /// table. `None` when anything is out of grammar (calls, floats,
+    /// ambiguous names, cycles).
+    pub fn eval(&self, fi: usize, c: &ConstDef) -> Option<u64> {
+        self.eval_expr(fi, &c.expr, 0)
+    }
+
+    fn resolve(&self, fi: usize, name: &str, depth: usize) -> Option<u64> {
+        if depth > 32 {
+            return None;
+        }
+        let c = self
+            .local
+            .get(fi)
+            .and_then(|l| l.get(name))
+            .or_else(|| self.global.get(name))?;
+        self.eval_expr(fi, &c.expr, depth + 1)
+    }
+
+    fn eval_expr(&self, fi: usize, toks: &[Token], depth: usize) -> Option<u64> {
+        let mut pos = 0usize;
+        let v = self.parse_or(fi, toks, &mut pos, depth)?;
+        (pos == toks.len()).then_some(v)
+    }
+
+    fn parse_or(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        let mut v = self.parse_and(fi, t, p, d)?;
+        while matches!(t.get(*p).map(|t| &t.tok), Some(Tok::Punct('|')))
+            && !matches!(t.get(*p + 1).map(|t| &t.tok), Some(Tok::Punct('|')))
+        {
+            *p += 1;
+            v |= self.parse_and(fi, t, p, d)?;
+        }
+        Some(v)
+    }
+
+    fn parse_and(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        let mut v = self.parse_shift(fi, t, p, d)?;
+        while matches!(t.get(*p).map(|t| &t.tok), Some(Tok::Punct('&')))
+            && !matches!(t.get(*p + 1).map(|t| &t.tok), Some(Tok::Punct('&')))
+        {
+            *p += 1;
+            v &= self.parse_shift(fi, t, p, d)?;
+        }
+        Some(v)
+    }
+
+    fn parse_shift(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        let mut v = self.parse_add(fi, t, p, d)?;
+        loop {
+            let (a, b) = (t.get(*p).map(|t| &t.tok), t.get(*p + 1).map(|t| &t.tok));
+            match (a, b) {
+                (Some(Tok::Punct('<')), Some(Tok::Punct('<'))) => {
+                    *p += 2;
+                    let rhs = self.parse_add(fi, t, p, d)?;
+                    v = v.checked_shl(u32::try_from(rhs).ok()?)?;
+                }
+                (Some(Tok::Punct('>')), Some(Tok::Punct('>'))) => {
+                    *p += 2;
+                    let rhs = self.parse_add(fi, t, p, d)?;
+                    v = v.checked_shr(u32::try_from(rhs).ok()?)?;
+                }
+                _ => return Some(v),
+            }
+        }
+    }
+
+    fn parse_add(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        let mut v = self.parse_mul(fi, t, p, d)?;
+        loop {
+            match t.get(*p).map(|t| &t.tok) {
+                Some(Tok::Punct('+')) => {
+                    *p += 1;
+                    v = v.checked_add(self.parse_mul(fi, t, p, d)?)?;
+                }
+                Some(Tok::Punct('-')) => {
+                    *p += 1;
+                    v = v.checked_sub(self.parse_mul(fi, t, p, d)?)?;
+                }
+                _ => return Some(v),
+            }
+        }
+    }
+
+    fn parse_mul(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        let mut v = self.parse_primary(fi, t, p, d)?;
+        while matches!(t.get(*p).map(|t| &t.tok), Some(Tok::Punct('*'))) {
+            *p += 1;
+            v = v.checked_mul(self.parse_primary(fi, t, p, d)?)?;
+        }
+        Some(v)
+    }
+
+    fn parse_primary(&self, fi: usize, t: &[Token], p: &mut usize, d: usize) -> Option<u64> {
+        match t.get(*p).map(|t| &t.tok) {
+            Some(Tok::Num(s)) => {
+                *p += 1;
+                // An `as u64` style cast may follow; swallow it.
+                self.swallow_cast(t, p);
+                parse_int(s)
+            }
+            Some(Tok::Punct('(')) => {
+                *p += 1;
+                let v = self.parse_or(fi, t, p, d)?;
+                if !matches!(t.get(*p).map(|t| &t.tok), Some(Tok::Punct(')'))) {
+                    return None;
+                }
+                *p += 1;
+                self.swallow_cast(t, p);
+                Some(v)
+            }
+            Some(Tok::Ident(name)) => {
+                // Bare const reference only — paths / calls are out of
+                // grammar and poison the expression.
+                if matches!(t.get(*p + 1).map(|t| &t.tok), Some(Tok::Punct(':' | '('))) {
+                    return None;
+                }
+                let name = name.clone();
+                *p += 1;
+                self.swallow_cast(t, p);
+                self.resolve(fi, &name, d)
+            }
+            _ => None,
+        }
+    }
+
+    fn swallow_cast(&self, t: &[Token], p: &mut usize) {
+        if matches!(t.get(*p).map(|t| &t.tok), Some(Tok::Ident(k)) if k == "as")
+            && matches!(t.get(*p + 1).map(|t| &t.tok), Some(Tok::Ident(_)))
+        {
+            *p += 2;
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! silent nondeterminism source in a sim-deterministic crate, which is
 //! exactly what each D-rule exists to keep out.
 
-use crate::lexer::{lex, Tok, Token};
+use crate::lexer::{lex, Lexed, Tok, Token};
+use crate::registry::FileFacts;
 use crate::waiver::{parse_comments, WaiverIssue};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -37,8 +38,16 @@ pub const P001_FILES: &[&str] = &[
     "crates/storage/src/lib.rs",
 ];
 
+/// Files allowed to hold cross-thread synchronization primitives (S002):
+/// the sharded engine's rendezvous module, where the window barriers make
+/// the sharing deterministic. Inside them S002 still rejects
+/// `Ordering::Relaxed` and `try_lock` — every cross-shard access must be
+/// a blocking, Release/Acquire-ordered rendezvous.
+pub const S002_RENDEZVOUS_FILES: &[&str] = &["crates/sim/src/sharded.rs"];
+
 pub const RULE_IDS: &[&str] = &[
-    "D001", "D002", "D003", "D004", "D005", "P001", "W001", "W002", "W003",
+    "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002", "P003", "P004", "S001", "S002",
+    "W001", "W002", "W003",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -57,36 +66,125 @@ const HINT_D003: &str = "seed the RNG explicitly (e.g. SmallRng::seed_from_u64 f
 const HINT_D004: &str =
     "sim-deterministic code is single-threaded; threads live in vce-bench or live drivers (waive)";
 const HINT_D005: &str = "give the element a `seq` field assigned from a monotone insertion counter and include it in `Ord` (the `(at_us, seq)` contract), or waive with an ordering argument";
+const HINT_D006: &str = "route time/randomness through the Host (sim time, seeded RNG) or break the call chain; live-mode plumbing is waivable with a reason";
 const HINT_P001: &str = "remote input must not panic a node: drop/log or reply with an error, or waive with an invariant argument";
+const HINT_P002: &str = "a wire tag must be unique, encoded once, decoded once, and its variant handled somewhere; fix the registry or waive with a protocol argument";
+const HINT_P003: &str = "re-encode tokens as tag<<32|payload (docs/PROTOCOL.md token table) so id growth cannot bleed across token spaces";
+const HINT_P004: &str = "replay the record in recover() or delete it; a diagnostic-only record is waivable with a reason";
+const HINT_S001: &str =
+    "shard workers share no mutable statics; thread the state through Shard or the per-window plan";
+const HINT_S002: &str = "cross-shard state belongs to the sanctioned rendezvous module, synchronized Release/Acquire at the window barriers";
 const HINT_W001: &str = "write `// vce-lint: allow(RULE) reason`";
-const HINT_W002: &str = "valid rules: D001 D002 D003 D004 D005 P001";
+const HINT_W002: &str = "valid rules: D001-D006 P001-P004 S001 S002";
 const HINT_W003: &str = "the waived line is clean — delete the waiver";
 
+pub(crate) fn hint_of(rule: &str) -> &'static str {
+    match rule {
+        "D001" => HINT_D001,
+        "D002" => HINT_D002,
+        "D003" => HINT_D003,
+        "D004" => HINT_D004,
+        "D005" => HINT_D005,
+        "D006" => HINT_D006,
+        "P002" => HINT_P002,
+        "P003" => HINT_P003,
+        "P004" => HINT_P004,
+        "S001" => HINT_S001,
+        "S002" => HINT_S002,
+        "W001" => HINT_W001,
+        "W002" => HINT_W002,
+        "W003" => HINT_W003,
+        _ => HINT_P001,
+    }
+}
+
 /// Lint one file's source. `relpath` is workspace-relative and drives
-/// per-crate scoping (e.g. `crates/sim/src/engine.rs`).
+/// per-crate scoping (e.g. `crates/sim/src/engine.rs`). Single-file mode
+/// runs the full pipeline over a one-file "workspace": cross-file rules
+/// whose registries live entirely in this file (tag conformance,
+/// intra-file token spaces) still apply.
 pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let crate_name = crate_of(relpath);
-    let in_scope = crate_name.is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
-    let exempt = test_module_ranges(&lexed.tokens);
-    let is_exempt = |line: u32| exempt.iter().any(|&(a, b)| line >= a && line <= b);
+    lint_files(&[(relpath.to_string(), src.to_string())])
+}
+
+/// The two-phase pipeline over a set of files.
+///
+/// Phase 1 lexes each file once and builds its fact registry
+/// ([`crate::registry`]); the per-line rules (D001–D005, P001, S001–S002)
+/// then run per file, with D002's receiver knowledge widened by the
+/// workspace-global hash-field set. Phase 2 runs the cross-file rules
+/// ([`crate::analysis`]: P002–P004, D006) over all registries at once.
+/// Only then are `#[cfg(test)]` exemptions and inline waivers applied, per
+/// file — so a cross-file finding is waivable at the line it anchors to,
+/// exactly like a per-line one.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    struct Prep {
+        lexed: Lexed,
+        exempt: Vec<(u32, u32)>,
+    }
+    let mut preps: Vec<Prep> = Vec::with_capacity(files.len());
+    let mut facts: Vec<(String, FileFacts)> = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let lexed = lex(src);
+        let exempt = test_module_ranges(&lexed.tokens);
+        facts.push((
+            rel.clone(),
+            crate::registry::collect(&lexed.tokens, &exempt),
+        ));
+        preps.push(Prep { lexed, exempt });
+    }
+
+    // Workspace-global hash-typed field names: a field declared
+    // `HashMap`/`HashSet` in one file is hash-ordered wherever it is
+    // iterated. Names also declared with a non-hash container anywhere
+    // are ambiguous and vetoed.
+    let mut global_hash: BTreeSet<String> = BTreeSet::new();
+    for (_, f) in &facts {
+        global_hash.extend(f.hash_fields.iter().cloned());
+    }
+    for (_, f) in &facts {
+        for v in &f.nonhash_names {
+            global_hash.remove(v);
+        }
+    }
 
     let mut findings: Vec<Finding> = Vec::new();
-    if in_scope {
-        check_d001(relpath, &lexed.tokens, &mut findings);
-        check_d002(relpath, &lexed.tokens, &mut findings);
-        check_d003(relpath, &lexed.tokens, &mut findings);
-        check_d004(relpath, &lexed.tokens, &mut findings);
-        check_d005(relpath, &lexed.tokens, &mut findings);
+    for ((rel, _), p) in files.iter().zip(&preps) {
+        let in_scope = crate_of(rel).is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+        if in_scope {
+            check_d001(rel, &p.lexed.tokens, &mut findings);
+            check_d002(rel, &p.lexed.tokens, &global_hash, &mut findings);
+            check_d003(rel, &p.lexed.tokens, &mut findings);
+            check_d004(rel, &p.lexed.tokens, &mut findings);
+            check_d005(rel, &p.lexed.tokens, &mut findings);
+            check_s001(rel, &p.lexed.tokens, &mut findings);
+            check_s002(rel, &p.lexed.tokens, &mut findings);
+        }
+        if P001_FILES.contains(&rel.as_str()) {
+            check_p001(rel, &p.lexed.tokens, &mut findings);
+        }
     }
-    if P001_FILES.contains(&relpath) {
-        check_p001(relpath, &lexed.tokens, &mut findings);
-    }
-    findings.retain(|f| !is_exempt(f.line));
-    findings.sort();
-    findings.dedup();
+    crate::analysis::check_cross(&facts, &mut findings);
 
-    // Waivers.
+    let mut out: Vec<Finding> = Vec::new();
+    for ((rel, _), p) in files.iter().zip(&preps) {
+        let mut fs: Vec<Finding> = findings
+            .iter()
+            .filter(|f| &f.file == rel)
+            .cloned()
+            .collect();
+        fs.retain(|f| !p.exempt.iter().any(|&(a, b)| f.line >= a && f.line <= b));
+        fs.sort();
+        fs.dedup();
+        out.extend(apply_waivers(rel, &p.lexed, fs));
+    }
+    out.sort();
+    out
+}
+
+/// Validate this file's waiver directives and apply them to its findings.
+/// Runs after both phases so cross-file findings are waivable too.
+fn apply_waivers(relpath: &str, lexed: &Lexed, mut findings: Vec<Finding>) -> Vec<Finding> {
     let (waivers, issues) = parse_comments(&lexed.comments);
     for WaiverIssue { line, detail } in issues {
         findings.push(Finding {
@@ -152,7 +250,7 @@ pub fn lint_source(relpath: &str, src: &str) -> Vec<Finding> {
 }
 
 /// `crates/<name>/src/...` → `<name>`.
-fn crate_of(relpath: &str) -> Option<&str> {
+pub(crate) fn crate_of(relpath: &str) -> Option<&str> {
     let mut parts = relpath.split('/');
     if parts.next() != Some("crates") {
         return None;
@@ -282,20 +380,12 @@ fn test_module_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
 }
 
 fn push(findings: &mut Vec<Finding>, file: &str, line: u32, rule: &'static str, msg: String) {
-    let hint = match rule {
-        "D001" => HINT_D001,
-        "D002" => HINT_D002,
-        "D003" => HINT_D003,
-        "D004" => HINT_D004,
-        "D005" => HINT_D005,
-        _ => HINT_P001,
-    };
     findings.push(Finding {
         file: file.into(),
         line,
         rule,
         msg,
-        hint,
+        hint: hint_of(rule),
     });
 }
 
@@ -387,9 +477,16 @@ const ORDER_METHODS: &[&str] = &[
 /// D002: no iteration over `HashMap`/`HashSet`. Two passes: learn which
 /// names in this file are hash-typed (field/param/let declarations and
 /// `type` aliases), then flag order-exposing method calls and `for` loops
-/// over those names.
-fn check_d002(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
-    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+/// over those names. `global_hash` carries hash-typed *field* names from
+/// the whole workspace, so `self.table` iterated two files away from its
+/// struct definition is still caught (the PR-7 D002 gap).
+fn check_d002(
+    file: &str,
+    toks: &[Token],
+    global_hash: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut hash_names: BTreeSet<String> = global_hash.clone();
     let mut hash_types: BTreeSet<String> = BTreeSet::new();
     hash_types.insert("HashMap".into());
     hash_types.insert("HashSet".into());
@@ -737,6 +834,189 @@ fn check_d005(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
             ),
         }
         i = j;
+    }
+}
+
+/// Types whose presence in a `static` means shared mutable state.
+const S001_INTERIOR_MUT: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "Once",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+];
+
+/// S001: no shared mutable statics in sim-deterministic crates. A
+/// `static mut`, a `thread_local!`, or a `static` of an interior-mutable
+/// type is process-global state: shard workers would observe each other's
+/// writes in thread-timing order, outside the window rendezvous that makes
+/// the sharded runner deterministic.
+fn check_s001(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        match ident(&toks[i]) {
+            Some("thread_local") if is_punct(toks.get(i + 1).unwrap_or(&NIL), '!') => {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "S001",
+                    "`thread_local!` state diverges across shard workers".into(),
+                );
+            }
+            Some("static") => {
+                if ident(toks.get(i + 1).unwrap_or(&NIL)) == Some("mut") {
+                    push(
+                        findings,
+                        file,
+                        toks[i].line,
+                        "S001",
+                        "`static mut` is shared mutable state across shard workers".into(),
+                    );
+                    continue;
+                }
+                // `static NAME : TYPE = ..;` — scan the type for an
+                // interior-mutable head (atomics included).
+                if ident(toks.get(i + 1).unwrap_or(&NIL)).is_none()
+                    || !is_punct(toks.get(i + 2).unwrap_or(&NIL), ':')
+                {
+                    continue;
+                }
+                let mut j = i + 3;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('<' | '[' | '(') => depth += 1,
+                        Tok::Punct('>' | ']' | ')') => depth -= 1,
+                        Tok::Punct('=' | ';') if depth <= 0 => break,
+                        Tok::Ident(t)
+                            if S001_INTERIOR_MUT.contains(&t.as_str())
+                                || t.starts_with("Atomic") =>
+                        {
+                            push(
+                                findings,
+                                file,
+                                toks[i].line,
+                                "S001",
+                                format!(
+                                    "interior-mutable `static` (`{t}`) is shared mutable \
+                                     state across shard workers"
+                                ),
+                            );
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `std::sync` items that mean cross-thread synchronization (Arc and Weak
+/// are immutable sharing and stay legal; mpsc is D004's).
+const S002_SYNC_PRIMS: &[&str] = &[
+    "Mutex", "RwLock", "Condvar", "Barrier", "Once", "OnceLock", "LazyLock", "atomic",
+];
+
+/// S002: cross-thread synchronization primitives are confined to the
+/// sanctioned rendezvous module(s). Flagged at the point the name enters
+/// scope — the `use std::sync::..` item or a fully-qualified path — so a
+/// sanctioned or live-mode file carries one reasoned waiver per import,
+/// mirroring D004's treatment of `use std::thread`. Inside a rendezvous
+/// file the rule instead polices the access discipline: `Ordering::Relaxed`
+/// and `try_lock` are non-rendezvous accesses (unordered, or racing past
+/// a barrier) and are flagged per site.
+fn check_s002(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let rendezvous = S002_RENDEZVOUS_FILES.contains(&file);
+    let mut i = 0usize;
+    while i < toks.len() {
+        if rendezvous {
+            if path_at(toks, i, &["Ordering", "Relaxed"]) && !preceded_by_path(toks, i) {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "S002",
+                    "`Ordering::Relaxed` in the rendezvous module: cross-shard state must \
+                     publish Release/Acquire at the window barriers"
+                        .into(),
+                );
+            }
+            if ident(&toks[i]) == Some("try_lock")
+                && i >= 1
+                && is_punct(&toks[i - 1], '.')
+                && is_punct(toks.get(i + 1).unwrap_or(&NIL), '(')
+            {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "S002",
+                    "`try_lock` races the window rendezvous: lock blocking or restructure \
+                     so the access happens between barriers"
+                        .into(),
+                );
+            }
+            i += 1;
+            continue;
+        }
+        if path_at(toks, i, &["std", "sync"]) && !preceded_by_path(toks, i) {
+            // Collect the names this item brings in: to `;` for a `use`
+            // item, else along the `::` path chain.
+            let is_use = i >= 1 && ident(&toks[i - 1]) == Some("use");
+            let mut names: Vec<&str> = Vec::new();
+            let mut j = i + 3; // at the `sync` segment
+            if is_use {
+                j += 1;
+                while j < toks.len() && !is_punct(&toks[j], ';') {
+                    if let Some(n) = ident(&toks[j]) {
+                        names.push(n);
+                    }
+                    j += 1;
+                }
+            } else {
+                // Follow the `:: Name` chain of a qualified path.
+                while is_punct(toks.get(j + 1).unwrap_or(&NIL), ':')
+                    && is_punct(toks.get(j + 2).unwrap_or(&NIL), ':')
+                {
+                    if let Some(n) = ident(toks.get(j + 3).unwrap_or(&NIL)) {
+                        names.push(n);
+                        j += 3;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let prims: Vec<&str> = names
+                .iter()
+                .copied()
+                .filter(|n| S002_SYNC_PRIMS.contains(n) || n.starts_with("Atomic"))
+                .collect();
+            if !prims.is_empty() {
+                push(
+                    findings,
+                    file,
+                    toks[i].line,
+                    "S002",
+                    format!(
+                        "brings cross-thread synchronization (`{}`) into a \
+                         sim-deterministic crate outside the sanctioned rendezvous module",
+                        prims.join("`, `")
+                    ),
+                );
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
     }
 }
 

@@ -12,6 +12,10 @@
 //! line. The reason is mandatory: a reasonless or malformed directive is
 //! itself a finding (W001), and a waiver that suppresses nothing is too
 //! (W003) — waivers must pull their weight or leave the tree.
+//!
+//! Cross-file findings (P002–P004, D006) anchor at a line in some scanned
+//! file — the const, the call site, the journal site — so the same
+//! mechanics cover them; waivers apply after the cross-file pass.
 
 use crate::lexer::Comment;
 

@@ -379,6 +379,520 @@ fn waiver_covers_multiple_rules_in_one_directive() {
     );
 }
 
+// ------------------------------------------------- cross-file helpers
+
+/// Lint a synthetic multi-file workspace.
+fn lint_multi(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    vce_lint::lint_files(&owned)
+}
+
+fn assert_fires_multi(files: &[(&str, &str)], rule: &str, in_file: &str) {
+    let findings = lint_multi(files);
+    assert!(
+        findings.iter().any(|f| f.rule == rule && f.file == in_file),
+        "expected {rule} in {in_file}, got {findings:?}"
+    );
+}
+
+fn assert_clean_multi(files: &[(&str, &str)]) {
+    let findings = lint_multi(files);
+    assert!(findings.is_empty(), "expected clean, got {findings:?}");
+}
+
+// ------------------------------------------------- D002 (cross-file)
+
+/// The PR-7 gap: a field declared `HashMap` in one file, iterated in
+/// another. Single-file knowledge can't see the type; the workspace
+/// registry can.
+#[test]
+fn d002_sees_hash_fields_across_files() {
+    let decl = (
+        "crates/sim/src/state.rs",
+        "use std::collections::HashMap;\npub struct S { pub table: HashMap<u32, u32> }\n",
+    );
+    let for_loop = (
+        "crates/sim/src/uses.rs",
+        "pub fn f(s: &S) { for (k, v) in &s.table { drop((k, v)); } }\n",
+    );
+    assert_fires_multi(&[decl, for_loop], "D002", "crates/sim/src/uses.rs");
+    let drain = (
+        "crates/sim/src/uses.rs",
+        "pub fn g(s: &mut S) { s.table.drain(); }\n",
+    );
+    assert_fires_multi(&[decl, drain], "D002", "crates/sim/src/uses.rs");
+    let keys = (
+        "crates/sim/src/uses.rs",
+        "pub fn h(s: &S) -> usize { s.table.keys().count() }\n",
+    );
+    assert_fires_multi(&[decl, keys], "D002", "crates/sim/src/uses.rs");
+}
+
+#[test]
+fn d002_cross_file_name_veto_and_lookups_stay_clean() {
+    let decl = (
+        "crates/sim/src/state.rs",
+        "use std::collections::HashMap;\npub struct S { pub table: HashMap<u32, u32> }\n",
+    );
+    // The same field name declared with an ordered container anywhere in
+    // the workspace makes the name ambiguous — no finding.
+    let veto = (
+        "crates/sim/src/other.rs",
+        "pub struct T { pub table: Vec<u32> }\n",
+    );
+    let for_loop = (
+        "crates/sim/src/uses.rs",
+        "pub fn f(t: &T) { for v in &t.table { drop(v); } }\n",
+    );
+    assert_clean_multi(&[decl, veto, for_loop]);
+    // Point lookups on a known hash field are fine; only iteration leaks
+    // the hash order.
+    let lookup = (
+        "crates/sim/src/uses.rs",
+        "pub fn f(s: &S) -> Option<&u32> { s.table.get(&1) }\n",
+    );
+    assert_clean_multi(&[decl, lookup]);
+}
+
+#[test]
+fn d002_cross_file_waived_is_suppressed() {
+    let decl = (
+        "crates/sim/src/state.rs",
+        "use std::collections::HashMap;\npub struct S { pub table: HashMap<u32, u32> }\n",
+    );
+    let waived = (
+        "crates/sim/src/uses.rs",
+        "// vce-lint: allow(D002) order-insensitive fold\n\
+         pub fn f(s: &S) { for (k, v) in &s.table { drop((k, v)); } }\n",
+    );
+    assert_clean_multi(&[decl, waived]);
+}
+
+// ---------------------------------------------------------------- P002
+
+/// A conformant single-tag registry: one const, one encode site, one
+/// decode arm. The baseline every positive below perturbs.
+const P002_OK: &str = "\
+const T_PING: u8 = 1;
+pub enum NodeMsg { Ping { n: u32 } }
+pub fn enc(e: &mut Enc, m: &NodeMsg) {
+    match m {
+        NodeMsg::Ping { n } => { e.put_u8(T_PING); e.put_u32(*n); }
+    }
+}
+pub fn dec(t: u8) {
+    match t {
+        T_PING => {}
+        _ => {}
+    }
+}
+";
+
+#[test]
+fn p002_conformant_registry_is_clean() {
+    assert_clean(SIM, P002_OK);
+}
+
+#[test]
+fn p002_flags_duplicate_tag_values() {
+    let src = P002_OK.replace(
+        "const T_PING: u8 = 1;",
+        "const T_PING: u8 = 1;\nconst T_PONG: u8 = 1;\n// vce-lint: allow(P002) exercised below\nconst _X: u8 = 0;",
+    );
+    // T_PONG reuses value 1 (and is dead) — both findings are P002.
+    let findings = lint_source(SIM, &src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "P002" && f.msg.contains("reuses value")),
+        "expected duplicate-value P002, got {findings:?}"
+    );
+}
+
+#[test]
+fn p002_flags_dead_tag_and_missing_decode_arm() {
+    // Tag never encoded.
+    let dead = P002_OK.replace("e.put_u8(T_PING); ", "");
+    assert_fires(SIM, &dead, "P002");
+    // Tag encoded but no decode arm.
+    let undecoded = P002_OK.replace("        T_PING => {}\n", "");
+    assert_fires(SIM, &undecoded, "P002");
+}
+
+#[test]
+fn p002_flags_unhandled_wire_variant() {
+    let proto = (
+        "crates/isis/src/proto.rs",
+        "\
+const T_PING: u8 = 1;
+pub enum IsisMsg { Ping { n: u32 } }
+pub fn enc(e: &mut Enc, m: &IsisMsg) {
+    match m {
+        IsisMsg::Ping { n } => { e.put_u8(T_PING); e.put_u32(*n); }
+    }
+}
+pub fn dec(t: u8) {
+    match t {
+        T_PING => {}
+        _ => {}
+    }
+}
+",
+    );
+    // Handler file present but no `IsisMsg::Ping` arm → uncovered variant.
+    let deaf = ("crates/isis/src/member.rs", "pub fn on_msg() {}\n");
+    assert_fires_multi(&[proto, deaf], "P002", "crates/isis/src/proto.rs");
+    // Arm present → clean.
+    let handles = (
+        "crates/isis/src/member.rs",
+        "pub fn on_msg(m: IsisMsg) {\n    match m {\n        IsisMsg::Ping { n } => drop(n),\n    }\n}\n",
+    );
+    assert_clean_multi(&[proto, handles]);
+    // Handler file absent from the scan set → coverage not judged.
+    assert_clean_multi(&[proto]);
+}
+
+#[test]
+fn p002_flags_double_multiplex_route() {
+    let src = "\
+const T_ISIS: u8 = 9;
+pub enum ExmMsg { Isis(IsisMsg), AlsoIsis(IsisMsg) }
+pub fn enc(e: &mut Enc, m: &ExmMsg) {
+    match m {
+        ExmMsg::Isis(inner) => { e.put_u8(T_ISIS); drop(inner); }
+        ExmMsg::AlsoIsis(inner) => drop(inner),
+    }
+}
+pub fn dec(t: u8) {
+    match t {
+        T_ISIS => {}
+        _ => {}
+    }
+}
+";
+    assert_fires_multi(
+        &[("crates/exm/src/msg.rs", src)],
+        "P002",
+        "crates/exm/src/msg.rs",
+    );
+}
+
+#[test]
+fn p002_waived_is_suppressed() {
+    let dead = P002_OK.replace(
+        "const T_PING: u8 = 1;",
+        "// vce-lint: allow(P002) tag reserved for the next protocol rev\nconst T_PING: u8 = 1;",
+    )
+    .replace("e.put_u8(T_PING); ", "");
+    assert_clean(SIM, &dead);
+}
+
+// ---------------------------------------------------------------- P003
+
+#[test]
+fn p003_flags_overlapping_base_spaces() {
+    // The daemon bug class this rule was built for: bases 2^20 apart with
+    // a u32 payload.
+    let src = "const TOKEN_A_BASE: u64 = 1 << 20;\nconst TOKEN_B_BASE: u64 = 2 << 20;\n";
+    assert_fires(SIM, src, "P003");
+}
+
+#[test]
+fn p003_accepts_tagged_encoding_and_well_known_points() {
+    // tag<<32 spaces are disjoint by construction.
+    let src = "\
+const TOKEN_TAG_SHIFT: u32 = 32;
+const TAG_A: u64 = 1;
+const TAG_B: u64 = 2;
+";
+    assert_clean(SIM, src);
+    // A point token inside the file's own base space is the idiomatic
+    // `BASE + k` well-known timer.
+    let src = "const TOKEN_X_BASE: u64 = 1 << 32;\nconst TOKEN_X_SWEEP: u64 = (1 << 32) + 5;\n";
+    assert_clean(SIM, src);
+}
+
+#[test]
+fn p003_flags_cross_namespace_collision() {
+    // daemon.rs and member.rs arrive at the same endpoint's on_timer.
+    let daemon = (
+        "crates/exm/src/daemon.rs",
+        "const TOKEN_A_BASE: u64 = 1 << 20;\n",
+    );
+    let member = (
+        "crates/isis/src/member.rs",
+        "const TOKEN_COLLIDE: u64 = (1 << 20) + 7;\n",
+    );
+    let findings = lint_multi(&[daemon, member]);
+    assert!(
+        findings.iter().any(|f| f.rule == "P003"),
+        "expected cross-namespace P003, got {findings:?}"
+    );
+    // Same pair of tokens in files that do NOT share an endpoint → clean.
+    let a = (
+        "crates/sim/src/a.rs",
+        "const TOKEN_A_BASE: u64 = 1 << 20;\n",
+    );
+    let b = (
+        "crates/sim/src/b.rs",
+        "const TOKEN_B: u64 = (1 << 20) + 7;\n",
+    );
+    assert_clean_multi(&[a, b]);
+}
+
+#[test]
+fn p003_waived_is_suppressed() {
+    let src = "\
+const TOKEN_A_BASE: u64 = 1 << 20;
+// vce-lint: allow(P003) payload proven < 2^20 by the caller
+const TOKEN_B_BASE: u64 = 2 << 20;
+";
+    assert_clean(SIM, src);
+}
+
+// ---------------------------------------------------------------- P004
+
+const P004_WAL_OK: &str = "\
+pub enum WalRecord { Loaded { n: u32 }, Gone { n: u32 } }
+impl DaemonWal {
+    pub fn recover(&mut self) {
+        match r {
+            WalRecord::Loaded { n } => drop(n),
+            WalRecord::Gone { n } => drop(n),
+        }
+    }
+}
+";
+
+#[test]
+fn p004_journal_and_replay_in_balance_is_clean() {
+    let wal = ("crates/exm/src/wal.rs", P004_WAL_OK);
+    let daemon = (
+        "crates/exm/src/daemon.rs",
+        "pub fn j() { journal(&WalRecord::Loaded { n: 1 }); journal(&WalRecord::Gone { n: 2 }); }\n",
+    );
+    assert_clean_multi(&[wal, daemon]);
+}
+
+#[test]
+fn p004_flags_journaled_but_never_replayed() {
+    let wal = (
+        "crates/exm/src/wal.rs",
+        &*P004_WAL_OK.replace("            WalRecord::Gone { n } => drop(n),\n", ""),
+    );
+    let daemon = (
+        "crates/exm/src/daemon.rs",
+        "pub fn j() { journal(&WalRecord::Loaded { n: 1 }); journal(&WalRecord::Gone { n: 2 }); }\n",
+    );
+    assert_fires_multi(&[wal, daemon], "P004", "crates/exm/src/daemon.rs");
+}
+
+#[test]
+fn p004_flags_replayed_but_never_journaled() {
+    let wal = ("crates/exm/src/wal.rs", P004_WAL_OK);
+    let daemon = (
+        "crates/exm/src/daemon.rs",
+        "pub fn j() { journal(&WalRecord::Loaded { n: 1 }); }\n",
+    );
+    assert_fires_multi(&[wal, daemon], "P004", "crates/exm/src/wal.rs");
+}
+
+#[test]
+fn p004_waived_is_suppressed() {
+    let wal = ("crates/exm/src/wal.rs", P004_WAL_OK);
+    let daemon = (
+        "crates/exm/src/daemon.rs",
+        "// vce-lint: allow(P004) replay lands next PR with the schema bump\n\
+         pub fn j() { journal(&WalRecord::Loaded { n: 1 }); journal(&WalRecord::Gone { n: 2 }); }\n",
+    );
+    let wal_short = (
+        "crates/exm/src/wal.rs",
+        &*P004_WAL_OK.replace("            WalRecord::Gone { n } => drop(n),\n", ""),
+    );
+    let _ = wal;
+    assert_clean_multi(&[wal_short, daemon]);
+}
+
+// ---------------------------------------------------------------- D006
+
+const D006_TAINTED_HELPER: (&str, &str) = (
+    "crates/bench/src/util.rs",
+    "pub fn stamp() -> u64 { let t = std::time::Instant::now(); drop(t); 0 }\n",
+);
+
+#[test]
+fn d006_flags_cross_file_call_into_tainted_helper() {
+    let caller = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller() -> u64 { stamp() }\n",
+    );
+    assert_fires_multi(
+        &[D006_TAINTED_HELPER, caller],
+        "D006",
+        "crates/sim/src/fake.rs",
+    );
+    // Transitively, through a clean middle function in a third file.
+    let middle = (
+        "crates/bench/src/mid.rs",
+        "pub fn relay() -> u64 { stamp() }\n",
+    );
+    let caller2 = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller() -> u64 { relay() }\n",
+    );
+    assert_fires_multi(
+        &[D006_TAINTED_HELPER, middle, caller2],
+        "D006",
+        "crates/sim/src/fake.rs",
+    );
+}
+
+#[test]
+fn d006_method_and_type_qualified_calls_never_resolve() {
+    // `x.stamp()` dispatches on a receiver type the lexer can't see —
+    // flagging it on a name match would damn every `scope.spawn`.
+    let method = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller(x: &Clock) -> u64 { x.stamp() }\n",
+    );
+    assert_clean_multi(&[D006_TAINTED_HELPER, method]);
+    let type_qualified = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller() -> u64 { Clock::stamp() }\n",
+    );
+    assert_clean_multi(&[D006_TAINTED_HELPER, type_qualified]);
+}
+
+#[test]
+fn d006_mixed_definition_sets_stay_silent() {
+    // A second, clean definition of the same name makes bare-name
+    // resolution ambiguous — no finding.
+    let clean_twin = ("crates/sim/src/other.rs", "pub fn stamp() -> u64 { 0 }\n");
+    let caller = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller() -> u64 { stamp() }\n",
+    );
+    assert_clean_multi(&[D006_TAINTED_HELPER, clean_twin, caller]);
+}
+
+#[test]
+fn d006_module_qualified_call_resolves_to_that_module() {
+    // `util::stamp()` pins the callee to util.rs despite the clean twin.
+    let clean_twin = ("crates/sim/src/other.rs", "pub fn stamp() -> u64 { 0 }\n");
+    let caller = (
+        "crates/sim/src/fake.rs",
+        "pub fn caller() -> u64 { util::stamp() }\n",
+    );
+    assert_fires_multi(
+        &[D006_TAINTED_HELPER, clean_twin, caller],
+        "D006",
+        "crates/sim/src/fake.rs",
+    );
+}
+
+#[test]
+fn d006_waived_is_suppressed() {
+    let caller = (
+        "crates/sim/src/fake.rs",
+        "// vce-lint: allow(D006) diagnostics-only path, output not diffed\n\
+         pub fn caller() -> u64 { stamp() }\n",
+    );
+    assert_clean_multi(&[D006_TAINTED_HELPER, caller]);
+}
+
+// ---------------------------------------------------------------- S001
+
+#[test]
+fn s001_flags_shared_mutable_statics() {
+    assert_fires(SIM, "static mut COUNTER: u64 = 0;\n", "S001");
+    assert_fires(
+        SIM,
+        "thread_local! { static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new()); }\n",
+        "S001",
+    );
+    assert_fires(SIM, "static N: AtomicU64 = AtomicU64::new(0);\n", "S001");
+    assert_fires(
+        SIM,
+        "static Q: Mutex<Vec<u8>> = Mutex::new(Vec::new());\n",
+        "S001",
+    );
+}
+
+#[test]
+fn s001_accepts_immutable_statics_and_unscoped_crates() {
+    assert_clean(
+        SIM,
+        "static NAME: &str = \"vce\";\nstatic LIMIT: u64 = 8;\n",
+    );
+    assert_clean(UNSCOPED, "static mut COUNTER: u64 = 0;\n");
+}
+
+#[test]
+fn s001_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(S001) write-once before any shard starts\n\
+         static N: AtomicU64 = AtomicU64::new(0);\n",
+    );
+}
+
+// ---------------------------------------------------------------- S002
+
+#[test]
+fn s002_flags_sync_primitives_outside_rendezvous_module() {
+    assert_fires(SIM, "use std::sync::Mutex;\n", "S002");
+    assert_fires(
+        SIM,
+        "use std::sync::atomic::{AtomicU64, Ordering};\n",
+        "S002",
+    );
+    assert_fires(
+        SIM,
+        "pub fn f() { let m = std::sync::RwLock::new(0u32); drop(m); }\n",
+        "S002",
+    );
+}
+
+#[test]
+fn s002_allows_arc_and_the_rendezvous_module_imports() {
+    // Arc is sharing, not synchronization; mpsc is D004's finding.
+    assert_clean(SIM, "use std::sync::Arc;\n");
+    // The sanctioned rendezvous module may import sync primitives freely…
+    assert_clean(
+        "crates/sim/src/sharded.rs",
+        "use std::sync::{Barrier, Mutex};\nuse std::sync::atomic::{AtomicU64, Ordering};\n",
+    );
+    assert_clean(UNSCOPED, "use std::sync::Mutex;\n");
+}
+
+#[test]
+fn s002_rendezvous_module_rejects_relaxed_and_try_lock() {
+    // …but inside it, the window protocol's failure modes are flagged:
+    // Relaxed breaks the publish/acquire pairing, try_lock drops mail.
+    assert_fires(
+        "crates/sim/src/sharded.rs",
+        "pub fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n",
+        "S002",
+    );
+    assert_fires(
+        "crates/sim/src/sharded.rs",
+        "pub fn f(m: &Mutex<u32>) { if let Ok(g) = m.try_lock() { drop(g); } }\n",
+        "S002",
+    );
+}
+
+#[test]
+fn s002_waived_is_suppressed() {
+    assert_clean(
+        SIM,
+        "// vce-lint: allow(S002) counters merged after the run, order-free\n\
+         use std::sync::atomic::{AtomicU64, Ordering};\n",
+    );
+}
+
 // ---------------------------------------------------------- self-test
 
 /// The shipped workspace must be clean: zero findings, every waiver used.

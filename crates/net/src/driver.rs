@@ -13,6 +13,7 @@
 //! microseconds so examples finish instantly.
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+// vce-lint: allow(S002) live driver IS threaded: one OS thread per node, stop flag is its shutdown signal
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 // vce-lint: allow(D001) live mode IS wall-clock: one OS thread per node, scaled real time (see module doc)

@@ -11,6 +11,7 @@
 //! discrete-event transport in `vce-sim` instead.
 
 use std::collections::HashMap;
+// vce-lint: allow(S002) live transport is threaded by design; counters feed MsgStats after the run
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

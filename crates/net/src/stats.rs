@@ -1,5 +1,6 @@
 //! Delivery statistics, shared by both transports.
 
+// vce-lint: allow(S002) commutative Relaxed counters for the live transport, read only after it stops
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Coarse traffic attribution, so experiments can tell a protocol's

@@ -56,6 +56,33 @@ pub(crate) fn use_threads(shards: usize) -> bool {
     thread::available_parallelism().map_or(1, |n| n.get()) > 1
 }
 
+/// Schedule-permutation hook for the race gate: `VCE_SHARDS_STAGGER=<seed>`
+/// makes every worker yield its timeslice a pseudo-random number of times
+/// (derived from seed × shard index × window count × phase) before the
+/// shipping and publishing phases, permuting the order in which workers
+/// reach each barrier. A correct barrier protocol is insensitive to wake
+/// order, so output must stay byte-identical across seeds — the
+/// `shard_stagger` gate sweeps seeds and diffs digests against serial.
+fn stagger_seed() -> Option<u64> {
+    std::env::var("VCE_SHARDS_STAGGER").ok()?.parse().ok()
+}
+
+/// splitmix64: cheap, well-mixed, and dependency-free.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn stagger(seed: Option<u64>, shard: usize, window: u64, phase: u64) {
+    let Some(seed) = seed else { return };
+    let k = splitmix(seed ^ splitmix((shard as u64) << 32 | phase) ^ splitmix(window));
+    for _ in 0..(k & 7) {
+        thread::yield_now();
+    }
+}
+
 /// Per-window plan published by the coordinator between barriers A and B.
 struct Plan {
     w_end: AtomicU64,
@@ -119,7 +146,11 @@ fn worker(
     let i = sh.index;
     let is_coord = i == 0;
     let mut fence_cursor = 0usize;
+    let seed = stagger_seed();
+    let mut window_no = 0u64;
     loop {
+        window_no += 1;
+        stagger(seed, i, window_no, 0);
         // Phase 0: ship the previous window's outboxes, then rendezvous
         // before anyone drains. Without this barrier a fast receiver can
         // loop around, drain its still-empty inbox and publish its next
@@ -134,6 +165,7 @@ fn worker(
             }
         }
         barrier.wait();
+        stagger(seed, i, window_no, 1);
         // Phase 1: absorb cross-shard mail, publish the earliest thing
         // this shard still has to do.
         {

@@ -11,7 +11,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== vce-lint =="
-cargo run --offline -q -p vce-lint
+# Build first so the timed run measures analysis, not compilation; consume
+# the JSON report so CI logs show a per-rule summary even on a clean pass.
+cargo build --offline -q -p vce-lint
+lint_tmp=$(mktemp)
+lint_t0=$(date +%s%N)
+lint_rc=0
+cargo run --offline -q -p vce-lint -- --format json > "$lint_tmp" || lint_rc=$?
+lint_ms=$(( ($(date +%s%N) - lint_t0) / 1000000 ))
+python3 - "$lint_tmp" "$lint_ms" <<'PY'
+import collections, json, sys
+report = json.load(open(sys.argv[1]))
+by_rule = collections.Counter(f["rule"] for f in report["findings"])
+summary = " ".join(f"{r}:{n}" for r, n in sorted(by_rule.items())) or "clean"
+print(f"vce-lint: {report['files_scanned']} files, "
+      f"{len(report['findings'])} finding(s) [{summary}] in {sys.argv[2]}ms")
+for f in report["findings"]:
+    print(f"  {f['file']}:{f['line']}: {f['rule']}: {f['msg']}")
+PY
+rm -f "$lint_tmp"
+[ "$lint_rc" -eq 0 ] || { echo "vce-lint: findings above must be fixed or waived"; exit 1; }
 
 echo "== build (release) =="
 cargo build --release --offline -q
@@ -50,6 +69,12 @@ diff -u "$shard_a" "$shard_b" || { echo "shard-determinism: exp_bidding diverged
 rm -f "$shard_a" "$shard_b"
 echo "shard-determinism: exp_bidding identical at VCE_SHARDS=4"
 
+# The barriers must make worker wake order irrelevant: sweep 32 seeded
+# schedule permutations (each yields workers pseudo-randomly before the
+# ship/publish phases) and require the serial digest every time.
+echo "== shard schedule-permutation gate (32 seeds) =="
+VCE_STAGGER_PERMS=32 cargo test --release --offline -q -p vce-bench --test shard_stagger
+
 echo "== engine bench smoke (quick mode) =="
 VCE_BENCH_QUICK=1 cargo bench --offline -p vce-bench --bench sim_engine
 
@@ -75,5 +100,9 @@ for row in ("storm", "storm_long", "sharded_storm"):
     print(f"bench-drift: {row}: {new:.0f} ev/s vs committed {old:.0f} ({delta:+.1f}%){flag}")
 PY
 rm -f "$drift_tmp"
+
+# Tooling latency lives next to the perf numbers: the linter is the
+# fastest gate and must stay that way as the registries grow.
+echo "stage-time: vce-lint ${lint_ms}ms (analysis only, binary prebuilt)"
 
 echo "CI OK"
