@@ -17,10 +17,10 @@
 //! `run_experiments.sh --check`.
 
 use vce_bench::chaos::{
-    baseline_makespan_us, replay, run_chaos, ChaosConfig, ChaosOutcome, ScheduleShape, TECHNIQUES,
+    baseline_makespan_us, parse_cell, replay, run_chaos, run_chaos_recorded, technique_name,
+    ChaosConfig, ChaosOutcome, RecordTo, ScheduleShape, TECHNIQUES,
 };
 use vce_bench::sweep::sweep;
-use vce_exm::migrate::MigrationTechnique;
 use vce_workloads::table::Table;
 
 /// Seeds per grid cell: 10 × 8 shapes × 4 techniques = 320 schedules.
@@ -28,24 +28,8 @@ const DEFAULT_SEEDS: u64 = 10;
 /// Seed base — arbitrary, fixed so reports name replayable seeds.
 const SEED_BASE: u64 = 100;
 
-fn tech_name(t: MigrationTechnique) -> &'static str {
-    match t {
-        MigrationTechnique::Redundant => "redundant",
-        MigrationTechnique::Checkpoint => "checkpoint",
-        MigrationTechnique::CoreDump => "coredump",
-        MigrationTechnique::Recompile => "recompile",
-        // Not a §4.4 technique; not part of the campaign grid, but named
-        // so --replay can address it if it ever is.
-        MigrationTechnique::Restart => "restart",
-    }
-}
-
-fn parse_tech(s: &str) -> Option<MigrationTechnique> {
-    TECHNIQUES.iter().copied().find(|&t| tech_name(t) == s)
-}
-
-fn parse_shape(s: &str) -> Option<ScheduleShape> {
-    ScheduleShape::ALL.iter().copied().find(|t| t.name() == s)
+fn tech_name(t: vce_exm::migrate::MigrationTechnique) -> &'static str {
+    technique_name(t)
 }
 
 fn seeds_per_cell() -> u64 {
@@ -58,13 +42,21 @@ fn seeds_per_cell() -> u64 {
 
 fn replay_main(args: &[String]) -> ! {
     let usage = "usage: exp_chaos --replay <seed> <shape> <technique>";
-    let (seed, shape, tech) = match args {
-        [seed, shape, tech] => (
-            seed.parse::<u64>().expect(usage),
-            parse_shape(shape).expect(usage),
-            parse_tech(tech).expect(usage),
-        ),
-        _ => panic!("{usage}"),
+    let [seed, shape, tech] = args else {
+        eprintln!(
+            "exp_chaos: expected 3 arguments after --replay, got {}",
+            args.len()
+        );
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let (seed, shape, tech) = match parse_cell(seed, shape, tech) {
+        Ok(cell) => cell,
+        Err(e) => {
+            eprintln!("exp_chaos: {e}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
     };
     let out = replay(seed, shape, tech);
     if out.green() {
@@ -177,6 +169,23 @@ fn main() {
     for f in &fails {
         // Replay with the trace on so the report carries the event tail.
         print!("{}", replay(f.seed, f.shape, f.technique).report());
+        // Additionally record the failing cell as a one-file `.vct` repro
+        // artifact and print the divergence-check command.
+        let vct = format!(
+            "chaos_{}_{}_{}.vct",
+            f.seed,
+            f.shape.name(),
+            tech_name(f.technique)
+        );
+        let cfg = ChaosConfig {
+            seed: f.seed,
+            shape: f.shape,
+            technique: f.technique,
+            trace: false,
+        };
+        run_chaos_recorded(&cfg, RecordTo::File(std::path::Path::new(&vct)));
+        println!("  trace: {vct}");
+        println!("  divergence: vce_replay --divergence {vct}");
     }
     println!(
         "chaos: {} schedules, {} green, {} failing",

@@ -40,6 +40,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::path::Path;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -158,6 +159,87 @@ pub const TECHNIQUES: [MigrationTechnique; 4] = [
     MigrationTechnique::CoreDump,
     MigrationTechnique::Recompile,
 ];
+
+/// Stable lowercase name of a technique, for reports and CLI args.
+pub fn technique_name(t: MigrationTechnique) -> &'static str {
+    match t {
+        MigrationTechnique::Redundant => "redundant",
+        MigrationTechnique::Checkpoint => "checkpoint",
+        MigrationTechnique::CoreDump => "coredump",
+        MigrationTechnique::Recompile => "recompile",
+        // Not a §4.4 technique; not part of the campaign grid, but named
+        // so --replay can address it if it ever is.
+        MigrationTechnique::Restart => "restart",
+    }
+}
+
+/// Parse a shape name as printed by [`ScheduleShape::name`].
+pub fn parse_shape(s: &str) -> Option<ScheduleShape> {
+    ScheduleShape::ALL.iter().copied().find(|t| t.name() == s)
+}
+
+/// Parse a technique name as printed by [`technique_name`].
+pub fn parse_technique(s: &str) -> Option<MigrationTechnique> {
+    TECHNIQUES.iter().copied().find(|&t| technique_name(t) == s)
+}
+
+/// Parse the `<seed> <shape> <technique>` argument triple every replay
+/// entry point takes. On a malformed argument the error names the bad
+/// value *and lists the valid choices*, so a typo in a shape name is a
+/// one-line fix instead of a panic backtrace.
+pub fn parse_cell(
+    seed: &str,
+    shape: &str,
+    technique: &str,
+) -> Result<(u64, ScheduleShape, MigrationTechnique), String> {
+    let seed = seed
+        .parse::<u64>()
+        .map_err(|_| format!("bad seed {seed:?}: expected an unsigned integer"))?;
+    let shape = parse_shape(shape).ok_or_else(|| {
+        let names: Vec<&str> = ScheduleShape::ALL.iter().map(|s| s.name()).collect();
+        format!(
+            "unknown shape {shape:?}: valid shapes are {}",
+            names.join(", ")
+        )
+    })?;
+    let technique = parse_technique(technique).ok_or_else(|| {
+        let names: Vec<&str> = TECHNIQUES.iter().map(|&t| technique_name(t)).collect();
+        format!(
+            "unknown technique {technique:?}: valid techniques are {}",
+            names.join(", ")
+        )
+    })?;
+    Ok((seed, shape, technique))
+}
+
+/// The scenario string stamped into a recorded `.vct` header — everything
+/// a replay tool needs to re-run the cell.
+pub fn scenario_string(cfg: &ChaosConfig) -> String {
+    format!(
+        "chaos seed={} shape={} technique={}",
+        cfg.seed,
+        cfg.shape.name(),
+        technique_name(cfg.technique)
+    )
+}
+
+/// Parse a [`scenario_string`] back into its cell.
+pub fn parse_scenario(s: &str) -> Option<(u64, ScheduleShape, MigrationTechnique)> {
+    let rest = s.strip_prefix("chaos ")?;
+    let mut seed = None;
+    let mut shape = None;
+    let mut technique = None;
+    for part in rest.split_whitespace() {
+        let (k, v) = part.split_once('=')?;
+        match k {
+            "seed" => seed = v.parse::<u64>().ok(),
+            "shape" => shape = parse_shape(v),
+            "technique" => technique = parse_technique(v),
+            _ => return None,
+        }
+    }
+    Some((seed?, shape?, technique?))
+}
 
 /// One campaign cell: everything a run is a pure function of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -465,6 +547,8 @@ fn campaign_app(db: &MachineDb, technique: MigrationTechnique) -> Application {
     Application::from_graph(g, db).expect("hostable")
 }
 
+/// Build (but do not settle) the campaign fleet — a recorder must attach
+/// before the first event runs so the trace covers the whole run.
 fn fleet_vce(cfg: &ChaosConfig) -> Vce {
     let mut exm = ExmConfig::default();
     if cfg.technique == MigrationTechnique::Redundant {
@@ -477,9 +561,7 @@ fn fleet_vce(cfg: &ChaosConfig) -> Vce {
     }
     b.exm_config(exm);
     b.trace_enabled(cfg.trace);
-    let mut vce = b.build();
-    vce.settle();
-    vce
+    b.build()
 }
 
 // ----------------------------------------------------------------------
@@ -652,15 +734,54 @@ pub fn baseline_makespan_us(technique: MigrationTechnique) -> u64 {
         trace: false,
     };
     let mut vce = fleet_vce(&cfg);
+    vce.settle();
     let app = campaign_app(vce.db(), cfg.technique);
     let handle = vce.submit(app, NodeId(0));
     let report = vce.run_until_done(&handle, RECOVERY_US);
     report.makespan_us.expect("baseline run must complete")
 }
 
+/// Where a campaign run records its `.vct` trace, if anywhere.
+pub enum RecordTo<'a> {
+    /// No recording (the default campaign path).
+    No,
+    /// Record to a file at this path.
+    File(&'a Path),
+    /// Record into memory; the bytes come back with the outcome.
+    Memory,
+}
+
+/// Snapshot cadence for recorded chaos runs, µs of sim time. One snapshot
+/// per simulated second keeps bisection windows around a few thousand
+/// events while adding ~120 frames to a full run.
+pub const CHAOS_SNAPSHOT_US: u64 = 1_000_000;
+
 /// Run one campaign cell.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    run_chaos_recorded(cfg, RecordTo::No).0
+}
+
+/// Run one campaign cell, optionally recording a `.vct` event/snapshot
+/// trace of the whole run (see `vce_sim::record`). The second return is
+/// the recording for [`RecordTo::Memory`], `None` otherwise.
+pub fn run_chaos_recorded(
+    cfg: &ChaosConfig,
+    record: RecordTo<'_>,
+) -> (ChaosOutcome, Option<Vec<u8>>) {
     let mut vce = fleet_vce(cfg);
+    match record {
+        RecordTo::No => {}
+        RecordTo::File(path) => {
+            vce.sim_mut()
+                .record_to(path, &scenario_string(cfg), CHAOS_SNAPSHOT_US)
+                .expect("cannot create trace file");
+        }
+        RecordTo::Memory => {
+            vce.sim_mut()
+                .record_to_memory(&scenario_string(cfg), CHAOS_SNAPSHOT_US);
+        }
+    }
+    vce.settle();
     let app = campaign_app(vce.db(), cfg.technique);
     let handle = vce.submit(app, NodeId(0));
     let start_us = vce.sim().now_us();
@@ -816,18 +937,29 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             format!("node {n}: {s}")
         })
         .collect();
-    ChaosOutcome {
-        seed: cfg.seed,
-        shape: cfg.shape,
-        technique: cfg.technique,
-        violations,
-        faults,
-        allocations,
-        makespan_us: report.makespan_us,
-        reconverge_heartbeats: reconverged_at.map(|t| (t.saturating_sub(heal_us)) / HEARTBEAT_US),
-        trace_tail,
-        journal,
-    }
+    let recording = if vce.sim().is_recording() {
+        vce.sim_mut()
+            .finish_recording()
+            .expect("trace write failed mid-run")
+    } else {
+        None
+    };
+    (
+        ChaosOutcome {
+            seed: cfg.seed,
+            shape: cfg.shape,
+            technique: cfg.technique,
+            violations,
+            faults,
+            allocations,
+            makespan_us: report.makespan_us,
+            reconverge_heartbeats: reconverged_at
+                .map(|t| (t.saturating_sub(heal_us)) / HEARTBEAT_US),
+            trace_tail,
+            journal,
+        },
+        recording,
+    )
 }
 
 /// Re-run a failing cell with the trace enabled and return the outcome

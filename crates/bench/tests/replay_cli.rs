@@ -1,0 +1,158 @@
+//! CLI regression gate for the `.vct` tooling and the chaos replay
+//! front-end: bad arguments must exit nonzero with the valid choices
+//! listed (never a panic, never a silent success), and the record →
+//! divergence round trip on the same binary must report zero divergence.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn exp_chaos(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_exp_chaos"))
+        .args(args)
+        .output()
+        .expect("exp_chaos runs")
+}
+
+fn vce_replay(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vce_replay"))
+        .args(args)
+        .output()
+        .expect("vce_replay runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn replay_with_unknown_shape_lists_the_valid_shapes_and_exits_nonzero() {
+    let out = exp_chaos(&["--replay", "100", "bogus", "checkpoint"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown shape \"bogus\""), "stderr: {err}");
+    for shape in [
+        "crashes",
+        "partitions",
+        "bursts",
+        "leader-hunt",
+        "mixed",
+        "crash-recover",
+        "torn-tail",
+        "device-loss",
+    ] {
+        assert!(
+            err.contains(shape),
+            "valid shape {shape} missing from: {err}"
+        );
+    }
+    assert!(err.contains("usage:"), "usage line missing from: {err}");
+}
+
+#[test]
+fn replay_with_malformed_seed_exits_nonzero_with_a_clear_message() {
+    let out = exp_chaos(&["--replay", "xyz", "crashes", "checkpoint"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("bad seed \"xyz\""), "stderr: {err}");
+    assert!(err.contains("unsigned integer"), "stderr: {err}");
+}
+
+#[test]
+fn replay_with_unknown_technique_lists_the_valid_techniques() {
+    let out = exp_chaos(&["--replay", "100", "crashes", "teleport"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("unknown technique \"teleport\""),
+        "stderr: {err}"
+    );
+    for tech in ["redundant", "checkpoint", "coredump", "recompile"] {
+        assert!(
+            err.contains(tech),
+            "valid technique {tech} missing from: {err}"
+        );
+    }
+}
+
+#[test]
+fn replay_with_wrong_arg_count_exits_nonzero_with_usage() {
+    let out = exp_chaos(&["--replay", "100", "crashes"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("expected 3 arguments"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn vce_replay_rejects_bad_arguments_and_unreadable_traces() {
+    let out = vce_replay(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+
+    let out = vce_replay(&["--record", "/tmp/x.vct", "100", "bogus", "checkpoint"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown shape"));
+
+    let out = vce_replay(&["--divergence", "/nonexistent/trace.vct"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("io error"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn record_then_divergence_round_trip_is_clean() {
+    let vct: PathBuf = std::env::temp_dir().join(format!("replay_cli_{}.vct", std::process::id()));
+    let vct_s = vct.to_str().expect("utf8 temp path");
+
+    let out = vce_replay(&["--record", vct_s, "100", "crashes", "checkpoint"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("recorded"),
+        "stdout: {}",
+        stdout_of(&out)
+    );
+
+    let out = vce_replay(&["--info", vct_s]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stdout_of(&out).contains("chaos seed=100 shape=crashes technique=checkpoint"),
+        "stdout: {}",
+        stdout_of(&out)
+    );
+
+    let out = vce_replay(&["--divergence", vct_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "same-binary replay must not diverge; stdout: {}\nstderr: {}",
+        stdout_of(&out),
+        stderr_of(&out)
+    );
+    assert!(
+        stdout_of(&out).contains("no divergence"),
+        "stdout: {}",
+        stdout_of(&out)
+    );
+
+    // A truncated copy is reported as torn, not silently replayed.
+    let bytes = std::fs::read(&vct).expect("trace written");
+    let torn = vct.with_extension("torn.vct");
+    std::fs::write(&torn, &bytes[..bytes.len() - 7]).expect("write torn copy");
+    let out = vce_replay(&["--divergence", torn.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("truncated after frame"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+
+    let _ = std::fs::remove_file(&vct);
+    let _ = std::fs::remove_file(&torn);
+}

@@ -1051,7 +1051,9 @@ impl Endpoint for DaemonEndpoint {
 
     fn on_envelope(&mut self, env: Envelope, host: &mut dyn Host) {
         let Ok(msg) = vce_codec::from_backing::<ExmMsg>(&env.payload) else {
-            host.log("daemon: undecodable message dropped".into());
+            if host.log_enabled() {
+                host.log("daemon: undecodable message dropped".into());
+            }
             return;
         };
         match msg {
@@ -1251,6 +1253,39 @@ impl Endpoint for DaemonEndpoint {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+
+    fn snapshot_hash(&self) -> u64 {
+        let mut h = vce_net::Fnv64::new();
+        h.write_u64(self.gm.snapshot_hash())
+            .write_u64(self.next_pid)
+            .write_u64(self.recovery_seq)
+            .write_u64(self.completed)
+            .write_u64(self.evictions)
+            .write_u64(self.migrations.len() as u64)
+            .write_f64(self.mops_executed)
+            .write_u64(self.binaries.len() as u64)
+            .write_u64(self.files.len() as u64)
+            .write_u64(self.tasks.len() as u64);
+        for (key, r) in &self.tasks {
+            let (tag, pid) = match r.state {
+                RunState::Compiling(p) => (0u8, p),
+                RunState::Fetching => (1, 0),
+                RunState::Transferring => (2, 0),
+                RunState::Running(p) => (3, p),
+            };
+            h.write_u64(key.app.0)
+                .write_u64(u64::from(key.task))
+                .write_u64(u64::from(key.instance))
+                .write_u8(tag)
+                .write_u64(pid)
+                .write_f64(r.checkpointed_remaining)
+                .write_f64(r.work_to_run);
+        }
+        h.write_u64(self.leader.served.len() as u64)
+            .write_u64(self.leader.pending.len() as u64)
+            .write_u64(self.recovered_served.len() as u64);
+        h.finish()
     }
 }
 

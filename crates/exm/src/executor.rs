@@ -917,6 +917,32 @@ impl Endpoint for ExecutorEndpoint {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_hash(&self) -> u64 {
+        let mut h = vce_net::Fnv64::new();
+        h.write_u64(self.app.0)
+            .write_bool(self.done)
+            .write_bool(self.failed.is_some())
+            .write_u64(u64::from(self.next_req_seq))
+            .write_u64(self.next_local_pid)
+            .write_u64(self.requests.len() as u64)
+            .write_u64(self.completed.len() as u64);
+        for t in &self.completed {
+            h.write_u64(u64::from(t.0));
+        }
+        for t in &self.dispatched {
+            h.write_u64(u64::from(t.0));
+        }
+        h.write_u64(self.placements.len() as u64);
+        for (key, node) in &self.placements {
+            h.write_u64(u64::from(key.task))
+                .write_u64(u64::from(key.instance))
+                .write_u64(u64::from(node.0));
+        }
+        h.write_u64(self.superseded.len() as u64)
+            .write_u64(self.probe_misses.len() as u64);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

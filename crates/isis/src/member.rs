@@ -173,6 +173,37 @@ impl GroupMember {
         self.view.coordinator() == Some(self.me)
     }
 
+    /// Deterministic digest of the group-membership state, folded into the
+    /// embedding endpoint's `snapshot_hash` for record/replay divergence
+    /// detection. Covers the installed view, sequencer counters and the
+    /// sorted failure-detector maps; deliberately skips the `HashMap`
+    /// collect bookkeeping (iteration order is not deterministic) — its
+    /// effects surface through the counters folded here.
+    pub fn snapshot_hash(&self) -> u64 {
+        let mut h = vce_net::Fnv64::new();
+        h.write_u64(u64::from(self.me.node.0))
+            .write_u64(self.incarnation)
+            .write_u64(self.started_at)
+            .write_u64(self.view.id)
+            .write_u64(self.view.members.len() as u64);
+        for m in &self.view.members {
+            h.write_u64(u64::from(m.addr.node.0))
+                .write_u64(m.joined_seq);
+        }
+        h.write_u64(self.next_join_seq)
+            .write_u64(self.next_total_seq)
+            .write_u64(self.out_fifo_seq)
+            .write_u64(self.bcast_counter)
+            .write_u64(self.causal_out)
+            .write_u64(self.resend.len() as u64)
+            .write_u64(self.next_collect_token)
+            .write_u64(self.last_heard.len() as u64);
+        for (&addr, &at) in &self.last_heard {
+            h.write_u64(u64::from(addr.node.0)).write_u64(at);
+        }
+        h.finish()
+    }
+
     // ---- lifecycle ----
 
     /// Must be called from the embedding endpoint's `on_start`.

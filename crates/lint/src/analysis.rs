@@ -59,9 +59,21 @@ const P003_NAMESPACES: &[&[&str]] = &[
 /// bug class.
 const SPAN: u64 = 1 << 32;
 
-/// (WAL file, record enum, replay fn): every record variant constructed
-/// outside the WAL file must have a pattern arm inside the replay fn.
-const P004_WAL: (&str, &str, &str) = ("crates/exm/src/wal.rs", "WalRecord", "recover");
+/// (journal file, record enum, replay fn, include_same_file): every record
+/// variant constructed outside the journal file must have a pattern arm
+/// inside the replay fn. With `include_same_file` set, constructor sites in
+/// the journal file itself (outside the replay fn) also count as journal
+/// sites — for formats whose writer lives next to the reader, like the
+/// `.vct` frame kinds in `vce_sim::record`.
+const P004_JOURNALS: &[(&str, &str, &str, bool)] = &[
+    ("crates/exm/src/wal.rs", "WalRecord", "recover", false),
+    (
+        "crates/sim/src/record.rs",
+        "FrameKind",
+        "decode_frame",
+        true,
+    ),
+];
 
 pub fn check_cross(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
     let env_facts: Vec<FileFacts> = files.iter().map(|(_, f)| f.clone()).collect();
@@ -389,11 +401,19 @@ fn check_p003(files: &[(String, FileFacts)], env: &ConstEnv, findings: &mut Vec<
 // ---------------------------------------------------------------- P004 --
 
 fn check_p004(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
-    let (wal_file, record_enum, replay_fn) = P004_WAL;
-    let Some((wi, (_, wal))) = files.iter().enumerate().find(|(_, (f, _))| f == wal_file) else {
+    for &journal in P004_JOURNALS {
+        check_p004_one(files, journal, findings);
+    }
+}
+
+fn check_p004_one(
+    files: &[(String, FileFacts)],
+    (wal_file, record_enum, replay_fn, include_same_file): (&str, &str, &str, bool),
+    findings: &mut Vec<Finding>,
+) {
+    let Some((_, wal)) = files.iter().find(|(f, _)| f == wal_file) else {
         return;
     };
-    let _ = wi;
     let Some(edef) = wal.enums.iter().find(|e| e.name == record_enum) else {
         return;
     };
@@ -410,12 +430,22 @@ fn check_p004(files: &[(String, FileFacts)], findings: &mut Vec<Finding>) {
     for v in &edef.variants {
         let journal_site = files
             .iter()
-            .filter(|(f, _)| f != wal_file)
             .flat_map(|(f, facts)| {
                 facts
                     .variant_ctors
                     .iter()
-                    .filter(|(en, var, _)| en == record_enum && var == &v.name)
+                    .filter(move |(en, var, line)| {
+                        en == record_enum
+                            && var == &v.name
+                            && if f == wal_file {
+                                // Sites in the journal file count only for
+                                // co-located writer/reader formats, and the
+                                // replay fn's own body never does.
+                                include_same_file && !(*line >= rf.line && *line <= rf.end_line)
+                            } else {
+                                true
+                            }
+                    })
                     .map(move |(_, _, line)| (f.as_str(), *line))
             })
             .next();

@@ -716,6 +716,74 @@ fn p004_waived_is_suppressed() {
     assert_clean_multi(&[wal_short, daemon]);
 }
 
+/// Same-file journal mode (`include_same_file`): the `.vct` trace format
+/// keeps writer and reader in one file, so constructor sites *outside*
+/// the decode fn's span count as journal sites.
+const P004_RECORD_OK: &str = "\
+pub enum FrameKind { Header, Events, Snapshot, End }
+impl TraceWriter {
+    fn write_frame(&mut self) {
+        emit(FrameKind::Header);
+        emit(FrameKind::Events);
+        emit(FrameKind::Snapshot);
+        emit(FrameKind::End);
+    }
+}
+fn decode_frame(kind: FrameKind) {
+    match kind {
+        FrameKind::Header => h(),
+        FrameKind::Events => e(),
+        FrameKind::Snapshot => s(),
+        FrameKind::End => z(),
+    }
+}
+";
+
+#[test]
+fn p004_same_file_writer_and_reader_in_balance_is_clean() {
+    assert_clean_multi(&[("crates/sim/src/record.rs", P004_RECORD_OK)]);
+}
+
+#[test]
+fn p004_same_file_flags_frame_written_but_never_decoded() {
+    let src = P004_RECORD_OK.replace("        FrameKind::Snapshot => s(),\n", "");
+    assert_fires_multi(
+        &[("crates/sim/src/record.rs", &src)],
+        "P004",
+        "crates/sim/src/record.rs",
+    );
+}
+
+#[test]
+fn p004_same_file_flags_frame_decoded_but_never_written() {
+    let src = P004_RECORD_OK.replace("        emit(FrameKind::End);\n", "");
+    assert_fires_multi(
+        &[("crates/sim/src/record.rs", &src)],
+        "P004",
+        "crates/sim/src/record.rs",
+    );
+}
+
+#[test]
+fn p004_same_file_arms_inside_decode_fn_are_not_journal_sites() {
+    // Only the decode fn mentions the variants — every one should be
+    // flagged as a dead record, not satisfied by its own match arms.
+    let src = "\
+pub enum FrameKind { Header, End }
+fn decode_frame(kind: FrameKind) {
+    match kind {
+        FrameKind::Header => h(),
+        FrameKind::End => z(),
+    }
+}
+";
+    assert_fires_multi(
+        &[("crates/sim/src/record.rs", src)],
+        "P004",
+        "crates/sim/src/record.rs",
+    );
+}
+
 // ---------------------------------------------------------------- D006
 
 const D006_TAINTED_HELPER: (&str, &str) = (

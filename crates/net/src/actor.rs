@@ -124,6 +124,18 @@ pub trait Endpoint: Send {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Cheap digest of the endpoint's protocol state, folded into the
+    /// per-node snapshot hashes the record/replay subsystem writes
+    /// (`vce_sim::record`). Implementations must be **deterministic and
+    /// shard-invariant**: fold only state that is a pure function of the
+    /// simulation (sorted containers, scalars — never `HashMap` iteration
+    /// order, pointers or capacities), and keep it O(state) cheap. The
+    /// default participates with a constant, so endpoints without an
+    /// override neither break divergence detection nor contribute to it.
+    fn snapshot_hash(&self) -> u64 {
+        0
+    }
 }
 
 /// Encode a message and send it — the common idiom. Encodes through

@@ -24,6 +24,7 @@ pub mod actor;
 pub mod addr;
 pub mod driver;
 pub mod fault;
+pub mod hash;
 pub mod machine;
 pub mod memory;
 pub mod message;
@@ -33,6 +34,7 @@ pub use actor::{send_msg, Endpoint, Host};
 pub use addr::{Addr, NodeId, PortId};
 pub use driver::{LiveDriver, LiveNodeConfig};
 pub use fault::{FaultOp, FaultPlan, LinkFault};
+pub use hash::{fnv64, Fnv64};
 pub use machine::{MachineClass, MachineInfo};
 pub use memory::{MemoryNetwork, NodeHandle};
 pub use message::Envelope;

@@ -20,6 +20,8 @@
 //! shard count.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -28,6 +30,7 @@ use vce_net::{Addr, Endpoint, Envelope, FaultPlan, MachineInfo, NetStats, NodeId
 
 use crate::load::LoadTrace;
 use crate::metrics::NodeMetrics;
+use crate::record::{EventRecord, SnapshotRecord, TraceWriter};
 use crate::shard::{apply_plan_op, cause_key, shard_of, Shard};
 use crate::sharded;
 use crate::topology::Topology;
@@ -91,6 +94,37 @@ pub struct Sim {
     /// Unused (never read) with one shard — `stats()` short-circuits.
     merged_stats: NetStats,
     trace_enabled: bool,
+    /// Attached `.vct` recorder, if any (see [`crate::record`]).
+    recorder: Option<Recorder>,
+}
+
+/// Live recording state: the streaming writer plus snapshot cadence.
+/// Frames are written at sync points and snapshots at `finish_run` — both
+/// driver-call boundaries, independent of the shard count, which is what
+/// makes a `.vct` file byte-identical across `VCE_SHARDS` values.
+struct Recorder {
+    writer: TraceWriter,
+    every_us: u64,
+    /// Next sim time at or after which a snapshot is cut.
+    next_at: u64,
+    /// Events written so far (the index space snapshots refer into).
+    event_index: u64,
+    /// First write failure, if any; recording stops and the error
+    /// resurfaces from [`Sim::finish_recording`].
+    io_error: Option<String>,
+}
+
+/// Whole-sim digest: time, event index, and every per-node hash in node
+/// order.
+fn sim_hash_of(now: u64, event_index: u64, nodes: &[(NodeId, u64)]) -> u64 {
+    let mut h = vce_net::Fnv64::new();
+    h.write_u64(now)
+        .write_u64(event_index)
+        .write_u64(nodes.len() as u64);
+    for &(n, hash) in nodes {
+        h.write_u64(u64::from(n.0)).write_u64(hash);
+    }
+    h.finish()
 }
 
 impl Sim {
@@ -124,7 +158,106 @@ impl Sim {
             },
             merged_stats: NetStats::new(),
             trace_enabled: config.trace_enabled,
+            recorder: None,
         }
+    }
+
+    // ---- record/replay (see `crate::record`) ----
+
+    /// Start recording every event pop and periodic state snapshots to a
+    /// `.vct` file at `path`. `scenario` is a free-form string a replay
+    /// tool can use to reconstruct the run; `snapshot_every_us` is the
+    /// snapshot cadence in sim time.
+    pub fn record_to(
+        &mut self,
+        path: &Path,
+        scenario: &str,
+        snapshot_every_us: u64,
+    ) -> io::Result<()> {
+        let writer = TraceWriter::to_file(path, scenario, snapshot_every_us)?;
+        self.attach_recorder(writer, snapshot_every_us);
+        Ok(())
+    }
+
+    /// Start recording into memory; [`Sim::finish_recording`] returns the
+    /// bytes.
+    pub fn record_to_memory(&mut self, scenario: &str, snapshot_every_us: u64) {
+        let writer = TraceWriter::to_memory(scenario, snapshot_every_us);
+        self.attach_recorder(writer, snapshot_every_us);
+    }
+
+    fn attach_recorder(&mut self, writer: TraceWriter, every_us: u64) {
+        assert!(self.recorder.is_none(), "a recording is already attached");
+        for sh in &mut self.shards {
+            sh.rec.set_enabled(true);
+        }
+        self.recorder = Some(Recorder {
+            writer,
+            every_us,
+            next_at: 0,
+            event_index: 0,
+            io_error: None,
+        });
+        // Baseline snapshot at event index 0, so divergence before the
+        // first cadence point is still bracketed from below.
+        self.take_snapshot();
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Seal the recording with its `End` frame and detach the recorder.
+    /// Memory recordings return their bytes; file recordings return
+    /// `None`. Any write error swallowed mid-run resurfaces here.
+    pub fn finish_recording(&mut self) -> io::Result<Option<Vec<u8>>> {
+        assert!(self.recorder.is_some(), "no recording attached");
+        self.sync();
+        let mut nodes = Vec::new();
+        for sh in &self.shards {
+            sh.node_hashes(&mut nodes);
+        }
+        nodes.sort_unstable_by_key(|&(n, _)| n);
+        for sh in &mut self.shards {
+            sh.rec.set_enabled(false);
+        }
+        let Recorder {
+            writer,
+            event_index,
+            io_error,
+            ..
+        } = self.recorder.take().expect("checked above");
+        if let Some(e) = io_error {
+            return Err(io::Error::other(e));
+        }
+        writer.finish(sim_hash_of(self.now, event_index, &nodes), self.now)
+    }
+
+    /// Cut a snapshot frame now (called at recording start and whenever
+    /// `finish_run` crosses the cadence point).
+    fn take_snapshot(&mut self) {
+        let mut nodes = Vec::new();
+        for sh in &self.shards {
+            sh.node_hashes(&mut nodes);
+        }
+        nodes.sort_unstable_by_key(|&(n, _)| n);
+        let now = self.now;
+        let Some(r) = self.recorder.as_mut() else {
+            return;
+        };
+        let snap = SnapshotRecord {
+            at_us: now,
+            event_index: r.event_index,
+            sim_hash: sim_hash_of(now, r.event_index, &nodes),
+            nodes,
+        };
+        if r.io_error.is_none() {
+            if let Err(e) = r.writer.snapshot(&snap) {
+                r.io_error = Some(e.to_string());
+            }
+        }
+        r.next_at = now.saturating_add(r.every_us);
     }
 
     /// Current simulated time, µs.
@@ -461,6 +594,13 @@ impl Sim {
             sh.advance_clock(now);
         }
         self.sync();
+        if self
+            .recorder
+            .as_ref()
+            .is_some_and(|r| now >= r.next_at && r.io_error.is_none())
+        {
+            self.take_snapshot();
+        }
     }
 
     /// Merge per-shard statistics and splice per-shard trace buffers into
@@ -480,6 +620,20 @@ impl Sim {
                 merged.absorb(&sh.stats);
             }
             self.merged_stats = merged;
+        }
+        if let Some(r) = self.recorder.as_mut() {
+            let mut batch: Vec<(u64, u8, u64, EventRecord)> = Vec::new();
+            for sh in &mut self.shards {
+                batch.append(&mut sh.rec.buf);
+            }
+            batch.sort_by_key(|a| (a.0, a.1, a.2));
+            let recs: Vec<EventRecord> = batch.into_iter().map(|(_, _, _, r)| r).collect();
+            r.event_index += recs.len() as u64;
+            if r.io_error.is_none() {
+                if let Err(e) = r.writer.append_events(&recs) {
+                    r.io_error = Some(e.to_string());
+                }
+            }
         }
         if !self.trace_enabled {
             return;

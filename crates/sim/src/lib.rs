@@ -43,6 +43,7 @@ pub mod engine;
 pub mod load;
 pub mod metrics;
 pub mod queue;
+pub mod record;
 mod shard;
 mod sharded;
 pub mod topology;
@@ -52,5 +53,6 @@ pub use cpu::Cpu;
 pub use engine::{Sim, SimConfig};
 pub use load::LoadTrace;
 pub use metrics::NodeMetrics;
+pub use record::{first_divergence, read_trace, read_trace_file, Divergence, RecordedTrace};
 pub use topology::Topology;
 pub use trace::{Trace, TraceEvent};

@@ -43,6 +43,10 @@ use crate::cpu::Cpu;
 use crate::load::LoadTrace;
 use crate::metrics::NodeMetrics;
 use crate::queue::CalendarQueue;
+use crate::record::{
+    EventRecord, EV_CPU, EV_DELIVER, EV_FENCE, EV_LOAD, EV_START, EV_TIMER, FENCE_HEAL, FENCE_KILL,
+    FENCE_LINK, FENCE_PARTITION, FENCE_REVIVE,
+};
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
 
@@ -365,6 +369,48 @@ impl TraceBuf {
     }
 }
 
+/// Shard-local record/replay buffer: every event pop lands here as an
+/// [`EventRecord`] keyed by `(at_us, phase, cause)` — the same merge key the
+/// trace uses — so the facade can splice S buffers into the one global-order
+/// stream the `.vct` writer serialises. Off (and allocation-free) unless a
+/// recorder is attached.
+pub(crate) struct RecBuf {
+    enabled: bool,
+    pub(crate) buf: Vec<(u64, u8, u64, EventRecord)>,
+}
+
+impl RecBuf {
+    fn new() -> Self {
+        Self {
+            enabled: false,
+            buf: Vec::new(),
+        }
+    }
+
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    #[inline]
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    #[inline]
+    fn push(&mut self, phase: u8, rec: EventRecord) {
+        if self.enabled {
+            self.buf.push((rec.at_us, phase, rec.cause, rec));
+        }
+    }
+}
+
+/// Stable code for an address folded into delivery records: node and port
+/// in one word.
+#[inline]
+fn addr_code(a: Addr) -> u64 {
+    (u64::from(a.node.0) << 32) | u64::from(a.port.0)
+}
+
 /// Apply one fault op to a plan — the pure plan mutation, shared by the
 /// canonical plan on the facade and every shard's replica.
 pub(crate) fn apply_plan_op(plan: &mut FaultPlan, op: &FaultOp) {
@@ -396,6 +442,7 @@ pub(crate) struct Shard {
     topology: Arc<Topology>,
     pub(crate) stats: NetStats,
     pub(crate) trace: TraceBuf,
+    pub(crate) rec: RecBuf,
     pub(crate) events_processed: u64,
     /// Scratch [`Effects`] reused across dispatches (capacity persists).
     /// Boxed so lending it to a callback is a pointer move, not a copy of
@@ -439,6 +486,7 @@ impl Shard {
             topology,
             stats: NetStats::new(),
             trace: TraceBuf::new(trace_enabled),
+            rec: RecBuf::new(),
             events_processed: 0,
             scratch_fx: Some(Box::default()),
             batch_pool: Vec::new(),
@@ -636,8 +684,62 @@ impl Shard {
         debug_assert!(at_us >= self.now, "event queue went backwards");
         self.now = at_us;
         self.events_processed += 1;
+        if self.rec.is_enabled() {
+            self.record_pop(at_us, cause, &ev);
+        }
         self.handle(cause, ev);
         true
+    }
+
+    /// Append this pop to the record/replay buffer. Batched deliveries are
+    /// recorded one envelope each under their consecutive same-origin
+    /// causes, so the record stream is identical to the uncoalesced form.
+    fn record_pop(&mut self, at_us: u64, cause: u64, ev: &Event) {
+        let node = ev.node;
+        let rec = |kind, a, b| EventRecord {
+            at_us,
+            cause,
+            node,
+            kind,
+            a,
+            b,
+        };
+        match &ev.kind {
+            EventKind::Start { port } => {
+                self.rec
+                    .push(PHASE_EVENT, rec(EV_START, u64::from(port.0), 0));
+            }
+            EventKind::Deliver(env) => {
+                self.rec
+                    .push(PHASE_EVENT, rec(EV_DELIVER, env.seq, addr_code(env.src)));
+            }
+            EventKind::DeliverBatch(envs) => {
+                for (i, env) in envs.iter().enumerate() {
+                    self.rec.push(
+                        PHASE_EVENT,
+                        EventRecord {
+                            at_us,
+                            cause: cause + i as u64,
+                            node,
+                            kind: EV_DELIVER,
+                            a: env.seq,
+                            b: addr_code(env.src),
+                        },
+                    );
+                }
+            }
+            EventKind::Timer { port, token } => {
+                self.rec
+                    .push(PHASE_EVENT, rec(EV_TIMER, *token, u64::from(port.0)));
+            }
+            EventKind::CpuCheck { generation } => {
+                self.rec.push(PHASE_EVENT, rec(EV_CPU, *generation, 0));
+            }
+            EventKind::LoadChange { background } => {
+                self.rec
+                    .push(PHASE_EVENT, rec(EV_LOAD, background.to_bits(), 0));
+            }
+        }
     }
 
     /// Drain arrived cross-shard events into the local queue. Push order
@@ -668,6 +770,9 @@ impl Shard {
     pub(crate) fn apply_fence(&mut self, at: u64, cause: u64, op: &FaultOp) {
         self.advance_clock(at);
         apply_plan_op(&mut self.fault, op);
+        if self.rec.is_enabled() {
+            self.record_fence(at, cause, op);
+        }
         match *op {
             FaultOp::Kill(n) => {
                 if shard_of(n, self.total) == self.index {
@@ -680,7 +785,7 @@ impl Shard {
                 }
             }
             FaultOp::Partition(n, group) => {
-                if shard_of(n, self.total) == self.index {
+                if shard_of(n, self.total) == self.index && self.trace.is_enabled() {
                     self.trace.push(
                         at,
                         PHASE_FENCE,
@@ -691,7 +796,7 @@ impl Shard {
                 }
             }
             FaultOp::Heal => {
-                if self.index == 0 {
+                if self.index == 0 && self.trace.is_enabled() {
                     self.trace.push(
                         at,
                         PHASE_FENCE,
@@ -702,7 +807,7 @@ impl Shard {
                 }
             }
             FaultOp::DefaultLink(lf) => {
-                if self.index == 0 {
+                if self.index == 0 && self.trace.is_enabled() {
                     self.trace.push(
                         at,
                         PHASE_FENCE,
@@ -715,6 +820,72 @@ impl Shard {
                     );
                 }
             }
+        }
+    }
+
+    /// Append a fence application to the record/replay buffer. Exactly one
+    /// shard records each fence — the owning shard for node-scoped ops,
+    /// shard 0 for global ones — mirroring the trace-line conditions, so
+    /// the merged stream is identical for every shard count.
+    fn record_fence(&mut self, at: u64, cause: u64, op: &FaultOp) {
+        let (node, a, b) = match *op {
+            FaultOp::Kill(n) => (n, FENCE_KILL, 0),
+            FaultOp::Revive(n) => (n, FENCE_REVIVE, 0),
+            FaultOp::Partition(n, group) => (n, FENCE_PARTITION, u64::from(group)),
+            FaultOp::Heal => (NodeId(0), FENCE_HEAL, 0),
+            FaultOp::DefaultLink(lf) => {
+                let mut h = vce_net::Fnv64::new();
+                h.write_f64(lf.drop_prob)
+                    .write_f64(lf.dup_prob)
+                    .write_u64(lf.extra_delay_us)
+                    .write_u64(lf.jitter_us);
+                (NodeId(0), FENCE_LINK, h.finish())
+            }
+        };
+        let owns = match *op {
+            FaultOp::Kill(n) | FaultOp::Revive(n) | FaultOp::Partition(n, _) => {
+                shard_of(n, self.total) == self.index
+            }
+            FaultOp::Heal | FaultOp::DefaultLink(_) => self.index == 0,
+        };
+        if owns {
+            self.rec.push(
+                PHASE_FENCE,
+                EventRecord {
+                    at_us: at,
+                    cause,
+                    node,
+                    kind: EV_FENCE,
+                    a,
+                    b,
+                },
+            );
+        }
+    }
+
+    /// Fold every owned node's observable state into per-node digests,
+    /// appended to `out` as `(node, hash)` (unsorted; the facade sorts the
+    /// combined slice). Folds only shard-invariant state: slab-independent
+    /// scalars, CPU accounting, and each endpoint's
+    /// [`Endpoint::snapshot_hash`] in sorted-port order. Reads the CPU
+    /// without advancing it — its advanced-to point is a pure function of
+    /// the events dispatched, which is identical for every shard count.
+    pub(crate) fn node_hashes(&self, out: &mut Vec<(NodeId, u64)>) {
+        for n in &self.nodes {
+            let mut h = vce_net::Fnv64::new();
+            h.write_u64(u64::from(n.info.node.0))
+                .write_bool(n.dead)
+                .write_u64(n.cause_seq)
+                .write_u64(n.send_seq)
+                .write_u64(n.cpu.busy_us())
+                .write_u64(n.cpu.completed_jobs())
+                .write_u64(n.cpu.job_count() as u64)
+                .write_f64(n.cpu.background())
+                .write_f64(n.cpu.total_mops_done());
+            for (port, ep) in &n.endpoints {
+                h.write_u64(u64::from(port.0)).write_u64(ep.snapshot_hash());
+            }
+            out.push((n.info.node, h.finish()));
         }
     }
 
@@ -740,8 +911,10 @@ impl Shard {
             n.cpu.advance(at);
             n.cpu.clear();
         }
-        self.trace
-            .push(at, PHASE_FENCE, cause, node, "engine: node killed".into());
+        if self.trace.is_enabled() {
+            self.trace
+                .push(at, PHASE_FENCE, cause, node, "engine: node killed".into());
+        }
     }
 
     /// Revive an owned machine and re-run `on_start` on its endpoints.
@@ -764,8 +937,10 @@ impl Shard {
                 );
             }
         }
-        self.trace
-            .push(at, PHASE_FENCE, cause, node, "engine: node revived".into());
+        if self.trace.is_enabled() {
+            self.trace
+                .push(at, PHASE_FENCE, cause, node, "engine: node revived".into());
+        }
     }
 
     // ---- event handling ----
@@ -849,13 +1024,15 @@ impl Shard {
                     let n = &mut self.nodes[slot];
                     n.cpu.advance(now);
                     n.cpu.set_background(background);
-                    self.trace.push(
-                        now,
-                        PHASE_EVENT,
-                        cause,
-                        ev.node,
-                        format!("engine: background load -> {background}"),
-                    );
+                    if self.trace.is_enabled() {
+                        self.trace.push(
+                            now,
+                            PHASE_EVENT,
+                            cause,
+                            ev.node,
+                            format!("engine: background load -> {background}"),
+                        );
+                    }
                     self.schedule_cpu_check(ev.node);
                 }
             }
@@ -886,13 +1063,15 @@ impl Shard {
             self.stats.record_delivered();
             let Some(i) = n.ep_slot(port) else {
                 self.scratch_fx = Some(fx);
-                self.trace.push(
-                    now,
-                    PHASE_EVENT,
-                    cause,
-                    node,
-                    format!("engine: no endpoint for port {port:?}"),
-                );
+                if trace_on {
+                    self.trace.push(
+                        now,
+                        PHASE_EVENT,
+                        cause,
+                        node,
+                        format!("engine: no endpoint for port {port:?}"),
+                    );
+                }
                 return;
             };
             let SimNode {

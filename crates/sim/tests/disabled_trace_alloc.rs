@@ -1,0 +1,96 @@
+//! Disabled trace allocates nothing: the `format!` arguments at every
+//! `Host::log` / trace call site must sit behind the enabled check, so a
+//! sim in its warmed steady state with tracing off performs **zero** heap
+//! allocations per event. A single straggler site that builds its log
+//! string eagerly fails this test.
+//!
+//! One `#[test]` only — the counting allocator is process-global and a
+//! concurrent test would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vce_net::{Addr, Endpoint, Host, MachineInfo, NodeId};
+use vce_sim::{Sim, SimConfig, Topology};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Timer-only endpoint that logs every tick through the gated idiom. With
+/// the trace off, a warmed run of these is pure heap-pop/heap-push.
+struct Ticker;
+
+impl Endpoint for Ticker {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        host.set_timer(1_000, 1);
+    }
+    fn on_envelope(&mut self, _env: vce_net::Envelope, _host: &mut dyn Host) {}
+    fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
+        if host.log_enabled() {
+            host.log(format!("tick {token} at {}µs", host.now_us()));
+        }
+        host.set_timer(1_000, token);
+    }
+}
+
+fn steady_state_alloc_delta(trace_enabled: bool) -> u64 {
+    let mut sim = Sim::new(SimConfig {
+        seed: 5,
+        topology: Topology::default(),
+        trace_enabled,
+        shards: 1,
+    });
+    for n in 0..4u32 {
+        sim.add_node(MachineInfo::workstation(NodeId(n), 100.0));
+        sim.add_endpoint(Addr::daemon(NodeId(n)), Box::new(Ticker));
+    }
+    // Warm up: the first ticks grow the timer heap and scratch buffers to
+    // their steady-state capacity (the warmup horizon exceeds the measured
+    // window so every amortised doubling lands before measurement starts).
+    sim.run_until(1_200_000);
+    let before = allocs();
+    sim.run_until(2_200_000); // 4 endpoints × 1000 ticks
+    allocs() - before
+}
+
+#[test]
+fn disabled_trace_steady_state_allocates_nothing() {
+    let disabled = steady_state_alloc_delta(false);
+    let enabled = steady_state_alloc_delta(true);
+    assert!(
+        enabled > 1_000,
+        "sanity: enabled trace should allocate a string per tick, got {enabled}"
+    );
+    // The calendar queue's wheel wrap (every 2^21 µs) may promote its
+    // overflow heap once inside the window — an amortised infrastructure
+    // allocation, not a per-event one. Anything beyond that handful means
+    // some site allocates per event with the trace off.
+    assert!(
+        disabled <= 4,
+        "trace is disabled but the steady-state window allocated {disabled} \
+         times ({} events' worth) — a log/trace site builds its argument eagerly",
+        disabled / 4
+    );
+}

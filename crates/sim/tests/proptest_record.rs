@@ -1,0 +1,154 @@
+//! Torn-tail property for the `.vct` reader, mirroring the storage layer's
+//! journal contract: for any recorded trace and any truncation point, the
+//! reader reports `Truncated { frames_read }` with `frames_read` equal to
+//! the count of complete leading frames — it never panics, and it never
+//! reports a torn prefix as a complete recording. A single flipped bit
+//! anywhere breaks the CRC chain and is always rejected.
+
+use proptest::prelude::*;
+use vce_net::NodeId;
+use vce_sim::record::{
+    read_trace, EventRecord, ReadError, SnapshotRecord, TraceWriter, EV_DELIVER, EV_TIMER,
+};
+use vce_storage::FRAME_HEADER;
+
+/// One writer step: a batch of events or a snapshot cut.
+#[derive(Debug, Clone)]
+enum Step {
+    Events(Vec<EventRecord>),
+    Snapshot(SnapshotRecord),
+}
+
+fn arb_event() -> impl Strategy<Value = EventRecord> {
+    (
+        0u64..1_000_000,
+        any::<u64>(),
+        0u32..16,
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(at_us, cause, node, timer, a, b)| EventRecord {
+            at_us,
+            cause,
+            node: NodeId(node),
+            kind: if timer { EV_TIMER } else { EV_DELIVER },
+            a,
+            b,
+        })
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        prop::collection::vec(arb_event(), 0..20).prop_map(Step::Events),
+        (
+            0u64..1_000_000,
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((0u32..16, any::<u64>()), 0..8),
+        )
+            .prop_map(|(at_us, event_index, sim_hash, nodes)| {
+                Step::Snapshot(SnapshotRecord {
+                    at_us,
+                    event_index,
+                    sim_hash,
+                    nodes: nodes.into_iter().map(|(n, h)| (NodeId(n), h)).collect(),
+                })
+            }),
+    ]
+}
+
+/// Write an arbitrary trace to memory. Snapshot/End bookkeeping is the
+/// writer's own, so the full file always reads back `Ok`.
+fn build_trace(scenario: &str, steps: &[Step]) -> Vec<u8> {
+    let mut w = TraceWriter::to_memory(scenario, 10_000);
+    for step in steps {
+        match step {
+            Step::Events(evs) => w.append_events(evs).expect("memory write"),
+            Step::Snapshot(s) => w.snapshot(s).expect("memory write"),
+        }
+    }
+    w.finish(0x1234_5678_9abc_def0, 999_999)
+        .expect("memory write")
+        .expect("memory writer returns bytes")
+}
+
+/// Walk the framing and count frames whose bytes are fully within `cut`.
+fn complete_frames_before(bytes: &[u8], cut: usize) -> u64 {
+    let mut off = 4; // magic
+    let mut frames = 0;
+    while off + FRAME_HEADER <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let end = off + FRAME_HEADER + len;
+        if end > cut {
+            break;
+        }
+        frames += 1;
+        off = end;
+    }
+    frames
+}
+
+proptest! {
+    #[test]
+    fn any_truncation_is_reported_as_exactly_the_complete_prefix(
+        scenario in "[a-z =0-9]{0,40}",
+        steps in prop::collection::vec(arb_step(), 0..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = build_trace(&scenario, &steps);
+        prop_assert!(read_trace(&bytes).is_ok(), "full file must parse");
+
+        // cut == len would be the untorn file; clamp to a strict prefix.
+        let cut = (((bytes.len() as f64) * cut_frac) as usize).min(bytes.len() - 1);
+        let torn = &bytes[..cut];
+        match read_trace(torn) {
+            Err(ReadError::BadMagic) => prop_assert!(cut < 4, "magic intact but BadMagic"),
+            Err(ReadError::Truncated { frames_read }) => {
+                prop_assert_eq!(
+                    frames_read,
+                    complete_frames_before(&bytes, cut),
+                    "frames_read must count exactly the complete leading frames"
+                );
+            }
+            Ok(_) => prop_assert!(false, "torn prefix ({cut} of {} bytes) reported complete", bytes.len()),
+            Err(e) => prop_assert!(false, "truncation misreported as {e:?}"),
+        }
+    }
+
+    #[test]
+    fn every_cut_offset_never_panics_or_parses(
+        steps in prop::collection::vec(arb_step(), 0..6),
+    ) {
+        // Exhaustive over offsets for one trace per case: the reader must
+        // hold the prefix property at *every* byte boundary, not just the
+        // sampled ones.
+        let bytes = build_trace("exhaustive", &steps);
+        for cut in 0..bytes.len() {
+            match read_trace(&bytes[..cut]) {
+                Ok(_) => prop_assert!(false, "prefix of {cut} bytes parsed as complete"),
+                Err(ReadError::BadMagic) => prop_assert!(cut < 4),
+                Err(ReadError::Truncated { frames_read }) => {
+                    prop_assert_eq!(frames_read, complete_frames_before(&bytes, cut));
+                }
+                Err(e) => prop_assert!(false, "cut at {cut}: unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_single_bit_flip_never_parses(
+        steps in prop::collection::vec(arb_step(), 0..6),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let bytes = build_trace("bitflip", &steps);
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1 << bit;
+        prop_assert!(
+            read_trace(&flipped).is_err(),
+            "bit {bit} of byte {pos} flipped and the file still parsed"
+        );
+    }
+}

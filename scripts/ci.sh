@@ -69,6 +69,22 @@ diff -u "$shard_a" "$shard_b" || { echo "shard-determinism: exp_bidding diverged
 rm -f "$shard_a" "$shard_b"
 echo "shard-determinism: exp_bidding identical at VCE_SHARDS=4"
 
+# Record → replay must close: a `.vct` recording of a chaos cell, replayed
+# on the same binary, reports zero divergence (exit 0); and the recording
+# itself — frame layout, snapshot hash chain, every byte — must be
+# identical no matter how many shards produced it.
+echo "== record/replay divergence gate =="
+vct_a=$(mktemp --suffix .vct); vct_b=$(mktemp --suffix .vct)
+./target/release/vce_replay --record "$vct_a" 100 crashes checkpoint
+./target/release/vce_replay --divergence "$vct_a" \
+  || { echo "record/replay: same-binary replay diverged"; exit 1; }
+VCE_SHARDS=1 ./target/release/vce_replay --record "$vct_a" 101 mixed recompile > /dev/null
+VCE_SHARDS=4 VCE_SHARDS_THREADS=1 ./target/release/vce_replay --record "$vct_b" 101 mixed recompile > /dev/null
+cmp "$vct_a" "$vct_b" \
+  || { echo "record/replay: .vct recording differs between VCE_SHARDS=1 and 4"; exit 1; }
+rm -f "$vct_a" "$vct_b"
+echo "record/replay: zero divergence; recording byte-identical at VCE_SHARDS=4"
+
 # The barriers must make worker wake order irrelevant: sweep 32 seeded
 # schedule permutations (each yields workers pseudo-randomly before the
 # ship/publish phases) and require the serial digest every time.
