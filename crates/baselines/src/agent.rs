@@ -128,4 +128,18 @@ impl Endpoint for AgentEndpoint {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_hash(&self) -> u64 {
+        let mut h = vce_net::Fnv64::new();
+        h.write_u64(self.next_pid)
+            .write_u64(self.running.len() as u64);
+        for (job, pid) in &self.running {
+            h.write_u64(u64::from(job.0)).write_u64(*pid);
+        }
+        h.write_u64(self.suspended.len() as u64);
+        for (job, rem) in &self.suspended {
+            h.write_u64(u64::from(job.0)).write_f64(*rem);
+        }
+        h.finish()
+    }
 }

@@ -339,4 +339,37 @@ impl Endpoint for SchedulerEndpoint {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_hash(&self) -> u64 {
+        let mut h = vce_net::Fnv64::new();
+        h.write_u64(self.jobs.len() as u64);
+        for (id, j) in &self.jobs {
+            let (tag, node, at): (u64, u64, u64) = match j.state {
+                JobState::Waiting => (0, 0, 0),
+                JobState::Ready { since_us } => (1, 0, since_us),
+                JobState::Running(n) => (2, u64::from(n.0), 0),
+                JobState::Suspended(n) => (3, u64::from(n.0), 0),
+                JobState::Recalling(n) => (4, u64::from(n.0), 0),
+                JobState::Done { at_us } => (5, 0, at_us),
+            };
+            h.write_u64(u64::from(id.0))
+                .write_u64(tag)
+                .write_u64(node)
+                .write_u64(at)
+                .write_f64(j.remaining_mops);
+        }
+        h.write_u64(self.machines.len() as u64);
+        for (n, m) in &self.machines {
+            h.write_u64(u64::from(n.0))
+                .write_f64(m.load)
+                .write_f64(m.background)
+                .write_u64(m.running.len() as u64)
+                .write_u64(m.suspended.len() as u64);
+        }
+        h.write_u64(self.counters.placements)
+            .write_u64(self.counters.suspensions)
+            .write_u64(self.counters.resumes)
+            .write_u64(self.counters.recalls);
+        h.finish()
+    }
 }

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use vce_bench::chaos::{baseline_makespan_us, run_chaos, ChaosConfig, ScheduleShape};
+use vce_bench::graydetect::{detection_latency, gray_link_churn, pct};
 use vce_bench::sweep::{sweep, threads_for};
 use vce_bench::{bidding_round_detailed, heartbeat_storm, message_storm, sharded_storm};
 use vce_exm::migrate::MigrationTechnique;
@@ -25,6 +26,7 @@ const SHARDED_TICKS: u32 = 25;
 const SWEEP_SEEDS: u64 = 8;
 const SWEEP_GROUP: u32 = 8;
 const SWEEP_JITTER_US: u64 = 800;
+const GRAY_SEEDS: u64 = 10;
 
 /// Warm up once, then take the best of `reps` timed runs (least scheduler
 /// noise) — each rep is a full deterministic sim run, so at least one rep
@@ -136,6 +138,22 @@ fn main() {
     });
     let chaos_base_us = baseline_makespan_us(MigrationTechnique::Checkpoint);
 
+    // Failure-detection headline (F6, see exp_graydetect): true-crash
+    // detection latency on a clean network and false evictions under gray
+    // links, for both detector configurations. Deterministic sim numbers,
+    // so they regress loudly rather than drifting.
+    let mut gray: Vec<(&str, u64, u64, u64)> = Vec::new();
+    for &(name, adaptive) in &[("fixed", false), ("adaptive", true)] {
+        let mut lat: Vec<u64> = (0..GRAY_SEEDS)
+            .map(|s| detection_latency(s, adaptive))
+            .collect();
+        lat.sort_unstable();
+        let false_evictions: u64 = (0..GRAY_SEEDS)
+            .map(|s| gray_link_churn(s, adaptive).0)
+            .sum();
+        gray.push((name, pct(&lat, 50), pct(&lat, 99), false_evictions));
+    }
+
     println!("{{");
     println!("  \"schema\": \"vce-bench-snapshot-v1\",");
     println!("  \"storm\": {{");
@@ -190,6 +208,18 @@ fn main() {
         );
     }
     println!("    \"identical_output\": {identical}");
+    println!("  }},");
+    println!("  \"gray_detection\": {{");
+    println!("    \"seeds\": {GRAY_SEEDS},");
+    for (i, (name, p50, p99, fe)) in gray.iter().enumerate() {
+        let comma = if i + 1 < gray.len() { "," } else { "" };
+        println!(
+            "    \"{name}\": {{ \"detect_p50_s\": {:.2}, \"detect_p99_s\": {:.2}, \
+             \"false_evictions\": {fe} }}{comma}",
+            *p50 as f64 / 1e6,
+            *p99 as f64 / 1e6
+        );
+    }
     println!("  }},");
     println!("  \"chaos\": {{");
     println!(

@@ -25,6 +25,13 @@
 //! 7. **PrefixRecovery** — every recovery replays a *prefix* of what was
 //!    journaled (a torn tail truncates; it never resurrects later records
 //!    or invents state).
+//! 8. **BoundedDetection** — a node continuously dead past the detection
+//!    bound, while the surviving network is clean, is out of every
+//!    surviving daemon's view (the failure detector cannot sleep through a
+//!    true crash, however adaptive its thresholds).
+//! 9. **NoSlowEviction** — a CPU-degraded but alive node (it still
+//!    heartbeats) is never evicted from the group: gray slowness is the
+//!    scheduler's problem, not the failure detector's.
 //!
 //! The storage-fault shapes (`crash-recover`, `torn-tail`, `device-loss`)
 //! drive the same crash/revive churn as `crashes` but pin the stable
@@ -32,6 +39,12 @@
 //! intact logs, torn tails that must truncate, and total device loss that
 //! must fall back to pre-WAL amnesia (the §4.4 techniques then re-cover
 //! the lost work).
+//!
+//! The gray-failure shapes (`slow-nodes`, `asym-links`, `link-ramp`,
+//! `flapping`) inject the faults that do *not* announce themselves: CPU
+//! degradation, one-direction link loss, links that decay gradually, and a
+//! node that flaps fast before dying for real (the flap-damping quarantine
+//! must tame it; the true death must still be detected within the bound).
 //!
 //! Schedules are a pure function of `(seed, shape, technique)`, so a
 //! failing run is replayed exactly by re-running its config with the
@@ -74,6 +87,13 @@ const GRACE_LEADER_US: u64 = 5_000_000;
 /// long once both hosts are reachable (probe period × miss limit + kill
 /// delivery + margin).
 const GRACE_DUP_US: u64 = 8_000_000;
+/// A continuously-dead node must be out of every surviving view within
+/// this long, provided the surviving network is clean (adaptive detector
+/// cap 3 s + view install + generous margin).
+const DETECT_BOUND_US: u64 = 8_000_000;
+/// A slowed node's view membership is only judged after this long — lets
+/// churn from the slow-down moment (there should be none) settle.
+const GRACE_SLOW_US: u64 = 3_000_000;
 
 /// The isis heartbeat period the fleet runs with (see
 /// `vce_isis::GroupConfig`); used to express reconvergence in heartbeats.
@@ -104,11 +124,26 @@ pub enum ScheduleShape {
     /// recovery degrades to pre-WAL amnesia and the §4.4 techniques must
     /// re-cover the lost work.
     DeviceLoss,
+    /// Gray CPU degradation: nodes run k× slower for a while, then
+    /// restore. They still heartbeat — the detector must not evict them
+    /// (INV9) while straggler hedging rescues their divisible work.
+    SlowNodes,
+    /// Asymmetric one-direction link faults: heavy loss/jitter src→dst
+    /// while dst→src stays clean (the classic gray failure the fixed
+    /// detector false-evicts on).
+    AsymLinks,
+    /// A link that degrades in escalating steps — loss and jitter ramp up
+    /// over seconds before the link is cleared.
+    LinkRamp,
+    /// One node flaps (short kill/revive cycles) and then dies for real:
+    /// flap damping must quarantine the flapper, and the true death must
+    /// still be detected within the bound (INV8).
+    Flapping,
 }
 
 impl ScheduleShape {
     /// Every shape, in sweep order.
-    pub const ALL: [ScheduleShape; 8] = [
+    pub const ALL: [ScheduleShape; 12] = [
         ScheduleShape::Crashes,
         ScheduleShape::Partitions,
         ScheduleShape::Bursts,
@@ -117,6 +152,18 @@ impl ScheduleShape {
         ScheduleShape::CrashRecover,
         ScheduleShape::TornTail,
         ScheduleShape::DeviceLoss,
+        ScheduleShape::SlowNodes,
+        ScheduleShape::AsymLinks,
+        ScheduleShape::LinkRamp,
+        ScheduleShape::Flapping,
+    ];
+
+    /// The gray-failure shapes alone, for the quick CI smoke stage.
+    pub const GRAY: [ScheduleShape; 4] = [
+        ScheduleShape::SlowNodes,
+        ScheduleShape::AsymLinks,
+        ScheduleShape::LinkRamp,
+        ScheduleShape::Flapping,
     ];
 
     /// Stable name for tables and reports.
@@ -130,6 +177,10 @@ impl ScheduleShape {
             ScheduleShape::CrashRecover => "crash-recover",
             ScheduleShape::TornTail => "torn-tail",
             ScheduleShape::DeviceLoss => "device-loss",
+            ScheduleShape::SlowNodes => "slow-nodes",
+            ScheduleShape::AsymLinks => "asym-links",
+            ScheduleShape::LinkRamp => "link-ramp",
+            ScheduleShape::Flapping => "flapping",
         }
     }
 
@@ -254,7 +305,7 @@ pub struct ChaosConfig {
     pub trace: bool,
 }
 
-/// The seven checked invariants.
+/// The nine checked invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Invariant {
     /// ≤1 coordinator allocating per component.
@@ -271,6 +322,10 @@ pub enum Invariant {
     NoReexec,
     /// Every recovery replays a prefix of what was journaled.
     PrefixRecovery,
+    /// A truly crashed node leaves every surviving view within the bound.
+    BoundedDetection,
+    /// A merely-slow (alive, heartbeating) node is never evicted.
+    NoSlowEviction,
 }
 
 impl fmt::Display for Invariant {
@@ -283,6 +338,8 @@ impl fmt::Display for Invariant {
             Invariant::Reconverge => "reconverge",
             Invariant::NoReexec => "no-reexec",
             Invariant::PrefixRecovery => "recovery-prefix",
+            Invariant::BoundedDetection => "bounded-detection",
+            Invariant::NoSlowEviction => "no-slow-eviction",
         };
         f.write_str(s)
     }
@@ -308,7 +365,7 @@ pub struct ChaosOutcome {
     pub shape: ScheduleShape,
     /// Technique the tasks were equipped with.
     pub technique: MigrationTechnique,
-    /// Violations observed (empty = all seven invariants green).
+    /// Violations observed (empty = all nine invariants green).
     pub violations: Vec<Violation>,
     /// Fault ops injected (kills + partitions + bursts + heals).
     pub faults: u32,
@@ -326,7 +383,7 @@ pub struct ChaosOutcome {
 }
 
 impl ChaosOutcome {
-    /// All seven invariants held.
+    /// All nine invariants held.
     pub fn green(&self) -> bool {
         self.violations.is_empty()
     }
@@ -464,6 +521,94 @@ fn generate(cfg: &ChaosConfig, start_us: u64) -> Schedule {
             engine_ops.push((until, FaultOp::DefaultLink(LinkFault::default())));
         }
     };
+    let slow_nodes = |rng: &mut SmallRng, engine_ops: &mut Vec<(u64, FaultOp)>, n: u32| {
+        // Gray CPU degradation: k×-slower for most of the window, then
+        // restored. Distinct nodes so each window is one clean story.
+        let mut used: Vec<u32> = Vec::new();
+        for _ in 0..n {
+            let node = rng.gen_range(1..FLEET);
+            if used.contains(&node) {
+                continue;
+            }
+            used.push(node);
+            let at = rng.gen_range(start_us + 500_000..start_us + 4_000_000);
+            let until = (at + rng.gen_range(8_000_000..14_000_000)).min(end_us - 500_000);
+            let factor = rng.gen_range(4..=6);
+            engine_ops.push((at, FaultOp::SlowNode(NodeId(node), factor)));
+            engine_ops.push((until, FaultOp::SlowNode(NodeId(node), 1)));
+        }
+    };
+    let asym_links = |rng: &mut SmallRng, engine_ops: &mut Vec<(u64, FaultOp)>, n: u32| {
+        for _ in 0..n {
+            let src = rng.gen_range(0..FLEET);
+            let mut dst = rng.gen_range(0..FLEET);
+            if dst == src {
+                dst = (dst + 1) % FLEET;
+            }
+            let at = rng.gen_range(start_us + 500_000..end_us - 5_000_000);
+            let until = (at + rng.gen_range(3_000_000..6_000_000)).min(end_us - 500_000);
+            // One direction only: heavy loss and jitter src→dst while
+            // dst→src stays pristine. (`Heal` does not touch directed
+            // entries, so the window clears itself.)
+            let lf = LinkFault {
+                drop_prob: rng.gen_range(0.40..0.85),
+                extra_delay_us: rng.gen_range(0..30_000),
+                jitter_us: rng.gen_range(10_000..80_000),
+                dup_prob: 0.0,
+            };
+            engine_ops.push((at, FaultOp::Link(NodeId(src), NodeId(dst), lf)));
+            engine_ops.push((until, FaultOp::ClearLink(NodeId(src), NodeId(dst))));
+        }
+    };
+    let ramps = |rng: &mut SmallRng, engine_ops: &mut Vec<(u64, FaultOp)>, n: u32| {
+        // A link that decays in escalating ~1 s steps — the detector sees
+        // inter-arrival gaps stretch gradually, not a step function.
+        for _ in 0..n {
+            let src = rng.gen_range(1..FLEET);
+            let mut dst = rng.gen_range(0..FLEET);
+            if dst == src {
+                dst = (src + 1) % FLEET;
+            }
+            let steps: u64 = 5;
+            let step_us = rng.gen_range(800_000..1_400_000);
+            let span = steps * step_us + 2_000_000;
+            let at = rng.gen_range(start_us + 500_000..(end_us - 500_000).saturating_sub(span));
+            for s in 0..steps {
+                let lf = LinkFault {
+                    drop_prob: 0.15 * (s + 1) as f64,
+                    extra_delay_us: 4_000 * (s + 1),
+                    jitter_us: 15_000 * (s + 1),
+                    dup_prob: 0.0,
+                };
+                engine_ops.push((
+                    at + s * step_us,
+                    FaultOp::Link(NodeId(src), NodeId(dst), lf),
+                ));
+            }
+            engine_ops.push((at + span, FaultOp::ClearLink(NodeId(src), NodeId(dst))));
+        }
+    };
+    let flapping = |rng: &mut SmallRng,
+                    engine_ops: &mut Vec<(u64, FaultOp)>,
+                    dead_windows: &mut Vec<(u64, u64, u32)>| {
+        // One node flaps — deaths long enough that each one is detected
+        // and evicted (past the adaptive floor), revivals quick — then
+        // dies for real long enough to trip INV8's detection bound.
+        let node = rng.gen_range(1..FLEET);
+        let mut at = start_us + rng.gen_range(500_000..1_000_000);
+        for _ in 0..3 {
+            let dead_for = rng.gen_range(1_200_000..1_600_000);
+            engine_ops.push((at, FaultOp::Kill(NodeId(node))));
+            engine_ops.push((at + dead_for, FaultOp::Revive(NodeId(node))));
+            dead_windows.push((at, at + dead_for, node));
+            at += dead_for + rng.gen_range(1_200_000..1_800_000);
+        }
+        let back = end_us - 500_000;
+        debug_assert!(back.saturating_sub(at) > DETECT_BOUND_US + 2 * OBS_US);
+        engine_ops.push((at, FaultOp::Kill(NodeId(node))));
+        engine_ops.push((back, FaultOp::Revive(NodeId(node))));
+        dead_windows.push((at, back, node));
+    };
     let hunts = |rng: &mut SmallRng, driver_ops: &mut Vec<(u64, DriverOp)>, n: u32| {
         // The first strike lands moments after dispatch — mid-bid or
         // mid-allocation for the opening request wave; later strikes catch
@@ -495,6 +640,10 @@ fn generate(cfg: &ChaosConfig, start_us: u64) -> Schedule {
         ScheduleShape::CrashRecover | ScheduleShape::TornTail | ScheduleShape::DeviceLoss => {
             crashes(&mut rng, &mut engine_ops, &mut dead_windows, 8)
         }
+        ScheduleShape::SlowNodes => slow_nodes(&mut rng, &mut engine_ops, 3),
+        ScheduleShape::AsymLinks => asym_links(&mut rng, &mut engine_ops, 4),
+        ScheduleShape::LinkRamp => ramps(&mut rng, &mut engine_ops, 2),
+        ScheduleShape::Flapping => flapping(&mut rng, &mut engine_ops, &mut dead_windows),
     }
 
     // The campaign's contract: after `end_us` nothing is broken any more.
@@ -574,20 +723,30 @@ fn fleet_vce(cfg: &ChaosConfig) -> Vce {
 #[derive(Default)]
 struct NetMirror {
     dead: BTreeSet<u32>,
+    /// When each currently-dead node died (INV8's continuity clock).
+    died_at: BTreeMap<u32, u64>,
     group: BTreeMap<u32, u32>,
+    /// Currently CPU-degraded nodes and when the slow-down landed.
+    slow: BTreeMap<u32, u64>,
+    /// Directed link faults currently installed.
+    gray_links: BTreeSet<(u32, u32)>,
+    /// A non-default `DefaultLink` burst is in force.
+    bursty: bool,
     /// Every node the schedule has killed at least once (journal report).
     ever_crashed: BTreeSet<u32>,
 }
 
 impl NetMirror {
-    fn apply(&mut self, op: &FaultOp) {
+    fn apply(&mut self, at: u64, op: &FaultOp) {
         match *op {
             FaultOp::Kill(n) => {
                 self.dead.insert(n.0);
+                self.died_at.entry(n.0).or_insert(at);
                 self.ever_crashed.insert(n.0);
             }
             FaultOp::Revive(n) => {
                 self.dead.remove(&n.0);
+                self.died_at.remove(&n.0);
             }
             FaultOp::Partition(n, g) => {
                 if g == 0 {
@@ -597,7 +756,20 @@ impl NetMirror {
                 }
             }
             FaultOp::Heal => self.group.clear(),
-            FaultOp::DefaultLink(_) => {}
+            FaultOp::DefaultLink(lf) => self.bursty = lf != LinkFault::default(),
+            FaultOp::Link(src, dst, _) => {
+                self.gray_links.insert((src.0, dst.0));
+            }
+            FaultOp::ClearLink(src, dst) => {
+                self.gray_links.remove(&(src.0, dst.0));
+            }
+            FaultOp::SlowNode(n, factor) => {
+                if factor > 1 {
+                    self.slow.entry(n.0).or_insert(at);
+                } else {
+                    self.slow.remove(&n.0);
+                }
+            }
         }
     }
 
@@ -607,6 +779,14 @@ impl NetMirror {
 
     fn group_of(&self, n: u32) -> u32 {
         self.group.get(&n).copied().unwrap_or(0)
+    }
+
+    /// The surviving network carries messages faithfully: no partitions,
+    /// no directed gray links, no loss burst. Only then are the detection
+    /// invariants (INV8/INV9) judgeable — a detector cannot be blamed for
+    /// what the network hid from it.
+    fn network_clean(&self) -> bool {
+        self.group.is_empty() && self.gray_links.is_empty() && !self.bursty
     }
 }
 
@@ -618,6 +798,11 @@ struct Watch {
     /// WAL recoveries already checked, keyed `(node, recovery_seq)` — each
     /// revive's report is judged exactly once.
     recoveries_seen: BTreeSet<(u32, u64)>,
+    /// INV8 violations already reported, keyed `(dead node, died_at)` —
+    /// one report per death, not one per observation quantum.
+    detect_seen: BTreeSet<(u32, u64)>,
+    /// INV9 violations already reported, keyed `(slow node, slowed_at)`.
+    noslow_seen: BTreeSet<(u32, u64)>,
 }
 
 fn observe(vce: &mut Vce, mirror: &NetMirror, watch: &mut Watch, violations: &mut Vec<Violation>) {
@@ -696,6 +881,66 @@ fn observe(vce: &mut Vce, mirror: &NetMirror, watch: &mut Watch, violations: &mu
                     rec.seq, rec.replayed, rec.appended, rec.fault, rec.truncated_bytes
                 ),
             });
+        }
+    }
+    // INV8/INV9: only judged while the surviving network is clean.
+    if mirror.network_clean() {
+        // INV8: a node continuously dead past the bound must be out of
+        // every surviving daemon's view.
+        for (&d, &since) in &mirror.died_at {
+            if now.saturating_sub(since) <= DETECT_BOUND_US
+                || watch.detect_seen.contains(&(d, since))
+            {
+                continue;
+            }
+            let holdouts: Vec<u32> = mirror
+                .alive()
+                .filter(|&m| {
+                    vce.with_daemon(NodeId(m), |dm| {
+                        dm.view().members.iter().any(|mm| mm.addr.node == NodeId(d))
+                    })
+                    .unwrap_or(false)
+                })
+                .collect();
+            if !holdouts.is_empty() {
+                watch.detect_seen.insert((d, since));
+                violations.push(Violation {
+                    invariant: Invariant::BoundedDetection,
+                    at_us: now,
+                    detail: format!(
+                        "node {d} dead since {since}µs still in the views of {holdouts:?}"
+                    ),
+                });
+            }
+        }
+        // INV9: a merely-slow node (alive, heartbeating) stays a member.
+        for (&s, &since) in &mirror.slow {
+            if mirror.dead.contains(&s)
+                || now.saturating_sub(since) <= GRACE_SLOW_US
+                || watch.noslow_seen.contains(&(s, since))
+            {
+                continue;
+            }
+            let evictors: Vec<u32> = mirror
+                .alive()
+                .filter(|&m| m != s)
+                .filter(|&m| {
+                    !vce.with_daemon(NodeId(m), |dm| {
+                        dm.view().members.iter().any(|mm| mm.addr.node == NodeId(s))
+                    })
+                    .unwrap_or(true)
+                })
+                .collect();
+            if !evictors.is_empty() {
+                watch.noslow_seen.insert((s, since));
+                violations.push(Violation {
+                    invariant: Invariant::NoSlowEviction,
+                    at_us: now,
+                    detail: format!(
+                        "slow-but-alive node {s} (degraded since {since}µs) evicted by {evictors:?}"
+                    ),
+                });
+            }
         }
     }
     let mut still_dup: BTreeSet<InstanceKey> = BTreeSet::new();
@@ -806,12 +1051,12 @@ pub fn run_chaos_recorded(
         now = (now + OBS_US).min(schedule.end_us);
         vce.sim_mut().run_until(now);
         while pending_engine.first().is_some_and(|&(t, _)| t <= now) {
-            let (_, op) = pending_engine.remove(0);
-            mirror.apply(&op);
+            let (t, op) = pending_engine.remove(0);
+            mirror.apply(t, &op);
         }
         for &(t, node) in &pending_revives {
             if t <= now {
-                mirror.apply(&FaultOp::Revive(NodeId(node)));
+                mirror.apply(t, &FaultOp::Revive(NodeId(node)));
             }
         }
         pending_revives.retain(|&(t, _)| t > now);
@@ -823,7 +1068,7 @@ pub fn run_chaos_recorded(
                     if let Some(victim) = leader.filter(|l| l.0 != 0) {
                         if mirror.dead.len() < (FLEET as usize - 1) / 2 {
                             vce.kill_node(victim);
-                            mirror.apply(&FaultOp::Kill(victim));
+                            mirror.apply(now, &FaultOp::Kill(victim));
                             let back = now + 3_000_000;
                             vce.sim_mut().schedule_fault(back, FaultOp::Revive(victim));
                             pending_revives.push((back, victim.0));
@@ -839,7 +1084,7 @@ pub fn run_chaos_recorded(
     if let Some(&(t, _)) = pending_revives.iter().max_by_key(|&&(t, _)| t) {
         vce.sim_mut().run_until(t);
         for &(_, node) in &pending_revives {
-            mirror.apply(&FaultOp::Revive(NodeId(node)));
+            mirror.apply(t, &FaultOp::Revive(NodeId(node)));
         }
     }
     let heal_us = vce.sim().now_us();
@@ -1128,6 +1373,131 @@ mod tests {
             seed: 9,
             shape: ScheduleShape::DeviceLoss,
             technique: MigrationTechnique::Recompile,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
+    }
+
+    /// The asymmetry regression: the gray-link generator must install a
+    /// *directed* fault and clear exactly that direction — never the
+    /// reverse (the old burst generator could only fault both directions
+    /// at once via `DefaultLink`).
+    #[test]
+    fn asym_schedules_fault_exactly_one_direction() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            shape: ScheduleShape::AsymLinks,
+            technique: MigrationTechnique::Recompile,
+            trace: false,
+        };
+        let s = generate(&cfg, 2_500_000);
+        let mut faulted: Vec<(u32, u32)> = Vec::new();
+        let mut cleared: Vec<(u32, u32)> = Vec::new();
+        for (_, op) in &s.engine_ops {
+            match op {
+                FaultOp::Link(a, b, lf) => {
+                    assert!(lf.drop_prob > 0.0);
+                    faulted.push((a.0, b.0));
+                }
+                FaultOp::ClearLink(a, b) => cleared.push((a.0, b.0)),
+                _ => {}
+            }
+        }
+        assert!(!faulted.is_empty());
+        for pair in &faulted {
+            assert!(
+                !faulted.contains(&(pair.1, pair.0)),
+                "direction {pair:?} must not also be faulted in reverse"
+            );
+            assert!(
+                cleared.contains(pair),
+                "faulted direction {pair:?} must be cleared by its window"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_and_flap_schedules_carry_their_gray_ops() {
+        let mk = |shape| {
+            generate(
+                &ChaosConfig {
+                    seed: 21,
+                    shape,
+                    technique: MigrationTechnique::Checkpoint,
+                    trace: false,
+                },
+                2_500_000,
+            )
+        };
+        let slow = mk(ScheduleShape::SlowNodes);
+        let mut degraded = 0;
+        let mut restored = 0;
+        for (_, op) in &slow.engine_ops {
+            if let FaultOp::SlowNode(_, f) = op {
+                if *f > 1 {
+                    assert!((4..=6).contains(f));
+                    degraded += 1;
+                } else {
+                    restored += 1;
+                }
+            }
+        }
+        assert!(degraded >= 1);
+        assert_eq!(degraded, restored, "every slow-down must restore");
+        // The flapper dies for real long enough for INV8 to bite, and the
+        // final revive lands inside the window.
+        let flap = mk(ScheduleShape::Flapping);
+        let kills: Vec<u64> = flap
+            .engine_ops
+            .iter()
+            .filter(|(_, op)| matches!(op, FaultOp::Kill(_)))
+            .map(|&(t, _)| t)
+            .collect();
+        let revives: Vec<u64> = flap
+            .engine_ops
+            .iter()
+            .filter(|(_, op)| matches!(op, FaultOp::Revive(_)))
+            .map(|&(t, _)| t)
+            .collect();
+        assert_eq!(kills.len(), 4, "three flaps plus the real death");
+        let last_kill = *kills.iter().max().unwrap();
+        let last_revive = *revives.iter().max().unwrap();
+        assert!(last_revive - last_kill > DETECT_BOUND_US + 2 * OBS_US);
+        assert!(last_revive < flap.end_us);
+    }
+
+    #[test]
+    fn a_slow_nodes_run_stays_green_with_no_false_evictions() {
+        let cfg = ChaosConfig {
+            seed: 2,
+            shape: ScheduleShape::SlowNodes,
+            technique: MigrationTechnique::Checkpoint,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
+        assert!(out.makespan_us.is_some());
+    }
+
+    #[test]
+    fn an_asym_links_run_stays_green() {
+        let cfg = ChaosConfig {
+            seed: 4,
+            shape: ScheduleShape::AsymLinks,
+            technique: MigrationTechnique::Recompile,
+            trace: false,
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.green(), "violations: {:#?}", out.violations);
+    }
+
+    #[test]
+    fn a_flapping_run_is_damped_and_detected_in_bound() {
+        let cfg = ChaosConfig {
+            seed: 6,
+            shape: ScheduleShape::Flapping,
+            technique: MigrationTechnique::Checkpoint,
             trace: false,
         };
         let out = run_chaos(&cfg);

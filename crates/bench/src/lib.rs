@@ -3,6 +3,7 @@
 //! benches drive identical code.
 
 pub mod chaos;
+pub mod graydetect;
 pub mod sweep;
 
 use vce::prelude::*;
@@ -33,6 +34,13 @@ pub fn message_storm(nodes: u32, ticks: u32) -> u64 {
         fn on_start(&mut self, host: &mut dyn Host) {
             host.set_timer(1_000, TICK);
             host.set_timer(10_000, WATCHDOG);
+        }
+        fn snapshot_hash(&self) -> u64 {
+            let mut h = vce_net::Fnv64::new();
+            h.write_u64(u64::from(self.me.node.0))
+                .write_u64(u64::from(self.ticks_left))
+                .write_u64(self.received);
+            h.finish()
         }
         fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {
             self.received += 1;
@@ -107,6 +115,13 @@ pub fn heartbeat_storm(nodes: u32, seconds: u64) -> u64 {
         fn on_start(&mut self, host: &mut dyn Host) {
             host.set_timer(TICK_US, TICK);
             host.set_timer(1_000_000, WATCHDOG);
+        }
+        fn snapshot_hash(&self) -> u64 {
+            let mut h = vce_net::Fnv64::new();
+            h.write_u64(u64::from(self.me.node.0))
+                .write_u64(self.ticks)
+                .write_u64(self.received);
+            h.finish()
         }
         fn on_envelope(&mut self, _env: Envelope, _host: &mut dyn Host) {
             self.received += 1;
@@ -185,6 +200,13 @@ pub fn sharded_storm(nodes: u32, ticks: u32, shards: usize) -> StormRun {
     impl Endpoint for FanoutPeer {
         fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
             Some(self)
+        }
+        fn snapshot_hash(&self) -> u64 {
+            let mut h = vce_net::Fnv64::new();
+            h.write_u64(u64::from(self.me.node.0))
+                .write_u64(u64::from(self.ticks_left))
+                .write_u64(self.received);
+            h.finish()
         }
         fn on_start(&mut self, host: &mut dyn Host) {
             host.set_timer(1_000, TICK);

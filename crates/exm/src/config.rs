@@ -69,6 +69,24 @@ pub struct ExmConfig {
     /// reproduces the pre-WAL daemon (total amnesia on reboot) — the
     /// baseline arm of `exp_recovery`.
     pub wal_enabled: bool,
+    /// Use the adaptive phi-accrual failure detector + flap-damping
+    /// quarantine in the daemons' Isis groups. `false` reproduces the flat
+    /// fixed-timeout detector — the baseline arm of `exp_graydetect` (F6).
+    pub adaptive_detection: bool,
+    /// Straggler hedging: when a divisible task's instance stalls below
+    /// `hedge_stall_fraction` of its expected progress rate, the executor
+    /// speculatively re-requests a redundant copy elsewhere.
+    pub hedge_enabled: bool,
+    /// Progress-rate fraction (per-mille, integer for determinism) below
+    /// which an instance counts as stalled. 300 = hedging kicks in under
+    /// 30% of the nominal per-job rate on its host.
+    pub hedge_stall_permille: u32,
+    /// Probe-reply samples required before an instance can be judged
+    /// stalled (one sample gives no rate; more damp transients).
+    pub hedge_min_samples: u32,
+    /// Remaining work, Mops, below which hedging is pointless (the
+    /// original will finish before a hedge could spin up).
+    pub hedge_min_remaining_mops: f64,
 }
 
 impl Default for ExmConfig {
@@ -96,6 +114,11 @@ impl Default for ExmConfig {
             probe_period_us: 2_000_000,
             storage: vce_storage::StorageConfig::default(),
             wal_enabled: true,
+            adaptive_detection: true,
+            hedge_enabled: true,
+            hedge_stall_permille: 300,
+            hedge_min_samples: 2,
+            hedge_min_remaining_mops: 50.0,
         }
     }
 }
@@ -116,5 +139,12 @@ mod tests {
         assert!(c.idle_threshold < c.owner_busy_threshold);
         assert!(c.redundancy >= 1);
         assert_eq!(c.policy, PlacementPolicy::UtilizationFirst);
+        assert!(c.adaptive_detection);
+        assert!(c.hedge_enabled);
+        // A stalled instance must be detectably below full speed.
+        assert!(c.hedge_stall_permille < 1000);
+        // Rate estimation needs at least two probe samples.
+        assert!(c.hedge_min_samples >= 2);
+        assert!(c.hedge_min_remaining_mops > 0.0);
     }
 }

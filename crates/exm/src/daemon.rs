@@ -194,9 +194,11 @@ impl DaemonEndpoint {
     /// every machine in the same class (the group's candidate list).
     pub fn new(node: NodeId, class: MachineClass, peers: Vec<Addr>, cfg: ExmConfig) -> Self {
         let me = Addr::daemon(node);
-        let gm = GroupMember::with_wrapper(me, GroupConfig::new(peers), |m| {
-            encode_msg(&ExmMsg::Isis(m.clone()))
-        });
+        let mut group_cfg = GroupConfig::new(peers);
+        if !cfg.adaptive_detection {
+            group_cfg = group_cfg.with_fixed_detection();
+        }
+        let gm = GroupMember::with_wrapper(me, group_cfg, |m| encode_msg(&ExmMsg::Isis(m.clone())));
         let aging = cfg.aging_quantum_us;
         let wal = DaemonWal::new(cfg.storage.clone(), cfg.wal_enabled);
         Self {
@@ -1127,11 +1129,22 @@ impl Endpoint for DaemonEndpoint {
             }
             ExmMsg::ProbeTask { key, reply_to } => {
                 let running = self.tasks.contains_key(&key);
+                // Report live progress so the executor's straggler hedging
+                // can estimate this copy's rate (0 when not resident).
+                let remaining_mops = self.tasks.get(&key).map_or(0.0, |r| match r.state {
+                    RunState::Running(pid) => host.work_remaining(pid).unwrap_or(r.work_to_run),
+                    _ => r.work_to_run,
+                });
                 let node = host.machine().node;
                 self.send(
                     host,
                     reply_to,
-                    &ExmMsg::TaskStatusReply { key, running, node },
+                    &ExmMsg::TaskStatusReply {
+                        key,
+                        running,
+                        node,
+                        remaining_mops,
+                    },
                 );
             }
             // Messages only other roles receive.

@@ -55,6 +55,14 @@ pub enum AppEvent {
         /// New machine.
         to: NodeId,
     },
+    /// The straggler watchdog judged an instance's primary copy stalled and
+    /// speculatively requested a redundant copy elsewhere.
+    InstanceHedged {
+        /// The instance.
+        key: InstanceKey,
+        /// The host whose progress stalled.
+        node: NodeId,
+    },
     /// A whole task (all instances) completed.
     TaskComplete {
         /// Task id in the graph.

@@ -68,6 +68,23 @@ struct PendingReq {
     class: MachineClass,
     allocated: bool,
     retries: u32,
+    /// Speculative straggler hedge: the granted copies load as *redundant*
+    /// so the stalling primary keeps running and the first finisher wins
+    /// (never two non-redundant copies of one instance).
+    hedge: bool,
+}
+
+/// Progress estimate for one instance's primary copy, built from probe
+/// replies (`TaskStatusReply.remaining_mops`). The rate over the whole
+/// sample span — not adjacent samples — damps processor-sharing jitter.
+#[derive(Debug)]
+struct ProgressTrack {
+    node: NodeId,
+    first_at_us: u64,
+    first_remaining: f64,
+    last_at_us: u64,
+    last_remaining: f64,
+    samples: u32,
 }
 
 #[derive(Debug, Default)]
@@ -106,6 +123,11 @@ pub struct ExecutorEndpoint {
     pub failed: Option<String>,
     /// Watchdog: unanswered probes per outstanding instance.
     probe_misses: BTreeMap<InstanceKey, u32>,
+    /// Straggler hedging: per-instance progress estimate of the primary
+    /// copy, fed by probe replies.
+    progress: BTreeMap<InstanceKey, ProgressTrack>,
+    /// Instances already hedged (at most one speculative copy each).
+    hedged: BTreeSet<InstanceKey>,
     /// Copies written off by the watchdog whose hosts may in fact be alive
     /// behind a partition (§5's false-suspicion case). Until the instance
     /// completes we keep sending kills so a healed stale copy cannot keep
@@ -156,6 +178,8 @@ impl ExecutorEndpoint {
             timeline: Timeline::default(),
             failed: None,
             probe_misses: BTreeMap::new(),
+            progress: BTreeMap::new(),
+            hedged: BTreeSet::new(),
             superseded: BTreeMap::new(),
             channels,
             stream_channels,
@@ -332,6 +356,20 @@ impl ExecutorEndpoint {
         count_max: u32,
         host: &mut dyn Host,
     ) {
+        self.send_request_with(task, class, slots, count_min, count_max, false, host);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_request_with(
+        &mut self,
+        task: TaskId,
+        class: MachineClass,
+        slots: Vec<u32>,
+        count_min: u32,
+        count_max: u32,
+        hedge: bool,
+        host: &mut dyn Host,
+    ) {
         let Some(spec) = self.spec(task).cloned() else {
             return;
         };
@@ -348,6 +386,7 @@ impl ExecutorEndpoint {
                 class,
                 allocated: false,
                 retries: 0,
+                hedge,
             },
         );
         let msg = ExmMsg::ResourceRequest {
@@ -378,6 +417,7 @@ impl ExecutorEndpoint {
         pending.allocated = true;
         let task = pending.task;
         let slots = pending.slots.clone();
+        let hedge = pending.hedge;
         self.timeline.push(
             host.now_us(),
             AppEvent::Allocated {
@@ -410,7 +450,10 @@ impl ExecutorEndpoint {
                     .iter()
                     .zip(nodes.iter())
                     .take(n)
-                    .map(|(&slot, &node)| (slot, node, false))
+                    // A hedge copy is redundant by construction: the
+                    // stalling primary stays the one non-redundant
+                    // incarnation, whoever finishes first wins.
+                    .map(|(&slot, &node)| (slot, node, hedge))
                     .collect(),
                 per,
             )
@@ -456,7 +499,10 @@ impl ExecutorEndpoint {
                 }
             }
             self.placements.entry(key).or_insert(node);
-            self.wire_ports(key, node);
+            if !hedge {
+                // A hedge copy must not steal the primary's stream ports.
+                self.wire_ports(key, node);
+            }
             let lp = LoadProgram {
                 key,
                 unit: spec.name.clone(),
@@ -493,6 +539,8 @@ impl ExecutorEndpoint {
         let others: Vec<NodeId> = doomed.into_iter().collect();
         self.placements.insert(key, node);
         self.retire_port(key);
+        self.progress.remove(&key);
+        self.hedged.remove(&key);
         self.timeline
             .push(host.now_us(), AppEvent::InstanceDone { key, node });
         for other in others {
@@ -518,6 +566,8 @@ impl ExecutorEndpoint {
 
     fn instance_evicted(&mut self, key: InstanceKey, node: NodeId, host: &mut dyn Host) {
         let task = TaskId(key.task);
+        // Whatever copy survives, its progress history starts over.
+        self.progress.remove(&key);
         self.timeline
             .push(host.now_us(), AppEvent::InstanceEvicted { key, node });
         let Some(run) = self.task_state.get_mut(&task) else {
@@ -643,6 +693,95 @@ impl ExecutorEndpoint {
             .is_some_and(|r| r.done_instances.contains(&key.instance))
     }
 
+    /// Fold a probe reply's remaining-work report into the instance's
+    /// progress estimate and hedge if the primary copy has stalled
+    /// (CPU-degraded host, gray failure): speculatively request one more
+    /// machine, loading the copy as *redundant* so the duplicate-execution
+    /// invariant is preserved and the first finisher kills the loser.
+    fn note_progress(
+        &mut self,
+        key: InstanceKey,
+        node: NodeId,
+        remaining: f64,
+        host: &mut dyn Host,
+    ) {
+        if !self.cfg.hedge_enabled || !self.instance_outstanding(&key) {
+            return;
+        }
+        // Only the primary copy's progress drives hedging.
+        if self.placements.get(&key) != Some(&node) {
+            return;
+        }
+        let now = host.now_us();
+        let (samples, first_at_us, first_remaining) = match self.progress.get_mut(&key) {
+            Some(t) if t.node == node => {
+                t.samples += 1;
+                t.last_at_us = now;
+                t.last_remaining = remaining;
+                (t.samples, t.first_at_us, t.first_remaining)
+            }
+            _ => {
+                // First sample for this host (or the primary moved):
+                // (re)base the estimate.
+                self.progress.insert(
+                    key,
+                    ProgressTrack {
+                        node,
+                        first_at_us: now,
+                        first_remaining: remaining,
+                        last_at_us: now,
+                        last_remaining: remaining,
+                        samples: 1,
+                    },
+                );
+                return;
+            }
+        };
+        if samples < self.cfg.hedge_min_samples
+            || self.hedged.contains(&key)
+            || remaining <= self.cfg.hedge_min_remaining_mops
+        {
+            return;
+        }
+        let elapsed = now.saturating_sub(first_at_us);
+        if elapsed == 0 {
+            return;
+        }
+        let rate = (first_remaining - remaining).max(0.0) / elapsed as f64;
+        // Nominal: the host's full per-job speed. Processor sharing divides
+        // it, so the stall fraction must sit below 1/(plausible co-runners).
+        let Some(nominal) = self.db.get(node).map(|m| m.speed_mops / 1e6) else {
+            return;
+        };
+        if rate * 1000.0 >= nominal * f64::from(self.cfg.hedge_stall_permille) {
+            return;
+        }
+        let task = TaskId(key.task);
+        let Some(spec) = self.spec(task).cloned() else {
+            return;
+        };
+        if !spec.divisible {
+            // Non-divisible tasks already have the redundancy knob; hedging
+            // targets divisible slots whose work split is fixed.
+            return;
+        }
+        let classes = self.db.feasible_classes(&spec);
+        let Some(&class) = classes.first() else {
+            return;
+        };
+        self.hedged.insert(key);
+        if host.log_enabled() {
+            host.log(format!(
+                "executor: instance {key:?} stalled on {node} (rate {:.3}/{:.3} Mops/ms), hedging",
+                rate * 1000.0,
+                nominal * 1000.0
+            ));
+        }
+        self.timeline
+            .push(now, AppEvent::InstanceHedged { key, node });
+        self.send_request_with(task, class, vec![key.instance], 1, 1, true, host);
+    }
+
     fn run_probes(&mut self, host: &mut dyn Host) {
         let my_node = self.me.node;
         let targets: Vec<(InstanceKey, NodeId)> = self
@@ -762,6 +901,7 @@ impl Endpoint for ExecutorEndpoint {
                 self.placements.insert(key, to);
                 self.redirect_port(key, to);
                 self.probe_misses.remove(&key);
+                self.progress.remove(&key);
                 self.timeline
                     .push(host.now_us(), AppEvent::InstanceMoved { key, to });
             }
@@ -795,9 +935,15 @@ impl Endpoint for ExecutorEndpoint {
                     self.send(host, Addr::daemon(node), &ExmMsg::KillTask { key });
                 }
             }
-            ExmMsg::TaskStatusReply { key, running, node } => {
+            ExmMsg::TaskStatusReply {
+                key,
+                running,
+                node,
+                remaining_mops,
+            } => {
                 if running {
                     self.probe_misses.remove(&key);
+                    self.note_progress(key, node, remaining_mops, host);
                 } else if self.instance_outstanding(&key) {
                     // The daemon is alive but no longer hosts it (e.g. a
                     // Load lost to a crash window): recover now.
@@ -941,6 +1087,20 @@ impl Endpoint for ExecutorEndpoint {
         }
         h.write_u64(self.superseded.len() as u64)
             .write_u64(self.probe_misses.len() as u64);
+        h.write_u64(self.hedged.len() as u64);
+        for key in &self.hedged {
+            h.write_u64(u64::from(key.task))
+                .write_u64(u64::from(key.instance));
+        }
+        h.write_u64(self.progress.len() as u64);
+        for (key, t) in &self.progress {
+            h.write_u64(u64::from(key.task))
+                .write_u64(u64::from(key.instance))
+                .write_u64(u64::from(t.node.0))
+                .write_u64(t.last_at_us)
+                .write_u64(t.last_remaining.to_bits())
+                .write_u64(u64::from(t.samples));
+        }
         h.finish()
     }
 }
@@ -955,26 +1115,37 @@ mod tests {
     /// Records timer/send effects so token routing is observable.
     struct RecordingHost {
         info: MachineInfo,
+        now: u64,
         timers: Vec<(u64, u64)>,
-        sent: Vec<(Addr, Addr)>,
+        sent: Vec<(Addr, Addr, Bytes)>,
     }
 
     impl RecordingHost {
         fn new() -> Self {
             Self {
                 info: MachineInfo::workstation(NodeId(0), 100.0),
+                now: 0,
                 timers: Vec::new(),
                 sent: Vec::new(),
             }
+        }
+
+        /// Messages sent to `dst`, decoded.
+        fn msgs_to(&self, dst: Addr) -> Vec<ExmMsg> {
+            self.sent
+                .iter()
+                .filter(|(_, d, _)| *d == dst)
+                .filter_map(|(_, _, p)| vce_codec::from_bytes(p).ok())
+                .collect()
         }
     }
 
     impl vce_net::Host for RecordingHost {
         fn now_us(&self) -> u64 {
-            0
+            self.now
         }
-        fn send(&mut self, src: Addr, dst: Addr, _payload: Bytes) {
-            self.sent.push((src, dst));
+        fn send(&mut self, src: Addr, dst: Addr, payload: Bytes) {
+            self.sent.push((src, dst, payload));
         }
         fn set_timer(&mut self, delay_us: u64, token: u64) {
             self.timers.push((delay_us, token));
@@ -1031,6 +1202,185 @@ mod tests {
         // Stay inside the documented exm timer namespace, below isis'.
         const { assert!(TOKEN_PROBE < vce_isis::ISIS_TOKEN_BASE) };
         assert!(retry_token(u32::MAX) < vce_isis::ISIS_TOKEN_BASE);
+    }
+
+    /// One divisible task, executor on node 0, workers on 1 and 2. Returns
+    /// the executor already started and allocated to node 1 only, with the
+    /// start-up traffic drained from the host.
+    fn hedge_fixture(host: &mut RecordingHost) -> (ExecutorEndpoint, InstanceKey) {
+        let mut g = TaskGraph::new("t");
+        let t = g.add_task(
+            TaskSpec::new("solver")
+                .with_class(ProblemClass::Asynchronous)
+                .with_language(Language::C)
+                .with_work(10_000.0)
+                .with_instances(1)
+                .divisible(),
+        );
+        let mut db = MachineDb::new();
+        db.register(MachineInfo::workstation(NodeId(0), 100.0));
+        db.register(MachineInfo::workstation(NodeId(1), 100.0));
+        db.register(MachineInfo::workstation(NodeId(2), 100.0));
+        let me = Addr::executor(NodeId(0));
+        let mut exec = ExecutorEndpoint::new(AppId(1), me, g, db, ExmConfig::default());
+        exec.on_start(host);
+        let req = ReqId {
+            app: AppId(1),
+            seq: 0,
+        };
+        deliver(
+            &mut exec,
+            host,
+            &ExmMsg::Allocation {
+                req,
+                nodes: vec![NodeId(1)],
+            },
+        );
+        let key = InstanceKey {
+            app: AppId(1),
+            task: t.0,
+            instance: 0,
+        };
+        assert_eq!(exec.placements.get(&key), Some(&NodeId(1)));
+        host.sent.clear();
+        (exec, key)
+    }
+
+    fn deliver(exec: &mut ExecutorEndpoint, host: &mut RecordingHost, msg: &ExmMsg) {
+        let env = Envelope {
+            src: Addr::daemon(NodeId(1)),
+            dst: Addr::executor(NodeId(0)),
+            seq: 0,
+            payload: crate::msg::encode_msg(msg),
+        };
+        exec.on_envelope(env, host);
+    }
+
+    fn status(key: InstanceKey, node: NodeId, remaining: f64) -> ExmMsg {
+        ExmMsg::TaskStatusReply {
+            key,
+            running: true,
+            node,
+            remaining_mops: remaining,
+        }
+    }
+
+    /// A primary whose probe replies show <30% of the host's nominal rate
+    /// gets hedged exactly once: a 1-machine re-request for its slot whose
+    /// granted copy loads as *redundant* (the stalling primary stays the
+    /// only non-redundant incarnation), and the primary placement is kept.
+    #[test]
+    fn stalled_primary_hedges_once_with_a_redundant_copy() {
+        let mut host = RecordingHost::new();
+        let (mut exec, key) = hedge_fixture(&mut host);
+        // Node 1 nominal: 100 Mops/s. Two samples 2 s apart showing only
+        // 20 Mops done = 10 Mops/s = 10% — well under the 30% stall line.
+        host.now = 2_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 9_000.0));
+        host.now = 4_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 8_980.0));
+        assert_eq!(
+            exec.timeline
+                .count(|e| matches!(e, AppEvent::InstanceHedged { .. })),
+            1
+        );
+        let hedge_req = ReqId {
+            app: AppId(1),
+            seq: 1,
+        };
+        assert!(
+            exec.requests.contains_key(&hedge_req),
+            "hedge must re-request the stalled slot"
+        );
+        // A third stalled sample must not hedge again.
+        host.now = 6_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 8_960.0));
+        assert_eq!(exec.requests.len(), 2, "at most one hedge per instance");
+        // Grant the hedge on node 2: the copy loads redundant, primary stays.
+        host.sent.clear();
+        deliver(
+            &mut exec,
+            &mut host,
+            &ExmMsg::Allocation {
+                req: hedge_req,
+                nodes: vec![NodeId(2)],
+            },
+        );
+        let loads: Vec<LoadProgram> = host
+            .msgs_to(Addr::daemon(NodeId(2)))
+            .into_iter()
+            .filter_map(|m| match m {
+                ExmMsg::Load(lp) => Some(lp),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads.len(), 1);
+        assert!(loads[0].redundant, "hedge copies must load redundant");
+        assert_eq!(loads[0].work_mops, 10_000.0, "established split reused");
+        assert_eq!(exec.placements.get(&key), Some(&NodeId(1)));
+        // First finisher wins: the hedge completing kills the straggler.
+        host.sent.clear();
+        deliver(
+            &mut exec,
+            &mut host,
+            &ExmMsg::TaskDone {
+                key,
+                node: NodeId(2),
+            },
+        );
+        let kills = host
+            .msgs_to(Addr::daemon(NodeId(1)))
+            .into_iter()
+            .filter(|m| matches!(m, ExmMsg::KillTask { .. }))
+            .count();
+        assert_eq!(kills, 1, "losing straggler copy must be killed");
+        assert!(exec.is_done());
+    }
+
+    /// Healthy progress (at/above nominal) must never trigger a hedge, and
+    /// neither must a stall whose remaining work is under the floor.
+    #[test]
+    fn healthy_or_nearly_done_instances_are_not_hedged() {
+        let mut host = RecordingHost::new();
+        let (mut exec, key) = hedge_fixture(&mut host);
+        // Full-rate progress: 100 Mops/s on a 100 Mops/s host.
+        host.now = 2_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 9_800.0));
+        host.now = 4_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 9_600.0));
+        host.now = 6_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 9_400.0));
+        assert_eq!(
+            exec.timeline
+                .count(|e| matches!(e, AppEvent::InstanceHedged { .. })),
+            0
+        );
+        // Stalled but nearly done (< hedge_min_remaining_mops): pointless.
+        host.now = 8_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 40.0));
+        host.now = 10_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 39.9));
+        assert_eq!(
+            exec.timeline
+                .count(|e| matches!(e, AppEvent::InstanceHedged { .. })),
+            0
+        );
+        assert_eq!(exec.requests.len(), 1, "no hedge requests were sent");
+    }
+
+    /// Disabling the knob turns the whole path off even under a blatant
+    /// stall — the F-family baseline arm.
+    #[test]
+    fn hedging_respects_the_config_knob() {
+        let mut host = RecordingHost::new();
+        let (mut exec, key) = hedge_fixture(&mut host);
+        exec.cfg.hedge_enabled = false;
+        host.now = 2_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 9_000.0));
+        host.now = 4_000_000;
+        deliver(&mut exec, &mut host, &status(key, NodeId(1), 8_999.0));
+        assert!(exec.progress.is_empty());
+        assert_eq!(exec.requests.len(), 1);
     }
 
     /// Boundary regression: a dispatch timer for task id 2^20 must route to

@@ -324,6 +324,9 @@ pub enum ExmMsg {
         running: bool,
         /// The answering machine.
         node: NodeId,
+        /// Work left on the resident copy, Mops (0 when not running).
+        /// Feeds the executor's straggler-hedging progress estimate.
+        remaining_mops: f64,
     },
 }
 
@@ -449,11 +452,17 @@ impl Codec for ExmMsg {
                 key.encode(enc);
                 node.encode(enc);
             }
-            ExmMsg::TaskStatusReply { key, running, node } => {
+            ExmMsg::TaskStatusReply {
+                key,
+                running,
+                node,
+                remaining_mops,
+            } => {
                 enc.put_u8(T_STATUS_REPLY);
                 key.encode(enc);
                 enc.put_bool(*running);
                 node.encode(enc);
+                enc.put_f64(*remaining_mops);
             }
         }
     }
@@ -530,6 +539,7 @@ impl Codec for ExmMsg {
                 key: InstanceKey::decode(dec)?,
                 running: dec.get_bool()?,
                 node: NodeId::decode(dec)?,
+                remaining_mops: dec.get_f64()?,
             },
             other => {
                 return Err(CodecError::InvalidDiscriminant {
@@ -656,6 +666,22 @@ mod tests {
             ExmMsg::RecoveredTask {
                 key: key(),
                 node: NodeId(4),
+            },
+            ExmMsg::ProbeTask {
+                key: key(),
+                reply_to: Addr::executor(NodeId(7)),
+            },
+            ExmMsg::TaskStatusReply {
+                key: key(),
+                running: true,
+                node: NodeId(4),
+                remaining_mops: 87.25,
+            },
+            ExmMsg::RequestQueued {
+                req: ReqId {
+                    app: AppId(1),
+                    seq: 9,
+                },
             },
         ];
         for m in msgs {

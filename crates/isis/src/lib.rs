@@ -47,12 +47,14 @@
 //! so isis traffic can ride inside the application's own message enum.
 
 pub mod collect;
+pub mod detector;
 pub mod member;
 pub mod msg;
 pub mod ordering;
 pub mod vclock;
 pub mod view;
 
+pub use detector::{ArrivalWindow, DetectorConfig, FlapState, QuarantineConfig};
 pub use member::{GroupConfig, GroupMember, Upcall};
 pub use msg::{BcastId, CastOrder, IsisMsg};
 pub use vclock::VClock;

@@ -8,6 +8,7 @@ use vce_codec::{Codec, Encoder};
 use vce_net::{Addr, Host};
 
 use crate::collect::{CollectResult, Collector};
+use crate::detector::{ArrivalWindow, DetectorConfig, FlapState, QuarantineConfig};
 use crate::msg::{BcastId, CastOrder, IsisMsg};
 use crate::ordering::{CastData, OrderingState};
 use crate::view::{Member, View};
@@ -19,8 +20,12 @@ use crate::ISIS_TOKEN_BASE;
 // stay collision-free (docs/PROTOCOL.md token table).
 /// Timer token for the periodic protocol tick.
 const TOKEN_TICK: u64 = ISIS_TOKEN_BASE;
-/// First token used for collection deadlines.
-const TOKEN_COLLECT_BASE: u64 = ISIS_TOKEN_BASE + 1;
+/// Timer token armed at a quarantine cool-down expiry, so a readmittable
+/// flapper is readmitted promptly instead of at the next view change.
+const TOKEN_QUARANTINE_SWEEP: u64 = ISIS_TOKEN_BASE + 1;
+/// First token used for collection deadlines (unbounded upward growth —
+/// point tokens above must stay below this base).
+const TOKEN_COLLECT_BASE: u64 = ISIS_TOKEN_BASE + 16;
 
 /// Group protocol parameters.
 #[derive(Debug, Clone)]
@@ -38,21 +43,46 @@ pub struct GroupConfig {
     pub nack_after_us: u64,
     /// Outbound resend-buffer capacity (casts kept for retransmission).
     pub resend_buffer: usize,
+    /// Use the phi-accrual-style adaptive detector (per-peer inter-arrival
+    /// window) plus flap-damping quarantine instead of the flat
+    /// `failure_timeout_us` silence rule. The fixed timeout remains the
+    /// fallback until a peer's window has warmed up, and the baseline arm
+    /// of the F6 experiment.
+    pub adaptive_detection: bool,
+    /// Adaptive-detector tuning (ignored when `adaptive_detection` is off).
+    pub detector: DetectorConfig,
+    /// Flap-damping quarantine tuning (ignored when `adaptive_detection`
+    /// is off).
+    pub quarantine: QuarantineConfig,
 }
 
 impl GroupConfig {
-    /// Sensible LAN defaults: 200 ms heartbeats, 1 s failure timeout.
+    /// Sensible LAN defaults: 200 ms heartbeats, 1 s failure timeout,
+    /// adaptive detection on.
     pub fn new(mut candidates: Vec<Addr>) -> Self {
         candidates.sort();
         candidates.dedup();
+        let heartbeat_us = 200_000;
+        let failure_timeout_us = 1_000_000;
         Self {
             candidates,
-            heartbeat_us: 200_000,
-            failure_timeout_us: 1_000_000,
+            heartbeat_us,
+            failure_timeout_us,
             bootstrap_quiet_us: 600_000,
             nack_after_us: 400_000,
             resend_buffer: 1024,
+            adaptive_detection: true,
+            detector: DetectorConfig::for_group(heartbeat_us, failure_timeout_us),
+            quarantine: QuarantineConfig::for_group(failure_timeout_us),
         }
+    }
+
+    /// Disable the adaptive detector and quarantine — every peer gets the
+    /// flat `failure_timeout_us` silence budget (the pre-gray behaviour
+    /// and the baseline arm of `exp_graydetect`).
+    pub fn with_fixed_detection(mut self) -> Self {
+        self.adaptive_detection = false;
+        self
     }
 }
 
@@ -94,6 +124,10 @@ pub struct GroupMember {
     last_heard: BTreeMap<Addr, u64>,
     incarnations: BTreeMap<Addr, u64>,
     joiners: BTreeMap<Addr, u64>,
+    /// Per-peer inter-arrival windows feeding the adaptive detector.
+    arrivals: BTreeMap<Addr, ArrivalWindow>,
+    /// Coordinator-side flap damping: eviction history and cool-downs.
+    flaps: BTreeMap<Addr, FlapState>,
     // Coordinator state.
     next_join_seq: u64,
     next_total_seq: u64,
@@ -137,6 +171,8 @@ impl GroupMember {
             last_heard: BTreeMap::new(),
             incarnations: BTreeMap::new(),
             joiners: BTreeMap::new(),
+            arrivals: BTreeMap::new(),
+            flaps: BTreeMap::new(),
             next_join_seq: 0,
             next_total_seq: 0,
             out_fifo_seq: 0,
@@ -201,7 +237,44 @@ impl GroupMember {
         for (&addr, &at) in &self.last_heard {
             h.write_u64(u64::from(addr.node.0)).write_u64(at);
         }
+        h.write_u64(self.arrivals.len() as u64);
+        for (&addr, w) in &self.arrivals {
+            h.write_u64(u64::from(addr.node.0));
+            w.fold(&mut h);
+        }
+        h.write_u64(self.flaps.len() as u64);
+        for (&addr, f) in &self.flaps {
+            h.write_u64(u64::from(addr.node.0));
+            f.fold(&mut h);
+        }
         h.finish()
+    }
+
+    /// The silence budget currently granted to `who` (fixed timeout until
+    /// the adaptive window warms up). Experiment/diagnostic accessor.
+    pub fn silence_budget_us(&self, who: Addr) -> u64 {
+        self.timeout_for(who)
+    }
+
+    /// Current suspicion of `who` in milli-phi (1000 = eviction point),
+    /// and whether it is quarantined. Experiment/diagnostic accessor.
+    pub fn suspicion_millis(&self, who: Addr, now: u64) -> u64 {
+        let Some(&t) = self.last_heard.get(&who) else {
+            return u64::MAX;
+        };
+        let silence = now.saturating_sub(t);
+        match self.arrivals.get(&who) {
+            Some(w) if self.cfg.adaptive_detection => {
+                w.suspicion_millis(silence, &self.cfg.detector, self.cfg.failure_timeout_us)
+            }
+            _ => silence.saturating_mul(1000) / self.cfg.failure_timeout_us.max(1),
+        }
+    }
+
+    /// Flap-damping state for `who`, if the coordinator has recorded any
+    /// evictions (experiment/diagnostic accessor).
+    pub fn flap_state(&self, who: Addr) -> Option<&FlapState> {
+        self.flaps.get(&who)
     }
 
     // ---- lifecycle ----
@@ -216,6 +289,8 @@ impl GroupMember {
         self.view = View::default();
         self.last_heard.clear();
         self.joiners.clear();
+        self.arrivals.clear();
+        self.flaps.clear();
         self.ordering = OrderingState::new();
         host.set_timer(self.cfg.heartbeat_us, TOKEN_TICK);
         self.send_heartbeats(host);
@@ -234,6 +309,13 @@ impl GroupMember {
             {
                 self.out(host, sender, &IsisMsg::Nack { expected });
             }
+        } else if token == TOKEN_QUARANTINE_SWEEP {
+            // A quarantine cool-down expired: readmit promptly (the next
+            // tick would also catch it; this just removes up to one
+            // heartbeat period of extra exile).
+            if self.is_coordinator() {
+                self.coordinate(host, &mut up);
+            }
         } else if let Some(id) = self.collect_deadlines.remove(&token) {
             self.token_of_collect.remove(&id);
             if let Some(result) = self.collector.on_deadline(id) {
@@ -246,7 +328,18 @@ impl GroupMember {
     /// Forward received isis messages here.
     pub fn handle(&mut self, src: Addr, msg: IsisMsg, host: &mut dyn Host) -> Vec<Upcall> {
         let now = host.now_us();
-        self.last_heard.insert(src, now);
+        // Feed the adaptive detector: the gap since the last *anything*
+        // from this peer (heartbeats and protocol traffic both prove
+        // liveness, so both shape the expected-silence distribution).
+        if let Some(prev) = self.last_heard.insert(src, now) {
+            let gap = now.saturating_sub(prev);
+            if gap > 0 && src != self.me {
+                self.arrivals
+                    .entry(src)
+                    .or_default()
+                    .observe(gap, &self.cfg.detector);
+            }
+        }
         let mut up = Vec::new();
         match msg {
             IsisMsg::Heartbeat {
@@ -256,10 +349,15 @@ impl GroupMember {
                 joining,
                 fifo_next,
             } => {
-                // Restarted peer: discard its old FIFO stream.
+                // Restarted peer: discard its old FIFO stream, and its
+                // inter-arrival history — a reboot gap says nothing about
+                // the link the new incarnation heartbeats over.
                 let prev = self.incarnations.insert(src, incarnation);
                 if prev.is_some_and(|p| p != incarnation) {
                     self.ordering.forget_sender(src);
+                    if let Some(w) = self.arrivals.get_mut(&src) {
+                        w.reset();
+                    }
                 }
                 // Pin the peer's FIFO stream position before any cast
                 // arrives, so a dropped head-of-stream cast is a NACKable
@@ -532,12 +630,26 @@ impl GroupMember {
         }
     }
 
+    /// The silence budget for `who`: the adaptive per-peer threshold once
+    /// its window has warmed up, the flat fixed timeout otherwise (or
+    /// always, with `adaptive_detection` off).
+    fn timeout_for(&self, who: Addr) -> u64 {
+        if !self.cfg.adaptive_detection {
+            return self.cfg.failure_timeout_us;
+        }
+        self.arrivals
+            .get(&who)
+            .map_or(self.cfg.failure_timeout_us, |w| {
+                w.threshold_us(&self.cfg.detector, self.cfg.failure_timeout_us)
+            })
+    }
+
     fn alive(&self, who: Addr, now: u64) -> bool {
         who == self.me
             || self
                 .last_heard
                 .get(&who)
-                .is_some_and(|&t| now.saturating_sub(t) < self.cfg.failure_timeout_us)
+                .is_some_and(|&t| now.saturating_sub(t) < self.timeout_for(who))
     }
 
     fn run_failure_detector(&mut self, host: &mut dyn Host, up: &mut Vec<Upcall>) {
@@ -598,6 +710,34 @@ impl GroupMember {
             .copied()
             .filter(|m| self.alive(m.addr, now))
             .collect();
+        // Flap damping: record each eviction; a peer evicted repeatedly
+        // within the flap window earns an escalating quarantine during
+        // which its (implicit) join requests are ignored.
+        if self.cfg.adaptive_detection {
+            let evicted: Vec<Addr> = self
+                .view
+                .members
+                .iter()
+                .map(|m| m.addr)
+                .filter(|&a| a != self.me && !members.iter().any(|m| m.addr == a))
+                .collect();
+            for a in evicted {
+                if let Some(until) = self
+                    .flaps
+                    .entry(a)
+                    .or_default()
+                    .record_eviction(now, &self.cfg.quarantine)
+                {
+                    if host.log_enabled() {
+                        host.log(format!(
+                            "isis: {} quarantines flapping {a} until {until}µs",
+                            self.me
+                        ));
+                    }
+                    host.set_timer(until.saturating_sub(now), TOKEN_QUARANTINE_SWEEP);
+                }
+            }
+        }
         // Make sure we are present even before the first view (succession
         // path: we may be installing a view that excludes the old
         // coordinator and includes us unchanged).
@@ -617,12 +757,18 @@ impl GroupMember {
         self.next_join_seq = self
             .next_join_seq
             .max(members.iter().map(|m| m.joined_seq).max().unwrap_or(0) + 1);
-        // Admit live joiners in address order (deterministic seniority).
+        // Admit live joiners in address order (deterministic seniority);
+        // quarantined flappers wait out their cool-down first.
         let joiners: Vec<Addr> = self
             .joiners
             .keys()
             .copied()
-            .filter(|&j| self.alive(j, now) && !members.iter().any(|m| m.addr == j))
+            .filter(|&j| {
+                self.alive(j, now)
+                    && !members.iter().any(|m| m.addr == j)
+                    && !(self.cfg.adaptive_detection
+                        && self.flaps.get(&j).is_some_and(|f| f.is_quarantined(now)))
+            })
             .collect();
         for j in joiners {
             members.push(Member {

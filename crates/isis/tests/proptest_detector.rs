@@ -1,0 +1,96 @@
+//! Property tests on the phi-accrual detector arithmetic: suspicion must
+//! be monotone in silence for *any* gap history, and the threshold must
+//! stay inside its configured clamps — the two facts `member.rs` leans on
+//! when it turns suspicion into evictions.
+
+use proptest::prelude::*;
+use vce_isis::{ArrivalWindow, DetectorConfig, FlapState, QuarantineConfig};
+
+fn arb_cfg() -> impl Strategy<Value = DetectorConfig> {
+    // Heartbeat 50 ms..1 s, fixed timeout 2×..10× the heartbeat — the
+    // derived floor/margin/cap follow `for_group`'s production shape.
+    (50_000u64..1_000_000, 2u64..10).prop_map(|(hb, mult)| DetectorConfig::for_group(hb, hb * mult))
+}
+
+fn arb_gaps() -> impl Strategy<Value = Vec<u64>> {
+    // Anything from a silent window to a pathological multi-minute gap;
+    // longer than the 16-slot window so sliding is exercised too.
+    prop::collection::vec(0u64..200_000_000, 0..40)
+}
+
+proptest! {
+    #[test]
+    fn suspicion_is_monotone_in_silence(
+        cfg in arb_cfg(),
+        gaps in arb_gaps(),
+        fallback in 100_000u64..5_000_000,
+        s1 in 0u64..20_000_000,
+        extra in 0u64..20_000_000,
+    ) {
+        let mut w = ArrivalWindow::default();
+        for g in gaps {
+            w.observe(g, &cfg);
+        }
+        let s2 = s1 + extra;
+        let lo = w.suspicion_millis(s1, &cfg, fallback);
+        let hi = w.suspicion_millis(s2, &cfg, fallback);
+        prop_assert!(
+            lo <= hi,
+            "suspicion dipped: {lo} at {s1}µs vs {hi} at {s2}µs"
+        );
+        // 1000 milli-phi is exactly the threshold crossing.
+        let t = w.threshold_us(&cfg, fallback);
+        prop_assert!(w.suspicion_millis(t, &cfg, fallback) >= 1000);
+        if t > 0 {
+            prop_assert!(w.suspicion_millis(t - 1, &cfg, fallback) < 1000);
+        }
+    }
+
+    #[test]
+    fn threshold_respects_fallback_then_clamps(
+        cfg in arb_cfg(),
+        gaps in arb_gaps(),
+        fallback in 100_000u64..5_000_000,
+    ) {
+        let mut w = ArrivalWindow::default();
+        for (i, &g) in gaps.iter().enumerate() {
+            prop_assert_eq!(w.len(), i.min(cfg.window));
+            w.observe(g, &cfg);
+        }
+        let t = w.threshold_us(&cfg, fallback);
+        if gaps.len() < cfg.warmup {
+            prop_assert_eq!(t, fallback, "warming up → fixed fallback");
+        } else {
+            prop_assert!(t >= cfg.floor_us.min(cfg.cap_us), "threshold {t} under floor");
+            prop_assert!(t <= cfg.cap_us, "threshold {t} over cap");
+        }
+    }
+
+    #[test]
+    fn quarantine_cooldowns_escalate_and_cap(
+        timeout in 200_000u64..5_000_000,
+        step in 100_000u64..2_000_000,
+        rounds in 1usize..12,
+    ) {
+        let qc = QuarantineConfig::for_group(timeout);
+        let mut f = FlapState::default();
+        let mut now = 0u64;
+        let mut prev_cd: Option<u64> = None;
+        for _ in 0..rounds {
+            let until = loop {
+                now += step;
+                if let Some(u) = f.record_eviction(now, &qc) {
+                    break u;
+                }
+            };
+            let cd = until - now;
+            prop_assert!(cd <= qc.cooldown_cap_us, "cool-down {cd} over cap");
+            if let Some(p) = prev_cd {
+                prop_assert!(cd >= p, "cool-down shrank: {p} → {cd}");
+            }
+            prop_assert!(f.is_quarantined(now));
+            prop_assert!(!f.is_quarantined(until));
+            prev_cd = Some(cd);
+        }
+    }
+}

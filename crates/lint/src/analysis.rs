@@ -335,15 +335,44 @@ fn check_p003(files: &[(String, FileFacts)], env: &ConstEnv, findings: &mut Vec<
         })
         .collect();
 
-    // Intra-file: two open spaces in one endpoint file must not overlap.
-    // (A point inside the file's own space is the idiomatic `BASE + k`
-    // well-known token and stays legal.)
+    // Intra-file: two open spaces in one endpoint file must not overlap,
+    // and a well-known point token must not sit *inside* an own-file open
+    // space — `BASE + k` claims the same token as payload id k. A point
+    // equal to the space's base is the idiomatic alias
+    // (`TOKEN_PROBE = TAG_PROBE << SHIFT`) and stays legal; the isis
+    // layout shows the safe shape for the rest: singles live below the
+    // open space's base (`TOKEN_QUARANTINE_SWEEP = BASE + 1`, collect
+    // space starting at `BASE + 16`).
     for (fi, (file, _)) in files.iter().enumerate() {
         let sp = &spaces[fi];
         for a in 0..sp.len() {
             for b in a + 1..sp.len() {
                 let (x, y) = (&sp[a], &sp[b]);
-                if x.point || y.point {
+                if x.point != y.point {
+                    let (p, s) = if x.point { (x, y) } else { (y, x) };
+                    if p.lo > s.lo && p.lo < s.hi {
+                        push(
+                            findings,
+                            file,
+                            p.line,
+                            "P003",
+                            format!(
+                                "well-known timer token `{}` ({:#x}) sits inside the open \
+                                 space `{}` [{:#x}, {:#x}): payload id {} arms the same \
+                                 token — move the point below the base or raise the base \
+                                 past the well-known block",
+                                p.name,
+                                p.lo,
+                                s.name,
+                                s.lo,
+                                s.hi,
+                                p.lo - s.lo
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                if x.point {
                     continue;
                 }
                 if x.lo < y.hi && y.lo < x.hi {

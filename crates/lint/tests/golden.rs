@@ -609,10 +609,45 @@ const TAG_A: u64 = 1;
 const TAG_B: u64 = 2;
 ";
     assert_clean(SIM, src);
-    // A point token inside the file's own base space is the idiomatic
-    // `BASE + k` well-known timer.
-    let src = "const TOKEN_X_BASE: u64 = 1 << 32;\nconst TOKEN_X_SWEEP: u64 = (1 << 32) + 5;\n";
+    // A point aliasing its own space's base is the idiomatic named head
+    // (`TOKEN_PROBE = TAG_PROBE << SHIFT` in the executor).
+    let src = "const TOKEN_X_BASE: u64 = 1 << 32;\nconst TOKEN_X_HEAD: u64 = 1 << 32;\n";
     assert_clean(SIM, src);
+}
+
+#[test]
+fn p003_flags_point_inside_own_open_space() {
+    // `BASE + k` claims the same token as payload id k: the sweep timer
+    // here collides with whatever request gets seq 5.
+    let src = "const TOKEN_X_BASE: u64 = 1 << 32;\nconst TOKEN_X_SWEEP: u64 = (1 << 32) + 5;\n";
+    assert_fires(SIM, src, "P003");
+}
+
+#[test]
+fn p003_accepts_the_isis_detector_layout() {
+    // The member.rs shape: well-known singles (tick, quarantine sweep)
+    // below the open collect space, which starts past the reserved head —
+    // with the base resolved cross-file through the const evaluator.
+    let lib = (
+        "crates/isis/src/lib.rs",
+        "pub const ISIS_TOKEN_BASE: u64 = 1 << 48;\n",
+    );
+    let member = (
+        "crates/isis/src/member.rs",
+        "const TOKEN_TICK: u64 = ISIS_TOKEN_BASE;\n\
+         const TOKEN_QUARANTINE_SWEEP: u64 = ISIS_TOKEN_BASE + 1;\n\
+         const TOKEN_COLLECT_BASE: u64 = ISIS_TOKEN_BASE + 16;\n",
+    );
+    assert_clean_multi(&[lib, member]);
+    // Lowering the collect base under the sweep token must fire: collect
+    // seq 1 would arm the quarantine sweep's token.
+    let bad_member = (
+        "crates/isis/src/member.rs",
+        "const TOKEN_TICK: u64 = ISIS_TOKEN_BASE;\n\
+         const TOKEN_QUARANTINE_SWEEP: u64 = ISIS_TOKEN_BASE + 1;\n\
+         const TOKEN_COLLECT_BASE: u64 = ISIS_TOKEN_BASE;\n",
+    );
+    assert_fires_multi(&[lib, bad_member], "P003", "crates/isis/src/member.rs");
 }
 
 #[test]

@@ -54,6 +54,19 @@ pub enum FaultOp {
     /// Replace the every-link default fault — message loss/dup/jitter
     /// bursts start by installing one and end by restoring the default.
     DefaultLink(LinkFault),
+    /// Install a *directed* per-link fault on `src → dst` only. The
+    /// reverse direction is untouched — this is how asymmetric gray
+    /// faults (one-way loss, one-way latency) are expressed.
+    Link(NodeId, NodeId, LinkFault),
+    /// Remove the directed `src → dst` entry so the link falls back to
+    /// `default_link`. (Installing `LinkFault::default()` would instead
+    /// *shield* the link from an ambient default fault.)
+    ClearLink(NodeId, NodeId),
+    /// Degrade a node's CPU: all work on it takes `factor`× longer
+    /// (processor speed divided by `factor`). `SlowNode(n, 1)` restores
+    /// full speed. The node stays alive and keeps answering messages —
+    /// the canonical gray failure a naive failure detector evicts.
+    SlowNode(NodeId, u32),
 }
 
 /// The verdict a transport gets for one envelope.
@@ -136,6 +149,17 @@ impl FaultPlan {
     pub fn set_link_bidir(&mut self, a: NodeId, b: NodeId, fault: LinkFault) {
         self.set_link(a, b, fault);
         self.set_link(b, a, fault);
+    }
+
+    /// Remove a directed link-fault entry; the link reverts to
+    /// `default_link`.
+    pub fn clear_link(&mut self, src: NodeId, dst: NodeId) {
+        self.links.remove(&(src, dst));
+    }
+
+    /// The directed fault currently installed on `src → dst`, if any.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkFault> {
+        self.links.get(&(src, dst)).copied()
     }
 
     fn partition_of(&self, node: NodeId) -> u32 {
@@ -346,6 +370,56 @@ mod tests {
             },
         );
         assert_eq!(plan.judge(NodeId(3), NodeId(3), &mut r), Delivery::Drop);
+    }
+
+    #[test]
+    fn asymmetric_link_fault_is_one_directional() {
+        // Regression for the chaos-schedule asymmetry gap: a directed
+        // entry on A→B must leave B→A on the default link, and clearing
+        // it must restore A→B to the default as well.
+        let mut plan = FaultPlan::none();
+        plan.set_link(
+            NodeId(0),
+            NodeId(1),
+            LinkFault {
+                drop_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(plan.judge(NodeId(0), NodeId(1), &mut r), Delivery::Drop);
+            assert!(matches!(
+                plan.judge(NodeId(1), NodeId(0), &mut r),
+                Delivery::Deliver { .. }
+            ));
+        }
+        assert!(plan.link(NodeId(0), NodeId(1)).is_some());
+        assert!(plan.link(NodeId(1), NodeId(0)).is_none());
+        plan.clear_link(NodeId(0), NodeId(1));
+        assert!(matches!(
+            plan.judge(NodeId(0), NodeId(1), &mut r),
+            Delivery::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn clear_link_reverts_to_ambient_default() {
+        // An explicit benign entry shields a link from the ambient
+        // default fault; clearing it re-exposes the link.
+        let mut plan = FaultPlan::none();
+        plan.default_link = LinkFault {
+            drop_prob: 1.0,
+            ..Default::default()
+        };
+        plan.set_link(NodeId(0), NodeId(1), LinkFault::default());
+        let mut r = rng();
+        assert!(matches!(
+            plan.judge(NodeId(0), NodeId(1), &mut r),
+            Delivery::Deliver { .. }
+        ));
+        plan.clear_link(NodeId(0), NodeId(1));
+        assert_eq!(plan.judge(NodeId(0), NodeId(1), &mut r), Delivery::Drop);
     }
 
     #[test]

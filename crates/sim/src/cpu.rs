@@ -31,6 +31,10 @@ pub struct Cpu {
     speed_mops: f64,
     jobs: BTreeMap<JobKey, Job>,
     background: f64,
+    /// Gray-fault degradation: effective speed is `speed_mops / slow_factor`.
+    /// 1 = healthy. Only the fault layer sets this; daemons still disclose
+    /// the *nominal* speed, which is exactly what makes a slow node gray.
+    slow_factor: u32,
     last_update_us: u64,
     /// Bumped on every mutation; stale completion predictions are discarded.
     pub generation: u64,
@@ -49,6 +53,7 @@ impl Cpu {
             speed_mops,
             jobs: BTreeMap::new(),
             background: 0.0,
+            slow_factor: 1,
             last_update_us: 0,
             generation: 0,
             busy_us: 0,
@@ -84,8 +89,21 @@ impl Cpu {
         if denom <= 0.0 || self.jobs.is_empty() {
             0.0
         } else {
-            (self.speed_mops / denom) / 1e6
+            (self.speed_mops / self.slow_factor as f64 / denom) / 1e6
         }
+    }
+
+    /// Current CPU degradation factor (1 = healthy).
+    pub fn slow_factor(&self) -> u32 {
+        self.slow_factor
+    }
+
+    /// Degrade (or restore with `factor == 1`) this CPU: all work takes
+    /// `factor`× longer. The caller must `advance` to *now* first and
+    /// reschedule completion predictions afterwards.
+    pub fn set_slow_factor(&mut self, factor: u32) {
+        self.generation += 1;
+        self.slow_factor = factor.max(1);
     }
 
     /// Advance all jobs to `now_us`, accruing progress and metrics.
@@ -290,6 +308,35 @@ mod tests {
         cpu.remove_job((P, 1));
         cpu.clear();
         assert_eq!(cpu.generation, g0 + 4);
+    }
+
+    #[test]
+    fn slow_factor_stretches_completion() {
+        let mut cpu = Cpu::new(100.0);
+        cpu.add_job((P, 1), 50.0);
+        cpu.set_slow_factor(4);
+        // 100/4 = 25 Mops/s → 2 s for 50 Mops.
+        let (_, at) = cpu.next_completion(0).unwrap();
+        assert_eq!(at, 2_000_000);
+        // Restore mid-flight: half the work is left at full speed.
+        cpu.advance(1_000_000);
+        cpu.set_slow_factor(1);
+        let (_, at) = cpu.next_completion(1_000_000).unwrap();
+        assert_eq!(at, 1_250_000);
+        // Load disclosure is unchanged — that's what makes it gray.
+        assert_eq!(cpu.load(), 1.0);
+        assert_eq!(cpu.speed_mops(), 100.0);
+    }
+
+    #[test]
+    fn slow_factor_mutation_bumps_generation_and_clamps() {
+        let mut cpu = Cpu::new(10.0);
+        let g0 = cpu.generation;
+        cpu.set_slow_factor(3);
+        assert_eq!(cpu.generation, g0 + 1);
+        assert_eq!(cpu.slow_factor(), 3);
+        cpu.set_slow_factor(0); // clamped to 1 (restore)
+        assert_eq!(cpu.slow_factor(), 1);
     }
 
     #[test]

@@ -350,6 +350,12 @@ impl Sim {
         self.apply_fence_now(vce_net::FaultOp::Revive(node));
     }
 
+    /// Degrade a machine's CPU immediately: work takes `factor`× longer
+    /// (`factor == 1` restores full speed). The node stays alive.
+    pub fn slow_node(&mut self, node: NodeId, factor: u32) {
+        self.apply_fence_now(vce_net::FaultOp::SlowNode(node, factor));
+    }
+
     /// Apply a fault op at driver time (now), on the canonical plan and
     /// every replica, then sync so its trace line is visible.
     fn apply_fence_now(&mut self, op: vce_net::FaultOp) {

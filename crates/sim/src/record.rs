@@ -71,6 +71,13 @@ pub const FENCE_PARTITION: u64 = 2;
 pub const FENCE_HEAL: u64 = 3;
 /// `FaultOp::DefaultLink` (`b` = FNV of the link-fault fields).
 pub const FENCE_LINK: u64 = 4;
+/// `FaultOp::Link` — directed per-link fault (`b` = `dst << 32 | FNV of the
+/// link-fault fields (truncated)`, record node = src).
+pub const FENCE_LINK_DIR: u64 = 5;
+/// `FaultOp::ClearLink` (`b` = dst node, record node = src).
+pub const FENCE_CLEAR_LINK: u64 = 6;
+/// `FaultOp::SlowNode` (`b` = slowdown factor; 1 = restore).
+pub const FENCE_SLOW: u64 = 7;
 
 /// One recorded event pop. `a`/`b` are kind-specific details (timer token,
 /// envelope seq, load bits, fence op) — enough to tell two schedules apart

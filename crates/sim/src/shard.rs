@@ -44,8 +44,8 @@ use crate::load::LoadTrace;
 use crate::metrics::NodeMetrics;
 use crate::queue::CalendarQueue;
 use crate::record::{
-    EventRecord, EV_CPU, EV_DELIVER, EV_FENCE, EV_LOAD, EV_START, EV_TIMER, FENCE_HEAL, FENCE_KILL,
-    FENCE_LINK, FENCE_PARTITION, FENCE_REVIVE,
+    EventRecord, EV_CPU, EV_DELIVER, EV_FENCE, EV_LOAD, EV_START, EV_TIMER, FENCE_CLEAR_LINK,
+    FENCE_HEAL, FENCE_KILL, FENCE_LINK, FENCE_LINK_DIR, FENCE_PARTITION, FENCE_REVIVE, FENCE_SLOW,
 };
 use crate::topology::Topology;
 use crate::trace::TraceEvent;
@@ -420,6 +420,11 @@ pub(crate) fn apply_plan_op(plan: &mut FaultPlan, op: &FaultOp) {
         FaultOp::Partition(n, g) => plan.set_partition(*n, *g),
         FaultOp::Heal => plan.heal_partitions(),
         FaultOp::DefaultLink(lf) => plan.default_link = *lf,
+        FaultOp::Link(src, dst, lf) => plan.set_link(*src, *dst, *lf),
+        FaultOp::ClearLink(src, dst) => plan.clear_link(*src, *dst),
+        // CPU degradation has no plan component — the network judges
+        // nothing differently; the owning shard slows the node's CPU.
+        FaultOp::SlowNode(..) => {}
     }
 }
 
@@ -820,7 +825,58 @@ impl Shard {
                     );
                 }
             }
+            FaultOp::Link(src, dst, lf) => {
+                if shard_of(src, self.total) == self.index && self.trace.is_enabled() {
+                    self.trace.push(
+                        at,
+                        PHASE_FENCE,
+                        cause,
+                        src,
+                        format!(
+                            "engine: link ->{} drop={} dup={} delay={}µs+{}µs",
+                            dst.0, lf.drop_prob, lf.dup_prob, lf.extra_delay_us, lf.jitter_us
+                        ),
+                    );
+                }
+            }
+            FaultOp::ClearLink(src, dst) => {
+                if shard_of(src, self.total) == self.index && self.trace.is_enabled() {
+                    self.trace.push(
+                        at,
+                        PHASE_FENCE,
+                        cause,
+                        src,
+                        format!("engine: link ->{} cleared", dst.0),
+                    );
+                }
+            }
+            FaultOp::SlowNode(n, factor) => {
+                if shard_of(n, self.total) == self.index {
+                    self.slow_local(at, cause, n, factor);
+                }
+            }
         }
+    }
+
+    /// Degrade (or restore, `factor == 1`) an owned machine's CPU. The
+    /// node stays alive — timers and messages are unaffected, only work
+    /// stretches — so outstanding completion predictions are invalidated
+    /// (generation bump inside `set_slow_factor`) and re-predicted.
+    fn slow_local(&mut self, at: u64, cause: u64, node: NodeId, factor: u32) {
+        if let Some(s) = self.slots.get(node) {
+            let n = &mut self.nodes[s];
+            n.cpu.advance(at);
+            n.cpu.set_slow_factor(factor);
+        }
+        if self.trace.is_enabled() {
+            let msg = if factor <= 1 {
+                "engine: cpu restored to full speed".into()
+            } else {
+                format!("engine: cpu slowed {factor}x")
+            };
+            self.trace.push(at, PHASE_FENCE, cause, node, msg);
+        }
+        self.schedule_cpu_check(node);
     }
 
     /// Append a fence application to the record/replay buffer. Exactly one
@@ -841,10 +897,28 @@ impl Shard {
                     .write_u64(lf.jitter_us);
                 (NodeId(0), FENCE_LINK, h.finish())
             }
+            FaultOp::Link(src, dst, lf) => {
+                let mut h = vce_net::Fnv64::new();
+                h.write_f64(lf.drop_prob)
+                    .write_f64(lf.dup_prob)
+                    .write_u64(lf.extra_delay_us)
+                    .write_u64(lf.jitter_us);
+                (
+                    src,
+                    FENCE_LINK_DIR,
+                    (u64::from(dst.0) << 32) | (h.finish() & 0xFFFF_FFFF),
+                )
+            }
+            FaultOp::ClearLink(src, dst) => (src, FENCE_CLEAR_LINK, u64::from(dst.0)),
+            FaultOp::SlowNode(n, factor) => (n, FENCE_SLOW, u64::from(factor)),
         };
         let owns = match *op {
-            FaultOp::Kill(n) | FaultOp::Revive(n) | FaultOp::Partition(n, _) => {
-                shard_of(n, self.total) == self.index
+            FaultOp::Kill(n)
+            | FaultOp::Revive(n)
+            | FaultOp::Partition(n, _)
+            | FaultOp::SlowNode(n, _) => shard_of(n, self.total) == self.index,
+            FaultOp::Link(src, ..) | FaultOp::ClearLink(src, _) => {
+                shard_of(src, self.total) == self.index
             }
             FaultOp::Heal | FaultOp::DefaultLink(_) => self.index == 0,
         };
@@ -880,6 +954,7 @@ impl Shard {
                 .write_u64(n.cpu.busy_us())
                 .write_u64(n.cpu.completed_jobs())
                 .write_u64(n.cpu.job_count() as u64)
+                .write_u64(u64::from(n.cpu.slow_factor()))
                 .write_f64(n.cpu.background())
                 .write_f64(n.cpu.total_mops_done());
             for (port, ep) in &n.endpoints {

@@ -13,6 +13,9 @@
 #   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
 #                               (speedup recorded only when threads > 1)
 #   sweep.identical_output      parallel rows byte-identical to serial rows
+#   gray_detection.*            F6 headline: true-crash detection latency
+#                               p50/p99 (s) and false-eviction count under
+#                               gray links, fixed vs adaptive detector
 #   chaos.*                     one mixed-schedule chaos run (seed 100,
 #                               checkpoint): invariants green, faults,
 #                               makespan degradation vs fault-free

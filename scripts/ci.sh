@@ -48,9 +48,19 @@ echo "== exp_bidding smoke =="
 cargo run --release --offline -q -p vce-bench --bin exp_bidding
 
 # One seed per cell still covers every schedule shape, including the
-# storage-fault ones (torn-tail / device-loss WAL recovery).
+# storage-fault ones (torn-tail / device-loss WAL recovery) and the four
+# gray shapes (slow-nodes / asym-links / link-ramp / flapping).
 echo "== exp_chaos smoke (1 seed per cell) =="
 VCE_CHAOS_SEEDS=1 cargo run --release --offline -q -p vce-bench --bin exp_chaos
+
+# The gray shapes get a second, louder pass: one replayed cell per shape,
+# so a detector/quarantine regression names the exact failing shape (and
+# prints the per-invariant report) instead of hiding in the F4 grid.
+echo "== gray-shape chaos smoke =="
+for shape in slow-nodes asym-links link-ramp flapping; do
+  ./target/release/exp_chaos --replay 100 "$shape" checkpoint \
+    || { echo "gray chaos smoke: $shape violated an invariant"; exit 1; }
+done
 
 echo "== sweep determinism =="
 cargo test --release --offline -q -p vce-bench --test sweep_determinism

@@ -21,7 +21,7 @@ mkdir -p "$out"
 for e in exp_pipeline exp_proxy exp_bidding exp_weather exp_placement \
          exp_starvation exp_migration exp_ripple exp_freepar \
          exp_anticipatory exp_baselines exp_failover exp_heterogeneity \
-         exp_loadbal exp_ablation exp_chaos exp_recovery; do
+         exp_loadbal exp_ablation exp_chaos exp_recovery exp_graydetect; do
     echo "== $e =="
     cargo run --release -q -p vce-bench --bin "$e" | tee "$out/$e.txt"
     if [ "$check" = 1 ] && [ "$e" != exp_proxy ]; then
