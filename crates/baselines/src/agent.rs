@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use vce_codec::Codec;
 use vce_net::{Addr, Endpoint, Envelope, Host};
 
 use crate::msg::BaselineMsg;
@@ -36,8 +37,11 @@ impl AgentEndpoint {
     }
 
     fn send(&self, host: &mut dyn Host, msg: &BaselineMsg) {
-        let bytes = vce_codec::to_bytes(msg);
-        host.send(self.me, self.scheduler, bytes.into());
+        // Pooled scratch encode — baseline traffic shares the hot path's
+        // zero-allocation discipline so cross-baseline benches compare
+        // schedulers, not allocators.
+        let payload = host.encode_with(&mut |enc| msg.encode(enc));
+        host.send(self.me, self.scheduler, payload);
     }
 
     fn start(&mut self, job: JobId, mops: f64, host: &mut dyn Host) {

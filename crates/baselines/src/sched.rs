@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use vce_codec::Codec;
 use vce_net::{Addr, Endpoint, Envelope, Host, NodeId};
 
 use crate::msg::BaselineMsg;
@@ -118,8 +119,10 @@ impl SchedulerEndpoint {
     }
 
     fn send(&self, host: &mut dyn Host, node: NodeId, msg: &BaselineMsg) {
-        let bytes = vce_codec::to_bytes(msg);
-        host.send(self.me, Addr::daemon(node), bytes.into());
+        // Pooled scratch encode — see agent.rs: benches must compare
+        // scheduling disciplines, not per-send allocations.
+        let payload = host.encode_with(&mut |enc| msg.encode(enc));
+        host.send(self.me, Addr::daemon(node), payload);
     }
 
     /// Promote Waiting→Ready as dependencies finish.

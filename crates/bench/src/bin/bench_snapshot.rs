@@ -9,6 +9,8 @@
 //! recorded: the baseline file was produced by this binary on the
 //! pre-optimization engine.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use vce_bench::chaos::{baseline_makespan_us, run_chaos, ChaosConfig, ScheduleShape};
@@ -17,12 +19,39 @@ use vce_bench::sweep::{sweep, threads_for};
 use vce_bench::{bidding_round_detailed, heartbeat_storm, message_storm, sharded_storm};
 use vce_exm::migrate::MigrationTechnique;
 
+/// Heap-allocation counter behind the whole snapshot binary: one relaxed
+/// atomic increment per alloc/realloc, which is noise on runs that barely
+/// allocate (the point of the `allocs_per_event` metric) and immaterial to
+/// the best-of-reps throughput numbers.
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
 const STORM_NODES: u32 = 16;
 const STORM_TICKS: u32 = 50;
 const STORM_LONG_NODES: u32 = 64;
 const STORM_LONG_SECONDS: u64 = 60;
 const SHARDED_NODES: u32 = 2048;
 const SHARDED_TICKS: u32 = 25;
+const SHARDED_XL_NODES: u32 = 10_240;
+const SHARDED_XL_TICKS: u32 = 10;
 const SWEEP_SEEDS: u64 = 8;
 const SWEEP_GROUP: u32 = 8;
 const SWEEP_JITTER_US: u64 = 800;
@@ -61,6 +90,27 @@ fn measure_storm(reps: u32, nodes: u32, ticks: u32, shards: usize) -> (vce_bench
         }
     }
     (first, first.events as f64 / best)
+}
+
+/// Marginal heap allocations per simulated event on the hot path, with
+/// one-time setup cost cancelled out: run the same storm at two lengths
+/// and divide the alloc delta by the event delta. A warmed engine should
+/// be at (or within rounding of) zero.
+fn storm_allocs_per_event() -> f64 {
+    let long_events = message_storm(STORM_NODES, STORM_TICKS);
+    let short_events = message_storm(STORM_NODES, STORM_TICKS / 2);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let short_allocs = {
+        message_storm(STORM_NODES, STORM_TICKS / 2);
+        ALLOCS.load(Ordering::Relaxed) - a0
+    };
+    let a1 = ALLOCS.load(Ordering::Relaxed);
+    let long_allocs = {
+        message_storm(STORM_NODES, STORM_TICKS);
+        ALLOCS.load(Ordering::Relaxed) - a1
+    };
+    (long_allocs.saturating_sub(short_allocs)) as f64
+        / (long_events.saturating_sub(short_events)).max(1) as f64
 }
 
 fn f3_row(seed: u64) -> String {
@@ -112,6 +162,7 @@ fn main() {
     }
 
     let (storm_events, events_per_sec) = measure(40, || message_storm(STORM_NODES, STORM_TICKS));
+    let allocs_per_event = storm_allocs_per_event();
     let (long_events, long_eps) =
         measure(10, || heartbeat_storm(STORM_LONG_NODES, STORM_LONG_SECONDS));
     // Sharded engine: S = available cores (the acceptance configuration),
@@ -123,6 +174,10 @@ fn main() {
     let (serial_run, serial_eps) = measure_storm(5, SHARDED_NODES, SHARDED_TICKS, 1);
     let (sharded_run, sharded_eps) = measure_storm(5, SHARDED_NODES, SHARDED_TICKS, shard_count);
     let sharded_identical = sharded_run == serial_run;
+    // Fleet-scale row: ≥10k nodes, same digest-vs-serial cross-check.
+    let (xl_serial_run, xl_serial_eps) = measure_storm(3, SHARDED_XL_NODES, SHARDED_XL_TICKS, 1);
+    let (xl_run, xl_eps) = measure_storm(3, SHARDED_XL_NODES, SHARDED_XL_TICKS, shard_count);
+    let xl_identical = xl_run == xl_serial_run;
 
     let lat_us = bidding_round_detailed(1, SWEEP_GROUP, SWEEP_JITTER_US).latency_us;
     let (serial_s, parallel_s, threads, identical) = measure_sweep();
@@ -159,7 +214,8 @@ fn main() {
     println!("  \"storm\": {{");
     println!("    \"nodes\": {STORM_NODES}, \"ticks\": {STORM_TICKS},");
     println!("    \"events\": {storm_events},");
-    println!("    \"events_per_sec\": {events_per_sec:.0}");
+    println!("    \"events_per_sec\": {events_per_sec:.0},");
+    println!("    \"allocs_per_event\": {allocs_per_event:.4}");
     println!("  }},");
     println!("  \"storm_long\": {{");
     println!("    \"nodes\": {STORM_LONG_NODES}, \"seconds\": {STORM_LONG_SECONDS},");
@@ -182,6 +238,17 @@ fn main() {
         );
     }
     println!("    \"identical_output\": {sharded_identical}");
+    println!("  }},");
+    println!("  \"sharded_storm_xl\": {{");
+    println!("    \"nodes\": {SHARDED_XL_NODES}, \"ticks\": {SHARDED_XL_TICKS},");
+    println!("    \"shards\": {shard_count}, \"cores\": {cores},");
+    println!("    \"events\": {},", xl_run.events);
+    println!("    \"events_per_sec\": {xl_eps:.0},");
+    println!("    \"serial_events_per_sec\": {xl_serial_eps:.0},");
+    if shard_count > 1 && cores > 1 {
+        println!("    \"speedup_vs_serial\": {:.2},", xl_eps / xl_serial_eps);
+    }
+    println!("    \"identical_output\": {xl_identical}");
     println!("  }},");
     println!("  \"bidding_round\": {{");
     println!("    \"group\": {SWEEP_GROUP}, \"jitter_us\": {SWEEP_JITTER_US},");

@@ -1,0 +1,167 @@
+//! The steady-state bidding round allocates nothing: once a workstation
+//! group is warmed up, a full request → disclose → bid → select →
+//! allocation cycle runs entirely out of reused state — the host's pooled
+//! encode buffers, the leader's slab arenas (`served`/`pending`/
+//! `recent_alloc`), the collector's recycled reply vectors and the
+//! engine's calendar queue. This test drives hundreds of real allocation
+//! rounds through the daemon protocol (WAL off, migration off — the
+//! pieces ISSUE 10's hot path excludes) and asserts the measured window
+//! performs no per-round heap traffic.
+//!
+//! One `#[test]` only — the counting allocator is process-global and a
+//! concurrent test would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vce_bench::workstation_vce;
+use vce_codec::{Codec, Decoder};
+use vce_exm::{AppId, ExmConfig, ExmMsg, ReqId};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineInfo, NodeId};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocation replies observed by the client (static so the test can read
+/// it after the endpoint is boxed into the sim).
+static GRANTED: AtomicU64 = AtomicU64::new(0);
+
+const TICK: u64 = 1;
+/// Round period: comfortably above request→allocation latency (~4 ms on
+/// the 1994 LAN model) so rounds never overlap.
+const PERIOD_US: u64 = 50_000;
+
+/// A minimal resource client: every tick it fires one fresh
+/// `ResourceRequest` at every daemon of the class (exactly what the real
+/// executor does) and counts the `Allocation` replies. The request
+/// carries an empty `unit` and the group runs no tasks, so every decoded
+/// collection on the round's path is empty — any allocation the round
+/// performs is protocol overhead, which is what the gate forbids.
+struct Client {
+    me: Addr,
+    daemons: Vec<Addr>,
+    seq: u32,
+    rounds: u32,
+}
+
+impl Endpoint for Client {
+    fn on_start(&mut self, host: &mut dyn Host) {
+        host.set_timer(PERIOD_US, TICK);
+    }
+    fn on_envelope(&mut self, env: Envelope, _host: &mut dyn Host) {
+        let mut dec = Decoder::new(&env.payload);
+        if let Ok(ExmMsg::Allocation { nodes, .. }) = ExmMsg::decode(&mut dec) {
+            assert!(!nodes.is_empty(), "empty allocation");
+            GRANTED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    fn on_timer(&mut self, _token: u64, host: &mut dyn Host) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        self.seq += 1;
+        let msg = ExmMsg::ResourceRequest {
+            req: ReqId {
+                app: AppId(7),
+                seq: self.seq,
+            },
+            class: vce_net::MachineClass::Workstation,
+            count_min: 1,
+            count_max: 2,
+            mem_mb: 0,
+            unit: String::new(),
+            priority_boost: 0,
+            reply_to: self.me,
+        };
+        let payload = host.encode_with(&mut |enc| msg.encode(enc));
+        for &d in &self.daemons {
+            host.send(self.me, d, payload.clone());
+        }
+        if self.rounds > 0 {
+            host.set_timer(PERIOD_US, TICK);
+        }
+    }
+}
+
+/// Run `rounds` allocation rounds after `warmup` warm-up rounds; returns
+/// (alloc delta inside the measured window, allocations granted in total).
+fn measured_rounds(warmup: u32, rounds: u32) -> (u64, u64) {
+    const DAEMONS: u32 = 4;
+    let cfg = ExmConfig {
+        // The gate measures the bidding round itself. Durability and the
+        // rebalance sweep have their own costs (and their own tests).
+        wal_enabled: false,
+        migration_enabled: false,
+        ..ExmConfig::default()
+    };
+    let mut vce = workstation_vce(11, DAEMONS, 100.0, cfg);
+    let sim = vce.sim_mut();
+    let client_node = NodeId(DAEMONS);
+    let me = Addr::executor(client_node);
+    sim.add_node(MachineInfo::workstation(client_node, 100.0));
+    sim.add_endpoint(
+        me,
+        Box::new(Client {
+            me,
+            daemons: (0..DAEMONS).map(|i| Addr::daemon(NodeId(i))).collect(),
+            seq: 0,
+            rounds: warmup + rounds,
+        }),
+    );
+    // Warm-up: every slab, scratch vector and pool reaches steady-state
+    // capacity (the leader's `served` arena grows one slot per round, so
+    // the warm-up must push its backing vector past the doubling that
+    // covers warmup + rounds — 300 rounds leaves capacity 512 ≥ 400).
+    let start = sim.now_us();
+    sim.run_until(start + u64::from(warmup) * PERIOD_US + PERIOD_US / 2);
+    let before = allocs();
+    sim.run_until(start + u64::from(warmup + rounds) * PERIOD_US + PERIOD_US / 2);
+    let delta = allocs() - before;
+    // Drain the tail so the grant count covers every round.
+    sim.run_until(sim.now_us() + 4 * PERIOD_US);
+    (delta, GRANTED.load(Ordering::Relaxed))
+}
+
+#[test]
+fn steady_state_bidding_round_allocates_nothing() {
+    let (delta, granted) = measured_rounds(300, 100);
+    // Every round must actually complete — 0 allocations would also mean
+    // the protocol never ran. (>= because leader retries can duplicate.)
+    assert!(
+        granted >= 400,
+        "only {granted} of 400 rounds were granted an allocation"
+    );
+    // Same slack idiom as the disabled-trace gate: the calendar queue's
+    // wheel wrap may promote its overflow heap a handful of times inside
+    // a multi-second window — amortised infrastructure, not per-round
+    // cost. 100 rounds performing even one transient allocation each
+    // would blow far past this.
+    assert!(
+        delta <= 8,
+        "steady-state bidding rounds allocated {delta} times across 100 \
+         rounds — a protocol path allocates per round"
+    );
+}

@@ -127,6 +127,20 @@ impl ClientProxy {
     /// Marshal an invocation. Checks arity and argument types against the
     /// IDL *before* anything leaves the machine (fail fast, locally).
     pub fn marshal_call(&self, method: &str, args: &[Value]) -> Result<Vec<u8>, ProxyError> {
+        let mut enc = Encoder::with_capacity(64);
+        self.marshal_call_into(method, args, &mut enc)?;
+        Ok(enc.finish())
+    }
+
+    /// [`Self::marshal_call`] into a caller-owned encoder (appends; the
+    /// caller clears or freezes it). Hosts pass their pooled scratch
+    /// encoder here so marshaling a call allocates nothing.
+    pub fn marshal_call_into(
+        &self,
+        method: &str,
+        args: &[Value],
+        enc: &mut Encoder,
+    ) -> Result<(), ProxyError> {
         let idx = self
             .interface
             .index_of(method)
@@ -148,13 +162,12 @@ impl ClientProxy {
                 });
             }
         }
-        let mut enc = Encoder::with_capacity(64);
         enc.put_u32(idx as u32);
         enc.put_u32(args.len() as u32);
         for a in args {
-            a.encode(&mut enc);
+            a.encode(enc);
         }
-        Ok(enc.finish())
+        Ok(())
     }
 
     /// Unmarshal a reply for `method`, checking the return type.
@@ -227,15 +240,21 @@ impl ServerProxy {
     /// ill-typed requests produce an error *reply* (the remote caller gets
     /// the diagnosis), never a panic.
     pub fn dispatch(&mut self, request: &[u8]) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(32);
+        self.dispatch_into(request, &mut enc);
+        enc.finish()
+    }
+
+    /// [`Self::dispatch`] into a caller-owned encoder (appends; the caller
+    /// clears or freezes it). Hosts pass their pooled scratch encoder here
+    /// so serving a call allocates nothing beyond the argument values.
+    pub fn dispatch_into(&mut self, request: &[u8], enc: &mut Encoder) {
         match self.try_dispatch(request) {
             Ok(v) => {
-                let mut enc = Encoder::with_capacity(32);
                 enc.put_u8(REPLY_OK);
-                v.encode(&mut enc);
-                enc.finish()
+                v.encode(enc);
             }
             Err(e) => {
-                let mut enc = Encoder::with_capacity(32);
                 enc.put_u8(REPLY_ERR);
                 // Application errors travel verbatim; proxy-level failures
                 // carry their diagnostic prefix.
@@ -243,7 +262,6 @@ impl ServerProxy {
                     ProxyError::Application(m) => enc.put_str(m),
                     other => enc.put_str(&other.to_string()),
                 }
-                enc.finish()
             }
         }
     }

@@ -109,6 +109,27 @@ impl<'a> Decoder<'a> {
         Ok(i64::from_be_bytes(b.try_into().expect("slice len 8")))
     }
 
+    /// Read an LEB128 varint u64 (see [`crate::Encoder::put_uvarint`]).
+    /// Rejects encodings longer than 10 bytes and 10-byte encodings whose
+    /// final group overflows 64 bits.
+    pub fn get_uvarint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.get_u8()?;
+            if shift == 63 && b > 1 {
+                break; // 10th byte may only contribute the final bit
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b < 0x80 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::InvalidDiscriminant {
+            value: v,
+            type_name: "uvarint (overlong or >64-bit encoding)",
+        })
+    }
+
     /// Read a big-endian IEEE-754 binary64.
     pub fn get_f64(&mut self) -> Result<f64> {
         let b = self.take(8)?;
@@ -223,6 +244,45 @@ mod tests {
     fn bool_rejects_garbage() {
         let mut d = Decoder::new(&[7]);
         assert_eq!(d.get_bool(), Err(CodecError::InvalidBool(7)));
+    }
+
+    #[test]
+    fn uvarint_roundtrips_across_the_range() {
+        let cases = [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            1 << 40,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut e = Encoder::new();
+        for &v in &cases {
+            e.put_uvarint(v);
+        }
+        assert!(e.len() < cases.len() * 8, "varints must beat fixed width");
+        let bytes = e.as_slice().to_vec();
+        let mut d = Decoder::new(&bytes);
+        for &v in &cases {
+            assert_eq!(d.get_uvarint(), Ok(v));
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn uvarint_rejects_overlong_and_torn_encodings() {
+        // 11 continuation bytes: more groups than 64 bits can hold.
+        let overlong = [0x80u8; 11];
+        assert!(Decoder::new(&overlong).get_uvarint().is_err());
+        // 10th byte carrying more than the final bit overflows u64.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x02;
+        assert!(Decoder::new(&overflow).get_uvarint().is_err());
+        // Continuation bit set but the buffer ends.
+        assert!(Decoder::new(&[0x80]).get_uvarint().is_err());
     }
 
     #[test]

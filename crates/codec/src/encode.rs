@@ -100,6 +100,18 @@ impl Encoder {
         self.buf.put_i64(v);
     }
 
+    /// Write a u64 as an LEB128 varint (7 value bits per byte, low group
+    /// first, high bit = continuation): 1 byte for values < 128, at most
+    /// 10 bytes. Used where small values dominate — e.g. the `.vct` trace
+    /// format's delta-encoded event records.
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.put_u8((v as u8 & 0x7f) | 0x80);
+            v >>= 7;
+        }
+        self.buf.put_u8(v as u8);
+    }
+
     /// Write a big-endian IEEE-754 binary64.
     pub fn put_f64(&mut self, v: f64) {
         self.buf.put_f64(v);

@@ -23,14 +23,14 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vce_codec::Codec;
 use vce_isis::{is_isis_token, BcastId, GroupConfig, GroupMember, Upcall};
-use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId, NodeList, SlotArena};
 
 use crate::backoff::backoff_delay_us;
 use crate::config::ExmConfig;
 use crate::events::MigrationRecord;
 use crate::migrate::{carried_remaining, choose_technique, state_kib, MigrationTechnique};
-use crate::msg::{encode_msg, ExmMsg, InstanceKey, LoadProgram, MigrationState, ReqId};
-use crate::policy::{select_with, Needs};
+use crate::msg::{ExmMsg, InstanceKey, LoadProgram, MigrationState, ReqId};
+use crate::policy::{select_into, select_with, Needs};
 use crate::queue::{QueuedRequest, RequestQueue};
 use crate::status::{DaemonStatus, ResidentTask};
 use crate::wal::{DaemonWal, WalRecord};
@@ -91,14 +91,19 @@ enum CollectKind {
 }
 
 /// Leader-role state (meaningful only while this daemon coordinates).
+///
+/// The request-keyed tables are [`SlotArena`]s, not `BTreeMap`s: every
+/// bidding round touches `served`/`pending`/`recent_alloc`, and the arenas
+/// keep entries in dense recycled slots (iteration order still sorted by
+/// key) instead of allocating a tree node per insert.
 struct LeaderState {
-    served: BTreeMap<ReqId, Vec<NodeId>>,
-    pending: BTreeMap<ReqId, (Needs, Addr, i32)>,
+    served: SlotArena<ReqId, NodeList>,
+    pending: SlotArena<ReqId, (Needs, Addr, i32)>,
     queue: RequestQueue,
     collects: HashMap<BcastId, CollectKind>,
     /// Soft reservations: nodes allocated recently, with expiry µs — their
     /// bids are inflated until the loads show up for real.
-    recent_alloc: BTreeMap<NodeId, u64>,
+    recent_alloc: SlotArena<NodeId, u64>,
     last_rebalance_us: u64,
     /// Instances ordered to migrate and not yet confirmed gone (avoid
     /// re-ordering every sweep).
@@ -113,11 +118,11 @@ struct LeaderState {
 impl LeaderState {
     fn new(aging_quantum_us: u64) -> Self {
         Self {
-            served: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            served: SlotArena::new(),
+            pending: SlotArena::new(),
             queue: RequestQueue::new(aging_quantum_us),
             collects: HashMap::new(),
-            recent_alloc: BTreeMap::new(),
+            recent_alloc: SlotArena::new(),
             last_rebalance_us: 0,
             migrating: BTreeSet::new(),
             last_migrated_us: BTreeMap::new(),
@@ -176,6 +181,14 @@ pub struct DaemonEndpoint {
     recovered_served: BTreeMap<ReqId, Vec<NodeId>>,
     /// Recoveries performed (distinguishes reports across revives).
     recovery_seq: u64,
+    /// Reusable upcall buffer: the isis layer drains into this instead of
+    /// returning a fresh `Vec` per envelope/timer (steady-state rounds
+    /// must not allocate).
+    upcall_scratch: Vec<Upcall>,
+    /// Reusable decoded-bid buffer for [`Self::effective_bids_into`].
+    bids_scratch: Vec<DaemonStatus>,
+    /// Reusable index scratch for [`select_into`].
+    select_scratch: Vec<u32>,
     /// The last recovery, for chaos invariants and experiment accounting.
     pub last_recovery: Option<RecoveryReport>,
     /// Task Mops actually executed on this machine, including work later
@@ -198,7 +211,7 @@ impl DaemonEndpoint {
         if !cfg.adaptive_detection {
             group_cfg = group_cfg.with_fixed_detection();
         }
-        let gm = GroupMember::with_wrapper(me, group_cfg, |m| encode_msg(&ExmMsg::Isis(m.clone())));
+        let gm = GroupMember::with_wrapper(me, group_cfg, crate::msg::encode_isis_frame);
         let aging = cfg.aging_quantum_us;
         let wal = DaemonWal::new(cfg.storage.clone(), cfg.wal_enabled);
         Self {
@@ -216,6 +229,9 @@ impl DaemonEndpoint {
             wal,
             recovered_served: BTreeMap::new(),
             recovery_seq: 0,
+            upcall_scratch: Vec::new(),
+            bids_scratch: Vec::new(),
+            select_scratch: Vec::new(),
             last_recovery: None,
             mops_executed: 0.0,
             migrations: Vec::new(),
@@ -628,7 +644,7 @@ impl DaemonEndpoint {
                 seq: 0,
             },
         };
-        let payload = encode_msg(&ExmMsg::DiscloseState { req });
+        let payload = host.encode_with(&mut |enc| ExmMsg::DiscloseState { req }.encode(enc));
         // Collects that keep expiring short (members crashed or partitioned
         // away) stretch the deadline exponentially up to the cap, so a
         // leader bridging an outage doesn't spin full-rate collects.
@@ -664,7 +680,7 @@ impl DaemonEndpoint {
                 consider(&q.needs);
             }
         }
-        for (req, (needs, _, _)) in &self.leader.pending {
+        for (req, (needs, _, _)) in self.leader.pending.iter() {
             if *req != except {
                 consider(needs);
             }
@@ -674,24 +690,34 @@ impl DaemonEndpoint {
         reserved
     }
 
-    fn effective_bids(&self, replies: &[(Addr, bytes::Bytes)], now: u64) -> Vec<DaemonStatus> {
-        replies
-            .iter()
-            .filter_map(|(_, bytes)| vce_codec::from_bytes::<DaemonStatus>(bytes).ok())
-            .map(|mut b| {
-                // Soft-reserve recently allocated machines.
-                if self.cfg.soft_reservations
-                    && self
-                        .leader
-                        .recent_alloc
-                        .get(&b.node)
-                        .is_some_and(|&until| until > now)
-                {
-                    b.load += 1.0;
-                }
-                b
-            })
-            .collect()
+    /// Decode the collected bids into `out` (cleared first; the caller
+    /// hands back a reusable scratch vector so steady-state rounds reuse
+    /// its capacity).
+    fn effective_bids_into(
+        &self,
+        replies: &[(Addr, bytes::Bytes)],
+        now: u64,
+        out: &mut Vec<DaemonStatus>,
+    ) {
+        out.clear();
+        out.extend(
+            replies
+                .iter()
+                .filter_map(|(_, bytes)| vce_codec::from_bytes::<DaemonStatus>(bytes).ok())
+                .map(|mut b| {
+                    // Soft-reserve recently allocated machines.
+                    if self.cfg.soft_reservations
+                        && self
+                            .leader
+                            .recent_alloc
+                            .get(&b.node)
+                            .is_some_and(|&until| until > now)
+                    {
+                        b.load += 1.0;
+                    }
+                    b
+                }),
+        );
     }
 
     fn try_allocate(
@@ -704,14 +730,19 @@ impl DaemonEndpoint {
         host: &mut dyn Host,
     ) -> bool {
         let reserved = self.reservations(bids, req);
-        let nodes = select_with(
+        let mut order = std::mem::take(&mut self.select_scratch);
+        let mut nodes = NodeList::new();
+        select_into(
             self.cfg.policy,
             bids,
             &needs,
             &reserved,
             self.cfg.overload_threshold,
             self.cfg.prefer_staged_binaries,
+            &mut order,
+            &mut nodes,
         );
+        self.select_scratch = order;
         if nodes.is_empty() {
             if self.cfg.queue_insufficient {
                 self.leader.queue.push(QueuedRequest {
@@ -740,16 +771,20 @@ impl DaemonEndpoint {
             return false;
         }
         let until = host.now_us() + 1_000_000;
-        for &n in &nodes {
+        for &n in nodes.iter() {
             self.leader.recent_alloc.insert(n, until);
         }
-        self.wal.journal(
-            host.now_us(),
-            &WalRecord::Allocated {
-                req,
-                nodes: nodes.clone(),
-            },
-        );
+        // Only build the (heap-backed) journal record when the WAL is on:
+        // with it off the clone would be pure waste on the hot path.
+        if self.wal.is_enabled() {
+            self.wal.journal(
+                host.now_us(),
+                &WalRecord::Allocated {
+                    req,
+                    nodes: nodes.as_slice().to_vec(),
+                },
+            );
+        }
         self.leader.served.insert(req, nodes.clone());
         if host.log_enabled() {
             host.log(format!("leader: allocated {req:?} -> {nodes:?}"));
@@ -765,25 +800,29 @@ impl DaemonEndpoint {
         timed_out: bool,
         host: &mut dyn Host,
     ) {
-        let Some(kind) = self.leader.collects.remove(&id) else {
+        let kind = self.leader.collects.remove(&id);
+        let (Some(kind), true) = (kind, self.gm.is_coordinator()) else {
+            // Unknown collect, or deposed mid-collect. Still hand the
+            // reply vector (and its pooled payload views) back for reuse.
+            self.gm.recycle_replies(replies);
             return;
         };
-        if !self.gm.is_coordinator() {
-            return; // deposed mid-collect
-        }
         if timed_out {
             self.leader.short_rounds = (self.leader.short_rounds + 1).min(8);
         } else {
             self.leader.short_rounds = 0;
         }
         let now = host.now_us();
-        let bids = self.effective_bids(&replies, now);
+        let mut bids = std::mem::take(&mut self.bids_scratch);
+        self.effective_bids_into(&replies, now, &mut bids);
+        // Bids are decoded; the raw reply payloads can go back to the
+        // collector's spare pool (dropping their pooled-buffer views).
+        self.gm.recycle_replies(replies);
         match kind {
             CollectKind::Allocate(req) => {
-                let Some((needs, reply_to, boost)) = self.leader.pending.remove(&req) else {
-                    return;
-                };
-                self.try_allocate(req, needs, reply_to, boost, &bids, host);
+                if let Some((needs, reply_to, boost)) = self.leader.pending.remove(&req) {
+                    self.try_allocate(req, needs, reply_to, boost, &bids, host);
+                }
             }
             CollectKind::Rebalance => {
                 self.serve_queue(&bids, host);
@@ -792,6 +831,8 @@ impl DaemonEndpoint {
                 }
             }
         }
+        bids.clear();
+        self.bids_scratch = bids;
     }
 
     fn serve_queue(&mut self, bids: &[DaemonStatus], host: &mut dyn Host) {
@@ -821,13 +862,16 @@ impl DaemonEndpoint {
             for &n in &nodes {
                 self.leader.recent_alloc.insert(n, until);
             }
-            self.wal.journal(
-                now,
-                &WalRecord::Allocated {
-                    req: q.req,
-                    nodes: nodes.clone(),
-                },
-            );
+            if self.wal.is_enabled() {
+                self.wal.journal(
+                    now,
+                    &WalRecord::Allocated {
+                        req: q.req,
+                        nodes: nodes.clone(),
+                    },
+                );
+            }
+            let nodes = NodeList::from(nodes);
             self.leader.served.insert(q.req, nodes.clone());
             if host.log_enabled() {
                 host.log(format!("leader: dequeued {:?} -> {nodes:?}", q.req));
@@ -914,18 +958,22 @@ impl DaemonEndpoint {
     // Upcall plumbing
     // ------------------------------------------------------------------
 
-    fn process_upcalls(&mut self, ups: Vec<Upcall>, host: &mut dyn Host) {
-        for up in ups {
+    /// Drain and act on isis upcalls. The buffer is the caller's reusable
+    /// scratch (it comes back empty) — the bidding round processes two
+    /// upcall batches per message and must not allocate for them.
+    fn process_upcalls(&mut self, ups: &mut Vec<Upcall>, host: &mut dyn Host) {
+        for up in ups.drain(..) {
             match up {
                 Upcall::Deliver { id, payload, .. } => {
                     if let Ok(ExmMsg::DiscloseState { .. }) =
                         vce_codec::from_backing::<ExmMsg>(&payload)
                     {
                         // Bid: reply with our status (§5's "sends its load
-                        // description to the group leader").
+                        // description to the group leader"), encoded via
+                        // the host's pooled scratch buffer.
                         let status = self.status(host);
-                        let bytes = vce_codec::to_bytes(&status);
-                        self.gm.reply(id, bytes.into(), host);
+                        let bytes = host.encode_with(&mut |enc| status.encode(enc));
+                        self.gm.reply(id, bytes, host);
                     }
                 }
                 Upcall::CollectDone(result) => {
@@ -944,7 +992,7 @@ impl DaemonEndpoint {
                     // a live allocator. Until this point they stay inert —
                     // a recovered coordinator stands down by default.
                     for (req, nodes) in std::mem::take(&mut self.recovered_served) {
-                        self.leader.served.insert(req, nodes);
+                        self.leader.served.insert(req, NodeList::from(nodes));
                     }
                 }
                 Upcall::ViewInstalled(_) | Upcall::Evicted => {}
@@ -1060,8 +1108,10 @@ impl Endpoint for DaemonEndpoint {
         };
         match msg {
             ExmMsg::Isis(m) => {
-                let ups = self.gm.handle(env.src, m, host);
-                self.process_upcalls(ups, host);
+                let mut ups = std::mem::take(&mut self.upcall_scratch);
+                self.gm.handle_into(env.src, m, host, &mut ups);
+                self.process_upcalls(&mut ups, host);
+                self.upcall_scratch = ups;
             }
             ExmMsg::ResourceRequest {
                 req,
@@ -1162,8 +1212,10 @@ impl Endpoint for DaemonEndpoint {
 
     fn on_timer(&mut self, token: u64, host: &mut dyn Host) {
         if is_isis_token(token) {
-            let ups = self.gm.on_timer(token, host);
-            self.process_upcalls(ups, host);
+            let mut ups = std::mem::take(&mut self.upcall_scratch);
+            self.gm.on_timer_into(token, host, &mut ups);
+            self.process_upcalls(&mut ups, host);
+            self.upcall_scratch = ups;
             return;
         }
         match token {

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use vce_channels::registry::{ChannelId, ChannelRegistry, PortId as ChanPortId, Role};
 use vce_codec::Codec;
-use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId};
+use vce_net::{Addr, Endpoint, Envelope, Host, MachineClass, NodeId, NodeList};
 use vce_sdm::MachineDb;
 use vce_taskgraph::{algo, TaskGraph, TaskId};
 
@@ -407,7 +407,7 @@ impl ExecutorEndpoint {
         host.set_timer(self.cfg.request_retry_us, retry_token(req.seq));
     }
 
-    fn handle_allocation(&mut self, req: ReqId, nodes: Vec<NodeId>, host: &mut dyn Host) {
+    fn handle_allocation(&mut self, req: ReqId, nodes: NodeList, host: &mut dyn Host) {
         let Some(pending) = self.requests.get_mut(&req) else {
             return;
         };
@@ -422,7 +422,7 @@ impl ExecutorEndpoint {
             host.now_us(),
             AppEvent::Allocated {
                 req,
-                nodes: nodes.clone(),
+                nodes: nodes.as_slice().to_vec(),
             },
         );
         let Some(spec) = self.spec(task).cloned() else {
@@ -466,7 +466,7 @@ impl ExecutorEndpoint {
             let redundant = nodes.len() > primaries;
             let mut v = Vec::new();
             for (i, &slot) in slots.iter().take(primaries).enumerate() {
-                if let Some(&node) = nodes.get(i) {
+                if let Some(&node) = nodes.as_slice().get(i) {
                     v.push((slot, node, redundant));
                 }
             }
@@ -1233,7 +1233,7 @@ mod tests {
             host,
             &ExmMsg::Allocation {
                 req,
-                nodes: vec![NodeId(1)],
+                nodes: vec![NodeId(1)].into(),
             },
         );
         let key = InstanceKey {
@@ -1303,7 +1303,7 @@ mod tests {
             &mut host,
             &ExmMsg::Allocation {
                 req: hedge_req,
-                nodes: vec![NodeId(2)],
+                nodes: vec![NodeId(2)].into(),
             },
         );
         let loads: Vec<LoadProgram> = host

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use vce_codec::{Codec, CodecError, Decoder, Encoder, Result};
 use vce_isis::IsisMsg;
-use vce_net::{Addr, MachineClass, NodeId};
+use vce_net::{Addr, MachineClass, NodeId, NodeList};
 
 use crate::migrate::MigrationTechnique;
 use crate::status::DaemonStatus;
@@ -210,10 +210,13 @@ pub enum ExmMsg {
     },
     /// Leader → executor: machines allocated, in preference order.
     Allocation {
-        /// The request answered.
+        /// The request answered. Allocations are small (≤ count_max
+        /// machines), so the list stays inline — no heap node per message
+        /// on the bidding hot path. Wire format is identical to
+        /// `Vec<NodeId>`.
         req: ReqId,
         /// Allocated machines.
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
     },
     /// Leader → executor: cannot serve (§5: "If there are insufficient
     /// resources within a group a message to that effect is returned").
@@ -330,6 +333,7 @@ pub enum ExmMsg {
     },
 }
 
+// vce-lint: allow(P002) T_ISIS is encoded twice on purpose: the ExmMsg::Isis arm and encode_isis_frame's borrowed-IsisMsg twin emit byte-identical frames (hot path avoids cloning the inner message)
 const T_ISIS: u8 = 0;
 const T_RESOURCE_REQUEST: u8 = 1;
 const T_ALLOCATION: u8 = 2;
@@ -482,7 +486,7 @@ impl Codec for ExmMsg {
             },
             T_ALLOCATION => ExmMsg::Allocation {
                 req: ReqId::decode(dec)?,
-                nodes: Vec::<NodeId>::decode(dec)?,
+                nodes: NodeList::decode(dec)?,
             },
             T_ALLOC_ERROR => ExmMsg::AllocError {
                 req: ReqId::decode(dec)?,
@@ -559,6 +563,14 @@ pub fn encode_msg(msg: &ExmMsg) -> Bytes {
     enc.finish_bytes()
 }
 
+/// Write `ExmMsg::Isis(msg)`'s wire form from a borrowed [`IsisMsg`] —
+/// byte-identical to wrapping and encoding, without cloning the message.
+/// The daemon's group-member wrapper uses this on the pooled encode path.
+pub fn encode_isis_frame(msg: &IsisMsg, enc: &mut Encoder) {
+    enc.put_u8(T_ISIS);
+    msg.encode(enc);
+}
+
 /// Status payloads ride in bids; re-exported decode helper.
 pub fn decode_status(bytes: &[u8]) -> Result<DaemonStatus> {
     vce_codec::from_bytes(bytes)
@@ -597,7 +609,7 @@ mod tests {
                     app: AppId(1),
                     seq: 2,
                 },
-                nodes: vec![NodeId(1), NodeId(2)],
+                nodes: vec![NodeId(1), NodeId(2)].into(),
             },
             ExmMsg::AllocError {
                 req: ReqId {

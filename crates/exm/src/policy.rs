@@ -6,7 +6,7 @@
 //! get A even when a flexible task would run fastest there — the flexible
 //! task waits.
 
-use vce_net::NodeId;
+use vce_net::{NodeId, NodeList};
 
 use crate::status::DaemonStatus;
 
@@ -75,30 +75,70 @@ pub fn select_with(
     overload: f64,
     prefer_staged_binaries: bool,
 ) -> Vec<NodeId> {
-    let mut eligible_bids: Vec<&DaemonStatus> = bids
-        .iter()
-        .filter(|b| eligible(b, needs, overload))
-        .collect();
+    let mut order = Vec::new();
+    let mut out = NodeList::new();
+    select_into(
+        policy,
+        bids,
+        needs,
+        reserved,
+        overload,
+        prefer_staged_binaries,
+        &mut order,
+        &mut out,
+    );
+    out.as_slice().to_vec()
+}
+
+/// Allocation-free core of [`select_with`]: `order` is a reusable index
+/// scratch (indices into `bids`) and the chosen nodes land in `out`
+/// (cleared first). With a warm scratch and ≤ [`vce_net::NODE_LIST_INLINE`]
+/// winners this performs no heap allocation — the leader calls it once per
+/// bidding round.
+#[allow(clippy::too_many_arguments)]
+pub fn select_into(
+    policy: PlacementPolicy,
+    bids: &[DaemonStatus],
+    needs: &Needs,
+    reserved: &[NodeId],
+    overload: f64,
+    prefer_staged_binaries: bool,
+    order: &mut Vec<u32>,
+    out: &mut NodeList,
+) {
+    out.clear();
+    order.clear();
+    order.extend(
+        bids.iter()
+            .enumerate()
+            .filter(|(_, b)| eligible(b, needs, overload))
+            .map(|(i, _)| i as u32),
+    );
     if policy == PlacementPolicy::UtilizationFirst {
         // Avoid machines that restricted requests depend on, whenever
         // enough unreserved machines remain — the §4.3 example: the
         // flexible task yields machine A to the task that can only run
         // there, and waits if nothing else is free.
-        let unreserved: Vec<&DaemonStatus> = eligible_bids
+        let unreserved = order
             .iter()
-            .copied()
-            .filter(|b| !reserved.contains(&b.node))
-            .collect();
-        if unreserved.len() >= needs.count_min as usize {
-            eligible_bids = unreserved;
+            // vce-lint: allow(P001) every index in `order` came from enumerate() over `bids` above
+            .filter(|&&i| !reserved.contains(&bids[i as usize].node))
+            .count();
+        if unreserved >= needs.count_min as usize {
+            // vce-lint: allow(P001) every index in `order` came from enumerate() over `bids` above
+            order.retain(|&i| !reserved.contains(&bids[i as usize].node));
         }
     }
     // The paper's sortBidsByLoad with tiebreaks: least loaded first; among
     // equals prefer a machine that already holds the unit's binary (no
     // dispatch-time compile — §4.5), then the fastest. Bid fields came off
     // the wire, so a corrupt peer can send NaN: total_cmp gives NaN a
-    // stable (worst) rank instead of panicking the group leader.
-    eligible_bids.sort_by(|a, b| {
+    // stable (worst) rank instead of panicking the group leader. The final
+    // node-id tiebreak makes the comparator a total order, so the unstable
+    // (in-place, allocation-free) sort is deterministic.
+    order.sort_unstable_by(|&ia, &ib| {
+        // vce-lint: allow(P001) every index in `order` came from enumerate() over `bids` above
+        let (a, b) = (&bids[ia as usize], &bids[ib as usize]);
         let a_has = prefer_staged_binaries && a.binaries.contains(&needs.unit);
         let b_has = prefer_staged_binaries && b.binaries.contains(&needs.unit);
         a.load
@@ -107,14 +147,13 @@ pub fn select_with(
             .then(b.speed_mops.total_cmp(&a.speed_mops))
             .then(a.node.cmp(&b.node))
     });
-    if eligible_bids.len() < needs.count_min as usize {
-        return Vec::new();
+    if order.len() < needs.count_min as usize {
+        return;
     }
-    eligible_bids
-        .into_iter()
-        .take(needs.count_max as usize)
-        .map(|b| b.node)
-        .collect()
+    for &i in order.iter().take(needs.count_max as usize) {
+        // vce-lint: allow(P001) every index in `order` came from enumerate() over `bids` above
+        out.push(bids[i as usize].node);
+    }
 }
 
 #[cfg(test)]

@@ -165,6 +165,13 @@ impl DaemonWal {
         }
     }
 
+    /// Is journaling on? Callers on the allocation hot path check this
+    /// before cloning state into a [`WalRecord`] — with the WAL off the
+    /// record would be built only to be dropped at the `journal` gate.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Append one record; returns when it becomes durable (diagnostics).
     pub fn journal(&mut self, now_us: u64, rec: &WalRecord) -> u64 {
         if !self.enabled {

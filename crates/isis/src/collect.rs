@@ -35,7 +35,14 @@ struct Pending {
 #[derive(Debug, Default)]
 pub struct Collector {
     pending: HashMap<BcastId, Pending>,
+    /// Reply vectors handed back via [`Collector::recycle`], reused by the
+    /// next [`Collector::open`] so steady-state collection rounds don't
+    /// allocate a fresh vector per round.
+    spare: Vec<Vec<(Addr, Bytes)>>,
 }
+
+/// Cap on retained spare reply vectors ([`Collector::recycle`]).
+const MAX_SPARE: usize = 8;
 
 impl Collector {
     /// Fresh collector.
@@ -45,13 +52,18 @@ impl Collector {
 
     /// Start collecting replies to `id`, expecting `expected` of them.
     pub fn open(&mut self, id: BcastId, expected: usize) {
-        self.pending.insert(
-            id,
-            Pending {
-                expected,
-                replies: Vec::with_capacity(expected),
-            },
-        );
+        let mut replies = self.spare.pop().unwrap_or_default();
+        replies.reserve(expected);
+        self.pending.insert(id, Pending { expected, replies });
+    }
+
+    /// Hand a finished collection's reply vector back for reuse (payload
+    /// views are dropped here, releasing their pooled buffers).
+    pub fn recycle(&mut self, mut replies: Vec<(Addr, Bytes)>) {
+        replies.clear();
+        if self.spare.len() < MAX_SPARE && replies.capacity() > 0 {
+            self.spare.push(replies);
+        }
     }
 
     /// Record one reply. Returns the finished result once the expected

@@ -10,7 +10,7 @@ use vce_net::{Addr, Host};
 use crate::collect::{CollectResult, Collector};
 use crate::detector::{ArrivalWindow, DetectorConfig, FlapState, QuarantineConfig};
 use crate::msg::{BcastId, CastOrder, IsisMsg};
-use crate::ordering::{CastData, OrderingState};
+use crate::ordering::{CastData, Delivered, OrderingState};
 use crate::view::{Member, View};
 use crate::ISIS_TOKEN_BASE;
 
@@ -111,12 +111,21 @@ pub enum Upcall {
     CollectDone(CollectResult),
 }
 
+/// Serializer from an isis message into a borrowed [`Encoder`] — identity
+/// framing by default, or the embedding layer's envelope.
+type WrapFn = Box<dyn Fn(&IsisMsg, &mut Encoder) + Send>;
+
 /// One member's view of one process group. Embed in an endpoint; forward it
 /// isis messages and isis timer tokens; act on the returned upcalls.
 pub struct GroupMember {
     me: Addr,
     cfg: GroupConfig,
-    wrap: Box<dyn Fn(&IsisMsg) -> Bytes + Send>,
+    /// Serializes an outgoing isis message into the host's pooled encoder
+    /// (identity framing, or wrapped in the embedding layer's envelope).
+    /// Writing into a borrowed [`Encoder`] instead of returning fresh
+    /// [`Bytes`] keeps the per-message hot path allocation-free — the host
+    /// turns the scratch into pooled `Bytes` (`Host::encode_with`).
+    wrap: WrapFn,
     incarnation: u64,
     started_at: u64,
     view: View,
@@ -142,24 +151,24 @@ pub struct GroupMember {
     collect_deadlines: HashMap<u64, BcastId>,
     token_of_collect: HashMap<BcastId, u64>,
     next_collect_token: u64,
+    // Per-tick scratch (drained every use, capacity retained).
+    deliver_scratch: Vec<Delivered>,
+    nack_scratch: Vec<(Addr, u64)>,
 }
 
 impl GroupMember {
     /// Create a member whose outgoing isis messages are plain-encoded.
     pub fn new(me: Addr, cfg: GroupConfig) -> Self {
-        Self::with_wrapper(me, cfg, |msg| {
-            let mut enc = Encoder::with_capacity(64);
-            msg.encode(&mut enc);
-            enc.finish_bytes()
-        })
+        Self::with_wrapper(me, cfg, |msg, enc| msg.encode(enc))
     }
 
-    /// Create a member whose outgoing isis messages are wrapped by `wrap`
-    /// (e.g. inside the daemon's own message enum).
+    /// Create a member whose outgoing isis messages are written into the
+    /// provided encoder by `wrap` (identity encode, or framed inside the
+    /// embedding layer's own message enum).
     pub fn with_wrapper(
         me: Addr,
         cfg: GroupConfig,
-        wrap: impl Fn(&IsisMsg) -> Bytes + Send + 'static,
+        wrap: impl Fn(&IsisMsg, &mut Encoder) + Send + 'static,
     ) -> Self {
         Self {
             me,
@@ -184,6 +193,8 @@ impl GroupMember {
             collect_deadlines: HashMap::new(),
             token_of_collect: HashMap::new(),
             next_collect_token: 0,
+            deliver_scratch: Vec::new(),
+            nack_scratch: Vec::new(),
         }
     }
 
@@ -299,22 +310,32 @@ impl GroupMember {
     /// Forward isis timer tokens here (see [`crate::is_isis_token`]).
     pub fn on_timer(&mut self, token: u64, host: &mut dyn Host) -> Vec<Upcall> {
         let mut up = Vec::new();
+        self.on_timer_into(token, host, &mut up);
+        up
+    }
+
+    /// [`Self::on_timer`] with upcalls appended to a caller-owned vector
+    /// (the embedding endpoint reuses one across events).
+    pub fn on_timer_into(&mut self, token: u64, host: &mut dyn Host, up: &mut Vec<Upcall>) {
         if token == TOKEN_TICK {
             host.set_timer(self.cfg.heartbeat_us, TOKEN_TICK);
             self.send_heartbeats(host);
-            self.run_failure_detector(host, &mut up);
-            for (sender, expected) in self
-                .ordering
-                .overdue_gaps(host.now_us(), self.cfg.nack_after_us)
-            {
+            self.run_failure_detector(host, up);
+            let mut nacks = std::mem::take(&mut self.nack_scratch);
+            debug_assert!(nacks.is_empty());
+            self.ordering
+                .overdue_gaps_into(host.now_us(), self.cfg.nack_after_us, &mut nacks);
+            for &(sender, expected) in &nacks {
                 self.out(host, sender, &IsisMsg::Nack { expected });
             }
+            nacks.clear();
+            self.nack_scratch = nacks;
         } else if token == TOKEN_QUARANTINE_SWEEP {
             // A quarantine cool-down expired: readmit promptly (the next
             // tick would also catch it; this just removes up to one
             // heartbeat period of extra exile).
             if self.is_coordinator() {
-                self.coordinate(host, &mut up);
+                self.coordinate(host, up);
             }
         } else if let Some(id) = self.collect_deadlines.remove(&token) {
             self.token_of_collect.remove(&id);
@@ -322,11 +343,24 @@ impl GroupMember {
                 up.push(Upcall::CollectDone(result));
             }
         }
-        up
     }
 
     /// Forward received isis messages here.
     pub fn handle(&mut self, src: Addr, msg: IsisMsg, host: &mut dyn Host) -> Vec<Upcall> {
+        let mut up = Vec::new();
+        self.handle_into(src, msg, host, &mut up);
+        up
+    }
+
+    /// [`Self::handle`] with upcalls appended to a caller-owned vector
+    /// (the embedding endpoint reuses one across events).
+    pub fn handle_into(
+        &mut self,
+        src: Addr,
+        msg: IsisMsg,
+        host: &mut dyn Host,
+        up: &mut Vec<Upcall>,
+    ) {
         let now = host.now_us();
         // Feed the adaptive detector: the gap since the last *anything*
         // from this peer (heartbeats and protocol traffic both prove
@@ -340,7 +374,6 @@ impl GroupMember {
                     .observe(gap, &self.cfg.detector);
             }
         }
-        let mut up = Vec::new();
         match msg {
             IsisMsg::Heartbeat {
                 incarnation,
@@ -394,7 +427,7 @@ impl GroupMember {
                     _ => view_id > self.view.id,
                 };
                 if self.is_member() && !self.view.contains(src) && superseded {
-                    self.demote(&mut up);
+                    self.demote(up);
                 }
                 // Anti-entropy for dropped ViewInstalls: a member of our
                 // view announcing an older view id missed an install on the
@@ -420,9 +453,9 @@ impl GroupMember {
                         });
                 if accept {
                     if view.contains(self.me) {
-                        self.install(view, &mut up);
+                        self.install(view, up);
                     } else {
-                        self.demote(&mut up);
+                        self.demote(up);
                     }
                 }
             }
@@ -442,13 +475,18 @@ impl GroupMember {
                     total_seq,
                     payload,
                 };
-                for d in self.ordering.on_cast(src, fifo_seq, data, now) {
+                let mut delivered = std::mem::take(&mut self.deliver_scratch);
+                debug_assert!(delivered.is_empty());
+                self.ordering
+                    .on_cast_into(src, fifo_seq, data, now, &mut delivered);
+                for d in delivered.drain(..) {
                     up.push(Upcall::Deliver {
                         id: d.id,
                         order: d.order,
                         payload: d.payload,
                     });
                 }
+                self.deliver_scratch = delivered;
             }
             IsisMsg::TotalReq { req, payload } => {
                 if self.is_coordinator() {
@@ -473,14 +511,10 @@ impl GroupMember {
             }
             IsisMsg::Nack { expected } => {
                 // Retransmit everything still buffered from `expected` on.
-                let to_resend: Vec<IsisMsg> = self
-                    .resend
-                    .iter()
-                    .filter(|(seq, _)| *seq >= expected)
-                    .map(|(_, m)| m.clone())
-                    .collect();
-                for m in to_resend {
-                    self.out(host, src, &m);
+                for (seq, m) in &self.resend {
+                    if *seq >= expected {
+                        self.out(host, src, m);
+                    }
                 }
             }
             IsisMsg::Reply { to, payload } => {
@@ -493,7 +527,6 @@ impl GroupMember {
                 }
             }
         }
-        up
     }
 
     // ---- application primitives ----
@@ -582,16 +615,28 @@ impl GroupMember {
         self.out(host, to.origin, &IsisMsg::Reply { to, payload });
     }
 
+    /// Return a finished [`CollectResult`]'s reply vector for reuse by the
+    /// next collection (allocation-free steady-state bidding rounds).
+    pub fn recycle_replies(&mut self, replies: Vec<(Addr, Bytes)>) {
+        self.collector.recycle(replies);
+    }
+
     // ---- internals ----
 
-    fn out(&mut self, host: &mut dyn Host, dst: Addr, msg: &IsisMsg) {
-        let bytes = (self.wrap)(msg);
+    /// Encode `msg` through the wrapper into the host's pooled scratch.
+    fn encode(&self, host: &mut dyn Host, msg: &IsisMsg) -> Bytes {
+        host.encode_with(&mut |enc| (self.wrap)(msg, enc))
+    }
+
+    fn out(&self, host: &mut dyn Host, dst: Addr, msg: &IsisMsg) {
+        let bytes = self.encode(host, msg);
         host.send(self.me, dst, bytes);
     }
 
     /// Assign the next FIFO sequence, buffer for retransmission, and send to
     /// every view member (self included — loopback delivery keeps the
-    /// delivery path uniform).
+    /// delivery path uniform). Encodes once and fans the cheap `Bytes`
+    /// clone out to every destination.
     fn cast_to_group(&mut self, host: &mut dyn Host, mut msg: IsisMsg) {
         let seq = self.out_fifo_seq;
         self.out_fifo_seq += 1;
@@ -600,9 +645,9 @@ impl GroupMember {
         } else {
             unreachable!("cast_to_group takes Cast messages only");
         }
-        let dests: Vec<Addr> = self.view.addrs().collect();
-        for dst in dests {
-            self.out(host, dst, &msg);
+        let bytes = self.encode(host, &msg);
+        for dst in self.view.addrs() {
+            host.send(self.me, dst, bytes.clone());
         }
         self.resend.push_back((seq, msg));
         while self.resend.len() > self.cfg.resend_buffer {
@@ -621,11 +666,11 @@ impl GroupMember {
         // Tagged so transports can attribute the O(n²) standing cost of
         // liveness traffic separately from the protocol operation under
         // measurement (F3's message count splits on this).
-        let bytes = (self.wrap)(&hb);
-        let candidates = self.cfg.candidates.clone();
-        for dst in candidates {
-            if dst != self.me {
-                host.send_category(self.me, dst, bytes.clone(), vce_net::MsgCategory::Heartbeat);
+        let bytes = self.encode(host, &hb);
+        let me = self.me;
+        for &dst in &self.cfg.candidates {
+            if dst != me {
+                host.send_category(me, dst, bytes.clone(), vce_net::MsgCategory::Heartbeat);
             }
         }
     }
@@ -702,6 +747,22 @@ impl GroupMember {
     /// Coordinator duty: admit joiners, drop the dead, install new views.
     fn coordinate(&mut self, host: &mut dyn Host, up: &mut Vec<Upcall>) {
         let now = host.now_us();
+        // Steady state (every member alive, nobody admissible waiting to
+        // join, we are in the view): the proposed view below would equal
+        // the current one, so skip building it — this runs every tick and
+        // must not allocate.
+        let all_alive = self.view.members.iter().all(|m| self.alive(m.addr, now));
+        if all_alive && self.view.contains(self.me) {
+            let has_joiner = self.joiners.keys().any(|&j| {
+                self.alive(j, now)
+                    && !self.view.contains(j)
+                    && !(self.cfg.adaptive_detection
+                        && self.flaps.get(&j).is_some_and(|f| f.is_quarantined(now)))
+            });
+            if !has_joiner {
+                return;
+            }
+        }
         // Survivors keep their seniority.
         let mut members: Vec<Member> = self
             .view

@@ -12,10 +12,8 @@
 //! * `Total` casts (emitted only by the sequencer) additionally wait for
 //!   contiguous global sequence numbers.
 
-use std::collections::BTreeMap;
-
 use bytes::Bytes;
-use vce_net::Addr;
+use vce_net::{Addr, SeqWindow, SlotArena};
 
 use crate::msg::{BcastId, CastOrder};
 use crate::vclock::VClock;
@@ -48,25 +46,38 @@ pub struct CastData {
 
 #[derive(Debug, Default)]
 struct FifoIn {
-    /// Next fifo_seq expected; `None` until the first cast from this sender
-    /// (we adopt whatever number the stream starts at, so members that join
-    /// mid-stream synchronize).
-    expected: Option<u64>,
-    holdback: BTreeMap<u64, CastData>,
+    /// `false` until the first cast or stream advertisement from this
+    /// sender (we adopt whatever number the stream starts at, so members
+    /// that join mid-stream synchronize). Once synced, the holdback
+    /// window's base *is* the next expected fifo_seq.
+    synced: bool,
+    /// Ring-buffered out-of-order casts, based at the expected seq — no
+    /// per-entry heap nodes, unlike the `BTreeMap` it replaced.
+    holdback: SeqWindow<CastData>,
     /// Time at which the current gap (if any) was first observed.
     gap_since_us: Option<u64>,
 }
 
 /// Per-group inbound ordering state.
+///
+/// Storage follows the arena mutability classes (`vce_net::arena`): the
+/// per-sender table is a [`SlotArena`] (sparse, long-lived, slot-churned),
+/// holdback queues are [`SeqWindow`] rings (dense seq-keyed), and the
+/// release pipeline reuses an internal scratch vector — so a steady-state
+/// in-order stream delivers with zero transient allocations.
 #[derive(Debug, Default)]
 pub struct OrderingState {
-    per_sender: BTreeMap<Addr, FifoIn>,
+    per_sender: SlotArena<Addr, FifoIn>,
     /// Causal state: delivered-count clock.
     local_vc: VClock,
     causal_holdback: Vec<(Addr, CastData)>,
-    /// Total state: next expected global seq (`None` ⇒ adopt first seen).
+    /// Total state: next expected global seq (`None` ⇒ adopt first seen;
+    /// once set, mirrors `total_holdback.base()`).
     next_total: Option<u64>,
-    total_holdback: BTreeMap<u64, CastData>,
+    total_holdback: SeqWindow<CastData>,
+    /// Reused between [`Self::on_cast_into`] calls for the FIFO release
+    /// run (capacity retained, contents always drained).
+    released_scratch: Vec<CastData>,
 }
 
 impl OrderingState {
@@ -82,6 +93,7 @@ impl OrderingState {
 
     /// Feed one cast received from `transport_sender` at time `now_us`.
     /// Returns everything that becomes deliverable, in delivery order.
+    /// (Convenience wrapper over [`Self::on_cast_into`].)
     pub fn on_cast(
         &mut self,
         transport_sender: Addr,
@@ -89,28 +101,43 @@ impl OrderingState {
         data: CastData,
         now_us: u64,
     ) -> Vec<Delivered> {
-        let fifo = self.per_sender.entry(transport_sender).or_default();
-        match fifo.expected {
-            None => {
-                // First contact: adopt this stream position.
-                fifo.expected = Some(fifo_seq);
-            }
-            Some(exp) if fifo_seq < exp => return Vec::new(), // duplicate
-            _ => {}
+        let mut out = Vec::new();
+        self.on_cast_into(transport_sender, fifo_seq, data, now_us, &mut out);
+        out
+    }
+
+    /// [`Self::on_cast`] with the deliverables appended to a caller-owned
+    /// vector, so the per-message hot path allocates nothing.
+    pub fn on_cast_into(
+        &mut self,
+        transport_sender: Addr,
+        fifo_seq: u64,
+        data: CastData,
+        now_us: u64,
+        out: &mut Vec<Delivered>,
+    ) {
+        let fifo = self
+            .per_sender
+            .entry_or_insert_with(transport_sender, FifoIn::default);
+        if !fifo.synced {
+            // First contact: adopt this stream position.
+            fifo.synced = true;
+            fifo.holdback.rebase(fifo_seq);
+        } else if fifo_seq < fifo.holdback.base() {
+            return; // duplicate
         }
         fifo.holdback.insert(fifo_seq, data);
 
-        // Release the contiguous run.
-        let mut released = Vec::new();
-        loop {
-            let exp = fifo.expected.expect("set above");
-            match fifo.holdback.remove(&exp) {
-                Some(d) => {
-                    fifo.expected = Some(exp + 1);
-                    released.push(d);
-                }
-                None => break,
-            }
+        // Release the contiguous run into the reused scratch (stolen and
+        // reinstalled around `admit`, which needs `&mut self`).
+        let mut released = std::mem::take(&mut self.released_scratch);
+        debug_assert!(released.is_empty());
+        let fifo = self
+            .per_sender
+            .get_mut(&transport_sender)
+            .expect("ensured above");
+        while let Some(d) = fifo.holdback.take_next() {
+            released.push(d);
         }
         fifo.gap_since_us = if fifo.holdback.is_empty() {
             None
@@ -118,11 +145,10 @@ impl OrderingState {
             Some(fifo.gap_since_us.unwrap_or(now_us))
         };
 
-        let mut out = Vec::new();
-        for d in released {
-            self.admit(transport_sender, d, &mut out);
+        for d in released.drain(..) {
+            self.admit(transport_sender, d, out);
         }
-        out
+        self.released_scratch = released;
     }
 
     /// Run a cast through its discipline-specific holdback.
@@ -141,6 +167,7 @@ impl OrderingState {
                 let seq = d.total_seq.unwrap_or(0);
                 if self.next_total.is_none() {
                     self.next_total = Some(seq);
+                    self.total_holdback.rebase(seq);
                 }
                 if seq < self.next_total.expect("set above") {
                     return; // duplicate of an already delivered total cast
@@ -177,18 +204,15 @@ impl OrderingState {
     }
 
     fn drain_total(&mut self, out: &mut Vec<Delivered>) {
-        while let Some(next) = self.next_total {
-            match self.total_holdback.remove(&next) {
-                Some(d) => {
-                    self.next_total = Some(next + 1);
-                    out.push(Delivered {
-                        id: d.id,
-                        order: d.order,
-                        payload: d.payload,
-                    });
-                }
-                None => break,
-            }
+        while let Some(d) = self.total_holdback.take_next() {
+            out.push(Delivered {
+                id: d.id,
+                order: d.order,
+                payload: d.payload,
+            });
+        }
+        if self.next_total.is_some() {
+            self.next_total = Some(self.total_holdback.base());
         }
     }
 
@@ -207,9 +231,12 @@ impl OrderingState {
     /// No-op once an expectation exists: casts and the gap/NACK machinery
     /// own it from then on.
     pub fn sync_stream(&mut self, sender: Addr, fifo_next: u64) {
-        let fifo = self.per_sender.entry(sender).or_default();
-        if fifo.expected.is_none() {
-            fifo.expected = Some(fifo_next);
+        let fifo = self
+            .per_sender
+            .entry_or_insert_with(sender, FifoIn::default);
+        if !fifo.synced {
+            fifo.synced = true;
+            fifo.holdback.rebase(fifo_next);
         }
     }
 
@@ -224,15 +251,27 @@ impl OrderingState {
     /// NACKs repeat at most once per interval.
     pub fn overdue_gaps(&mut self, now_us: u64, nack_after_us: u64) -> Vec<(Addr, u64)> {
         let mut out = Vec::new();
-        for (&sender, fifo) in &mut self.per_sender {
-            if let (Some(since), Some(expected)) = (fifo.gap_since_us, fifo.expected) {
+        self.overdue_gaps_into(now_us, nack_after_us, &mut out);
+        out
+    }
+
+    /// [`Self::overdue_gaps`] appending into a caller-owned vector (the
+    /// periodic tick reuses one, so a gap-free steady state is
+    /// allocation-free).
+    pub fn overdue_gaps_into(
+        &mut self,
+        now_us: u64,
+        nack_after_us: u64,
+        out: &mut Vec<(Addr, u64)>,
+    ) {
+        self.per_sender.for_each_mut(|&sender, fifo| {
+            if let (Some(since), true) = (fifo.gap_since_us, fifo.synced) {
                 if !fifo.holdback.is_empty() && now_us.saturating_sub(since) >= nack_after_us {
-                    out.push((sender, expected));
+                    out.push((sender, fifo.holdback.base()));
                     fifo.gap_since_us = Some(now_us);
                 }
             }
-        }
-        out
+        });
     }
 
     /// Total casts currently held back (diagnostics).

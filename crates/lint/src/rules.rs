@@ -38,6 +38,13 @@ pub const P001_FILES: &[&str] = &[
     "crates/storage/src/lib.rs",
 ];
 
+/// Crates whose `src/` trees are protocol hot paths for P005: every
+/// message they encode rides the simulated (or live) wire, so a fresh
+/// `Encoder::new()` there is a per-message heap allocation the pooled
+/// encode path (`Host::encode_with`) exists to eliminate. `codec` itself
+/// is exempt — it defines the encoder and its convenience wrappers.
+pub const P005_CRATES: &[&str] = &["isis", "exm", "channels", "sdm", "baselines"];
+
 /// Files allowed to hold cross-thread synchronization primitives (S002):
 /// the sharded engine's rendezvous module, where the window barriers make
 /// the sharing deterministic. Inside them S002 still rejects
@@ -46,8 +53,8 @@ pub const P001_FILES: &[&str] = &[
 pub const S002_RENDEZVOUS_FILES: &[&str] = &["crates/sim/src/sharded.rs"];
 
 pub const RULE_IDS: &[&str] = &[
-    "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002", "P003", "P004", "S001", "S002",
-    "W001", "W002", "W003",
+    "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002", "P003", "P004", "P005", "S001",
+    "S002", "W001", "W002", "W003",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -71,11 +78,12 @@ const HINT_P001: &str = "remote input must not panic a node: drop/log or reply w
 const HINT_P002: &str = "a wire tag must be unique, encoded once, decoded once, and its variant handled somewhere; fix the registry or waive with a protocol argument";
 const HINT_P003: &str = "re-encode tokens as tag<<32|payload (docs/PROTOCOL.md token table) so id growth cannot bleed across token spaces";
 const HINT_P004: &str = "replay the record in recover() or delete it; a diagnostic-only record is waivable with a reason";
+const HINT_P005: &str = "encode through the pooled path (Host::encode_with) or pre-size a reused buffer (Encoder::with_capacity); a genuinely cold path is waivable with a reason";
 const HINT_S001: &str =
     "shard workers share no mutable statics; thread the state through Shard or the per-window plan";
 const HINT_S002: &str = "cross-shard state belongs to the sanctioned rendezvous module, synchronized Release/Acquire at the window barriers";
 const HINT_W001: &str = "write `// vce-lint: allow(RULE) reason`";
-const HINT_W002: &str = "valid rules: D001-D006 P001-P004 S001 S002";
+const HINT_W002: &str = "valid rules: D001-D006 P001-P005 S001 S002";
 const HINT_W003: &str = "the waived line is clean — delete the waiver";
 
 pub(crate) fn hint_of(rule: &str) -> &'static str {
@@ -89,6 +97,7 @@ pub(crate) fn hint_of(rule: &str) -> &'static str {
         "P002" => HINT_P002,
         "P003" => HINT_P003,
         "P004" => HINT_P004,
+        "P005" => HINT_P005,
         "S001" => HINT_S001,
         "S002" => HINT_S002,
         "W001" => HINT_W001,
@@ -162,6 +171,9 @@ pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
         }
         if P001_FILES.contains(&rel.as_str()) {
             check_p001(rel, &p.lexed.tokens, &mut findings);
+        }
+        if crate_of(rel).is_some_and(|c| P005_CRATES.contains(&c)) {
+            check_p005(rel, &p.lexed.tokens, &mut findings);
         }
     }
     crate::analysis::check_cross(&facts, &mut findings);
@@ -1017,6 +1029,32 @@ fn check_s002(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
             continue;
         }
         i += 1;
+    }
+}
+
+/// P005: no fresh `Encoder::new()` on protocol paths. The pooled encode
+/// path exists precisely so a steady-state protocol round performs zero
+/// transient heap allocations; one forgotten `Encoder::new()` in a
+/// handler silently reintroduces a per-message malloc that no test
+/// notices until the allocation-gate benchmark regresses. Matches
+/// `Encoder::new(` and `vce_codec::Encoder::new(` call sites; sized
+/// construction (`with_capacity`, reused across calls) is deliberate and
+/// allowed. Test modules are exempt via the shared `#[cfg(test)]` pass.
+fn check_p005(file: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("Encoder") || !path_at(toks, i, &["Encoder", "new"]) {
+            continue;
+        }
+        // `Encoder :: new (` — the `(` sits past the two colons and `new`.
+        if is_punct(toks.get(i + 4).unwrap_or(&NIL), '(') {
+            push(
+                findings,
+                file,
+                toks[i].line,
+                "P005",
+                "allocates a fresh `Encoder` on a protocol path".into(),
+            );
+        }
     }
 }
 

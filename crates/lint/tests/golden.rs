@@ -302,6 +302,65 @@ fn p001_waived_is_suppressed() {
     );
 }
 
+// ---------------------------------------------------------------- P005
+
+#[test]
+fn p005_flags_fresh_encoder_in_protocol_crates() {
+    assert_fires(
+        P001, // isis/member.rs — a P005-scoped crate too
+        "fn send(host: &mut dyn Host) { let mut e = Encoder::new(); }\n",
+        "P005",
+    );
+    assert_fires(
+        "crates/exm/src/daemon.rs",
+        "fn f() { let mut e = vce_codec::Encoder::new(); }\n",
+        "P005",
+    );
+}
+
+#[test]
+fn p005_allows_sized_and_pooled_construction() {
+    // Pre-sized, reused buffers are the sanctioned non-pooled form…
+    assert_clean(P001, "fn f() { let mut e = Encoder::with_capacity(96); }\n");
+    // …and the pooled path is the preferred one.
+    assert_clean(
+        P001,
+        "fn f(host: &mut dyn Host) { let b = host.encode_with(&mut |e| m.encode(e)); }\n",
+    );
+    // Bare mentions without a call (imports, type positions) are fine.
+    assert_clean(P001, "use vce_codec::Encoder;\n");
+}
+
+#[test]
+fn p005_scoped_to_protocol_crates_only() {
+    // The codec crate defines the encoder; the sim isn't a protocol crate.
+    assert_clean(
+        "crates/codec/src/lib.rs",
+        "fn to_bytes() { let mut e = Encoder::new(); }\n",
+    );
+    assert_clean(SIM, "fn f() { let mut e = Encoder::new(); }\n");
+}
+
+#[test]
+fn p005_test_modules_are_exempt() {
+    assert_clean(
+        P001,
+        "#[cfg(test)]\n\
+         mod tests {\n\
+             fn roundtrip() { let mut e = Encoder::new(); }\n\
+         }\n",
+    );
+}
+
+#[test]
+fn p005_waived_is_suppressed() {
+    assert_clean(
+        P001,
+        "// vce-lint: allow(P005) once-per-join cold path, not message-rate\n\
+         fn f() { let mut e = Encoder::new(); }\n",
+    );
+}
+
 // ------------------------------------------------------- waiver grammar
 
 /// ISSUE regression test: an `allow` with no reason is itself an error,

@@ -22,6 +22,7 @@
 
 pub mod actor;
 pub mod addr;
+pub mod arena;
 pub mod driver;
 pub mod fault;
 pub mod hash;
@@ -32,9 +33,10 @@ pub mod stats;
 
 pub use actor::{send_msg, Endpoint, Host};
 pub use addr::{Addr, NodeId, PortId};
+pub use arena::{NodeList, SeqWindow, SlotArena, SlotHandle, NODE_LIST_INLINE};
 pub use driver::{LiveDriver, LiveNodeConfig};
 pub use fault::{FaultOp, FaultPlan, LinkFault};
-pub use hash::{fnv64, Fnv64};
+pub use hash::{fnv64, DetHashState, DetHasher, Fnv64};
 pub use machine::{MachineClass, MachineInfo};
 pub use memory::{MemoryNetwork, NodeHandle};
 pub use message::Envelope;

@@ -52,6 +52,28 @@ impl NetStats {
         }
     }
 
+    /// Fold pre-aggregated counter deltas in at once. The sim engine
+    /// stages counters in plain integers on its hot path and folds them
+    /// here at sync points — one locked RMW per counter per window instead
+    /// of several per message.
+    pub fn record_batch(
+        &self,
+        sent: u64,
+        bytes_sent: u64,
+        heartbeats_sent: u64,
+        delivered: u64,
+        dropped: u64,
+        duplicated: u64,
+    ) {
+        self.sent.fetch_add(sent, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes_sent, Ordering::Relaxed);
+        self.heartbeats_sent
+            .fetch_add(heartbeats_sent, Ordering::Relaxed);
+        self.delivered.fetch_add(delivered, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.duplicated.fetch_add(duplicated, Ordering::Relaxed);
+    }
+
     /// Record a successful delivery.
     pub fn record_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);

@@ -6,9 +6,10 @@
 //! sequence of `add_*`/`kill_*`/`inject` calls) — **independent of the
 //! shard count**. Every event carries a *cause key* derived from its
 //! creator (see [`crate::shard`]); the global total order is `(at_us,
-//! cause)`, and shards advance in conservative time windows of width
-//! [`Topology::min_cross_latency_us`] so cross-shard events always land in
-//! a later window. Traces, experiment stdout and chaos invariants are
+//! cause)`, and shards advance in conservative time windows sized by the
+//! adaptive lookahead plan (`crate::lookahead` — at least
+//! [`Topology::min_cross_latency_us`], wider on clustered fleets) so
+//! cross-shard events always land in a later window. Traces, experiment stdout and chaos invariants are
 //! byte-identical for `shards` ∈ {1, 2, 4, 8}; with `shards = 1` the
 //! facade compiles down to a plain serial event loop over one shard.
 //!
@@ -29,6 +30,7 @@ use bytes::Bytes;
 use vce_net::{Addr, Endpoint, Envelope, FaultPlan, MachineInfo, NetStats, NodeId};
 
 use crate::load::LoadTrace;
+use crate::lookahead::LookaheadPlan;
 use crate::metrics::NodeMetrics;
 use crate::record::{EventRecord, SnapshotRecord, TraceWriter};
 use crate::shard::{apply_plan_op, cause_key, shard_of, Shard};
@@ -85,8 +87,15 @@ pub struct Sim {
     fences: BTreeMap<(u64, u64), vce_net::FaultOp>,
     /// Driver cause counter (origin 0): injections, fences, driver kills.
     driver_seq: u64,
-    /// Conservative window width: the cheapest cross-node latency.
+    /// Conservative window width: the cheapest latency any *realizable*
+    /// cross-shard pair can achieve, per the site-occupancy plan below.
+    /// Starts at the global floor ([`Topology::min_cross_latency_us`]) and
+    /// is recomputed whenever a node registration grows a shard's site
+    /// set; never narrower than the floor.
     lookahead: u64,
+    /// Which sites each shard hosts (sources) and owns (destinations) —
+    /// the adaptive-window planner behind `lookahead`.
+    lookahead_plan: LookaheadPlan,
     /// Master trace, appended in global `(at_us, phase, cause)` order at
     /// every sync point.
     trace: Trace,
@@ -132,7 +141,10 @@ impl Sim {
     pub fn new(config: SimConfig) -> Self {
         let shards = config.shards.clamp(1, 64);
         let topology = Arc::new(config.topology);
-        let lookahead = topology.min_cross_latency_us();
+        let lookahead_plan = LookaheadPlan::new(shards, &topology);
+        // No node is registered yet, so the plan yields the global floor;
+        // add_node_with_load widens it as site occupancy becomes known.
+        let lookahead = lookahead_plan.window_us(&topology);
         Self {
             now: 0,
             shards: (0..shards)
@@ -151,6 +163,7 @@ impl Sim {
             fences: BTreeMap::new(),
             driver_seq: 0,
             lookahead,
+            lookahead_plan,
             trace: if config.trace_enabled {
                 Trace::new()
             } else {
@@ -265,6 +278,16 @@ impl Sim {
         self.now
     }
 
+    /// Width of the conservative time window the sharded runner advances
+    /// through per barrier round, in µs. At least
+    /// [`Topology::min_cross_latency_us`]; wider when the registered fleet
+    /// is clustered so that every realizable cross-shard message crosses a
+    /// site boundary (see `crate::lookahead`). Purely diagnostic — output
+    /// is byte-identical whatever the window width.
+    pub fn window_lookahead_us(&self) -> u64 {
+        self.lookahead
+    }
+
     /// Number of shards the simulator is running with.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -309,6 +332,10 @@ impl Sim {
     /// Register a machine and schedule its background-load trace.
     pub fn add_node_with_load(&mut self, info: MachineInfo, load: LoadTrace) {
         let owner = shard_of(info.node, self.shards.len());
+        let site = self.topology.site_of(info.node);
+        if self.lookahead_plan.note_node(owner, site) {
+            self.lookahead = self.lookahead_plan.window_us(&self.topology);
+        }
         let now = self.now;
         self.shards[owner].add_node_with_load(info, &load, now);
     }
@@ -620,6 +647,9 @@ impl Sim {
     /// count agrees on; the sort is stable and key collisions only occur
     /// within a single callback's lines, which are already in order.
     fn sync(&mut self) {
+        for sh in &mut self.shards {
+            sh.flush_stats();
+        }
         if self.shards.len() > 1 {
             let merged = NetStats::new();
             for sh in &self.shards {
@@ -816,6 +846,90 @@ mod tests {
         let baseline = sharded_fingerprint(1);
         for shards in [2, 4, 8] {
             let got = sharded_fingerprint(shards);
+            assert_eq!(baseline.0, got.0, "final time diverged at {shards} shards");
+            assert_eq!(baseline.1, got.1, "event count diverged at {shards} shards");
+            assert_eq!(baseline.2, got.2, "net stats diverged at {shards} shards");
+            assert_eq!(baseline.3, got.3, "trace diverged at {shards} shards");
+        }
+    }
+
+    /// A clustered campus fleet whose modulo shard assignment is site-pure
+    /// (even ids = site 1, odd ids = site 2, two shards), run at a given
+    /// shard count. On two shards the adaptive plan widens the window to
+    /// the campus inter-site base; output must not care.
+    fn clustered_fingerprint(shards: usize) -> (u64, u64, vce_net::stats::StatsSnapshot, String) {
+        let mut topo = crate::topology::Topology::two_tier(
+            crate::topology::LinkParams::lan_1994(),
+            crate::topology::LinkParams::campus_1994(),
+        );
+        let n_nodes = 8u32;
+        for n in 0..n_nodes {
+            topo.set_site(NodeId(n), 1 + n % 2);
+        }
+        let mut sim = Sim::new(SimConfig {
+            seed: 11,
+            topology: topo,
+            trace_enabled: true,
+            shards,
+        });
+        for n in 0..n_nodes {
+            sim.add_node(MachineInfo::workstation(NodeId(n), 100.0));
+        }
+        if shards == 2 {
+            // Site-pure shards: every cross-shard hop crosses sites, so the
+            // window is the campus base, 5× the global floor.
+            assert_eq!(sim.window_lookahead_us(), 5_000);
+        } else {
+            assert!(sim.window_lookahead_us() >= 1_000);
+        }
+        for n in 0..n_nodes {
+            sim.add_endpoint(
+                Addr::daemon(NodeId(n)),
+                Box::new(Counter {
+                    me: Addr::daemon(NodeId(n)),
+                    cap: 200,
+                    last_seen: 0,
+                    finish_time: None,
+                }),
+            );
+        }
+        sim.with_fault_plan(|p| {
+            p.default_link.jitter_us = 700;
+            p.default_link.dup_prob = 0.04;
+        });
+        // Chains that alternate sites every hop (odd stride) and chains
+        // that stay within a site (even stride).
+        for n in 0..n_nodes {
+            sim.inject(
+                Addr::daemon(NodeId(n)),
+                Addr::daemon(NodeId((n + 1) % n_nodes)),
+                &0u64,
+            );
+            sim.inject(
+                Addr::daemon(NodeId(n)),
+                Addr::daemon(NodeId((n + 2) % n_nodes)),
+                &0u64,
+            );
+        }
+        sim.schedule_fault(200_000, vce_net::FaultOp::Kill(NodeId(2)));
+        sim.schedule_fault(400_000, vce_net::FaultOp::Revive(NodeId(2)));
+        sim.run_until(900_000);
+        sim.run_until_idle();
+        (
+            sim.now_us(),
+            sim.events_processed(),
+            sim.stats().snapshot(),
+            sim.trace().dump(),
+        )
+    }
+
+    #[test]
+    fn adaptive_lookahead_widens_on_clustered_fleet_without_changing_output() {
+        std::env::set_var("VCE_SHARDS_THREADS", "1");
+        let baseline = clustered_fingerprint(1);
+        assert!(baseline.1 > 0, "workload generated no events");
+        for shards in [2, 4, 8] {
+            let got = clustered_fingerprint(shards);
             assert_eq!(baseline.0, got.0, "final time diverged at {shards} shards");
             assert_eq!(baseline.1, got.1, "event count diverged at {shards} shards");
             assert_eq!(baseline.2, got.2, "net stats diverged at {shards} shards");

@@ -64,6 +64,11 @@ pub const SPAN_US: u64 = NUM_BUCKETS as u64 * BUCKET_US;
 
 const RING_MASK: usize = NUM_BUCKETS - 1;
 const WORDS: usize = NUM_BUCKETS / 64;
+/// Warm-buffer pool cap. Must exceed the number of simultaneously occupied
+/// buckets a workload sustains, or drained capacity gets dropped and then
+/// re-learned — one realloc chain per window jump, forever. 128 buffers of
+/// steady-state size is a few hundred KiB at worst.
+const SPARE_CAP: usize = 128;
 
 /// One queued item with its ordering key.
 #[derive(Debug)]
@@ -178,13 +183,12 @@ impl<T> CalendarQueue<T> {
             self.current.insert(idx, entry);
         } else if slot < self.horizon_slot {
             let ring = (slot as usize) & RING_MASK;
-            let bucket = &mut self.buckets[ring];
-            if bucket.capacity() == 0 {
+            if self.buckets[ring].capacity() == 0 {
                 if let Some(warm) = self.spare.pop() {
-                    *bucket = warm;
+                    self.buckets[ring] = warm;
                 }
             }
-            bucket.push(entry);
+            self.buckets[ring].push(entry);
             self.occupied[ring / 64] |= 1u64 << (ring % 64);
         } else {
             self.overflow.push(Reverse(entry));
@@ -243,6 +247,15 @@ impl<T> CalendarQueue<T> {
                         }
                         let Reverse(e) = self.overflow.pop().expect("peeked");
                         let ring = ((e.at_us >> BUCKET_BITS) as usize) & RING_MASK;
+                        // Scatter through the warm pool too: a window jump
+                        // refills dozens of cold buckets at once, and cold
+                        // pushes here would re-allocate capacity the drain
+                        // cursor just pooled.
+                        if self.buckets[ring].capacity() == 0 {
+                            if let Some(warm) = self.spare.pop() {
+                                self.buckets[ring] = warm;
+                            }
+                        }
                         self.buckets[ring].push(e);
                         self.occupied[ring / 64] |= 1u64 << (ring % 64);
                     }
@@ -305,7 +318,7 @@ impl<T> CalendarQueue<T> {
         std::mem::swap(&mut self.current, bucket);
         self.occupied[ring / 64] &= !(1u64 << (ring % 64));
         let warm = std::mem::take(bucket);
-        if warm.capacity() > 0 && self.spare.len() < 32 {
+        if warm.capacity() > 0 && self.spare.len() < SPARE_CAP {
             self.spare.push(warm);
         }
     }

@@ -35,8 +35,8 @@ use rand::{RngCore, SeedableRng};
 
 use vce_net::fault::Delivery;
 use vce_net::{
-    Addr, Endpoint, Envelope, FaultOp, FaultPlan, Host, MachineInfo, MsgCategory, NetStats, NodeId,
-    PortId,
+    Addr, DetHashState, Endpoint, Envelope, FaultOp, FaultPlan, Host, MachineInfo, MsgCategory,
+    NetStats, NodeId, PortId,
 };
 
 use crate::cpu::Cpu;
@@ -82,7 +82,13 @@ pub(crate) fn cause_key(origin: u64, seq: u64) -> u64 {
 /// well-defined owner (their deliveries count as drops there).
 #[inline]
 pub(crate) fn shard_of(node: NodeId, total: usize) -> usize {
-    node.0 as usize % total
+    // The serial engine routes every event through here; skip the hardware
+    // divide when there is nothing to partition.
+    if total == 1 {
+        0
+    } else {
+        node.0 as usize % total
+    }
 }
 
 #[derive(Debug)]
@@ -149,7 +155,10 @@ struct SimNode {
     /// `origin_of(node) << CAUSE_SEQ_BITS`, precomputed.
     cause_base: u64,
     cause_seq: u64,
-    cancelled_timers: HashMap<(PortId, u64), u32>,
+    /// Lazy-cancel counts, keyed by `(port, token)`. `DetHashState`: this
+    /// map is hit on every cancel and every cancelled pop, with keys the
+    /// engine itself produces — SipHash's DoS hardening is waste here.
+    cancelled_timers: HashMap<(PortId, u64), u32, DetHashState>,
     /// Sum of the counts in `cancelled_timers`. While zero, timer pops fire
     /// directly without a hash lookup — the common case on nodes that never
     /// cancel (or whose cancellations have all been consumed).
@@ -230,6 +239,17 @@ impl NodeSlots {
     }
 }
 
+/// Plain-integer staging for [`NetStats`] (see `Shard::hot_stats`).
+#[derive(Default)]
+struct HotStats {
+    sent: u64,
+    bytes_sent: u64,
+    heartbeats_sent: u64,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
 /// A work mutation, kept in issue order. Interleaving starts and cancels in
 /// one list (rather than two) preserves the order the endpoint issued them:
 /// `cancel(p)` then `start(p)` in one callback leaves `p` running, while
@@ -255,6 +275,10 @@ struct Effects {
     /// [`Host::encode_with`]: cleared per message, capacity retained, so
     /// hot-path envelope encode stops allocating per message.
     enc: vce_codec::Encoder,
+    /// Rotating slot pool that turns the scratch encoder's contents into
+    /// `Bytes` without a per-message `Arc::from` — slots are reclaimed as
+    /// soon as every consumer view drops (see `bytes::BytesPool`).
+    pool: bytes::BytesPool,
 }
 
 struct HostCtx<'a> {
@@ -326,7 +350,7 @@ impl Host for HostCtx<'_> {
     fn encode_with(&mut self, f: &mut dyn FnMut(&mut vce_codec::Encoder)) -> Bytes {
         self.fx.enc.clear();
         f(&mut self.fx.enc);
-        self.fx.enc.snapshot_bytes()
+        self.fx.pool.freeze(self.fx.enc.as_slice())
     }
 }
 
@@ -446,6 +470,12 @@ pub(crate) struct Shard {
     pub(crate) fault: FaultPlan,
     topology: Arc<Topology>,
     pub(crate) stats: NetStats,
+    /// Hot-path counter staging: [`NetStats`]' atomics cost a locked RMW
+    /// per increment, which at several increments per message is real money
+    /// on the storm path. Mutations land here as plain adds and are folded
+    /// into `stats` at sync points ([`Shard::flush_stats`]), before any
+    /// reader can observe them.
+    hot_stats: HotStats,
     pub(crate) trace: TraceBuf,
     pub(crate) rec: RecBuf,
     pub(crate) events_processed: u64,
@@ -490,6 +520,7 @@ impl Shard {
             fault: FaultPlan::none(),
             topology,
             stats: NetStats::new(),
+            hot_stats: HotStats::default(),
             trace: TraceBuf::new(trace_enabled),
             rec: RecBuf::new(),
             events_processed: 0,
@@ -528,7 +559,7 @@ impl Shard {
             send_seq: 0,
             cause_base: origin_of(node) << CAUSE_SEQ_BITS,
             cause_seq: 0,
-            cancelled_timers: HashMap::new(),
+            cancelled_timers: HashMap::default(),
             pending_cancels: 0,
             dead: false,
         });
@@ -744,6 +775,23 @@ impl Shard {
                 self.rec
                     .push(PHASE_EVENT, rec(EV_LOAD, background.to_bits(), 0));
             }
+        }
+    }
+
+    /// Fold the staged hot-path counters into the shared [`NetStats`].
+    /// Called at sync points (window barriers, run-call returns) — always
+    /// before any reader can observe `stats`, so the staging is invisible.
+    pub(crate) fn flush_stats(&mut self) {
+        let h = std::mem::take(&mut self.hot_stats);
+        if h.sent | h.delivered | h.dropped | h.duplicated != 0 {
+            self.stats.record_batch(
+                h.sent,
+                h.bytes_sent,
+                h.heartbeats_sent,
+                h.delivered,
+                h.dropped,
+                h.duplicated,
+            );
         }
     }
 
@@ -1125,17 +1173,17 @@ impl Shard {
         {
             let Some(slot) = self.slots.get(node) else {
                 self.scratch_fx = Some(fx);
-                self.stats.record_dropped();
+                self.hot_stats.dropped += 1;
                 return;
             };
             let n = &mut self.nodes[slot];
             // The destination may have died after the send was judged.
             if n.dead || self.fault.is_dead(env.dst.node) {
                 self.scratch_fx = Some(fx);
-                self.stats.record_dropped();
+                self.hot_stats.dropped += 1;
                 return;
             }
-            self.stats.record_delivered();
+            self.hot_stats.delivered += 1;
             let Some(i) = n.ep_slot(port) else {
                 self.scratch_fx = Some(fx);
                 if trace_on {
@@ -1381,12 +1429,14 @@ impl Shard {
         pending: &mut PendingDelivery,
     ) {
         let env = Envelope::new(src, dst, seq, payload);
-        self.stats.record_sent_category(env.wire_size(), category);
+        self.hot_stats.sent += 1;
+        self.hot_stats.bytes_sent += env.wire_size() as u64;
+        self.hot_stats.heartbeats_sent += u64::from(category == MsgCategory::Heartbeat);
         let base = self
             .topology
             .latency_us(src.node, dst.node, env.wire_size());
         match verdict {
-            Delivery::Drop => self.stats.record_dropped(),
+            Delivery::Drop => self.hot_stats.dropped += 1,
             Delivery::Deliver { extra_delay_us } => {
                 let at = self.now + base + extra_delay_us;
                 // Coalesce with the previous deliverable send when both land
@@ -1424,7 +1474,7 @@ impl Shard {
                 // Flush first so ordering matches the serial (unbatched)
                 // push sequence exactly.
                 self.flush_delivery(std::mem::replace(pending, PendingDelivery::None));
-                self.stats.record_duplicated();
+                self.hot_stats.duplicated += 1;
                 self.push_or_remote(
                     self.now + base + first_us,
                     cause,

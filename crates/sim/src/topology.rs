@@ -94,6 +94,15 @@ impl Topology {
         self.sites.get(&node).copied().unwrap_or(0)
     }
 
+    /// The explicit node → site assignments (nodes absent from the map are
+    /// site 0). The adaptive lookahead planner walks this at construction
+    /// to learn which sites each shard could ever *deliver* to — including
+    /// nodes that are assigned a site but never registered, whose traffic
+    /// still routes to (and drops at) their modulo owner.
+    pub(crate) fn site_map(&self) -> &BTreeMap<NodeId, u32> {
+        &self.sites
+    }
+
     /// One-way latency for a `bytes`-byte message from `src` to `dst`.
     ///
     /// Cross-node latency is clamped to ≥ 1 µs even if a caller constructs
@@ -126,6 +135,19 @@ impl Topology {
     /// Never returns 0 (see [`Topology::latency_us`] for the clamp).
     pub fn min_cross_latency_us(&self) -> u64 {
         self.intra.base_us.min(self.inter.base_us).max(1)
+    }
+
+    /// The minimum latency any message from a node in site `a` to a node
+    /// in site `b` can experience — the per-site-pair refinement of
+    /// [`Topology::min_cross_latency_us`]. The adaptive lookahead planner
+    /// (`crate::lookahead`) takes the minimum of this over the site pairs a
+    /// shard pair can actually realize, which on clustered fleets is the
+    /// inter-site base — a much wider conservative window than the global
+    /// floor. Clamped to ≥ 1 µs like [`Topology::latency_us`], so the two
+    /// can never disagree about a zero-cost link.
+    pub fn min_site_pair_latency_us(&self, a: u32, b: u32) -> u64 {
+        let params = if a == b { self.intra } else { self.inter };
+        params.base_us.max(1)
     }
 }
 
@@ -197,6 +219,29 @@ mod tests {
         assert_eq!(mixed.latency_us(NodeId(0), NodeId(1), 0), 1);
         // Loopback is unaffected by the clamp and by the lookahead.
         assert_eq!(t.latency_us(NodeId(2), NodeId(2), 64), 10);
+    }
+
+    #[test]
+    fn site_pair_minimum_matches_link_classes() {
+        let t = Topology::two_tier(LinkParams::lan_1994(), LinkParams::campus_1994());
+        assert_eq!(t.min_site_pair_latency_us(1, 1), 1_000);
+        assert_eq!(t.min_site_pair_latency_us(0, 0), 1_000);
+        assert_eq!(t.min_site_pair_latency_us(1, 2), 5_000);
+        assert_eq!(t.min_site_pair_latency_us(2, 1), 5_000);
+        // Zero-cost links clamp exactly like latency_us does.
+        let zero = LinkParams {
+            base_us: 0,
+            per_kib_us: 0,
+        };
+        let z = Topology::two_tier(zero, zero);
+        assert_eq!(z.min_site_pair_latency_us(3, 3), 1);
+        assert_eq!(z.min_site_pair_latency_us(3, 4), 1);
+        // The global floor is the min over all pairs, same or cross.
+        assert_eq!(
+            t.min_cross_latency_us(),
+            t.min_site_pair_latency_us(1, 1)
+                .min(t.min_site_pair_latency_us(1, 2))
+        );
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //! assert in the engine's cross-shard enqueue path (`push_or_remote` in
 //! `shard.rs`), so every sharded case here is also a direct test of the
 //! barrier rule: a topology whose minimum cross-node latency undercut the
-//! lookahead would abort the run rather than silently diverge.
+//! lookahead would abort the run rather than silently diverge. Since the
+//! lookahead is now *adaptive* (sized from per-shard site occupancy, see
+//! `lookahead.rs`), the random site assignments here double as a property
+//! gate on the planner: any window wider than a realizable cross-shard
+//! latency aborts, and the explicit assertion below pins the other side
+//! (never narrower than the global floor).
 
 use proptest::prelude::*;
 use vce_net::{send_msg, Addr, Endpoint, Envelope, Host, LinkFault, MachineInfo, NodeId};
@@ -172,6 +177,17 @@ fn build_and_run(case: &Case, shards: usize) -> (u64, u64, String, String) {
             }),
         );
     }
+    // The adaptive window must dominate the global floor — narrower would
+    // only add barrier rounds, and a window wider than some realizable
+    // cross-shard latency would trip the push_or_remote assert mid-run,
+    // so the run itself certifies the upper side.
+    let floor = case.intra_base_us.min(case.inter_base_us).max(1);
+    assert!(
+        sim.window_lookahead_us() >= floor,
+        "adaptive lookahead {} narrower than floor {}",
+        sim.window_lookahead_us(),
+        floor
+    );
     if let Some((victim, kill_at, revive_at)) = case.crash {
         sim.schedule_fault(kill_at, vce_net::FaultOp::Kill(NodeId(victim)));
         sim.schedule_fault(revive_at, vce_net::FaultOp::Revive(NodeId(victim)));

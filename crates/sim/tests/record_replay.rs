@@ -133,6 +133,19 @@ fn identical_runs_record_identical_bytes_and_no_divergence() {
         ta.snapshots.len()
     );
     assert_eq!(first_divergence(&ta, &tb), Divergence::None);
+    // The v2 delta-varint event records must actually compress: a real
+    // recording has to land well under the fixed-width format's 37 bytes
+    // per event (frame/snapshot overhead rides on top in both formats, so
+    // beating the *record* payload alone is a conservative bound).
+    let fixed_width_payload = ta.end.events * 37;
+    assert!(
+        (a.len() as u64) * 2 < fixed_width_payload,
+        "v2 recording is {}B for {} events — not under half the {}B \
+         fixed-width event payload",
+        a.len(),
+        ta.end.events,
+        fixed_width_payload
+    );
 }
 
 #[test]

@@ -2,6 +2,9 @@
 # Perf snapshot: build the harness and write BENCH_sim.json at the repo
 # root. Fields (see crates/bench/src/bin/bench_snapshot.rs):
 #   storm.events_per_sec        engine throughput on the 16-node message storm
+#   storm.allocs_per_event      marginal heap allocations per simulated event
+#                               (two run lengths, setup cost cancelled; a
+#                               warmed hot path sits at ~0)
 #   storm_long.events_per_sec   long-horizon heartbeat storm (64 nodes, 60 s
 #                               simulated): the timer-dominated steady state
 #   sharded_storm.*             2048-node strided storm on the sharded engine:
@@ -9,6 +12,7 @@
 #                               digest check (identical_output). On a 1-core
 #                               runner only identical_output is meaningful —
 #                               speedup_vs_serial is omitted there
+#   sharded_storm_xl.*          same cross-check at fleet scale (10240 nodes)
 #   bidding_round.latency_us    one F3 allocation round, 8 machines, 0.8ms jitter
 #   sweep.serial_s/parallel_s   8-seed F3 sweep wall time, serial vs threaded
 #                               (speedup recorded only when threads > 1)

@@ -114,7 +114,7 @@ python3 - "$drift_tmp" <<'PY' || echo "bench-drift: check skipped (parse error)"
 import json, sys
 now = json.load(open(sys.argv[1]))
 committed = json.load(open("BENCH_sim.json"))
-for row in ("storm", "storm_long", "sharded_storm"):
+for row in ("storm", "storm_long", "sharded_storm", "sharded_storm_xl"):
     try:
         new = now[row]["events_per_sec"]
         old = committed[row]["events_per_sec"]
@@ -124,6 +124,16 @@ for row in ("storm", "storm_long", "sharded_storm"):
     delta = 100.0 * (new - old) / old
     flag = "" if delta > -10.0 else "  <-- WARNING: >10% below committed snapshot"
     print(f"bench-drift: {row}: {new:.0f} ev/s vs committed {old:.0f} ({delta:+.1f}%){flag}")
+# Allocation-rate drift: marginal heap allocs per simulated event on the
+# storm hot path. Committed value is ~0; any climb means a hot path
+# started allocating again.
+try:
+    new = now["storm"]["allocs_per_event"]
+    old = committed["storm"]["allocs_per_event"]
+    flag = "" if new <= old + 0.01 else "  <-- WARNING: hot path allocating above committed snapshot"
+    print(f"bench-drift: storm allocs/event: {new:.4f} vs committed {old:.4f}{flag}")
+except KeyError:
+    print("bench-drift: storm allocs/event: no committed number, skipping")
 PY
 rm -f "$drift_tmp"
 

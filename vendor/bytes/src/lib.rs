@@ -80,6 +80,7 @@ impl Bytes {
         }
     }
 
+    #[inline]
     fn inline(data: &[u8]) -> Self {
         debug_assert!(data.len() <= INLINE_CAP);
         let mut buf = [0u8; INLINE_CAP];
@@ -163,6 +164,7 @@ impl Bytes {
         self.slice(start..start + subset.len())
     }
 
+    #[inline]
     fn as_slice(&self) -> &[u8] {
         let base: &[u8] = match &self.inner {
             Inner::Static(s) => s,
@@ -309,6 +311,136 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
         self.as_slice().iter()
+    }
+}
+
+/// A rotating pool of `Arc<[u8]>` slots that mints [`Bytes`] views without a
+/// per-message allocation once warm.
+///
+/// [`BytesPool::freeze`] copies the payload into a pool slot whose previous
+/// consumers have all dropped their views (detected via `Arc::get_mut`, i.e.
+/// refcount == 1) and returns a `Bytes` sharing that slot's allocation. The
+/// steady-state cost is therefore a memcpy, not an `Arc::from`. Payloads at or
+/// under [`INLINE_CAP`] bytes bypass the pool entirely (inline `Bytes`), and
+/// payloads larger than the slot size fall back to a fresh allocation.
+///
+/// When every slot is still pinned by a live consumer the pool *evicts*: the
+/// slot at the cursor is replaced with a fresh chunk (one amortized
+/// allocation; the old allocation stays alive exactly as long as its
+/// consumers hold views). A workload whose in-flight + retained view count is
+/// bounded — e.g. a protocol resend ring of fixed depth — reaches a slot
+/// count that covers the high-water mark and then allocates nothing.
+pub struct BytesPool {
+    slots: Vec<Arc<[u8]>>,
+    cursor: usize,
+    slot_size: usize,
+    max_slots: usize,
+    /// Fresh chunks minted after construction (eviction or growth); test and
+    /// diagnostics hook for "did steady state stop allocating".
+    refills: u64,
+}
+
+impl BytesPool {
+    /// Default slot payload capacity. Covers every protocol message in this
+    /// workspace (largest observed frames are a few hundred bytes).
+    pub const DEFAULT_SLOT_SIZE: usize = 1024;
+    /// Default cap on resident slots (1024 × 64 = 64 KiB per pool).
+    pub const DEFAULT_MAX_SLOTS: usize = 64;
+
+    /// Pool with default sizing; no slots are allocated until first use.
+    pub fn new() -> Self {
+        Self::with_config(Self::DEFAULT_SLOT_SIZE, Self::DEFAULT_MAX_SLOTS)
+    }
+
+    /// Pool with explicit slot payload size and resident-slot cap.
+    pub fn with_config(slot_size: usize, max_slots: usize) -> Self {
+        assert!(slot_size > INLINE_CAP, "slot_size must exceed INLINE_CAP");
+        assert!(max_slots >= 1, "pool needs at least one slot");
+        BytesPool {
+            slots: Vec::new(),
+            cursor: 0,
+            slot_size,
+            max_slots,
+            refills: 0,
+        }
+    }
+
+    /// Copy `data` into an immutable [`Bytes`], reusing a pool slot when one
+    /// is free (see type docs for the reuse/eviction policy).
+    #[inline]
+    pub fn freeze(&mut self, data: &[u8]) -> Bytes {
+        if data.len() <= INLINE_CAP {
+            return Bytes::inline(data);
+        }
+        if data.len() > self.slot_size {
+            // Oversize: pooling would waste a whole slot per message.
+            return Bytes::copy_from_slice(data);
+        }
+        let n = self.slots.len();
+        for probe in 0..n {
+            let i = (self.cursor + probe) % n;
+            if Arc::get_mut(&mut self.slots[i]).is_some() {
+                self.cursor = (i + 1) % n;
+                return Self::fill(&mut self.slots[i], data);
+            }
+        }
+        // Every resident slot is pinned by a live view.
+        if n < self.max_slots {
+            self.slots.push(Self::chunk(self.slot_size));
+            self.refills += 1;
+            self.cursor = 0;
+            let last = self.slots.len() - 1;
+            return Self::fill(&mut self.slots[last], data);
+        }
+        // At capacity: evict the slot under the cursor. Its consumers keep
+        // the old allocation alive; the pool forgets it.
+        let i = self.cursor;
+        self.cursor = (i + 1) % n;
+        self.slots[i] = Self::chunk(self.slot_size);
+        self.refills += 1;
+        Self::fill(&mut self.slots[i], data)
+    }
+
+    fn chunk(size: usize) -> Arc<[u8]> {
+        Arc::from(vec![0u8; size].into_boxed_slice())
+    }
+
+    fn fill(slot: &mut Arc<[u8]>, data: &[u8]) -> Bytes {
+        let buf = Arc::get_mut(slot).expect("slot checked exclusive");
+        buf[..data.len()].copy_from_slice(data);
+        Bytes {
+            inner: Inner::Shared(slot.clone()),
+            off: 0,
+            len: data.len() as u32,
+        }
+    }
+
+    /// Number of resident slots (monotone up to the configured cap).
+    pub fn slots_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fresh chunks minted since construction; flat across a window means
+    /// that window ran allocation-free in this pool.
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+}
+
+impl Default for BytesPool {
+    fn default() -> Self {
+        BytesPool::new()
+    }
+}
+
+impl fmt::Debug for BytesPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesPool")
+            .field("slots", &self.slots.len())
+            .field("slot_size", &self.slot_size)
+            .field("max_slots", &self.max_slots)
+            .field("refills", &self.refills)
+            .finish()
     }
 }
 
@@ -504,6 +636,79 @@ mod tests {
         let a = Bytes::from(vec![1, 2, 3]);
         let other = [1u8, 2, 3];
         let _ = a.slice_ref(&other);
+    }
+
+    #[test]
+    fn pool_reuses_slot_after_views_drop() {
+        let mut pool = BytesPool::with_config(256, 4);
+        let payload = [7u8; 64];
+        let a = pool.freeze(&payload);
+        assert_eq!(&a[..], &payload[..]);
+        assert_eq!(pool.slots_len(), 1);
+        let a_ptr = a.as_slice().as_ptr();
+        drop(a);
+        // View dropped → same slot is reclaimed, zero new chunks.
+        let refills = pool.refills();
+        let b = pool.freeze(&[9u8; 100]);
+        assert_eq!(b.as_slice().as_ptr(), a_ptr);
+        assert_eq!(pool.refills(), refills);
+        assert_eq!(&b[..], &[9u8; 100][..]);
+    }
+
+    #[test]
+    fn pool_pinned_slot_is_not_overwritten() {
+        let mut pool = BytesPool::with_config(256, 4);
+        let a = pool.freeze(&[1u8; 50]);
+        let b = pool.freeze(&[2u8; 50]);
+        // `a` is still alive; writing `b` must not have clobbered it.
+        assert_eq!(&a[..], &[1u8; 50][..]);
+        assert_eq!(&b[..], &[2u8; 50][..]);
+        assert_eq!(pool.slots_len(), 2);
+    }
+
+    #[test]
+    fn pool_evicts_when_full_and_consumers_keep_data() {
+        let mut pool = BytesPool::with_config(256, 2);
+        let held: Vec<Bytes> = (0..5).map(|i| pool.freeze(&[i as u8; 40])).collect();
+        // Only 2 slots resident, but all 5 views stay intact (evicted
+        // chunks live on via their consumers' refcounts).
+        assert_eq!(pool.slots_len(), 2);
+        for (i, b) in held.iter().enumerate() {
+            assert_eq!(&b[..], &[i as u8; 40][..]);
+        }
+    }
+
+    #[test]
+    fn pool_small_and_oversize_bypass() {
+        let mut pool = BytesPool::with_config(64, 2);
+        let small = pool.freeze(&[3u8; INLINE_CAP]);
+        assert!(matches!(small.inner, Inner::Inline(_)));
+        let big = pool.freeze(&[4u8; 65]);
+        assert!(matches!(big.inner, Inner::Shared(_)));
+        assert_eq!(big.len(), 65);
+        // Neither path consumed a slot.
+        assert_eq!(pool.slots_len(), 0);
+    }
+
+    #[test]
+    fn pool_steady_state_mints_no_chunks() {
+        let mut pool = BytesPool::new();
+        // Warm up: bounded in-flight window of 3 views.
+        let mut window = std::collections::VecDeque::new();
+        for i in 0..10u8 {
+            window.push_back(pool.freeze(&[i; 100]));
+            if window.len() > 3 {
+                window.pop_front();
+            }
+        }
+        let refills = pool.refills();
+        for i in 0..100u8 {
+            window.push_back(pool.freeze(&[i; 100]));
+            if window.len() > 3 {
+                window.pop_front();
+            }
+        }
+        assert_eq!(pool.refills(), refills, "steady state should not refill");
     }
 
     #[test]
